@@ -1,0 +1,139 @@
+// E12: deadline negotiation. Binary admission wastes information: a rejected
+// client learns nothing about what *would* have worked. This experiment runs
+// an overloaded cluster where rejected requests receive the smallest
+// workable deadline extension as a counter-offer, and patient clients accept
+// any offer within their flexibility budget. Swept: client flexibility (how
+// much extension they tolerate, as a fraction of their original window).
+// Shape: acceptance climbs with flexibility while misses stay at zero —
+// counter-offers only ever promise what the residual can actually deliver.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "rota/admission/negotiation.hpp"
+#include "rota/sim/simulator.hpp"
+#include "rota/util/table.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace {
+
+using namespace rota;
+
+struct NegotiationResult {
+  std::size_t offered = 0;
+  std::size_t accepted_direct = 0;
+  std::size_t accepted_via_offer = 0;
+  std::size_t missed = 0;
+  double mean_extension = 0.0;  // granted extension / original window length
+};
+
+NegotiationResult run_negotiation(double flexibility, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.num_locations = 3;
+  config.cpu_rate = 6;
+  config.network_rate = 6;
+  config.mean_interarrival = 3.0;  // overloaded: rejections are common
+  config.laxity = 1.5;
+  const Tick horizon = 900;
+
+  WorkloadGenerator gen(config, CostModel());
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, horizon));
+  RotaAdmissionController ctl(gen.phi(), supply);
+  Simulator sim(supply, 0, ExecutionMode::kPlanFollowing);
+
+  NegotiationResult result;
+  double extension_sum = 0.0;
+  std::size_t extension_count = 0;
+
+  for (const Arrival& a : gen.make_arrivals(horizon * 2 / 3)) {
+    ++result.offered;
+    ConcurrentRequirement rho = make_concurrent_requirement(gen.phi(), a.computation);
+    const Tick window_len = rho.window().length();
+    const Tick max_deadline =
+        rho.window().end() +
+        static_cast<Tick>(std::ceil(static_cast<double>(window_len) * flexibility));
+
+    CounterOffer offer = request_with_counter_offer(ctl, rho, a.at, max_deadline);
+    if (offer.decision.accepted) {
+      ++result.accepted_direct;
+      sim.schedule_admission(a.at, rho, std::move(offer.decision.plan));
+      continue;
+    }
+    if (!offer.suggested_deadline) continue;
+
+    // The patient client takes the counter-offer.
+    std::vector<ComplexRequirement> actors;
+    for (const auto& c : rho.actors()) {
+      actors.emplace_back(c.actor(), c.phases(),
+                          TimeInterval(rho.window().start(), *offer.suggested_deadline),
+                          c.rate_cap());
+    }
+    ConcurrentRequirement extended(
+        rho.name(), std::move(actors),
+        TimeInterval(rho.window().start(), *offer.suggested_deadline));
+    AdmissionDecision retry = ctl.request(extended, a.at);
+    if (!retry.accepted) continue;  // raced against nothing here, but be safe
+    ++result.accepted_via_offer;
+    extension_sum += static_cast<double>(*offer.suggested_deadline -
+                                         rho.window().end()) /
+                     static_cast<double>(window_len);
+    ++extension_count;
+    sim.schedule_admission(a.at, extended, std::move(retry.plan));
+  }
+
+  result.missed = sim.run(horizon * 2).missed();
+  result.mean_extension =
+      extension_count == 0 ? 0.0 : extension_sum / static_cast<double>(extension_count);
+  return result;
+}
+
+void print_negotiation_sweep() {
+  util::Table table({"client flexibility", "offered", "direct", "via offer",
+                     "total acceptance", "mean extension", "missed"});
+  for (double flexibility : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    NegotiationResult r = run_negotiation(flexibility, 1212);
+    const double acceptance =
+        static_cast<double>(r.accepted_direct + r.accepted_via_offer) /
+        static_cast<double>(r.offered);
+    table.add_row({util::fixed(flexibility, 2), std::to_string(r.offered),
+                   std::to_string(r.accepted_direct),
+                   std::to_string(r.accepted_via_offer), util::fixed(acceptance, 3),
+                   util::fixed(r.mean_extension, 3), std::to_string(r.missed)});
+  }
+  std::cout << "== E12: counter-offer negotiation under overload ==\n"
+            << table.to_string()
+            << "\nflexibility = extra deadline a client tolerates, relative to "
+               "its window;\nmisses stay 0: offers only promise what the "
+               "residual can deliver.\n\n";
+}
+
+void BM_CounterOfferLatency(benchmark::State& state) {
+  WorkloadConfig config;
+  config.seed = 1213;
+  config.num_locations = 3;
+  config.cpu_rate = 6;
+  config.network_rate = 6;
+  WorkloadGenerator gen(config, CostModel());
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, 2000));
+  RotaAdmissionController ctl(gen.phi(), supply);
+  // Saturate a window so probes actually exercise the search.
+  for (int i = 0; i < 40; ++i) ctl.request(gen.make_computation(5), 0);
+  ConcurrentRequirement rho =
+      make_concurrent_requirement(gen.phi(), gen.make_computation(5));
+  for (auto _ : state) {
+    RotaAdmissionController copy = ctl;
+    benchmark::DoNotOptimize(request_with_counter_offer(copy, rho, 0, 1500));
+  }
+}
+BENCHMARK(BM_CounterOfferLatency);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_negotiation_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

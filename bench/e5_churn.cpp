@@ -1,0 +1,128 @@
+// E5: open-system churn. Donated resources join with bounded lifetimes; the
+// controller reasons about them the moment they announce themselves
+// (the paper's resource acquisition rule). Sweeps join rate and lifetime:
+//   * acceptance gained by planning over donations vs base-only,
+//   * assurance retained (plan-following misses stay at zero because the
+//     logic only ever commits to declared intervals).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "rota/admission/controller.hpp"
+#include "rota/sim/simulator.hpp"
+#include "rota/util/table.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace {
+
+using namespace rota;
+
+struct ChurnResult {
+  std::size_t offered = 0;
+  std::size_t base_accepted = 0;
+  std::size_t churn_accepted = 0;
+  std::size_t missed = 0;
+};
+
+ChurnResult run_churn(double join_rate, double mean_lifetime, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.num_locations = 5;
+  config.cpu_rate = 2;  // thin base — donations matter
+  config.network_rate = 4;
+  config.mean_interarrival = 14.0;
+  config.laxity = 2.5;
+  const Tick horizon = 900;
+
+  WorkloadGenerator gen(config, CostModel());
+  const ResourceSet base = gen.base_supply(TimeInterval(0, horizon));
+  ChurnTrace churn = gen.make_churn(horizon, join_rate, mean_lifetime, /*max_rate=*/8);
+  const auto arrivals = gen.make_arrivals(horizon * 2 / 3);
+
+  RotaAdmissionController base_only(gen.phi(), base);
+  RotaAdmissionController with_churn(gen.phi(), base);
+  Simulator sim(base, 0, ExecutionMode::kPlanFollowing);
+  sim.schedule_churn(churn);
+
+  ChurnResult result;
+  result.offered = arrivals.size();
+  std::size_t next_join = 0;
+  for (const Arrival& a : arrivals) {
+    while (next_join < churn.size() && churn.events()[next_join].at <= a.at) {
+      ResourceSet joined;
+      joined.add(churn.events()[next_join].term);
+      with_churn.on_join(joined);
+      ++next_join;
+    }
+    if (base_only.request(a.computation, a.at).accepted) ++result.base_accepted;
+    AdmissionDecision d = with_churn.request(a.computation, a.at);
+    if (!d.accepted) continue;
+    ++result.churn_accepted;
+    sim.schedule_admission(a.at,
+                           make_concurrent_requirement(gen.phi(), a.computation),
+                           std::move(d.plan));
+  }
+  result.missed = sim.run(horizon).missed();
+  return result;
+}
+
+void print_churn_sweep() {
+  util::Table table({"join rate", "mean lifetime", "offered", "base-only accepts",
+                     "with-churn accepts", "gain", "misses"});
+  for (double rate : {0.05, 0.2, 0.5}) {
+    for (double lifetime : {20.0, 80.0}) {
+      ChurnResult r = run_churn(rate, lifetime, /*seed=*/606);
+      table.add_row(
+          {util::fixed(rate, 2), util::fixed(lifetime, 0), std::to_string(r.offered),
+           std::to_string(r.base_accepted), std::to_string(r.churn_accepted),
+           "+" + std::to_string(r.churn_accepted - r.base_accepted),
+           std::to_string(r.missed)});
+    }
+  }
+  std::cout << "== E5: churn sweep — donations unlock admissions, assurance "
+               "holds ==\n"
+            << table.to_string()
+            << "\nmisses stay at 0 in every cell: the logic only commits to "
+               "declared intervals.\n\n";
+}
+
+void BM_ChurnScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_churn(0.2, 40.0, 607));
+  }
+}
+BENCHMARK(BM_ChurnScenario)->Unit(benchmark::kMillisecond);
+
+void BM_JoinHeavyLedger(benchmark::State& state) {
+  // Admission latency when the ledger has absorbed many churn joins (the
+  // availability profiles become finely fragmented).
+  WorkloadConfig config;
+  config.seed = 608;
+  config.num_locations = 5;
+  config.cpu_rate = 2;
+  WorkloadGenerator gen(config, CostModel());
+  RotaAdmissionController ctl(gen.phi(), gen.base_supply(TimeInterval(0, 4000)));
+  ChurnTrace churn =
+      gen.make_churn(4000, static_cast<double>(state.range(0)) / 100.0, 50.0, 8);
+  for (const auto& e : churn.events()) {
+    ResourceSet joined;
+    joined.add(e.term);
+    ctl.on_join(joined);
+  }
+  DistributedComputation probe = gen.make_computation(100);
+  for (auto _ : state) {
+    RotaAdmissionController copy = ctl;
+    benchmark::DoNotOptimize(copy.request(probe, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JoinHeavyLedger)->Arg(5)->Arg(20)->Arg(80)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_churn_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E7: substrate microbenchmarks — step-function algebra, interval sets, and
+// IA constraint-network path consistency, as functions of instance size.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "rota/resource/step_function.hpp"
+#include "rota/time/ia_network.hpp"
+#include "rota/time/interval_set.hpp"
+#include "rota/util/rng.hpp"
+
+namespace {
+
+using namespace rota;
+
+StepFunction make_step(int segments, std::uint64_t seed) {
+  util::Rng rng(seed);
+  StepFunction f;
+  Tick cursor = 0;
+  for (int i = 0; i < segments; ++i) {
+    cursor += rng.uniform(1, 5);
+    const Tick end = cursor + rng.uniform(1, 8);
+    f.add(TimeInterval(cursor, end), rng.uniform(1, 16));
+    cursor = end;
+  }
+  return f;
+}
+
+void BM_StepPlus(benchmark::State& state) {
+  StepFunction a = make_step(static_cast<int>(state.range(0)), 1);
+  StepFunction b = make_step(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(a.plus(b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StepPlus)->Arg(4)->Arg(32)->Arg(256)->Arg(2048)->Complexity();
+
+void BM_StepMinus(benchmark::State& state) {
+  StepFunction a = make_step(static_cast<int>(state.range(0)), 3);
+  StepFunction b = make_step(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(a.minus(b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StepMinus)->Arg(4)->Arg(32)->Arg(256)->Arg(2048)->Complexity();
+
+void BM_StepIntegral(benchmark::State& state) {
+  StepFunction a = make_step(static_cast<int>(state.range(0)), 5);
+  const TimeInterval window(0, 100000);
+  for (auto _ : state) benchmark::DoNotOptimize(a.integral(window));
+}
+BENCHMARK(BM_StepIntegral)->Arg(4)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_StepEarliestCover(benchmark::State& state) {
+  StepFunction a = make_step(static_cast<int>(state.range(0)), 6);
+  const Quantity target = a.integral() / 2;
+  const TimeInterval window(0, 100000);
+  for (auto _ : state) benchmark::DoNotOptimize(a.earliest_cover(window, target));
+}
+BENCHMARK(BM_StepEarliestCover)->Arg(4)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_StepValueAt(benchmark::State& state) {
+  StepFunction a = make_step(static_cast<int>(state.range(0)), 7);
+  Tick t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.value_at(t));
+    t = (t + 13) % 5000;
+  }
+}
+BENCHMARK(BM_StepValueAt)->Arg(4)->Arg(256)->Arg(2048);
+
+void BM_IntervalSetUnion(benchmark::State& state) {
+  util::Rng rng(8);
+  IntervalSet a, b;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const Tick s1 = rng.uniform(0, 10000);
+    a.insert(TimeInterval(s1, s1 + rng.uniform(1, 10)));
+    const Tick s2 = rng.uniform(0, 10000);
+    b.insert(TimeInterval(s2, s2 + rng.uniform(1, 10)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.unioned(b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntervalSetUnion)->Arg(8)->Arg(64)->Arg(512)->Complexity();
+
+void BM_IntervalSetSubtract(benchmark::State& state) {
+  util::Rng rng(9);
+  IntervalSet a, b;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const Tick s1 = rng.uniform(0, 10000);
+    a.insert(TimeInterval(s1, s1 + rng.uniform(1, 20)));
+    const Tick s2 = rng.uniform(0, 10000);
+    b.insert(TimeInterval(s2, s2 + rng.uniform(1, 10)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.subtracted(b));
+}
+BENCHMARK(BM_IntervalSetSubtract)->Arg(8)->Arg(64)->Arg(512);
+
+IaNetwork chain_network(std::size_t n) {
+  IaNetwork net(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    AllenRelationSet rel(AllenRelation::kBefore);
+    rel.insert(AllenRelation::kMeets);
+    net.constrain(i, i + 1, rel);
+  }
+  // Anchor: everything during the last interval (a supply window).
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net.constrain(i, n - 1, AllenRelation::kDuring);
+  }
+  return net;
+}
+
+void BM_PathConsistency(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    IaNetwork net = chain_network(n);
+    benchmark::DoNotOptimize(net.propagate());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PathConsistency)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_SolveScenario(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    IaNetwork net = chain_network(n);
+    benchmark::DoNotOptimize(net.solve_scenario());
+  }
+}
+BENCHMARK(BM_SolveScenario)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "== E7: substrate microbenchmarks ==\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

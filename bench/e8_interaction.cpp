@@ -1,0 +1,136 @@
+// E8: interacting computations (the §VI extension). Exhibits:
+//   * gate cost — finish-time inflation of a pipeline vs the same work
+//     ungated, as the chain deepens;
+//   * planner cost — plan_dag latency vs segment count and DAG shape
+//     (chain / fan-out / diamond).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "rota/logic/dag_planner.hpp"
+#include "rota/util/table.hpp"
+
+namespace {
+
+using namespace rota;
+
+struct World {
+  std::vector<Location> sites;
+  CostModel phi;
+  ResourceSet supply;
+
+  explicit World(std::size_t n, Tick horizon) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sites.emplace_back("e8-s" + std::to_string(i));
+      supply.add(8, TimeInterval(0, horizon), LocatedType::cpu(sites.back()));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        supply.add(6, TimeInterval(0, horizon),
+                   LocatedType::network(sites[i], sites[j]));
+      }
+    }
+  }
+};
+
+/// A k-stage pipeline: stage i computes at site i%n and messages stage i+1.
+InteractingComputation make_chain(const World& world, std::size_t stages,
+                                  Tick deadline) {
+  std::vector<SegmentedActor> actors;
+  std::vector<MessageDependency> deps;
+  for (std::size_t i = 0; i < stages; ++i) {
+    const Location at = world.sites[i % world.sites.size()];
+    const Location next = world.sites[(i + 1) % world.sites.size()];
+    SegmentedActorBuilder b("stage" + std::to_string(i), at);
+    b.evaluate(2);
+    if (i + 1 < stages) b.send(next, 1);
+    actors.push_back(std::move(b).build());
+    if (i > 0) deps.push_back({i - 1, 0, i, 0});
+  }
+  return InteractingComputation("chain", std::move(actors), std::move(deps), 0,
+                                deadline);
+}
+
+/// Fan-out/fan-in diamond of the given width.
+InteractingComputation make_diamond(const World& world, std::size_t width,
+                                    Tick deadline) {
+  std::vector<SegmentedActor> actors;
+  std::vector<MessageDependency> deps;
+  {
+    SegmentedActorBuilder src("src", world.sites[0]);
+    src.evaluate(1);
+    actors.push_back(std::move(src).build());
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    SegmentedActorBuilder w("w" + std::to_string(i),
+                            world.sites[(i + 1) % world.sites.size()]);
+    w.evaluate(2);
+    actors.push_back(std::move(w).build());
+    deps.push_back({0, 0, 1 + i, 0});
+  }
+  {
+    SegmentedActorBuilder sink("sink", world.sites[0]);
+    sink.evaluate(1);
+    actors.push_back(std::move(sink).build());
+    for (std::size_t i = 0; i < width; ++i) deps.push_back({1 + i, 0, 1 + width, 0});
+  }
+  return InteractingComputation("diamond", std::move(actors), std::move(deps), 0,
+                                deadline);
+}
+
+void print_gate_cost() {
+  World world(4, 4000);
+  util::Table table({"stages", "gated finish", "ungated finish", "gate latency"});
+  for (std::size_t stages : {2u, 4u, 8u, 16u}) {
+    InteractingComputation gated = make_chain(world, stages, 2000);
+    auto gated_plan = plan_interacting(world.supply, world.phi, gated);
+    InteractingComputation ungated("free", gated.actors(), {}, 0, 2000);
+    auto free_plan = plan_interacting(world.supply, world.phi, ungated);
+    if (!gated_plan || !free_plan) continue;
+    table.add_row({std::to_string(stages), std::to_string(gated_plan->finish),
+                   std::to_string(free_plan->finish),
+                   std::to_string(gated_plan->finish - free_plan->finish)});
+  }
+  std::cout << "== E8: what blocking messages cost (pipeline depth sweep) ==\n"
+            << table.to_string() << "\n";
+}
+
+void BM_PlanChain(benchmark::State& state) {
+  World world(4, 100000);
+  InteractingComputation c =
+      make_chain(world, static_cast<std::size_t>(state.range(0)), 100000);
+  DagRequirement dag = make_dag_requirement(world.phi, c);
+  for (auto _ : state) benchmark::DoNotOptimize(plan_dag(world.supply, dag));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanChain)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_PlanDiamond(benchmark::State& state) {
+  World world(4, 100000);
+  InteractingComputation c =
+      make_diamond(world, static_cast<std::size_t>(state.range(0)), 100000);
+  DagRequirement dag = make_dag_requirement(world.phi, c);
+  for (auto _ : state) benchmark::DoNotOptimize(plan_dag(world.supply, dag));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanDiamond)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_DagDerivation(benchmark::State& state) {
+  World world(4, 100000);
+  InteractingComputation c =
+      make_chain(world, static_cast<std::size_t>(state.range(0)), 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_dag_requirement(world.phi, c));
+  }
+}
+BENCHMARK(BM_DagDerivation)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_gate_cost();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// E9: CyberOrgs encapsulation and the cost of reasoning (the paper's §VI
+// hypothesis: "using ROTA in the context of CyberOrgs ameliorates the
+// complexity challenge"). One big flat org is compared against a partitioned
+// hierarchy on identical supply and workload: admission latency drops with
+// the encapsulation size because every feasibility question only touches the
+// org's own slice, while local workloads lose (almost) no acceptance.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "rota/cyberorgs/cyberorg.hpp"
+#include "rota/util/table.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace {
+
+using namespace rota;
+
+struct Setup {
+  WorkloadConfig config;
+  Tick horizon = 2000;
+
+  Setup(std::size_t locations, std::uint64_t seed) {
+    config.seed = seed;
+    config.num_locations = locations;
+    config.cpu_rate = 8;
+    config.network_rate = 8;
+    config.mean_interarrival = 4.0;
+    config.laxity = 2.5;
+    // Keep jobs node-local so they route cleanly to per-node orgs.
+    config.actors_min = config.actors_max = 1;
+    config.p_send = 0.0;
+    config.p_migrate = 0.0;
+  }
+};
+
+/// Flat: every request against one org holding everything.
+std::pair<std::size_t, std::size_t> run_flat(const Setup& setup) {
+  WorkloadGenerator gen(setup.config, CostModel());
+  CyberOrg root("root", gen.phi(),
+                gen.base_supply(TimeInterval(0, setup.horizon)));
+  std::size_t offered = 0, accepted = 0;
+  for (const Arrival& a : gen.make_arrivals(setup.horizon / 2)) {
+    ++offered;
+    if (root.request(a.computation, a.at).accepted) ++accepted;
+  }
+  return {offered, accepted};
+}
+
+/// Partitioned: one child org per location; requests route to the home org.
+std::pair<std::size_t, std::size_t> run_partitioned(const Setup& setup) {
+  WorkloadGenerator gen(setup.config, CostModel());
+  CyberOrg root("root", gen.phi(),
+                gen.base_supply(TimeInterval(0, setup.horizon)));
+  for (const Location& l : gen.locations()) {
+    ResourceSet slice;
+    slice.add(setup.config.cpu_rate, TimeInterval(0, setup.horizon),
+              LocatedType::cpu(l));
+    root.create_child("org-" + l.name(), slice);
+  }
+  std::size_t offered = 0, accepted = 0;
+  for (const Arrival& a : gen.make_arrivals(setup.horizon / 2)) {
+    ++offered;
+    const Location home = a.computation.actors()[0].actions()[0].at;
+    CyberOrg* org = root.find("org-" + home.name());
+    if (org != nullptr && org->request(a.computation, a.at).accepted) ++accepted;
+  }
+  return {offered, accepted};
+}
+
+void print_encapsulation_table() {
+  util::Table table({"locations", "layout", "offered", "accepted", "acceptance"});
+  for (std::size_t n : {4u, 8u, 16u}) {
+    Setup setup(n, 909);
+    auto [fo, fa] = run_flat(setup);
+    auto [po, pa] = run_partitioned(setup);
+    table.add_row({std::to_string(n), "flat", std::to_string(fo), std::to_string(fa),
+                   util::fixed(static_cast<double>(fa) / fo, 3)});
+    table.add_row({std::to_string(n), "per-node orgs", std::to_string(po),
+                   std::to_string(pa), util::fixed(static_cast<double>(pa) / po, 3)});
+  }
+  std::cout << "== E9: acceptance under encapsulation (node-local workload) ==\n"
+            << table.to_string()
+            << "\nnode-local jobs lose nothing to partitioning; what they gain "
+               "is the\nper-request reasoning cost below.\n\n";
+}
+
+void BM_FlatAdmission(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)), 911);
+  WorkloadGenerator gen(setup.config, CostModel());
+  CyberOrg root("root", gen.phi(), gen.base_supply(TimeInterval(0, setup.horizon)));
+  // Preload commitments so the ledger has realistic fragmentation.
+  for (const Arrival& a : gen.make_arrivals(setup.horizon / 4)) {
+    root.request(a.computation, a.at);
+  }
+  DistributedComputation probe = gen.make_computation(setup.horizon / 4 + 10);
+  for (auto _ : state) {
+    CyberOrg copy("probe", gen.phi(), root.ledger().residual());
+    benchmark::DoNotOptimize(copy.request(probe, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlatAdmission)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_EncapsulatedAdmission(benchmark::State& state) {
+  Setup setup(static_cast<std::size_t>(state.range(0)), 911);
+  WorkloadGenerator gen(setup.config, CostModel());
+  CyberOrg root("root", gen.phi(), gen.base_supply(TimeInterval(0, setup.horizon)));
+  const Location first = gen.locations()[0];
+  ResourceSet slice;
+  slice.add(setup.config.cpu_rate, TimeInterval(0, setup.horizon),
+            LocatedType::cpu(first));
+  CyberOrg& org = root.create_child("org", slice);
+  // Preload the org with its share of the workload.
+  for (const Arrival& a : gen.make_arrivals(setup.horizon / 4)) {
+    if (a.computation.actors()[0].actions()[0].at == first) {
+      org.request(a.computation, a.at);
+    }
+  }
+  DistributedComputation probe = gen.make_computation(setup.horizon / 4 + 10);
+  for (auto _ : state) {
+    CyberOrg copy("probe", gen.phi(), org.ledger().residual());
+    benchmark::DoNotOptimize(copy.request(probe, 0));
+  }
+  // The encapsulated cost is (near) independent of the system size N.
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EncapsulatedAdmission)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_IsolateAssimilate(benchmark::State& state) {
+  Setup setup(8, 913);
+  WorkloadGenerator gen(setup.config, CostModel());
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, setup.horizon));
+  ResourceSet slice;
+  slice.add(2, TimeInterval(0, setup.horizon), LocatedType::cpu(gen.locations()[0]));
+  for (auto _ : state) {
+    CyberOrg root("root", gen.phi(), supply);
+    root.create_child("child", slice);
+    root.assimilate("child");
+    benchmark::DoNotOptimize(root.subtree_size());
+  }
+}
+BENCHMARK(BM_IsolateAssimilate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_encapsulation_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Figure 1 reproduction: the ROTA satisfaction semantics, exercised rule by
+// rule on a concrete committed path, plus model-checking cost vs. path
+// length and formula depth.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "rota/computation/requirement.hpp"
+#include "rota/logic/model_checker.hpp"
+#include "rota/logic/theorems.hpp"
+#include "rota/util/table.hpp"
+
+namespace {
+
+using namespace rota;
+
+struct Fixture {
+  Location l1{"f1-l1"};
+  Location l2{"f1-l2"};
+  CostModel phi;
+  ResourceSet supply;
+  ComputationPath path{SystemState{}};
+
+  Fixture() {
+    supply.add(4, TimeInterval(0, 60), LocatedType::cpu(l1));
+    supply.add(4, TimeInterval(0, 60), LocatedType::network(l1, l2));
+
+    // A committed computation consuming the first few ticks.
+    auto gamma = ActorComputationBuilder("busy", l1).evaluate().send(l2).build();
+    DistributedComputation lambda("busy", {gamma}, 0, 20);
+    ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+    auto plan = plan_concurrent(supply, rho, PlanningPolicy::kAsap);
+    path = realize_plan(supply, rho, *plan, 0);
+    // Extend with idle (pure expiration) steps to position 30.
+    while (path.back().now() < 30) path.apply(TickStep{});
+  }
+
+  SimpleRequirement cpu_demand(Quantity q, Tick s, Tick d) const {
+    DemandSet dem;
+    dem.add(LocatedType::cpu(l1), q);
+    return SimpleRequirement(dem, TimeInterval(s, d));
+  }
+};
+
+void print_fig1(const Fixture& fx) {
+  ModelChecker mc(fx.path);
+  util::Table table({"rule", "formula", "position", "verdict"});
+  auto row = [&](const std::string& rule, const FormulaPtr& psi, std::size_t pos) {
+    table.add_row({rule, psi->to_string().substr(0, 48), std::to_string(pos),
+                   mc.satisfies(psi, pos) ? "sat" : "unsat"});
+  };
+
+  row("true", f_true(), 0);
+  row("false", f_false(), 0);
+  row("satisfy-simple (fits leftovers)", f_satisfy(fx.cpu_demand(16, 0, 10)), 0);
+  row("satisfy-simple (consumed ticks)", f_satisfy(fx.cpu_demand(1, 0, 2)), 0);
+
+  auto gamma = ActorComputationBuilder("probe", fx.l1).evaluate().send(fx.l2).build();
+  ComplexRequirement complex =
+      make_complex_requirement(fx.phi, gamma, TimeInterval(0, 15));
+  row("satisfy-complex (cut points)", f_satisfy(complex), 0);
+  ComplexRequirement tight = make_complex_requirement(fx.phi, gamma, TimeInterval(0, 2));
+  row("satisfy-complex (window tight)", f_satisfy(tight), 0);
+
+  auto g1 = ActorComputationBuilder("p1", fx.l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("p2", fx.l1).evaluate().build();
+  DistributedComputation duo("duo", {g1, g2}, 0, 15);
+  row("satisfy-concurrent", f_satisfy(make_concurrent_requirement(fx.phi, duo)), 0);
+
+  row("negation", f_not(f_satisfy(fx.cpu_demand(1, 0, 2))), 0);
+  row("eventually", f_eventually(f_satisfy(fx.cpu_demand(4, 0, 20))), 0);
+  row("eventually (window passes)", f_eventually(f_satisfy(fx.cpu_demand(4, 0, 3))), 5);
+  row("always (degrades)", f_always(f_satisfy(fx.cpu_demand(40, 0, 20))), 0);
+  row("always (stable)", f_always(f_not(f_false())), 0);
+
+  std::cout << "== Figure 1: satisfaction semantics on a committed path ==\n"
+            << table.to_string() << "\n";
+}
+
+const Fixture& fixture() {
+  static Fixture fx;
+  return fx;
+}
+
+void BM_SatisfySimple(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  ModelChecker mc(fx.path);
+  FormulaPtr psi = f_satisfy(fx.cpu_demand(16, 0, 20));
+  for (auto _ : state) benchmark::DoNotOptimize(mc.satisfies(psi, 0));
+}
+BENCHMARK(BM_SatisfySimple);
+
+void BM_SatisfyComplex(benchmark::State& state) {
+  const Fixture& fx = fixture();
+  ModelChecker mc(fx.path);
+  auto gamma = ActorComputationBuilder("probe", fx.l1)
+                   .evaluate()
+                   .send(fx.l2)
+                   .evaluate()
+                   .build();
+  FormulaPtr psi =
+      f_satisfy(make_complex_requirement(fx.phi, gamma, TimeInterval(0, 25)));
+  for (auto _ : state) benchmark::DoNotOptimize(mc.satisfies(psi, 0));
+}
+BENCHMARK(BM_SatisfyComplex);
+
+void BM_TemporalDepth(benchmark::State& state) {
+  // Cost of nesting ◇/□ to the given depth: each level scans the path suffix.
+  const Fixture& fx = fixture();
+  ModelChecker mc(fx.path);
+  FormulaPtr psi = f_satisfy(fx.cpu_demand(4, 0, 30));
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    psi = (i % 2 == 0) ? f_eventually(psi) : f_always(psi);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(mc.satisfies(psi, 0));
+}
+BENCHMARK(BM_TemporalDepth)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PathLength(benchmark::State& state) {
+  // Eventually-satisfy over idle paths of growing length.
+  Location l1("f1b-l1");
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, state.range(0) + 10), LocatedType::cpu(l1));
+  ComputationPath path(SystemState(supply, 0));
+  for (std::int64_t i = 0; i < state.range(0); ++i) path.apply(TickStep{});
+  ModelChecker mc(path);
+  DemandSet dem;
+  dem.add(LocatedType::cpu(l1), 4);
+  FormulaPtr psi = f_eventually(
+      f_satisfy(SimpleRequirement(dem, TimeInterval(0, state.range(0) + 5))));
+  for (auto _ : state) benchmark::DoNotOptimize(mc.satisfies(psi, 0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PathLength)->Arg(16)->Arg(64)->Arg(256)->Complexity(benchmark::oN);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig1(fixture());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

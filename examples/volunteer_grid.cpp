@@ -1,0 +1,66 @@
+// Volunteer computing on an open network: peers donate resources for bounded
+// intervals (the paper's resource acquisition rule — departure time declared
+// at join), and the admission controller reasons about *future* availability,
+// admitting work onto capacity that would otherwise expire unused.
+//
+// Build & run:  ./build/examples/volunteer_grid
+#include <iostream>
+
+#include "rota/rota.hpp"
+
+int main() {
+  using namespace rota;
+
+  const Tick horizon = 800;
+  VolunteerScenario scenario = make_volunteer_network(/*seed=*/31, horizon);
+  WorkloadGenerator& generator = scenario.generator;
+
+  std::cout << "Volunteer grid: " << generator.locations().size()
+            << " sites, thin base supply + " << scenario.churn.size()
+            << " donated-resource joins over " << horizon << " ticks\n\n";
+
+  // Two controllers on the same arrivals: one only trusts the base supply,
+  // one also reasons about donations as they announce themselves.
+  RotaAdmissionController base_only(generator.phi(), scenario.base_supply);
+  RotaAdmissionController with_donations(generator.phi(), scenario.base_supply);
+
+  Simulator sim(scenario.base_supply, 0, ExecutionMode::kPlanFollowing);
+  sim.schedule_churn(scenario.churn);
+
+  const auto arrivals = generator.make_arrivals(horizon * 2 / 3);
+  std::size_t next_join = 0;
+  std::size_t base_accepted = 0, donation_accepted = 0;
+
+  for (const Arrival& a : arrivals) {
+    // Donations that have announced themselves by now become plannable.
+    while (next_join < scenario.churn.size() &&
+           scenario.churn.events()[next_join].at <= a.at) {
+      ResourceSet joined;
+      joined.add(scenario.churn.events()[next_join].term);
+      with_donations.on_join(joined);
+      ++next_join;
+    }
+
+    if (base_only.request(a.computation, a.at).accepted) ++base_accepted;
+
+    AdmissionDecision d = with_donations.request(a.computation, a.at);
+    if (!d.accepted) continue;
+    ++donation_accepted;
+    sim.schedule_admission(
+        a.at, make_concurrent_requirement(generator.phi(), a.computation),
+        std::move(d.plan));
+  }
+
+  SimReport report = sim.run(horizon);
+
+  std::cout << "arrivals:                      " << arrivals.size() << "\n";
+  std::cout << "admitted on base supply only:  " << base_accepted << "\n";
+  std::cout << "admitted with donations:       " << donation_accepted << "\n";
+  std::cout << "deadline misses (donations):   " << report.missed() << "\n";
+  std::cout << "\nReasoning about donated intervals "
+            << (donation_accepted > base_accepted ? "unlocked extra work"
+                                                  : "changed nothing")
+            << " while keeping every admitted deadline"
+            << (report.missed() == 0 ? " — zero misses.\n" : " at risk!\n");
+  return report.missed() == 0 ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+#include "rota/admission/baselines.hpp"
+
+#include <algorithm>
+
+namespace rota {
+
+AdmissionDecision NaiveTotalQuantityStrategy::request(
+    const DistributedComputation& lambda, Tick now) {
+  AdmissionDecision decision;
+  const TimeInterval window(std::max(lambda.earliest_start(), now), lambda.deadline());
+  if (window.empty()) {
+    decision.reason = "deadline has already passed";
+    return decision;
+  }
+
+  const ConcurrentRequirement rho = make_concurrent_requirement(phi_, lambda);
+  DemandSet needed = rho.total_demand();
+  // Charge every overlapping booking's full demand against the window's pool.
+  for (const auto& booking : bookings_) {
+    if (booking.window.intersects(window)) needed.merge(booking.demand);
+  }
+  for (const auto& [type, q] : needed.amounts()) {
+    if (supply_.quantity(type, window) < q) {
+      decision.reason = "aggregate quantity of " + type.to_string() + " insufficient";
+      return decision;
+    }
+  }
+  bookings_.push_back(Booking{window, rho.total_demand()});
+  decision.accepted = true;
+  return decision;
+}
+
+AdmissionDecision OptimisticStrategy::request(const DistributedComputation& lambda,
+                                              Tick now) {
+  AdmissionDecision decision;
+  const TimeInterval window(std::max(lambda.earliest_start(), now), lambda.deadline());
+  if (window.empty()) {
+    decision.reason = "deadline has already passed";
+    return decision;
+  }
+  const ConcurrentRequirement rho = make_concurrent_requirement(phi_, lambda);
+  const DemandSet needed = rho.total_demand();
+  for (const auto& [type, q] : needed.amounts()) {
+    if (supply_.quantity(type, window) < q) {
+      decision.reason = "supply of " + type.to_string() + " insufficient";
+      return decision;
+    }
+  }
+  decision.accepted = true;
+  return decision;
+}
+
+AdmissionDecision AlwaysAdmitStrategy::request(const DistributedComputation& lambda,
+                                               Tick now) {
+  AdmissionDecision decision;
+  decision.accepted = now < lambda.deadline();
+  if (!decision.accepted) decision.reason = "deadline has already passed";
+  return decision;
+}
+
+}  // namespace rota

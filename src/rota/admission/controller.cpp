@@ -1,0 +1,45 @@
+#include "rota/admission/controller.hpp"
+
+#include <algorithm>
+
+namespace rota {
+
+AdmissionDecision RotaAdmissionController::request(const DistributedComputation& lambda,
+                                                   Tick now) {
+  return request(make_concurrent_requirement(phi_, lambda), now);
+}
+
+AdmissionDecision RotaAdmissionController::request(const ConcurrentRequirement& rho,
+                                                   Tick now) {
+  ledger_.advance_to(std::max(now, ledger_.now()));
+
+  AdmissionDecision decision;
+  const TimeInterval window(std::max(rho.window().start(), now), rho.window().end());
+  if (window.empty()) {
+    decision.reason = "deadline has already passed";
+    return decision;
+  }
+
+  // Re-clip the requirement in case the earliest start is already behind us.
+  std::vector<ComplexRequirement> clipped;
+  clipped.reserve(rho.actors().size());
+  for (const auto& a : rho.actors()) {
+    clipped.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
+  }
+  const ConcurrentRequirement effective(rho.name(), std::move(clipped), window);
+
+  auto plan = plan_concurrent(ledger_.residual().restricted(window), effective, policy_);
+  if (!plan) {
+    decision.reason = "no feasible plan over expiring resources";
+    return decision;
+  }
+  if (!ledger_.admit(rho.name(), window, *plan)) {
+    decision.reason = "plan no longer fits residual";  // defensive; not expected
+    return decision;
+  }
+  decision.accepted = true;
+  decision.plan = std::move(*plan);
+  return decision;
+}
+
+}  // namespace rota

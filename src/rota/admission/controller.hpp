@@ -1,0 +1,67 @@
+// The ROTA admission controller: Theorem 4 as an online service.
+//
+// On each request the controller derives ρ(Λ, s, d) via Φ, clips the window
+// to the present, plans it against the ledger's residual (= the expiring
+// resources of the committed path), and admits exactly when a plan exists.
+// Every admitted computation therefore has a concrete consumption plan that
+// provably fits alongside all earlier admissions — the deadline assurance
+// the paper is after.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rota/admission/ledger.hpp"
+#include "rota/computation/requirement.hpp"
+#include "rota/logic/planner.hpp"
+
+namespace rota {
+
+struct AdmissionDecision {
+  bool accepted = false;
+  std::optional<ConcurrentPlan> plan;  // present iff accepted
+  std::string reason;                  // human-readable rejection cause
+};
+
+class RotaAdmissionController {
+ public:
+  RotaAdmissionController(CostModel phi, ResourceSet initial_supply,
+                          PlanningPolicy policy = PlanningPolicy::kAsap,
+                          Tick now = 0)
+      : phi_(std::move(phi)),
+        ledger_(std::move(initial_supply), now),
+        policy_(policy) {}
+
+  /// Decides (Λ, s, d) at time `now`. Advances the ledger clock.
+  AdmissionDecision request(const DistributedComputation& lambda, Tick now);
+
+  /// Decides an already-derived requirement (for callers with their own Φ).
+  AdmissionDecision request(const ConcurrentRequirement& rho, Tick now);
+
+  /// Resource acquisition rule.
+  void on_join(const ResourceSet& joined) { ledger_.join(joined); }
+
+  /// Computation leave rule (only before the computation starts).
+  bool release(const std::string& name) { return ledger_.release(name); }
+
+  /// Gives away part of the uncommitted supply (CyberOrgs isolation); false
+  /// if the residual does not cover the slice.
+  bool carve(const ResourceSet& slice) { return ledger_.carve(slice); }
+
+  /// Absorbs another controller's supply and commitments (CyberOrgs
+  /// assimilation); the other controller is left empty.
+  void absorb(RotaAdmissionController&& other) {
+    ledger_.merge(std::move(other.ledger_));
+  }
+
+  const CommitmentLedger& ledger() const { return ledger_; }
+  const CostModel& phi() const { return phi_; }
+  PlanningPolicy policy() const { return policy_; }
+
+ private:
+  CostModel phi_;
+  CommitmentLedger ledger_;
+  PlanningPolicy policy_;
+};
+
+}  // namespace rota

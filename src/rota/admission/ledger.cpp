@@ -1,0 +1,70 @@
+#include "rota/admission/ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rota {
+
+void CommitmentLedger::join(const ResourceSet& joined) {
+  supply_ = supply_.unioned(joined);
+  residual_ = residual_.unioned(joined);
+}
+
+void CommitmentLedger::advance_to(Tick t) {
+  if (t < now_) throw std::logic_error("CommitmentLedger: time cannot move backwards");
+  now_ = t;
+}
+
+bool CommitmentLedger::admit(const std::string& name, const TimeInterval& window,
+                             const ConcurrentPlan& plan) {
+  auto next_residual = residual_.relative_complement(plan.usage_as_resources());
+  if (!next_residual) return false;
+  residual_ = std::move(*next_residual);
+  admitted_.push_back(AdmittedRecord{name, window, plan, now_});
+  return true;
+}
+
+bool CommitmentLedger::release(const std::string& name) {
+  auto it = std::find_if(admitted_.begin(), admitted_.end(),
+                         [&](const AdmittedRecord& r) { return r.name == name; });
+  if (it == admitted_.end()) return false;
+  if (now_ >= it->window.start()) {
+    throw std::logic_error("computation " + name +
+                           " has already started and may not leave");
+  }
+  residual_ = residual_.unioned(it->plan.usage_as_resources());
+  admitted_.erase(it);
+  return true;
+}
+
+bool CommitmentLedger::carve(const ResourceSet& slice) {
+  auto next_residual = residual_.relative_complement(slice);
+  if (!next_residual) return false;
+  auto next_supply = supply_.relative_complement(slice);
+  if (!next_supply) return false;  // residual ⊆ supply, so this cannot fail
+  residual_ = std::move(*next_residual);
+  supply_ = std::move(*next_supply);
+  return true;
+}
+
+void CommitmentLedger::merge(CommitmentLedger&& other) {
+  supply_ = supply_.unioned(other.supply_);
+  residual_ = residual_.unioned(other.residual_);
+  admitted_.insert(admitted_.end(),
+                   std::make_move_iterator(other.admitted_.begin()),
+                   std::make_move_iterator(other.admitted_.end()));
+  now_ = std::max(now_, other.now_);
+  other.supply_ = ResourceSet{};
+  other.residual_ = ResourceSet{};
+  other.admitted_.clear();
+}
+
+double CommitmentLedger::utilization(const LocatedType& type,
+                                     const TimeInterval& window) const {
+  const Quantity total = supply_.quantity(type, window);
+  if (total <= 0) return 0.0;
+  const Quantity free = residual_.quantity(type, window);
+  return 1.0 - static_cast<double>(free) / static_cast<double>(total);
+}
+
+}  // namespace rota

@@ -1,0 +1,78 @@
+// The commitment ledger: online bookkeeping behind Theorem 4.
+//
+// The ledger tracks total supply and the *residual* — supply minus the
+// consumption plans of every admitted computation. The residual is exactly
+// Θ_expire of the committed path (what would expire unused), so "plan the
+// newcomer against the residual, subtract its plan on success" is the online
+// form of Theorem 4's accommodation condition: existing commitments are
+// untouched by construction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/logic/planner.hpp"
+#include "rota/resource/resource_set.hpp"
+
+namespace rota {
+
+struct AdmittedRecord {
+  std::string name;
+  TimeInterval window;
+  ConcurrentPlan plan;
+  Tick admitted_at = 0;
+};
+
+class CommitmentLedger {
+ public:
+  CommitmentLedger() = default;
+  explicit CommitmentLedger(ResourceSet supply, Tick now = 0)
+      : supply_(supply), residual_(std::move(supply)), now_(now) {}
+
+  const ResourceSet& supply() const { return supply_; }
+  const ResourceSet& residual() const { return residual_; }
+  Tick now() const { return now_; }
+  const std::vector<AdmittedRecord>& admitted() const { return admitted_; }
+
+  /// Resource acquisition: new supply is immediately part of the residual.
+  void join(const ResourceSet& joined);
+
+  /// Clock advance. Monotonic; throws on retrograde time.
+  void advance_to(Tick t);
+
+  /// Records an admission whose plan was computed against residual();
+  /// subtracts the plan's usage. Returns false (ledger unchanged) if the
+  /// plan does not fit the residual — callers treat that as a rejection.
+  bool admit(const std::string& name, const TimeInterval& window,
+             const ConcurrentPlan& plan);
+
+  /// Computation leave rule: gives a not-yet-started computation's reserved
+  /// supply back to the residual. Throws if it has started (now >= s);
+  /// returns false if unknown.
+  bool release(const std::string& name);
+
+  /// Fraction of supply of `type` within `window` that is already planned
+  /// for (1 − residual/supply); 0 when there is no supply.
+  double utilization(const LocatedType& type, const TimeInterval& window) const;
+
+  /// Permanently removes `slice` from both supply and residual — the
+  /// resources leave this ledger's authority (CyberOrgs isolation). Returns
+  /// false (ledger unchanged) if the residual does not cover the slice:
+  /// already-committed resources cannot be given away.
+  bool carve(const ResourceSet& slice);
+
+  /// Absorbs another ledger: supply, residual and admitted records merge
+  /// (CyberOrgs assimilation). The other ledger is left empty.
+  void merge(CommitmentLedger&& other);
+
+  std::size_t admitted_count() const { return admitted_.size(); }
+
+ private:
+  ResourceSet supply_;
+  ResourceSet residual_;
+  std::vector<AdmittedRecord> admitted_;
+  Tick now_ = 0;
+};
+
+}  // namespace rota

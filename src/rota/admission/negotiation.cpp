@@ -1,0 +1,121 @@
+#include "rota/admission/negotiation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rota/admission/controller.hpp"
+
+namespace rota {
+
+namespace {
+
+ConcurrentRequirement with_window(const ConcurrentRequirement& rho,
+                                  const TimeInterval& window) {
+  std::vector<ComplexRequirement> actors;
+  actors.reserve(rho.actors().size());
+  for (const auto& a : rho.actors()) {
+    actors.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
+  }
+  return ConcurrentRequirement(rho.name(), std::move(actors), window);
+}
+
+}  // namespace
+
+std::optional<Tick> earliest_feasible_deadline(const ResourceSet& available,
+                                               const ConcurrentRequirement& rho,
+                                               Tick latest, PlanningPolicy policy) {
+  const Tick start = rho.window().start();
+  if (latest <= start) {
+    throw std::invalid_argument("earliest_feasible_deadline: latest must follow s");
+  }
+  // ASAP feasibility is monotone in d: a plan for d also works for d' > d.
+  if (!plan_concurrent(available, with_window(rho, TimeInterval(start, latest)),
+                       policy)) {
+    return std::nullopt;
+  }
+  Tick lo = start + 1, hi = latest;  // invariant: hi is feasible
+  while (lo < hi) {
+    const Tick mid = lo + (hi - lo) / 2;
+    if (plan_concurrent(available, with_window(rho, TimeInterval(start, mid)),
+                        policy)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+std::optional<Tick> latest_feasible_start(const ResourceSet& available,
+                                          const ConcurrentRequirement& rho,
+                                          PlanningPolicy policy) {
+  const Tick deadline = rho.window().end();
+  auto feasible_from = [&](Tick s) {
+    return plan_concurrent(available, with_window(rho, TimeInterval(s, deadline)),
+                           policy)
+        .has_value();
+  };
+  if (!feasible_from(rho.window().start())) return std::nullopt;
+  // Shrinking the window from the left is monotone the other way: if start s
+  // fails, every later start fails too.
+  Tick lo = rho.window().start(), hi = deadline - 1;  // invariant: lo is feasible
+  while (lo < hi) {
+    const Tick mid = lo + (hi - lo + 1) / 2;
+    if (feasible_from(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+CounterOffer request_with_counter_offer(RotaAdmissionController& controller,
+                                        const ConcurrentRequirement& rho, Tick now,
+                                        Tick max_deadline) {
+  CounterOffer offer;
+  offer.decision = controller.request(rho, now);
+  if (offer.decision.accepted) return offer;
+  if (max_deadline <= rho.window().end()) return offer;  // nothing to offer
+
+  // Probe the residual for the smallest workable extension. The probe window
+  // starts where the controller would clip: max(s, now).
+  const Tick start = std::max(rho.window().start(), now);
+  if (start >= max_deadline) return offer;
+  std::vector<ComplexRequirement> actors;
+  actors.reserve(rho.actors().size());
+  for (const auto& a : rho.actors()) {
+    actors.emplace_back(a.actor(), a.phases(), TimeInterval(start, max_deadline),
+                        a.rate_cap());
+  }
+  const ConcurrentRequirement probe(rho.name(), std::move(actors),
+                                    TimeInterval(start, max_deadline));
+  auto d = earliest_feasible_deadline(
+      controller.ledger().residual().restricted(probe.window()), probe,
+      max_deadline, controller.policy());
+  // Only offer genuine extensions (a d inside the original window would
+  // contradict the rejection; guard against boundary effects).
+  if (d && *d > rho.window().end()) offer.suggested_deadline = d;
+  return offer;
+}
+
+std::vector<ConcurrentPlan> admissible_copies(const ResourceSet& available,
+                                              const ConcurrentRequirement& rho,
+                                              std::size_t max_copies,
+                                              PlanningPolicy policy) {
+  std::vector<ConcurrentPlan> plans;
+  ResourceSet residual = available;
+  for (std::size_t i = 0; i < max_copies; ++i) {
+    auto plan = plan_concurrent(residual, rho, policy);
+    if (!plan) break;
+    auto next = residual.relative_complement(plan->usage_as_resources());
+    if (!next) {
+      throw std::logic_error("admissible_copies: plan exceeded residual");
+    }
+    residual = std::move(*next);
+    plans.push_back(std::move(*plan));
+  }
+  return plans;
+}
+
+}  // namespace rota

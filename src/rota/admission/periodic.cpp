@@ -1,0 +1,70 @@
+#include "rota/admission/periodic.hpp"
+
+#include <stdexcept>
+
+namespace rota {
+
+std::vector<DistributedComputation> expand_periodic(const DistributedComputation& task,
+                                                    Tick period, std::size_t count) {
+  if (period < 1) throw std::invalid_argument("periodic: period must be >= 1");
+  if (count < 1) throw std::invalid_argument("periodic: count must be >= 1");
+  std::vector<DistributedComputation> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const Tick shift = static_cast<Tick>(k) * period;
+    out.emplace_back(task.name() + "#" + std::to_string(k), task.actors(),
+                     task.earliest_start() + shift, task.deadline() + shift);
+  }
+  return out;
+}
+
+PeriodicAdmission admit_periodic(RotaAdmissionController& controller,
+                                 const DistributedComputation& task, Tick period,
+                                 std::size_t count, Tick now) {
+  // All-or-nothing needs rollback, and the computation-leave rule only
+  // permits releasing computations that have not started — so the first
+  // release must still be in the future when a later instance fails.
+  if (task.earliest_start() <= now) {
+    throw std::invalid_argument(
+        "admit_periodic: the series must start strictly after `now` so that "
+        "rollback (the leave rule) stays legal");
+  }
+  PeriodicAdmission result;
+  const auto instances = expand_periodic(task, period, count);
+  std::vector<std::string> admitted_names;
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    AdmissionDecision d = controller.request(instances[k], now);
+    if (!d.accepted) {
+      result.failed_instance = k;
+      result.reason = d.reason;
+      // Roll back: none of the earlier instances has started (their windows
+      // lie in the future of `now` by construction when s > now; if the
+      // first window already began, release will throw — surface that).
+      for (auto it = admitted_names.rbegin(); it != admitted_names.rend(); ++it) {
+        controller.release(*it);
+      }
+      result.plans.clear();
+      return result;
+    }
+    admitted_names.push_back(instances[k].name());
+    result.plans.push_back(std::move(*d.plan));
+  }
+  result.accepted = true;
+  return result;
+}
+
+std::size_t sustainable_instances(const RotaAdmissionController& controller,
+                                  const DistributedComputation& task, Tick period,
+                                  std::size_t max_count, Tick now) {
+  RotaAdmissionController probe = controller;  // never mutate the caller's
+  const auto instances = expand_periodic(task, period, std::max<std::size_t>(1, max_count));
+  std::size_t sustained = 0;
+  for (const auto& instance : instances) {
+    if (sustained >= max_count) break;
+    if (!probe.request(instance, now).accepted) break;
+    ++sustained;
+  }
+  return sustained;
+}
+
+}  // namespace rota

@@ -1,0 +1,52 @@
+// Periodic computations: the classic real-time workload shape, expressed in
+// ROTA's vocabulary.
+//
+// A periodic task is a template computation released every `period` ticks:
+// instance k runs in window [s + k·period, d + k·period). Because ROTA
+// requirements carry their windows explicitly, periodicity is pure
+// expansion — every instance is an ordinary DistributedComputation, and
+// admission of the whole series is Theorem 4 applied instance by instance
+// (all-or-nothing: a series you cannot sustain should not start).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rota/admission/controller.hpp"
+#include "rota/computation/actor_computation.hpp"
+
+namespace rota {
+
+/// Instances k = 0 … count-1 of `task`, each shifted by k·period. Instance
+/// names get a "#k" suffix. Requires period >= 1 and count >= 1. Note that
+/// period may be smaller than the window length — instances then overlap,
+/// which is legal (the planner simply fits them side by side).
+std::vector<DistributedComputation> expand_periodic(const DistributedComputation& task,
+                                                    Tick period, std::size_t count);
+
+/// Outcome of admitting a periodic series.
+struct PeriodicAdmission {
+  bool accepted = false;
+  std::vector<ConcurrentPlan> plans;  // one per instance when accepted
+  std::size_t failed_instance = 0;    // first instance that did not fit
+  std::string reason;                 // its rejection reason
+};
+
+/// All-or-nothing admission of the series: every instance is planned against
+/// the controller's residual; if any fails, earlier instances are released
+/// and the controller is left exactly as found. Requires
+/// task.earliest_start() > now (throws otherwise): rollback uses the
+/// computation-leave rule, which is only legal before a computation starts.
+PeriodicAdmission admit_periodic(RotaAdmissionController& controller,
+                                 const DistributedComputation& task, Tick period,
+                                 std::size_t count, Tick now);
+
+/// The largest sustainable instance count within [0, max_count]: admits
+/// nothing (probes a copy of the controller), just reports how far the
+/// series could go. Useful for rate negotiation ("how often can you run
+/// this?").
+std::size_t sustainable_instances(const RotaAdmissionController& controller,
+                                  const DistributedComputation& task, Tick period,
+                                  std::size_t max_count, Tick now);
+
+}  // namespace rota

@@ -1,0 +1,110 @@
+#include "rota/advisor/migration_advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+std::string placement_kind_name(PlacementKind k) {
+  switch (k) {
+    case PlacementKind::kStay: return "stay";
+    case PlacementKind::kMigrateOnce: return "migrate-once";
+    case PlacementKind::kMigrateAndReturn: return "migrate-and-return";
+  }
+  throw std::invalid_argument("invalid PlacementKind");
+}
+
+std::string PlacementOption::to_string() const {
+  std::ostringstream out;
+  out << placement_kind_name(kind);
+  if (kind != PlacementKind::kStay) out << " via " << site.name();
+  if (feasible) {
+    out << " (finish t=" << finish << ')';
+  } else {
+    out << " (infeasible)";
+  }
+  return out.str();
+}
+
+ActorComputation MigrationAdvisor::materialize(const WorkSpec& spec,
+                                               PlacementKind kind,
+                                               Location site) const {
+  if (spec.chunk_weights.empty()) {
+    throw std::invalid_argument("WorkSpec needs at least one chunk");
+  }
+  ActorComputationBuilder builder(spec.actor, spec.home);
+  switch (kind) {
+    case PlacementKind::kStay:
+      for (std::int64_t w : spec.chunk_weights) builder.evaluate(w);
+      builder.ready();
+      break;
+    case PlacementKind::kMigrateOnce:
+      builder.migrate(site, spec.state_size);
+      for (std::int64_t w : spec.chunk_weights) builder.evaluate(w);
+      builder.ready();
+      break;
+    case PlacementKind::kMigrateAndReturn:
+      builder.migrate(site, spec.state_size);
+      for (std::size_t i = 0; i + 1 < spec.chunk_weights.size(); ++i) {
+        builder.evaluate(spec.chunk_weights[i]);
+      }
+      builder.migrate(spec.home, spec.state_size);
+      builder.evaluate(spec.chunk_weights.back());
+      builder.ready();
+      break;
+  }
+  return std::move(builder).build();
+}
+
+PlacementOption MigrationAdvisor::assess(const ResourceSet& supply,
+                                         const WorkSpec& spec, PlacementKind kind,
+                                         Location site) const {
+  PlacementOption option;
+  option.kind = kind;
+  option.site = site;
+  option.computation = materialize(spec, kind, site);
+
+  const ComplexRequirement rho = make_complex_requirement(
+      phi_, option.computation, TimeInterval(spec.earliest_start, spec.deadline));
+  auto plan = plan_actor(supply, rho, policy_);
+  if (plan) {
+    option.feasible = true;
+    option.finish = plan->finish;
+    option.plan = std::move(*plan);
+  }
+  return option;
+}
+
+std::vector<PlacementOption> MigrationAdvisor::evaluate(
+    const ResourceSet& supply, const WorkSpec& spec,
+    const std::vector<Location>& sites) const {
+  if (spec.deadline <= spec.earliest_start) {
+    throw std::invalid_argument("WorkSpec deadline must follow its earliest start");
+  }
+  std::vector<PlacementOption> options;
+  options.push_back(assess(supply, spec, PlacementKind::kStay, spec.home));
+  for (const Location& site : sites) {
+    if (site == spec.home) continue;
+    options.push_back(assess(supply, spec, PlacementKind::kMigrateOnce, site));
+    if (spec.chunk_weights.size() > 1) {
+      options.push_back(assess(supply, spec, PlacementKind::kMigrateAndReturn, site));
+    }
+  }
+  std::stable_sort(options.begin(), options.end(),
+                   [](const PlacementOption& a, const PlacementOption& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.feasible && a.finish < b.finish;
+                   });
+  return options;
+}
+
+std::optional<PlacementOption> MigrationAdvisor::best(
+    const ResourceSet& supply, const WorkSpec& spec,
+    const std::vector<Location>& sites) const {
+  std::vector<PlacementOption> options = evaluate(supply, spec, sites);
+  if (options.empty() || !options.front().feasible) return std::nullopt;
+  return std::move(options.front());
+}
+
+}  // namespace rota

@@ -1,0 +1,83 @@
+// Migration choice reasoning — the paper's second future-work direction.
+//
+// §VI: "an actor could continue to execute at its current location or
+// migrate elsewhere, carry out part of its computation, and then return and
+// resume. Comparing these choices presents some interesting challenges."
+// The advisor makes the comparison mechanical: given work expressed as
+// location-independent chunks, it materializes the candidate behaviours —
+// stay home, migrate once, or migrate / work / return — runs each through
+// the planner, and ranks the feasible ones by earliest finish. This is the
+// paper's "computations choosing between various courses of action, allowing
+// them to avoid attempting infeasible pursuits" made executable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/computation/cost_model.hpp"
+#include "rota/computation/requirement.hpp"
+#include "rota/logic/planner.hpp"
+
+namespace rota {
+
+/// Location-independent description of the work an actor must get done:
+/// evaluation chunks (in order) plus the deadline constraint.
+struct WorkSpec {
+  std::string actor;
+  Location home;
+  std::vector<std::int64_t> chunk_weights;  // evaluate() weights, in order
+  std::int64_t state_size = 1;              // migration payload
+  Tick earliest_start = 0;
+  Tick deadline = 0;
+};
+
+enum class PlacementKind {
+  kStay,              // all chunks at home
+  kMigrateOnce,       // hop to a site, finish there
+  kMigrateAndReturn,  // hop, run all but the last chunk, hop back, finish home
+};
+
+std::string placement_kind_name(PlacementKind k);
+
+struct PlacementOption {
+  PlacementKind kind = PlacementKind::kStay;
+  Location site;                  // == home for kStay
+  ActorComputation computation;   // the materialized behaviour
+  bool feasible = false;
+  Tick finish = 0;                // valid when feasible
+  std::optional<ActorPlan> plan;  // valid when feasible
+
+  std::string to_string() const;
+};
+
+class MigrationAdvisor {
+ public:
+  explicit MigrationAdvisor(CostModel phi,
+                            PlanningPolicy policy = PlanningPolicy::kAsap)
+      : phi_(std::move(phi)), policy_(policy) {}
+
+  /// Materializes one candidate behaviour.
+  ActorComputation materialize(const WorkSpec& spec, PlacementKind kind,
+                               Location site) const;
+
+  /// Evaluates every candidate: stay home, plus migrate-once and
+  /// migrate-and-return for each listed site. Options are returned ranked —
+  /// feasible ones first by finish time, infeasible ones after.
+  std::vector<PlacementOption> evaluate(const ResourceSet& supply,
+                                        const WorkSpec& spec,
+                                        const std::vector<Location>& sites) const;
+
+  /// The winning option, if any course of action meets the deadline.
+  std::optional<PlacementOption> best(const ResourceSet& supply, const WorkSpec& spec,
+                                      const std::vector<Location>& sites) const;
+
+ private:
+  PlacementOption assess(const ResourceSet& supply, const WorkSpec& spec,
+                         PlacementKind kind, Location site) const;
+
+  CostModel phi_;
+  PlanningPolicy policy_;
+};
+
+}  // namespace rota

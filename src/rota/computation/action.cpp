@@ -1,0 +1,34 @@
+#include "rota/computation/action.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+std::string action_kind_name(ActionKind k) {
+  switch (k) {
+    case ActionKind::kEvaluate: return "evaluate";
+    case ActionKind::kSend: return "send";
+    case ActionKind::kCreate: return "create";
+    case ActionKind::kReady: return "ready";
+    case ActionKind::kMigrate: return "migrate";
+  }
+  throw std::invalid_argument("invalid ActionKind");
+}
+
+std::string Action::to_string() const {
+  std::ostringstream out;
+  out << action_kind_name(kind) << "@" << at.name();
+  if (kind == ActionKind::kSend || kind == ActionKind::kMigrate) {
+    out << "->" << to.name();
+  }
+  if (size != 1) out << " size=" << size;
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Action& a) {
+  return os << a.to_string();
+}
+
+}  // namespace rota

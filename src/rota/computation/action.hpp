@@ -1,0 +1,60 @@
+// Actor actions.
+//
+// ROTA views a distributed computation through the actor model: an actor's
+// behaviour is a sequence of five primitive kinds of action — evaluate an
+// expression, send a message, create an actor, become ready for the next
+// message, or migrate to another location. ROTA abstracts away everything
+// about an action except the resources it needs, which the CostModel (Φ)
+// derives from the fields recorded here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "rota/resource/located_type.hpp"
+
+namespace rota {
+
+enum class ActionKind : std::uint8_t {
+  kEvaluate = 0,  // local computation of some weight
+  kSend,          // message to another actor (possibly co-located)
+  kCreate,        // spawn a new actor locally
+  kReady,         // finish processing, accept next message
+  kMigrate,       // serialize, ship, resume at another location
+};
+
+std::string action_kind_name(ActionKind k);
+
+/// One action, annotated with where the actor is when it executes (`at`) and,
+/// for send/migrate, the other endpoint (`to`). The `size` field scales cost:
+/// expression weight for evaluate, message size for send, behaviour size for
+/// create, state size for migrate; unused (1) for ready.
+struct Action {
+  ActionKind kind = ActionKind::kEvaluate;
+  Location at;
+  Location to;  // == at unless kind is kSend or kMigrate
+  std::int64_t size = 1;
+
+  static Action evaluate(Location at, std::int64_t weight = 1) {
+    return {ActionKind::kEvaluate, at, at, weight};
+  }
+  static Action send(Location from, Location to, std::int64_t message_size = 1) {
+    return {ActionKind::kSend, from, to, message_size};
+  }
+  static Action create(Location at, std::int64_t behaviour_size = 1) {
+    return {ActionKind::kCreate, at, at, behaviour_size};
+  }
+  static Action ready(Location at) { return {ActionKind::kReady, at, at, 1}; }
+  static Action migrate(Location from, Location to, std::int64_t state_size = 1) {
+    return {ActionKind::kMigrate, from, to, state_size};
+  }
+
+  bool operator==(const Action&) const = default;
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Action& a);
+
+}  // namespace rota

@@ -1,0 +1,81 @@
+#include "rota/computation/actor_computation.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+std::string ActorComputation::to_string() const {
+  std::ostringstream out;
+  out << actor_ << ": [";
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << actions_[i].to_string();
+  }
+  out << ']';
+  return out.str();
+}
+
+ActorComputationBuilder& ActorComputationBuilder::evaluate(std::int64_t weight) {
+  actions_.push_back(Action::evaluate(here_, weight));
+  return *this;
+}
+
+ActorComputationBuilder& ActorComputationBuilder::send(Location to,
+                                                       std::int64_t message_size) {
+  actions_.push_back(Action::send(here_, to, message_size));
+  return *this;
+}
+
+ActorComputationBuilder& ActorComputationBuilder::create(std::int64_t behaviour_size) {
+  actions_.push_back(Action::create(here_, behaviour_size));
+  return *this;
+}
+
+ActorComputationBuilder& ActorComputationBuilder::ready() {
+  actions_.push_back(Action::ready(here_));
+  return *this;
+}
+
+ActorComputationBuilder& ActorComputationBuilder::migrate(Location to,
+                                                          std::int64_t state_size) {
+  actions_.push_back(Action::migrate(here_, to, state_size));
+  here_ = to;
+  return *this;
+}
+
+DistributedComputation::DistributedComputation(std::string name,
+                                               std::vector<ActorComputation> actors,
+                                               Tick earliest_start, Tick deadline)
+    : name_(std::move(name)),
+      actors_(std::move(actors)),
+      earliest_start_(earliest_start),
+      deadline_(deadline) {
+  if (deadline <= earliest_start) {
+    throw std::invalid_argument("computation " + name_ +
+                                ": deadline must lie after the earliest start");
+  }
+}
+
+std::size_t DistributedComputation::total_actions() const {
+  std::size_t n = 0;
+  for (const auto& g : actors_) n += g.action_count();
+  return n;
+}
+
+std::string DistributedComputation::to_string() const {
+  std::ostringstream out;
+  out << '(' << name_ << ", s=" << earliest_start_ << ", d=" << deadline_ << ", "
+      << actors_.size() << " actors, " << total_actions() << " actions)";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ActorComputation& g) {
+  return os << g.to_string();
+}
+std::ostream& operator<<(std::ostream& os, const DistributedComputation& c) {
+  return os << c.to_string();
+}
+
+}  // namespace rota

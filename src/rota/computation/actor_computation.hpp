@@ -1,0 +1,100 @@
+// Actor computations (Γ) and distributed computations (Λ, s, d).
+//
+// An actor computation is a named, strictly ordered action sequence: an
+// action is *possible* only when all of its predecessors have completed
+// (Definition 1). A distributed computation bundles independent actor
+// computations with an earliest start s and a deadline d.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rota/computation/action.hpp"
+#include "rota/time/interval.hpp"
+
+namespace rota {
+
+class ActorComputation {
+ public:
+  ActorComputation() = default;
+  ActorComputation(std::string actor, std::vector<Action> actions)
+      : actor_(std::move(actor)), actions_(std::move(actions)) {}
+
+  const std::string& actor() const { return actor_; }
+  const std::vector<Action>& actions() const { return actions_; }
+  std::size_t action_count() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+
+  void append(const Action& a) { actions_.push_back(a); }
+
+  /// Definition 1: action `index` is possible once `completed` predecessors
+  /// are done (i.e. completed == index).
+  bool is_possible(std::size_t index, std::size_t completed) const {
+    return index < actions_.size() && completed == index;
+  }
+
+  bool operator==(const ActorComputation&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::string actor_;
+  std::vector<Action> actions_;
+};
+
+/// Fluent builder that tracks the actor's current location across migrations,
+/// so call sites read like the behaviour script the paper describes.
+class ActorComputationBuilder {
+ public:
+  ActorComputationBuilder(std::string actor, Location start_at)
+      : actor_(std::move(actor)), here_(start_at) {}
+
+  ActorComputationBuilder& evaluate(std::int64_t weight = 1);
+  ActorComputationBuilder& send(Location to, std::int64_t message_size = 1);
+  ActorComputationBuilder& create(std::int64_t behaviour_size = 1);
+  ActorComputationBuilder& ready();
+  ActorComputationBuilder& migrate(Location to, std::int64_t state_size = 1);
+
+  Location current_location() const { return here_; }
+  ActorComputation build() && { return ActorComputation(std::move(actor_), std::move(actions_)); }
+  ActorComputation build() const& { return ActorComputation(actor_, actions_); }
+
+ private:
+  std::string actor_;
+  Location here_;
+  std::vector<Action> actions_;
+};
+
+/// (Λ, s, d): independent actor computations that all may start at s and must
+/// finish by d. "Actors are created en masse at the beginning and never wait
+/// for messages from other actors."
+class DistributedComputation {
+ public:
+  DistributedComputation() = default;
+  DistributedComputation(std::string name, std::vector<ActorComputation> actors,
+                         Tick earliest_start, Tick deadline);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ActorComputation>& actors() const { return actors_; }
+  Tick earliest_start() const { return earliest_start_; }
+  Tick deadline() const { return deadline_; }
+  TimeInterval window() const { return TimeInterval(earliest_start_, deadline_); }
+
+  std::size_t total_actions() const;
+
+  bool operator==(const DistributedComputation&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<ActorComputation> actors_;
+  Tick earliest_start_ = 0;
+  Tick deadline_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ActorComputation& g);
+std::ostream& operator<<(std::ostream& os, const DistributedComputation& c);
+
+}  // namespace rota

@@ -1,0 +1,64 @@
+#include "rota/computation/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace rota {
+
+void CostModel::set_cpu_multiplier(Location at, std::int64_t multiplier) {
+  if (multiplier <= 0) throw std::invalid_argument("cpu multiplier must be positive");
+  cpu_multiplier_[at] = multiplier;
+}
+
+Quantity CostModel::scaled_cpu(Location at, Quantity base) const {
+  auto it = cpu_multiplier_.find(at);
+  return it == cpu_multiplier_.end() ? base : base * it->second;
+}
+
+DemandSet CostModel::cost(const Action& action) const {
+  DemandSet out;
+  switch (action.kind) {
+    case ActionKind::kEvaluate:
+      out.add(LocatedType::cpu(action.at),
+              scaled_cpu(action.at, params_.evaluate_per_weight * action.size));
+      break;
+    case ActionKind::kSend:
+      if (action.at == action.to) {
+        out.add(LocatedType::cpu(action.at),
+                scaled_cpu(action.at, params_.local_send_cpu));
+      } else {
+        out.add(LocatedType::network(action.at, action.to),
+                params_.send_base + params_.send_per_size * (action.size - 1));
+      }
+      break;
+    case ActionKind::kCreate:
+      out.add(LocatedType::cpu(action.at),
+              scaled_cpu(action.at, params_.create_base +
+                                        params_.create_per_size * (action.size - 1)));
+      break;
+    case ActionKind::kReady:
+      out.add(LocatedType::cpu(action.at), scaled_cpu(action.at, params_.ready_cost));
+      break;
+    case ActionKind::kMigrate: {
+      if (action.at == action.to) {
+        throw std::invalid_argument("migrate requires a distinct destination");
+      }
+      out.add(LocatedType::cpu(action.at),
+              scaled_cpu(action.at, params_.migrate_cpu_each_side));
+      out.add(LocatedType::network(action.at, action.to),
+              params_.migrate_network_base +
+                  params_.migrate_network_per_size * (action.size - 1));
+      out.add(LocatedType::cpu(action.to),
+              scaled_cpu(action.to, params_.migrate_cpu_each_side));
+      break;
+    }
+  }
+  return out;
+}
+
+DemandSet CostModel::total_cost(const std::vector<Action>& actions) const {
+  DemandSet out;
+  for (const auto& a : actions) out.merge(cost(a));
+  return out;
+}
+
+}  // namespace rota

@@ -1,0 +1,65 @@
+// The cost function Φ: actions → located resource demands.
+//
+// The paper posits a function Φ that, given an actor and the computation it
+// is to perform, returns the required resource amounts, and notes (footnote
+// 3) that estimates suffice in practice. This CostModel is that estimator:
+// deterministic, configurable per action kind, with size scaling and optional
+// per-location CPU cost multipliers for heterogeneous nodes. Default
+// parameters reproduce the paper's §IV worked examples:
+//   Φ(a1, send(a2, m))  = {4}_<network, l(a1)->l(a2)>
+//   Φ(a1, evaluate(e))  = {8}_<cpu, l(a1)>
+//   Φ(a1, create(b))    = {5}_<cpu, l(a1)>
+//   Φ(a1, ready(b))     = {1}_<cpu, l(a1)>
+//   Φ(a1, migrate(l2))  = {3}_<cpu, l(a1)>, {6}_<network, l(a1)->l2>, {3}_<cpu, l2>
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rota/computation/action.hpp"
+#include "rota/resource/demand.hpp"
+
+namespace rota {
+
+struct CostParameters {
+  // Per-unit-size costs; the paper's examples use size 1 throughout.
+  Quantity evaluate_per_weight = 8;
+  Quantity send_base = 4;          // network units for a remote send of size 1
+  Quantity send_per_size = 0;      // extra network units per additional size unit
+  Quantity local_send_cpu = 1;     // co-located delivery costs a little cpu instead
+  Quantity create_base = 5;
+  Quantity create_per_size = 0;
+  Quantity ready_cost = 1;
+  Quantity migrate_cpu_each_side = 3;  // serialize / deserialize
+  Quantity migrate_network_base = 6;
+  Quantity migrate_network_per_size = 0;
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  explicit CostModel(CostParameters params) : params_(params) {}
+
+  const CostParameters& parameters() const { return params_; }
+
+  /// CPU work at `at` costs `multiplier` × the homogeneous amount (slower
+  /// nodes need more delivered cycles; multiplier must be >= 1... strictly,
+  /// just positive).
+  void set_cpu_multiplier(Location at, std::int64_t multiplier);
+
+  /// Φ(a, γ): the resources action γ requires. The actor's identity enters
+  /// only through the action's recorded locations, matching the paper's use.
+  DemandSet cost(const Action& action) const;
+
+  /// Total demand of an action sequence (order-insensitive aggregate).
+  DemandSet total_cost(const std::vector<Action>& actions) const;
+
+ private:
+  Quantity scaled_cpu(Location at, Quantity base) const;
+
+  CostParameters params_;
+  std::unordered_map<Location, std::int64_t> cpu_multiplier_;
+};
+
+}  // namespace rota

@@ -1,0 +1,191 @@
+#include "rota/computation/interaction.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+SegmentedActorBuilder& SegmentedActorBuilder::evaluate(std::int64_t weight) {
+  current_.push_back(Action::evaluate(here_, weight));
+  return *this;
+}
+
+SegmentedActorBuilder& SegmentedActorBuilder::send(Location to,
+                                                   std::int64_t message_size) {
+  current_.push_back(Action::send(here_, to, message_size));
+  return *this;
+}
+
+SegmentedActorBuilder& SegmentedActorBuilder::create(std::int64_t behaviour_size) {
+  current_.push_back(Action::create(here_, behaviour_size));
+  return *this;
+}
+
+SegmentedActorBuilder& SegmentedActorBuilder::ready() {
+  current_.push_back(Action::ready(here_));
+  return *this;
+}
+
+SegmentedActorBuilder& SegmentedActorBuilder::migrate(Location to,
+                                                      std::int64_t state_size) {
+  current_.push_back(Action::migrate(here_, to, state_size));
+  here_ = to;
+  return *this;
+}
+
+std::size_t SegmentedActorBuilder::await() {
+  closed_.push_back(std::move(current_));
+  current_.clear();
+  return closed_.size() - 1;
+}
+
+SegmentedActor SegmentedActorBuilder::build() && {
+  if (!current_.empty()) closed_.push_back(std::move(current_));
+  return SegmentedActor(std::move(actor_), std::move(closed_));
+}
+
+namespace {
+
+/// Node index of (actor, segment) in actor-major order.
+std::size_t node_index(const std::vector<SegmentedActor>& actors, std::size_t actor,
+                       std::size_t segment) {
+  std::size_t base = 0;
+  for (std::size_t a = 0; a < actor; ++a) base += actors[a].segment_count();
+  return base + segment;
+}
+
+/// Depth-first cycle check over the dependency graph (intra-actor order plus
+/// message gates).
+bool has_cycle(const std::vector<std::vector<std::size_t>>& waits) {
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> marks(waits.size(), Mark::kWhite);
+
+  // Iterative DFS; an edge into a grey node closes a cycle.
+  for (std::size_t root = 0; root < waits.size(); ++root) {
+    if (marks[root] != Mark::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    marks[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [node, next_edge] = stack.back();
+      if (next_edge < waits[node].size()) {
+        const std::size_t dep = waits[node][next_edge++];
+        if (marks[dep] == Mark::kGrey) return true;
+        if (marks[dep] == Mark::kWhite) {
+          marks[dep] = Mark::kGrey;
+          stack.emplace_back(dep, 0);
+        }
+      } else {
+        marks[node] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<std::size_t>> dependency_lists(
+    const std::vector<SegmentedActor>& actors,
+    const std::vector<MessageDependency>& dependencies) {
+  std::size_t total = 0;
+  for (const auto& a : actors) total += a.segment_count();
+  std::vector<std::vector<std::size_t>> waits(total);
+
+  // Intra-actor sequencing: each segment waits for its predecessor.
+  for (std::size_t a = 0; a < actors.size(); ++a) {
+    for (std::size_t s = 1; s < actors[a].segment_count(); ++s) {
+      waits[node_index(actors, a, s)].push_back(node_index(actors, a, s - 1));
+    }
+  }
+  // Cross-actor message gates.
+  for (const auto& d : dependencies) {
+    waits[node_index(actors, d.to_actor, d.to_segment)].push_back(
+        node_index(actors, d.from_actor, d.from_segment));
+  }
+  return waits;
+}
+
+}  // namespace
+
+InteractingComputation::InteractingComputation(
+    std::string name, std::vector<SegmentedActor> actors,
+    std::vector<MessageDependency> dependencies, Tick earliest_start, Tick deadline)
+    : name_(std::move(name)),
+      actors_(std::move(actors)),
+      dependencies_(std::move(dependencies)),
+      earliest_start_(earliest_start),
+      deadline_(deadline) {
+  if (deadline_ <= earliest_start_) {
+    throw std::invalid_argument("computation " + name_ +
+                                ": deadline must lie after the earliest start");
+  }
+  for (const auto& d : dependencies_) {
+    if (d.from_actor >= actors_.size() || d.to_actor >= actors_.size() ||
+        d.from_segment >= actors_[d.from_actor].segment_count() ||
+        d.to_segment >= actors_[d.to_actor].segment_count()) {
+      throw std::invalid_argument("computation " + name_ +
+                                  ": dependency references a missing segment");
+    }
+    if (d.from_actor == d.to_actor && d.from_segment >= d.to_segment) {
+      throw std::invalid_argument(
+          "computation " + name_ +
+          ": intra-actor dependency must point forward in the segment order");
+    }
+  }
+  if (has_cycle(dependency_lists(actors_, dependencies_))) {
+    throw std::invalid_argument("computation " + name_ +
+                                ": dependency cycle — actors wait on each other "
+                                "forever");
+  }
+}
+
+std::size_t InteractingComputation::total_segments() const {
+  std::size_t n = 0;
+  for (const auto& a : actors_) n += a.segment_count();
+  return n;
+}
+
+std::string InteractingComputation::to_string() const {
+  std::ostringstream out;
+  out << '(' << name_ << ", s=" << earliest_start_ << ", d=" << deadline_ << ", "
+      << actors_.size() << " actors / " << total_segments() << " segments, "
+      << dependencies_.size() << " message gates)";
+  return out.str();
+}
+
+DemandSet DagRequirement::total_demand() const {
+  DemandSet out;
+  for (const auto& node : nodes) out.merge(node.requirement.total_demand());
+  return out;
+}
+
+DagRequirement make_dag_requirement(const CostModel& phi,
+                                    const InteractingComputation& computation) {
+  DagRequirement dag;
+  dag.name = computation.name();
+  dag.window = computation.window();
+
+  const auto waits = dependency_lists(computation.actors(), computation.dependencies());
+  std::size_t node = 0;
+  for (std::size_t a = 0; a < computation.actors().size(); ++a) {
+    const SegmentedActor& actor = computation.actors()[a];
+    for (std::size_t s = 0; s < actor.segment_count(); ++s, ++node) {
+      SegmentRequirement req;
+      req.actor_index = a;
+      req.segment_index = s;
+      req.requirement = ComplexRequirement(
+          actor.actor() + "#" + std::to_string(s),
+          decompose_phases(phi, actor.segments()[s]), computation.window());
+      req.waits_for = waits[node];
+      dag.nodes.push_back(std::move(req));
+    }
+  }
+  return dag;
+}
+
+std::ostream& operator<<(std::ostream& os, const InteractingComputation& c) {
+  return os << c.to_string();
+}
+
+}  // namespace rota

@@ -1,0 +1,140 @@
+// Interacting actor computations — the paper's first future-work direction.
+//
+// §VI: "it would be better to break down an actor's computation into
+// sequences of independent computations separated by states in which it is
+// waiting to hear back from a blocking operation." This module does exactly
+// that: an actor's behaviour becomes a sequence of *segments* (independent
+// action runs), and cross-actor message dependencies gate when a segment may
+// start — segment t of actor B that processes a message from actor A cannot
+// begin before A's sending segment has completed. The result is a DAG of
+// complex requirements; rota/logic/dag_planner.hpp plans it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rota/computation/actor_computation.hpp"
+#include "rota/computation/cost_model.hpp"
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+
+/// One actor whose behaviour is split into blocking-operation-separated
+/// segments. Within a segment, actions are strictly ordered as usual; between
+/// segments the actor is waiting (consuming nothing).
+class SegmentedActor {
+ public:
+  SegmentedActor() = default;
+  SegmentedActor(std::string actor, std::vector<std::vector<Action>> segments)
+      : actor_(std::move(actor)), segments_(std::move(segments)) {}
+
+  const std::string& actor() const { return actor_; }
+  const std::vector<std::vector<Action>>& segments() const { return segments_; }
+  std::size_t segment_count() const { return segments_.size(); }
+
+  bool operator==(const SegmentedActor&) const = default;
+
+ private:
+  std::string actor_;
+  std::vector<std::vector<Action>> segments_;
+};
+
+/// Builder that grows an actor segment by segment: record actions, then call
+/// await() at each blocking point to close the current segment.
+class SegmentedActorBuilder {
+ public:
+  SegmentedActorBuilder(std::string actor, Location start_at)
+      : actor_(std::move(actor)), here_(start_at) {}
+
+  SegmentedActorBuilder& evaluate(std::int64_t weight = 1);
+  SegmentedActorBuilder& send(Location to, std::int64_t message_size = 1);
+  SegmentedActorBuilder& create(std::int64_t behaviour_size = 1);
+  SegmentedActorBuilder& ready();
+  SegmentedActorBuilder& migrate(Location to, std::int64_t state_size = 1);
+
+  /// Closes the current segment: the actor now blocks until a dependency
+  /// releases the next segment. Returns the index of the *closed* segment.
+  std::size_t await();
+
+  Location current_location() const { return here_; }
+  SegmentedActor build() &&;
+
+ private:
+  std::string actor_;
+  Location here_;
+  std::vector<std::vector<Action>> closed_;
+  std::vector<Action> current_;
+};
+
+/// "Segment `to_segment` of actor `to_actor` may start only after segment
+/// `from_segment` of actor `from_actor` has completed" — the message-arrival
+/// gate. Indices refer to the computation's actor list.
+struct MessageDependency {
+  std::size_t from_actor = 0;
+  std::size_t from_segment = 0;
+  std::size_t to_actor = 0;
+  std::size_t to_segment = 0;
+
+  bool operator==(const MessageDependency&) const = default;
+};
+
+/// (Λ, s, d) where Λ's actors interact through blocking messages.
+class InteractingComputation {
+ public:
+  InteractingComputation() = default;
+
+  /// Validates indices and rejects dependency cycles (a cyclic wait can
+  /// never complete) by throwing std::invalid_argument.
+  InteractingComputation(std::string name, std::vector<SegmentedActor> actors,
+                         std::vector<MessageDependency> dependencies,
+                         Tick earliest_start, Tick deadline);
+
+  const std::string& name() const { return name_; }
+  const std::vector<SegmentedActor>& actors() const { return actors_; }
+  const std::vector<MessageDependency>& dependencies() const { return dependencies_; }
+  Tick earliest_start() const { return earliest_start_; }
+  Tick deadline() const { return deadline_; }
+  TimeInterval window() const { return TimeInterval(earliest_start_, deadline_); }
+
+  std::size_t total_segments() const;
+
+  bool operator==(const InteractingComputation&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<SegmentedActor> actors_;
+  std::vector<MessageDependency> dependencies_;
+  Tick earliest_start_ = 0;
+  Tick deadline_ = 0;
+};
+
+/// A node of the derived requirement DAG: one segment's complex requirement
+/// plus the node indices it must wait for.
+struct SegmentRequirement {
+  std::size_t actor_index = 0;
+  std::size_t segment_index = 0;
+  ComplexRequirement requirement;  // window == the whole computation window
+  std::vector<std::size_t> waits_for;  // indices into the DAG's node list
+};
+
+/// The requirement DAG of an interacting computation under Φ. Nodes are in
+/// actor-major order (actor 0's segments first). Intra-actor sequencing is
+/// encoded as dependencies alongside the cross-actor message gates.
+struct DagRequirement {
+  std::string name;
+  TimeInterval window;
+  std::vector<SegmentRequirement> nodes;
+
+  DemandSet total_demand() const;
+};
+
+DagRequirement make_dag_requirement(const CostModel& phi,
+                                    const InteractingComputation& computation);
+
+std::ostream& operator<<(std::ostream& os, const InteractingComputation& c);
+
+}  // namespace rota

@@ -1,0 +1,114 @@
+#include "rota/computation/requirement.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace rota {
+
+std::string SimpleRequirement::to_string() const {
+  return "rho(" + demand_.to_string() + ", " + window_.to_string() + ")";
+}
+
+DemandSet ComplexRequirement::total_demand() const {
+  DemandSet out;
+  for (const auto& p : phases_) out.merge(p.demand);
+  return out;
+}
+
+std::string ComplexRequirement::to_string() const {
+  std::ostringstream out;
+  out << "rho(" << actor_ << ", " << window_.to_string() << "): ";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i != 0) out << " ; ";
+    out << phases_[i].demand.to_string();
+  }
+  return out.str();
+}
+
+DemandSet ConcurrentRequirement::total_demand() const {
+  DemandSet out;
+  for (const auto& a : actors_) out.merge(a.total_demand());
+  return out;
+}
+
+std::size_t ConcurrentRequirement::total_phases() const {
+  std::size_t n = 0;
+  for (const auto& a : actors_) n += a.phase_count();
+  return n;
+}
+
+std::string ConcurrentRequirement::to_string() const {
+  std::ostringstream out;
+  out << "rho(" << name_ << ", " << window_.to_string() << ") over "
+      << actors_.size() << " actors / " << total_phases() << " phases";
+  return out.str();
+}
+
+SimpleRequirement make_simple_requirement(const CostModel& phi, const Action& action,
+                                          const TimeInterval& window) {
+  return SimpleRequirement(phi.cost(action), window);
+}
+
+namespace {
+
+/// Two demand sets have the same signature when they draw on exactly the
+/// same located types.
+bool same_signature(const DemandSet& a, const DemandSet& b) {
+  if (a.size() != b.size()) return false;
+  auto ia = a.amounts().begin();
+  auto ib = b.amounts().begin();
+  for (; ia != a.amounts().end(); ++ia, ++ib) {
+    if (!(ia->first == ib->first)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Phase> decompose_phases(const CostModel& phi,
+                                    const std::vector<Action>& actions) {
+  std::vector<Phase> phases;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    DemandSet d = phi.cost(actions[i]);
+    if (d.empty()) continue;  // zero-cost action constrains nothing
+    if (!phases.empty() && same_signature(phases.back().demand, d)) {
+      phases.back().demand.merge(d);
+      phases.back().action_count += 1;
+    } else {
+      phases.push_back(Phase{std::move(d), i, 1});
+    }
+  }
+  return phases;
+}
+
+ComplexRequirement make_complex_requirement(const CostModel& phi,
+                                            const ActorComputation& gamma,
+                                            const TimeInterval& window,
+                                            Rate rate_cap) {
+  return ComplexRequirement(gamma.actor(), decompose_phases(phi, gamma.actions()),
+                            window, rate_cap);
+}
+
+ConcurrentRequirement make_concurrent_requirement(const CostModel& phi,
+                                                  const DistributedComputation& lambda,
+                                                  Rate rate_cap) {
+  std::vector<ComplexRequirement> actors;
+  actors.reserve(lambda.actors().size());
+  for (const auto& gamma : lambda.actors()) {
+    actors.push_back(make_complex_requirement(phi, gamma, lambda.window(), rate_cap));
+  }
+  return ConcurrentRequirement(lambda.name(), std::move(actors), lambda.window());
+}
+
+std::ostream& operator<<(std::ostream& os, const SimpleRequirement& r) {
+  return os << r.to_string();
+}
+std::ostream& operator<<(std::ostream& os, const ComplexRequirement& r) {
+  return os << r.to_string();
+}
+std::ostream& operator<<(std::ostream& os, const ConcurrentRequirement& r) {
+  return os << r.to_string();
+}
+
+}  // namespace rota

@@ -1,0 +1,153 @@
+// Resource requirements (ρ): simple, complex (sequential), and concurrent.
+//
+// ρ(γ, s, d)  — a simple requirement: one action's demand within a window.
+// ρ(Γ, s, d)  — a complex requirement: an ordered sequence of phases, each a
+//               demand set, whose cut points t1 < … < t(m-1) are free.
+// ρ(Λ, s, d)  — a concurrent requirement: one complex requirement per actor,
+//               all sharing the window.
+//
+// Phase decomposition follows the paper's rule: consecutive actions that
+// draw on the same located types need not be separated ("a sequence of
+// actions which require the same single type of resource need not be broken
+// down"), because a quantity check over one window already guarantees them;
+// a change in the demand signature forces a new phase, because order across
+// different resources matters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rota/computation/actor_computation.hpp"
+#include "rota/computation/cost_model.hpp"
+#include "rota/resource/demand.hpp"
+#include "rota/resource/resource_set.hpp"
+#include "rota/time/interval.hpp"
+
+namespace rota {
+
+/// ρ(γ, s, d): the total amount of resource required for one action during
+/// (s, d).
+class SimpleRequirement {
+ public:
+  SimpleRequirement() = default;
+  SimpleRequirement(DemandSet demand, const TimeInterval& window)
+      : demand_(std::move(demand)), window_(window) {}
+
+  const DemandSet& demand() const { return demand_; }
+  const TimeInterval& window() const { return window_; }
+
+  /// The paper's f(Θ, ρ(γ, s, d)): does the union of Θ's supply within the
+  /// window cover the demand, type by type?
+  bool satisfied_by(const ResourceSet& theta) const {
+    return theta.satisfies(demand_, window_);
+  }
+
+  bool operator==(const SimpleRequirement&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  DemandSet demand_;
+  TimeInterval window_;
+};
+
+/// One phase of a complex requirement: the merged demand of a maximal run of
+/// same-signature actions, plus bookkeeping about which actions it covers.
+struct Phase {
+  DemandSet demand;
+  std::size_t first_action = 0;  // index range [first_action, first_action + action_count)
+  std::size_t action_count = 0;
+
+  bool operator==(const Phase&) const = default;
+};
+
+/// ρ(Γ, s, d): ordered phases within a window. Satisfaction requires cut
+/// points; see rota/logic/theorems.hpp for the feasibility algorithms.
+///
+/// `rate_cap` bounds how fast the actor can absorb each located type (units
+/// per tick); 0 means unbounded — the paper's model, where an actor soaks up
+/// whatever rate exists. A cap of 1 models a strictly serial actor that a
+/// 10-units/tick node cannot speed up.
+class ComplexRequirement {
+ public:
+  ComplexRequirement() = default;
+  ComplexRequirement(std::string actor, std::vector<Phase> phases,
+                     const TimeInterval& window, Rate rate_cap = 0)
+      : actor_(std::move(actor)),
+        phases_(std::move(phases)),
+        window_(window),
+        rate_cap_(rate_cap) {}
+
+  const std::string& actor() const { return actor_; }
+  const std::vector<Phase>& phases() const { return phases_; }
+  const TimeInterval& window() const { return window_; }
+  std::size_t phase_count() const { return phases_.size(); }
+  bool empty() const { return phases_.empty(); }
+  /// 0 = unbounded (the paper's default).
+  Rate rate_cap() const { return rate_cap_; }
+
+  /// Aggregate demand across all phases (what a naive total-quantity check
+  /// would look at — necessary but not sufficient).
+  DemandSet total_demand() const;
+
+  bool operator==(const ComplexRequirement&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::string actor_;
+  std::vector<Phase> phases_;
+  TimeInterval window_;
+  Rate rate_cap_ = 0;
+};
+
+/// ρ(Λ, s, d): the union of the member actors' complex requirements.
+class ConcurrentRequirement {
+ public:
+  ConcurrentRequirement() = default;
+  ConcurrentRequirement(std::string name, std::vector<ComplexRequirement> actors,
+                        const TimeInterval& window)
+      : name_(std::move(name)), actors_(std::move(actors)), window_(window) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ComplexRequirement>& actors() const { return actors_; }
+  const TimeInterval& window() const { return window_; }
+
+  DemandSet total_demand() const;
+  std::size_t total_phases() const;
+
+  bool operator==(const ConcurrentRequirement&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<ComplexRequirement> actors_;
+  TimeInterval window_;
+};
+
+/// Builds ρ(γ, s, d) from one action via Φ.
+SimpleRequirement make_simple_requirement(const CostModel& phi, const Action& action,
+                                          const TimeInterval& window);
+
+/// Phase decomposition of an action sequence under Φ.
+std::vector<Phase> decompose_phases(const CostModel& phi,
+                                    const std::vector<Action>& actions);
+
+/// Builds ρ(Γ, s, d). `rate_cap` bounds per-type absorption (0 = unbounded).
+ComplexRequirement make_complex_requirement(const CostModel& phi,
+                                            const ActorComputation& gamma,
+                                            const TimeInterval& window,
+                                            Rate rate_cap = 0);
+
+/// Builds ρ(Λ, s, d) using Λ's own window; `rate_cap` applies to every actor.
+ConcurrentRequirement make_concurrent_requirement(const CostModel& phi,
+                                                  const DistributedComputation& lambda,
+                                                  Rate rate_cap = 0);
+
+std::ostream& operator<<(std::ostream& os, const SimpleRequirement& r);
+std::ostream& operator<<(std::ostream& os, const ComplexRequirement& r);
+std::ostream& operator<<(std::ostream& os, const ConcurrentRequirement& r);
+
+}  // namespace rota

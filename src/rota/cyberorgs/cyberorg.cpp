@@ -1,0 +1,86 @@
+#include "rota/cyberorgs/cyberorg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+CyberOrg::CyberOrg(std::string name, CostModel phi, ResourceSet slice,
+                   PlanningPolicy policy, Tick now)
+    : name_(std::move(name)),
+      controller_(std::move(phi), std::move(slice), policy, now) {}
+
+CyberOrg& CyberOrg::create_child(const std::string& child_name,
+                                 const ResourceSet& slice) {
+  if (find(child_name) != nullptr) {
+    throw std::invalid_argument("org name already in subtree: " + child_name);
+  }
+  if (!controller_.carve(slice)) {
+    throw std::invalid_argument(
+        "org " + name_ + " cannot isolate a slice its free supply does not cover");
+  }
+  children_.push_back(std::make_unique<CyberOrg>(
+      child_name, controller_.phi(), slice, controller_.policy(),
+      controller_.ledger().now()));
+  return *children_.back();
+}
+
+bool CyberOrg::assimilate(const std::string& child_name) {
+  auto it = std::find_if(
+      children_.begin(), children_.end(),
+      [&](const std::unique_ptr<CyberOrg>& c) { return c->name_ == child_name; });
+  if (it == children_.end()) return false;
+
+  // Detach first: pushing grandchildren into children_ below may reallocate
+  // the vector and would invalidate `it`.
+  std::unique_ptr<CyberOrg> dissolved = std::move(*it);
+  children_.erase(it);
+
+  controller_.absorb(std::move(dissolved->controller_));
+  // Grandchildren are promoted to direct children (the encapsulation
+  // boundary dissolves, not the orgs inside it).
+  for (auto& grandchild : dissolved->children_) {
+    children_.push_back(std::move(grandchild));
+  }
+  return true;
+}
+
+CyberOrg* CyberOrg::find(const std::string& org_name) {
+  if (name_ == org_name) return this;
+  for (const auto& child : children_) {
+    if (CyberOrg* found = child->find(org_name)) return found;
+  }
+  return nullptr;
+}
+
+std::size_t CyberOrg::subtree_size() const {
+  std::size_t n = 1;
+  for (const auto& child : children_) n += child->subtree_size();
+  return n;
+}
+
+std::size_t CyberOrg::subtree_depth() const {
+  std::size_t deepest = 0;
+  for (const auto& child : children_) {
+    deepest = std::max(deepest, child->subtree_depth());
+  }
+  return deepest + 1;
+}
+
+std::string CyberOrg::to_string() const {
+  std::ostringstream out;
+  out << name_ << "(" << controller_.ledger().admitted_count() << " admitted, "
+      << controller_.ledger().residual().term_count() << " free terms";
+  if (!children_.empty()) {
+    out << ", children: ";
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << children_[i]->to_string();
+    }
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace rota

@@ -1,0 +1,74 @@
+// CyberOrgs-style resource encapsulations — the paper's third future-work
+// direction.
+//
+// §VI: "the context in which we hope to use ROTA is that of resource
+// encapsulations of the type defined by the CyberOrgs model, where the
+// reasoning only needs to concern itself with resources available inside the
+// encapsulation." A CyberOrg is a node in a hierarchy of resource owners:
+// each org holds a slice of supply and runs Theorem-4 admission over *its
+// slice only*, which bounds the cost of every feasibility question by the
+// encapsulation's size (bench e9_cyberorgs measures exactly this).
+//
+// The two structural primitives follow the CyberOrgs model:
+//   * isolation     — create_child(name, slice): a sub-org is born owning a
+//     slice carved out of this org's uncommitted supply;
+//   * assimilation  — assimilate(name): a child dissolves into its parent;
+//     its remaining supply, commitments and children are absorbed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/admission/controller.hpp"
+
+namespace rota {
+
+class CyberOrg {
+ public:
+  CyberOrg(std::string name, CostModel phi, ResourceSet slice,
+           PlanningPolicy policy = PlanningPolicy::kAsap, Tick now = 0);
+
+  const std::string& name() const { return name_; }
+  const CommitmentLedger& ledger() const { return controller_.ledger(); }
+
+  /// Theorem-4 admission against this org's slice only.
+  AdmissionDecision request(const DistributedComputation& lambda, Tick now) {
+    return controller_.request(lambda, now);
+  }
+  AdmissionDecision request(const ConcurrentRequirement& rho, Tick now) {
+    return controller_.request(rho, now);
+  }
+
+  /// Resource acquisition into this org's slice.
+  void on_join(const ResourceSet& joined) { controller_.on_join(joined); }
+
+  /// Isolation: carves `slice` out of this org's uncommitted supply and
+  /// creates a child org owning it. Throws std::invalid_argument when the
+  /// residual cannot cover the slice, or the name is taken in this subtree.
+  CyberOrg& create_child(const std::string& child_name, const ResourceSet& slice);
+
+  /// Assimilation: the named direct child dissolves; its supply, admitted
+  /// commitments and children transfer to this org. Returns false when no
+  /// direct child has that name.
+  bool assimilate(const std::string& child_name);
+
+  const std::vector<std::unique_ptr<CyberOrg>>& children() const { return children_; }
+
+  /// Finds an org by name in this subtree (depth-first); nullptr if absent.
+  CyberOrg* find(const std::string& org_name);
+
+  /// Total orgs in this subtree (including this one) / depth of the subtree.
+  std::size_t subtree_size() const;
+  std::size_t subtree_depth() const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  RotaAdmissionController controller_;
+  std::vector<std::unique_ptr<CyberOrg>> children_;
+};
+
+}  // namespace rota

@@ -1,0 +1,66 @@
+#include "rota/io/dot.hpp"
+
+#include <sstream>
+
+namespace rota {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emit_org(std::ostringstream& out, const CyberOrg& org, std::size_t& counter,
+              std::size_t parent_id) {
+  const std::size_t my_id = counter++;
+  out << "  n" << my_id << " [label=\"" << dot_escape(org.name()) << "\\n"
+      << org.ledger().admitted_count() << " admitted, "
+      << org.ledger().residual().term_count() << " free terms\"];\n";
+  if (my_id != parent_id) {
+    out << "  n" << parent_id << " -> n" << my_id << ";\n";
+  }
+  for (const auto& child : org.children()) emit_org(out, *child, counter, my_id);
+}
+
+}  // namespace
+
+std::string to_dot(const DagRequirement& dag) {
+  std::ostringstream out;
+  out << "digraph \"" << dot_escape(dag.name) << "\" {\n"
+      << "  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    const SegmentRequirement& node = dag.nodes[i];
+    out << "  s" << i << " [label=\""
+        << dot_escape(node.requirement.actor()) << "\\n"
+        << dot_escape(node.requirement.total_demand().to_string()) << "\"];\n";
+  }
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    for (std::size_t dep : dag.nodes[i].waits_for) {
+      // Intra-actor sequencing is solid; cross-actor message gates dashed.
+      const bool same_actor =
+          dag.nodes[dep].actor_index == dag.nodes[i].actor_index;
+      out << "  s" << dep << " -> s" << i;
+      if (!same_actor) out << " [style=dashed, label=\"msg\"]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const CyberOrg& root) {
+  std::ostringstream out;
+  out << "digraph cyberorgs {\n  node [shape=box];\n";
+  std::size_t counter = 0;
+  emit_org(out, root, counter, 0);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rota

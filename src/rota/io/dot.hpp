@@ -1,0 +1,23 @@
+// Graphviz DOT export for the library's graph-shaped values:
+//   * requirement DAGs of interacting computations (segments + gates),
+//   * CyberOrg hierarchies (encapsulations + their load).
+//
+// Output renders with plain `dot -Tsvg`; no external dependencies here.
+#pragma once
+
+#include <string>
+
+#include "rota/computation/interaction.hpp"
+#include "rota/cyberorgs/cyberorg.hpp"
+
+namespace rota {
+
+/// The DAG as a digraph: one node per segment (labelled actor#segment with
+/// its total demand), solid edges for intra-actor sequencing, dashed edges
+/// for cross-actor message gates.
+std::string to_dot(const DagRequirement& dag);
+
+/// The org tree: one node per org showing admitted count and free terms.
+std::string to_dot(const CyberOrg& root);
+
+}  // namespace rota

@@ -1,0 +1,148 @@
+#include "rota/io/formula_parser.hpp"
+
+#include <cctype>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+
+namespace {
+
+/// Recursive-descent parser over a character cursor.
+class Parser {
+ public:
+  Parser(const std::string& text, const Scenario& scenario, const CostModel& phi)
+      : text_(text), scenario_(scenario), phi_(phi) {}
+
+  FormulaPtr parse() {
+    FormulaPtr psi = formula();
+    skip_spaces();
+    if (pos_ != text_.size()) {
+      throw FormulaParseError(pos_, "unexpected trailing input");
+    }
+    return psi;
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(const std::string& token) {
+    skip_spaces();
+    if (text_.compare(pos_, token.size(), token) != 0) return false;
+    // Word tokens must not run into identifier characters ("trueX" ≠ "true").
+    if (std::isalpha(static_cast<unsigned char>(token[0]))) {
+      const std::size_t after = pos_ + token.size();
+      if (after < text_.size() &&
+          (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+           text_[after] == '_')) {
+        return false;
+      }
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  void expect(const std::string& token) {
+    if (!try_consume(token)) {
+      throw FormulaParseError(pos_, "expected '" + token + "'");
+    }
+  }
+
+  std::string identifier() {
+    skip_spaces();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) throw FormulaParseError(pos_, "expected a name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  Tick integer() {
+    skip_spaces();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && !std::isdigit(static_cast<unsigned char>(
+                                                   text_[start])))) {
+      throw FormulaParseError(start, "expected an integer");
+    }
+    try {
+      return std::stoll(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      throw FormulaParseError(start, "integer out of range");
+    }
+  }
+
+  FormulaPtr formula() {
+    if (try_consume("!")) return f_not(formula());
+    if (try_consume("<>")) return f_eventually(formula());
+    if (try_consume("[]")) return f_always(formula());
+    if (try_consume("(")) {
+      FormulaPtr inner = formula();
+      expect(")");
+      return inner;
+    }
+    if (try_consume("true")) return f_true();
+    if (try_consume("false")) return f_false();
+    if (try_consume("satisfy")) return satisfy_atom();
+    throw FormulaParseError(pos_, "expected a formula");
+  }
+
+  FormulaPtr satisfy_atom() {
+    expect("(");
+    const std::size_t name_pos = pos_;
+    const std::string name = identifier();
+
+    const DistributedComputation* target = nullptr;
+    for (const auto& c : scenario_.computations) {
+      if (c.name() == name) {
+        target = &c;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      throw FormulaParseError(name_pos,
+                              "unknown computation '" + name + "' in scenario");
+    }
+
+    Tick start = target->earliest_start();
+    Tick deadline = target->deadline();
+    if (try_consume("from")) start = integer();
+    if (try_consume("by")) deadline = integer();
+    expect(")");
+    if (deadline <= start) {
+      throw FormulaParseError(name_pos, "window for '" + name + "' is empty");
+    }
+
+    const DistributedComputation adjusted(target->name(), target->actors(), start,
+                                          deadline);
+    return f_satisfy(make_concurrent_requirement(phi_, adjusted));
+  }
+
+  const std::string& text_;
+  const Scenario& scenario_;
+  const CostModel& phi_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr parse_formula(const std::string& text, const Scenario& scenario,
+                         const CostModel& phi) {
+  return Parser(text, scenario, phi).parse();
+}
+
+}  // namespace rota

@@ -1,0 +1,51 @@
+// Parsing ROTA formulas from text.
+//
+// Grammar (whitespace-insensitive):
+//
+//   formula := '!' formula            negation
+//            | '<>' formula           eventually
+//            | '[]' formula           always
+//            | '(' formula ')'
+//            | 'true' | 'false'
+//            | 'satisfy' '(' name [ 'from' int ] [ 'by' int ] ')'
+//
+// `name` references a computation in the scenario; its requirement is
+// derived via Φ. `from`/`by` override the earliest start / deadline, letting
+// one scenario answer many what-ifs:
+//
+//   satisfy(job1)              the computation as declared
+//   satisfy(job1 by 15)        same phases, deadline 15
+//   <> satisfy(job1 from 4)    eventually satisfiable if it may start at 4
+//   [] !satisfy(huge)          never room for `huge`
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "rota/computation/cost_model.hpp"
+#include "rota/io/scenario.hpp"
+#include "rota/logic/formula.hpp"
+
+namespace rota {
+
+class FormulaParseError : public std::runtime_error {
+ public:
+  FormulaParseError(std::size_t position, const std::string& message)
+      : std::runtime_error("at character " + std::to_string(position) + ": " +
+                           message),
+        position_(position) {}
+
+  /// 0-based offset into the input where the problem was detected.
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses `text` into a formula, resolving satisfy() targets against the
+/// scenario's computations via Φ. Throws FormulaParseError on malformed
+/// input or unknown computation names.
+FormulaPtr parse_formula(const std::string& text, const Scenario& scenario,
+                         const CostModel& phi);
+
+}  // namespace rota

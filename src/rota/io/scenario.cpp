@@ -1,0 +1,256 @@
+#include "rota/io/scenario.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+namespace rota {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::int64_t parse_int(const std::string& token, std::size_t line,
+                       const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const long long v = std::stoll(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw ScenarioParseError(line, "expected an integer for " + what + ", got '" +
+                                       token + "'");
+  }
+}
+
+void expect_arity(const std::vector<std::string>& tokens, std::size_t n,
+                  std::size_t line, const std::string& usage) {
+  if (tokens.size() != n) {
+    throw ScenarioParseError(line, "expected: " + usage);
+  }
+}
+
+std::int64_t parse_nonnegative(const std::string& token, std::size_t line,
+                               const std::string& what) {
+  const std::int64_t v = parse_int(token, line, what);
+  if (v < 0) {
+    throw ScenarioParseError(line, what + " cannot be negative, got '" + token + "'");
+  }
+  return v;
+}
+
+/// A computation block under construction.
+struct OpenComputation {
+  std::string name;
+  Tick start = 0;
+  Tick deadline = 0;
+  std::vector<ActorComputation> actors;
+  std::optional<ActorComputationBuilder> current_actor;
+  std::size_t opened_at = 0;
+
+  void close_actor() {
+    if (current_actor) {
+      actors.push_back(std::move(*current_actor).build());
+      current_actor.reset();
+    }
+  }
+};
+
+}  // namespace
+
+Scenario parse_scenario(std::istream& in) {
+  Scenario scenario;
+  std::optional<OpenComputation> open;
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> t = tokenize(line);
+    if (t.empty()) continue;
+    const std::string& keyword = t[0];
+
+    if (keyword == "supply") {
+      if (open) throw ScenarioParseError(line_no, "supply inside a computation block");
+      if (t.size() < 2) throw ScenarioParseError(line_no, "supply needs a kind");
+      // Node form: 6 tokens. Link form: 7 tokens (two locations). Any kind
+      // may take either form except `network`, which is link-only — so that
+      // everything the writer emits parses back.
+      ResourceKind kind;
+      if (t[1] == "cpu") {
+        kind = ResourceKind::kCpu;
+      } else if (t[1] == "network") {
+        kind = ResourceKind::kNetwork;
+      } else if (t[1] == "memory") {
+        kind = ResourceKind::kMemory;
+      } else if (t[1] == "disk") {
+        kind = ResourceKind::kDisk;
+      } else if (t[1] == "custom") {
+        kind = ResourceKind::kCustom;
+      } else {
+        throw ScenarioParseError(line_no, "unknown resource kind '" + t[1] + "'");
+      }
+      if (t.size() == 7) {
+        const Rate rate = parse_nonnegative(t[4], line_no, "rate");
+        const Tick from = parse_int(t[5], line_no, "from");
+        const Tick to = parse_int(t[6], line_no, "to");
+        if (t[2] == t[3]) {
+          throw ScenarioParseError(line_no, "a link needs two distinct nodes");
+        }
+        scenario.supply.add(rate, TimeInterval(from, to),
+                            LocatedType::link(kind, Location(t[2]), Location(t[3])));
+      } else if (t.size() == 6 && kind != ResourceKind::kNetwork) {
+        const Rate rate = parse_nonnegative(t[3], line_no, "rate");
+        const Tick from = parse_int(t[4], line_no, "from");
+        const Tick to = parse_int(t[5], line_no, "to");
+        scenario.supply.add(rate, TimeInterval(from, to),
+                            LocatedType::node(kind, Location(t[2])));
+      } else {
+        throw ScenarioParseError(line_no,
+                                 "expected: supply <kind> <loc> <rate> <from> <to> "
+                                 "or supply <kind> <src> <dst> <rate> <from> <to>");
+      }
+      continue;
+    }
+
+    if (keyword == "computation") {
+      if (open) {
+        throw ScenarioParseError(line_no, "computation blocks cannot nest (missing "
+                                          "'end'?)");
+      }
+      expect_arity(t, 4, line_no, "computation <name> <start> <deadline>");
+      OpenComputation block;
+      block.name = t[1];
+      block.start = parse_int(t[2], line_no, "start");
+      block.deadline = parse_int(t[3], line_no, "deadline");
+      block.opened_at = line_no;
+      if (block.deadline <= block.start) {
+        throw ScenarioParseError(line_no, "deadline must lie after start");
+      }
+      open = std::move(block);
+      continue;
+    }
+
+    if (keyword == "end") {
+      if (!open) throw ScenarioParseError(line_no, "'end' without a computation");
+      expect_arity(t, 1, line_no, "end");
+      open->close_actor();
+      scenario.computations.emplace_back(open->name, std::move(open->actors),
+                                         open->start, open->deadline);
+      open.reset();
+      continue;
+    }
+
+    if (!open) {
+      throw ScenarioParseError(line_no, "'" + keyword +
+                                            "' outside a computation block");
+    }
+
+    if (keyword == "actor") {
+      expect_arity(t, 3, line_no, "actor <name> <home-loc>");
+      open->close_actor();
+      open->current_actor.emplace(t[1], Location(t[2]));
+      continue;
+    }
+
+    if (!open->current_actor) {
+      throw ScenarioParseError(line_no, "action before any 'actor' line");
+    }
+    ActorComputationBuilder& actor = *open->current_actor;
+    if (keyword == "evaluate") {
+      expect_arity(t, 2, line_no, "evaluate <weight>");
+      actor.evaluate(parse_nonnegative(t[1], line_no, "weight"));
+    } else if (keyword == "send") {
+      expect_arity(t, 3, line_no, "send <to-loc> <size>");
+      actor.send(Location(t[1]), parse_nonnegative(t[2], line_no, "size"));
+    } else if (keyword == "create") {
+      expect_arity(t, 2, line_no, "create <size>");
+      actor.create(parse_nonnegative(t[1], line_no, "size"));
+    } else if (keyword == "ready") {
+      expect_arity(t, 1, line_no, "ready");
+      actor.ready();
+    } else if (keyword == "migrate") {
+      expect_arity(t, 3, line_no, "migrate <to-loc> <size>");
+      if (Location(t[1]) == actor.current_location()) {
+        throw ScenarioParseError(line_no, "migrate target equals current location");
+      }
+      actor.migrate(Location(t[1]), parse_nonnegative(t[2], line_no, "size"));
+    } else {
+      throw ScenarioParseError(line_no, "unknown statement '" + keyword + "'");
+    }
+  }
+
+  if (open) {
+    throw ScenarioParseError(open->opened_at,
+                             "computation '" + open->name + "' is never closed");
+  }
+  return scenario;
+}
+
+Scenario parse_scenario_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+  return parse_scenario(in);
+}
+
+void write_scenario(std::ostream& out, const Scenario& scenario) {
+  for (const ResourceTerm& term : scenario.supply.terms()) {
+    const LocatedType& type = term.type();
+    out << "supply ";
+    if (type.is_link()) {
+      out << kind_name(type.kind()) << ' ' << type.source().name() << ' '
+          << type.destination().name();
+    } else {
+      out << kind_name(type.kind()) << ' ' << type.source().name();
+    }
+    out << ' ' << term.rate() << ' ' << term.interval().start() << ' '
+        << term.interval().end() << '\n';
+  }
+
+  for (const DistributedComputation& c : scenario.computations) {
+    out << "computation " << c.name() << ' ' << c.earliest_start() << ' '
+        << c.deadline() << '\n';
+    for (const ActorComputation& gamma : c.actors()) {
+      // Reconstruct the home location: the first action's `at`.
+      const Location home =
+          gamma.actions().empty() ? Location() : gamma.actions().front().at;
+      out << "  actor " << gamma.actor() << ' ' << home.name() << '\n';
+      for (const Action& a : gamma.actions()) {
+        out << "    ";
+        switch (a.kind) {
+          case ActionKind::kEvaluate: out << "evaluate " << a.size; break;
+          case ActionKind::kSend: out << "send " << a.to.name() << ' ' << a.size; break;
+          case ActionKind::kCreate: out << "create " << a.size; break;
+          case ActionKind::kReady: out << "ready"; break;
+          case ActionKind::kMigrate:
+            out << "migrate " << a.to.name() << ' ' << a.size;
+            break;
+        }
+        out << '\n';
+      }
+    }
+    out << "end\n";
+  }
+}
+
+std::string scenario_to_string(const Scenario& scenario) {
+  std::ostringstream out;
+  write_scenario(out, scenario);
+  return out.str();
+}
+
+}  // namespace rota

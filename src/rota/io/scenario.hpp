@@ -1,0 +1,64 @@
+// Scenario files: a small line-oriented text format for describing supply
+// and deadline-constrained computations, so ROTA can be driven without
+// writing C++ (see examples/rota_check.cpp and examples/scenarios/).
+//
+// Grammar (one statement per line; '#' starts a comment; blank lines and
+// leading/trailing whitespace are ignored):
+//
+//   supply cpu <loc> <rate> <from> <to>
+//   supply memory <loc> <rate> <from> <to>
+//   supply disk <loc> <rate> <from> <to>
+//   supply network <src-loc> <dst-loc> <rate> <from> <to>
+//   computation <name> <start> <deadline>
+//     actor <name> <home-loc>
+//       evaluate <weight>
+//       send <to-loc> <size>
+//       create <size>
+//       ready
+//       migrate <to-loc> <size>
+//   end
+//
+// Every `computation` block must be closed by `end`; `actor` lines belong to
+// the enclosing computation; action lines to the latest actor. Locations are
+// created on first mention.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rota/computation/actor_computation.hpp"
+#include "rota/resource/resource_set.hpp"
+
+namespace rota {
+
+struct Scenario {
+  ResourceSet supply;
+  std::vector<DistributedComputation> computations;
+
+  bool operator==(const Scenario&) const = default;
+};
+
+/// Thrown on malformed input; carries the 1-based line number.
+class ScenarioParseError : public std::runtime_error {
+ public:
+  ScenarioParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+Scenario parse_scenario(std::istream& in);
+Scenario parse_scenario_string(const std::string& text);
+Scenario load_scenario_file(const std::string& path);
+
+/// Serializes a scenario in the same format; parse_scenario round-trips it.
+void write_scenario(std::ostream& out, const Scenario& scenario);
+std::string scenario_to_string(const Scenario& scenario);
+
+}  // namespace rota

@@ -1,0 +1,193 @@
+#include "rota/io/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rota {
+
+namespace {
+
+/// Shared row renderer: one labelled intensity row per (label, profile).
+struct GanttRow {
+  std::string label;
+  const StepFunction* profile;
+};
+
+TimeInterval fit_window(const std::vector<GanttRow>& rows, const GanttOptions& opts) {
+  if (!opts.window.empty()) return opts.window;
+  Tick lo = 0, hi = 1;
+  bool first = true;
+  for (const auto& row : rows) {
+    if (row.profile->is_zero()) continue;
+    const Tick s = row.profile->segments().front().interval.start();
+    const Tick e = row.profile->segments().back().interval.end();
+    if (first) {
+      lo = s;
+      hi = e;
+      first = false;
+    } else {
+      lo = std::min(lo, s);
+      hi = std::max(hi, e);
+    }
+  }
+  return TimeInterval(lo, std::max(hi, lo + 1));
+}
+
+std::string render_rows(const std::vector<GanttRow>& rows, const GanttOptions& opts) {
+  const TimeInterval window = fit_window(rows, opts);
+  const Tick span = window.length();
+  const Tick bucket = std::max<Tick>(1, (span + opts.max_columns - 1) / opts.max_columns);
+  const Tick columns = (span + bucket - 1) / bucket;
+
+  std::size_t label_width = 0;
+  for (const auto& row : rows) label_width = std::max(label_width, row.label.size());
+
+  std::ostringstream out;
+  out << std::string(label_width, ' ') << " |t=" << window.start();
+  if (bucket > 1) out << " (1 col = " << bucket << " ticks)";
+  out << '\n';
+
+  static const char* kShades[] = {"░", "▒", "▓", "█"};
+  for (const auto& row : rows) {
+    // Per-row peak (over buckets) scales the shading.
+    std::vector<Rate> cells(static_cast<std::size_t>(columns), 0);
+    Rate peak = 0;
+    for (Tick c = 0; c < columns; ++c) {
+      const Tick lo = window.start() + c * bucket;
+      const Tick hi = std::min<Tick>(lo + bucket, window.end());
+      Rate m = 0;
+      for (Tick t = lo; t < hi; ++t) m = std::max(m, row.profile->value_at(t));
+      cells[static_cast<std::size_t>(c)] = m;
+      peak = std::max(peak, m);
+    }
+    out << row.label << std::string(label_width - row.label.size(), ' ') << " |";
+    for (Rate v : cells) {
+      if (v <= 0 || peak == 0) {
+        out << ' ';
+      } else {
+        const int shade = std::min<int>(3, static_cast<int>((v * 4 - 1) / peak));
+        out << kShades[shade];
+      }
+    }
+    out << "| peak=" << peak << '\n';
+  }
+  out << std::string(label_width, ' ') << " |t=" << window.end() << '\n';
+  return out.str();
+}
+
+// -------------------------------------------------------------------
+// Minimal JSON building. Values here are numbers, short names and nested
+// arrays/objects; names never contain characters needing escapes beyond
+// quotes and backslashes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void usage_to_json(std::ostringstream& out,
+                   const std::map<LocatedType, StepFunction>& usage) {
+  out << '[';
+  bool first_type = true;
+  for (const auto& [type, f] : usage) {
+    if (!first_type) out << ',';
+    first_type = false;
+    out << "{\"type\":\"" << json_escape(type.to_string()) << "\",\"segments\":[";
+    bool first_seg = true;
+    for (const auto& seg : f.segments()) {
+      if (!first_seg) out << ',';
+      first_seg = false;
+      out << "{\"start\":" << seg.interval.start() << ",\"end\":" << seg.interval.end()
+          << ",\"rate\":" << seg.value << '}';
+    }
+    out << "]}";
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string render_gantt(const ConcurrentPlan& plan, GanttOptions options) {
+  std::vector<GanttRow> rows;
+  for (const auto& actor : plan.actors) {
+    for (const auto& [type, f] : actor.usage) {
+      rows.push_back({actor.actor + " " + type.to_string(), &f});
+    }
+  }
+  if (rows.empty()) return "(empty plan)\n";
+  return render_rows(rows, options);
+}
+
+std::string render_gantt(const InteractingPlan& plan, GanttOptions options) {
+  std::vector<GanttRow> rows;
+  for (const auto& seg : plan.segments) {
+    for (const auto& [type, f] : seg.usage) {
+      rows.push_back({"a" + std::to_string(seg.actor_index) + "#" +
+                          std::to_string(seg.segment_index) + " " + type.to_string(),
+                      &f});
+    }
+  }
+  if (rows.empty()) return "(empty plan)\n";
+  return render_rows(rows, options);
+}
+
+std::string to_json(const ConcurrentPlan& plan) {
+  std::ostringstream out;
+  out << "{\"computation\":\"" << json_escape(plan.computation)
+      << "\",\"finish\":" << plan.finish << ",\"actors\":[";
+  for (std::size_t i = 0; i < plan.actors.size(); ++i) {
+    const ActorPlan& a = plan.actors[i];
+    if (i != 0) out << ',';
+    out << "{\"actor\":\"" << json_escape(a.actor) << "\",\"start\":" << a.start
+        << ",\"finish\":" << a.finish << ",\"cut_points\":[";
+    for (std::size_t c = 0; c < a.cut_points.size(); ++c) {
+      if (c != 0) out << ',';
+      out << a.cut_points[c];
+    }
+    out << "],\"usage\":";
+    usage_to_json(out, a.usage);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const InteractingPlan& plan) {
+  std::ostringstream out;
+  out << "{\"computation\":\"" << json_escape(plan.computation)
+      << "\",\"finish\":" << plan.finish << ",\"segments\":[";
+  for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+    const SegmentPlan& s = plan.segments[i];
+    if (i != 0) out << ',';
+    out << "{\"actor\":" << s.actor_index << ",\"segment\":" << s.segment_index
+        << ",\"start\":" << s.start << ",\"finish\":" << s.finish << ",\"usage\":";
+    usage_to_json(out, s.usage);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string to_json(const ComputationPath& path) {
+  std::ostringstream out;
+  out << "{\"states\":[";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const SystemState& s = path.state(i);
+    if (i != 0) out << ',';
+    out << "{\"t\":" << s.now() << ",\"commitments\":" << s.commitments().size()
+        << ",\"unfinished\":" << s.unfinished_count() << '}';
+  }
+  out << "],\"steps\":[";
+  for (std::size_t i = 0; i < path.steps().size(); ++i) {
+    if (i != 0) out << ',';
+    out << "\"" << json_escape(step_to_string(path.steps()[i])) << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace rota

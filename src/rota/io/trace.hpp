@@ -1,0 +1,40 @@
+// Trace export: plans and paths rendered for humans and for tools.
+//
+// Two renderers:
+//   * render_gantt — an ASCII Gantt chart of a plan's consumption (one row
+//     per actor × located type, one column per tick), the quickest way to
+//     see *when* a plan uses *what*;
+//   * to_json — a dependency-free JSON export of plans and computation paths
+//     for downstream tooling (plotting, dashboards, diffing runs).
+#pragma once
+
+#include <string>
+
+#include "rota/logic/dag_planner.hpp"
+#include "rota/logic/path.hpp"
+#include "rota/logic/planner.hpp"
+
+namespace rota {
+
+struct GanttOptions {
+  /// Chart window; an empty interval means "fit to the plan".
+  TimeInterval window;
+  /// Widest chart in ticks; longer plans are compressed by this bucket size
+  /// (each column shows the max rate within its bucket).
+  Tick max_columns = 80;
+};
+
+/// ASCII Gantt of a concurrent plan. Rows are "actor/type"; cells show
+/// consumption intensity (' ' none, '░▒▓█' quartiles of the row's peak).
+std::string render_gantt(const ConcurrentPlan& plan, GanttOptions options = {});
+
+/// ASCII Gantt of an interacting (DAG) plan; rows are segment/type, and a
+/// marker column shows each segment's gate-release time.
+std::string render_gantt(const InteractingPlan& plan, GanttOptions options = {});
+
+/// JSON export (stable field order, no external dependencies).
+std::string to_json(const ConcurrentPlan& plan);
+std::string to_json(const InteractingPlan& plan);
+std::string to_json(const ComputationPath& path);
+
+}  // namespace rota

@@ -1,0 +1,63 @@
+// Planning requirement DAGs (interacting computations).
+//
+// Extends the sequential planner to precedence graphs: a segment may start
+// only after every segment it waits for has finished. Planning is
+// topological ASAP — process nodes in a topological order, give each a start
+// time equal to the max of the window start and its predecessors' finishes,
+// and plan its phase chain against the remaining availability. This mirrors
+// the single-actor result: for a fixed availability profile, finishing every
+// ready segment as early as possible only relaxes downstream constraints.
+// (With contention between parallel branches the greedy order is a sound
+// heuristic, same as plan_concurrent's sequential actor planning.)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rota/computation/interaction.hpp"
+#include "rota/logic/path.hpp"
+#include "rota/logic/planner.hpp"
+
+namespace rota {
+
+struct SegmentPlan {
+  std::size_t actor_index = 0;
+  std::size_t segment_index = 0;
+  std::map<LocatedType, StepFunction> usage;
+  std::vector<Tick> cut_points;
+  Tick start = 0;
+  Tick finish = 0;
+};
+
+struct InteractingPlan {
+  std::string computation;
+  std::vector<SegmentPlan> segments;  // same order as the DAG's nodes
+  Tick finish = 0;
+
+  std::map<LocatedType, StepFunction> total_usage() const;
+  ResourceSet usage_as_resources() const;
+};
+
+/// Plans a requirement DAG against `available`. Returns nullopt when some
+/// segment cannot meet the deadline after honouring its waits.
+std::optional<InteractingPlan> plan_dag(const ResourceSet& available,
+                                        const DagRequirement& dag);
+
+/// Convenience: derive the DAG via Φ and plan it.
+std::optional<InteractingPlan> plan_interacting(
+    const ResourceSet& available, const CostModel& phi,
+    const InteractingComputation& computation);
+
+/// Replays an interacting plan through the transition rules: each segment
+/// becomes a commitment windowed at its planned start (so consuming before a
+/// gate releases is a rule violation), and every tick's labels come from the
+/// plan's usage. Throws std::logic_error if the plan breaks any rule or
+/// fails to drain — the same soundness oracle realize_plan provides for
+/// concurrent plans. Returns the validated path.
+ComputationPath realize_interacting_plan(const ResourceSet& theta,
+                                         const DagRequirement& dag,
+                                         const InteractingPlan& plan,
+                                         Tick start_time);
+
+}  // namespace rota

@@ -1,0 +1,183 @@
+#include "rota/logic/explorer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace rota {
+
+std::string priority_name(PriorityOrder order) {
+  switch (order) {
+    case PriorityOrder::kFcfs: return "fcfs";
+    case PriorityOrder::kEdf: return "edf";
+    case PriorityOrder::kLeastLaxity: return "least-laxity";
+    case PriorityOrder::kProportional: return "proportional";
+  }
+  throw std::invalid_argument("invalid PriorityOrder");
+}
+
+namespace {
+
+std::vector<std::size_t> ranked_commitments(const SystemState& state,
+                                            PriorityOrder order) {
+  std::vector<std::size_t> ranked(state.commitments().size());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  const Tick now = state.now();
+  switch (order) {
+    case PriorityOrder::kFcfs:
+    case PriorityOrder::kProportional:  // handled by water_fill_labels
+      break;
+    case PriorityOrder::kEdf:
+      std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+        return state.commitments()[a].window.end() < state.commitments()[b].window.end();
+      });
+      break;
+    case PriorityOrder::kLeastLaxity:
+      std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+        const auto& pa = state.commitments()[a];
+        const auto& pb = state.commitments()[b];
+        const Tick la = pa.window.end() - now - pa.remaining_total();
+        const Tick lb = pb.window.end() - now - pb.remaining_total();
+        return la < lb;
+      });
+      break;
+  }
+  return ranked;
+}
+
+/// Maximal-consumption labels for one tick under a fixed commitment ranking.
+std::vector<ConsumptionLabel> greedy_labels(const SystemState& state,
+                                            const std::vector<std::size_t>& ranked) {
+  std::vector<ConsumptionLabel> labels;
+  std::map<LocatedType, Rate> capacity_left;
+  const Tick now = state.now();
+
+  for (std::size_t index : ranked) {
+    const ActorProgress& p = state.commitments()[index];
+    if (!p.active_at(now)) continue;
+    for (const auto& [type, q] : p.remaining.amounts()) {
+      auto [it, inserted] = capacity_left.try_emplace(type, 0);
+      if (inserted) it->second = state.theta().availability(type).value_at(now);
+      Rate grab = std::min<Rate>(it->second, q);
+      if (p.rate_cap > 0) grab = std::min(grab, p.rate_cap);
+      if (grab <= 0) continue;
+      labels.push_back(ConsumptionLabel{index, type, grab});
+      it->second -= grab;
+    }
+  }
+  return labels;
+}
+
+RunResult run_with_ranking(SystemState start, Tick horizon,
+                           const std::optional<std::vector<std::size_t>>& fixed_ranking,
+                           PriorityOrder order) {
+  ComputationPath path(std::move(start));
+  while (!path.back().all_finished() && path.back().now() < horizon) {
+    const std::vector<std::size_t> ranked =
+        fixed_ranking ? *fixed_ranking : ranked_commitments(path.back(), order);
+    if (!fixed_ranking && order == PriorityOrder::kProportional) {
+      std::map<LocatedType, Rate> capacity_left;
+      path.apply(TickStep{water_fill_labels(path.back(), ranked, capacity_left)});
+    } else {
+      path.apply(TickStep{greedy_labels(path.back(), ranked)});
+    }
+  }
+
+  RunResult result{std::move(path), false, 0};
+  const SystemState& tip = result.path.back();
+  result.finished_at = tip.now();
+  result.all_met = tip.all_finished();
+  for (const auto& p : tip.commitments()) {
+    if (!p.finished() || *p.finished_at > p.window.end()) {
+      result.all_met = false;
+    } else {
+      result.finished_at = std::max(result.finished_at, *p.finished_at);
+    }
+  }
+  if (tip.commitments().empty()) result.all_met = true;
+  return result;
+}
+
+}  // namespace
+
+RunResult run_greedy(SystemState start, Tick horizon, PriorityOrder order) {
+  return run_with_ranking(std::move(start), horizon, std::nullopt, order);
+}
+
+std::vector<ConsumptionLabel> water_fill_labels(
+    const SystemState& state, const std::vector<std::size_t>& participants,
+    std::map<LocatedType, Rate>& capacity_left) {
+  const Tick now = state.now();
+
+  // Who wants what this tick, per type, capped by demand and absorption rate.
+  struct Claim {
+    std::size_t commitment;
+    Rate want;
+    Rate given = 0;
+  };
+  std::map<LocatedType, std::vector<Claim>> claims;
+  for (std::size_t index : participants) {
+    const ActorProgress& p = state.commitments()[index];
+    if (!p.active_at(now)) continue;
+    for (const auto& [type, q] : p.remaining.amounts()) {
+      Rate want = q;
+      if (p.rate_cap > 0) want = std::min(want, p.rate_cap);
+      if (want > 0) claims[type].push_back(Claim{index, want});
+    }
+  }
+
+  std::vector<ConsumptionLabel> labels;
+  for (auto& [type, list] : claims) {
+    auto [it, inserted] = capacity_left.try_emplace(type, 0);
+    if (inserted) it->second = state.theta().availability(type).value_at(now);
+    Rate& cap = it->second;
+
+    // Water-fill: rounds of equal shares among still-thirsty claimants.
+    // Terminates because each productive round strictly reduces cap or the
+    // number of thirsty claimants.
+    while (cap > 0) {
+      std::vector<Claim*> thirsty;
+      for (Claim& c : list) {
+        if (c.given < c.want) thirsty.push_back(&c);
+      }
+      if (thirsty.empty()) break;
+      const Rate share =
+          std::max<Rate>(1, cap / static_cast<Rate>(thirsty.size()));
+      bool progressed = false;
+      for (Claim* c : thirsty) {
+        const Rate grab = std::min({share, c->want - c->given, cap});
+        if (grab <= 0) continue;
+        c->given += grab;
+        cap -= grab;
+        progressed = true;
+        if (cap == 0) break;
+      }
+      if (!progressed) break;
+    }
+    for (const Claim& c : list) {
+      if (c.given > 0) labels.push_back(ConsumptionLabel{c.commitment, type, c.given});
+    }
+  }
+  return labels;
+}
+
+std::optional<ComputationPath> search_feasible(const SystemState& start, Tick horizon,
+                                               std::size_t max_permuted) {
+  for (PriorityOrder order :
+       {PriorityOrder::kEdf, PriorityOrder::kLeastLaxity, PriorityOrder::kFcfs}) {
+    RunResult r = run_greedy(start, horizon, order);
+    if (r.all_met) return std::move(r.path);
+  }
+  if (start.commitments().size() <= max_permuted) {
+    std::vector<std::size_t> perm(start.commitments().size());
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      RunResult r = run_with_ranking(start, horizon, perm, PriorityOrder::kFcfs);
+      if (r.all_met) return std::move(r.path);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+  return std::nullopt;
+}
+
+}  // namespace rota

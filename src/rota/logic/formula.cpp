@@ -1,0 +1,73 @@
+#include "rota/logic/formula.hpp"
+
+#include <stdexcept>
+
+namespace rota {
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+std::size_t Formula::size() const {
+  return std::visit(
+      Overloaded{
+          [](const NotOp& n) { return 1 + n.operand->size(); },
+          [](const EventuallyOp& n) { return 1 + n.operand->size(); },
+          [](const AlwaysOp& n) { return 1 + n.operand->size(); },
+          [](const auto&) { return std::size_t{1}; },
+      },
+      node_);
+}
+
+std::string Formula::to_string() const {
+  return std::visit(
+      Overloaded{
+          [](const TrueAtom&) { return std::string("true"); },
+          [](const FalseAtom&) { return std::string("false"); },
+          [](const SatisfySimple& s) { return "satisfy(" + s.rho.to_string() + ")"; },
+          [](const SatisfyComplex& s) { return "satisfy(" + s.rho.to_string() + ")"; },
+          [](const SatisfyConcurrent& s) {
+            return "satisfy(" + s.rho.to_string() + ")";
+          },
+          [](const NotOp& n) { return "!(" + n.operand->to_string() + ")"; },
+          [](const EventuallyOp& n) { return "<>(" + n.operand->to_string() + ")"; },
+          [](const AlwaysOp& n) { return "[](" + n.operand->to_string() + ")"; },
+      },
+      node_);
+}
+
+FormulaPtr f_true() { return std::make_shared<const Formula>(Formula::Node{TrueAtom{}}); }
+FormulaPtr f_false() {
+  return std::make_shared<const Formula>(Formula::Node{FalseAtom{}});
+}
+FormulaPtr f_satisfy(SimpleRequirement rho) {
+  return std::make_shared<const Formula>(Formula::Node{SatisfySimple{std::move(rho)}});
+}
+FormulaPtr f_satisfy(ComplexRequirement rho) {
+  return std::make_shared<const Formula>(Formula::Node{SatisfyComplex{std::move(rho)}});
+}
+FormulaPtr f_satisfy(ConcurrentRequirement rho) {
+  return std::make_shared<const Formula>(
+      Formula::Node{SatisfyConcurrent{std::move(rho)}});
+}
+FormulaPtr f_not(FormulaPtr operand) {
+  if (!operand) throw std::invalid_argument("f_not: null operand");
+  return std::make_shared<const Formula>(Formula::Node{NotOp{std::move(operand)}});
+}
+FormulaPtr f_eventually(FormulaPtr operand) {
+  if (!operand) throw std::invalid_argument("f_eventually: null operand");
+  return std::make_shared<const Formula>(Formula::Node{EventuallyOp{std::move(operand)}});
+}
+FormulaPtr f_always(FormulaPtr operand) {
+  if (!operand) throw std::invalid_argument("f_always: null operand");
+  return std::make_shared<const Formula>(Formula::Node{AlwaysOp{std::move(operand)}});
+}
+
+}  // namespace rota

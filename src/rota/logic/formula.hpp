@@ -1,0 +1,69 @@
+// ROTA well-formed formulas.
+//
+//   ψ ::= true | false | satisfy(ρ(γ,s,d)) | satisfy(ρ(Γ,s,d)) |
+//         satisfy(ρ(Λ,s,d)) | ¬ψ | ◇ψ | □ψ
+//
+// Formulas are immutable trees shared via shared_ptr; build them with the
+// factory functions at the bottom. Evaluation lives in ModelChecker.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct TrueAtom {};
+struct FalseAtom {};
+struct SatisfySimple {
+  SimpleRequirement rho;
+};
+struct SatisfyComplex {
+  ComplexRequirement rho;
+};
+struct SatisfyConcurrent {
+  ConcurrentRequirement rho;
+};
+struct NotOp {
+  FormulaPtr operand;
+};
+struct EventuallyOp {  // ◇ψ — at some strictly later point on the path
+  FormulaPtr operand;
+};
+struct AlwaysOp {  // □ψ — at every strictly later point on the path
+  FormulaPtr operand;
+};
+
+class Formula {
+ public:
+  using Node = std::variant<TrueAtom, FalseAtom, SatisfySimple, SatisfyComplex,
+                            SatisfyConcurrent, NotOp, EventuallyOp, AlwaysOp>;
+
+  explicit Formula(Node node) : node_(std::move(node)) {}
+
+  const Node& node() const { return node_; }
+
+  /// Number of nodes in the tree (benchmarking aid).
+  std::size_t size() const;
+
+  std::string to_string() const;
+
+ private:
+  Node node_;
+};
+
+FormulaPtr f_true();
+FormulaPtr f_false();
+FormulaPtr f_satisfy(SimpleRequirement rho);
+FormulaPtr f_satisfy(ComplexRequirement rho);
+FormulaPtr f_satisfy(ConcurrentRequirement rho);
+FormulaPtr f_not(FormulaPtr operand);
+FormulaPtr f_eventually(FormulaPtr operand);
+FormulaPtr f_always(FormulaPtr operand);
+
+}  // namespace rota

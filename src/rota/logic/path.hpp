@@ -1,0 +1,54 @@
+// Computation paths (Definition 2): one branch of the evolution tree.
+//
+// A path is an initial state plus a sequence of steps; intermediate states
+// are cached so formulas can be evaluated at any position. The path also
+// answers the two questions the Figure 1 semantics needs:
+//   * what does each commitment consume from here on (the consumption
+//     profile), and
+//   * which resources will therefore *expire unused* along the path
+//     (Θ_expire) — the headroom available to accommodate new computations.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rota/logic/transition.hpp"
+
+namespace rota {
+
+class ComputationPath {
+ public:
+  explicit ComputationPath(SystemState initial);
+
+  /// Appends a step, applying it to the tip state. Exceptions from rule
+  /// validation propagate and leave the path unchanged.
+  void apply(const Step& step);
+
+  /// Number of states on the path (= steps + 1).
+  std::size_t size() const { return states_.size(); }
+  const SystemState& state(std::size_t index) const { return states_.at(index); }
+  const SystemState& front() const { return states_.front(); }
+  const SystemState& back() const { return states_.back(); }
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Per-located-type consumption rates of all TickSteps at positions
+  /// >= from_index, as step functions over absolute time.
+  std::map<LocatedType, StepFunction> consumption_profile(std::size_t from_index) const;
+
+  /// Θ_expire aggregated over the suffix starting at from_index, restricted
+  /// to `window`: the supply known at each point of the path that no
+  /// commitment consumes — i.e. what would expire unless new computations
+  /// use it. Computed as (supply visible along the suffix) − (consumption
+  /// along the suffix), which is pointwise non-negative by rule validation.
+  ResourceSet expiring_resources(std::size_t from_index, const TimeInterval& window) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<SystemState> states_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace rota

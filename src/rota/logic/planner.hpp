@@ -1,0 +1,82 @@
+// Consumption planning: constructive witnesses for Theorems 2–4.
+//
+// A *plan* assigns each committed actor a consumption profile (a step
+// function per located type) and the cut points t1 < … < t(m-1) between its
+// phases, such that the profile (a) stays within the offered availability,
+// (b) respects phase order, and (c) finishes by the deadline. The existence
+// of such a plan is exactly the paper's satisfaction condition for complex
+// requirements; realizing the plan as transition-rule labels yields the
+// witness computation path of Theorem 3.
+//
+// Three policies are provided:
+//   * kAsap    — earliest-finish greedy. For a single actor against a fixed
+//     availability profile this is *complete*: each phase's finish time is
+//     minimized given the previous one, and a later phase can only benefit
+//     from an earlier start (exchange argument), so if ASAP fails, no cut
+//     points exist.
+//   * kAlap    — latest-start mirror of ASAP; finishes exactly at the
+//     deadline. Leaves early supply (most at risk of expiring) unused.
+//   * kUniform — splits the window across phases in proportion to demand and
+//     consumes eagerly inside each slice; a deliberately simple policy for
+//     the ablation study (it can reject computations ASAP accepts).
+//
+// For multiple actors sharing resources, actors are planned one at a time
+// against the remaining availability (the paper's "accommodate one more
+// computation at a time"); the planning order is the caller's choice and is
+// itself an ablation axis.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/computation/requirement.hpp"
+#include "rota/resource/resource_set.hpp"
+
+namespace rota {
+
+enum class PlanningPolicy { kAsap, kAlap, kUniform };
+
+std::string policy_name(PlanningPolicy p);
+
+/// One actor's planned consumption.
+struct ActorPlan {
+  std::string actor;
+  std::map<LocatedType, StepFunction> usage;  // consumption rate per type
+  std::vector<Tick> cut_points;               // interior phase boundaries
+  Tick start = 0;
+  Tick finish = 0;  // first tick by which every phase is complete
+
+  /// Total quantity this plan consumes (all types).
+  Quantity total_consumption() const;
+};
+
+/// A plan for a whole concurrent requirement.
+struct ConcurrentPlan {
+  std::string computation;
+  std::vector<ActorPlan> actors;
+  Tick finish = 0;  // max over actors
+
+  /// Aggregate usage across actors, per type.
+  std::map<LocatedType, StepFunction> total_usage() const;
+
+  /// The plan's usage as a resource set (for subtracting from availability).
+  ResourceSet usage_as_resources() const;
+};
+
+/// Plans one actor's complex requirement against `available`. Returns nullopt
+/// when the policy finds no feasible schedule within the requirement window.
+std::optional<ActorPlan> plan_actor(const ResourceSet& available,
+                                    const ComplexRequirement& requirement,
+                                    PlanningPolicy policy);
+
+/// Plans every actor of a concurrent requirement, each against availability
+/// net of previously planned actors, in the order given (or `order` if
+/// non-empty: a permutation of actor indices).
+std::optional<ConcurrentPlan> plan_concurrent(const ResourceSet& available,
+                                              const ConcurrentRequirement& requirement,
+                                              PlanningPolicy policy,
+                                              const std::vector<std::size_t>& order = {});
+
+}  // namespace rota

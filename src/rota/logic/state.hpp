@@ -1,0 +1,115 @@
+// System states S = (Θ, ρ, t) and the ROTA transition rules.
+//
+// Θ is the set of future-available resources, ρ the requirements of the
+// computations the system has committed to, and t the current time. The
+// paper's rules are realized as mutating operations:
+//   * advance(labels)  — the general transition rule (Δt = 1 tick): each
+//     label ξ → a burns rate × Δt of ξ's supply against commitment a's
+//     current phase; supply not named in any label expires (the resource
+//     expiration rule is the labels = {} case);
+//   * join(Θ_join)     — the resource acquisition rule (leaving is encoded
+//     at join time via the term's interval, exactly as in the paper);
+//   * accommodate(ρ')  — the computation accommodation rule (requires t < d);
+//   * leave(name)      — the computation leave rule (requires t < s).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/computation/requirement.hpp"
+#include "rota/resource/resource_set.hpp"
+
+namespace rota {
+
+/// The live progress of one committed actor computation: which phase it is
+/// in and how much of that phase's demand remains.
+struct ActorProgress {
+  std::string computation;
+  std::string actor;
+  TimeInterval window;
+  std::vector<Phase> phases;
+  std::size_t phase_index = 0;
+  DemandSet remaining;                 // of phases[phase_index]; empty iff finished
+  std::optional<Tick> finished_at;     // first tick at which all phases were done
+  Rate rate_cap = 0;                   // max per-type absorption per tick; 0 = unbounded
+
+  bool finished() const { return phase_index >= phases.size(); }
+  /// May this actor consume at tick t? (Definition 1 plus the window's s.)
+  bool active_at(Tick t) const { return !finished() && t >= window.start(); }
+  /// Unfinished at its deadline.
+  bool missed_by(Tick t) const { return !finished() && t >= window.end(); }
+  Quantity remaining_total() const;
+
+  bool operator==(const ActorProgress&) const = default;
+};
+
+/// One ξ → a consumption in a transition label: `commitment` indexes the
+/// state's commitment list.
+struct ConsumptionLabel {
+  std::size_t commitment = 0;
+  LocatedType type;
+  Rate rate = 0;
+
+  bool operator==(const ConsumptionLabel&) const = default;
+  std::string to_string() const;
+};
+
+class SystemState {
+ public:
+  SystemState() = default;
+  SystemState(ResourceSet theta, Tick now) : theta_(std::move(theta)), now_(now) {}
+
+  const ResourceSet& theta() const { return theta_; }
+  Tick now() const { return now_; }
+  const std::vector<ActorProgress>& commitments() const { return commitments_; }
+
+  /// Resource acquisition rule: Θ ← Θ ∪ Θ_join. Supply entirely in the past
+  /// is accepted but irrelevant (it can only expire).
+  void join(const ResourceSet& joined);
+
+  /// Computation accommodation rule: adds one ActorProgress per member actor.
+  /// Throws std::logic_error when t >= d (cannot accommodate past deadline).
+  void accommodate(const ConcurrentRequirement& rho);
+
+  /// Computation leave rule: removes all commitments of the named
+  /// computation. Throws std::logic_error when the computation has started
+  /// (t >= s) — started computations may not leave. Returns false if no such
+  /// computation is committed.
+  bool leave(const std::string& computation);
+
+  /// General transition rule: consume per the labels, then advance Δt = 1.
+  /// Validates the paper's side conditions and throws std::logic_error on:
+  ///   * a label naming a finished/out-of-range commitment,
+  ///   * consumption before the commitment's start time,
+  ///   * consumption exceeding the phase's remaining demand,
+  ///   * consumption exceeding the commitment's absorption rate cap,
+  ///   * aggregate consumption of a type exceeding its available rate now.
+  /// Supply at the current tick not claimed by any label expires.
+  void advance(const std::vector<ConsumptionLabel>& labels);
+
+  /// Pure expiration step (labels = {}).
+  void advance_idle() { advance({}); }
+
+  /// Drops supply strictly before `now` from Θ — semantics-neutral (past
+  /// supply can never be consumed) but keeps term counts small on long runs.
+  void garbage_collect();
+
+  bool all_finished() const;
+  bool any_missed() const;
+  std::size_t unfinished_count() const;
+
+  bool operator==(const SystemState&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  ResourceSet theta_;
+  std::vector<ActorProgress> commitments_;
+  Tick now_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const SystemState& s);
+
+}  // namespace rota

@@ -1,0 +1,81 @@
+#include "rota/logic/theorems.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rota {
+
+bool theorem1_single_action(const ResourceSet& theta, const SimpleRequirement& rho) {
+  return rho.satisfied_by(theta);
+}
+
+std::optional<std::vector<Tick>> theorem2_cut_points(const ResourceSet& theta,
+                                                     const ComplexRequirement& rho) {
+  auto plan = plan_actor(theta, rho, PlanningPolicy::kAsap);
+  if (!plan) return std::nullopt;
+  return plan->cut_points;
+}
+
+std::optional<ComputationPath> theorem3_witness(const ResourceSet& theta,
+                                                const ConcurrentRequirement& rho,
+                                                PlanningPolicy policy) {
+  const Tick start = rho.window().start();
+  if (auto plan = plan_concurrent(theta, rho, policy)) {
+    return realize_plan(theta, rho, *plan, start);
+  }
+  // Planner found nothing; fall back to schedule search over the transition
+  // rules (may recover contended multi-actor instances the sequential
+  // planner rejects).
+  SystemState s0(theta, start);
+  s0.accommodate(rho);
+  return search_feasible(s0, rho.window().end());
+}
+
+ComputationPath realize_plan(const ResourceSet& theta, const ConcurrentRequirement& rho,
+                             const ConcurrentPlan& plan, Tick start_time) {
+  if (plan.actors.size() != rho.actors().size()) {
+    throw std::logic_error("realize_plan: plan does not match requirement arity");
+  }
+  SystemState s0(theta, start_time);
+  ComputationPath path(std::move(s0));
+  path.apply(AccommodateStep{rho});
+
+  const Tick end = std::max(plan.finish, start_time);
+  for (Tick t = start_time; t < end; ++t) {
+    std::vector<ConsumptionLabel> labels;
+    for (std::size_t i = 0; i < plan.actors.size(); ++i) {
+      for (const auto& [type, f] : plan.actors[i].usage) {
+        const Rate r = f.value_at(t);
+        if (r > 0) labels.push_back(ConsumptionLabel{i, type, r});
+      }
+    }
+    path.apply(TickStep{std::move(labels)});
+  }
+
+  if (!path.back().all_finished()) {
+    throw std::logic_error("realize_plan: plan did not drain the requirement");
+  }
+  return path;
+}
+
+std::optional<ConcurrentPlan> theorem4_accommodate(const ComputationPath& sigma,
+                                                   std::size_t position,
+                                                   const ConcurrentRequirement& new_rho,
+                                                   PlanningPolicy policy) {
+  const Tick t = sigma.state(position).now();
+  const TimeInterval window(std::max(new_rho.window().start(), t),
+                            new_rho.window().end());
+  if (window.empty()) return std::nullopt;  // deadline passed
+
+  const ResourceSet expiring = sigma.expiring_resources(position, window);
+  std::vector<ComplexRequirement> clipped;
+  clipped.reserve(new_rho.actors().size());
+  for (const auto& a : new_rho.actors()) {
+    clipped.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
+  }
+  return plan_concurrent(expiring,
+                         ConcurrentRequirement(new_rho.name(), std::move(clipped), window),
+                         policy);
+}
+
+}  // namespace rota

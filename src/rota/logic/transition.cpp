@@ -1,0 +1,48 @@
+#include "rota/logic/transition.hpp"
+
+#include <sstream>
+
+namespace rota {
+
+void apply_step(SystemState& state, const Step& step) {
+  std::visit(
+      [&state](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, TickStep>) {
+          state.advance(s.consumptions);
+        } else if constexpr (std::is_same_v<T, JoinStep>) {
+          state.join(s.joined);
+        } else if constexpr (std::is_same_v<T, AccommodateStep>) {
+          state.accommodate(s.rho);
+        } else {
+          state.leave(s.computation);
+        }
+      },
+      step);
+}
+
+std::string step_to_string(const Step& step) {
+  std::ostringstream out;
+  std::visit(
+      [&out](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, TickStep>) {
+          out << "tick{";
+          for (std::size_t i = 0; i < s.consumptions.size(); ++i) {
+            if (i != 0) out << ", ";
+            out << s.consumptions[i].to_string();
+          }
+          out << '}';
+        } else if constexpr (std::is_same_v<T, JoinStep>) {
+          out << "join" << s.joined.to_string();
+        } else if constexpr (std::is_same_v<T, AccommodateStep>) {
+          out << "accommodate(" << s.rho.name() << ')';
+        } else {
+          out << "leave(" << s.computation << ')';
+        }
+      },
+      step);
+  return out.str();
+}
+
+}  // namespace rota

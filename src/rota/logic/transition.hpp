@@ -1,0 +1,53 @@
+// Labeled transitions between system states.
+//
+// A Step is the label on one edge of the system's evolution tree: either a
+// timed step (the general transition rule — a set of ξ → a consumptions, with
+// everything unclaimed expiring, advancing t by Δt) or one of the three
+// instantaneous rules (resource acquisition, computation accommodation,
+// computation leave).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rota/computation/requirement.hpp"
+#include "rota/logic/state.hpp"
+#include "rota/resource/resource_set.hpp"
+
+namespace rota {
+
+/// The general transition rule. An empty `consumptions` vector is the pure
+/// resource-expiration rule.
+struct TickStep {
+  std::vector<ConsumptionLabel> consumptions;
+  bool operator==(const TickStep&) const = default;
+};
+
+/// The resource acquisition rule (Θ_join, with any future departure encoded
+/// in the joined terms' intervals).
+struct JoinStep {
+  ResourceSet joined;
+  bool operator==(const JoinStep&) const = default;
+};
+
+/// The computation accommodation rule.
+struct AccommodateStep {
+  ConcurrentRequirement rho;
+  bool operator==(const AccommodateStep&) const = default;
+};
+
+/// The computation leave rule.
+struct LeaveStep {
+  std::string computation;
+  bool operator==(const LeaveStep&) const = default;
+};
+
+using Step = std::variant<TickStep, JoinStep, AccommodateStep, LeaveStep>;
+
+/// Applies a step to a state in place (dispatching to the matching rule).
+void apply_step(SystemState& state, const Step& step);
+
+std::string step_to_string(const Step& step);
+
+}  // namespace rota

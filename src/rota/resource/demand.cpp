@@ -1,0 +1,59 @@
+#include "rota/resource/demand.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+void DemandSet::add(const LocatedType& type, Quantity quantity) {
+  if (quantity < 0) throw std::invalid_argument("demand quantities cannot be negative");
+  if (quantity == 0) return;
+  amounts_[type] += quantity;
+}
+
+void DemandSet::merge(const DemandSet& other) {
+  for (const auto& [type, q] : other.amounts_) add(type, q);
+}
+
+void DemandSet::subtract(const LocatedType& type, Quantity quantity) {
+  if (quantity < 0) throw std::invalid_argument("cannot subtract a negative demand");
+  if (quantity == 0) return;
+  auto it = amounts_.find(type);
+  if (it == amounts_.end() || it->second < quantity) {
+    throw std::invalid_argument("demand subtraction overshoots: removing " +
+                                std::to_string(quantity) + " of " + type.to_string());
+  }
+  it->second -= quantity;
+  if (it->second == 0) amounts_.erase(it);
+}
+
+Quantity DemandSet::of(const LocatedType& type) const {
+  auto it = amounts_.find(type);
+  return it == amounts_.end() ? 0 : it->second;
+}
+
+Quantity DemandSet::total() const {
+  Quantity sum = 0;
+  for (const auto& [type, q] : amounts_) sum += q;
+  return sum;
+}
+
+std::string DemandSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [type, q] : amounts_) {
+    if (!first) out << ", ";
+    out << '{' << q << '}' << '_' << type.to_string();
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const DemandSet& d) {
+  return os << d.to_string();
+}
+
+}  // namespace rota

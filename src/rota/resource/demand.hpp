@@ -1,0 +1,55 @@
+// Resource demands: located quantities, the codomain of the paper's Φ.
+//
+// Where a resource *term* promises a rate over an interval, a *demand* is a
+// total amount of a located type that some action must absorb — "{4} units of
+// <network, l1 -> l2>". A demand set maps located types to required amounts.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "rota/resource/located_type.hpp"
+#include "rota/time/tick.hpp"
+
+namespace rota {
+
+struct Demand {
+  LocatedType type;
+  Quantity quantity = 0;
+
+  bool operator==(const Demand&) const = default;
+};
+
+/// An aggregated multi-type demand (e.g. migrate needs cpu at the source,
+/// network on the link, and cpu at the destination).
+class DemandSet {
+ public:
+  DemandSet() = default;
+
+  void add(const LocatedType& type, Quantity quantity);
+  void add(const Demand& d) { add(d.type, d.quantity); }
+  void merge(const DemandSet& other);
+
+  /// Removes `quantity` units of `type`; throws if more than is present
+  /// (consumption may not overshoot a requirement).
+  void subtract(const LocatedType& type, Quantity quantity);
+
+  bool empty() const { return amounts_.empty(); }
+  std::size_t size() const { return amounts_.size(); }
+  Quantity of(const LocatedType& type) const;
+  Quantity total() const;
+
+  const std::map<LocatedType, Quantity>& amounts() const { return amounts_; }
+
+  bool operator==(const DemandSet&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::map<LocatedType, Quantity> amounts_;  // values always > 0
+};
+
+std::ostream& operator<<(std::ostream& os, const DemandSet& d);
+
+}  // namespace rota

@@ -1,0 +1,78 @@
+#include "rota/resource/located_type.hpp"
+
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace rota {
+
+namespace {
+
+// Global intern table for location names. Guarded for thread-safe creation;
+// lookups by id read an append-only vector under the same lock for
+// simplicity (location creation is not on any hot path).
+struct InternTable {
+  std::mutex mu;
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  std::vector<std::string> names{"<nowhere>"};  // id 0 reserved
+};
+
+InternTable& interns() {
+  static InternTable table;
+  return table;
+}
+
+}  // namespace
+
+Location::Location(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("Location name must be non-empty");
+  auto& table = interns();
+  std::lock_guard<std::mutex> lock(table.mu);
+  auto [it, inserted] = table.by_name.emplace(name, static_cast<std::uint32_t>(table.names.size()));
+  if (inserted) table.names.push_back(name);
+  id_ = it->second;
+}
+
+std::string Location::name() const {
+  auto& table = interns();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return table.names.at(id_);
+}
+
+std::string kind_name(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kCpu: return "cpu";
+    case ResourceKind::kNetwork: return "network";
+    case ResourceKind::kMemory: return "memory";
+    case ResourceKind::kDisk: return "disk";
+    case ResourceKind::kCustom: return "custom";
+  }
+  throw std::invalid_argument("invalid ResourceKind");
+}
+
+LocatedType LocatedType::node(ResourceKind kind, Location at) {
+  return LocatedType(kind, at, at);
+}
+
+LocatedType LocatedType::link(ResourceKind kind, Location from, Location to) {
+  if (from == to) {
+    throw std::invalid_argument("link resource requires distinct endpoints");
+  }
+  return LocatedType(kind, from, to);
+}
+
+std::string LocatedType::to_string() const {
+  std::string out = "<" + kind_name(kind_) + ", " + source_.name();
+  if (is_link()) out += " -> " + destination_.name();
+  out += ">";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Location& l) { return os << l.name(); }
+std::ostream& operator<<(std::ostream& os, const LocatedType& t) {
+  return os << t.to_string();
+}
+
+}  // namespace rota

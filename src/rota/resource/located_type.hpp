@@ -1,0 +1,109 @@
+// Located resource types (ξ in the paper).
+//
+// A located type pairs a resource kind with the place it lives: node-local
+// resources (CPU, memory, ...) carry one location; communication resources
+// carry a directed source→destination pair, e.g. <network, l1→l2>.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace rota {
+
+/// A location (node) identifier. Locations are interned strings: creating a
+/// Location with the same name twice yields equal ids, and comparisons are
+/// integer comparisons.
+class Location {
+ public:
+  Location() = default;  // the distinguished "nowhere" location
+  explicit Location(const std::string& name);
+
+  /// Returned by value: the intern table may reallocate as new locations are
+  /// created, so references into it would not be stable.
+  std::string name() const;
+  std::uint32_t id() const { return id_; }
+
+  friend auto operator<=>(const Location& a, const Location& b) { return a.id_ <=> b.id_; }
+  friend bool operator==(const Location& a, const Location& b) { return a.id_ == b.id_; }
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+/// Resource kinds. The paper works with cpu and network; the calculus is
+/// kind-agnostic, so we keep the enum open-ended for library users.
+enum class ResourceKind : std::uint8_t {
+  kCpu = 0,
+  kNetwork,
+  kMemory,
+  kDisk,
+  kCustom,
+};
+
+std::string kind_name(ResourceKind k);
+
+/// ξ: a resource kind plus its spatial coordinates. Node resources use
+/// `source == destination`; link resources are directed pairs.
+class LocatedType {
+ public:
+  LocatedType() = default;
+
+  /// Node-local resource, e.g. <cpu, l1>.
+  static LocatedType node(ResourceKind kind, Location at);
+  /// Directed link resource, e.g. <network, l1 -> l2>.
+  static LocatedType link(ResourceKind kind, Location from, Location to);
+
+  static LocatedType cpu(Location at) { return node(ResourceKind::kCpu, at); }
+  static LocatedType network(Location from, Location to) {
+    return link(ResourceKind::kNetwork, from, to);
+  }
+  static LocatedType memory(Location at) { return node(ResourceKind::kMemory, at); }
+
+  ResourceKind kind() const { return kind_; }
+  Location source() const { return source_; }
+  Location destination() const { return destination_; }
+  bool is_link() const { return source_ != destination_; }
+
+  /// "A computation that requires ξ2 can instead use ξ1": in this calculus
+  /// located types are compatible only when identical (a CPU at l1 cannot
+  /// stand in for one at l2). Kept as a named function because the paper's
+  /// domination order is phrased as ξ1 ≥ ξ2.
+  bool satisfies(const LocatedType& required) const { return *this == required; }
+
+  friend auto operator<=>(const LocatedType&, const LocatedType&) = default;
+
+  std::string to_string() const;
+
+ private:
+  LocatedType(ResourceKind kind, Location src, Location dst)
+      : kind_(kind), source_(src), destination_(dst) {}
+
+  ResourceKind kind_ = ResourceKind::kCustom;
+  Location source_;
+  Location destination_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Location& l);
+std::ostream& operator<<(std::ostream& os, const LocatedType& t);
+
+}  // namespace rota
+
+template <>
+struct std::hash<rota::Location> {
+  std::size_t operator()(const rota::Location& l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.id());
+  }
+};
+
+template <>
+struct std::hash<rota::LocatedType> {
+  std::size_t operator()(const rota::LocatedType& t) const noexcept {
+    std::size_t h = std::hash<std::uint8_t>{}(static_cast<std::uint8_t>(t.kind()));
+    h = h * 1000003u ^ std::hash<rota::Location>{}(t.source());
+    h = h * 1000003u ^ std::hash<rota::Location>{}(t.destination());
+    return h;
+  }
+};

@@ -1,0 +1,154 @@
+#include "rota/resource/resource_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace rota {
+
+const StepFunction& ResourceSet::zero_function() {
+  static const StepFunction zero;
+  return zero;
+}
+
+void ResourceSet::add(const ResourceTerm& term) {
+  if (term.is_null()) return;
+  auto [it, inserted] =
+      by_type_.emplace(term.type(), StepFunction(term.interval(), term.rate()));
+  if (!inserted) it->second.add(term.interval(), term.rate());
+}
+
+ResourceSet ResourceSet::unioned(const ResourceSet& other) const {
+  ResourceSet out = *this;
+  for (const auto& [type, profile] : other.by_type_) {
+    auto [it, inserted] = out.by_type_.emplace(type, profile);
+    if (!inserted) it->second = it->second.plus(profile);
+  }
+  return out;
+}
+
+std::optional<ResourceSet> ResourceSet::relative_complement(
+    const ResourceSet& other) const {
+  ResourceSet out = *this;
+  for (const auto& [type, needed] : other.by_type_) {
+    auto it = out.by_type_.find(type);
+    if (it == out.by_type_.end()) {
+      if (!needed.is_zero()) return std::nullopt;
+      continue;
+    }
+    StepFunction diff = it->second.minus(needed);
+    if (diff.min_value() < 0) return std::nullopt;  // not dominated: undefined
+    if (diff.is_zero()) {
+      out.by_type_.erase(it);
+    } else {
+      it->second = std::move(diff);
+    }
+  }
+  return out;
+}
+
+bool ResourceSet::dominates(const ResourceSet& other) const {
+  for (const auto& [type, needed] : other.by_type_) {
+    if (!availability(type).dominates(needed)) return false;
+  }
+  return true;
+}
+
+bool ResourceSet::empty() const {
+  for (const auto& [type, profile] : by_type_) {
+    if (!profile.is_zero()) return false;
+  }
+  return true;
+}
+
+std::vector<ResourceTerm> ResourceSet::terms() const {
+  std::vector<ResourceTerm> out;
+  for (const auto& [type, profile] : by_type_) {
+    for (const auto& seg : profile.segments()) {
+      out.emplace_back(seg.value, seg.interval, type);
+    }
+  }
+  return out;
+}
+
+std::size_t ResourceSet::term_count() const {
+  std::size_t n = 0;
+  for (const auto& [type, profile] : by_type_) n += profile.segments().size();
+  return n;
+}
+
+const StepFunction& ResourceSet::availability(const LocatedType& type) const {
+  auto it = by_type_.find(type);
+  return it == by_type_.end() ? zero_function() : it->second;
+}
+
+std::vector<LocatedType> ResourceSet::types() const {
+  std::vector<LocatedType> out;
+  out.reserve(by_type_.size());
+  for (const auto& [type, profile] : by_type_) out.push_back(type);
+  return out;
+}
+
+ResourceSet ResourceSet::restricted(const TimeInterval& window) const {
+  ResourceSet out;
+  for (const auto& [type, profile] : by_type_) {
+    StepFunction r = profile.restricted(window);
+    if (!r.is_zero()) out.by_type_.emplace(type, std::move(r));
+  }
+  return out;
+}
+
+Quantity ResourceSet::quantity(const LocatedType& type,
+                               const TimeInterval& window) const {
+  return availability(type).integral(window);
+}
+
+bool ResourceSet::satisfies(const DemandSet& demand,
+                            const TimeInterval& window) const {
+  for (const auto& [type, q] : demand.amounts()) {
+    if (quantity(type, window) < q) return false;
+  }
+  return true;
+}
+
+ResourceSet ResourceSet::from(Tick t) const {
+  return restricted(TimeInterval(t, kTickMax));
+}
+
+ResourceSet ResourceSet::coarsened(Tick factor) const {
+  ResourceSet out;
+  for (const auto& [type, profile] : by_type_) {
+    StepFunction coarse = profile.coarsened(factor);
+    if (!coarse.is_zero()) out.by_type_.emplace(type, std::move(coarse));
+  }
+  return out;
+}
+
+std::optional<Tick> ResourceSet::horizon() const {
+  std::optional<Tick> latest;
+  for (const auto& [type, profile] : by_type_) {
+    if (profile.is_zero()) continue;
+    const Tick end = profile.segments().back().interval.end();
+    if (!latest || end > *latest) latest = end;
+  }
+  return latest;
+}
+
+std::string ResourceSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& term : terms()) {
+    if (!first) out << ", ";
+    out << term.to_string();
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceSet& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rota

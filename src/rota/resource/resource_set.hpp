@@ -1,0 +1,99 @@
+// Resource sets (Θ in the paper): collections of resource terms with
+// automatic simplification.
+//
+// Internally a resource set keys a canonical step function of available rate
+// by located type. This makes the paper's operations exact and cheap:
+//   * union (resources joining)       = pointwise addition,
+//   * simplification                  = canonical segment form,
+//   * relative complement (consuming) = pointwise subtraction, defined only
+//     when the subtrahend is dominated everywhere,
+//   * term extraction                 = reading the segments back out.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/resource/demand.hpp"
+#include "rota/resource/resource_term.hpp"
+#include "rota/resource/step_function.hpp"
+
+namespace rota {
+
+class ResourceSet {
+ public:
+  ResourceSet() = default;
+  ResourceSet(std::initializer_list<ResourceTerm> terms) {
+    for (const auto& t : terms) add(t);
+  }
+
+  /// Union with a single term (Θ ∪ {[r]^τ_ξ}), simplifying as the paper does.
+  void add(const ResourceTerm& term);
+  void add(Rate rate, const TimeInterval& interval, const LocatedType& type) {
+    add(ResourceTerm(rate, interval, type));
+  }
+
+  /// Θ1 ∪ Θ2 with simplification.
+  ResourceSet unioned(const ResourceSet& other) const;
+
+  /// Θ1 \ Θ2 — the paper's relative complement. Defined only when every term
+  /// of `other` is dominated by availability here; returns nullopt otherwise
+  /// (equivalently: when subtraction would drive some rate negative).
+  std::optional<ResourceSet> relative_complement(const ResourceSet& other) const;
+
+  /// True iff this set can stand in for `other` everywhere (pointwise >=,
+  /// per located type). The set-level counterpart of term domination.
+  bool dominates(const ResourceSet& other) const;
+
+  bool empty() const;
+
+  /// The simplified terms — maximal constant-rate runs per located type,
+  /// exactly what the paper's simplification rule produces.
+  std::vector<ResourceTerm> terms() const;
+  std::size_t term_count() const;
+
+  /// Availability profile of one located type (zero function if absent).
+  const StepFunction& availability(const LocatedType& type) const;
+
+  std::vector<LocatedType> types() const;
+
+  /// ⋃_s^d Θ restricted to a window (the f-function's left-hand side).
+  ResourceSet restricted(const TimeInterval& window) const;
+
+  /// Total quantity of `type` deliverable within `window`.
+  Quantity quantity(const LocatedType& type, const TimeInterval& window) const;
+
+  /// The paper's satisfaction function f(Θ, ρ(γ,s,d)) for a single demand
+  /// set: every located quantity must be coverable within the window.
+  bool satisfies(const DemandSet& demand, const TimeInterval& window) const;
+
+  /// Drops all supply strictly before `t` (resources in the past are gone —
+  /// used when advancing system states).
+  ResourceSet from(Tick t) const;
+
+  /// Conservative coarse-granularity view: every type's profile downsampled
+  /// to `factor`-tick buckets at the bucket minimum (see
+  /// StepFunction::coarsened). Reasoning against the result is sound for the
+  /// original supply, at reduced precision and (on fragmented profiles)
+  /// reduced cost.
+  ResourceSet coarsened(Tick factor) const;
+
+  /// Latest tick at which any supply exists; nullopt for an empty set.
+  std::optional<Tick> horizon() const;
+
+  bool operator==(const ResourceSet&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  static const StepFunction& zero_function();
+
+  std::map<LocatedType, StepFunction> by_type_;  // no zero functions stored
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceSet& s);
+
+}  // namespace rota

@@ -1,0 +1,40 @@
+#include "rota/resource/resource_term.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "rota/time/allen.hpp"
+
+namespace rota {
+
+ResourceTerm::ResourceTerm(Rate rate, const TimeInterval& interval,
+                           const LocatedType& type)
+    : rate_(rate), interval_(interval), type_(type) {
+  if (rate < 0) {
+    throw std::invalid_argument("resource terms cannot be negative (rate " +
+                                std::to_string(rate) + ")");
+  }
+}
+
+bool ResourceTerm::dominates_strictly(const ResourceTerm& other) const {
+  return type_.satisfies(other.type_) && rate_ > other.rate_ &&
+         within(other.interval_, interval_);
+}
+
+bool ResourceTerm::dominates(const ResourceTerm& other) const {
+  return type_.satisfies(other.type_) && rate_ >= other.rate_ &&
+         within(other.interval_, interval_);
+}
+
+std::string ResourceTerm::to_string() const {
+  std::ostringstream out;
+  out << '[' << rate_ << "]^" << interval_.to_string() << '_' << type_.to_string();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceTerm& t) {
+  return os << t.to_string();
+}
+
+}  // namespace rota

@@ -1,0 +1,59 @@
+// Resource terms: [r]^τ_ξ — rate r of located type ξ over interval τ.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rota/resource/located_type.hpp"
+#include "rota/time/interval.hpp"
+
+namespace rota {
+
+class ResourceTerm {
+ public:
+  /// Constructs [rate]^interval_type. Rates must be non-negative (the paper:
+  /// "resource terms cannot be negative"); a zero rate or empty interval
+  /// yields a null term.
+  ResourceTerm(Rate rate, const TimeInterval& interval, const LocatedType& type);
+
+  Rate rate() const { return rate_; }
+  const TimeInterval& interval() const { return interval_; }
+  const LocatedType& type() const { return type_; }
+
+  /// "Resources are only defined during non-empty time intervals": a term
+  /// with empty interval (or zero rate) is null — it denotes no resource.
+  bool is_null() const { return interval_.empty() || rate_ == 0; }
+
+  /// Total quantity r × |τ| deliverable by this term.
+  Quantity total_quantity() const {
+    return static_cast<Quantity>(rate_) * interval_.length();
+  }
+
+  /// The paper's strict domination order on terms: ξ1 satisfies ξ2, r1 > r2,
+  /// and τ2 during τ1 (inclusive). "A computation that requires the latter
+  /// can instead use the former, with some to spare."
+  bool dominates_strictly(const ResourceTerm& other) const;
+
+  /// Weak domination (r1 >= r2): sufficient for satisfaction with nothing to
+  /// spare; this is the order feasibility checking uses.
+  bool dominates(const ResourceTerm& other) const;
+
+  bool operator==(const ResourceTerm&) const = default;
+
+  /// "[r]^[s,e)_<kind, loc>".
+  std::string to_string() const;
+
+ private:
+  Rate rate_;
+  TimeInterval interval_;
+  LocatedType type_;
+};
+
+/// The paper's term inequality [r1]^τ1_ξ1 > [r2]^τ2_ξ2.
+inline bool operator>(const ResourceTerm& a, const ResourceTerm& b) {
+  return a.dominates_strictly(b);
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceTerm& t);
+
+}  // namespace rota

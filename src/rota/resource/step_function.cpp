@@ -1,0 +1,249 @@
+#include "rota/resource/step_function.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+StepFunction::StepFunction(const TimeInterval& iv, Rate value) {
+  if (!iv.empty() && value != 0) segments_.push_back({iv, value});
+}
+
+void StepFunction::normalize() {
+  std::vector<Segment> out;
+  out.reserve(segments_.size());
+  for (const auto& seg : segments_) {
+    if (seg.interval.empty() || seg.value == 0) continue;
+    if (!out.empty() && out.back().value == seg.value &&
+        out.back().interval.end() == seg.interval.start()) {
+      out.back().interval =
+          TimeInterval(out.back().interval.start(), seg.interval.end());
+    } else {
+      out.push_back(seg);
+    }
+  }
+  segments_ = std::move(out);
+}
+
+Rate StepFunction::value_at(Tick t) const {
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Tick v, const Segment& s) { return v < s.interval.start(); });
+  if (it == segments_.begin()) return 0;
+  const Segment& seg = *std::prev(it);
+  return seg.interval.contains(t) ? seg.value : 0;
+}
+
+template <typename Op>
+StepFunction StepFunction::combine(const StepFunction& other, Op op) const {
+  // Sweep over the union of segment boundaries; both functions are constant
+  // between consecutive boundaries.
+  std::vector<Tick> bounds;
+  bounds.reserve(2 * (segments_.size() + other.segments_.size()));
+  for (const auto& s : segments_) {
+    bounds.push_back(s.interval.start());
+    bounds.push_back(s.interval.end());
+  }
+  for (const auto& s : other.segments_) {
+    bounds.push_back(s.interval.start());
+    bounds.push_back(s.interval.end());
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  StepFunction result;
+  result.segments_.reserve(bounds.empty() ? 0 : bounds.size() - 1);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const Tick lo = bounds[i], hi = bounds[i + 1];
+    const Rate v = op(value_at(lo), other.value_at(lo));
+    if (v != 0) result.segments_.push_back({TimeInterval(lo, hi), v});
+  }
+  result.normalize();
+  return result;
+}
+
+StepFunction StepFunction::plus(const StepFunction& other) const {
+  return combine(other, [](Rate a, Rate b) { return a + b; });
+}
+
+StepFunction StepFunction::minus(const StepFunction& other) const {
+  return combine(other, [](Rate a, Rate b) { return a - b; });
+}
+
+void StepFunction::add(const TimeInterval& iv, Rate value) {
+  *this = plus(StepFunction(iv, value));
+}
+
+StepFunction StepFunction::min(const StepFunction& other) const {
+  return combine(other, [](Rate a, Rate b) { return a < b ? a : b; });
+}
+
+StepFunction StepFunction::max(const StepFunction& other) const {
+  return combine(other, [](Rate a, Rate b) { return a > b ? a : b; });
+}
+
+StepFunction StepFunction::restricted(const TimeInterval& window) const {
+  StepFunction result;
+  for (const auto& seg : segments_) {
+    const TimeInterval x = seg.interval.intersection(window);
+    if (!x.empty()) result.segments_.push_back({x, seg.value});
+  }
+  result.normalize();
+  return result;
+}
+
+StepFunction StepFunction::clamped_nonnegative() const {
+  StepFunction result;
+  for (const auto& seg : segments_) {
+    if (seg.value > 0) result.segments_.push_back(seg);
+  }
+  result.normalize();
+  return result;
+}
+
+Rate StepFunction::min_value() const {
+  Rate m = 0;  // the function is 0 outside its support
+  for (const auto& seg : segments_) m = std::min(m, seg.value);
+  return m;
+}
+
+Rate StepFunction::min_over(const TimeInterval& window) const {
+  if (window.empty()) return 0;
+  Rate m = std::numeric_limits<Rate>::max();
+  Tick covered_until = window.start();
+  for (const auto& seg : segments_) {
+    const TimeInterval x = seg.interval.intersection(window);
+    if (x.empty()) continue;
+    if (x.start() > covered_until) m = std::min<Rate>(m, 0);  // gap inside window
+    m = std::min(m, seg.value);
+    covered_until = std::max(covered_until, x.end());
+  }
+  if (covered_until < window.end()) m = std::min<Rate>(m, 0);
+  return m == std::numeric_limits<Rate>::max() ? 0 : m;
+}
+
+Quantity StepFunction::integral(const TimeInterval& window) const {
+  Quantity total = 0;
+  for (const auto& seg : segments_) {
+    const TimeInterval x = seg.interval.intersection(window);
+    total += static_cast<Quantity>(x.length()) * seg.value;
+  }
+  return total;
+}
+
+Quantity StepFunction::integral() const {
+  Quantity total = 0;
+  for (const auto& seg : segments_) {
+    total += static_cast<Quantity>(seg.interval.length()) * seg.value;
+  }
+  return total;
+}
+
+bool StepFunction::dominates(const StepFunction& other) const {
+  return minus(other).min_value() >= 0;
+}
+
+IntervalSet StepFunction::support() const {
+  IntervalSet out;
+  for (const auto& seg : segments_) {
+    if (seg.value > 0) out.insert(seg.interval);
+  }
+  return out;
+}
+
+IntervalSet StepFunction::where_at_least(Rate threshold, const TimeInterval& window) const {
+  if (threshold <= 0) {
+    throw std::invalid_argument("where_at_least requires a positive threshold");
+  }
+  IntervalSet out;
+  for (const auto& seg : segments_) {
+    if (seg.value < threshold) continue;
+    const TimeInterval x = seg.interval.intersection(window);
+    if (!x.empty()) out.insert(x);
+  }
+  return out;
+}
+
+std::optional<Tick> StepFunction::earliest_cover(const TimeInterval& window,
+                                                 Quantity q) const {
+  if (q < 0) throw std::invalid_argument("earliest_cover requires q >= 0");
+  if (q == 0) return window.start();
+  Quantity remaining = q;
+  for (const auto& seg : segments_) {
+    const TimeInterval x = seg.interval.intersection(window);
+    if (x.empty() || seg.value <= 0) continue;
+    const Quantity here = static_cast<Quantity>(x.length()) * seg.value;
+    if (here >= remaining) {
+      const Tick ticks_needed = (remaining + seg.value - 1) / seg.value;  // ceil
+      return x.start() + ticks_needed;
+    }
+    remaining -= here;
+  }
+  return std::nullopt;
+}
+
+std::optional<Tick> StepFunction::latest_cover_start(const TimeInterval& window,
+                                                     Quantity q) const {
+  if (q < 0) throw std::invalid_argument("latest_cover_start requires q >= 0");
+  if (q == 0) return window.end();
+  Quantity remaining = q;
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    const TimeInterval x = it->interval.intersection(window);
+    if (x.empty() || it->value <= 0) continue;
+    const Quantity here = static_cast<Quantity>(x.length()) * it->value;
+    if (here >= remaining) {
+      const Tick ticks_needed = (remaining + it->value - 1) / it->value;  // ceil
+      return x.end() - ticks_needed;
+    }
+    remaining -= here;
+  }
+  return std::nullopt;
+}
+
+StepFunction StepFunction::coarsened(Tick factor) const {
+  if (factor <= 0) throw std::invalid_argument("coarsened requires factor >= 1");
+  if (factor == 1 || segments_.empty()) return *this;
+
+  auto floor_div = [](Tick a, Tick b) {
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+  };
+  const Tick first_bucket = floor_div(segments_.front().interval.start(), factor);
+  const Tick last_bucket = floor_div(segments_.back().interval.end() - 1, factor);
+
+  StepFunction result;
+  for (Tick b = first_bucket; b <= last_bucket; ++b) {
+    const TimeInterval bucket(b * factor, (b + 1) * factor);
+    const Rate v = min_over(bucket);  // counts gaps inside the bucket as 0
+    if (v != 0) result.segments_.push_back({bucket, v});
+  }
+  result.normalize();
+  return result;
+}
+
+StepFunction StepFunction::shifted(Tick dt) const {
+  StepFunction result;
+  result.segments_.reserve(segments_.size());
+  for (const auto& seg : segments_) {
+    result.segments_.push_back({seg.interval.shifted(dt), seg.value});
+  }
+  return result;
+}
+
+std::string StepFunction::to_string() const {
+  if (segments_.empty()) return "0";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (i != 0) out << " + ";
+    out << segments_[i].value << '@' << segments_[i].interval.to_string();
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const StepFunction& f) {
+  return os << f.to_string();
+}
+
+}  // namespace rota

@@ -1,0 +1,56 @@
+// Umbrella header: the full public API of the ROTA library.
+//
+// ROTA (Resource-Oriented Temporal logic for Accommodation) reproduces
+// "Temporal Reasoning about Resources for Deadline Assurance in Distributed
+// Systems" (Zhao & Jamali, 2010). See README.md for a tour and DESIGN.md for
+// the module map.
+#pragma once
+
+#include "rota/time/tick.hpp"
+#include "rota/time/interval.hpp"
+#include "rota/time/allen.hpp"
+#include "rota/time/interval_set.hpp"
+#include "rota/time/ia_network.hpp"
+
+#include "rota/resource/located_type.hpp"
+#include "rota/resource/step_function.hpp"
+#include "rota/resource/demand.hpp"
+#include "rota/resource/resource_term.hpp"
+#include "rota/resource/resource_set.hpp"
+
+#include "rota/computation/action.hpp"
+#include "rota/computation/cost_model.hpp"
+#include "rota/computation/actor_computation.hpp"
+#include "rota/computation/requirement.hpp"
+#include "rota/computation/interaction.hpp"
+
+#include "rota/logic/state.hpp"
+#include "rota/logic/transition.hpp"
+#include "rota/logic/path.hpp"
+#include "rota/logic/planner.hpp"
+#include "rota/logic/dag_planner.hpp"
+#include "rota/logic/explorer.hpp"
+#include "rota/logic/formula.hpp"
+#include "rota/logic/model_checker.hpp"
+#include "rota/logic/theorems.hpp"
+
+#include "rota/admission/ledger.hpp"
+#include "rota/admission/controller.hpp"
+#include "rota/admission/baselines.hpp"
+#include "rota/admission/negotiation.hpp"
+#include "rota/admission/audit.hpp"
+#include "rota/admission/periodic.hpp"
+
+#include "rota/cyberorgs/cyberorg.hpp"
+#include "rota/advisor/migration_advisor.hpp"
+#include "rota/io/scenario.hpp"
+#include "rota/io/formula_parser.hpp"
+#include "rota/io/trace.hpp"
+#include "rota/io/dot.hpp"
+
+#include "rota/sim/churn.hpp"
+#include "rota/sim/simulator.hpp"
+#include "rota/sim/metrics.hpp"
+
+#include "rota/workload/generator.hpp"
+#include "rota/workload/scenarios.hpp"

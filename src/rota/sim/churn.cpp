@@ -1,0 +1,18 @@
+#include "rota/sim/churn.hpp"
+
+#include <algorithm>
+
+namespace rota {
+
+void ChurnTrace::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const JoinEvent& a, const JoinEvent& b) { return a.at < b.at; });
+}
+
+ResourceSet ChurnTrace::total_supply() const {
+  ResourceSet out;
+  for (const auto& e : events_) out.add(e.term);
+  return out;
+}
+
+}  // namespace rota

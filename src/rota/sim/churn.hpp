@@ -1,0 +1,44 @@
+// Resource churn traces for open systems.
+//
+// In the paper's model resources only ever *join* — a resource that will
+// leave declares its departure time up front via its term's interval (there
+// is no leave rule for resources). A churn trace is therefore just a list of
+// timed joins, each contributing a finite-lifetime resource term.
+#pragma once
+
+#include <vector>
+
+#include "rota/resource/resource_set.hpp"
+
+namespace rota {
+
+struct JoinEvent {
+  Tick at = 0;            // when the resource becomes known to the system
+  ResourceTerm term;      // its availability (interval encodes the lifetime)
+
+  bool operator==(const JoinEvent&) const = default;
+};
+
+class ChurnTrace {
+ public:
+  ChurnTrace() = default;
+
+  void add(Tick at, const ResourceTerm& term) { events_.push_back({at, term}); }
+
+  /// Events sorted by join time (stable for equal times).
+  const std::vector<JoinEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Sorts events by join time; call once after bulk construction.
+  void sort();
+
+  /// The union of every event's term — the supply an omniscient observer
+  /// would see (useful for computing offered load).
+  ResourceSet total_supply() const;
+
+ private:
+  std::vector<JoinEvent> events_;
+};
+
+}  // namespace rota

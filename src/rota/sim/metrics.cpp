@@ -1,0 +1,58 @@
+#include "rota/sim/metrics.hpp"
+
+#include <sstream>
+
+namespace rota {
+
+std::size_t SimReport::met() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes) n += o.met_deadline() ? 1 : 0;
+  return n;
+}
+
+double SimReport::miss_rate() const {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(missed()) / static_cast<double>(outcomes.size());
+}
+
+double SimReport::mean_tardiness() const {
+  Tick total = 0;
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (auto t = o.tardiness()) {
+      total += *t;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
+}
+
+double SimReport::mean_response_time() const {
+  Tick total = 0;
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (auto t = o.response_time()) {
+      total += *t;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(n);
+}
+
+double SimReport::utilization() const {
+  Quantity total_supplied = 0;
+  Quantity total_consumed = 0;
+  for (const auto& [type, q] : supplied) total_supplied += q;
+  for (const auto& [type, q] : consumed) total_consumed += q;
+  if (total_supplied == 0) return 0.0;
+  return static_cast<double>(total_consumed) / static_cast<double>(total_supplied);
+}
+
+std::string SimReport::to_string() const {
+  std::ostringstream out;
+  out << "admitted=" << admitted() << " met=" << met() << " missed=" << missed()
+      << " miss_rate=" << miss_rate() << " utilization=" << utilization();
+  return out.str();
+}
+
+}  // namespace rota

@@ -1,0 +1,64 @@
+// Execution outcomes and derived metrics.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/resource/located_type.hpp"
+#include "rota/time/interval.hpp"
+
+namespace rota {
+
+/// What happened to one admitted computation.
+struct ComputationOutcome {
+  std::string name;
+  TimeInterval window;
+  bool completed = false;            // all actors drained by the horizon
+  std::optional<Tick> finished_at;   // last actor's finish tick, if completed
+  bool met_deadline() const {
+    return completed && finished_at && *finished_at <= window.end();
+  }
+  /// Ticks past the deadline (0 when on time; nullopt when never completed —
+  /// unbounded tardiness).
+  std::optional<Tick> tardiness() const {
+    if (!completed || !finished_at) return std::nullopt;
+    return *finished_at > window.end() ? *finished_at - window.end() : 0;
+  }
+  /// Finish time relative to the window start (the job-level response time);
+  /// nullopt when never completed.
+  std::optional<Tick> response_time() const {
+    if (!completed || !finished_at) return std::nullopt;
+    return *finished_at - window.start();
+  }
+};
+
+/// One simulation run's results.
+struct SimReport {
+  std::vector<ComputationOutcome> outcomes;
+  Tick horizon = 0;
+  std::map<LocatedType, Quantity> supplied;  // total quantity offered
+  std::map<LocatedType, Quantity> consumed;  // total quantity used
+
+  std::size_t admitted() const { return outcomes.size(); }
+  std::size_t met() const;
+  std::size_t missed() const { return admitted() - met(); }
+
+  /// Deadline-miss rate among admitted computations (0 when none admitted).
+  double miss_rate() const;
+
+  /// Mean tardiness over computations that completed (incomplete ones are
+  /// excluded — report missed() alongside); 0 when nothing completed.
+  double mean_tardiness() const;
+
+  /// Mean response time (finish − window start) over completed computations.
+  double mean_response_time() const;
+
+  /// Consumed / supplied across all types (goodput proxy).
+  double utilization() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace rota

@@ -1,0 +1,187 @@
+#include "rota/sim/simulator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rota {
+
+std::string execution_mode_name(ExecutionMode m) {
+  switch (m) {
+    case ExecutionMode::kPlanFollowing: return "plan-following";
+    case ExecutionMode::kWorkConserving: return "work-conserving";
+  }
+  throw std::invalid_argument("invalid ExecutionMode");
+}
+
+Simulator::Simulator(ResourceSet initial_supply, Tick start, ExecutionMode mode,
+                     PriorityOrder discipline)
+    : initial_supply_(std::move(initial_supply)),
+      start_(start),
+      mode_(mode),
+      discipline_(discipline) {}
+
+void Simulator::schedule_join(Tick at, const ResourceSet& joined) {
+  joins_.push_back({at, joined});
+}
+
+void Simulator::schedule_churn(const ChurnTrace& trace) {
+  for (const auto& e : trace.events()) {
+    ResourceSet one;
+    one.add(e.term);
+    joins_.push_back({e.at, std::move(one)});
+  }
+}
+
+void Simulator::schedule_admission(Tick at, const ConcurrentRequirement& rho,
+                                   std::optional<ConcurrentPlan> plan) {
+  if (mode_ == ExecutionMode::kPlanFollowing && plan &&
+      plan->actors.size() != rho.actors().size()) {
+    throw std::invalid_argument("admission plan does not match requirement arity");
+  }
+  admissions_.push_back({at, rho, std::move(plan)});
+}
+
+SimReport Simulator::run(Tick horizon) {
+  std::stable_sort(joins_.begin(), joins_.end(),
+                   [](const PendingJoin& a, const PendingJoin& b) { return a.at < b.at; });
+  std::stable_sort(admissions_.begin(), admissions_.end(),
+                   [](const PendingAdmission& a, const PendingAdmission& b) {
+                     return a.at < b.at;
+                   });
+
+  SystemState state(initial_supply_, start_);
+  // For each live commitment: which admission it belongs to and, when
+  // following plans, its ActorPlan.
+  std::vector<std::size_t> admission_of_commitment;
+  std::vector<const ActorPlan*> plan_of_commitment;
+
+  std::size_t next_join = 0;
+  std::size_t next_admission = 0;
+  std::map<LocatedType, Quantity> consumed;
+
+  for (Tick t = start_; t < horizon; ++t) {
+    while (next_join < joins_.size() && joins_[next_join].at <= t) {
+      state.join(joins_[next_join].joined);
+      ++next_join;
+    }
+    while (next_admission < admissions_.size() && admissions_[next_admission].at <= t) {
+      const PendingAdmission& adm = admissions_[next_admission];
+      state.accommodate(adm.rho);
+      for (std::size_t i = 0; i < adm.rho.actors().size(); ++i) {
+        admission_of_commitment.push_back(next_admission);
+        const bool follow = mode_ == ExecutionMode::kPlanFollowing && adm.plan;
+        plan_of_commitment.push_back(follow ? &adm.plan->actors[i] : nullptr);
+      }
+      ++next_admission;
+    }
+
+    if (next_join >= joins_.size() && next_admission >= admissions_.size() &&
+        state.all_finished()) {
+      break;
+    }
+
+    // Plan followers first: their claims are reservations.
+    std::vector<ConsumptionLabel> labels;
+    std::map<LocatedType, Rate> capacity_left;
+    auto capacity = [&](const LocatedType& type) -> Rate& {
+      auto [it, inserted] = capacity_left.try_emplace(type, 0);
+      if (inserted) it->second = state.theta().availability(type).value_at(t);
+      return it->second;
+    };
+
+    for (std::size_t i = 0; i < state.commitments().size(); ++i) {
+      const ActorPlan* plan = plan_of_commitment[i];
+      if (plan == nullptr || state.commitments()[i].finished()) continue;
+      for (const auto& [type, f] : plan->usage) {
+        const Rate r = f.value_at(t);
+        if (r <= 0) continue;
+        labels.push_back(ConsumptionLabel{i, type, r});
+        capacity(type) -= r;
+      }
+    }
+
+    // Everyone else shares what remains, in discipline order (or fairly).
+    std::vector<std::size_t> ranked;
+    for (std::size_t i = 0; i < state.commitments().size(); ++i) {
+      if (plan_of_commitment[i] == nullptr) ranked.push_back(i);
+    }
+    if (discipline_ == PriorityOrder::kProportional) {
+      // Pre-touch every type the plan followers reserved so water-filling
+      // sees the reduced capacities, then split fairly.
+      for (const ConsumptionLabel& label : labels) capacity(label.type);
+      for (const ConsumptionLabel& label :
+           water_fill_labels(state, ranked, capacity_left)) {
+        labels.push_back(label);
+      }
+    } else {
+      std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+        const auto& pa = state.commitments()[a];
+        const auto& pb = state.commitments()[b];
+        switch (discipline_) {
+          case PriorityOrder::kEdf:
+            return pa.window.end() < pb.window.end();
+          case PriorityOrder::kLeastLaxity:
+            return pa.window.end() - t - pa.remaining_total() <
+                   pb.window.end() - t - pb.remaining_total();
+          case PriorityOrder::kFcfs:
+          default:
+            return false;  // keep arrival order
+        }
+      });
+      for (std::size_t i : ranked) {
+        const ActorProgress& p = state.commitments()[i];
+        if (!p.active_at(t)) continue;
+        for (const auto& [type, q] : p.remaining.amounts()) {
+          Rate& cap = capacity(type);
+          Rate grab = std::min<Rate>(cap, q);
+          if (p.rate_cap > 0) grab = std::min(grab, p.rate_cap);
+          if (grab <= 0) continue;
+          labels.push_back(ConsumptionLabel{i, type, grab});
+          cap -= grab;
+        }
+      }
+    }
+
+    for (const auto& label : labels) consumed[label.type] += label.rate;
+    state.advance(labels);
+    if ((t - start_) % 512 == 511) state.garbage_collect();
+  }
+
+  // Assemble per-computation outcomes.
+  SimReport report;
+  report.horizon = horizon;
+  report.consumed = std::move(consumed);
+
+  const TimeInterval span(start_, horizon);
+  for (const auto& term : initial_supply_.restricted(span).terms()) {
+    report.supplied[term.type()] += term.total_quantity();
+  }
+  for (const auto& j : joins_) {
+    const TimeInterval visible(std::max(j.at, start_), horizon);
+    for (const auto& term : j.joined.restricted(visible).terms()) {
+      report.supplied[term.type()] += term.total_quantity();
+    }
+  }
+
+  report.outcomes.resize(admissions_.size());
+  for (std::size_t a = 0; a < admissions_.size(); ++a) {
+    report.outcomes[a].name = admissions_[a].rho.name();
+    report.outcomes[a].window = admissions_[a].rho.window();
+    report.outcomes[a].completed = a < next_admission;  // accommodated at all?
+  }
+  for (std::size_t i = 0; i < admission_of_commitment.size(); ++i) {
+    ComputationOutcome& outcome = report.outcomes[admission_of_commitment[i]];
+    const ActorProgress& p = state.commitments()[i];
+    if (!p.finished()) {
+      outcome.completed = false;
+      outcome.finished_at.reset();
+    } else if (outcome.completed) {
+      const Tick f = p.finished_at.value_or(start_);
+      if (!outcome.finished_at || f > *outcome.finished_at) outcome.finished_at = f;
+    }
+  }
+  return report;
+}
+
+}  // namespace rota

@@ -1,0 +1,72 @@
+// Discrete-event execution of admitted computations.
+//
+// The simulator is the empirical check on the logic: it executes admitted
+// computations against the *actual* (possibly churning) supply through the
+// very same transition rules the logic reasons with, and reports who met
+// their deadline. Two execution modes:
+//   * kPlanFollowing  — each computation consumes exactly per its admission
+//     plan (what a ROTA-scheduled system does); admitted ⇒ deadline met is
+//     the soundness property the tests assert.
+//   * kWorkConserving — a priority-ordered greedy allocator shares each
+//     tick's supply among all unfinished computations (how a conventional
+//     best-effort system behaves); over-admission shows up as misses here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/logic/explorer.hpp"
+#include "rota/logic/planner.hpp"
+#include "rota/logic/state.hpp"
+#include "rota/sim/churn.hpp"
+#include "rota/sim/metrics.hpp"
+
+namespace rota {
+
+enum class ExecutionMode { kPlanFollowing, kWorkConserving };
+
+std::string execution_mode_name(ExecutionMode m);
+
+class Simulator {
+ public:
+  /// `initial_supply` is the supply known at tick `start`; churn joins more.
+  Simulator(ResourceSet initial_supply, Tick start = 0,
+            ExecutionMode mode = ExecutionMode::kWorkConserving,
+            PriorityOrder discipline = PriorityOrder::kEdf);
+
+  /// Supply that becomes known at `at` (resource acquisition rule).
+  void schedule_join(Tick at, const ResourceSet& joined);
+  void schedule_churn(const ChurnTrace& trace);
+
+  /// A computation admitted at `at`. In plan-following mode a plan must be
+  /// supplied; work-conserving mode ignores it.
+  void schedule_admission(Tick at, const ConcurrentRequirement& rho,
+                          std::optional<ConcurrentPlan> plan = std::nullopt);
+
+  /// Runs to `horizon` (or until everything finishes) and reports outcomes.
+  SimReport run(Tick horizon);
+
+ private:
+  struct PendingJoin {
+    Tick at;
+    ResourceSet joined;
+  };
+  struct PendingAdmission {
+    Tick at;
+    ConcurrentRequirement rho;
+    std::optional<ConcurrentPlan> plan;
+  };
+
+  std::vector<ConsumptionLabel> labels_for_tick(const SystemState& state) const;
+
+  ResourceSet initial_supply_;
+  Tick start_;
+  ExecutionMode mode_;
+  PriorityOrder discipline_;
+  std::vector<PendingJoin> joins_;
+  std::vector<PendingAdmission> admissions_;
+};
+
+}  // namespace rota

@@ -1,0 +1,198 @@
+#include "rota/time/allen.hpp"
+
+#include <array>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+AllenRelation allen_relation(const TimeInterval& a, const TimeInterval& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("Allen relations are defined over non-empty intervals");
+  }
+  const Tick as = a.start(), ae = a.end(), bs = b.start(), be = b.end();
+  if (ae < bs) return AllenRelation::kBefore;
+  if (be < as) return AllenRelation::kAfter;
+  if (ae == bs) return AllenRelation::kMeets;
+  if (be == as) return AllenRelation::kMetBy;
+  if (as == bs && ae == be) return AllenRelation::kEquals;
+  if (as == bs) return ae < be ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  if (ae == be) return as > bs ? AllenRelation::kFinishes : AllenRelation::kFinishedBy;
+  if (as > bs && ae < be) return AllenRelation::kDuring;
+  if (as < bs && ae > be) return AllenRelation::kContains;
+  if (as < bs) return AllenRelation::kOverlaps;  // as < bs < ae < be
+  return AllenRelation::kOverlappedBy;           // bs < as < be < ae
+}
+
+AllenRelation inverse(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return AllenRelation::kAfter;
+    case AllenRelation::kAfter: return AllenRelation::kBefore;
+    case AllenRelation::kMeets: return AllenRelation::kMetBy;
+    case AllenRelation::kMetBy: return AllenRelation::kMeets;
+    case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+    case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+    case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+    case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+    case AllenRelation::kDuring: return AllenRelation::kContains;
+    case AllenRelation::kContains: return AllenRelation::kDuring;
+    case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+    case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+    case AllenRelation::kEquals: return AllenRelation::kEquals;
+  }
+  throw std::invalid_argument("invalid AllenRelation");
+}
+
+std::string allen_symbol(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return "<";
+    case AllenRelation::kAfter: return ">";
+    case AllenRelation::kMeets: return "m";
+    case AllenRelation::kMetBy: return "mi";
+    case AllenRelation::kOverlaps: return "o";
+    case AllenRelation::kOverlappedBy: return "oi";
+    case AllenRelation::kStarts: return "s";
+    case AllenRelation::kStartedBy: return "si";
+    case AllenRelation::kDuring: return "d";
+    case AllenRelation::kContains: return "di";
+    case AllenRelation::kFinishes: return "f";
+    case AllenRelation::kFinishedBy: return "fi";
+    case AllenRelation::kEquals: return "=";
+  }
+  throw std::invalid_argument("invalid AllenRelation");
+}
+
+std::string allen_name(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore: return "before";
+    case AllenRelation::kAfter: return "after";
+    case AllenRelation::kMeets: return "meets";
+    case AllenRelation::kMetBy: return "met-by";
+    case AllenRelation::kOverlaps: return "overlaps";
+    case AllenRelation::kOverlappedBy: return "overlapped-by";
+    case AllenRelation::kStarts: return "starts";
+    case AllenRelation::kStartedBy: return "started-by";
+    case AllenRelation::kDuring: return "during";
+    case AllenRelation::kContains: return "contains";
+    case AllenRelation::kFinishes: return "finishes";
+    case AllenRelation::kFinishedBy: return "finished-by";
+    case AllenRelation::kEquals: return "equals";
+  }
+  throw std::invalid_argument("invalid AllenRelation");
+}
+
+bool before(const TimeInterval& a, const TimeInterval& b) {
+  return allen_relation(a, b) == AllenRelation::kBefore;
+}
+bool meets(const TimeInterval& a, const TimeInterval& b) {
+  return allen_relation(a, b) == AllenRelation::kMeets;
+}
+bool overlaps(const TimeInterval& a, const TimeInterval& b) {
+  return allen_relation(a, b) == AllenRelation::kOverlaps;
+}
+bool starts(const TimeInterval& a, const TimeInterval& b) {
+  const auto r = allen_relation(a, b);
+  return r == AllenRelation::kStarts || r == AllenRelation::kEquals;
+}
+bool within(const TimeInterval& a, const TimeInterval& b) { return b.covers(a); }
+bool finishes(const TimeInterval& a, const TimeInterval& b) {
+  const auto r = allen_relation(a, b);
+  return r == AllenRelation::kFinishes || r == AllenRelation::kEquals;
+}
+
+AllenRelationSet AllenRelationSet::inverted() const {
+  AllenRelationSet out;
+  for (AllenRelation r : all_allen_relations()) {
+    if (contains(r)) out.insert(inverse(r));
+  }
+  return out;
+}
+
+std::vector<AllenRelation> AllenRelationSet::to_vector() const {
+  std::vector<AllenRelation> out;
+  for (AllenRelation r : all_allen_relations()) {
+    if (contains(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::string AllenRelationSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (AllenRelation r : to_vector()) {
+    if (!first) out << ' ';
+    out << allen_symbol(r);
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+namespace {
+
+// The composition table is derived rather than transcribed: over discrete
+// endpoints, every Allen relation between intervals with endpoints in a small
+// window is realizable, and composition is determined by the relation pattern
+// alone (relations are qualitative). Enumerating all interval triples with
+// endpoints in [0, W) therefore discovers the complete table, provided W is
+// large enough to realize every (r1, r2) pair; W = 10 gives each interval
+// room for the four distinct endpoints plus strict gaps that the most
+// demanding compositions need. The result is verified structurally in tests
+// (identity row/column, inverse symmetry, known entries).
+constexpr Tick kEnumWindow = 10;
+
+using CompositionTable =
+    std::array<std::array<AllenRelationSet, kNumAllenRelations>, kNumAllenRelations>;
+
+CompositionTable derive_composition_table() {
+  std::vector<TimeInterval> intervals;
+  for (Tick s = 0; s < kEnumWindow; ++s) {
+    for (Tick e = s + 1; e <= kEnumWindow; ++e) intervals.emplace_back(s, e);
+  }
+
+  CompositionTable table{};  // all cells start empty
+  for (const auto& a : intervals) {
+    for (const auto& b : intervals) {
+      const auto r1 = static_cast<unsigned>(allen_relation(a, b));
+      for (const auto& c : intervals) {
+        const auto r2 = static_cast<unsigned>(allen_relation(b, c));
+        table[r1][r2].insert(allen_relation(a, c));
+      }
+    }
+  }
+  return table;
+}
+
+const CompositionTable& composition_table() {
+  static const CompositionTable table = derive_composition_table();
+  return table;
+}
+
+}  // namespace
+
+AllenRelationSet compose(AllenRelation r1, AllenRelation r2) {
+  return composition_table()[static_cast<unsigned>(r1)][static_cast<unsigned>(r2)];
+}
+
+AllenRelationSet compose(AllenRelationSet s1, AllenRelationSet s2) {
+  AllenRelationSet out;
+  for (AllenRelation a : s1.to_vector()) {
+    for (AllenRelation b : s2.to_vector()) {
+      out = out | compose(a, b);
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, AllenRelation r) {
+  return os << allen_name(r);
+}
+
+std::ostream& operator<<(std::ostream& os, const AllenRelationSet& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rota

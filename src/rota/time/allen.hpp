@@ -1,0 +1,140 @@
+// Allen's Interval Algebra (the paper's Table I).
+//
+// ROTA formalizes relations between the time intervals of resource terms
+// using Interval Algebra: seven base relations and their inverses, thirteen
+// in all (equals is its own inverse). This module computes the relation
+// between two concrete intervals, provides relation sets (disjunctions) and
+// the full composition table. The composition table is *derived* at first use
+// by enumerating small concrete intervals rather than transcribed from the
+// literature, so it is self-verifying against the relation definition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rota/time/interval.hpp"
+
+namespace rota {
+
+/// The thirteen Allen relations. Order groups each base relation with its
+/// inverse; Equals sits alone.
+enum class AllenRelation : std::uint8_t {
+  kBefore = 0,        // τ1 < τ2 : τ1 ends strictly before τ2 starts
+  kAfter,             // inverse of Before
+  kMeets,             // τ2 starts immediately after τ1 ends
+  kMetBy,             // inverse of Meets
+  kOverlaps,          // proper overlap, τ1 starts first and ends inside τ2
+  kOverlappedBy,      // inverse of Overlaps
+  kStarts,            // same start, τ1 ends first
+  kStartedBy,         // inverse of Starts
+  kDuring,            // τ1 strictly inside τ2
+  kContains,          // inverse of During
+  kFinishes,          // same end, τ1 starts later
+  kFinishedBy,        // inverse of Finishes
+  kEquals,            // identical endpoints
+};
+
+inline constexpr int kNumAllenRelations = 13;
+
+/// All thirteen relations in enum order, for iteration.
+constexpr std::array<AllenRelation, kNumAllenRelations> all_allen_relations() {
+  return {AllenRelation::kBefore,   AllenRelation::kAfter,
+          AllenRelation::kMeets,    AllenRelation::kMetBy,
+          AllenRelation::kOverlaps, AllenRelation::kOverlappedBy,
+          AllenRelation::kStarts,   AllenRelation::kStartedBy,
+          AllenRelation::kDuring,   AllenRelation::kContains,
+          AllenRelation::kFinishes, AllenRelation::kFinishedBy,
+          AllenRelation::kEquals};
+}
+
+/// Computes the unique Allen relation between two non-empty intervals.
+/// Throws std::invalid_argument if either interval is empty (the algebra is
+/// defined over proper intervals only).
+AllenRelation allen_relation(const TimeInterval& a, const TimeInterval& b);
+
+/// The inverse relation: allen_relation(b, a) == inverse(allen_relation(a, b)).
+AllenRelation inverse(AllenRelation r);
+
+/// Symbol used in the paper's Table I (ASCII rendering), e.g. "<" for Before.
+std::string allen_symbol(AllenRelation r);
+
+/// Human-readable name, e.g. "before".
+std::string allen_name(AllenRelation r);
+
+/// Convenience predicates mirroring the paper's vocabulary.
+bool before(const TimeInterval& a, const TimeInterval& b);
+bool meets(const TimeInterval& a, const TimeInterval& b);
+bool overlaps(const TimeInterval& a, const TimeInterval& b);
+bool starts(const TimeInterval& a, const TimeInterval& b);
+/// "τ1 during τ2" in the *inclusive* sense the paper's domination order uses:
+/// every instant of a lies within b (a ⊆ b). Note this is weaker than the
+/// strict Allen kDuring relation, which excludes shared endpoints.
+bool within(const TimeInterval& a, const TimeInterval& b);
+bool finishes(const TimeInterval& a, const TimeInterval& b);
+
+/// A set of Allen relations (a disjunction), the element type of the interval
+/// algebra's composition operation and of qualitative constraint networks.
+class AllenRelationSet {
+ public:
+  constexpr AllenRelationSet() = default;
+  constexpr explicit AllenRelationSet(AllenRelation r) : bits_(bit(r)) {}
+
+  static constexpr AllenRelationSet none() { return AllenRelationSet(); }
+  static constexpr AllenRelationSet all() {
+    AllenRelationSet s;
+    s.bits_ = (1u << kNumAllenRelations) - 1;
+    return s;
+  }
+
+  constexpr bool contains(AllenRelation r) const { return (bits_ & bit(r)) != 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int size() const {
+    int n = 0;
+    for (std::uint16_t b = bits_; b != 0; b &= (b - 1)) ++n;
+    return n;
+  }
+
+  constexpr void insert(AllenRelation r) { bits_ |= bit(r); }
+  constexpr void erase(AllenRelation r) { bits_ &= static_cast<std::uint16_t>(~bit(r)); }
+
+  constexpr AllenRelationSet operator|(AllenRelationSet o) const {
+    AllenRelationSet s;
+    s.bits_ = bits_ | o.bits_;
+    return s;
+  }
+  constexpr AllenRelationSet operator&(AllenRelationSet o) const {
+    AllenRelationSet s;
+    s.bits_ = bits_ & o.bits_;
+    return s;
+  }
+  constexpr bool operator==(const AllenRelationSet&) const = default;
+
+  /// The set of inverses of every member.
+  AllenRelationSet inverted() const;
+
+  std::vector<AllenRelation> to_vector() const;
+  std::string to_string() const;
+
+  constexpr std::uint16_t raw_bits() const { return bits_; }
+
+ private:
+  static constexpr std::uint16_t bit(AllenRelation r) {
+    return static_cast<std::uint16_t>(1u << static_cast<unsigned>(r));
+  }
+  std::uint16_t bits_ = 0;
+};
+
+/// Composition r1 ∘ r2: the set of relations possible between A and C given
+/// A r1 B and B r2 C. Backed by a table derived by enumeration on first use.
+AllenRelationSet compose(AllenRelation r1, AllenRelation r2);
+
+/// Composition lifted to relation sets (union over member compositions).
+AllenRelationSet compose(AllenRelationSet s1, AllenRelationSet s2);
+
+std::ostream& operator<<(std::ostream& os, AllenRelation r);
+std::ostream& operator<<(std::ostream& os, const AllenRelationSet& s);
+
+}  // namespace rota

@@ -1,0 +1,230 @@
+#include "rota/time/ia_network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace rota {
+
+IaNetwork::IaNetwork(std::size_t n) : n_(n), edges_(n * n, AllenRelationSet::all()) {
+  if (n == 0) throw std::invalid_argument("IaNetwork requires at least one variable");
+  for (std::size_t i = 0; i < n_; ++i) {
+    edge(i, i) = AllenRelationSet(AllenRelation::kEquals);
+  }
+}
+
+AllenRelationSet& IaNetwork::edge(std::size_t i, std::size_t j) {
+  return edges_[i * n_ + j];
+}
+const AllenRelationSet& IaNetwork::edge(std::size_t i, std::size_t j) const {
+  return edges_[i * n_ + j];
+}
+
+void IaNetwork::constrain(std::size_t i, std::size_t j, AllenRelationSet rel) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("IaNetwork::constrain index");
+  edge(i, j) = edge(i, j) & rel;
+  edge(j, i) = edge(j, i) & rel.inverted();
+}
+
+AllenRelationSet IaNetwork::relation(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("IaNetwork::relation index");
+  return edge(i, j);
+}
+
+bool IaNetwork::propagate() {
+  // Queue-based PC-2 style closure: when an edge tightens, re-examine every
+  // triangle through it.
+  std::deque<std::pair<std::size_t, std::size_t>> queue;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i != j) queue.emplace_back(i, j);
+    }
+  }
+
+  auto tighten = [&](std::size_t i, std::size_t j, AllenRelationSet tighter) -> bool {
+    const AllenRelationSet updated = edge(i, j) & tighter;
+    if (updated == edge(i, j)) return false;
+    edge(i, j) = updated;
+    edge(j, i) = updated.inverted();
+    queue.emplace_back(i, j);
+    return true;
+  };
+
+  while (!queue.empty()) {
+    const auto [i, j] = queue.front();
+    queue.pop_front();
+    if (edge(i, j).empty()) return false;
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (k == i || k == j) continue;
+      // i—j—k path constrains (i, k); k—i—j path constrains (k, j).
+      tighten(i, k, compose(edge(i, j), edge(j, k)));
+      tighten(k, j, compose(edge(k, i), edge(i, j)));
+      if (edge(i, k).empty() || edge(k, j).empty()) return false;
+    }
+  }
+  return true;
+}
+
+bool IaNetwork::arc_consistent() const {
+  for (const auto& e : edges_) {
+    if (e.empty()) return false;
+  }
+  return true;
+}
+
+bool IaNetwork::solve_scenario() {
+  if (!propagate()) return false;
+  // Find an undecided edge (|relations| > 1); if none, the network is a
+  // consistent atomic scenario (path consistency on atomic IA networks is
+  // complete).
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const AllenRelationSet options = edge(i, j);
+      if (options.size() <= 1) continue;
+      for (AllenRelation r : options.to_vector()) {
+        IaNetwork trial = *this;
+        trial.constrain(i, j, r);
+        if (trial.solve_scenario()) {
+          *this = std::move(trial);
+          return true;
+        }
+      }
+      return false;  // every branch failed
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<TimeInterval>> IaNetwork::realize_intervals() const {
+  // Endpoint variables: 2i = start of interval i, 2i+1 = its end.
+  const std::size_t vars = 2 * n_;
+
+  // Union-find over endpoint equalities.
+  std::vector<std::size_t> parent(vars);
+  for (std::size_t v = 0; v < vars; ++v) parent[v] = v;
+  auto find = [&](std::size_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+  struct Less {
+    std::size_t lo;
+    std::size_t hi;
+  };
+  std::vector<Less> orderings;
+  auto less = [&orderings](std::size_t lo, std::size_t hi) {
+    orderings.push_back({lo, hi});
+  };
+
+  const auto S = [](std::size_t i) { return 2 * i; };
+  const auto E = [](std::size_t i) { return 2 * i + 1; };
+  for (std::size_t i = 0; i < n_; ++i) less(S(i), E(i));  // non-empty intervals
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const AllenRelationSet rel = edge(i, j);
+      if (rel.size() != 1) {
+        throw std::logic_error("realize_intervals requires an atomic network");
+      }
+      switch (rel.to_vector().front()) {
+        case AllenRelation::kBefore: less(E(i), S(j)); break;
+        case AllenRelation::kAfter: less(E(j), S(i)); break;
+        case AllenRelation::kMeets: unite(E(i), S(j)); break;
+        case AllenRelation::kMetBy: unite(E(j), S(i)); break;
+        case AllenRelation::kOverlaps:
+          less(S(i), S(j));
+          less(S(j), E(i));
+          less(E(i), E(j));
+          break;
+        case AllenRelation::kOverlappedBy:
+          less(S(j), S(i));
+          less(S(i), E(j));
+          less(E(j), E(i));
+          break;
+        case AllenRelation::kStarts:
+          unite(S(i), S(j));
+          less(E(i), E(j));
+          break;
+        case AllenRelation::kStartedBy:
+          unite(S(i), S(j));
+          less(E(j), E(i));
+          break;
+        case AllenRelation::kDuring:
+          less(S(j), S(i));
+          less(E(i), E(j));
+          break;
+        case AllenRelation::kContains:
+          less(S(i), S(j));
+          less(E(j), E(i));
+          break;
+        case AllenRelation::kFinishes:
+          unite(E(i), E(j));
+          less(S(j), S(i));
+          break;
+        case AllenRelation::kFinishedBy:
+          unite(E(i), E(j));
+          less(S(i), S(j));
+          break;
+        case AllenRelation::kEquals:
+          unite(S(i), S(j));
+          unite(E(i), E(j));
+          break;
+      }
+    }
+  }
+
+  // Longest-path level assignment over representatives (Kahn's algorithm).
+  std::vector<std::vector<std::size_t>> succ(vars);
+  std::vector<std::size_t> indegree(vars, 0);
+  for (const Less& o : orderings) {
+    const std::size_t a = find(o.lo), b = find(o.hi);
+    if (a == b) return std::nullopt;  // x < x: cyclic
+    succ[a].push_back(b);
+    ++indegree[b];
+  }
+  std::vector<Tick> level(vars, 0);
+  std::vector<std::size_t> ready;
+  std::size_t live = 0;
+  for (std::size_t v = 0; v < vars; ++v) {
+    if (find(v) != v) continue;
+    ++live;
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (std::size_t w : succ[v]) {
+      level[w] = std::max(level[w], level[v] + 1);
+      if (--indegree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (processed != live) return std::nullopt;  // ordering cycle
+
+  std::vector<TimeInterval> out;
+  out.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out.emplace_back(level[find(S(i))], level[find(E(i))]);
+  }
+  return out;
+}
+
+std::string IaNetwork::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      out << 'I' << i << ' ' << edge(i, j).to_string() << " I" << j << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rota

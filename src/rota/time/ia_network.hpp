@@ -1,0 +1,73 @@
+// Qualitative constraint networks over Allen's Interval Algebra.
+//
+// ROTA leans on Interval Algebra [Allen 1983] to formalize relations between
+// the time intervals of resource terms. Reasoning with *partially known*
+// interval relations — "requirement A must run before B, both during supply
+// window W" — is the constraint-network side of that algebra: nodes are
+// intervals, edges carry disjunctions of the thirteen base relations, and
+// path consistency (the algebraic closure algorithm) prunes impossible
+// relations via the composition table.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/time/allen.hpp"
+
+namespace rota {
+
+class IaNetwork {
+ public:
+  /// A network over `n` interval variables; all edges start fully unknown
+  /// (the universal relation set).
+  explicit IaNetwork(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Asserts that interval i relates to interval j by some member of `rel`
+  /// (intersected with whatever is already known). The inverse edge is kept
+  /// consistent automatically.
+  void constrain(std::size_t i, std::size_t j, AllenRelationSet rel);
+  void constrain(std::size_t i, std::size_t j, AllenRelation rel) {
+    constrain(i, j, AllenRelationSet(rel));
+  }
+
+  AllenRelationSet relation(std::size_t i, std::size_t j) const;
+
+  /// Runs path consistency (Allen's algorithm): repeatedly tightens
+  /// R(i,j) ← R(i,j) ∩ (R(i,k) ∘ R(k,j)) to a fixpoint.
+  /// Returns false iff some edge became empty (the network is inconsistent).
+  /// Note path consistency is complete for pointizable subclasses but only
+  /// a necessary condition in general — exactly Allen's original setting.
+  bool propagate();
+
+  /// True when no edge is empty. (Meaningful after propagate().)
+  bool arc_consistent() const;
+
+  /// Tries to find concrete intervals realizing the network by backtracking
+  /// over base relations with propagation; intended for small networks
+  /// (search is exponential in the worst case). On success each edge holds a
+  /// single base relation. Returns false if no consistent scenario exists.
+  bool solve_scenario();
+
+  /// For an *atomic* network (every edge a single base relation — e.g. after
+  /// solve_scenario()), constructs concrete integer intervals realizing
+  /// every relation: endpoint equalities are unified, strict orderings
+  /// become a DAG, and levels are assigned by longest path. Returns nullopt
+  /// when the endpoint ordering is cyclic (the atomic network lied about
+  /// consistency); throws std::logic_error if some edge is not atomic.
+  std::optional<std::vector<TimeInterval>> realize_intervals() const;
+
+  std::string to_string() const;
+
+ private:
+  AllenRelationSet& edge(std::size_t i, std::size_t j);
+  const AllenRelationSet& edge(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  std::vector<AllenRelationSet> edges_;  // row-major n×n
+};
+
+}  // namespace rota

@@ -1,0 +1,32 @@
+#include "rota/time/interval.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rota {
+
+TimeInterval TimeInterval::hull_union(const TimeInterval& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  // Touching (meets) or overlapping intervals coalesce into one.
+  if (start_ > other.end_ || other.start_ > end_) {
+    throw std::invalid_argument("hull_union of disjoint intervals: " + to_string() +
+                                " and " + other.to_string());
+  }
+  return TimeInterval(start_ < other.start_ ? start_ : other.start_,
+                      end_ > other.end_ ? end_ : other.end_);
+}
+
+std::string TimeInterval::to_string() const {
+  if (empty()) return "[)";
+  std::ostringstream out;
+  out << '[' << start_ << ", " << end_ << ')';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& iv) {
+  return os << iv.to_string();
+}
+
+}  // namespace rota

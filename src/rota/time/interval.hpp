@@ -1,0 +1,70 @@
+// Time intervals (τ in the paper).
+//
+// The paper writes an interval as (t_start, t_end). We realize intervals as
+// half-open ranges [start, end) over discrete ticks: half-openness makes the
+// "meets" relation of the interval algebra coincide with seamless resource
+// aggregation (a supply on [0,3) followed by one on [3,5) covers [0,5) with
+// no gap and no double-counted instant).
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "rota/time/tick.hpp"
+
+namespace rota {
+
+class TimeInterval {
+ public:
+  /// The empty interval (canonically [0, 0)).
+  constexpr TimeInterval() = default;
+
+  /// Constructs [start, end). If end <= start the interval is empty and is
+  /// canonicalized to [0, 0) so that all empty intervals compare equal.
+  constexpr TimeInterval(Tick start, Tick end)
+      : start_(end <= start ? 0 : start), end_(end <= start ? 0 : end) {}
+
+  constexpr Tick start() const { return start_; }
+  constexpr Tick end() const { return end_; }
+  constexpr bool empty() const { return start_ == end_; }
+  constexpr Tick length() const { return end_ - start_; }
+
+  constexpr bool contains(Tick t) const { return start_ <= t && t < end_; }
+  /// True when `other` lies entirely inside this interval (inclusive ends).
+  constexpr bool covers(const TimeInterval& other) const {
+    return other.empty() || (start_ <= other.start_ && other.end_ <= end_);
+  }
+  constexpr bool intersects(const TimeInterval& other) const {
+    return start_ < other.end_ && other.start_ < end_;
+  }
+
+  /// Set intersection; empty if disjoint.
+  constexpr TimeInterval intersection(const TimeInterval& other) const {
+    const Tick s = start_ > other.start_ ? start_ : other.start_;
+    const Tick e = end_ < other.end_ ? end_ : other.end_;
+    return TimeInterval(s, e);
+  }
+
+  /// Union when the two intervals touch or overlap; throws otherwise (the
+  /// union of disjoint intervals is not an interval — use IntervalSet).
+  TimeInterval hull_union(const TimeInterval& other) const;
+
+  /// Translate by dt ticks.
+  constexpr TimeInterval shifted(Tick dt) const {
+    return empty() ? TimeInterval() : TimeInterval(start_ + dt, end_ + dt);
+  }
+
+  friend constexpr auto operator<=>(const TimeInterval&, const TimeInterval&) = default;
+
+  /// "[start, end)" or "∅".
+  std::string to_string() const;
+
+ private:
+  Tick start_ = 0;
+  Tick end_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimeInterval& iv);
+
+}  // namespace rota

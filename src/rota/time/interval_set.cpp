@@ -1,0 +1,120 @@
+#include "rota/time/interval_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace rota {
+
+void IntervalSet::insert(const TimeInterval& iv) {
+  if (iv.empty()) return;
+  // Find the insertion window: all members that touch or overlap iv coalesce.
+  Tick s = iv.start(), e = iv.end();
+  std::vector<TimeInterval> merged;
+  merged.reserve(intervals_.size() + 1);
+  bool placed = false;
+  for (const auto& cur : intervals_) {
+    if (cur.end() < s) {
+      merged.push_back(cur);
+    } else if (cur.start() > e) {
+      if (!placed) {
+        merged.emplace_back(s, e);
+        placed = true;
+      }
+      merged.push_back(cur);
+    } else {
+      s = std::min(s, cur.start());
+      e = std::max(e, cur.end());
+    }
+  }
+  if (!placed) merged.emplace_back(s, e);
+  intervals_ = std::move(merged);
+}
+
+bool IntervalSet::contains(Tick t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Tick v, const TimeInterval& iv) { return v < iv.start(); });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->contains(t);
+}
+
+bool IntervalSet::covers(const TimeInterval& iv) const {
+  if (iv.empty()) return true;
+  for (const auto& cur : intervals_) {
+    if (cur.covers(iv)) return true;
+  }
+  return false;
+}
+
+Tick IntervalSet::measure() const {
+  Tick total = 0;
+  for (const auto& iv : intervals_) total += iv.length();
+  return total;
+}
+
+TimeInterval IntervalSet::hull() const {
+  if (intervals_.empty()) return TimeInterval();
+  return TimeInterval(intervals_.front().start(), intervals_.back().end());
+}
+
+IntervalSet IntervalSet::unioned(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const auto& iv : other.intervals_) out.insert(iv);
+  return out;
+}
+
+IntervalSet IntervalSet::intersected(const IntervalSet& other) const {
+  IntervalSet out;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    const TimeInterval x = a->intersection(*b);
+    if (!x.empty()) out.intervals_.push_back(x);  // order preserved, disjoint
+    if (a->end() < b->end()) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::intersected(const TimeInterval& window) const {
+  return intersected(IntervalSet(window));
+}
+
+IntervalSet IntervalSet::subtracted(const IntervalSet& other) const {
+  IntervalSet out;
+  auto b = other.intervals_.begin();
+  for (const auto& a : intervals_) {
+    Tick cursor = a.start();
+    while (b != other.intervals_.end() && b->end() <= cursor) ++b;
+    auto cut = b;
+    while (cut != other.intervals_.end() && cut->start() < a.end()) {
+      if (cut->start() > cursor) out.intervals_.emplace_back(cursor, cut->start());
+      cursor = std::max(cursor, cut->end());
+      if (cut->end() >= a.end()) break;
+      ++cut;
+    }
+    if (cursor < a.end()) out.intervals_.emplace_back(cursor, a.end());
+  }
+  return out;
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << intervals_[i].to_string();
+  }
+  out << '}';
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rota

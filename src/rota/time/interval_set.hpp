@@ -1,0 +1,56 @@
+// Sets of time ticks represented as sorted disjoint intervals.
+//
+// The paper permits set operations (∪, ∩, \) on time intervals; the result of
+// such an operation is in general a union of disjoint intervals, which this
+// class represents canonically (sorted, disjoint, non-touching, non-empty
+// members).
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rota/time/interval.hpp"
+
+namespace rota {
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(const TimeInterval& iv) { insert(iv); }
+  IntervalSet(std::initializer_list<TimeInterval> ivs) {
+    for (const auto& iv : ivs) insert(iv);
+  }
+
+  /// Adds the ticks of `iv`, coalescing with existing members.
+  void insert(const TimeInterval& iv);
+
+  bool empty() const { return intervals_.empty(); }
+  bool contains(Tick t) const;
+  /// True when every tick of `iv` is in the set.
+  bool covers(const TimeInterval& iv) const;
+  /// Total number of ticks in the set.
+  Tick measure() const;
+  /// Smallest interval containing the whole set; empty if the set is empty.
+  TimeInterval hull() const;
+
+  IntervalSet unioned(const IntervalSet& other) const;
+  IntervalSet intersected(const IntervalSet& other) const;
+  IntervalSet intersected(const TimeInterval& window) const;
+  /// Relative complement: ticks in this set but not in `other`.
+  IntervalSet subtracted(const IntervalSet& other) const;
+
+  const std::vector<TimeInterval>& intervals() const { return intervals_; }
+
+  bool operator==(const IntervalSet&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<TimeInterval> intervals_;  // canonical: sorted, disjoint, gaps > 0
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
+
+}  // namespace rota

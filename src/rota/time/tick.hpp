@@ -1,0 +1,27 @@
+// Discrete time base for the ROTA calculus.
+//
+// The paper's transition rules advance the system by a smallest accountable
+// time slice Δt ("In practice, Δt can be defined according to the desired
+// control granularity"). We fix Δt = 1 tick and use 64-bit integer ticks so
+// that every quantity the logic reasons about is exact.
+#pragma once
+
+#include <cstdint>
+
+namespace rota {
+
+/// A point in discrete time. Tick 0 is an arbitrary epoch; negative ticks are
+/// legal (useful for relative scheduling in tests).
+using Tick = std::int64_t;
+
+/// A rate of resource availability or consumption, in resource units per tick.
+using Rate = std::int64_t;
+
+/// An amount of resource: the integral of a Rate over ticks.
+using Quantity = std::int64_t;
+
+/// Sentinel for "unbounded future" horizons. Not a valid interval endpoint;
+/// interval endpoints must be finite.
+inline constexpr Tick kTickMax = INT64_MAX / 4;
+
+}  // namespace rota

@@ -1,0 +1,30 @@
+// Minimal CSV emission for benchmark series that downstream users may want to
+// plot. Values are written unquoted; callers must not pass cells containing
+// commas or newlines (benchmark output never does).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rota::util {
+
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> headers) : out_(out) {
+    write_row(headers);
+  }
+
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace rota::util

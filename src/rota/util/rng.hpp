@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for reproducible workloads.
+//
+// All experiments in this repository must be bit-for-bit reproducible across
+// runs and platforms, so we ship our own small generator (splitmix64 seeded
+// xoshiro256**) instead of relying on std::mt19937's distribution functions,
+// whose outputs are not specified identically across standard libraries.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace rota::util {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference implementation
+/// re-expressed), seeded through splitmix64 so that any 64-bit seed — even 0
+/// — produces a well-mixed initial state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    return lo + static_cast<std::int64_t>(bounded(range));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform01();
+    // Guard against log(0); uniform01() can return exactly 0.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Geometric-ish integer: exponential rounded up, at least 1.
+  std::int64_t exponential_at_least_1(double mean) {
+    const double v = exponential(mean);
+    const auto n = static_cast<std::int64_t>(v) + 1;
+    return n < 1 ? 1 : n;
+  }
+
+  /// Pick an index in [0, n) — convenience over uniform().
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(bounded(static_cast<std::uint64_t>(n)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Unbiased bounded sample via rejection (Lemire-style threshold).
+  std::uint64_t bounded(std::uint64_t range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % range;
+    }
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rota::util

@@ -1,0 +1,46 @@
+// Small statistics helpers shared by benchmarks and the simulator's metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rota::util {
+
+/// Accumulates samples and answers summary queries. Samples are kept so that
+/// exact percentiles can be computed; experiment scales here are modest.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Ratio counter for accept/reject and hit/miss style metrics.
+struct Ratio {
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+
+  void record(bool hit) {
+    hits += hit ? 1 : 0;
+    ++total;
+  }
+  double value() const { return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total); }
+};
+
+}  // namespace rota::util

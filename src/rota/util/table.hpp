@@ -1,0 +1,33 @@
+// Plain-text table rendering for benchmark and example output.
+//
+// The benchmark harness reproduces the paper's exhibits as aligned ASCII
+// tables on stdout; this tiny formatter keeps that output consistent across
+// binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rota::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-aligned cells and a header separator.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (benchmark output helper).
+std::string fixed(double value, int digits = 3);
+
+}  // namespace rota::util

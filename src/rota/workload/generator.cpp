@@ -1,0 +1,162 @@
+#include "rota/workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, CostModel phi)
+    : config_(config), phi_(std::move(phi)), rng_(config.seed) {
+  if (config_.num_locations == 0) {
+    throw std::invalid_argument("workload requires at least one location");
+  }
+  if (config_.actors_min == 0 || config_.actors_min > config_.actors_max ||
+      config_.actions_min == 0 || config_.actions_min > config_.actions_max) {
+    throw std::invalid_argument("workload actor/action bounds are inconsistent");
+  }
+  locations_.reserve(config_.num_locations);
+  for (std::size_t i = 0; i < config_.num_locations; ++i) {
+    locations_.emplace_back("l" + std::to_string(i + 1));
+  }
+}
+
+ResourceSet WorkloadGenerator::base_supply(const TimeInterval& span) const {
+  ResourceSet supply;
+  for (const Location& l : locations_) {
+    supply.add(config_.cpu_rate, span, LocatedType::cpu(l));
+  }
+  for (const Location& a : locations_) {
+    for (const Location& b : locations_) {
+      if (a == b) continue;
+      supply.add(config_.network_rate, span, LocatedType::network(a, b));
+    }
+  }
+  return supply;
+}
+
+ActorComputation WorkloadGenerator::make_actor(const std::string& name, Location home) {
+  ActorComputationBuilder builder(name, home);
+  const auto n = static_cast<std::size_t>(rng_.uniform(
+      static_cast<std::int64_t>(config_.actions_min),
+      static_cast<std::int64_t>(config_.actions_max)));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double roll = rng_.uniform01();
+    double cut = config_.p_send;
+    if (roll < cut && locations_.size() > 1) {
+      Location to = locations_[rng_.index(locations_.size())];
+      builder.send(to, rng_.uniform(1, config_.msg_size_max));
+      continue;
+    }
+    cut += config_.p_create;
+    if (roll < cut) {
+      builder.create();
+      continue;
+    }
+    cut += config_.p_ready;
+    if (roll < cut) {
+      builder.ready();
+      continue;
+    }
+    cut += config_.p_migrate;
+    if (roll < cut && locations_.size() > 1) {
+      Location to = builder.current_location();
+      while (to == builder.current_location()) {
+        to = locations_[rng_.index(locations_.size())];
+      }
+      builder.migrate(to);
+      continue;
+    }
+    builder.evaluate(rng_.uniform(1, config_.eval_weight_max));
+  }
+  return std::move(builder).build();
+}
+
+Tick WorkloadGenerator::completion_lower_bound(
+    const DistributedComputation& lambda) const {
+  // With dedicated supply, each actor's phases run back to back; a phase of
+  // quantity q on a type of rate r needs at least ceil(q / r) ticks. The
+  // computation's bound is the slowest actor's chain.
+  Tick bound = 1;
+  for (const auto& gamma : lambda.actors()) {
+    Tick actor_ticks = 0;
+    for (const auto& phase : decompose_phases(phi_, gamma.actions())) {
+      Tick phase_ticks = 0;
+      for (const auto& [type, q] : phase.demand.amounts()) {
+        const Rate r = type.kind() == ResourceKind::kNetwork ? config_.network_rate
+                                                             : config_.cpu_rate;
+        phase_ticks = std::max<Tick>(phase_ticks, (q + r - 1) / r);
+      }
+      actor_ticks += std::max<Tick>(phase_ticks, 1);
+    }
+    bound = std::max(bound, actor_ticks);
+  }
+  return bound;
+}
+
+DistributedComputation WorkloadGenerator::make_computation(Tick earliest_start) {
+  const auto actor_count = static_cast<std::size_t>(rng_.uniform(
+      static_cast<std::int64_t>(config_.actors_min),
+      static_cast<std::int64_t>(config_.actors_max)));
+
+  const std::string name = "job" + std::to_string(next_id_++);
+  std::vector<ActorComputation> actors;
+  actors.reserve(actor_count);
+  for (std::size_t i = 0; i < actor_count; ++i) {
+    Location home = locations_[rng_.index(locations_.size())];
+    actors.push_back(make_actor(name + ".a" + std::to_string(i), home));
+  }
+
+  DistributedComputation sized("tmp", actors, earliest_start, earliest_start + 1);
+  const Tick lower = completion_lower_bound(sized);
+  const auto window =
+      std::max<Tick>(2, static_cast<Tick>(static_cast<double>(lower) * config_.laxity));
+  return DistributedComputation(name, std::move(actors), earliest_start,
+                                earliest_start + window);
+}
+
+std::vector<Arrival> WorkloadGenerator::make_arrivals(Tick horizon) {
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  while (true) {
+    t += rng_.exponential(config_.mean_interarrival);
+    const auto at = static_cast<Tick>(t);
+    if (at >= horizon) break;
+    arrivals.push_back(Arrival{at, make_computation(at)});
+  }
+  return arrivals;
+}
+
+ChurnTrace WorkloadGenerator::make_churn(Tick horizon, double join_rate,
+                                         double mean_lifetime, Rate max_rate) {
+  if (join_rate <= 0.0 || mean_lifetime <= 0.0 || max_rate <= 0) {
+    throw std::invalid_argument("churn parameters must be positive");
+  }
+  ChurnTrace trace;
+  double t = 0.0;
+  while (true) {
+    t += rng_.exponential(1.0 / join_rate);
+    const auto at = static_cast<Tick>(t);
+    if (at >= horizon) break;
+    const Tick life = rng_.exponential_at_least_1(mean_lifetime);
+    const Rate rate = rng_.uniform(1, max_rate);
+    // Mostly CPU joins; occasionally a link.
+    if (locations_.size() > 1 && rng_.chance(0.25)) {
+      Location a = locations_[rng_.index(locations_.size())];
+      Location b = a;
+      while (b == a) b = locations_[rng_.index(locations_.size())];
+      trace.add(at, ResourceTerm(rate, TimeInterval(at, at + life),
+                                 LocatedType::network(a, b)));
+    } else {
+      Location a = locations_[rng_.index(locations_.size())];
+      trace.add(at,
+                ResourceTerm(rate, TimeInterval(at, at + life), LocatedType::cpu(a)));
+    }
+  }
+  trace.sort();
+  return trace;
+}
+
+}  // namespace rota

@@ -1,0 +1,89 @@
+// Parameterized random workloads: computations, supply, and churn.
+//
+// The paper evaluates nothing empirically; these generators produce the open
+// distributed system its model describes — a set of locations with CPU and
+// pairwise network supply, deadline-constrained multi-actor computations
+// arriving over time, and peer resources that join with bounded lifetimes.
+// Everything is driven by a seeded Rng, so every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rota/computation/actor_computation.hpp"
+#include "rota/computation/cost_model.hpp"
+#include "rota/resource/resource_set.hpp"
+#include "rota/sim/churn.hpp"
+#include "rota/util/rng.hpp"
+
+namespace rota {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+
+  // Topology & base supply.
+  std::size_t num_locations = 4;
+  Rate cpu_rate = 10;      // per location per tick
+  Rate network_rate = 10;  // per directed link per tick
+
+  // Computation shape.
+  std::size_t actors_min = 1, actors_max = 3;
+  std::size_t actions_min = 2, actions_max = 8;
+  double p_send = 0.30;     // remaining probability mass goes to evaluate
+  double p_create = 0.10;
+  double p_ready = 0.15;
+  double p_migrate = 0.05;
+  std::int64_t eval_weight_max = 3;
+  std::int64_t msg_size_max = 3;
+
+  // Deadline tightness: window length = laxity × (a lower bound on the
+  // computation's completion time given dedicated supply), at least 2 ticks.
+  double laxity = 2.0;
+
+  // Arrival process: mean gap (ticks) between computation arrivals.
+  double mean_interarrival = 20.0;
+};
+
+struct Arrival {
+  Tick at = 0;
+  DistributedComputation computation;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, CostModel phi);
+
+  const std::vector<Location>& locations() const { return locations_; }
+  const CostModel& phi() const { return phi_; }
+  const WorkloadConfig& config() const { return config_; }
+
+  /// Constant base supply over `span`: cpu at every location, network on
+  /// every directed pair.
+  ResourceSet base_supply(const TimeInterval& span) const;
+
+  /// One random computation whose window starts at `earliest_start`.
+  DistributedComputation make_computation(Tick earliest_start);
+
+  /// Arrivals over [0, horizon) with exponential interarrival gaps.
+  std::vector<Arrival> make_arrivals(Tick horizon);
+
+  /// Random joins: `join_rate` events per tick on average over [0, horizon),
+  /// each adding one resource term with exponential lifetime (mean
+  /// `mean_lifetime`) and rate in [1, max_rate].
+  ChurnTrace make_churn(Tick horizon, double join_rate, double mean_lifetime,
+                        Rate max_rate);
+
+ private:
+  ActorComputation make_actor(const std::string& name, Location home);
+  /// Lower bound on completion ticks given dedicated base supply.
+  Tick completion_lower_bound(const DistributedComputation& lambda) const;
+
+  WorkloadConfig config_;
+  CostModel phi_;
+  util::Rng rng_;
+  std::vector<Location> locations_;
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace rota

@@ -1,0 +1,68 @@
+#include "rota/workload/scenarios.hpp"
+
+namespace rota {
+
+PaperExample make_paper_example() {
+  PaperExample ex{
+      .l1 = Location("l1"),
+      .l2 = Location("l2"),
+      .phi = CostModel(),
+      .supply = {},
+      .actor = {},
+      .computation = {},
+  };
+
+  // §III's example supply: cpu on l1 over (0,3) at rate 5 twice (joined),
+  // and network l1->l2 over (0,5) at rate 5.
+  ex.supply.add(5, TimeInterval(0, 3), LocatedType::cpu(ex.l1));
+  ex.supply.add(5, TimeInterval(0, 5), LocatedType::cpu(ex.l1));
+  ex.supply.add(5, TimeInterval(0, 5), LocatedType::network(ex.l1, ex.l2));
+
+  // §IV's actor a1 at l1: evaluate(e), send(a2, m), create(b), ready(b).
+  ex.actor = ActorComputationBuilder("a1", ex.l1)
+                 .evaluate()
+                 .send(ex.l2)
+                 .create()
+                 .ready()
+                 .build();
+  ex.computation = DistributedComputation("paper-example", {ex.actor}, 0, 10);
+  return ex;
+}
+
+ClusterScenario make_cluster(std::size_t nodes, Rate cpu_rate, Rate network_rate,
+                             const TimeInterval& span) {
+  ClusterScenario scenario;
+  scenario.nodes.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    scenario.nodes.emplace_back("node" + std::to_string(i + 1));
+  }
+  for (const Location& n : scenario.nodes) {
+    scenario.supply.add(cpu_rate, span, LocatedType::cpu(n));
+  }
+  for (const Location& a : scenario.nodes) {
+    for (const Location& b : scenario.nodes) {
+      if (a == b) continue;
+      scenario.supply.add(network_rate, span, LocatedType::network(a, b));
+    }
+  }
+  return scenario;
+}
+
+VolunteerScenario make_volunteer_network(std::uint64_t seed, Tick horizon) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.num_locations = 6;
+  config.cpu_rate = 1;      // starving guaranteed base — donations matter
+  config.network_rate = 3;
+  config.mean_interarrival = 12.0;
+  config.laxity = 2.0;
+
+  WorkloadGenerator generator(config, CostModel());
+  ResourceSet base = generator.base_supply(TimeInterval(0, horizon));
+  ChurnTrace churn = generator.make_churn(horizon, /*join_rate=*/0.3,
+                                          /*mean_lifetime=*/60.0, /*max_rate=*/8);
+  return VolunteerScenario{std::move(generator), std::move(base), std::move(churn),
+                           horizon};
+}
+
+}  // namespace rota

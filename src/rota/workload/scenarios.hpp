@@ -1,0 +1,49 @@
+// Ready-made scenarios used by examples, tests and benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rota/computation/actor_computation.hpp"
+#include "rota/computation/cost_model.hpp"
+#include "rota/resource/resource_set.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace rota {
+
+/// The paper's running example (§III/§IV): locations l1, l2; the worked
+/// resource-set calculations' supply; and an actor that evaluates, sends,
+/// creates, readies, and migrates with the paper's example Φ values.
+struct PaperExample {
+  Location l1;
+  Location l2;
+  CostModel phi;             // default parameters == the paper's numbers
+  ResourceSet supply;        // {5}^((0,3))_<cpu,l1> ∪ {5}^((0,5))_<network,l1->l2> …
+  ActorComputation actor;    // a1: evaluate, send(a2), create, ready
+  DistributedComputation computation;  // (Λ={a1}, s=0, d=10)
+};
+
+PaperExample make_paper_example();
+
+/// A small static cluster: `nodes` locations, uniform supply over `span`.
+struct ClusterScenario {
+  std::vector<Location> nodes;
+  CostModel phi;
+  ResourceSet supply;
+};
+
+ClusterScenario make_cluster(std::size_t nodes, Rate cpu_rate, Rate network_rate,
+                             const TimeInterval& span);
+
+/// A volunteer-computing style open system: thin always-on base supply plus
+/// heavy churn of donated resources.
+struct VolunteerScenario {
+  WorkloadGenerator generator;
+  ResourceSet base_supply;
+  ChurnTrace churn;
+  Tick horizon;
+};
+
+VolunteerScenario make_volunteer_network(std::uint64_t seed, Tick horizon);
+
+}  // namespace rota

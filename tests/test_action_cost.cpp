@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rota/computation/action.hpp"
+#include "rota/computation/cost_model.hpp"
+
+namespace rota {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  Location l1{"cm-l1"};
+  Location l2{"cm-l2"};
+  CostModel phi;  // default parameters == the paper's example Φ values
+};
+
+// ------------------------------------------------------------------
+// The paper's §IV example Φ values.
+// ------------------------------------------------------------------
+
+TEST_F(CostModelTest, PaperSendCost) {
+  // Φ(a1, send(a2, m)) = {4}_<network, l(a1)->l(a2)>
+  DemandSet d = phi.cost(Action::send(l1, l2));
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.of(LocatedType::network(l1, l2)), 4);
+}
+
+TEST_F(CostModelTest, PaperEvaluateCost) {
+  // Φ(a1, evaluate(e)) = {8}_<cpu, l(a1)>
+  DemandSet d = phi.cost(Action::evaluate(l1));
+  EXPECT_EQ(d.of(LocatedType::cpu(l1)), 8);
+}
+
+TEST_F(CostModelTest, PaperCreateCost) {
+  // Φ(a1, create(b)) = {5}_<cpu, l(a1)>
+  EXPECT_EQ(phi.cost(Action::create(l1)).of(LocatedType::cpu(l1)), 5);
+}
+
+TEST_F(CostModelTest, PaperReadyCost) {
+  // Φ(a1, ready(b)) = {1}_<cpu, l(a1)>
+  EXPECT_EQ(phi.cost(Action::ready(l1)).of(LocatedType::cpu(l1)), 1);
+}
+
+TEST_F(CostModelTest, PaperMigrateCostIsMultiType) {
+  // Φ(a1, migrate(l2)) needs cpu at source, network on the link, cpu at dest
+  // ("serialized, sent over the network, unserialized").
+  DemandSet d = phi.cost(Action::migrate(l1, l2));
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.of(LocatedType::cpu(l1)), 3);
+  EXPECT_EQ(d.of(LocatedType::network(l1, l2)), 6);
+  EXPECT_EQ(d.of(LocatedType::cpu(l2)), 3);
+}
+
+// ------------------------------------------------------------------
+// Scaling and configuration.
+// ------------------------------------------------------------------
+
+TEST_F(CostModelTest, EvaluateScalesWithWeight) {
+  EXPECT_EQ(phi.cost(Action::evaluate(l1, 3)).of(LocatedType::cpu(l1)), 24);
+}
+
+TEST_F(CostModelTest, LocalSendCostsCpuNotNetwork) {
+  DemandSet d = phi.cost(Action::send(l1, l1));
+  EXPECT_EQ(d.of(LocatedType::cpu(l1)), 1);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST_F(CostModelTest, SendSizeScaling) {
+  CostParameters params;
+  params.send_per_size = 2;
+  CostModel scaled(params);
+  EXPECT_EQ(scaled.cost(Action::send(l1, l2, 4)).of(LocatedType::network(l1, l2)),
+            4 + 2 * 3);
+}
+
+TEST_F(CostModelTest, MigrateSizeScaling) {
+  CostParameters params;
+  params.migrate_network_per_size = 5;
+  CostModel scaled(params);
+  EXPECT_EQ(scaled.cost(Action::migrate(l1, l2, 3)).of(LocatedType::network(l1, l2)),
+            6 + 5 * 2);
+}
+
+TEST_F(CostModelTest, MigrateToSelfThrows) {
+  EXPECT_THROW(phi.cost(Action{ActionKind::kMigrate, l1, l1, 1}), std::invalid_argument);
+}
+
+TEST_F(CostModelTest, CpuMultiplierScalesNodeWork) {
+  CostModel slow;
+  slow.set_cpu_multiplier(l1, 3);
+  EXPECT_EQ(slow.cost(Action::evaluate(l1)).of(LocatedType::cpu(l1)), 24);
+  EXPECT_EQ(slow.cost(Action::evaluate(l2)).of(LocatedType::cpu(l2)), 8);
+  // Network is unaffected.
+  EXPECT_EQ(slow.cost(Action::send(l1, l2)).of(LocatedType::network(l1, l2)), 4);
+  // Migration scales each endpoint independently.
+  DemandSet d = slow.cost(Action::migrate(l2, l1));
+  EXPECT_EQ(d.of(LocatedType::cpu(l2)), 3);
+  EXPECT_EQ(d.of(LocatedType::cpu(l1)), 9);
+}
+
+TEST_F(CostModelTest, InvalidMultiplierThrows) {
+  CostModel m;
+  EXPECT_THROW(m.set_cpu_multiplier(l1, 0), std::invalid_argument);
+  EXPECT_THROW(m.set_cpu_multiplier(l1, -2), std::invalid_argument);
+}
+
+TEST_F(CostModelTest, TotalCostAggregates) {
+  std::vector<Action> actions = {Action::evaluate(l1), Action::send(l1, l2),
+                                 Action::create(l1), Action::ready(l1)};
+  DemandSet d = phi.total_cost(actions);
+  EXPECT_EQ(d.of(LocatedType::cpu(l1)), 8 + 5 + 1);
+  EXPECT_EQ(d.of(LocatedType::network(l1, l2)), 4);
+}
+
+TEST(ActionTest, FactoriesRecordLocations) {
+  Location a{"act-a"}, b{"act-b"};
+  EXPECT_EQ(Action::evaluate(a).kind, ActionKind::kEvaluate);
+  EXPECT_EQ(Action::send(a, b).to, b);
+  EXPECT_EQ(Action::migrate(a, b).at, a);
+  EXPECT_EQ(Action::ready(a).at, a);
+  EXPECT_EQ(Action::create(a).at, a);
+}
+
+TEST(ActionTest, ToString) {
+  Location a{"act-p"}, b{"act-q"};
+  EXPECT_EQ(Action::evaluate(a).to_string(), "evaluate@act-p");
+  EXPECT_EQ(Action::send(a, b, 3).to_string(), "send@act-p->act-q size=3");
+  EXPECT_EQ(Action::migrate(a, b).to_string(), "migrate@act-p->act-q");
+}
+
+TEST(ActionTest, KindNames) {
+  EXPECT_EQ(action_kind_name(ActionKind::kEvaluate), "evaluate");
+  EXPECT_EQ(action_kind_name(ActionKind::kSend), "send");
+  EXPECT_EQ(action_kind_name(ActionKind::kCreate), "create");
+  EXPECT_EQ(action_kind_name(ActionKind::kReady), "ready");
+  EXPECT_EQ(action_kind_name(ActionKind::kMigrate), "migrate");
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,114 @@
+#include "rota/computation/actor_computation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class ActorComputationTest : public ::testing::Test {
+ protected:
+  Location l1{"ac-l1"};
+  Location l2{"ac-l2"};
+  Location l3{"ac-l3"};
+};
+
+TEST_F(ActorComputationTest, BuilderRecordsSequence) {
+  ActorComputation gamma = ActorComputationBuilder("a1", l1)
+                               .evaluate(2)
+                               .send(l2, 3)
+                               .create()
+                               .ready()
+                               .build();
+  EXPECT_EQ(gamma.actor(), "a1");
+  ASSERT_EQ(gamma.action_count(), 4u);
+  EXPECT_EQ(gamma.actions()[0].kind, ActionKind::kEvaluate);
+  EXPECT_EQ(gamma.actions()[0].size, 2);
+  EXPECT_EQ(gamma.actions()[1].kind, ActionKind::kSend);
+  EXPECT_EQ(gamma.actions()[1].to, l2);
+  EXPECT_EQ(gamma.actions()[2].kind, ActionKind::kCreate);
+  EXPECT_EQ(gamma.actions()[3].kind, ActionKind::kReady);
+}
+
+TEST_F(ActorComputationTest, BuilderTracksLocationAcrossMigration) {
+  ActorComputationBuilder builder("a1", l1);
+  builder.evaluate();
+  EXPECT_EQ(builder.current_location(), l1);
+  builder.migrate(l2);
+  EXPECT_EQ(builder.current_location(), l2);
+  builder.evaluate();
+  builder.migrate(l3);
+  builder.send(l1);
+
+  ActorComputation gamma = std::move(builder).build();
+  ASSERT_EQ(gamma.action_count(), 5u);
+  EXPECT_EQ(gamma.actions()[0].at, l1);
+  EXPECT_EQ(gamma.actions()[1].at, l1);  // migrate executes at the source
+  EXPECT_EQ(gamma.actions()[1].to, l2);
+  EXPECT_EQ(gamma.actions()[2].at, l2);  // post-migration work happens at l2
+  EXPECT_EQ(gamma.actions()[3].at, l2);
+  EXPECT_EQ(gamma.actions()[4].at, l3);  // and after the second hop, at l3
+}
+
+TEST_F(ActorComputationTest, PossibleActionDefinitionOne) {
+  ActorComputation gamma =
+      ActorComputationBuilder("a1", l1).evaluate().send(l2).ready().build();
+  // The first action is possible with nothing completed.
+  EXPECT_TRUE(gamma.is_possible(0, 0));
+  // A later action is possible exactly when all predecessors completed.
+  EXPECT_FALSE(gamma.is_possible(1, 0));
+  EXPECT_TRUE(gamma.is_possible(1, 1));
+  EXPECT_FALSE(gamma.is_possible(2, 1));
+  EXPECT_TRUE(gamma.is_possible(2, 2));
+  // Out-of-range indices are never possible.
+  EXPECT_FALSE(gamma.is_possible(3, 3));
+}
+
+TEST_F(ActorComputationTest, EmptyComputation) {
+  ActorComputation gamma("idle", {});
+  EXPECT_TRUE(gamma.empty());
+  EXPECT_FALSE(gamma.is_possible(0, 0));
+}
+
+TEST_F(ActorComputationTest, AppendExtends) {
+  ActorComputation gamma("a1", {});
+  gamma.append(Action::evaluate(l1));
+  EXPECT_EQ(gamma.action_count(), 1u);
+}
+
+TEST_F(ActorComputationTest, ToStringMentionsActorAndActions) {
+  ActorComputation gamma = ActorComputationBuilder("worker", l1).evaluate().build();
+  const std::string s = gamma.to_string();
+  EXPECT_NE(s.find("worker"), std::string::npos);
+  EXPECT_NE(s.find("evaluate"), std::string::npos);
+}
+
+TEST_F(ActorComputationTest, DistributedComputationAccessors) {
+  ActorComputation g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  ActorComputation g2 = ActorComputationBuilder("a2", l2).evaluate().ready().build();
+  DistributedComputation lambda("job", {g1, g2}, 5, 25);
+  EXPECT_EQ(lambda.name(), "job");
+  EXPECT_EQ(lambda.earliest_start(), 5);
+  EXPECT_EQ(lambda.deadline(), 25);
+  EXPECT_EQ(lambda.window(), TimeInterval(5, 25));
+  EXPECT_EQ(lambda.actors().size(), 2u);
+  EXPECT_EQ(lambda.total_actions(), 3u);
+}
+
+TEST_F(ActorComputationTest, DeadlineMustFollowStart) {
+  ActorComputation g = ActorComputationBuilder("a1", l1).evaluate().build();
+  EXPECT_THROW(DistributedComputation("bad", {g}, 10, 10), std::invalid_argument);
+  EXPECT_THROW(DistributedComputation("bad", {g}, 10, 5), std::invalid_argument);
+}
+
+TEST_F(ActorComputationTest, DistributedToString) {
+  ActorComputation g = ActorComputationBuilder("a1", l1).evaluate().build();
+  DistributedComputation lambda("job7", {g}, 0, 9);
+  const std::string s = lambda.to_string();
+  EXPECT_NE(s.find("job7"), std::string::npos);
+  EXPECT_NE(s.find("d=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,114 @@
+#include "rota/admission/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  Location l1{"au-l1"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 40), cpu1);
+    return s;
+  }
+
+  DistributedComputation job(const std::string& name, Tick s, Tick d,
+                             std::int64_t w = 1) {
+    auto gamma = ActorComputationBuilder(name + ".a", l1).evaluate(w).build();
+    return DistributedComputation(name, {gamma}, s, d);
+  }
+};
+
+TEST_F(AuditTest, RecordsDecisionsWithOutcomes) {
+  AuditedController ctl(phi, supply());
+  EXPECT_TRUE(ctl.request(job("ok", 0, 10), 0).accepted);
+  EXPECT_FALSE(ctl.request(job("too-big", 0, 4, 10), 0).accepted);
+
+  ASSERT_EQ(ctl.log().size(), 2u);
+  const AuditEntry& ok = ctl.log().entries()[0];
+  EXPECT_EQ(ok.computation, "ok");
+  EXPECT_TRUE(ok.accepted);
+  EXPECT_EQ(ok.total_demand, 8);
+  EXPECT_EQ(ok.planned_finish, 2);
+  EXPECT_TRUE(ok.reason.empty());
+
+  const AuditEntry& no = ctl.log().entries()[1];
+  EXPECT_FALSE(no.accepted);
+  EXPECT_FALSE(no.reason.empty());
+}
+
+TEST_F(AuditTest, AcceptanceCountsEverythingEverRecorded) {
+  AuditLog log(2);  // tiny retention
+  AdmissionDecision yes;
+  yes.accepted = true;
+  AdmissionDecision no;
+  no.reason = "r";
+  ConcurrentRequirement rho("x", {}, TimeInterval(0, 10));
+  log.record(0, rho, yes);
+  log.record(1, rho, no);
+  log.record(2, rho, no);
+  log.record(3, rho, no);
+  EXPECT_EQ(log.size(), 2u);            // rolled off
+  EXPECT_EQ(log.total_recorded(), 4u);  // but still counted
+  EXPECT_DOUBLE_EQ(log.acceptance(), 0.25);
+}
+
+TEST_F(AuditTest, RejectionReasonHistogram) {
+  AuditedController ctl(phi, supply());
+  ctl.request(job("late", 0, 5), 9);          // deadline passed
+  ctl.request(job("big", 0, 4, 10), 0);       // no plan
+  ctl.request(job("big2", 0, 4, 10), 0);      // no plan again
+  auto reasons = ctl.log().rejection_reasons();
+  ASSERT_EQ(reasons.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& [reason, count] : reasons) total += count;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(AuditTest, AcceptanceByWindowShowsDeadlinePressure) {
+  AuditedController ctl(phi, supply());
+  // Tight windows (length 1) mostly fail; generous ones succeed.
+  for (int i = 0; i < 4; ++i) ctl.request(job("t" + std::to_string(i), 0, 1), 0);
+  for (int i = 0; i < 4; ++i) {
+    ctl.request(job("g" + std::to_string(i), 0, 39), 0);
+  }
+  auto by_window = ctl.log().acceptance_by_window(10);
+  ASSERT_TRUE(by_window.contains(0));   // lengths 0-9
+  ASSERT_TRUE(by_window.contains(3));   // lengths 30-39
+  EXPECT_LT(by_window[0], by_window[3]);
+}
+
+TEST_F(AuditTest, MeanSlackFraction) {
+  AuditedController ctl(phi, supply());
+  ctl.request(job("j", 0, 10), 0);  // finishes at 2 of a 10-tick window
+  EXPECT_NEAR(ctl.log().mean_slack_fraction(), 0.8, 1e-9);
+}
+
+TEST_F(AuditTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(AuditLog(0), std::invalid_argument);
+  AuditLog log(4);
+  EXPECT_THROW(log.acceptance_by_window(0), std::invalid_argument);
+}
+
+TEST_F(AuditTest, ToStringSummarizes) {
+  AuditedController ctl(phi, supply());
+  ctl.request(job("j", 0, 10), 0);
+  EXPECT_NE(ctl.log().to_string().find("1 decisions"), std::string::npos);
+}
+
+TEST_F(AuditTest, EmptyLogDefaults) {
+  AuditLog log;
+  EXPECT_EQ(log.acceptance(), 0.0);
+  EXPECT_EQ(log.mean_slack_fraction(), 0.0);
+  EXPECT_TRUE(log.rejection_reasons().empty());
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,144 @@
+#include "rota/admission/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/logic/theorems.hpp"
+
+namespace rota {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  Location l1{"ct-l1"};
+  Location l2{"ct-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 20), cpu1);
+    s.add(4, TimeInterval(0, 20), net12);
+    return s;
+  }
+
+  DistributedComputation job(const std::string& name, Tick s, Tick d,
+                             std::int64_t weight = 1) {
+    auto gamma = ActorComputationBuilder(name + ".a", l1).evaluate(weight).build();
+    return DistributedComputation(name, {gamma}, s, d);
+  }
+};
+
+TEST_F(ControllerTest, AdmitsFeasibleComputation) {
+  RotaAdmissionController ctl(phi, supply());
+  AdmissionDecision d = ctl.request(job("j1", 0, 10), 0);
+  EXPECT_TRUE(d.accepted);
+  ASSERT_TRUE(d.plan.has_value());
+  EXPECT_LE(d.plan->finish, 10);
+  EXPECT_EQ(ctl.ledger().admitted_count(), 1u);
+}
+
+TEST_F(ControllerTest, RejectsInfeasibleComputation) {
+  RotaAdmissionController ctl(phi, supply());
+  // 80 cpu needed, 4/tick over 5 ticks = 20 available.
+  AdmissionDecision d = ctl.request(job("big", 0, 5, 10), 0);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_FALSE(d.plan.has_value());
+  EXPECT_FALSE(d.reason.empty());
+  EXPECT_EQ(ctl.ledger().admitted_count(), 0u);
+}
+
+TEST_F(ControllerTest, RejectsPastDeadline) {
+  RotaAdmissionController ctl(phi, supply());
+  AdmissionDecision d = ctl.request(job("late", 0, 5), 7);
+  EXPECT_FALSE(d.accepted);
+  EXPECT_NE(d.reason.find("deadline"), std::string::npos);
+}
+
+TEST_F(ControllerTest, ClipsWindowToRequestTime) {
+  RotaAdmissionController ctl(phi, supply());
+  // Requested at t=8 with window (0, 10): only 2 ticks (8 cpu) remain — fits
+  // exactly; at t=9 a single tick (4 cpu) does not.
+  EXPECT_TRUE(ctl.request(job("just", 0, 10), 8).accepted);
+  RotaAdmissionController ctl2(phi, supply());
+  EXPECT_FALSE(ctl2.request(job("nope", 0, 10), 9).accepted);
+}
+
+TEST_F(ControllerTest, AdmissionsAccumulateUntilSaturation) {
+  RotaAdmissionController ctl(phi, supply());
+  // Window (0, 10) at rate 4 holds 40 cpu; each job needs 8 → 5 fit.
+  int accepted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (ctl.request(job("j" + std::to_string(i), 0, 10), 0).accepted) ++accepted;
+  }
+  EXPECT_EQ(accepted, 5);
+}
+
+TEST_F(ControllerTest, AdmittedPlansNeverOverlap) {
+  RotaAdmissionController ctl(phi, supply());
+  std::vector<ConcurrentPlan> plans;
+  for (int i = 0; i < 5; ++i) {
+    auto d = ctl.request(job("j" + std::to_string(i), 0, 10), 0);
+    ASSERT_TRUE(d.accepted);
+    plans.push_back(*d.plan);
+  }
+  ResourceSet combined;
+  for (const auto& p : plans) combined = combined.unioned(p.usage_as_resources());
+  EXPECT_TRUE(supply().relative_complement(combined).has_value());
+}
+
+TEST_F(ControllerTest, ResourceJoinEnablesLaterAdmission) {
+  ResourceSet thin;
+  thin.add(1, TimeInterval(0, 4), cpu1);
+  RotaAdmissionController ctl(phi, thin);
+  EXPECT_FALSE(ctl.request(job("j1", 0, 4), 0).accepted);
+  ResourceSet extra;
+  extra.add(4, TimeInterval(0, 4), cpu1);
+  ctl.on_join(extra);
+  EXPECT_TRUE(ctl.request(job("j1", 0, 4), 0).accepted);
+}
+
+TEST_F(ControllerTest, ReleaseFreesCapacity) {
+  RotaAdmissionController ctl(phi, supply());
+  // Fill the window.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ctl.request(job("j" + std::to_string(i), 5, 15), 0).accepted);
+  }
+  EXPECT_FALSE(ctl.request(job("extra", 5, 15), 0).accepted);
+  EXPECT_TRUE(ctl.release("j0"));
+  EXPECT_TRUE(ctl.request(job("extra", 5, 15), 0).accepted);
+}
+
+TEST_F(ControllerTest, PlanFollowsConfiguredPolicy) {
+  RotaAdmissionController asap(phi, supply(), PlanningPolicy::kAsap);
+  RotaAdmissionController alap(phi, supply(), PlanningPolicy::kAlap);
+  auto da = asap.request(job("j", 0, 10), 0);
+  auto dl = alap.request(job("j", 0, 10), 0);
+  ASSERT_TRUE(da.accepted && dl.accepted);
+  EXPECT_EQ(da.plan->finish, 2);   // asap: front of the window
+  EXPECT_EQ(dl.plan->finish, 10);  // alap: flush against the deadline
+}
+
+TEST_F(ControllerTest, EquivalenceWithTheorem4) {
+  // The online controller and the offline Theorem-4 check agree: admit a
+  // first job, then compare verdicts for a second one.
+  RotaAdmissionController ctl(phi, supply());
+  auto d1 = ctl.request(job("first", 0, 10), 0);
+  ASSERT_TRUE(d1.accepted);
+
+  ConcurrentRequirement rho1 =
+      make_concurrent_requirement(phi, job("first", 0, 10));
+  ComputationPath sigma = realize_plan(supply(), rho1, *d1.plan, 0);
+
+  for (Tick d : {3, 5, 10, 20}) {
+    ConcurrentRequirement rho2 =
+        make_concurrent_requirement(phi, job("second", 0, d));
+    RotaAdmissionController copy = ctl;  // probe without mutating
+    const bool online = copy.request(rho2, 0).accepted;
+    const bool offline = theorem4_accommodate(sigma, 0, rho2).has_value();
+    EXPECT_EQ(online, offline) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,161 @@
+#include "rota/cyberorgs/cyberorg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class CyberOrgTest : public ::testing::Test {
+ protected:
+  Location l1{"co-l1"};
+  Location l2{"co-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType cpu2 = LocatedType::cpu(l2);
+
+  ResourceSet both_nodes() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 20), cpu1);
+    s.add(4, TimeInterval(0, 20), cpu2);
+    return s;
+  }
+
+  ResourceSet node2_slice() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 20), cpu2);
+    return s;
+  }
+
+  DistributedComputation job(const std::string& name, Location at, Tick s, Tick d,
+                             std::int64_t w = 1) {
+    auto gamma = ActorComputationBuilder(name + ".a", at).evaluate(w).build();
+    return DistributedComputation(name, {gamma}, s, d);
+  }
+};
+
+TEST_F(CyberOrgTest, RootAdmitsWithinItsSlice) {
+  CyberOrg root("root", phi, both_nodes());
+  EXPECT_TRUE(root.request(job("j1", l1, 0, 10), 0).accepted);
+  EXPECT_EQ(root.ledger().admitted_count(), 1u);
+}
+
+TEST_F(CyberOrgTest, IsolationMovesSupplyToChild) {
+  CyberOrg root("root", phi, both_nodes());
+  CyberOrg& child = root.create_child("child", node2_slice());
+
+  // The child owns l2's cpu now; the root no longer does.
+  EXPECT_TRUE(child.request(job("cj", l2, 0, 10), 0).accepted);
+  EXPECT_FALSE(root.request(job("rj", l2, 0, 10), 0).accepted);
+  // The root keeps l1.
+  EXPECT_TRUE(root.request(job("rk", l1, 0, 10), 0).accepted);
+}
+
+TEST_F(CyberOrgTest, CannotIsolateMoreThanFreeSupply) {
+  CyberOrg root("root", phi, both_nodes());
+  ResourceSet too_much;
+  too_much.add(10, TimeInterval(0, 20), cpu2);
+  EXPECT_THROW(root.create_child("greedy", too_much), std::invalid_argument);
+}
+
+TEST_F(CyberOrgTest, CannotIsolateCommittedSupply) {
+  CyberOrg root("root", phi, both_nodes());
+  // Commit all of l2's (0, 10) capacity, then try to give all of l2 away.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(root.request(job("j" + std::to_string(i), l2, 0, 10), 0).accepted);
+  }
+  EXPECT_THROW(root.create_child("child", node2_slice()), std::invalid_argument);
+}
+
+TEST_F(CyberOrgTest, DuplicateNamesRejected) {
+  CyberOrg root("root", phi, both_nodes());
+  ResourceSet half;
+  half.add(2, TimeInterval(0, 20), cpu2);
+  root.create_child("child", half);
+  ResourceSet other;
+  other.add(1, TimeInterval(0, 20), cpu2);
+  EXPECT_THROW(root.create_child("child", other), std::invalid_argument);
+  EXPECT_THROW(root.create_child("root", other), std::invalid_argument);
+}
+
+TEST_F(CyberOrgTest, AssimilationReturnsSupplyAndCommitments) {
+  CyberOrg root("root", phi, both_nodes());
+  CyberOrg& child = root.create_child("child", node2_slice());
+  ASSERT_TRUE(child.request(job("cj", l2, 0, 10), 0).accepted);
+
+  ASSERT_TRUE(root.assimilate("child"));
+  EXPECT_EQ(root.subtree_size(), 1u);
+  // The child's commitment is now the root's.
+  EXPECT_EQ(root.ledger().admitted_count(), 1u);
+  // And the child's free supply is usable again at the root.
+  EXPECT_TRUE(root.request(job("rj", l2, 0, 10), 0).accepted);
+}
+
+TEST_F(CyberOrgTest, AssimilateUnknownReturnsFalse) {
+  CyberOrg root("root", phi, both_nodes());
+  EXPECT_FALSE(root.assimilate("ghost"));
+}
+
+TEST_F(CyberOrgTest, GrandchildrenArePromotedOnAssimilation) {
+  CyberOrg root("root", phi, both_nodes());
+  CyberOrg& child = root.create_child("child", node2_slice());
+  ResourceSet grand_slice;
+  grand_slice.add(1, TimeInterval(0, 20), cpu2);
+  child.create_child("grand", grand_slice);
+  EXPECT_EQ(root.subtree_size(), 3u);
+  EXPECT_EQ(root.subtree_depth(), 3u);
+
+  ASSERT_TRUE(root.assimilate("child"));
+  EXPECT_EQ(root.subtree_size(), 2u);
+  EXPECT_EQ(root.subtree_depth(), 2u);
+  EXPECT_NE(root.find("grand"), nullptr);
+  EXPECT_EQ(root.find("child"), nullptr);
+}
+
+TEST_F(CyberOrgTest, FindSearchesSubtree) {
+  CyberOrg root("root", phi, both_nodes());
+  ResourceSet half;
+  half.add(2, TimeInterval(0, 20), cpu2);
+  CyberOrg& child = root.create_child("child", half);
+  ResourceSet quarter;
+  quarter.add(1, TimeInterval(0, 20), cpu2);
+  child.create_child("grand", quarter);
+
+  EXPECT_EQ(root.find("root"), &root);
+  EXPECT_EQ(root.find("child"), &child);
+  ASSERT_NE(root.find("grand"), nullptr);
+  EXPECT_EQ(root.find("grand")->name(), "grand");
+  EXPECT_EQ(root.find("nope"), nullptr);
+}
+
+TEST_F(CyberOrgTest, EncapsulationBoundsReasoningScope) {
+  // A computation needing both nodes cannot be admitted by any single org
+  // after isolation split the supply — the encapsulation is the reasoning
+  // boundary, exactly as §VI intends.
+  CyberOrg root("root", phi, both_nodes());
+  root.create_child("child", node2_slice());
+
+  auto g1 = ActorComputationBuilder("x.a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("x.a2", l2).evaluate().build();
+  DistributedComputation spanning("x", {g1, g2}, 0, 10);
+  EXPECT_FALSE(root.request(spanning, 0).accepted);
+  EXPECT_FALSE(root.find("child")->request(spanning, 0).accepted);
+
+  // Assimilation restores the wider scope.
+  root.assimilate("child");
+  EXPECT_TRUE(root.request(spanning, 0).accepted);
+}
+
+TEST_F(CyberOrgTest, ToStringShowsHierarchy) {
+  CyberOrg root("root", phi, both_nodes());
+  ResourceSet half;
+  half.add(2, TimeInterval(0, 20), cpu2);
+  root.create_child("child", half);
+  const std::string s = root.to_string();
+  EXPECT_NE(s.find("root"), std::string::npos);
+  EXPECT_NE(s.find("child"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,106 @@
+#include "rota/resource/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class DemandSetTest : public ::testing::Test {
+ protected:
+  Location l1{"dm-l1"};
+  Location l2{"dm-l2"};
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net = LocatedType::network(l1, l2);
+};
+
+TEST_F(DemandSetTest, EmptyByDefault) {
+  DemandSet d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.total(), 0);
+  EXPECT_EQ(d.of(cpu1), 0);
+}
+
+TEST_F(DemandSetTest, AddAccumulates) {
+  DemandSet d;
+  d.add(cpu1, 4);
+  d.add(cpu1, 3);
+  EXPECT_EQ(d.of(cpu1), 7);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST_F(DemandSetTest, AddZeroIsNoop) {
+  DemandSet d;
+  d.add(cpu1, 0);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST_F(DemandSetTest, AddNegativeThrows) {
+  DemandSet d;
+  EXPECT_THROW(d.add(cpu1, -1), std::invalid_argument);
+}
+
+TEST_F(DemandSetTest, Merge) {
+  DemandSet a;
+  a.add(cpu1, 4);
+  DemandSet b;
+  b.add(cpu1, 2);
+  b.add(net, 5);
+  a.merge(b);
+  EXPECT_EQ(a.of(cpu1), 6);
+  EXPECT_EQ(a.of(net), 5);
+  EXPECT_EQ(a.total(), 11);
+}
+
+TEST_F(DemandSetTest, SubtractPartial) {
+  DemandSet d;
+  d.add(cpu1, 10);
+  d.subtract(cpu1, 4);
+  EXPECT_EQ(d.of(cpu1), 6);
+}
+
+TEST_F(DemandSetTest, SubtractToZeroErasesEntry) {
+  DemandSet d;
+  d.add(cpu1, 10);
+  d.subtract(cpu1, 10);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST_F(DemandSetTest, SubtractOvershootThrows) {
+  DemandSet d;
+  d.add(cpu1, 3);
+  EXPECT_THROW(d.subtract(cpu1, 4), std::invalid_argument);
+  EXPECT_THROW(d.subtract(net, 1), std::invalid_argument);
+  EXPECT_EQ(d.of(cpu1), 3);  // unchanged after the failed subtraction
+}
+
+TEST_F(DemandSetTest, SubtractNegativeThrows) {
+  DemandSet d;
+  d.add(cpu1, 3);
+  EXPECT_THROW(d.subtract(cpu1, -1), std::invalid_argument);
+}
+
+TEST_F(DemandSetTest, SubtractZeroIsNoopEvenForMissingType) {
+  DemandSet d;
+  d.subtract(net, 0);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST_F(DemandSetTest, ToString) {
+  DemandSet d;
+  d.add(cpu1, 4);
+  EXPECT_EQ(d.to_string(), "{{4}_<cpu, dm-l1>}");
+}
+
+TEST_F(DemandSetTest, Equality) {
+  DemandSet a, b;
+  a.add(cpu1, 4);
+  b.add(cpu1, 4);
+  EXPECT_EQ(a, b);
+  b.add(net, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rota

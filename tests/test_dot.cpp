@@ -1,0 +1,73 @@
+#include "rota/io/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rota {
+namespace {
+
+class DotTest : public ::testing::Test {
+ protected:
+  Location l1{"dot-l1"};
+  Location l2{"dot-l2"};
+  CostModel phi;
+};
+
+TEST_F(DotTest, DagExportShowsSegmentsAndGates) {
+  SegmentedActorBuilder client("client", l1);
+  client.evaluate(1).send(l2);
+  client.await();
+  client.evaluate(1);
+  SegmentedActorBuilder server("server", l2);
+  server.evaluate(2);
+  InteractingComputation rpc("rpc",
+                             {std::move(client).build(), std::move(server).build()},
+                             {{0, 0, 1, 0}, {1, 0, 0, 1}}, 0, 40);
+  const std::string dot = to_dot(make_dag_requirement(phi, rpc));
+
+  EXPECT_NE(dot.find("digraph \"rpc\""), std::string::npos);
+  EXPECT_NE(dot.find("client#0"), std::string::npos);
+  EXPECT_NE(dot.find("server#0"), std::string::npos);
+  // Intra-actor edge solid, cross-actor gate dashed.
+  EXPECT_NE(dot.find("s0 -> s1;"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s2 [style=dashed, label=\"msg\"];"), std::string::npos);
+  EXPECT_NE(dot.find("s2 -> s1 [style=dashed, label=\"msg\"];"), std::string::npos);
+  // Structural sanity: braces balance.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST_F(DotTest, OrgTreeExport) {
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 50), LocatedType::cpu(l1));
+  supply.add(8, TimeInterval(0, 50), LocatedType::cpu(l2));
+  CyberOrg root("root", phi, supply);
+  ResourceSet slice;
+  slice.add(4, TimeInterval(0, 50), LocatedType::cpu(l2));
+  CyberOrg& child = root.create_child("tenant", slice);
+  ResourceSet grand;
+  grand.add(1, TimeInterval(0, 50), LocatedType::cpu(l2));
+  child.create_child("sub", grand);
+
+  const std::string dot = to_dot(root);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+  EXPECT_NE(dot.find("tenant"), std::string::npos);
+  EXPECT_NE(dot.find("sub"), std::string::npos);
+  // Two parent-child edges for three orgs.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 2u);
+}
+
+TEST_F(DotTest, EscapesQuotesInNames) {
+  DagRequirement dag;
+  dag.name = "we\"ird";
+  dag.window = TimeInterval(0, 10);
+  const std::string dot = to_dot(dag);
+  EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,208 @@
+#include "rota/logic/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  Location l1{"ex-l1"};
+  Location l2{"ex-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ConcurrentRequirement make_req(const std::string& name, Tick s, Tick d,
+                                 std::int64_t weight = 1) {
+    auto gamma =
+        ActorComputationBuilder(name + ".a", l1).evaluate(weight).build();
+    DistributedComputation lambda(name, {gamma}, s, d);
+    return make_concurrent_requirement(phi, lambda);
+  }
+};
+
+TEST_F(ExplorerTest, GreedyDrainsSingleActor) {
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("j", 0, 20));
+
+  RunResult r = run_greedy(s0, 20, PriorityOrder::kFcfs);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.finished_at, 2);  // 8 cpu at rate 4
+  EXPECT_TRUE(r.path.back().all_finished());
+}
+
+TEST_F(ExplorerTest, GreedyRespectsStartTime) {
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("j", 5, 20));
+
+  RunResult r = run_greedy(s0, 20, PriorityOrder::kFcfs);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.finished_at, 7);  // waits for s=5, then 2 ticks
+}
+
+TEST_F(ExplorerTest, GreedyReportsMissOnShortSupply) {
+  ResourceSet supply;
+  supply.add(1, TimeInterval(0, 4), cpu1);  // 4 < 8
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("j", 0, 4));
+
+  RunResult r = run_greedy(s0, 10, PriorityOrder::kFcfs);
+  EXPECT_FALSE(r.all_met);
+}
+
+TEST_F(ExplorerTest, HorizonBoundsRun) {
+  SystemState s0(ResourceSet{}, 0);
+  s0.accommodate(make_req("j", 0, 100));
+  RunResult r = run_greedy(s0, 10, PriorityOrder::kFcfs);
+  EXPECT_FALSE(r.all_met);
+  EXPECT_EQ(r.path.back().now(), 10);
+}
+
+TEST_F(ExplorerTest, EmptyStateTriviallyMet) {
+  RunResult r = run_greedy(SystemState(ResourceSet{}, 0), 10, PriorityOrder::kFcfs);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.path.size(), 1u);
+}
+
+TEST_F(ExplorerTest, EdfPrioritizesTighterDeadline) {
+  // Two jobs, supply rate 4: each needs 8 (2 dedicated ticks). The tight one
+  // (d=2) only survives if scheduled first; FCFS order has it second.
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("loose", 0, 20));
+  s0.accommodate(make_req("tight", 0, 2));
+
+  RunResult fcfs = run_greedy(s0, 20, PriorityOrder::kFcfs);
+  EXPECT_FALSE(fcfs.all_met);
+
+  RunResult edf = run_greedy(s0, 20, PriorityOrder::kEdf);
+  EXPECT_TRUE(edf.all_met);
+}
+
+TEST_F(ExplorerTest, LeastLaxityAlsoRecoversIt) {
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("loose", 0, 20));
+  s0.accommodate(make_req("tight", 0, 2));
+  RunResult ll = run_greedy(s0, 20, PriorityOrder::kLeastLaxity);
+  EXPECT_TRUE(ll.all_met);
+}
+
+TEST_F(ExplorerTest, SearchFeasibleFindsOrderDependentSchedule) {
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("loose", 0, 20));
+  s0.accommodate(make_req("tight", 0, 2));
+  auto path = search_feasible(s0, 20);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->back().all_finished());
+}
+
+TEST_F(ExplorerTest, SearchFeasibleReturnsNulloptWhenImpossible) {
+  ResourceSet supply;
+  supply.add(1, TimeInterval(0, 3), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("j", 0, 3));
+  EXPECT_FALSE(search_feasible(s0, 10).has_value());
+}
+
+TEST_F(ExplorerTest, GreedySharesContendedSupply) {
+  // Two actors of one computation on the same node split the rate.
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 10);
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 10), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_concurrent_requirement(phi, lambda));
+
+  RunResult r = run_greedy(s0, 10, PriorityOrder::kFcfs);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.finished_at, 4);  // 16 units at aggregate rate 4
+}
+
+TEST_F(ExplorerTest, PriorityNames) {
+  EXPECT_EQ(priority_name(PriorityOrder::kFcfs), "fcfs");
+  EXPECT_EQ(priority_name(PriorityOrder::kEdf), "edf");
+  EXPECT_EQ(priority_name(PriorityOrder::kLeastLaxity), "least-laxity");
+  EXPECT_EQ(priority_name(PriorityOrder::kProportional), "proportional");
+}
+
+TEST_F(ExplorerTest, ProportionalSplitsEvenly) {
+  // Two equal jobs on a rate-4 node: fair share gives each 2/tick, so both
+  // finish together at t=4 (FCFS would finish them at 2 and 4).
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("a", 0, 20));
+  s0.accommodate(make_req("b", 0, 20));
+
+  RunResult r = run_greedy(s0, 20, PriorityOrder::kProportional);
+  ASSERT_TRUE(r.all_met);
+  EXPECT_EQ(*r.path.back().commitments()[0].finished_at, 4);
+  EXPECT_EQ(*r.path.back().commitments()[1].finished_at, 4);
+
+  RunResult fcfs = run_greedy(s0, 20, PriorityOrder::kFcfs);
+  EXPECT_EQ(*fcfs.path.back().commitments()[0].finished_at, 2);
+  EXPECT_EQ(*fcfs.path.back().commitments()[1].finished_at, 4);
+}
+
+TEST_F(ExplorerTest, WaterFillHandlesIndivisibleRates) {
+  // Rate 5 among three claimants: shares settle to 2/2/1 (water-filling
+  // rounds), total 5, nothing wasted.
+  ResourceSet supply;
+  supply.add(5, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  for (int i = 0; i < 3; ++i) s0.accommodate(make_req("j" + std::to_string(i), 0, 20));
+
+  std::map<LocatedType, Rate> capacity;
+  auto labels = water_fill_labels(s0, {0, 1, 2}, capacity);
+  Rate total = 0;
+  for (const auto& label : labels) {
+    total += label.rate;
+    EXPECT_GE(label.rate, 1);
+    EXPECT_LE(label.rate, 2);
+  }
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(capacity[cpu1], 0);
+  s0.advance(labels);  // and they are valid transition labels
+}
+
+TEST_F(ExplorerTest, WaterFillRespectsRateCaps) {
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  auto gamma = ActorComputationBuilder("c.a", l1).evaluate().build();
+  DistributedComputation lambda("c", {gamma}, 0, 20);
+  s0.accommodate(make_concurrent_requirement(phi, lambda, /*rate_cap=*/3));
+
+  std::map<LocatedType, Rate> capacity;
+  auto labels = water_fill_labels(s0, {0}, capacity);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].rate, 3);  // capped below the node's 8
+}
+
+TEST_F(ExplorerTest, WaterFillRespectsPreReservedCapacity) {
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 20), cpu1);
+  SystemState s0(supply, 0);
+  s0.accommodate(make_req("j", 0, 20));
+  std::map<LocatedType, Rate> capacity;
+  capacity[cpu1] = 1;  // someone already reserved 3 of the 4
+  auto labels = water_fill_labels(s0, {0}, capacity);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].rate, 1);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,74 @@
+#include "rota/logic/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  Location l1{"fm-l1"};
+  LocatedType cpu1 = LocatedType::cpu(l1);
+
+  SimpleRequirement simple() {
+    DemandSet d;
+    d.add(cpu1, 4);
+    return SimpleRequirement(d, TimeInterval(0, 5));
+  }
+};
+
+TEST_F(FormulaTest, Atoms) {
+  EXPECT_TRUE(std::holds_alternative<TrueAtom>(f_true()->node()));
+  EXPECT_TRUE(std::holds_alternative<FalseAtom>(f_false()->node()));
+  EXPECT_TRUE(std::holds_alternative<SatisfySimple>(f_satisfy(simple())->node()));
+}
+
+TEST_F(FormulaTest, SatisfyOverloadsPickRightAlternative) {
+  ComplexRequirement complex("a", {}, TimeInterval(0, 5));
+  ConcurrentRequirement concurrent("j", {}, TimeInterval(0, 5));
+  EXPECT_TRUE(std::holds_alternative<SatisfyComplex>(f_satisfy(complex)->node()));
+  EXPECT_TRUE(
+      std::holds_alternative<SatisfyConcurrent>(f_satisfy(concurrent)->node()));
+}
+
+TEST_F(FormulaTest, Composition) {
+  FormulaPtr psi = f_always(f_not(f_eventually(f_satisfy(simple()))));
+  EXPECT_EQ(psi->size(), 4u);
+  const auto* always = std::get_if<AlwaysOp>(&psi->node());
+  ASSERT_NE(always, nullptr);
+  EXPECT_TRUE(std::holds_alternative<NotOp>(always->operand->node()));
+}
+
+TEST_F(FormulaTest, SizeCountsNodes) {
+  EXPECT_EQ(f_true()->size(), 1u);
+  EXPECT_EQ(f_not(f_true())->size(), 2u);
+  EXPECT_EQ(f_eventually(f_not(f_false()))->size(), 3u);
+}
+
+TEST_F(FormulaTest, NullOperandsThrow) {
+  EXPECT_THROW(f_not(nullptr), std::invalid_argument);
+  EXPECT_THROW(f_eventually(nullptr), std::invalid_argument);
+  EXPECT_THROW(f_always(nullptr), std::invalid_argument);
+}
+
+TEST_F(FormulaTest, ToString) {
+  EXPECT_EQ(f_true()->to_string(), "true");
+  EXPECT_EQ(f_false()->to_string(), "false");
+  EXPECT_EQ(f_not(f_true())->to_string(), "!(true)");
+  EXPECT_EQ(f_eventually(f_true())->to_string(), "<>(true)");
+  EXPECT_EQ(f_always(f_false())->to_string(), "[](false)");
+  EXPECT_NE(f_satisfy(simple())->to_string().find("satisfy("), std::string::npos);
+}
+
+TEST_F(FormulaTest, SharedSubformulas) {
+  FormulaPtr atom = f_satisfy(simple());
+  FormulaPtr a = f_eventually(atom);
+  FormulaPtr b = f_always(atom);  // same child shared
+  EXPECT_EQ(std::get<EventuallyOp>(a->node()).operand.get(),
+            std::get<AlwaysOp>(b->node()).operand.get());
+}
+
+}  // namespace
+}  // namespace rota

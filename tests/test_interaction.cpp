@@ -1,0 +1,148 @@
+#include "rota/computation/interaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class InteractionTest : public ::testing::Test {
+ protected:
+  Location l1{"in-l1"};
+  Location l2{"in-l2"};
+  CostModel phi;
+
+  /// Classic RPC shape: client computes, sends a request, blocks; server
+  /// computes the answer, replies; client resumes on the reply.
+  InteractingComputation rpc(Tick s, Tick d) {
+    SegmentedActorBuilder client("client", l1);
+    client.evaluate(1).send(l2);
+    client.await();            // segment 0 ends: waiting for the reply
+    client.evaluate(1).ready();  // segment 1
+
+    SegmentedActorBuilder server("server", l2);
+    server.evaluate(2).send(l1);  // segment 0: compute the answer, reply
+
+    // The server only computes after the request arrives, and the client
+    // resumes only after the reply: two cross-actor gates.
+    return InteractingComputation(
+        "rpc", {std::move(client).build(), std::move(server).build()},
+        {{/*from_actor=*/0, 0, /*to_actor=*/1, 0}, {1, 0, 0, 1}}, s, d);
+  }
+};
+
+TEST_F(InteractionTest, BuilderSplitsSegmentsAtAwait) {
+  SegmentedActorBuilder b("a", l1);
+  b.evaluate(1).send(l2);
+  EXPECT_EQ(b.await(), 0u);
+  b.evaluate(2);
+  b.ready();
+  SegmentedActor actor = std::move(b).build();
+  ASSERT_EQ(actor.segment_count(), 2u);
+  EXPECT_EQ(actor.segments()[0].size(), 2u);
+  EXPECT_EQ(actor.segments()[1].size(), 2u);
+}
+
+TEST_F(InteractionTest, BuilderTracksLocationAcrossSegments) {
+  SegmentedActorBuilder b("a", l1);
+  b.migrate(l2);
+  b.await();
+  b.evaluate(1);
+  SegmentedActor actor = std::move(b).build();
+  EXPECT_EQ(actor.segments()[1][0].at, l2);
+}
+
+TEST_F(InteractionTest, ValidComputationConstructs) {
+  InteractingComputation c = rpc(0, 20);
+  EXPECT_EQ(c.actors().size(), 2u);
+  EXPECT_EQ(c.total_segments(), 3u);
+  EXPECT_EQ(c.dependencies().size(), 2u);
+  EXPECT_NE(c.to_string().find("3 segments"), std::string::npos);
+}
+
+TEST_F(InteractionTest, BadDeadlineThrows) {
+  EXPECT_THROW(rpc(10, 10), std::invalid_argument);
+}
+
+TEST_F(InteractionTest, DanglingDependencyThrows) {
+  SegmentedActorBuilder a("a", l1);
+  a.evaluate(1);
+  EXPECT_THROW(InteractingComputation("bad", {std::move(a).build()},
+                                      {{0, 0, 0, 5}}, 0, 10),
+               std::invalid_argument);
+  SegmentedActorBuilder b("b", l1);
+  b.evaluate(1);
+  EXPECT_THROW(InteractingComputation("bad", {std::move(b).build()},
+                                      {{0, 0, 3, 0}}, 0, 10),
+               std::invalid_argument);
+}
+
+TEST_F(InteractionTest, BackwardIntraActorDependencyThrows) {
+  SegmentedActorBuilder a("a", l1);
+  a.evaluate(1);
+  a.await();
+  a.evaluate(1);
+  EXPECT_THROW(InteractingComputation("bad", {std::move(a).build()},
+                                      {{0, 1, 0, 0}}, 0, 10),
+               std::invalid_argument);
+}
+
+TEST_F(InteractionTest, CrossActorCycleThrows) {
+  // a#0 waits for b#0 and b#0 waits for a#0: deadlock by construction.
+  SegmentedActorBuilder a("a", l1);
+  a.evaluate(1);
+  SegmentedActorBuilder b("b", l2);
+  b.evaluate(1);
+  EXPECT_THROW(
+      InteractingComputation("deadlock",
+                             {std::move(a).build(), std::move(b).build()},
+                             {{0, 0, 1, 0}, {1, 0, 0, 0}}, 0, 10),
+      std::invalid_argument);
+}
+
+TEST_F(InteractionTest, LongerCycleThroughSegmentsThrows) {
+  // a#1 waits on b#0; b#0 waits on a#1's own ancestor chain via b→a gate:
+  // a#0 → (intra) a#1 → waits b#0 → waits a#1 : cycle b#0 ← a#1 ← b#0.
+  SegmentedActorBuilder a("a", l1);
+  a.evaluate(1);
+  a.await();
+  a.evaluate(1);
+  SegmentedActorBuilder b("b", l2);
+  b.evaluate(1);
+  EXPECT_THROW(
+      InteractingComputation("deadlock",
+                             {std::move(a).build(), std::move(b).build()},
+                             {{1, 0, 0, 1}, {0, 1, 1, 0}}, 0, 10),
+      std::invalid_argument);
+}
+
+TEST_F(InteractionTest, DagRequirementShape) {
+  InteractingComputation c = rpc(0, 20);
+  DagRequirement dag = make_dag_requirement(phi, c);
+  ASSERT_EQ(dag.nodes.size(), 3u);
+  // Node order: client#0, client#1, server#0.
+  EXPECT_EQ(dag.nodes[0].actor_index, 0u);
+  EXPECT_EQ(dag.nodes[0].segment_index, 0u);
+  EXPECT_TRUE(dag.nodes[0].waits_for.empty());
+  // client#1 waits for client#0 (intra) and server#0 (reply gate).
+  EXPECT_EQ(dag.nodes[1].waits_for.size(), 2u);
+  // server#0 waits for client#0 (request gate).
+  ASSERT_EQ(dag.nodes[2].waits_for.size(), 1u);
+  EXPECT_EQ(dag.nodes[2].waits_for[0], 0u);
+}
+
+TEST_F(InteractionTest, DagTotalDemandSumsSegments) {
+  InteractingComputation c = rpc(0, 20);
+  DagRequirement dag = make_dag_requirement(phi, c);
+  // client: evaluate(1)=8 cpu@l1 + send=4 net + evaluate(1)+ready=9 cpu@l1
+  // server: evaluate(2)=16 cpu@l2 + send=4 net l2->l1
+  DemandSet total = dag.total_demand();
+  EXPECT_EQ(total.of(LocatedType::cpu(l1)), 17);
+  EXPECT_EQ(total.of(LocatedType::cpu(l2)), 16);
+  EXPECT_EQ(total.of(LocatedType::network(l1, l2)), 4);
+  EXPECT_EQ(total.of(LocatedType::network(l2, l1)), 4);
+}
+
+}  // namespace
+}  // namespace rota

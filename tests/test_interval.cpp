@@ -1,0 +1,133 @@
+#include "rota/time/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  TimeInterval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.length(), 0);
+}
+
+TEST(Interval, BasicAccessors) {
+  TimeInterval iv(2, 7);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.start(), 2);
+  EXPECT_EQ(iv.end(), 7);
+  EXPECT_EQ(iv.length(), 5);
+}
+
+TEST(Interval, DegenerateCanonicalizesToEmpty) {
+  EXPECT_TRUE(TimeInterval(5, 5).empty());
+  EXPECT_TRUE(TimeInterval(7, 3).empty());
+  // All empty intervals are the same value.
+  EXPECT_EQ(TimeInterval(5, 5), TimeInterval(9, 2));
+  EXPECT_EQ(TimeInterval(5, 5), TimeInterval());
+}
+
+TEST(Interval, NegativeTicksAreLegal) {
+  TimeInterval iv(-5, -1);
+  EXPECT_EQ(iv.length(), 4);
+  EXPECT_TRUE(iv.contains(-5));
+  EXPECT_FALSE(iv.contains(-1));
+}
+
+TEST(Interval, ContainsIsHalfOpen) {
+  TimeInterval iv(2, 5);
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(4));
+  EXPECT_FALSE(iv.contains(5));
+}
+
+TEST(Interval, CoversInclusive) {
+  TimeInterval outer(0, 10);
+  EXPECT_TRUE(outer.covers(TimeInterval(0, 10)));
+  EXPECT_TRUE(outer.covers(TimeInterval(3, 7)));
+  EXPECT_TRUE(outer.covers(TimeInterval(0, 1)));
+  EXPECT_FALSE(outer.covers(TimeInterval(-1, 5)));
+  EXPECT_FALSE(outer.covers(TimeInterval(5, 11)));
+}
+
+TEST(Interval, EveryIntervalCoversEmpty) {
+  EXPECT_TRUE(TimeInterval(3, 4).covers(TimeInterval()));
+  EXPECT_TRUE(TimeInterval().covers(TimeInterval()));
+}
+
+TEST(Interval, IntersectsExcludesTouching) {
+  EXPECT_TRUE(TimeInterval(0, 5).intersects(TimeInterval(4, 9)));
+  EXPECT_FALSE(TimeInterval(0, 5).intersects(TimeInterval(5, 9)));
+  EXPECT_FALSE(TimeInterval(0, 5).intersects(TimeInterval(7, 9)));
+}
+
+TEST(Interval, EmptyNeverIntersects) {
+  EXPECT_FALSE(TimeInterval().intersects(TimeInterval(0, 100)));
+  EXPECT_FALSE(TimeInterval(0, 100).intersects(TimeInterval()));
+}
+
+TEST(Interval, Intersection) {
+  EXPECT_EQ(TimeInterval(0, 5).intersection(TimeInterval(3, 9)), TimeInterval(3, 5));
+  EXPECT_EQ(TimeInterval(0, 5).intersection(TimeInterval(5, 9)), TimeInterval());
+  EXPECT_EQ(TimeInterval(0, 9).intersection(TimeInterval(2, 4)), TimeInterval(2, 4));
+}
+
+TEST(Interval, IntersectionCommutes) {
+  TimeInterval a(1, 8), b(4, 12);
+  EXPECT_EQ(a.intersection(b), b.intersection(a));
+}
+
+TEST(Interval, HullUnionOfOverlapping) {
+  EXPECT_EQ(TimeInterval(0, 5).hull_union(TimeInterval(3, 9)), TimeInterval(0, 9));
+}
+
+TEST(Interval, HullUnionOfMeeting) {
+  EXPECT_EQ(TimeInterval(0, 5).hull_union(TimeInterval(5, 9)), TimeInterval(0, 9));
+}
+
+TEST(Interval, HullUnionWithEmptyIsIdentity) {
+  EXPECT_EQ(TimeInterval(0, 5).hull_union(TimeInterval()), TimeInterval(0, 5));
+  EXPECT_EQ(TimeInterval().hull_union(TimeInterval(0, 5)), TimeInterval(0, 5));
+}
+
+TEST(Interval, HullUnionOfDisjointThrows) {
+  EXPECT_THROW(TimeInterval(0, 3).hull_union(TimeInterval(5, 9)),
+               std::invalid_argument);
+}
+
+TEST(Interval, Shifted) {
+  EXPECT_EQ(TimeInterval(2, 5).shifted(10), TimeInterval(12, 15));
+  EXPECT_EQ(TimeInterval(2, 5).shifted(-4), TimeInterval(-2, 1));
+  EXPECT_EQ(TimeInterval().shifted(10), TimeInterval());
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ(TimeInterval(2, 5).to_string(), "[2, 5)");
+  EXPECT_EQ(TimeInterval().to_string(), "[)");
+}
+
+class IntervalPairTest
+    : public ::testing::TestWithParam<std::tuple<Tick, Tick, Tick, Tick>> {};
+
+TEST_P(IntervalPairTest, IntersectionIsSubsetOfBoth) {
+  const auto [a1, a2, b1, b2] = GetParam();
+  TimeInterval a(a1, a2), b(b1, b2);
+  TimeInterval x = a.intersection(b);
+  EXPECT_TRUE(a.covers(x));
+  EXPECT_TRUE(b.covers(x));
+  for (Tick t = -2; t < 12; ++t) {
+    EXPECT_EQ(x.contains(t), a.contains(t) && b.contains(t)) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalPairTest,
+                         ::testing::Combine(::testing::Values<Tick>(0, 2, 4),
+                                            ::testing::Values<Tick>(3, 6, 9),
+                                            ::testing::Values<Tick>(0, 1, 5),
+                                            ::testing::Values<Tick>(2, 7, 10)));
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,181 @@
+#include "rota/time/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/util/rng.hpp"
+
+namespace rota {
+namespace {
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.measure(), 0);
+  EXPECT_TRUE(s.hull().empty());
+}
+
+TEST(IntervalSet, InsertSingle) {
+  IntervalSet s(TimeInterval(2, 5));
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.measure(), 3);
+  EXPECT_EQ(s.intervals().size(), 1u);
+}
+
+TEST(IntervalSet, InsertEmptyIsNoop) {
+  IntervalSet s;
+  s.insert(TimeInterval());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, DisjointInsertsStaySeparate) {
+  IntervalSet s{TimeInterval(0, 2), TimeInterval(5, 7)};
+  EXPECT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.measure(), 4);
+}
+
+TEST(IntervalSet, TouchingInsertsCoalesce) {
+  IntervalSet s{TimeInterval(0, 3), TimeInterval(3, 7)};
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals().front(), TimeInterval(0, 7));
+}
+
+TEST(IntervalSet, OverlappingInsertsCoalesce) {
+  IntervalSet s{TimeInterval(0, 5), TimeInterval(3, 9), TimeInterval(8, 12)};
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals().front(), TimeInterval(0, 12));
+}
+
+TEST(IntervalSet, InsertBridgesGap) {
+  IntervalSet s{TimeInterval(0, 2), TimeInterval(6, 8)};
+  s.insert(TimeInterval(2, 6));
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.measure(), 8);
+}
+
+TEST(IntervalSet, InsertionOrderIrrelevant) {
+  IntervalSet a{TimeInterval(5, 7), TimeInterval(0, 2), TimeInterval(2, 5)};
+  IntervalSet b{TimeInterval(0, 7)};
+  EXPECT_EQ(a, b);
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s{TimeInterval(0, 2), TimeInterval(5, 7)};
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(IntervalSet, Covers) {
+  IntervalSet s{TimeInterval(0, 4), TimeInterval(6, 9)};
+  EXPECT_TRUE(s.covers(TimeInterval(1, 3)));
+  EXPECT_TRUE(s.covers(TimeInterval(0, 4)));
+  EXPECT_FALSE(s.covers(TimeInterval(3, 7)));  // spans the gap
+  EXPECT_TRUE(s.covers(TimeInterval()));
+}
+
+TEST(IntervalSet, Hull) {
+  IntervalSet s{TimeInterval(2, 4), TimeInterval(8, 11)};
+  EXPECT_EQ(s.hull(), TimeInterval(2, 11));
+}
+
+TEST(IntervalSet, Unioned) {
+  IntervalSet a{TimeInterval(0, 3)};
+  IntervalSet b{TimeInterval(5, 8)};
+  IntervalSet u = a.unioned(b);
+  EXPECT_EQ(u.measure(), 6);
+  EXPECT_EQ(u.intervals().size(), 2u);
+}
+
+TEST(IntervalSet, Intersected) {
+  IntervalSet a{TimeInterval(0, 6), TimeInterval(8, 12)};
+  IntervalSet b{TimeInterval(4, 10)};
+  IntervalSet x = a.intersected(b);
+  EXPECT_EQ(x, (IntervalSet{TimeInterval(4, 6), TimeInterval(8, 10)}));
+}
+
+TEST(IntervalSet, IntersectedWithWindow) {
+  IntervalSet a{TimeInterval(0, 6), TimeInterval(8, 12)};
+  EXPECT_EQ(a.intersected(TimeInterval(5, 9)),
+            (IntervalSet{TimeInterval(5, 6), TimeInterval(8, 9)}));
+}
+
+TEST(IntervalSet, SubtractedMiddle) {
+  IntervalSet a{TimeInterval(0, 10)};
+  IntervalSet b{TimeInterval(3, 6)};
+  EXPECT_EQ(a.subtracted(b), (IntervalSet{TimeInterval(0, 3), TimeInterval(6, 10)}));
+}
+
+TEST(IntervalSet, SubtractedEverything) {
+  IntervalSet a{TimeInterval(2, 5)};
+  IntervalSet b{TimeInterval(0, 10)};
+  EXPECT_TRUE(a.subtracted(b).empty());
+}
+
+TEST(IntervalSet, SubtractedNothing) {
+  IntervalSet a{TimeInterval(2, 5)};
+  IntervalSet b{TimeInterval(7, 9)};
+  EXPECT_EQ(a.subtracted(b), a);
+}
+
+TEST(IntervalSet, SubtractedMultipleCuts) {
+  IntervalSet a{TimeInterval(0, 20)};
+  IntervalSet b{TimeInterval(2, 4), TimeInterval(6, 8), TimeInterval(15, 25)};
+  EXPECT_EQ(a.subtracted(b), (IntervalSet{TimeInterval(0, 2), TimeInterval(4, 6),
+                                          TimeInterval(8, 15)}));
+}
+
+TEST(IntervalSet, ToString) {
+  IntervalSet s{TimeInterval(0, 2), TimeInterval(4, 5)};
+  EXPECT_EQ(s.to_string(), "{[0, 2), [4, 5)}");
+}
+
+// Randomized law checks against brute-force tick membership.
+class IntervalSetRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetRandomTest, SetAlgebraMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  constexpr Tick kLimit = 40;
+
+  auto random_set = [&rng]() {
+    IntervalSet s;
+    const int pieces = static_cast<int>(rng.uniform(0, 5));
+    for (int i = 0; i < pieces; ++i) {
+      const Tick start = rng.uniform(0, kLimit - 2);
+      const Tick end = rng.uniform(start + 1, kLimit);
+      s.insert(TimeInterval(start, end));
+    }
+    return s;
+  };
+
+  const IntervalSet a = random_set();
+  const IntervalSet b = random_set();
+  const IntervalSet u = a.unioned(b);
+  const IntervalSet x = a.intersected(b);
+  const IntervalSet d = a.subtracted(b);
+
+  for (Tick t = -1; t <= kLimit; ++t) {
+    EXPECT_EQ(u.contains(t), a.contains(t) || b.contains(t)) << "union t=" << t;
+    EXPECT_EQ(x.contains(t), a.contains(t) && b.contains(t)) << "intersect t=" << t;
+    EXPECT_EQ(d.contains(t), a.contains(t) && !b.contains(t)) << "subtract t=" << t;
+  }
+
+  // Canonical form: sorted, disjoint, positive gaps, non-empty members.
+  for (const IntervalSet* s : {&u, &x, &d}) {
+    const auto& ivs = s->intervals();
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+      EXPECT_FALSE(ivs[i].empty());
+      if (i > 0) {
+        EXPECT_LT(ivs[i - 1].end(), ivs[i].start());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,117 @@
+#include "rota/admission/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+namespace {
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  Location l1{"lg-l1"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 10), cpu1);
+    return s;
+  }
+
+  ConcurrentPlan plan_for(Quantity cpu_quantity, Tick s, Tick d,
+                          const ResourceSet& against) {
+    auto gamma = ActorComputationBuilder("a", l1)
+                     .evaluate(cpu_quantity / 8)
+                     .build();
+    DistributedComputation lambda("x", {gamma}, s, d);
+    auto plan = plan_concurrent(against, make_concurrent_requirement(phi, lambda),
+                                PlanningPolicy::kAsap);
+    EXPECT_TRUE(plan.has_value());
+    return *plan;
+  }
+};
+
+TEST_F(LedgerTest, FreshLedgerResidualEqualsSupply) {
+  CommitmentLedger ledger(supply(), 0);
+  EXPECT_EQ(ledger.residual(), ledger.supply());
+  EXPECT_EQ(ledger.admitted_count(), 0u);
+  EXPECT_EQ(ledger.now(), 0);
+}
+
+TEST_F(LedgerTest, AdmitSubtractsPlanUsage) {
+  CommitmentLedger ledger(supply(), 0);
+  ConcurrentPlan plan = plan_for(8, 0, 10, ledger.residual());
+  ASSERT_TRUE(ledger.admit("x", TimeInterval(0, 10), plan));
+  EXPECT_EQ(ledger.admitted_count(), 1u);
+  EXPECT_EQ(ledger.residual().quantity(cpu1, TimeInterval(0, 10)), 32);
+  // Supply is unchanged — only the residual shrinks.
+  EXPECT_EQ(ledger.supply().quantity(cpu1, TimeInterval(0, 10)), 40);
+}
+
+TEST_F(LedgerTest, AdmitRejectsOversizedPlan) {
+  CommitmentLedger ledger(supply(), 0);
+  // A plan computed against a *bigger* pool than the residual offers.
+  ResourceSet huge;
+  huge.add(100, TimeInterval(0, 10), cpu1);
+  ConcurrentPlan plan = plan_for(80, 0, 10, huge);
+  // 80 units in one tick exceed the rate-4 residual.
+  EXPECT_FALSE(ledger.admit("big", TimeInterval(0, 10), plan));
+  EXPECT_EQ(ledger.admitted_count(), 0u);
+  EXPECT_EQ(ledger.residual(), ledger.supply());  // untouched on failure
+}
+
+TEST_F(LedgerTest, JoinGrowsBothPools) {
+  CommitmentLedger ledger(supply(), 0);
+  ResourceSet extra;
+  extra.add(2, TimeInterval(3, 6), cpu1);
+  ledger.join(extra);
+  EXPECT_EQ(ledger.supply().availability(cpu1).value_at(4), 6);
+  EXPECT_EQ(ledger.residual().availability(cpu1).value_at(4), 6);
+}
+
+TEST_F(LedgerTest, ReleaseBeforeStartRestoresResidual) {
+  CommitmentLedger ledger(supply(), 0);
+  ConcurrentPlan plan = plan_for(8, 5, 10, ledger.residual());
+  ASSERT_TRUE(ledger.admit("x", TimeInterval(5, 10), plan));
+  const ResourceSet before = ledger.residual();
+  EXPECT_TRUE(ledger.release("x"));
+  EXPECT_EQ(ledger.admitted_count(), 0u);
+  EXPECT_EQ(ledger.residual(), ledger.supply());
+  EXPECT_NE(before, ledger.residual());
+}
+
+TEST_F(LedgerTest, ReleaseAfterStartThrows) {
+  CommitmentLedger ledger(supply(), 0);
+  ConcurrentPlan plan = plan_for(8, 0, 10, ledger.residual());
+  ASSERT_TRUE(ledger.admit("x", TimeInterval(0, 10), plan));
+  ledger.advance_to(3);
+  EXPECT_THROW(ledger.release("x"), std::logic_error);
+}
+
+TEST_F(LedgerTest, ReleaseUnknownReturnsFalse) {
+  CommitmentLedger ledger(supply(), 0);
+  EXPECT_FALSE(ledger.release("ghost"));
+}
+
+TEST_F(LedgerTest, TimeIsMonotonic) {
+  CommitmentLedger ledger(supply(), 5);
+  ledger.advance_to(9);
+  EXPECT_EQ(ledger.now(), 9);
+  EXPECT_THROW(ledger.advance_to(3), std::logic_error);
+}
+
+TEST_F(LedgerTest, UtilizationTracksCommitments) {
+  CommitmentLedger ledger(supply(), 0);
+  EXPECT_DOUBLE_EQ(ledger.utilization(cpu1, TimeInterval(0, 10)), 0.0);
+  ConcurrentPlan plan = plan_for(8, 0, 10, ledger.residual());
+  ASSERT_TRUE(ledger.admit("x", TimeInterval(0, 10), plan));
+  EXPECT_DOUBLE_EQ(ledger.utilization(cpu1, TimeInterval(0, 10)), 0.2);  // 8/40
+  // A window with no supply reports zero.
+  EXPECT_DOUBLE_EQ(ledger.utilization(cpu1, TimeInterval(50, 60)), 0.0);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,149 @@
+#include "rota/resource/located_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace rota {
+namespace {
+
+TEST(Location, InterningGivesEqualIds) {
+  Location a("alpha");
+  Location b("alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.name(), "alpha");
+}
+
+TEST(Location, DistinctNamesDistinctIds) {
+  Location a("beta-1");
+  Location b("beta-2");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Location, EmptyNameThrows) { EXPECT_THROW(Location(""), std::invalid_argument); }
+
+TEST(Location, DefaultIsNowhere) {
+  Location nowhere;
+  EXPECT_EQ(nowhere.id(), 0u);
+  EXPECT_EQ(nowhere.name(), "<nowhere>");
+}
+
+TEST(Location, OrderingIsById) {
+  Location a("gamma-a");
+  Location b("gamma-b");
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(LocatedType, NodeResource) {
+  Location l1("lt-n1");
+  LocatedType cpu = LocatedType::cpu(l1);
+  EXPECT_EQ(cpu.kind(), ResourceKind::kCpu);
+  EXPECT_EQ(cpu.source(), l1);
+  EXPECT_EQ(cpu.destination(), l1);
+  EXPECT_FALSE(cpu.is_link());
+}
+
+TEST(LocatedType, LinkResource) {
+  Location l1("lt-l1"), l2("lt-l2");
+  LocatedType net = LocatedType::network(l1, l2);
+  EXPECT_EQ(net.kind(), ResourceKind::kNetwork);
+  EXPECT_TRUE(net.is_link());
+  EXPECT_EQ(net.source(), l1);
+  EXPECT_EQ(net.destination(), l2);
+}
+
+TEST(LocatedType, LinksAreDirected) {
+  Location l1("lt-d1"), l2("lt-d2");
+  EXPECT_NE(LocatedType::network(l1, l2), LocatedType::network(l2, l1));
+}
+
+TEST(LocatedType, SelfLinkThrows) {
+  Location l1("lt-s1");
+  EXPECT_THROW(LocatedType::network(l1, l1), std::invalid_argument);
+}
+
+TEST(LocatedType, SatisfiesOnlyIdentical) {
+  Location l1("lt-i1"), l2("lt-i2");
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType cpu2 = LocatedType::cpu(l2);
+  EXPECT_TRUE(cpu1.satisfies(cpu1));
+  EXPECT_FALSE(cpu1.satisfies(cpu2));
+  EXPECT_FALSE(cpu1.satisfies(LocatedType::memory(l1)));
+}
+
+TEST(LocatedType, ToString) {
+  Location l1("lt-p1"), l2("lt-p2");
+  EXPECT_EQ(LocatedType::cpu(l1).to_string(), "<cpu, lt-p1>");
+  EXPECT_EQ(LocatedType::network(l1, l2).to_string(), "<network, lt-p1 -> lt-p2>");
+}
+
+TEST(LocatedType, KindNames) {
+  EXPECT_EQ(kind_name(ResourceKind::kCpu), "cpu");
+  EXPECT_EQ(kind_name(ResourceKind::kNetwork), "network");
+  EXPECT_EQ(kind_name(ResourceKind::kMemory), "memory");
+  EXPECT_EQ(kind_name(ResourceKind::kDisk), "disk");
+  EXPECT_EQ(kind_name(ResourceKind::kCustom), "custom");
+}
+
+TEST(LocatedType, HashableInUnorderedSet) {
+  Location l1("lt-h1"), l2("lt-h2");
+  std::unordered_set<LocatedType> set;
+  set.insert(LocatedType::cpu(l1));
+  set.insert(LocatedType::cpu(l1));  // duplicate
+  set.insert(LocatedType::cpu(l2));
+  set.insert(LocatedType::network(l1, l2));
+  set.insert(LocatedType::network(l2, l1));
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(LocatedType, MemoryFactory) {
+  Location l1("lt-m1");
+  LocatedType mem = LocatedType::memory(l1);
+  EXPECT_EQ(mem.kind(), ResourceKind::kMemory);
+  EXPECT_FALSE(mem.is_link());
+}
+
+TEST(Location, ConcurrentInterningIsConsistent) {
+  // Many threads intern overlapping name sets; every thread must see the
+  // same id for the same name and distinct ids for distinct names.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 32;
+  std::vector<std::vector<std::uint32_t>> ids(kThreads,
+                                              std::vector<std::uint32_t>(kNames));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ids] {
+      for (int n = 0; n < kNames; ++n) {
+        ids[t][n] = Location("mt-intern-" + std::to_string(n)).id();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]) << "thread " << t << " saw different ids";
+  }
+  std::unordered_set<std::uint32_t> distinct(ids[0].begin(), ids[0].end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kNames));
+  // Names resolve back correctly after the stampede.
+  EXPECT_EQ(Location("mt-intern-0").name(), "mt-intern-0");
+}
+
+TEST(LocatedType, GenericNodeAndLinkFactories) {
+  Location l1("lt-g1"), l2("lt-g2");
+  LocatedType disk = LocatedType::node(ResourceKind::kDisk, l1);
+  EXPECT_EQ(disk.kind(), ResourceKind::kDisk);
+  LocatedType bus = LocatedType::link(ResourceKind::kCustom, l1, l2);
+  EXPECT_TRUE(bus.is_link());
+  EXPECT_THROW(LocatedType::link(ResourceKind::kCustom, l1, l1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,169 @@
+#include "rota/advisor/migration_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class MigrationAdvisorTest : public ::testing::Test {
+ protected:
+  Location home{"ma-home"};
+  Location fast{"ma-fast"};
+  Location far{"ma-far"};
+  CostModel phi;
+  MigrationAdvisor advisor{CostModel()};
+
+  WorkSpec spec(std::vector<std::int64_t> chunks, Tick d) {
+    WorkSpec s;
+    s.actor = "agent";
+    s.home = home;
+    s.chunk_weights = std::move(chunks);
+    s.earliest_start = 0;
+    s.deadline = d;
+    return s;
+  }
+};
+
+TEST_F(MigrationAdvisorTest, MaterializeStay) {
+  ActorComputation c = advisor.materialize(spec({2, 1}, 20), PlacementKind::kStay, home);
+  ASSERT_EQ(c.action_count(), 3u);  // two evaluates + ready
+  EXPECT_EQ(c.actions()[0].at, home);
+  EXPECT_EQ(c.actions()[2].kind, ActionKind::kReady);
+}
+
+TEST_F(MigrationAdvisorTest, MaterializeMigrateOnce) {
+  ActorComputation c =
+      advisor.materialize(spec({2, 1}, 20), PlacementKind::kMigrateOnce, fast);
+  ASSERT_EQ(c.action_count(), 4u);
+  EXPECT_EQ(c.actions()[0].kind, ActionKind::kMigrate);
+  EXPECT_EQ(c.actions()[1].at, fast);
+  EXPECT_EQ(c.actions()[3].at, fast);
+}
+
+TEST_F(MigrationAdvisorTest, MaterializeMigrateAndReturn) {
+  ActorComputation c =
+      advisor.materialize(spec({2, 3, 1}, 20), PlacementKind::kMigrateAndReturn, fast);
+  // migrate, evaluate×2 remote, migrate home, evaluate last, ready.
+  ASSERT_EQ(c.action_count(), 6u);
+  EXPECT_EQ(c.actions()[0].to, fast);
+  EXPECT_EQ(c.actions()[1].at, fast);
+  EXPECT_EQ(c.actions()[3].kind, ActionKind::kMigrate);
+  EXPECT_EQ(c.actions()[3].to, home);
+  EXPECT_EQ(c.actions()[4].at, home);
+  EXPECT_EQ(c.actions()[4].size, 1);
+}
+
+TEST_F(MigrationAdvisorTest, EmptyChunksThrow) {
+  EXPECT_THROW(advisor.materialize(spec({}, 20), PlacementKind::kStay, home),
+               std::invalid_argument);
+}
+
+TEST_F(MigrationAdvisorTest, BadDeadlineThrows) {
+  ResourceSet supply;
+  EXPECT_THROW(advisor.evaluate(supply, spec({1}, 0), {fast}), std::invalid_argument);
+}
+
+TEST_F(MigrationAdvisorTest, PrefersFastRemoteWhenHomeIsStarved) {
+  ResourceSet supply;
+  supply.add(1, TimeInterval(0, 30), LocatedType::cpu(home));   // crawling
+  supply.add(12, TimeInterval(0, 30), LocatedType::cpu(fast));  // idle and fast
+  supply.add(6, TimeInterval(0, 30), LocatedType::network(home, fast));
+  supply.add(6, TimeInterval(0, 30), LocatedType::network(fast, home));
+
+  auto best = advisor.best(supply, spec({3}, 30), {fast});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->kind, PlacementKind::kMigrateOnce);
+  EXPECT_EQ(best->site, fast);
+
+  // Staying is feasible too (24 cpu at rate 1 within 30 ticks) — just slower.
+  auto options = advisor.evaluate(supply, spec({3}, 30), {fast});
+  bool found_stay = false;
+  for (const auto& o : options) {
+    if (o.kind == PlacementKind::kStay) {
+      found_stay = true;
+      EXPECT_TRUE(o.feasible);
+      EXPECT_GT(o.finish, best->finish);
+    }
+  }
+  EXPECT_TRUE(found_stay);
+}
+
+TEST_F(MigrationAdvisorTest, StaysWhenMigrationCostDominates) {
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 30), LocatedType::cpu(home));
+  supply.add(9, TimeInterval(0, 30), LocatedType::cpu(fast));   // barely faster
+  supply.add(1, TimeInterval(0, 30), LocatedType::network(home, fast));  // slow link
+
+  auto best = advisor.best(supply, spec({1}, 30), {fast});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->kind, PlacementKind::kStay);
+}
+
+TEST_F(MigrationAdvisorTest, NoOptionMeansNullopt) {
+  ResourceSet supply;  // nothing anywhere
+  EXPECT_FALSE(advisor.best(supply, spec({1}, 10), {fast, far}).has_value());
+}
+
+TEST_F(MigrationAdvisorTest, InfeasibleOptionsRankLast) {
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 30), LocatedType::cpu(home));
+  // `far` unreachable: no network supply at all.
+  auto options = advisor.evaluate(supply, spec({1, 1}, 30), {far});
+  ASSERT_GE(options.size(), 2u);
+  EXPECT_TRUE(options.front().feasible);
+  EXPECT_EQ(options.front().kind, PlacementKind::kStay);
+  EXPECT_FALSE(options.back().feasible);
+}
+
+TEST_F(MigrationAdvisorTest, MigrateAndReturnOnlyOfferedForMultipleChunks) {
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 30), LocatedType::cpu(home));
+  auto single = advisor.evaluate(supply, spec({1}, 30), {fast});
+  for (const auto& o : single) {
+    EXPECT_NE(o.kind, PlacementKind::kMigrateAndReturn);
+  }
+  auto multi = advisor.evaluate(supply, spec({1, 1}, 30), {fast});
+  bool offered = false;
+  for (const auto& o : multi) {
+    offered |= o.kind == PlacementKind::kMigrateAndReturn;
+  }
+  EXPECT_TRUE(offered);
+}
+
+TEST_F(MigrationAdvisorTest, FeasibleOptionsCarryValidPlans) {
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 40), LocatedType::cpu(home));
+  supply.add(8, TimeInterval(0, 40), LocatedType::cpu(fast));
+  supply.add(6, TimeInterval(0, 40), LocatedType::network(home, fast));
+  supply.add(6, TimeInterval(0, 40), LocatedType::network(fast, home));
+
+  for (const auto& o : advisor.evaluate(supply, spec({2, 2}, 40), {fast})) {
+    if (!o.feasible) continue;
+    ASSERT_TRUE(o.plan.has_value()) << o.to_string();
+    EXPECT_EQ(o.plan->finish, o.finish);
+    for (const auto& [type, f] : o.plan->usage) {
+      EXPECT_TRUE(supply.availability(type).dominates(f)) << o.to_string();
+    }
+  }
+}
+
+TEST_F(MigrationAdvisorTest, OptionToString) {
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 30), LocatedType::cpu(home));
+  auto options = advisor.evaluate(supply, spec({1}, 30), {});
+  ASSERT_EQ(options.size(), 1u);
+  EXPECT_NE(options[0].to_string().find("stay"), std::string::npos);
+  EXPECT_NE(options[0].to_string().find("finish"), std::string::npos);
+}
+
+TEST_F(MigrationAdvisorTest, KindNames) {
+  EXPECT_EQ(placement_kind_name(PlacementKind::kStay), "stay");
+  EXPECT_EQ(placement_kind_name(PlacementKind::kMigrateOnce), "migrate-once");
+  EXPECT_EQ(placement_kind_name(PlacementKind::kMigrateAndReturn),
+            "migrate-and-return");
+}
+
+}  // namespace
+}  // namespace rota

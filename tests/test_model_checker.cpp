@@ -1,0 +1,182 @@
+#include "rota/logic/model_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+namespace {
+
+// Exercises every rule of the Figure 1 semantics.
+class ModelCheckerTest : public ::testing::Test {
+ protected:
+  Location l1{"mc-l1"};
+  Location l2{"mc-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 10), cpu1);
+    s.add(4, TimeInterval(0, 10), net12);
+    return s;
+  }
+
+  /// An idle path of `ticks` expiration steps over the standard supply.
+  ComputationPath idle_path(int ticks) {
+    ComputationPath path(SystemState(supply(), 0));
+    for (int i = 0; i < ticks; ++i) path.apply(TickStep{});
+    return path;
+  }
+
+  SimpleRequirement cpu_demand(Quantity q, Tick s, Tick d) {
+    DemandSet dem;
+    dem.add(cpu1, q);
+    return SimpleRequirement(dem, TimeInterval(s, d));
+  }
+};
+
+TEST_F(ModelCheckerTest, TrueAndFalseAtoms) {
+  ComputationPath path = idle_path(2);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_true(), 0));
+  EXPECT_FALSE(mc.satisfies(f_false(), 0));
+}
+
+TEST_F(ModelCheckerTest, NegationRule) {
+  ComputationPath path = idle_path(2);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_not(f_false()), 0));
+  EXPECT_FALSE(mc.satisfies(f_not(f_true()), 0));
+  EXPECT_TRUE(mc.satisfies(f_not(f_not(f_true())), 0));
+}
+
+TEST_F(ModelCheckerTest, SatisfySimpleOnIdlePath) {
+  // On an idle path all supply expires unused, so a 20-unit cpu demand over
+  // (0, 10) is satisfiable (40 available).
+  ComputationPath path = idle_path(3);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(cpu_demand(20, 0, 10)), 0));
+  EXPECT_FALSE(mc.satisfies(f_satisfy(cpu_demand(41, 0, 10)), 0));
+}
+
+TEST_F(ModelCheckerTest, SatisfySimpleClipsWindowToPresent) {
+  // At position 2 (t=2), only (2, 6) of the demand window remains: 16 units.
+  ComputationPath path = idle_path(3);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(cpu_demand(16, 0, 6)), 2));
+  EXPECT_FALSE(mc.satisfies(f_satisfy(cpu_demand(17, 0, 6)), 2));
+  // At position 0 the full window is usable.
+  EXPECT_TRUE(mc.satisfies(f_satisfy(cpu_demand(17, 0, 6)), 0));
+}
+
+TEST_F(ModelCheckerTest, SatisfySimpleSeesOnlyExpiringResources) {
+  // A committed computation consumes the cpu on [0, 2); a demand that needed
+  // those ticks no longer holds, demands fitting the leftovers do.
+  auto gamma = ActorComputationBuilder("busy", l1).evaluate().build();  // 8 cpu
+  DistributedComputation lambda("busy", {gamma}, 0, 10);
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(AccommodateStep{make_concurrent_requirement(phi, lambda)});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+
+  ModelChecker mc(path);
+  // (0, 2) is fully consumed along σ: nothing expires there.
+  EXPECT_FALSE(mc.satisfies(f_satisfy(cpu_demand(1, 0, 2)), 0));
+  // (2, 10) is untouched: 32 units expire.
+  EXPECT_TRUE(mc.satisfies(f_satisfy(cpu_demand(32, 0, 10)), 0));
+  EXPECT_FALSE(mc.satisfies(f_satisfy(cpu_demand(33, 0, 10)), 0));
+}
+
+TEST_F(ModelCheckerTest, SatisfyComplexNeedsCutPoints) {
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().send(l2).build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 10));
+  ComputationPath path = idle_path(1);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(rho), 0));
+
+  // Too-tight window: 8 cpu at rate 4 needs 2 ticks + 1 net tick = 3.
+  ComplexRequirement tight =
+      make_complex_requirement(phi, gamma, TimeInterval(0, 2));
+  EXPECT_FALSE(mc.satisfies(f_satisfy(tight), 0));
+}
+
+TEST_F(ModelCheckerTest, SatisfyComplexFailsOncePassed) {
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 3));
+  ComputationPath path = idle_path(5);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(rho), 0));
+  // At t=3 the deadline has passed: the clipped window is empty.
+  EXPECT_FALSE(mc.satisfies(f_satisfy(rho), 3));
+  EXPECT_FALSE(mc.satisfies(f_satisfy(rho), 5));
+}
+
+TEST_F(ModelCheckerTest, SatisfyConcurrent) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 4);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  ComputationPath path = idle_path(1);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(rho), 0));  // 16 needed, 16 available
+
+  DistributedComputation tight("pair", {g1, g2}, 0, 3);
+  EXPECT_FALSE(mc.satisfies(f_satisfy(make_concurrent_requirement(phi, tight)), 0));
+}
+
+TEST_F(ModelCheckerTest, EventuallyIsStrictlyFuture) {
+  // satisfy(ρ) with window (0, 3) holds at positions 0..2 but not 3+.
+  SimpleRequirement rho = cpu_demand(4, 0, 3);
+  ComputationPath path = idle_path(5);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(rho), 0));
+  // ◇ at position 2: positions 3.. fail (window passed) → false.
+  EXPECT_FALSE(mc.satisfies(f_eventually(f_satisfy(rho)), 2));
+  // ◇ at position 0: position 1 satisfies → true.
+  EXPECT_TRUE(mc.satisfies(f_eventually(f_satisfy(rho)), 0));
+}
+
+TEST_F(ModelCheckerTest, AlwaysOverStrictFuture) {
+  ComputationPath path = idle_path(4);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_always(f_true()), 0));
+  EXPECT_FALSE(mc.satisfies(f_always(f_false()), 0));
+  // At the last position the strict future is empty: vacuously true.
+  EXPECT_TRUE(mc.satisfies(f_always(f_false()), 4));
+  EXPECT_FALSE(mc.satisfies(f_eventually(f_true()), 4));
+}
+
+TEST_F(ModelCheckerTest, AlwaysSatisfyDegradesOverTime) {
+  // A demand whose window shrinks as t advances: always(satisfy) fails
+  // because late positions cannot cover it, while eventually(satisfy) holds.
+  SimpleRequirement rho = cpu_demand(12, 0, 5);  // needs 3 of the 5 ticks
+  ComputationPath path = idle_path(6);
+  ModelChecker mc(path);
+  EXPECT_TRUE(mc.satisfies(f_eventually(f_satisfy(rho)), 0));
+  EXPECT_FALSE(mc.satisfies(f_always(f_satisfy(rho)), 0));
+}
+
+TEST_F(ModelCheckerTest, DualityOfEventuallyAndAlways) {
+  // ◇ψ ≡ ¬□¬ψ on every position of a finite path.
+  SimpleRequirement rho = cpu_demand(12, 0, 5);
+  ComputationPath path = idle_path(6);
+  ModelChecker mc(path);
+  for (std::size_t pos = 0; pos < path.size(); ++pos) {
+    const bool diamond = mc.satisfies(f_eventually(f_satisfy(rho)), pos);
+    const bool via_box = mc.satisfies(f_not(f_always(f_not(f_satisfy(rho)))), pos);
+    EXPECT_EQ(diamond, via_box) << "position " << pos;
+  }
+}
+
+TEST_F(ModelCheckerTest, PositionBeyondPathThrows) {
+  ComputationPath path = idle_path(1);
+  ModelChecker mc(path);
+  EXPECT_THROW(mc.satisfies(f_true(), 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,102 @@
+// Failure injection for the scenario parser: whatever bytes arrive, the
+// parser either returns a valid Scenario or throws ScenarioParseError with a
+// sane line number — it must never crash, hang, or throw anything else.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "rota/io/scenario.hpp"
+#include "rota/util/rng.hpp"
+
+namespace rota {
+namespace {
+
+/// Feeds text to the parser and asserts the contract.
+void assert_parser_contract(const std::string& text) {
+  std::size_t line_count = 1;
+  for (char c : text) line_count += (c == '\n') ? 1 : 0;
+  try {
+    Scenario s = parse_scenario_string(text);
+    // Valid parse: the result must survive a write/parse round trip.
+    EXPECT_EQ(s, parse_scenario_string(scenario_to_string(s)));
+  } catch (const ScenarioParseError& e) {
+    EXPECT_GE(e.line(), 1u);
+    EXPECT_LE(e.line(), line_count);
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+  // Anything else escaping is a test failure (uncaught exception).
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoup) {
+  util::Rng rng(GetParam() * 83 + 29);
+  static const char* kTokens[] = {
+      "supply", "cpu",  "network", "memory",   "disk", "computation",
+      "actor",  "end",  "evaluate", "send",    "create", "ready",
+      "migrate", "l1",  "l2",      "job",      "0",     "1",
+      "5",      "10",   "-3",      "99999999", "#x",    "???",
+      "2.5",    "",     "l1",      "9223372036854775807"};
+  std::ostringstream text;
+  const int lines = static_cast<int>(rng.uniform(1, 30));
+  for (int i = 0; i < lines; ++i) {
+    const int words = static_cast<int>(rng.uniform(0, 7));
+    for (int w = 0; w < words; ++w) {
+      if (w != 0) text << ' ';
+      text << kTokens[rng.index(std::size(kTokens))];
+    }
+    text << '\n';
+  }
+  assert_parser_contract(text.str());
+}
+
+TEST_P(ParserFuzzTest, MutatedValidScenario) {
+  // Start from a valid scenario and corrupt one random line.
+  static const char* kValid =
+      "supply cpu l1 5 0 10\n"
+      "supply network l1 l2 4 0 12\n"
+      "computation job1 0 20\n"
+      "  actor a1 l1\n"
+      "    evaluate 2\n"
+      "    send l2 1\n"
+      "    ready\n"
+      "end\n";
+  util::Rng rng(GetParam() * 131 + 7);
+  std::string text = kValid;
+  const std::size_t pos = rng.index(text.size());
+  const char replacement = static_cast<char>(rng.uniform(32, 126));
+  text[pos] = replacement;
+  assert_parser_contract(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(ParserRobustness, PathologicalInputs) {
+  assert_parser_contract("");
+  assert_parser_contract("\n\n\n");
+  assert_parser_contract(std::string(10000, ' '));
+  assert_parser_contract(std::string(100, '\n'));
+  assert_parser_contract("supply cpu l1 99999999999999999999999999 0 10\n");
+  assert_parser_contract("computation j 0 9223372036854775807\nend\n");
+  assert_parser_contract("supply cpu l1 5 10 0\n");      // inverted interval (null)
+  assert_parser_contract("computation j -5 -1\nend\n");  // negative ticks are legal
+  assert_parser_contract("actor orphan l1\n");
+  assert_parser_contract(std::string("supply cpu l1 5 0 10 ") +
+                         std::string(5000, 'x') + "\n");
+}
+
+TEST(ParserRobustness, DeeplyRepeatedBlocksParse) {
+  std::ostringstream text;
+  text << "supply cpu l1 100 0 100000\n";
+  for (int i = 0; i < 500; ++i) {
+    text << "computation j" << i << ' ' << i << ' ' << i + 10 << "\n  actor a" << i
+         << " l1\n    evaluate 1\nend\n";
+  }
+  Scenario s = parse_scenario_string(text.str());
+  EXPECT_EQ(s.computations.size(), 500u);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,168 @@
+#include "rota/logic/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class PathTest : public ::testing::Test {
+ protected:
+  Location l1{"pt-l1"};
+  Location l2{"pt-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 10), cpu1);
+    s.add(4, TimeInterval(0, 10), net12);
+    return s;
+  }
+
+  ConcurrentRequirement requirement() {
+    auto gamma = ActorComputationBuilder("a1", l1).evaluate().send(l2).build();
+    DistributedComputation lambda("job", {gamma}, 0, 10);
+    return make_concurrent_requirement(phi, lambda);
+  }
+};
+
+TEST_F(PathTest, InitialPathHasOneState) {
+  ComputationPath path(SystemState(supply(), 0));
+  EXPECT_EQ(path.size(), 1u);
+  EXPECT_EQ(path.front().now(), 0);
+}
+
+TEST_F(PathTest, ApplyExtends) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(TickStep{});
+  path.apply(TickStep{});
+  EXPECT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.back().now(), 2);
+  EXPECT_EQ(path.state(1).now(), 1);
+}
+
+TEST_F(PathTest, FailedStepLeavesPathIntact) {
+  ComputationPath path(SystemState(supply(), 0));
+  EXPECT_THROW(path.apply(TickStep{{{7, cpu1, 1}}}), std::logic_error);
+  EXPECT_EQ(path.size(), 1u);
+}
+
+TEST_F(PathTest, StepsAreRecorded) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(AccommodateStep{requirement()});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  ASSERT_EQ(path.steps().size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<AccommodateStep>(path.steps()[0]));
+  EXPECT_TRUE(std::holds_alternative<TickStep>(path.steps()[1]));
+}
+
+TEST_F(PathTest, ConsumptionProfileAggregates) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(AccommodateStep{requirement()});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, net12, 4}}});
+
+  auto profile = path.consumption_profile(0);
+  ASSERT_TRUE(profile.contains(cpu1));
+  ASSERT_TRUE(profile.contains(net12));
+  EXPECT_EQ(profile[cpu1].integral(), 8);
+  EXPECT_EQ(profile[cpu1].value_at(0), 4);
+  EXPECT_EQ(profile[cpu1].value_at(2), 0);
+  EXPECT_EQ(profile[net12].value_at(2), 4);
+  // Equal-rate consecutive ticks compress into one segment.
+  EXPECT_EQ(profile[cpu1].segments().size(), 1u);
+}
+
+TEST_F(PathTest, ConsumptionProfileSuffix) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(AccommodateStep{requirement()});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, net12, 4}}});
+
+  // From index 2 (t=1) onward: only the second cpu tick and the net tick.
+  auto profile = path.consumption_profile(2);
+  EXPECT_EQ(profile[cpu1].integral(), 4);
+  EXPECT_EQ(profile[net12].integral(), 4);
+}
+
+TEST_F(PathTest, ExpiringResourcesAreSupplyMinusConsumption) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(AccommodateStep{requirement()});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, net12, 4}}});
+
+  const ResourceSet expiring = path.expiring_resources(0, TimeInterval(0, 10));
+  // cpu fully consumed on [0,2), free on [2,10): 8 × 4 = 32.
+  EXPECT_EQ(expiring.quantity(cpu1, TimeInterval(0, 10)), 32);
+  EXPECT_EQ(expiring.availability(cpu1).value_at(0), 0);
+  EXPECT_EQ(expiring.availability(cpu1).value_at(2), 4);
+  // net free except tick 2.
+  EXPECT_EQ(expiring.quantity(net12, TimeInterval(0, 10)), 36);
+}
+
+TEST_F(PathTest, ExpiringResourcesSeeLaterJoins) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(TickStep{});
+  ResourceSet extra;
+  extra.add(7, TimeInterval(3, 6), cpu1);
+  path.apply(JoinStep{extra});
+
+  const ResourceSet expiring = path.expiring_resources(0, TimeInterval(0, 10));
+  EXPECT_EQ(expiring.availability(cpu1).value_at(4), 4 + 7);
+}
+
+TEST_F(PathTest, ExpiringResourcesRespectWindow) {
+  ComputationPath path(SystemState(supply(), 0));
+  const ResourceSet expiring = path.expiring_resources(0, TimeInterval(2, 4));
+  EXPECT_EQ(expiring.quantity(cpu1, TimeInterval(0, 100)), 8);
+}
+
+TEST_F(PathTest, ExpiringResourcesFromLaterPositionDropPast) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(TickStep{});
+  path.apply(TickStep{});
+  path.apply(TickStep{});
+  // From position 3 (t=3), supply before t=3 is gone.
+  const ResourceSet expiring = path.expiring_resources(3, TimeInterval(0, 10));
+  EXPECT_EQ(expiring.quantity(cpu1, TimeInterval(0, 100)), 4 * 7);
+}
+
+TEST_F(PathTest, ToStringShowsTransitions) {
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(TickStep{});
+  EXPECT_NE(path.to_string().find("tick"), std::string::npos);
+}
+
+TEST_F(PathTest, StepToStringCoversEveryRule) {
+  EXPECT_EQ(step_to_string(TickStep{}), "tick{}");
+  EXPECT_NE(step_to_string(TickStep{{{0, cpu1, 4}}}).find("->[4] #0"),
+            std::string::npos);
+
+  ResourceSet joined;
+  joined.add(2, TimeInterval(0, 5), cpu1);
+  EXPECT_NE(step_to_string(JoinStep{joined}).find("join"), std::string::npos);
+
+  EXPECT_NE(step_to_string(AccommodateStep{requirement()}).find("accommodate(job)"),
+            std::string::npos);
+  EXPECT_EQ(step_to_string(LeaveStep{"job"}), "leave(job)");
+}
+
+TEST_F(PathTest, LeaveStepThroughApply) {
+  ComputationPath path(SystemState(supply(), 0));
+  auto gamma = ActorComputationBuilder("a1", l1).evaluate().build();
+  DistributedComputation lambda("future", {gamma}, 5, 10);
+  path.apply(AccommodateStep{make_concurrent_requirement(phi, lambda)});
+  EXPECT_EQ(path.back().commitments().size(), 1u);
+  path.apply(LeaveStep{"future"});
+  EXPECT_TRUE(path.back().commitments().empty());
+  EXPECT_EQ(path.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rota

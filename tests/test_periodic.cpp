@@ -1,0 +1,111 @@
+#include "rota/admission/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class PeriodicTest : public ::testing::Test {
+ protected:
+  Location l1{"pd-l1"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+
+  ResourceSet supply(Tick until = 200) {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, until), cpu1);
+    return s;
+  }
+
+  /// 8 cpu (2 dedicated ticks) in a [s, s+4) window.
+  DistributedComputation task(Tick s = 10) {
+    auto gamma = ActorComputationBuilder("p.a", l1).evaluate().build();
+    return DistributedComputation("ptask", {gamma}, s, s + 4);
+  }
+};
+
+TEST_F(PeriodicTest, ExpansionShiftsWindows) {
+  auto instances = expand_periodic(task(10), 20, 3);
+  ASSERT_EQ(instances.size(), 3u);
+  EXPECT_EQ(instances[0].name(), "ptask#0");
+  EXPECT_EQ(instances[0].window(), TimeInterval(10, 14));
+  EXPECT_EQ(instances[1].window(), TimeInterval(30, 34));
+  EXPECT_EQ(instances[2].window(), TimeInterval(50, 54));
+  EXPECT_EQ(instances[2].actors(), instances[0].actors());
+}
+
+TEST_F(PeriodicTest, ExpansionValidatesArguments) {
+  EXPECT_THROW(expand_periodic(task(), 0, 3), std::invalid_argument);
+  EXPECT_THROW(expand_periodic(task(), 5, 0), std::invalid_argument);
+}
+
+TEST_F(PeriodicTest, OverlappingInstancesAreLegal) {
+  auto instances = expand_periodic(task(10), 2, 3);  // period < window length
+  EXPECT_TRUE(instances[0].window().intersects(instances[1].window()));
+}
+
+TEST_F(PeriodicTest, AdmitsSustainableSeries) {
+  RotaAdmissionController ctl(phi, supply());
+  PeriodicAdmission r = admit_periodic(ctl, task(10), 20, 5, 0);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.plans.size(), 5u);
+  EXPECT_EQ(ctl.ledger().admitted_count(), 5u);
+  for (std::size_t k = 0; k < r.plans.size(); ++k) {
+    EXPECT_LE(r.plans[k].finish, 14 + static_cast<Tick>(k) * 20);
+  }
+}
+
+TEST_F(PeriodicTest, AllOrNothingRollsBackCleanly) {
+  // Supply ends at t=50: instance 2 (window [50, 54)) cannot fit.
+  RotaAdmissionController ctl(phi, supply(50));
+  const std::size_t before = ctl.ledger().admitted_count();
+  PeriodicAdmission r = admit_periodic(ctl, task(10), 20, 3, 0);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.failed_instance, 2u);
+  EXPECT_FALSE(r.reason.empty());
+  EXPECT_TRUE(r.plans.empty());
+  // Nothing stuck: the controller is exactly as found.
+  EXPECT_EQ(ctl.ledger().admitted_count(), before);
+  EXPECT_EQ(ctl.ledger().residual(), ctl.ledger().supply());
+}
+
+TEST_F(PeriodicTest, SeriesMustStartInTheFuture) {
+  RotaAdmissionController ctl(phi, supply());
+  EXPECT_THROW(admit_periodic(ctl, task(0), 20, 3, 0), std::invalid_argument);
+  EXPECT_THROW(admit_periodic(ctl, task(5), 20, 3, 5), std::invalid_argument);
+}
+
+TEST_F(PeriodicTest, SustainableInstancesFindsTheBreakPoint) {
+  // Supply to t=50 sustains exactly instances at 10, 30 (not 50).
+  RotaAdmissionController ctl(phi, supply(50));
+  EXPECT_EQ(sustainable_instances(ctl, task(10), 20, 10, 0), 2u);
+  // Probing never mutates the controller.
+  EXPECT_EQ(ctl.ledger().admitted_count(), 0u);
+}
+
+TEST_F(PeriodicTest, SustainableRespectsExistingCommitments) {
+  RotaAdmissionController ctl(phi, supply(50));
+  // Eat the first window's capacity.
+  auto gamma = ActorComputationBuilder("hog.a", l1).evaluate(2).build();
+  ASSERT_TRUE(
+      ctl.request(DistributedComputation("hog", {gamma}, 10, 14), 0).accepted);
+  EXPECT_EQ(sustainable_instances(ctl, task(10), 20, 10, 0), 0u);
+}
+
+TEST_F(PeriodicTest, DensePeriodSaturatesByRate) {
+  // Window length 4 = period; each instance needs 8 of its window's 16:
+  // two full series fit back to back, a third does not.
+  RotaAdmissionController ctl(phi, supply(200));
+  EXPECT_EQ(sustainable_instances(ctl, task(10), 4, 40, 0), 40u);
+  ASSERT_TRUE(admit_periodic(ctl, task(10), 4, 20, 0).accepted);
+  // Half of every window remains: a second series still sustains.
+  EXPECT_EQ(sustainable_instances(ctl, task(10), 4, 20, 0), 20u);
+  ASSERT_TRUE(admit_periodic(ctl, task(10), 4, 20, 0).accepted);
+  // Now the windows are full.
+  EXPECT_EQ(sustainable_instances(ctl, task(10), 4, 20, 0), 0u);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,269 @@
+#include "rota/logic/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  Location l1{"pl-l1"};
+  Location l2{"pl-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType cpu2 = LocatedType::cpu(l2);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ComplexRequirement two_phase(Tick s, Tick d) {
+    // evaluate (8 cpu@l1) then send (4 net l1->l2).
+    auto gamma = ActorComputationBuilder("a1", l1).evaluate().send(l2).build();
+    return make_complex_requirement(phi, gamma, TimeInterval(s, d));
+  }
+
+  /// Checks the invariants any valid plan must have.
+  void check_plan(const ActorPlan& plan, const ComplexRequirement& req,
+                  const ResourceSet& available) {
+    // Usage within availability.
+    for (const auto& [type, f] : plan.usage) {
+      EXPECT_TRUE(available.availability(type).dominates(f))
+          << "usage of " << type.to_string() << " exceeds availability";
+      // Usage inside the window.
+      EXPECT_EQ(f, f.restricted(req.window()));
+    }
+    // Cut points strictly inside the window and ordered.
+    Tick prev = req.window().start();
+    for (Tick cut : plan.cut_points) {
+      EXPECT_GE(cut, prev);
+      EXPECT_LE(cut, req.window().end());
+      prev = cut;
+    }
+    EXPECT_EQ(plan.cut_points.size() + 1, req.phases().size());
+    // Every phase's demand is covered within its slot.
+    Tick lo = req.window().start();
+    for (std::size_t i = 0; i < req.phases().size(); ++i) {
+      const Tick hi =
+          i < plan.cut_points.size() ? plan.cut_points[i] : req.window().end();
+      for (const auto& [type, q] : req.phases()[i].demand.amounts()) {
+        EXPECT_GE(plan.usage.at(type).integral(TimeInterval(lo, hi)), q)
+            << "phase " << i << " type " << type.to_string();
+      }
+      lo = hi;
+    }
+    EXPECT_LE(plan.finish, req.window().end());
+    EXPECT_GE(plan.start, req.window().start());
+  }
+};
+
+TEST_F(PlannerTest, AsapPlansSimpleChain) {
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 10), cpu1);
+  avail.add(4, TimeInterval(0, 10), net12);
+  ComplexRequirement req = two_phase(0, 10);
+
+  auto plan = plan_actor(avail, req, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  check_plan(*plan, req, avail);
+  EXPECT_EQ(plan->finish, 3);  // 8 cpu at rate 4 → 2 ticks; 4 net → 1 tick
+  ASSERT_EQ(plan->cut_points.size(), 1u);
+  EXPECT_EQ(plan->cut_points[0], 2);
+}
+
+TEST_F(PlannerTest, AsapHandlesPartialTicks) {
+  ResourceSet avail;
+  avail.add(3, TimeInterval(0, 10), cpu1);
+  avail.add(4, TimeInterval(0, 10), net12);
+  ComplexRequirement req = two_phase(0, 10);
+
+  auto plan = plan_actor(avail, req, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  check_plan(*plan, req, avail);
+  // 8 cpu at rate 3: ticks at 3+3+2 → finishes at 3.
+  EXPECT_EQ(plan->cut_points[0], 3);
+  EXPECT_EQ(plan->usage.at(cpu1).value_at(2), 2);
+  EXPECT_EQ(plan->finish, 4);
+}
+
+TEST_F(PlannerTest, OrderMattersNotJustTotals) {
+  // The paper's key §III point: totals can suffice while order fails.
+  // cpu only exists late, network only early: the evaluate→send chain cannot
+  // run even though total quantities cover it.
+  ResourceSet avail;
+  avail.add(8, TimeInterval(5, 9), cpu1);    // 32 cpu, but late
+  avail.add(4, TimeInterval(0, 2), net12);   // 8 net, but early
+  ComplexRequirement req = two_phase(0, 9);
+  EXPECT_GE(avail.quantity(cpu1, req.window()), 8);
+  EXPECT_GE(avail.quantity(net12, req.window()), 4);
+  EXPECT_FALSE(plan_actor(avail, req, PlanningPolicy::kAsap).has_value());
+
+  // Flip the availability order and it becomes feasible.
+  ResourceSet flipped;
+  flipped.add(8, TimeInterval(0, 4), cpu1);
+  flipped.add(4, TimeInterval(5, 9), net12);
+  EXPECT_TRUE(plan_actor(flipped, req, PlanningPolicy::kAsap).has_value());
+}
+
+TEST_F(PlannerTest, InfeasibleWhenQuantityShort) {
+  ResourceSet avail;
+  avail.add(1, TimeInterval(0, 5), cpu1);  // only 5 < 8
+  avail.add(4, TimeInterval(0, 5), net12);
+  EXPECT_FALSE(plan_actor(avail, two_phase(0, 5), PlanningPolicy::kAsap).has_value());
+}
+
+TEST_F(PlannerTest, MultiTypePhaseWaitsForSlowestType) {
+  // A lone migrate: cpu@l1 (3), net (6), cpu@l2 (3) all in one phase.
+  auto gamma = ActorComputationBuilder("m", l1).migrate(l2).build();
+  ComplexRequirement req = make_complex_requirement(phi, gamma, TimeInterval(0, 10));
+  ResourceSet avail;
+  avail.add(3, TimeInterval(0, 10), cpu1);
+  avail.add(1, TimeInterval(0, 10), net12);  // slowest: 6 ticks
+  avail.add(3, TimeInterval(0, 10), cpu2);
+
+  auto plan = plan_actor(avail, req, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  check_plan(*plan, req, avail);
+  EXPECT_EQ(plan->finish, 6);
+}
+
+TEST_F(PlannerTest, AlapFinishesAtDeadline) {
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 10), cpu1);
+  avail.add(4, TimeInterval(0, 10), net12);
+  ComplexRequirement req = two_phase(0, 10);
+
+  auto plan = plan_actor(avail, req, PlanningPolicy::kAlap);
+  ASSERT_TRUE(plan.has_value());
+  check_plan(*plan, req, avail);
+  EXPECT_EQ(plan->finish, 10);
+  // Send occupies the last tick; evaluate the two before it.
+  EXPECT_EQ(plan->usage.at(net12).value_at(9), 4);
+  EXPECT_EQ(plan->usage.at(cpu1).value_at(8), 4);
+  EXPECT_EQ(plan->usage.at(cpu1).value_at(7), 4);
+  EXPECT_EQ(plan->start, 7);
+}
+
+TEST_F(PlannerTest, AsapAndAlapAgreeOnFeasibility) {
+  ResourceSet avail;
+  avail.add(2, TimeInterval(0, 7), cpu1);
+  avail.add(1, TimeInterval(2, 9), net12);
+  ComplexRequirement req = two_phase(0, 9);
+  EXPECT_EQ(plan_actor(avail, req, PlanningPolicy::kAsap).has_value(),
+            plan_actor(avail, req, PlanningPolicy::kAlap).has_value());
+}
+
+TEST_F(PlannerTest, UniformCanRejectWhatAsapAccepts) {
+  // The send phase's proportional slice is tiny; with network supply only at
+  // the very end, uniform fails while ASAP succeeds.
+  ResourceSet avail;
+  avail.add(8, TimeInterval(0, 2), cpu1);
+  avail.add(4, TimeInterval(2, 4), net12);
+  ComplexRequirement req = two_phase(0, 4);
+  EXPECT_TRUE(plan_actor(avail, req, PlanningPolicy::kAsap).has_value());
+  // Uniform slices 4 ticks by demand 8:4 → cpu gets [0,2...], send slice may
+  // miss the late network window depending on rounding; accept either
+  // verdict but require that an accepted plan is valid.
+  auto uplan = plan_actor(avail, req, PlanningPolicy::kUniform);
+  if (uplan) check_plan(*uplan, req, avail);
+}
+
+TEST_F(PlannerTest, EmptyRequirementIsTriviallyPlanned) {
+  ComplexRequirement req("idle", {}, TimeInterval(0, 5));
+  auto plan = plan_actor(ResourceSet{}, req, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->usage.empty());
+  EXPECT_TRUE(plan->cut_points.empty());
+}
+
+TEST_F(PlannerTest, TotalConsumptionMatchesDemand) {
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 10), cpu1);
+  avail.add(4, TimeInterval(0, 10), net12);
+  ComplexRequirement req = two_phase(0, 10);
+  for (auto policy :
+       {PlanningPolicy::kAsap, PlanningPolicy::kAlap, PlanningPolicy::kUniform}) {
+    auto plan = plan_actor(avail, req, policy);
+    ASSERT_TRUE(plan.has_value()) << policy_name(policy);
+    EXPECT_EQ(plan->total_consumption(), 12) << policy_name(policy);
+  }
+}
+
+// ------------------------------------------------------------------
+// Concurrent planning.
+// ------------------------------------------------------------------
+
+TEST_F(PlannerTest, ConcurrentPlansShareSupply) {
+  // Two identical actors on one node: rate 4 supply, each needs 8 cpu.
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 10);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 10), cpu1);
+  auto plan = plan_concurrent(avail, rho, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  // Combined usage never exceeds supply.
+  EXPECT_TRUE(avail.availability(cpu1).dominates(plan->total_usage().at(cpu1)));
+  EXPECT_EQ(plan->total_usage().at(cpu1).integral(), 16);
+  EXPECT_EQ(plan->finish, 4);  // 16 units at rate 4
+}
+
+TEST_F(PlannerTest, ConcurrentRejectsOverload) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate(2).build();  // 16 cpu
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate(2).build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 6);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 6), cpu1);  // 24 < 32
+  EXPECT_FALSE(plan_concurrent(avail, rho, PlanningPolicy::kAsap).has_value());
+}
+
+TEST_F(PlannerTest, ConcurrentHonorsExplicitOrder) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 10);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 10), cpu1);
+
+  auto forward = plan_concurrent(avail, rho, PlanningPolicy::kAsap, {0, 1});
+  auto backward = plan_concurrent(avail, rho, PlanningPolicy::kAsap, {1, 0});
+  ASSERT_TRUE(forward && backward);
+  // Planned-first actor finishes first under ASAP.
+  EXPECT_LT(forward->actors[0].finish, forward->actors[1].finish);
+  EXPECT_LT(backward->actors[1].finish, backward->actors[0].finish);
+}
+
+TEST_F(PlannerTest, ConcurrentBadOrderThrows) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  DistributedComputation lambda("solo", {g1}, 0, 10);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  EXPECT_THROW(plan_concurrent(ResourceSet{}, rho, PlanningPolicy::kAsap, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST_F(PlannerTest, PolicyNames) {
+  EXPECT_EQ(policy_name(PlanningPolicy::kAsap), "asap");
+  EXPECT_EQ(policy_name(PlanningPolicy::kAlap), "alap");
+  EXPECT_EQ(policy_name(PlanningPolicy::kUniform), "uniform");
+}
+
+TEST_F(PlannerTest, UsageAsResourcesRoundTrips) {
+  ResourceSet avail;
+  avail.add(4, TimeInterval(0, 10), cpu1);
+  avail.add(4, TimeInterval(0, 10), net12);
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().send(l2).build();
+  DistributedComputation lambda("solo", {g1}, 0, 10);
+  auto plan = plan_concurrent(avail, make_concurrent_requirement(phi, lambda),
+                              PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  const ResourceSet used = plan->usage_as_resources();
+  EXPECT_EQ(used.quantity(cpu1, TimeInterval(0, 10)), 8);
+  EXPECT_EQ(used.quantity(net12, TimeInterval(0, 10)), 4);
+  // Availability minus usage is defined (usage is dominated).
+  EXPECT_TRUE(avail.relative_complement(used).has_value());
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,298 @@
+// Property tests for the extension modules:
+//   Q1  DAG plans respect every gate and cover every segment, on random DAGs;
+//   Q2  negotiation answers are exact boundaries (d-1 infeasible, d feasible);
+//   Q3  scenario files round-trip through the writer for random scenarios;
+//   Q4  rate-capped plans never exceed the cap and replay cleanly;
+//   Q5  CyberOrg isolate/assimilate conserves supply and commitments.
+#include <gtest/gtest.h>
+
+#include "rota/admission/negotiation.hpp"
+#include "rota/cyberorgs/cyberorg.hpp"
+#include "rota/io/scenario.hpp"
+#include "rota/logic/dag_planner.hpp"
+#include "rota/logic/theorems.hpp"
+#include "rota/util/rng.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace rota {
+namespace {
+
+class ExtensionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ------------------------------------------------------------------
+// Q1: random DAGs.
+// ------------------------------------------------------------------
+
+TEST_P(ExtensionPropertyTest, Q1_RandomDagPlansRespectGates) {
+  util::Rng rng(GetParam() * 37 + 3);
+  std::vector<Location> sites = {Location("xp-s0"), Location("xp-s1"),
+                                 Location("xp-s2")};
+  CostModel phi;
+
+  ResourceSet supply;
+  for (const Location& l : sites) {
+    supply.add(8, TimeInterval(0, 500), LocatedType::cpu(l));
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    // Random forward-edge DAG over n single-segment actors.
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(2, 6));
+    std::vector<SegmentedActor> actors;
+    for (std::size_t i = 0; i < n; ++i) {
+      SegmentedActorBuilder b("n" + std::to_string(i), sites[rng.index(3)]);
+      b.evaluate(rng.uniform(1, 3));
+      actors.push_back(std::move(b).build());
+    }
+    std::vector<MessageDependency> deps;
+    for (std::size_t j = 1; j < n; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (rng.chance(0.4)) deps.push_back({i, 0, j, 0});
+      }
+    }
+    InteractingComputation c("dag", actors, deps, 0, 400);
+    DagRequirement dag = make_dag_requirement(phi, c);
+    auto plan = plan_dag(supply, dag);
+    ASSERT_TRUE(plan.has_value()) << "round " << round;
+
+    for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+      const SegmentPlan& seg = plan->segments[i];
+      for (std::size_t dep : dag.nodes[i].waits_for) {
+        EXPECT_GE(seg.start, plan->segments[dep].finish);
+      }
+      const DemandSet demand = dag.nodes[i].requirement.total_demand();
+      for (const auto& [type, q] : demand.amounts()) {
+        EXPECT_GE(seg.usage.at(type).integral(TimeInterval(seg.start, seg.finish)), q);
+      }
+    }
+    // Aggregate usage within supply.
+    for (const auto& [type, f] : plan->total_usage()) {
+      EXPECT_TRUE(supply.availability(type).dominates(f));
+    }
+    // And the whole plan replays through the transition rules.
+    ComputationPath path = realize_interacting_plan(supply, dag, *plan, 0);
+    EXPECT_TRUE(path.back().all_finished());
+  }
+}
+
+// ------------------------------------------------------------------
+// Q2: negotiation boundaries are exact.
+// ------------------------------------------------------------------
+
+TEST_P(ExtensionPropertyTest, Q2_NegotiationBoundariesAreExact) {
+  WorkloadConfig config;
+  config.seed = GetParam() * 101 + 7;
+  config.num_locations = 3;
+  config.cpu_rate = 6;
+  config.network_rate = 6;
+  config.actors_min = config.actors_max = 1;
+  WorkloadGenerator gen(config, CostModel());
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, 600));
+
+  for (int round = 0; round < 6; ++round) {
+    DistributedComputation lambda = gen.make_computation(0);
+    ConcurrentRequirement rho = make_concurrent_requirement(gen.phi(), lambda);
+
+    auto d = earliest_feasible_deadline(supply, rho, 500);
+    if (d) {
+      auto probe = [&](Tick deadline) {
+        std::vector<ComplexRequirement> actors;
+        for (const auto& a : rho.actors()) {
+          actors.emplace_back(a.actor(), a.phases(), TimeInterval(0, deadline));
+        }
+        return plan_concurrent(supply,
+                               ConcurrentRequirement("p", std::move(actors),
+                                                     TimeInterval(0, deadline)),
+                               PlanningPolicy::kAsap)
+            .has_value();
+      };
+      EXPECT_TRUE(probe(*d));
+      if (*d > 1) {
+        EXPECT_FALSE(probe(*d - 1));
+      }
+    }
+
+    auto s = latest_feasible_start(supply, rho);
+    if (s) {
+      auto probe = [&](Tick start) {
+        std::vector<ComplexRequirement> actors;
+        for (const auto& a : rho.actors()) {
+          actors.emplace_back(a.actor(), a.phases(),
+                              TimeInterval(start, rho.window().end()));
+        }
+        return plan_concurrent(
+                   supply,
+                   ConcurrentRequirement("p", std::move(actors),
+                                         TimeInterval(start, rho.window().end())),
+                   PlanningPolicy::kAsap)
+            .has_value();
+      };
+      EXPECT_TRUE(probe(*s));
+      if (*s + 1 < rho.window().end()) {
+        EXPECT_FALSE(probe(*s + 1));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Q3: random scenarios round-trip.
+// ------------------------------------------------------------------
+
+TEST_P(ExtensionPropertyTest, Q3_ScenarioRoundTrip) {
+  WorkloadConfig config;
+  config.seed = GetParam() * 57 + 11;
+  config.num_locations = 4;
+  WorkloadGenerator gen(config, CostModel());
+
+  Scenario scenario;
+  scenario.supply = gen.base_supply(TimeInterval(0, 200));
+  for (int i = 0; i < 5; ++i) {
+    scenario.computations.push_back(gen.make_computation(i * 13));
+  }
+
+  const std::string text = scenario_to_string(scenario);
+  const Scenario reparsed = parse_scenario_string(text);
+  EXPECT_EQ(scenario, reparsed);
+  // And idempotent: writing again yields the same text.
+  EXPECT_EQ(text, scenario_to_string(reparsed));
+}
+
+// ------------------------------------------------------------------
+// Q4: rate caps.
+// ------------------------------------------------------------------
+
+TEST_P(ExtensionPropertyTest, Q4_CappedPlansNeverExceedCap) {
+  WorkloadConfig config;
+  config.seed = GetParam() * 73 + 19;
+  config.num_locations = 3;
+  config.cpu_rate = 12;
+  config.network_rate = 12;
+  config.actors_min = 1;
+  config.actors_max = 2;
+  WorkloadGenerator gen(config, CostModel());
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, 800));
+  util::Rng rng(GetParam());
+
+  for (int round = 0; round < 6; ++round) {
+    DistributedComputation lambda = gen.make_computation(0);
+    const Rate cap = rng.uniform(1, 4);
+    // Generous deadline so the capped plan has room.
+    DistributedComputation relaxed(lambda.name(), lambda.actors(),
+                                   lambda.earliest_start(),
+                                   lambda.earliest_start() + 600);
+    ConcurrentRequirement rho = make_concurrent_requirement(gen.phi(), relaxed, cap);
+    auto plan = plan_concurrent(supply, rho, PlanningPolicy::kAsap);
+    ASSERT_TRUE(plan.has_value());
+    for (const auto& actor : plan->actors) {
+      for (const auto& [type, f] : actor.usage) {
+        for (const auto& seg : f.segments()) {
+          EXPECT_LE(seg.value, cap) << type.to_string();
+        }
+      }
+    }
+    // Replay validates the cap against the transition rules too.
+    ComputationPath path = realize_plan(supply, rho, *plan, relaxed.earliest_start());
+    EXPECT_TRUE(path.back().all_finished());
+  }
+}
+
+// ------------------------------------------------------------------
+// Q5: CyberOrg conservation.
+// ------------------------------------------------------------------
+
+TEST_P(ExtensionPropertyTest, Q5_IsolateAssimilateConserves) {
+  util::Rng rng(GetParam() * 7 + 1);
+  Location l1("xp-co1"), l2("xp-co2");
+  CostModel phi;
+
+  ResourceSet supply;
+  supply.add(8, TimeInterval(0, 100), LocatedType::cpu(l1));
+  supply.add(8, TimeInterval(0, 100), LocatedType::cpu(l2));
+
+  CyberOrg root("root", phi, supply);
+  const Quantity total_before =
+      root.ledger().supply().quantity(LocatedType::cpu(l1), TimeInterval(0, 100)) +
+      root.ledger().supply().quantity(LocatedType::cpu(l2), TimeInterval(0, 100));
+
+  // Random sequence of isolate / admit / assimilate.
+  std::size_t child_id = 0;
+  std::vector<std::string> live_children;
+  std::size_t admitted = 0;
+  for (int step = 0; step < 12; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.4) {
+      ResourceSet slice;
+      slice.add(1, TimeInterval(0, 100),
+                LocatedType::cpu(rng.chance(0.5) ? l1 : l2));
+      try {
+        const std::string name = "c" + std::to_string(child_id++);
+        root.create_child(name, slice);
+        live_children.push_back(name);
+      } catch (const std::invalid_argument&) {
+        // Residual could not cover the slice — fine.
+      }
+    } else if (roll < 0.7 && !live_children.empty()) {
+      EXPECT_TRUE(root.assimilate(live_children.back()));
+      live_children.pop_back();
+    } else {
+      auto gamma = ActorComputationBuilder("a" + std::to_string(step),
+                                           rng.chance(0.5) ? l1 : l2)
+                       .evaluate()
+                       .build();
+      DistributedComputation job("job" + std::to_string(step), {gamma}, 0, 100);
+      if (root.request(job, 0).accepted) ++admitted;
+    }
+  }
+  // Dissolve everything back into the root.
+  while (!live_children.empty()) {
+    EXPECT_TRUE(root.assimilate(live_children.back()));
+    live_children.pop_back();
+  }
+  // Supply is conserved and every admission is accounted for.
+  const Quantity total_after =
+      root.ledger().supply().quantity(LocatedType::cpu(l1), TimeInterval(0, 100)) +
+      root.ledger().supply().quantity(LocatedType::cpu(l2), TimeInterval(0, 100));
+  EXPECT_EQ(total_before, total_after);
+  EXPECT_EQ(root.ledger().admitted_count(), admitted);
+  EXPECT_EQ(root.subtree_size(), 1u);
+}
+
+// ------------------------------------------------------------------
+// Q6: coarse-granularity reasoning is sound on the fine supply.
+// ------------------------------------------------------------------
+
+TEST_P(ExtensionPropertyTest, Q6_CoarsePlansAreValidOnFineSupply) {
+  util::Rng rng(GetParam() * 211 + 13);
+  WorkloadConfig config;
+  config.seed = GetParam() * 19 + 3;
+  config.num_locations = 3;
+  config.cpu_rate = 2;
+  config.network_rate = 4;
+  WorkloadGenerator gen(config, CostModel());
+
+  ResourceSet fine = gen.base_supply(TimeInterval(0, 400));
+  const ChurnTrace churn = gen.make_churn(400, 0.5, 30.0, 6);
+  for (const auto& e : churn.events()) fine.add(e.term);
+
+  for (int round = 0; round < 5; ++round) {
+    const Tick factor = rng.uniform(2, 8);
+    const ResourceSet coarse = fine.coarsened(factor);
+    // Conservatism: the fine supply dominates the coarse view everywhere.
+    EXPECT_TRUE(fine.dominates(coarse)) << "factor=" << factor;
+
+    DistributedComputation lambda = gen.make_computation(rng.uniform(0, 50));
+    ConcurrentRequirement rho = make_concurrent_requirement(gen.phi(), lambda);
+    auto plan = plan_concurrent(coarse, rho, PlanningPolicy::kAsap);
+    if (!plan) continue;
+    // A plan made at coarse granularity replays cleanly on the fine supply.
+    ComputationPath path = realize_plan(fine, rho, *plan, lambda.earliest_start());
+    EXPECT_TRUE(path.back().all_finished());
+    EXPECT_FALSE(path.back().any_missed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,134 @@
+// Bounded absorption rates (library extension): a serial actor cannot soak
+// up a fast node's whole per-tick rate. Covers the planner, the transition
+// rules, the explorer and end-to-end admission.
+#include <gtest/gtest.h>
+
+#include "rota/admission/controller.hpp"
+#include "rota/logic/explorer.hpp"
+#include "rota/logic/theorems.hpp"
+
+namespace rota {
+namespace {
+
+class RateCapTest : public ::testing::Test {
+ protected:
+  Location l1{"rc-l1"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+
+  ResourceSet fast_node(Rate rate = 8, Tick until = 40) {
+    ResourceSet s;
+    s.add(rate, TimeInterval(0, until), cpu1);
+    return s;
+  }
+
+  ConcurrentRequirement capped_job(Tick s, Tick d, Rate cap) {
+    auto gamma = ActorComputationBuilder("a", l1).evaluate().build();  // 8 cpu
+    DistributedComputation lambda("job", {gamma}, s, d);
+    return make_concurrent_requirement(phi, lambda, cap);
+  }
+};
+
+TEST_F(RateCapTest, DefaultIsUncapped) {
+  EXPECT_EQ(capped_job(0, 10, 0).actors()[0].rate_cap(), 0);
+  auto plan = plan_concurrent(fast_node(), capped_job(0, 10, 0),
+                              PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->finish, 1);  // 8 units at rate 8: one tick
+}
+
+TEST_F(RateCapTest, CapStretchesThePlan) {
+  auto plan = plan_concurrent(fast_node(), capped_job(0, 40, 2),
+                              PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->finish, 4);  // 8 units at <= 2/tick: four ticks
+  // The plan never exceeds the cap.
+  EXPECT_LE(plan->actors[0].usage.at(cpu1).segments().front().value, 2);
+}
+
+TEST_F(RateCapTest, CapCanMakeDeadlinesInfeasible) {
+  EXPECT_TRUE(plan_concurrent(fast_node(), capped_job(0, 2, 0),
+                              PlanningPolicy::kAsap)
+                  .has_value());
+  EXPECT_FALSE(plan_concurrent(fast_node(), capped_job(0, 2, 2),
+                               PlanningPolicy::kAsap)
+                   .has_value());
+}
+
+TEST_F(RateCapTest, AlapHonorsCap) {
+  auto plan = plan_concurrent(fast_node(), capped_job(0, 40, 2),
+                              PlanningPolicy::kAlap);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->actors[0].start, 36);  // four capped ticks against d=40
+  EXPECT_EQ(plan->finish, 40);
+}
+
+TEST_F(RateCapTest, TransitionRuleEnforcesCap) {
+  SystemState state(fast_node(), 0);
+  state.accommodate(capped_job(0, 40, 2));
+  EXPECT_THROW(state.advance({{0, cpu1, 3}}), std::logic_error);
+  // Split labels summing over the cap are caught too.
+  EXPECT_THROW(state.advance({{0, cpu1, 2}, {0, cpu1, 1}}), std::logic_error);
+  state.advance({{0, cpu1, 2}});
+  EXPECT_EQ(state.commitments()[0].remaining.of(cpu1), 6);
+}
+
+TEST_F(RateCapTest, GreedyExplorerRespectsCap) {
+  SystemState state(fast_node(), 0);
+  state.accommodate(capped_job(0, 40, 2));
+  RunResult r = run_greedy(std::move(state), 40, PriorityOrder::kFcfs);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.finished_at, 4);  // capped pace, not supply pace
+}
+
+TEST_F(RateCapTest, CappedActorsShareWhatTheyCannotUse) {
+  // Two cap-2 actors on a rate-8 node run fully in parallel.
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 40);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda, 2);
+
+  auto plan = plan_concurrent(fast_node(), rho, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->actors[0].finish, 4);
+  EXPECT_EQ(plan->actors[1].finish, 4);  // no contention: both run at cap
+  EXPECT_EQ(plan->finish, 4);
+}
+
+TEST_F(RateCapTest, RealizePlanReplaysCappedPlans) {
+  ConcurrentRequirement rho = capped_job(0, 40, 2);
+  auto plan = plan_concurrent(fast_node(), rho, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  // realize_plan re-validates every label against the cap-aware rules.
+  ComputationPath path = realize_plan(fast_node(), rho, *plan, 0);
+  EXPECT_TRUE(path.back().all_finished());
+}
+
+TEST_F(RateCapTest, ControllerAdmitsByCappedFeasibility) {
+  RotaAdmissionController ctl(phi, fast_node());
+  // Uncapped: fits in (0, 2).
+  auto gamma = ActorComputationBuilder("u.a", l1).evaluate().build();
+  DistributedComputation fits("u", {gamma}, 0, 2);
+  EXPECT_TRUE(ctl.request(make_concurrent_requirement(phi, fits), 0).accepted);
+  // Capped at 2/tick the same window is impossible.
+  DistributedComputation cramped("c", {gamma}, 0, 2);
+  EXPECT_FALSE(
+      ctl.request(make_concurrent_requirement(phi, cramped, 2), 0).accepted);
+}
+
+TEST_F(RateCapTest, Theorem4PropagatesCaps) {
+  ConcurrentRequirement first = capped_job(0, 40, 2);
+  auto plan1 = plan_concurrent(fast_node(), first, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan1.has_value());
+  ComputationPath sigma = realize_plan(fast_node(), first, *plan1, 0);
+
+  auto plan2 = theorem4_accommodate(sigma, 0, capped_job(0, 40, 2));
+  ASSERT_TRUE(plan2.has_value());
+  // The admitted plan is still capped.
+  for (const auto& seg : plan2->actors[0].usage.at(cpu1).segments()) {
+    EXPECT_LE(seg.value, 2);
+  }
+}
+
+}  // namespace
+}  // namespace rota

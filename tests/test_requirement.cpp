@@ -1,0 +1,136 @@
+#include "rota/computation/requirement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rota {
+namespace {
+
+class RequirementTest : public ::testing::Test {
+ protected:
+  Location l1{"rq-l1"};
+  Location l2{"rq-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType cpu2 = LocatedType::cpu(l2);
+  LocatedType net12 = LocatedType::network(l1, l2);
+};
+
+TEST_F(RequirementTest, SimpleRequirementFromAction) {
+  SimpleRequirement rho =
+      make_simple_requirement(phi, Action::send(l1, l2), TimeInterval(0, 5));
+  EXPECT_EQ(rho.demand().of(net12), 4);
+  EXPECT_EQ(rho.window(), TimeInterval(0, 5));
+}
+
+TEST_F(RequirementTest, SimpleSatisfactionFunctionF) {
+  SimpleRequirement rho =
+      make_simple_requirement(phi, Action::evaluate(l1), TimeInterval(0, 4));
+  ResourceSet enough;
+  enough.add(2, TimeInterval(0, 4), cpu1);  // 8 total
+  EXPECT_TRUE(rho.satisfied_by(enough));
+
+  ResourceSet outside_window;
+  outside_window.add(8, TimeInterval(4, 8), cpu1);  // right type, wrong time
+  EXPECT_FALSE(rho.satisfied_by(outside_window));
+}
+
+// ------------------------------------------------------------------
+// Phase decomposition.
+// ------------------------------------------------------------------
+
+TEST_F(RequirementTest, SameTypeRunGroupsIntoOnePhase) {
+  // "A sequence of actions which require the same single type of resource
+  // need not be broken down."
+  auto actions = ActorComputationBuilder("a", l1).evaluate().create().ready().build();
+  auto phases = decompose_phases(phi, actions.actions());
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].demand.of(cpu1), 8 + 5 + 1);
+  EXPECT_EQ(phases[0].first_action, 0u);
+  EXPECT_EQ(phases[0].action_count, 3u);
+}
+
+TEST_F(RequirementTest, TypeChangeForcesNewPhase) {
+  auto actions =
+      ActorComputationBuilder("a", l1).evaluate().send(l2).evaluate().build();
+  auto phases = decompose_phases(phi, actions.actions());
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].demand.of(cpu1), 8);
+  EXPECT_EQ(phases[1].demand.of(net12), 4);
+  EXPECT_EQ(phases[2].demand.of(cpu1), 8);
+}
+
+TEST_F(RequirementTest, MigrateIsItsOwnPhase) {
+  auto actions = ActorComputationBuilder("a", l1).evaluate().migrate(l2).evaluate().build();
+  auto phases = decompose_phases(phi, actions.actions());
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[1].demand.size(), 3u);  // cpu@l1 + link + cpu@l2
+  // Post-migration evaluate draws on l2's cpu.
+  EXPECT_EQ(phases[2].demand.of(cpu2), 8);
+}
+
+TEST_F(RequirementTest, ConsecutiveSendsToSameDestinationGroup) {
+  auto actions = ActorComputationBuilder("a", l1).send(l2).send(l2).build();
+  auto phases = decompose_phases(phi, actions.actions());
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].demand.of(net12), 8);
+}
+
+TEST_F(RequirementTest, PhasesCoverAllActions) {
+  auto actions = ActorComputationBuilder("a", l1)
+                     .evaluate()
+                     .send(l2)
+                     .send(l2)
+                     .migrate(l2)
+                     .ready()
+                     .build();
+  auto phases = decompose_phases(phi, actions.actions());
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    EXPECT_EQ(phases[i].first_action, covered);
+    covered += phases[i].action_count;
+  }
+  EXPECT_EQ(covered, actions.action_count());
+}
+
+TEST_F(RequirementTest, EmptyActionListYieldsNoPhases) {
+  EXPECT_TRUE(decompose_phases(phi, {}).empty());
+}
+
+// ------------------------------------------------------------------
+// Complex and concurrent requirements.
+// ------------------------------------------------------------------
+
+TEST_F(RequirementTest, ComplexRequirementTotals) {
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().send(l2).build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 10));
+  EXPECT_EQ(rho.actor(), "a");
+  EXPECT_EQ(rho.phase_count(), 2u);
+  EXPECT_EQ(rho.total_demand().of(cpu1), 8);
+  EXPECT_EQ(rho.total_demand().of(net12), 4);
+  EXPECT_EQ(rho.window(), TimeInterval(0, 10));
+}
+
+TEST_F(RequirementTest, ConcurrentRequirementFromComputation) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l2).evaluate().ready().build();
+  DistributedComputation lambda("job", {g1, g2}, 2, 20);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  EXPECT_EQ(rho.name(), "job");
+  EXPECT_EQ(rho.actors().size(), 2u);
+  EXPECT_EQ(rho.window(), TimeInterval(2, 20));
+  EXPECT_EQ(rho.total_phases(), 2u);
+  EXPECT_EQ(rho.total_demand().of(cpu1), 8);
+  EXPECT_EQ(rho.total_demand().of(cpu2), 9);
+}
+
+TEST_F(RequirementTest, ToStringsAreInformative) {
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().send(l2).build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 10));
+  EXPECT_NE(rho.to_string().find("rho(a"), std::string::npos);
+  SimpleRequirement simple =
+      make_simple_requirement(phi, Action::evaluate(l1), TimeInterval(0, 4));
+  EXPECT_NE(simple.to_string().find("rho("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota

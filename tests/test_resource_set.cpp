@@ -1,0 +1,230 @@
+#include "rota/resource/resource_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rota {
+namespace {
+
+class ResourceSetTest : public ::testing::Test {
+ protected:
+  Location l1{"rs-l1"};
+  Location l2{"rs-l2"};
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+};
+
+TEST_F(ResourceSetTest, EmptyByDefault) {
+  ResourceSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.term_count(), 0u);
+  EXPECT_TRUE(s.availability(cpu1).is_zero());
+}
+
+// ------------------------------------------------------------------
+// The paper's §III worked examples, verbatim.
+// ------------------------------------------------------------------
+
+TEST_F(ResourceSetTest, PaperExampleOneDistinctTypesStaySeparate) {
+  // {5}^(0,3)_<cpu,l1> ∪ {5}^(0,5)_<network,l1→l2>: nothing aggregates.
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 3), cpu1);
+  s.add(5, TimeInterval(0, 5), net12);
+  EXPECT_EQ(s.term_count(), 2u);
+  EXPECT_EQ(s.quantity(cpu1, TimeInterval(0, 10)), 15);
+  EXPECT_EQ(s.quantity(net12, TimeInterval(0, 10)), 25);
+}
+
+TEST_F(ResourceSetTest, PaperExampleTwoOverlapAggregates) {
+  // {5}^(0,3)_<cpu,l1> ∪ {5}^(0,5)_<cpu,l1> = {10}^(0,3), {5}^(3,5).
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 3), cpu1);
+  s.add(5, TimeInterval(0, 5), cpu1);
+  auto terms = s.terms();
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], ResourceTerm(10, TimeInterval(0, 3), cpu1));
+  EXPECT_EQ(terms[1], ResourceTerm(5, TimeInterval(3, 5), cpu1));
+}
+
+TEST_F(ResourceSetTest, PaperExampleThreeRelativeComplement) {
+  // {5}^(0,3)_<cpu,l1> \ {3}^(1,2)_<cpu,l1> = {5}^(0,1), {2}^(1,2), {5}^(2,3).
+  ResourceSet theta1;
+  theta1.add(5, TimeInterval(0, 3), cpu1);
+  ResourceSet theta2;
+  theta2.add(3, TimeInterval(1, 2), cpu1);
+
+  auto diff = theta1.relative_complement(theta2);
+  ASSERT_TRUE(diff.has_value());
+  auto terms = diff->terms();
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], ResourceTerm(5, TimeInterval(0, 1), cpu1));
+  EXPECT_EQ(terms[1], ResourceTerm(2, TimeInterval(1, 2), cpu1));
+  EXPECT_EQ(terms[2], ResourceTerm(5, TimeInterval(2, 3), cpu1));
+}
+
+// ------------------------------------------------------------------
+// Simplification behaviour.
+// ------------------------------------------------------------------
+
+TEST_F(ResourceSetTest, MeetingEqualRatesReduceTermCount) {
+  // "Resource terms can reduce in number if two identical located type
+  // resources with identical rates have time intervals that meet."
+  ResourceSet s;
+  s.add(4, TimeInterval(0, 3), cpu1);
+  s.add(4, TimeInterval(3, 7), cpu1);
+  EXPECT_EQ(s.term_count(), 1u);
+  EXPECT_EQ(s.terms()[0], ResourceTerm(4, TimeInterval(0, 7), cpu1));
+}
+
+TEST_F(ResourceSetTest, NullTermsIgnored) {
+  ResourceSet s;
+  s.add(ResourceTerm(0, TimeInterval(0, 3), cpu1));
+  s.add(ResourceTerm(5, TimeInterval(), cpu1));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_F(ResourceSetTest, UnionedIsCommutative) {
+  ResourceSet a;
+  a.add(5, TimeInterval(0, 3), cpu1);
+  a.add(2, TimeInterval(1, 6), net12);
+  ResourceSet b;
+  b.add(1, TimeInterval(2, 9), cpu1);
+  EXPECT_EQ(a.unioned(b), b.unioned(a));
+}
+
+TEST_F(ResourceSetTest, TermsAreCanonical) {
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 3), cpu1);
+  s.add(3, TimeInterval(2, 6), cpu1);
+  s.add(2, TimeInterval(4, 8), cpu1);
+  auto terms = s.terms();
+  // Segments per type must be ordered, non-overlapping and maximal.
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_LE(terms[i - 1].interval().end(), terms[i].interval().start());
+  }
+  EXPECT_EQ(s.quantity(cpu1, TimeInterval(0, 8)), 15 + 12 + 8);
+}
+
+// ------------------------------------------------------------------
+// Relative complement definedness.
+// ------------------------------------------------------------------
+
+TEST_F(ResourceSetTest, RelativeComplementUndefinedWhenNotDominated) {
+  ResourceSet theta1;
+  theta1.add(5, TimeInterval(0, 3), cpu1);
+  ResourceSet theta2;
+  theta2.add(6, TimeInterval(1, 2), cpu1);  // rate exceeds availability
+  EXPECT_FALSE(theta1.relative_complement(theta2).has_value());
+}
+
+TEST_F(ResourceSetTest, RelativeComplementUndefinedOutsideInterval) {
+  ResourceSet theta1;
+  theta1.add(5, TimeInterval(0, 3), cpu1);
+  ResourceSet theta2;
+  theta2.add(1, TimeInterval(2, 5), cpu1);  // extends past availability
+  EXPECT_FALSE(theta1.relative_complement(theta2).has_value());
+}
+
+TEST_F(ResourceSetTest, RelativeComplementUndefinedForMissingType) {
+  ResourceSet theta1;
+  theta1.add(5, TimeInterval(0, 3), cpu1);
+  ResourceSet theta2;
+  theta2.add(1, TimeInterval(0, 2), net12);
+  EXPECT_FALSE(theta1.relative_complement(theta2).has_value());
+}
+
+TEST_F(ResourceSetTest, RelativeComplementExactDrainRemovesType) {
+  ResourceSet theta1;
+  theta1.add(5, TimeInterval(0, 3), cpu1);
+  ResourceSet theta2;
+  theta2.add(5, TimeInterval(0, 3), cpu1);
+  auto diff = theta1.relative_complement(theta2);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_TRUE(diff->empty());
+}
+
+TEST_F(ResourceSetTest, UnionThenComplementRoundTrips) {
+  ResourceSet base;
+  base.add(5, TimeInterval(0, 10), cpu1);
+  ResourceSet extra;
+  extra.add(3, TimeInterval(2, 6), cpu1);
+  extra.add(4, TimeInterval(0, 4), net12);
+  auto diff = base.unioned(extra).relative_complement(extra);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(*diff, base);
+}
+
+// ------------------------------------------------------------------
+// Domination, satisfaction and restriction.
+// ------------------------------------------------------------------
+
+TEST_F(ResourceSetTest, Dominates) {
+  ResourceSet big;
+  big.add(5, TimeInterval(0, 10), cpu1);
+  ResourceSet small;
+  small.add(3, TimeInterval(2, 8), cpu1);
+  EXPECT_TRUE(big.dominates(small));
+  EXPECT_FALSE(small.dominates(big));
+  EXPECT_TRUE(big.dominates(big));
+  EXPECT_TRUE(big.dominates(ResourceSet{}));
+}
+
+TEST_F(ResourceSetTest, SatisfiesDemandWithinWindow) {
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 4), cpu1);
+  DemandSet d;
+  d.add(cpu1, 18);
+  EXPECT_TRUE(s.satisfies(d, TimeInterval(0, 4)));   // 20 available
+  EXPECT_FALSE(s.satisfies(d, TimeInterval(0, 3)));  // only 15
+  d.add(net12, 1);
+  EXPECT_FALSE(s.satisfies(d, TimeInterval(0, 4)));  // no network at all
+}
+
+TEST_F(ResourceSetTest, Restricted) {
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 10), cpu1);
+  s.add(2, TimeInterval(0, 2), net12);
+  ResourceSet r = s.restricted(TimeInterval(4, 6));
+  EXPECT_EQ(r.quantity(cpu1, TimeInterval(0, 100)), 10);
+  EXPECT_EQ(r.quantity(net12, TimeInterval(0, 100)), 0);
+}
+
+TEST_F(ResourceSetTest, FromDropsThePast) {
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 10), cpu1);
+  ResourceSet future = s.from(6);
+  EXPECT_EQ(future.quantity(cpu1, TimeInterval(0, 100)), 20);
+}
+
+TEST_F(ResourceSetTest, Horizon) {
+  ResourceSet s;
+  EXPECT_FALSE(s.horizon().has_value());
+  s.add(5, TimeInterval(0, 10), cpu1);
+  s.add(2, TimeInterval(3, 15), net12);
+  EXPECT_EQ(s.horizon(), 15);
+}
+
+TEST_F(ResourceSetTest, TypesListsDistinctTypes) {
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 10), cpu1);
+  s.add(5, TimeInterval(4, 6), cpu1);
+  s.add(2, TimeInterval(3, 15), net12);
+  EXPECT_EQ(s.types().size(), 2u);
+}
+
+TEST_F(ResourceSetTest, ToStringListsTerms) {
+  ResourceSet s;
+  s.add(5, TimeInterval(0, 3), cpu1);
+  EXPECT_EQ(s.to_string(), "{[5]^[0, 3)_<cpu, rs-l1>}");
+}
+
+TEST_F(ResourceSetTest, InitializerListConstruction) {
+  ResourceSet s{ResourceTerm(5, TimeInterval(0, 3), cpu1),
+                ResourceTerm(5, TimeInterval(0, 5), cpu1)};
+  EXPECT_EQ(s.term_count(), 2u);  // aggregated into 10@[0,3) + 5@[3,5)
+  EXPECT_EQ(s.availability(cpu1).value_at(1), 10);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,100 @@
+#include "rota/resource/resource_term.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class ResourceTermTest : public ::testing::Test {
+ protected:
+  Location l1{"rt-l1"};
+  Location l2{"rt-l2"};
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType cpu2 = LocatedType::cpu(l2);
+  LocatedType net = LocatedType::network(l1, l2);
+};
+
+TEST_F(ResourceTermTest, Accessors) {
+  ResourceTerm t(5, TimeInterval(0, 3), cpu1);
+  EXPECT_EQ(t.rate(), 5);
+  EXPECT_EQ(t.interval(), TimeInterval(0, 3));
+  EXPECT_EQ(t.type(), cpu1);
+  EXPECT_FALSE(t.is_null());
+}
+
+TEST_F(ResourceTermTest, NegativeRateThrows) {
+  // "Resource terms cannot be negative."
+  EXPECT_THROW(ResourceTerm(-1, TimeInterval(0, 3), cpu1), std::invalid_argument);
+}
+
+TEST_F(ResourceTermTest, EmptyIntervalIsNull) {
+  // "Resources are only defined during non-empty time intervals."
+  EXPECT_TRUE(ResourceTerm(5, TimeInterval(), cpu1).is_null());
+  EXPECT_TRUE(ResourceTerm(5, TimeInterval(4, 4), cpu1).is_null());
+}
+
+TEST_F(ResourceTermTest, ZeroRateIsNull) {
+  EXPECT_TRUE(ResourceTerm(0, TimeInterval(0, 3), cpu1).is_null());
+}
+
+TEST_F(ResourceTermTest, TotalQuantity) {
+  EXPECT_EQ(ResourceTerm(5, TimeInterval(0, 3), cpu1).total_quantity(), 15);
+  EXPECT_EQ(ResourceTerm(5, TimeInterval(), cpu1).total_quantity(), 0);
+}
+
+TEST_F(ResourceTermTest, StrictDominationPerPaper) {
+  // [r1]^τ1_ξ1 > [r2]^τ2_ξ2 iff ξ1 ≥ ξ2, r1 > r2, τ2 during τ1.
+  ResourceTerm big(5, TimeInterval(0, 10), cpu1);
+  ResourceTerm small(3, TimeInterval(2, 8), cpu1);
+  EXPECT_TRUE(big > small);
+  EXPECT_FALSE(small > big);
+}
+
+TEST_F(ResourceTermTest, DominationRequiresStrictlyGreaterRate) {
+  ResourceTerm a(5, TimeInterval(0, 10), cpu1);
+  ResourceTerm b(5, TimeInterval(2, 8), cpu1);
+  EXPECT_FALSE(a > b);           // strict: equal rates do not dominate
+  EXPECT_TRUE(a.dominates(b));   // weak: they satisfy
+}
+
+TEST_F(ResourceTermTest, DominationRequiresTypeMatch) {
+  ResourceTerm a(5, TimeInterval(0, 10), cpu1);
+  ResourceTerm b(3, TimeInterval(2, 8), cpu2);
+  EXPECT_FALSE(a > b);
+  ResourceTerm c(3, TimeInterval(2, 8), net);
+  EXPECT_FALSE(a > c);
+}
+
+TEST_F(ResourceTermTest, DominationRequiresIntervalContainment) {
+  // "It is not necessarily enough for the total amount … to be greater":
+  // a huge rate outside the needed window does not help.
+  ResourceTerm a(100, TimeInterval(0, 5), cpu1);
+  ResourceTerm b(3, TimeInterval(4, 8), cpu1);
+  EXPECT_FALSE(a > b);
+  EXPECT_GT(a.total_quantity(), b.total_quantity());
+}
+
+TEST_F(ResourceTermTest, WeakDominationAllowsEqualInterval) {
+  ResourceTerm a(5, TimeInterval(2, 8), cpu1);
+  ResourceTerm b(5, TimeInterval(2, 8), cpu1);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(a.dominates_strictly(b));
+}
+
+TEST_F(ResourceTermTest, ToString) {
+  ResourceTerm t(5, TimeInterval(0, 3), cpu1);
+  EXPECT_EQ(t.to_string(), "[5]^[0, 3)_<cpu, rt-l1>");
+}
+
+TEST_F(ResourceTermTest, Equality) {
+  ResourceTerm a(5, TimeInterval(0, 3), cpu1);
+  ResourceTerm b(5, TimeInterval(0, 3), cpu1);
+  ResourceTerm c(6, TimeInterval(0, 3), cpu1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,191 @@
+#include "rota/io/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/computation/requirement.hpp"
+#include "rota/logic/planner.hpp"
+
+namespace rota {
+namespace {
+
+const char* kDemo = R"(
+# A two-node system.
+supply cpu l1 5 0 10
+supply cpu l2 4 0 12
+supply network l1 l2 4 0 12
+
+computation job1 0 20
+  actor a1 l1
+    evaluate 2
+    send l2 1
+    ready
+end
+
+computation job2 5 25
+  actor b1 l2
+    evaluate 1
+  actor b2 l1
+    create 1
+    ready
+end
+)";
+
+TEST(ScenarioIo, ParsesSupply) {
+  Scenario s = parse_scenario_string(kDemo);
+  EXPECT_EQ(s.supply.availability(LocatedType::cpu(Location("l1"))).value_at(3), 5);
+  EXPECT_EQ(s.supply.availability(LocatedType::cpu(Location("l2"))).value_at(11), 4);
+  EXPECT_EQ(s.supply
+                .availability(LocatedType::network(Location("l1"), Location("l2")))
+                .value_at(0),
+            4);
+}
+
+TEST(ScenarioIo, ParsesComputations) {
+  Scenario s = parse_scenario_string(kDemo);
+  ASSERT_EQ(s.computations.size(), 2u);
+  const DistributedComputation& job1 = s.computations[0];
+  EXPECT_EQ(job1.name(), "job1");
+  EXPECT_EQ(job1.window(), TimeInterval(0, 20));
+  ASSERT_EQ(job1.actors().size(), 1u);
+  ASSERT_EQ(job1.actors()[0].action_count(), 3u);
+  EXPECT_EQ(job1.actors()[0].actions()[0].kind, ActionKind::kEvaluate);
+  EXPECT_EQ(job1.actors()[0].actions()[0].size, 2);
+  EXPECT_EQ(job1.actors()[0].actions()[1].to, Location("l2"));
+
+  const DistributedComputation& job2 = s.computations[1];
+  EXPECT_EQ(job2.actors().size(), 2u);
+  EXPECT_EQ(job2.actors()[1].actor(), "b2");
+}
+
+TEST(ScenarioIo, MigrateUpdatesLocation) {
+  Scenario s = parse_scenario_string(R"(
+computation hop 0 20
+  actor a l1
+    migrate l2 2
+    evaluate 1
+end
+)");
+  const auto& actions = s.computations[0].actors()[0].actions();
+  EXPECT_EQ(actions[0].kind, ActionKind::kMigrate);
+  EXPECT_EQ(actions[0].size, 2);
+  EXPECT_EQ(actions[1].at, Location("l2"));
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  Scenario s = parse_scenario_string(
+      "# full line comment\n\nsupply cpu lx 1 0 5  # trailing comment\n");
+  EXPECT_EQ(s.supply.term_count(), 1u);
+}
+
+TEST(ScenarioIo, RoundTrips) {
+  Scenario original = parse_scenario_string(kDemo);
+  Scenario reparsed = parse_scenario_string(scenario_to_string(original));
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(ScenarioIo, ParsedScenarioIsPlannable) {
+  Scenario s = parse_scenario_string(kDemo);
+  CostModel phi;
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, s.computations[0]);
+  EXPECT_TRUE(plan_concurrent(s.supply, rho, PlanningPolicy::kAsap).has_value());
+}
+
+// ------------------------------------------------------------------
+// Error reporting.
+// ------------------------------------------------------------------
+
+void expect_error(const std::string& text, std::size_t line) {
+  try {
+    parse_scenario_string(text);
+    FAIL() << "expected a parse error";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+  }
+}
+
+TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+  expect_error("supply cpu l1 five 0 10\n", 1);
+  expect_error("\nbogus keyword\n", 2);
+}
+
+TEST(ScenarioIo, SupplyInsideComputationRejected) {
+  expect_error("computation c 0 10\nsupply cpu l1 1 0 5\nend\n", 2);
+}
+
+TEST(ScenarioIo, UnclosedComputationRejected) {
+  expect_error("computation c 0 10\n  actor a l1\n    ready\n", 1);
+}
+
+TEST(ScenarioIo, NestedComputationRejected) {
+  expect_error("computation a 0 10\ncomputation b 0 10\n", 2);
+}
+
+TEST(ScenarioIo, ActionBeforeActorRejected) {
+  expect_error("computation c 0 10\n  evaluate 1\nend\n", 2);
+}
+
+TEST(ScenarioIo, EndWithoutComputationRejected) { expect_error("end\n", 1); }
+
+TEST(ScenarioIo, BadDeadlineRejected) {
+  expect_error("computation c 10 10\nend\n", 1);
+}
+
+TEST(ScenarioIo, SelfLinkRejected) {
+  expect_error("supply network l1 l1 4 0 12\n", 1);
+}
+
+TEST(ScenarioIo, MigrateToSelfRejected) {
+  expect_error("computation c 0 10\n  actor a l1\n    migrate l1 1\nend\n", 3);
+}
+
+TEST(ScenarioIo, UnknownKindRejected) {
+  expect_error("supply gpu l1 4 0 12\n", 1);
+}
+
+TEST(ScenarioIo, WrongArityRejected) {
+  expect_error("supply cpu l1 4 0\n", 1);
+  expect_error("computation c 0\n", 1);
+}
+
+TEST(ScenarioIo, MissingFileThrows) {
+  EXPECT_THROW(load_scenario_file("/nonexistent/path.rota"), std::runtime_error);
+}
+
+TEST(ScenarioIo, NonCpuKindsParse) {
+  Scenario s = parse_scenario_string(
+      "supply memory m1 6 0 10\n"
+      "supply disk m1 3 0 10\n"
+      "supply custom m1 2 0 10\n"
+      "supply custom m1 m2 9 0 10\n");  // a custom *link*
+  EXPECT_EQ(
+      s.supply.availability(LocatedType::node(ResourceKind::kMemory, Location("m1")))
+          .value_at(5),
+      6);
+  EXPECT_EQ(s.supply
+                .availability(LocatedType::link(ResourceKind::kCustom, Location("m1"),
+                                                Location("m2")))
+                .value_at(5),
+            9);
+}
+
+TEST(ScenarioIo, EveryKindRoundTripsThroughTheWriter) {
+  Location a("rt-a"), b("rt-b");
+  Scenario original;
+  original.supply.add(5, TimeInterval(0, 10), LocatedType::cpu(a));
+  original.supply.add(4, TimeInterval(0, 10), LocatedType::memory(a));
+  original.supply.add(3, TimeInterval(0, 10),
+                      LocatedType::node(ResourceKind::kDisk, a));
+  original.supply.add(2, TimeInterval(0, 10), LocatedType::network(a, b));
+  original.supply.add(1, TimeInterval(0, 10),
+                      LocatedType::link(ResourceKind::kCustom, a, b));
+  original.supply.add(7, TimeInterval(0, 10),
+                      LocatedType::link(ResourceKind::kDisk, a, b));  // SAN-ish
+  EXPECT_EQ(parse_scenario_string(scenario_to_string(original)), original);
+}
+
+TEST(ScenarioIo, NetworkIsLinkOnly) {
+  expect_error("supply network l1 5 0 10\n", 1);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,79 @@
+#include "rota/workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/logic/theorems.hpp"
+
+namespace rota {
+namespace {
+
+TEST(PaperExample, SupplyMatchesSectionThree) {
+  PaperExample ex = make_paper_example();
+  // {5}^(0,3) ∪ {5}^(0,5) cpu@l1 simplifies to {10}^(0,3), {5}^(3,5).
+  EXPECT_EQ(ex.supply.availability(LocatedType::cpu(ex.l1)).value_at(1), 10);
+  EXPECT_EQ(ex.supply.availability(LocatedType::cpu(ex.l1)).value_at(4), 5);
+  EXPECT_EQ(ex.supply.availability(LocatedType::network(ex.l1, ex.l2)).value_at(2), 5);
+}
+
+TEST(PaperExample, ActorMatchesSectionFour) {
+  PaperExample ex = make_paper_example();
+  ASSERT_EQ(ex.actor.action_count(), 4u);
+  EXPECT_EQ(ex.actor.actions()[0].kind, ActionKind::kEvaluate);
+  EXPECT_EQ(ex.actor.actions()[1].kind, ActionKind::kSend);
+  EXPECT_EQ(ex.actor.actions()[2].kind, ActionKind::kCreate);
+  EXPECT_EQ(ex.actor.actions()[3].kind, ActionKind::kReady);
+}
+
+TEST(PaperExample, PhiMatchesPaperNumbers) {
+  PaperExample ex = make_paper_example();
+  EXPECT_EQ(ex.phi.cost(ex.actor.actions()[0]).of(LocatedType::cpu(ex.l1)), 8);
+  EXPECT_EQ(
+      ex.phi.cost(ex.actor.actions()[1]).of(LocatedType::network(ex.l1, ex.l2)), 4);
+  EXPECT_EQ(ex.phi.cost(ex.actor.actions()[2]).of(LocatedType::cpu(ex.l1)), 5);
+  EXPECT_EQ(ex.phi.cost(ex.actor.actions()[3]).of(LocatedType::cpu(ex.l1)), 1);
+}
+
+TEST(PaperExample, ComputationIsAccommodatable) {
+  PaperExample ex = make_paper_example();
+  ConcurrentRequirement rho = make_concurrent_requirement(ex.phi, ex.computation);
+  // Phases: evaluate (8 cpu) ; send (4 net) ; create+ready (6 cpu).
+  ASSERT_EQ(rho.actors().size(), 1u);
+  EXPECT_EQ(rho.actors()[0].phase_count(), 3u);
+  auto witness = theorem3_witness(ex.supply, rho);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->back().all_finished());
+  EXPECT_LE(witness->back().now(), ex.computation.deadline());
+}
+
+TEST(Cluster, ShapeAndRates) {
+  ClusterScenario c = make_cluster(3, 8, 6, TimeInterval(0, 50));
+  EXPECT_EQ(c.nodes.size(), 3u);
+  EXPECT_EQ(c.supply.types().size(), 3u + 6u);
+  EXPECT_EQ(c.supply.availability(LocatedType::cpu(c.nodes[0])).value_at(10), 8);
+  EXPECT_EQ(
+      c.supply.availability(LocatedType::network(c.nodes[0], c.nodes[1])).value_at(10),
+      6);
+}
+
+TEST(Volunteer, ScenarioIsPopulated) {
+  VolunteerScenario v = make_volunteer_network(42, 400);
+  EXPECT_EQ(v.horizon, 400);
+  EXPECT_FALSE(v.base_supply.empty());
+  EXPECT_FALSE(v.churn.empty());
+  // Starving base: rate 1 cpu everywhere.
+  for (const Location& l : v.generator.locations()) {
+    EXPECT_EQ(v.base_supply.availability(LocatedType::cpu(l)).value_at(100), 1);
+  }
+}
+
+TEST(Volunteer, DeterministicForSeed) {
+  VolunteerScenario a = make_volunteer_network(42, 400);
+  VolunteerScenario b = make_volunteer_network(42, 400);
+  ASSERT_EQ(a.churn.size(), b.churn.size());
+  for (std::size_t i = 0; i < a.churn.size(); ++i) {
+    EXPECT_EQ(a.churn.events()[i], b.churn.events()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rota

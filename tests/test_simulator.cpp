@@ -1,0 +1,190 @@
+#include "rota/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/admission/controller.hpp"
+
+namespace rota {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  Location l1{"sm-l1"};
+  Location l2{"sm-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 40), cpu1);
+    s.add(4, TimeInterval(0, 40), net12);
+    return s;
+  }
+
+  ConcurrentRequirement req(const std::string& name, Tick s, Tick d,
+                            std::int64_t weight = 1) {
+    auto gamma = ActorComputationBuilder(name + ".a", l1).evaluate(weight).build();
+    DistributedComputation lambda(name, {gamma}, s, d);
+    return make_concurrent_requirement(phi, lambda);
+  }
+};
+
+TEST_F(SimulatorTest, SingleJobCompletesWorkConserving) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("j", 0, 10));
+  SimReport report = sim.run(40);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_TRUE(report.outcomes[0].met_deadline());
+  EXPECT_EQ(report.outcomes[0].finished_at, 2);
+  EXPECT_EQ(report.missed(), 0u);
+}
+
+TEST_F(SimulatorTest, MissedDeadlineIsReported) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("big", 0, 3, 4));  // 32 cpu, 12 available by d
+  SimReport report = sim.run(40);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_TRUE(report.outcomes[0].completed);  // finishes, but late
+  EXPECT_FALSE(report.outcomes[0].met_deadline());
+  EXPECT_EQ(report.miss_rate(), 1.0);
+}
+
+TEST_F(SimulatorTest, UnfinishedAtHorizonIsIncomplete) {
+  ResourceSet thin;
+  thin.add(1, TimeInterval(0, 5), cpu1);
+  Simulator sim(thin, 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("j", 0, 10, 4));
+  SimReport report = sim.run(10);
+  EXPECT_FALSE(report.outcomes[0].completed);
+  EXPECT_FALSE(report.outcomes[0].met_deadline());
+}
+
+TEST_F(SimulatorTest, PlanFollowingExecutesThePlan) {
+  RotaAdmissionController ctl(phi, supply());
+  auto gamma = ActorComputationBuilder("pf.a", l1).evaluate().send(l2).build();
+  DistributedComputation lambda("pf", {gamma}, 0, 10);
+  auto decision = ctl.request(lambda, 0);
+  ASSERT_TRUE(decision.accepted);
+
+  Simulator sim(supply(), 0, ExecutionMode::kPlanFollowing);
+  sim.schedule_admission(0, make_concurrent_requirement(phi, lambda), decision.plan);
+  SimReport report = sim.run(40);
+  EXPECT_TRUE(report.outcomes[0].met_deadline());
+  EXPECT_EQ(report.outcomes[0].finished_at, decision.plan->finish);
+}
+
+TEST_F(SimulatorTest, EdfSavesTightJobThatFcfsLoses) {
+  Simulator fcfs(supply(), 0, ExecutionMode::kWorkConserving, PriorityOrder::kFcfs);
+  fcfs.schedule_admission(0, req("loose", 0, 30));
+  fcfs.schedule_admission(0, req("tight", 0, 2));
+  SimReport r1 = fcfs.run(40);
+  EXPECT_EQ(r1.missed(), 1u);
+
+  Simulator edf(supply(), 0, ExecutionMode::kWorkConserving, PriorityOrder::kEdf);
+  edf.schedule_admission(0, req("loose", 0, 30));
+  edf.schedule_admission(0, req("tight", 0, 2));
+  SimReport r2 = edf.run(40);
+  EXPECT_EQ(r2.missed(), 0u);
+}
+
+TEST_F(SimulatorTest, LateArrivalStartsLate) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(5, req("late", 5, 12));
+  SimReport report = sim.run(40);
+  EXPECT_TRUE(report.outcomes[0].met_deadline());
+  EXPECT_EQ(report.outcomes[0].finished_at, 7);
+}
+
+TEST_F(SimulatorTest, JoinedSupplyEnablesCompletion) {
+  ResourceSet empty;
+  Simulator sim(empty, 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("j", 0, 10));
+  ResourceSet late_supply;
+  late_supply.add(8, TimeInterval(5, 10), cpu1);
+  sim.schedule_join(5, late_supply);
+  SimReport report = sim.run(40);
+  EXPECT_TRUE(report.outcomes[0].met_deadline());
+  EXPECT_EQ(report.outcomes[0].finished_at, 6);
+}
+
+TEST_F(SimulatorTest, ChurnTraceJoins) {
+  ResourceSet empty;
+  Simulator sim(empty, 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("j", 0, 10));
+  ChurnTrace trace;
+  trace.add(2, ResourceTerm(8, TimeInterval(2, 6), cpu1));
+  sim.schedule_churn(trace);
+  SimReport report = sim.run(40);
+  EXPECT_TRUE(report.outcomes[0].met_deadline());
+}
+
+TEST_F(SimulatorTest, SupplyAndConsumptionAccounting) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("j", 0, 10));
+  SimReport report = sim.run(40);
+  EXPECT_EQ(report.supplied.at(cpu1), 160);  // 4 × 40
+  EXPECT_EQ(report.consumed.at(cpu1), 8);
+  EXPECT_GT(report.utilization(), 0.0);
+  EXPECT_LT(report.utilization(), 1.0);
+}
+
+TEST_F(SimulatorTest, MultiActorComputationNeedsAllActorsToFinish) {
+  auto g1 = ActorComputationBuilder("m.a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("m.a2", l2).evaluate(100).build();  // starved
+  DistributedComputation lambda("m", {g1, g2}, 0, 10);
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, make_concurrent_requirement(phi, lambda));
+  SimReport report = sim.run(20);
+  EXPECT_FALSE(report.outcomes[0].completed);  // a2 has no cpu@l2 at all
+  EXPECT_FALSE(report.outcomes[0].met_deadline());
+}
+
+TEST_F(SimulatorTest, AdmissionAfterHorizonNeverRuns) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(50, req("never", 50, 60));
+  SimReport report = sim.run(10);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_FALSE(report.outcomes[0].completed);
+}
+
+TEST_F(SimulatorTest, TardinessAndResponseTime) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("on-time", 0, 10));        // finishes at 2
+  sim.schedule_admission(0, req("late", 2, 4, 4));         // 32 cpu from t=2
+  SimReport report = sim.run(60);
+
+  const ComputationOutcome& on_time = report.outcomes[0];
+  EXPECT_EQ(on_time.tardiness(), 0);
+  EXPECT_EQ(on_time.response_time(), 2);
+
+  const ComputationOutcome& late = report.outcomes[1];
+  ASSERT_TRUE(late.completed);
+  EXPECT_GT(*late.tardiness(), 0);
+  EXPECT_GT(report.mean_tardiness(), 0.0);
+  EXPECT_GT(report.mean_response_time(), 0.0);
+}
+
+TEST_F(SimulatorTest, IncompleteOutcomeHasNoTardiness) {
+  Simulator sim(ResourceSet{}, 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("starved", 0, 10));
+  SimReport report = sim.run(20);
+  EXPECT_FALSE(report.outcomes[0].tardiness().has_value());
+  EXPECT_FALSE(report.outcomes[0].response_time().has_value());
+  EXPECT_EQ(report.mean_tardiness(), 0.0);
+}
+
+TEST_F(SimulatorTest, ReportToString) {
+  Simulator sim(supply(), 0);
+  sim.schedule_admission(0, req("j", 0, 10));
+  SimReport report = sim.run(40);
+  EXPECT_NE(report.to_string().find("admitted=1"), std::string::npos);
+}
+
+TEST_F(SimulatorTest, ModeNames) {
+  EXPECT_EQ(execution_mode_name(ExecutionMode::kPlanFollowing), "plan-following");
+  EXPECT_EQ(execution_mode_name(ExecutionMode::kWorkConserving), "work-conserving");
+}
+
+}  // namespace
+}  // namespace rota

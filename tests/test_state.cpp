@@ -1,0 +1,236 @@
+#include "rota/logic/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  Location l1{"st-l1"};
+  Location l2{"st-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ResourceSet basic_supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 20), cpu1);
+    s.add(4, TimeInterval(0, 20), net12);
+    return s;
+  }
+
+  ConcurrentRequirement one_actor_requirement(Tick s, Tick d) {
+    auto gamma = ActorComputationBuilder("a1", l1).evaluate().send(l2).build();
+    DistributedComputation lambda("job", {gamma}, s, d);
+    return make_concurrent_requirement(phi, lambda);
+  }
+};
+
+TEST_F(StateTest, InitialState) {
+  SystemState state(basic_supply(), 0);
+  EXPECT_EQ(state.now(), 0);
+  EXPECT_TRUE(state.commitments().empty());
+  EXPECT_TRUE(state.all_finished());
+  EXPECT_FALSE(state.any_missed());
+}
+
+TEST_F(StateTest, JoinUnionsSupply) {
+  SystemState state(basic_supply(), 0);
+  ResourceSet extra;
+  extra.add(2, TimeInterval(5, 10), cpu1);
+  state.join(extra);
+  EXPECT_EQ(state.theta().availability(cpu1).value_at(6), 6);
+}
+
+TEST_F(StateTest, AccommodateAddsCommitments) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  ASSERT_EQ(state.commitments().size(), 1u);
+  const ActorProgress& p = state.commitments()[0];
+  EXPECT_EQ(p.computation, "job");
+  EXPECT_EQ(p.actor, "a1");
+  EXPECT_EQ(p.phase_index, 0u);
+  EXPECT_EQ(p.remaining.of(cpu1), 8);
+  EXPECT_FALSE(p.finished());
+  EXPECT_FALSE(state.all_finished());
+}
+
+TEST_F(StateTest, AccommodatePastDeadlineThrows) {
+  SystemState state(basic_supply(), 12);
+  EXPECT_THROW(state.accommodate(one_actor_requirement(0, 10)), std::logic_error);
+}
+
+TEST_F(StateTest, LeaveBeforeStartSucceeds) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(5, 15));
+  EXPECT_TRUE(state.leave("job"));
+  EXPECT_TRUE(state.commitments().empty());
+}
+
+TEST_F(StateTest, LeaveAfterStartThrows) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));  // starts at 0 == now
+  EXPECT_THROW(state.leave("job"), std::logic_error);
+}
+
+TEST_F(StateTest, LeaveUnknownReturnsFalse) {
+  SystemState state(basic_supply(), 0);
+  EXPECT_FALSE(state.leave("ghost"));
+}
+
+// ------------------------------------------------------------------
+// The general transition rule and its side conditions.
+// ------------------------------------------------------------------
+
+TEST_F(StateTest, IdleAdvanceExpiresTime) {
+  SystemState state(basic_supply(), 0);
+  state.advance_idle();
+  EXPECT_EQ(state.now(), 1);
+}
+
+TEST_F(StateTest, ConsumptionDrainsRemaining) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  state.advance({{0, cpu1, 4}});
+  EXPECT_EQ(state.now(), 1);
+  EXPECT_EQ(state.commitments()[0].remaining.of(cpu1), 4);
+}
+
+TEST_F(StateTest, PhaseCompletionPromotesNextPhase) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  state.advance({{0, cpu1, 4}});
+  state.advance({{0, cpu1, 4}});  // cpu phase done (8 total)
+  const ActorProgress& p = state.commitments()[0];
+  EXPECT_EQ(p.phase_index, 1u);
+  EXPECT_EQ(p.remaining.of(net12), 4);
+}
+
+TEST_F(StateTest, FinishRecordsTick) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  state.advance({{0, cpu1, 4}});
+  state.advance({{0, cpu1, 4}});
+  state.advance({{0, net12, 4}});
+  const ActorProgress& p = state.commitments()[0];
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(p.finished_at, 3);
+  EXPECT_TRUE(state.all_finished());
+}
+
+TEST_F(StateTest, RemainingTotalSpansPhases) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  EXPECT_EQ(state.commitments()[0].remaining_total(), 12);  // 8 cpu + 4 net
+  state.advance({{0, cpu1, 3}});
+  EXPECT_EQ(state.commitments()[0].remaining_total(), 9);
+}
+
+TEST_F(StateTest, BadCommitmentIndexThrows) {
+  SystemState state(basic_supply(), 0);
+  EXPECT_THROW(state.advance({{3, cpu1, 1}}), std::logic_error);
+}
+
+TEST_F(StateTest, NonPositiveRateThrows) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  EXPECT_THROW(state.advance({{0, cpu1, 0}}), std::logic_error);
+  EXPECT_THROW(state.advance({{0, cpu1, -2}}), std::logic_error);
+}
+
+TEST_F(StateTest, ConsumingBeforeStartThrows) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(5, 15));
+  EXPECT_THROW(state.advance({{0, cpu1, 1}}), std::logic_error);
+}
+
+TEST_F(StateTest, OvershootingRemainingThrows) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  // cpu phase needs 8; supply rate is 4, so a claim of 9 must fail on the
+  // remaining-demand check even before the supply check.
+  EXPECT_THROW(state.advance({{0, cpu1, 9}}), std::logic_error);
+}
+
+TEST_F(StateTest, ExceedingSupplyThrows) {
+  ResourceSet thin;
+  thin.add(2, TimeInterval(0, 20), cpu1);
+  SystemState state(thin, 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  EXPECT_THROW(state.advance({{0, cpu1, 3}}), std::logic_error);
+}
+
+TEST_F(StateTest, AggregateClaimsAreChecked) {
+  // Two commitments each claim 3 of a rate-4 supply: together they exceed it.
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  auto gamma = ActorComputationBuilder("b1", l1).evaluate().build();
+  DistributedComputation other("job2", {gamma}, 0, 10);
+  state.accommodate(make_concurrent_requirement(phi, other));
+  EXPECT_THROW(state.advance({{0, cpu1, 3}, {1, cpu1, 3}}), std::logic_error);
+  // But a fitting split is fine.
+  state.advance({{0, cpu1, 2}, {1, cpu1, 2}});
+  EXPECT_EQ(state.now(), 1);
+}
+
+TEST_F(StateTest, FinishedCommitmentCannotConsume) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  state.advance({{0, cpu1, 4}});
+  state.advance({{0, cpu1, 4}});
+  state.advance({{0, net12, 4}});
+  EXPECT_THROW(state.advance({{0, cpu1, 1}}), std::logic_error);
+}
+
+TEST_F(StateTest, ExpiredSupplyCannotBeRecovered) {
+  // Supply exists only on [0, 2); idling past it loses it for good.
+  ResourceSet brief;
+  brief.add(4, TimeInterval(0, 2), cpu1);
+  SystemState state(brief, 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  state.advance_idle();
+  state.advance_idle();
+  EXPECT_THROW(state.advance({{0, cpu1, 1}}), std::logic_error);
+}
+
+TEST_F(StateTest, MissDetection) {
+  ResourceSet empty_supply;
+  SystemState state(empty_supply, 0);
+  state.accommodate(one_actor_requirement(0, 3));
+  EXPECT_FALSE(state.any_missed());
+  state.advance_idle();
+  state.advance_idle();
+  state.advance_idle();  // now == 3 == deadline, nothing done
+  EXPECT_TRUE(state.any_missed());
+}
+
+TEST_F(StateTest, GarbageCollectPreservesFuture) {
+  SystemState state(basic_supply(), 0);
+  state.accommodate(one_actor_requirement(0, 10));
+  state.advance({{0, cpu1, 4}});
+  state.garbage_collect();
+  EXPECT_EQ(state.theta().availability(cpu1).value_at(1), 4);
+  state.advance({{0, cpu1, 4}});
+  EXPECT_EQ(state.commitments()[0].phase_index, 1u);
+}
+
+TEST_F(StateTest, MultiActorAccommodationCreatesOneProgressEach) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).ready().build();
+  DistributedComputation lambda("pair", {g1, g2}, 0, 10);
+  SystemState state(basic_supply(), 0);
+  state.accommodate(make_concurrent_requirement(phi, lambda));
+  EXPECT_EQ(state.commitments().size(), 2u);
+  EXPECT_EQ(state.unfinished_count(), 2u);
+}
+
+TEST_F(StateTest, ToStringSummarizes) {
+  SystemState state(basic_supply(), 7);
+  EXPECT_NE(state.to_string().find("t=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota

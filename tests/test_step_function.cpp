@@ -1,0 +1,350 @@
+#include "rota/resource/step_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "rota/util/rng.hpp"
+
+namespace rota {
+namespace {
+
+TEST(StepFunction, ZeroByDefault) {
+  StepFunction f;
+  EXPECT_TRUE(f.is_zero());
+  EXPECT_EQ(f.value_at(0), 0);
+  EXPECT_EQ(f.integral(), 0);
+}
+
+TEST(StepFunction, SingleSegment) {
+  StepFunction f(TimeInterval(2, 6), 5);
+  EXPECT_EQ(f.value_at(1), 0);
+  EXPECT_EQ(f.value_at(2), 5);
+  EXPECT_EQ(f.value_at(5), 5);
+  EXPECT_EQ(f.value_at(6), 0);
+  EXPECT_EQ(f.integral(), 20);
+}
+
+TEST(StepFunction, ZeroRateOrEmptyIntervalIsZeroFunction) {
+  EXPECT_TRUE(StepFunction(TimeInterval(2, 6), 0).is_zero());
+  EXPECT_TRUE(StepFunction(TimeInterval(), 5).is_zero());
+}
+
+TEST(StepFunction, PlusDisjoint) {
+  StepFunction f(TimeInterval(0, 2), 3);
+  StepFunction g(TimeInterval(4, 6), 7);
+  StepFunction h = f.plus(g);
+  EXPECT_EQ(h.value_at(1), 3);
+  EXPECT_EQ(h.value_at(3), 0);
+  EXPECT_EQ(h.value_at(5), 7);
+  EXPECT_EQ(h.segments().size(), 2u);
+}
+
+TEST(StepFunction, PlusOverlappingAddsRates) {
+  // The paper's simplification: {5}^(0,3) ∪ {5}^(0,5) = {10}^(0,3), {5}^(3,5)
+  StepFunction f(TimeInterval(0, 3), 5);
+  StepFunction g(TimeInterval(0, 5), 5);
+  StepFunction h = f.plus(g);
+  ASSERT_EQ(h.segments().size(), 2u);
+  EXPECT_EQ(h.segments()[0], (Segment{TimeInterval(0, 3), 10}));
+  EXPECT_EQ(h.segments()[1], (Segment{TimeInterval(3, 5), 5}));
+}
+
+TEST(StepFunction, MeetingEqualRatesMerge) {
+  StepFunction f(TimeInterval(0, 3), 4);
+  StepFunction g(TimeInterval(3, 7), 4);
+  StepFunction h = f.plus(g);
+  ASSERT_EQ(h.segments().size(), 1u);
+  EXPECT_EQ(h.segments()[0], (Segment{TimeInterval(0, 7), 4}));
+}
+
+TEST(StepFunction, MinusProducesNegativeValues) {
+  StepFunction f(TimeInterval(0, 4), 2);
+  StepFunction g(TimeInterval(2, 6), 5);
+  StepFunction h = f.minus(g);
+  EXPECT_EQ(h.value_at(1), 2);
+  EXPECT_EQ(h.value_at(3), -3);
+  EXPECT_EQ(h.value_at(5), -5);
+  EXPECT_EQ(h.min_value(), -5);
+}
+
+TEST(StepFunction, MinusSelfIsZero) {
+  StepFunction f(TimeInterval(0, 4), 2);
+  EXPECT_TRUE(f.minus(f).is_zero());
+}
+
+TEST(StepFunction, MinAndMax) {
+  StepFunction f(TimeInterval(0, 4), 3);
+  StepFunction g(TimeInterval(2, 6), 5);
+  EXPECT_EQ(f.min(g).value_at(1), 0);  // g is 0 there, min is 0 → dropped
+  EXPECT_EQ(f.min(g).value_at(3), 3);
+  EXPECT_EQ(f.max(g).value_at(1), 3);
+  EXPECT_EQ(f.max(g).value_at(3), 5);
+  EXPECT_EQ(f.max(g).value_at(5), 5);
+}
+
+TEST(StepFunction, Restricted) {
+  StepFunction f(TimeInterval(0, 10), 2);
+  StepFunction r = f.restricted(TimeInterval(3, 5));
+  EXPECT_EQ(r.value_at(2), 0);
+  EXPECT_EQ(r.value_at(3), 2);
+  EXPECT_EQ(r.value_at(4), 2);
+  EXPECT_EQ(r.value_at(5), 0);
+  EXPECT_EQ(r.integral(), 4);
+}
+
+TEST(StepFunction, ClampedNonnegative) {
+  StepFunction f(TimeInterval(0, 4), 2);
+  StepFunction g = f.minus(StepFunction(TimeInterval(2, 6), 5)).clamped_nonnegative();
+  EXPECT_EQ(g.value_at(1), 2);
+  EXPECT_EQ(g.value_at(3), 0);
+  EXPECT_GE(g.min_value(), 0);
+}
+
+TEST(StepFunction, MinOverWindow) {
+  StepFunction f(TimeInterval(0, 4), 3);
+  f.add(TimeInterval(4, 8), 7);
+  EXPECT_EQ(f.min_over(TimeInterval(0, 8)), 3);
+  EXPECT_EQ(f.min_over(TimeInterval(4, 8)), 7);
+  EXPECT_EQ(f.min_over(TimeInterval(2, 10)), 0);  // gap beyond 8
+  EXPECT_EQ(f.min_over(TimeInterval(-5, 2)), 0);  // gap before 0
+  EXPECT_EQ(f.min_over(TimeInterval()), 0);
+}
+
+TEST(StepFunction, IntegralOverWindow) {
+  StepFunction f(TimeInterval(0, 4), 3);
+  f.add(TimeInterval(6, 8), 5);
+  EXPECT_EQ(f.integral(TimeInterval(0, 10)), 12 + 10);
+  EXPECT_EQ(f.integral(TimeInterval(2, 7)), 6 + 5);
+  EXPECT_EQ(f.integral(TimeInterval(4, 6)), 0);
+}
+
+TEST(StepFunction, Dominates) {
+  StepFunction f(TimeInterval(0, 10), 5);
+  StepFunction g(TimeInterval(2, 8), 3);
+  EXPECT_TRUE(f.dominates(g));
+  EXPECT_FALSE(g.dominates(f));
+  EXPECT_TRUE(f.dominates(f));
+  // More total quantity does not imply domination.
+  StepFunction spike(TimeInterval(0, 1), 100);
+  EXPECT_FALSE(spike.dominates(g));
+}
+
+TEST(StepFunction, Support) {
+  StepFunction f(TimeInterval(0, 3), 2);
+  f.add(TimeInterval(5, 7), 4);
+  IntervalSet s = f.support();
+  EXPECT_EQ(s, (IntervalSet{TimeInterval(0, 3), TimeInterval(5, 7)}));
+}
+
+TEST(StepFunction, WhereAtLeast) {
+  StepFunction f(TimeInterval(0, 4), 3);
+  f.add(TimeInterval(4, 8), 7);
+  EXPECT_EQ(f.where_at_least(5, TimeInterval(0, 10)), IntervalSet(TimeInterval(4, 8)));
+  EXPECT_EQ(f.where_at_least(1, TimeInterval(0, 10)), IntervalSet(TimeInterval(0, 8)));
+  EXPECT_THROW(f.where_at_least(0, TimeInterval(0, 10)), std::invalid_argument);
+}
+
+TEST(StepFunction, EarliestCoverExactFit) {
+  StepFunction f(TimeInterval(0, 10), 4);
+  EXPECT_EQ(f.earliest_cover(TimeInterval(0, 10), 8), 2);   // two full ticks
+  EXPECT_EQ(f.earliest_cover(TimeInterval(0, 10), 9), 3);   // partial third tick
+  EXPECT_EQ(f.earliest_cover(TimeInterval(0, 10), 0), 0);
+  EXPECT_EQ(f.earliest_cover(TimeInterval(3, 10), 4), 4);
+}
+
+TEST(StepFunction, EarliestCoverAcrossSegments) {
+  StepFunction f(TimeInterval(0, 2), 1);
+  f.add(TimeInterval(5, 10), 10);
+  // 2 units by tick 2, then 10/tick from 5: quantity 12 reaches at 6.
+  EXPECT_EQ(f.earliest_cover(TimeInterval(0, 10), 12), 6);
+}
+
+TEST(StepFunction, EarliestCoverInsufficient) {
+  StepFunction f(TimeInterval(0, 3), 2);
+  EXPECT_FALSE(f.earliest_cover(TimeInterval(0, 3), 7).has_value());
+  EXPECT_FALSE(StepFunction().earliest_cover(TimeInterval(0, 100), 1).has_value());
+}
+
+TEST(StepFunction, EarliestCoverNegativeThrows) {
+  StepFunction f(TimeInterval(0, 3), 2);
+  EXPECT_THROW(f.earliest_cover(TimeInterval(0, 3), -1), std::invalid_argument);
+}
+
+TEST(StepFunction, LatestCoverStart) {
+  StepFunction f(TimeInterval(0, 10), 4);
+  EXPECT_EQ(f.latest_cover_start(TimeInterval(0, 10), 8), 8);
+  EXPECT_EQ(f.latest_cover_start(TimeInterval(0, 10), 9), 7);  // partial leading tick
+  EXPECT_EQ(f.latest_cover_start(TimeInterval(0, 10), 0), 10);
+  EXPECT_FALSE(f.latest_cover_start(TimeInterval(0, 2), 9).has_value());
+}
+
+TEST(StepFunction, Shifted) {
+  StepFunction f(TimeInterval(0, 3), 2);
+  StepFunction g = f.shifted(5);
+  EXPECT_EQ(g.value_at(4), 0);
+  EXPECT_EQ(g.value_at(5), 2);
+  EXPECT_EQ(g.value_at(7), 2);
+  EXPECT_EQ(g.value_at(8), 0);
+}
+
+TEST(StepFunction, ToString) {
+  EXPECT_EQ(StepFunction().to_string(), "0");
+  StepFunction f(TimeInterval(0, 3), 2);
+  EXPECT_EQ(f.to_string(), "2@[0, 3)");
+}
+
+TEST(StepFunction, CanonicalFormInvariants) {
+  StepFunction f;
+  f.add(TimeInterval(0, 5), 2);
+  f.add(TimeInterval(5, 9), 2);   // merges
+  f.add(TimeInterval(3, 4), -2);  // punches a zero hole
+  const auto& segs = f.segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_NE(segs[i].value, 0);
+    EXPECT_FALSE(segs[i].interval.empty());
+    if (i > 0) {
+      EXPECT_LE(segs[i - 1].interval.end(), segs[i].interval.start());
+      if (segs[i - 1].interval.end() == segs[i].interval.start()) {
+        EXPECT_NE(segs[i - 1].value, segs[i].value);
+      }
+    }
+  }
+  EXPECT_EQ(f.value_at(3), 0);
+  EXPECT_EQ(f.value_at(2), 2);
+  EXPECT_EQ(f.value_at(4), 2);
+}
+
+TEST(StepFunctionCoarsen, BucketTakesTheMinimum) {
+  StepFunction f;
+  f.add(TimeInterval(0, 3), 5);
+  f.add(TimeInterval(3, 8), 2);
+  StepFunction c = f.coarsened(4);
+  // Bucket [0,4): values 5,5,5,2 → 2. Bucket [4,8): all 2 → 2.
+  EXPECT_EQ(c.value_at(0), 2);
+  EXPECT_EQ(c.value_at(5), 2);
+  EXPECT_EQ(c.value_at(8), 0);
+}
+
+TEST(StepFunctionCoarsen, GapsZeroTheirBucket) {
+  StepFunction f;
+  f.add(TimeInterval(0, 3), 5);
+  f.add(TimeInterval(5, 8), 5);  // gap at [3,5) straddles both buckets
+  StepFunction c = f.coarsened(4);
+  EXPECT_TRUE(c.is_zero());
+}
+
+TEST(StepFunctionCoarsen, FactorOneIsIdentity) {
+  StepFunction f(TimeInterval(2, 9), 3);
+  EXPECT_EQ(f.coarsened(1), f);
+}
+
+TEST(StepFunctionCoarsen, InvalidFactorThrows) {
+  StepFunction f(TimeInterval(0, 4), 3);
+  EXPECT_THROW(f.coarsened(0), std::invalid_argument);
+  EXPECT_THROW(f.coarsened(-2), std::invalid_argument);
+}
+
+TEST(StepFunctionCoarsen, NegativeTimeBucketsAlign) {
+  StepFunction f(TimeInterval(-8, -1), 4);
+  StepFunction c = f.coarsened(4);
+  EXPECT_EQ(c.value_at(-5), 4);   // bucket [-8,-4) fully covered
+  EXPECT_EQ(c.value_at(-2), 0);   // bucket [-4,0) only partially covered
+}
+
+TEST(StepFunctionCoarsen, NeverExceedsOriginal) {
+  util::Rng rng(424242);
+  for (int round = 0; round < 30; ++round) {
+    StepFunction f;
+    const int pieces = static_cast<int>(rng.uniform(1, 5));
+    for (int i = 0; i < pieces; ++i) {
+      const Tick s = rng.uniform(0, 40);
+      f.add(TimeInterval(s, s + rng.uniform(1, 12)), rng.uniform(1, 9));
+    }
+    const Tick factor = rng.uniform(2, 7);
+    const StepFunction c = f.coarsened(factor);
+    EXPECT_TRUE(f.dominates(c)) << "factor=" << factor;
+    // Aligned fully-covered buckets are preserved exactly.
+    for (Tick t = 0; t < 60; ++t) {
+      EXPECT_LE(c.value_at(t), f.value_at(t)) << "t=" << t;
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Randomized equivalence with a brute-force dense representation.
+// ------------------------------------------------------------------
+
+class StepFunctionRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StepFunctionRandomTest, AlgebraMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  constexpr Tick kLimit = 30;
+
+  auto random_fn = [&rng]() {
+    StepFunction f;
+    const int pieces = static_cast<int>(rng.uniform(0, 4));
+    for (int i = 0; i < pieces; ++i) {
+      const Tick start = rng.uniform(0, kLimit - 2);
+      const Tick end = rng.uniform(start + 1, kLimit);
+      f.add(TimeInterval(start, end), rng.uniform(1, 9));
+    }
+    return f;
+  };
+
+  const StepFunction f = random_fn();
+  const StepFunction g = random_fn();
+
+  auto dense = [](const StepFunction& fn) {
+    std::map<Tick, Rate> d;
+    for (Tick t = -2; t <= kLimit + 2; ++t) d[t] = fn.value_at(t);
+    return d;
+  };
+
+  const auto df = dense(f);
+  const auto dg = dense(g);
+
+  const StepFunction sum = f.plus(g);
+  const StepFunction diff = f.minus(g);
+  const StepFunction lo = f.min(g);
+  const StepFunction hi = f.max(g);
+
+  for (Tick t = -2; t <= kLimit + 2; ++t) {
+    EXPECT_EQ(sum.value_at(t), df.at(t) + dg.at(t)) << "plus t=" << t;
+    EXPECT_EQ(diff.value_at(t), df.at(t) - dg.at(t)) << "minus t=" << t;
+    EXPECT_EQ(lo.value_at(t), std::min(df.at(t), dg.at(t))) << "min t=" << t;
+    EXPECT_EQ(hi.value_at(t), std::max(df.at(t), dg.at(t))) << "max t=" << t;
+  }
+
+  // Integral equals per-tick sum.
+  Quantity brute_integral = 0;
+  for (Tick t = 0; t <= kLimit; ++t) brute_integral += df.at(t);
+  EXPECT_EQ(f.integral(TimeInterval(0, kLimit + 1)), brute_integral);
+
+  // Commutativity.
+  EXPECT_EQ(f.plus(g), g.plus(f));
+  EXPECT_EQ(f.min(g), g.min(f));
+  EXPECT_EQ(f.max(g), g.max(f));
+
+  // earliest_cover agrees with a brute-force scan.
+  const Quantity target = rng.uniform(1, 40);
+  const TimeInterval window(0, kLimit);
+  auto fast = f.earliest_cover(window, target);
+  Quantity acc = 0;
+  std::optional<Tick> brute;
+  for (Tick t = window.start(); t < window.end(); ++t) {
+    acc += df.at(t);
+    if (acc >= target) {
+      brute = t + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(fast, brute) << "target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepFunctionRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 49));
+
+}  // namespace
+}  // namespace rota

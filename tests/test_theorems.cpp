@@ -1,0 +1,297 @@
+#include "rota/logic/theorems.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+namespace {
+
+class TheoremsTest : public ::testing::Test {
+ protected:
+  Location l1{"th-l1"};
+  Location l2{"th-l2"};
+  CostModel phi;
+  LocatedType cpu1 = LocatedType::cpu(l1);
+  LocatedType net12 = LocatedType::network(l1, l2);
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 12), cpu1);
+    s.add(4, TimeInterval(0, 12), net12);
+    return s;
+  }
+};
+
+// ------------------------------------------------------------------
+// Theorem 1: Single Action Accommodation.
+// ------------------------------------------------------------------
+
+TEST_F(TheoremsTest, T1AcceptsWhenDemandFitsWindow) {
+  SimpleRequirement rho =
+      make_simple_requirement(phi, Action::evaluate(l1), TimeInterval(0, 2));
+  EXPECT_TRUE(theorem1_single_action(supply(), rho));  // 8 ≤ 8
+}
+
+TEST_F(TheoremsTest, T1RejectsWhenWindowTooTight) {
+  SimpleRequirement rho =
+      make_simple_requirement(phi, Action::evaluate(l1), TimeInterval(0, 1));
+  EXPECT_FALSE(theorem1_single_action(supply(), rho));  // 8 > 4
+}
+
+TEST_F(TheoremsTest, T1RejectsWrongLocation) {
+  SimpleRequirement rho =
+      make_simple_requirement(phi, Action::evaluate(l2), TimeInterval(0, 12));
+  EXPECT_FALSE(theorem1_single_action(supply(), rho));  // no cpu at l2
+}
+
+TEST_F(TheoremsTest, T1MultiTypeAction) {
+  SimpleRequirement rho =
+      make_simple_requirement(phi, Action::migrate(l1, l2), TimeInterval(0, 4));
+  ResourceSet s = supply();
+  s.add(4, TimeInterval(0, 12), LocatedType::cpu(l2));
+  EXPECT_TRUE(theorem1_single_action(s, rho));
+  EXPECT_FALSE(theorem1_single_action(supply(), rho));  // missing cpu@l2
+}
+
+// ------------------------------------------------------------------
+// Theorem 2: Sequential Computation Accommodation.
+// ------------------------------------------------------------------
+
+TEST_F(TheoremsTest, T2ProducesOrderedCutPoints) {
+  auto gamma =
+      ActorComputationBuilder("a", l1).evaluate().send(l2).evaluate().build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 12));
+  auto cuts = theorem2_cut_points(supply(), rho);
+  ASSERT_TRUE(cuts.has_value());
+  ASSERT_EQ(cuts->size(), 2u);  // three phases → two interior cuts
+  EXPECT_LT((*cuts)[0], (*cuts)[1]);
+  EXPECT_GT((*cuts)[0], 0);
+  EXPECT_LT((*cuts)[1], 12);
+}
+
+TEST_F(TheoremsTest, T2SinglePhaseNeedsNoCuts) {
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().create().build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 12));
+  auto cuts = theorem2_cut_points(supply(), rho);
+  ASSERT_TRUE(cuts.has_value());
+  EXPECT_TRUE(cuts->empty());
+}
+
+TEST_F(TheoremsTest, T2RejectsWrongTemporalOrder) {
+  // Totals suffice but the order is wrong: network before cpu.
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().send(l2).build();
+  ComplexRequirement rho = make_complex_requirement(phi, gamma, TimeInterval(0, 10));
+  ResourceSet misordered;
+  misordered.add(8, TimeInterval(6, 10), cpu1);
+  misordered.add(4, TimeInterval(0, 4), net12);
+  EXPECT_FALSE(theorem2_cut_points(misordered, rho).has_value());
+}
+
+TEST_F(TheoremsTest, T2AgreesWithExplorerOnSingleActor) {
+  // Greedy cut points are complete for one actor: whenever T2 rejects, the
+  // schedule search over transition rules must also fail, and vice versa.
+  const std::vector<ResourceSet> supplies = [&] {
+    std::vector<ResourceSet> out;
+    ResourceSet a;
+    a.add(4, TimeInterval(0, 12), cpu1);
+    a.add(4, TimeInterval(0, 12), net12);
+    out.push_back(a);
+    ResourceSet b;
+    b.add(2, TimeInterval(0, 6), cpu1);
+    b.add(1, TimeInterval(4, 8), net12);
+    out.push_back(b);
+    ResourceSet c;
+    c.add(8, TimeInterval(3, 5), cpu1);
+    c.add(4, TimeInterval(0, 3), net12);
+    out.push_back(c);
+    return out;
+  }();
+
+  auto gamma = ActorComputationBuilder("a", l1).evaluate().send(l2).build();
+  for (Tick d : {3, 5, 8, 12}) {
+    ComplexRequirement rho =
+        make_complex_requirement(phi, gamma, TimeInterval(0, d));
+    DistributedComputation lambda("x", {gamma}, 0, d);
+    ConcurrentRequirement conc = make_concurrent_requirement(phi, lambda);
+    for (const auto& s : supplies) {
+      SystemState s0(s, 0);
+      s0.accommodate(conc);
+      const bool greedy = theorem2_cut_points(s, rho).has_value();
+      const bool searched = search_feasible(s0, d).has_value();
+      EXPECT_EQ(greedy, searched) << "d=" << d;
+    }
+  }
+}
+
+// ------------------------------------------------------------------
+// Theorem 3: Meet Deadline.
+// ------------------------------------------------------------------
+
+TEST_F(TheoremsTest, T3WitnessDrainsBeforeDeadline) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().send(l2).build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("job", {g1, g2}, 0, 12);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+
+  auto witness = theorem3_witness(supply(), rho);
+  ASSERT_TRUE(witness.has_value());
+  const SystemState& final_state = witness->back();
+  EXPECT_TRUE(final_state.all_finished());
+  EXPECT_LE(final_state.now(), 12);
+  for (const auto& p : final_state.commitments()) {
+    ASSERT_TRUE(p.finished_at.has_value());
+    EXPECT_LE(*p.finished_at, 12);
+  }
+}
+
+TEST_F(TheoremsTest, T3NoWitnessWhenInfeasible) {
+  auto g = ActorComputationBuilder("a", l1).evaluate(10).build();  // 80 cpu
+  DistributedComputation lambda("big", {g}, 0, 5);                 // only 20 available
+  EXPECT_FALSE(theorem3_witness(supply(), make_concurrent_requirement(phi, lambda))
+                   .has_value());
+}
+
+TEST_F(TheoremsTest, T3FallsBackToSearchForContendedActors) {
+  // Sequential ASAP planning admits these two in either order here, so force
+  // a case where planning order matters: two actors, staggered supply.
+  // a1 can only run late, a2 only early; planning a1 first against the full
+  // profile succeeds, and a2 still fits — but uniform policy may fail while
+  // the search recovers it. At minimum the witness, when returned, is valid.
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  auto g2 = ActorComputationBuilder("a2", l1).evaluate().build();
+  DistributedComputation lambda("duo", {g1, g2}, 0, 4);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  ResourceSet s;
+  s.add(4, TimeInterval(0, 4), cpu1);  // exactly 16 for 16 of demand
+  auto witness = theorem3_witness(s, rho);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->back().all_finished());
+}
+
+// ------------------------------------------------------------------
+// realize_plan: plans replayed through the transition rules.
+// ------------------------------------------------------------------
+
+TEST_F(TheoremsTest, RealizePlanValidatesEveryRule) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().send(l2).build();
+  DistributedComputation lambda("job", {g1}, 2, 12);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  auto plan = plan_concurrent(supply(), rho, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan.has_value());
+  ComputationPath path = realize_plan(supply(), rho, *plan, 0);
+  EXPECT_TRUE(path.back().all_finished());
+  EXPECT_FALSE(path.back().any_missed());
+}
+
+TEST_F(TheoremsTest, RealizePlanArityMismatchThrows) {
+  auto g1 = ActorComputationBuilder("a1", l1).evaluate().build();
+  DistributedComputation lambda("job", {g1}, 0, 12);
+  ConcurrentRequirement rho = make_concurrent_requirement(phi, lambda);
+  ConcurrentPlan empty_plan;
+  EXPECT_THROW(realize_plan(supply(), rho, empty_plan, 0), std::logic_error);
+}
+
+// ------------------------------------------------------------------
+// Theorem 4: Accommodate Additional Computation.
+// ------------------------------------------------------------------
+
+TEST_F(TheoremsTest, T4AdmitsIntoExpiringResources) {
+  // Committed job consumes cpu on [0, 2); newcomer needs cpu within (0, 8):
+  // the expiring remainder covers it.
+  auto busy = ActorComputationBuilder("busy", l1).evaluate().build();
+  DistributedComputation lambda1("first", {busy}, 0, 4);
+  ConcurrentRequirement rho1 = make_concurrent_requirement(phi, lambda1);
+  auto plan1 = plan_concurrent(supply(), rho1, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan1.has_value());
+  ComputationPath sigma = realize_plan(supply(), rho1, *plan1, 0);
+
+  auto newcomer = ActorComputationBuilder("new", l1).evaluate().build();
+  DistributedComputation lambda2("second", {newcomer}, 0, 8);
+  auto plan2 =
+      theorem4_accommodate(sigma, 0, make_concurrent_requirement(phi, lambda2));
+  ASSERT_TRUE(plan2.has_value());
+
+  // The admission plan must live entirely inside σ's expiring resources.
+  const ResourceSet expiring = sigma.expiring_resources(0, TimeInterval(0, 8));
+  EXPECT_TRUE(expiring.relative_complement(plan2->usage_as_resources()).has_value());
+
+  // And crucially it does not overlap the committed plan's usage: combined
+  // usage still fits raw supply.
+  ResourceSet combined = plan1->usage_as_resources().unioned(plan2->usage_as_resources());
+  EXPECT_TRUE(supply().relative_complement(combined).has_value());
+}
+
+TEST_F(TheoremsTest, T4RejectsWhenExpiringResourcesInsufficient) {
+  // Committed computation eats everything in the newcomer's tight window.
+  ResourceSet tight;
+  tight.add(4, TimeInterval(0, 2), cpu1);
+  auto busy = ActorComputationBuilder("busy", l1).evaluate().build();  // 8 cpu
+  DistributedComputation lambda1("first", {busy}, 0, 2);
+  ConcurrentRequirement rho1 = make_concurrent_requirement(phi, lambda1);
+  auto plan1 = plan_concurrent(tight, rho1, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan1.has_value());
+  ComputationPath sigma = realize_plan(tight, rho1, *plan1, 0);
+
+  auto newcomer = ActorComputationBuilder("new", l1).evaluate().build();
+  DistributedComputation lambda2("second", {newcomer}, 0, 2);
+  EXPECT_FALSE(
+      theorem4_accommodate(sigma, 0, make_concurrent_requirement(phi, lambda2))
+          .has_value());
+}
+
+TEST_F(TheoremsTest, T4RejectsPastDeadline) {
+  ComputationPath sigma(SystemState(supply(), 0));
+  for (int i = 0; i < 6; ++i) sigma.apply(TickStep{});
+  auto newcomer = ActorComputationBuilder("new", l1).evaluate().build();
+  DistributedComputation lambda("late", {newcomer}, 0, 5);
+  EXPECT_FALSE(
+      theorem4_accommodate(sigma, 6, make_concurrent_requirement(phi, lambda))
+          .has_value());
+}
+
+TEST_F(TheoremsTest, T4ComposedPathExecutesBothComputations) {
+  // Realize σ' = σ + newcomer plan as one combined run and verify both meet
+  // their deadlines — the paper's path-combination argument, executed.
+  auto busy = ActorComputationBuilder("busy", l1).evaluate().build();
+  DistributedComputation lambda1("first", {busy}, 0, 4);
+  ConcurrentRequirement rho1 = make_concurrent_requirement(phi, lambda1);
+  auto plan1 = plan_concurrent(supply(), rho1, PlanningPolicy::kAsap);
+  ASSERT_TRUE(plan1.has_value());
+  ComputationPath sigma = realize_plan(supply(), rho1, *plan1, 0);
+
+  auto newcomer = ActorComputationBuilder("new", l1).evaluate().build();
+  DistributedComputation lambda2("second", {newcomer}, 0, 8);
+  ConcurrentRequirement rho2 = make_concurrent_requirement(phi, lambda2);
+  auto plan2 = theorem4_accommodate(sigma, 0, rho2);
+  ASSERT_TRUE(plan2.has_value());
+
+  // Combined replay: accommodate both, consume per both plans.
+  SystemState s0(supply(), 0);
+  ComputationPath combined(std::move(s0));
+  combined.apply(AccommodateStep{rho1});
+  combined.apply(AccommodateStep{rho2});
+  const Tick end = std::max(plan1->finish, plan2->finish);
+  for (Tick t = 0; t < end; ++t) {
+    std::vector<ConsumptionLabel> labels;
+    for (std::size_t i = 0; i < plan1->actors.size(); ++i) {
+      for (const auto& [type, f] : plan1->actors[i].usage) {
+        if (f.value_at(t) > 0) labels.push_back({i, type, f.value_at(t)});
+      }
+    }
+    const std::size_t offset = plan1->actors.size();
+    for (std::size_t i = 0; i < plan2->actors.size(); ++i) {
+      for (const auto& [type, f] : plan2->actors[i].usage) {
+        if (f.value_at(t) > 0) labels.push_back({offset + i, type, f.value_at(t)});
+      }
+    }
+    combined.apply(TickStep{labels});  // throws if any rule is violated
+  }
+  EXPECT_TRUE(combined.back().all_finished());
+  EXPECT_FALSE(combined.back().any_missed());
+}
+
+}  // namespace
+}  // namespace rota

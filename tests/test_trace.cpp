@@ -1,0 +1,113 @@
+#include "rota/io/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/computation/requirement.hpp"
+
+namespace rota {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  Location l1{"tr-l1"};
+  Location l2{"tr-l2"};
+  CostModel phi;
+
+  ResourceSet supply() {
+    ResourceSet s;
+    s.add(4, TimeInterval(0, 40), LocatedType::cpu(l1));
+    s.add(4, TimeInterval(0, 40), LocatedType::network(l1, l2));
+    return s;
+  }
+
+  ConcurrentPlan plan() {
+    auto gamma = ActorComputationBuilder("worker", l1).evaluate().send(l2).build();
+    DistributedComputation lambda("job", {gamma}, 0, 40);
+    auto p = plan_concurrent(supply(), make_concurrent_requirement(phi, lambda),
+                             PlanningPolicy::kAsap);
+    EXPECT_TRUE(p.has_value());
+    return *p;
+  }
+};
+
+TEST_F(TraceTest, GanttHasARowPerActorType) {
+  const std::string chart = render_gantt(plan());
+  EXPECT_NE(chart.find("worker <cpu, tr-l1>"), std::string::npos);
+  EXPECT_NE(chart.find("worker <network, tr-l1 -> tr-l2>"), std::string::npos);
+  EXPECT_NE(chart.find("peak=4"), std::string::npos);
+  EXPECT_NE(chart.find("t=0"), std::string::npos);
+}
+
+TEST_F(TraceTest, GanttEmptyPlan) {
+  ConcurrentPlan empty;
+  EXPECT_EQ(render_gantt(empty), "(empty plan)\n");
+}
+
+TEST_F(TraceTest, GanttRespectsExplicitWindow) {
+  GanttOptions options;
+  options.window = TimeInterval(0, 10);
+  const std::string chart = render_gantt(plan(), options);
+  EXPECT_NE(chart.find("t=10"), std::string::npos);
+}
+
+TEST_F(TraceTest, GanttCompressesLongPlans) {
+  GanttOptions options;
+  options.window = TimeInterval(0, 400);
+  options.max_columns = 40;
+  const std::string chart = render_gantt(plan(), options);
+  EXPECT_NE(chart.find("1 col = 10 ticks"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentPlanJson) {
+  const std::string json = to_json(plan());
+  EXPECT_NE(json.find("\"computation\":\"job\""), std::string::npos);
+  EXPECT_NE(json.find("\"finish\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"actor\":\"worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"cut_points\":[2]"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\":4"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, InteractingPlanRendersAndExports) {
+  SegmentedActorBuilder a("a", l1);
+  a.evaluate(1);
+  a.await();
+  a.evaluate(1);
+  SegmentedActorBuilder b("b", l2);
+  b.evaluate(1);
+  ResourceSet s = supply();
+  s.add(4, TimeInterval(0, 40), LocatedType::cpu(l2));
+  InteractingComputation c("duo", {std::move(a).build(), std::move(b).build()},
+                           {{1, 0, 0, 1}}, 0, 40);
+  auto p = plan_interacting(s, phi, c);
+  ASSERT_TRUE(p.has_value());
+
+  const std::string chart = render_gantt(*p);
+  EXPECT_NE(chart.find("a0#0"), std::string::npos);
+  EXPECT_NE(chart.find("a1#0"), std::string::npos);
+
+  const std::string json = to_json(*p);
+  EXPECT_NE(json.find("\"segments\":["), std::string::npos);
+  EXPECT_NE(json.find("\"segment\":1"), std::string::npos);
+}
+
+TEST_F(TraceTest, PathJson) {
+  SystemState s0(supply(), 0);
+  ComputationPath path(std::move(s0));
+  auto gamma = ActorComputationBuilder("worker", l1).evaluate().build();
+  DistributedComputation lambda("job", {gamma}, 0, 10);
+  path.apply(AccommodateStep{make_concurrent_requirement(phi, lambda)});
+  path.apply(TickStep{{{0, LocatedType::cpu(l1), 4}}});
+
+  const std::string json = to_json(path);
+  EXPECT_NE(json.find("\"states\":["), std::string::npos);
+  EXPECT_NE(json.find("\"t\":1"), std::string::npos);
+  EXPECT_NE(json.find("accommodate(job)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "rota/util/csv.hpp"
+#include "rota/util/rng.hpp"
+#include "rota/util/stats.hpp"
+#include "rota/util/table.hpp"
+
+namespace rota::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsFine) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), 0u);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform(3, 3), 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng r(11);
+  int buckets[10] = {};
+  for (int i = 0; i < 10000; ++i) buckets[r.index(10)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, 800);
+    EXPECT_LT(b, 1200);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, ExponentialAtLeastOne) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.exponential_at_least_1(0.1), 1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double x : {4.0, 1.0, 3.0, 2.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(Summary, EmptyThrowsOnOrderStatistics) {
+  Summary s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Summary, Stddev) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+  Summary single;
+  single.add(4.0);
+  EXPECT_EQ(single.stddev(), 0.0);
+}
+
+TEST(Summary, InterleavedAddAndQuery) {
+  Summary s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);  // re-sorts after new samples
+}
+
+TEST(Ratio, Basic) {
+  Ratio r;
+  EXPECT_EQ(r.value(), 0.0);
+  r.record(true);
+  r.record(false);
+  r.record(true);
+  r.record(true);
+  EXPECT_DOUBLE_EQ(r.value(), 0.75);
+  EXPECT_EQ(r.total, 4);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"cpu", "10"});
+  t.add_row({"network-long", "7"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("network-long"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FixedFormatsDoubles) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"x", "y"});
+  csv.write_row({"1", "2"});
+  csv.write_row({"3", "4"});
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+}
+
+}  // namespace
+}  // namespace rota::util

@@ -1,0 +1,172 @@
+#include "rota/workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rota {
+namespace {
+
+WorkloadConfig small_config(std::uint64_t seed) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.num_locations = 3;
+  c.actors_min = 1;
+  c.actors_max = 3;
+  c.actions_min = 2;
+  c.actions_max = 6;
+  return c;
+}
+
+TEST(Workload, InvalidConfigsThrow) {
+  WorkloadConfig c = small_config(1);
+  c.num_locations = 0;
+  EXPECT_THROW(WorkloadGenerator(c, CostModel()), std::invalid_argument);
+  c = small_config(1);
+  c.actors_min = 0;
+  EXPECT_THROW(WorkloadGenerator(c, CostModel()), std::invalid_argument);
+  c = small_config(1);
+  c.actions_min = 5;
+  c.actions_max = 2;
+  EXPECT_THROW(WorkloadGenerator(c, CostModel()), std::invalid_argument);
+}
+
+TEST(Workload, LocationsAreNamedAndDistinct) {
+  WorkloadGenerator gen(small_config(1), CostModel());
+  ASSERT_EQ(gen.locations().size(), 3u);
+  EXPECT_NE(gen.locations()[0], gen.locations()[1]);
+  EXPECT_NE(gen.locations()[1], gen.locations()[2]);
+}
+
+TEST(Workload, BaseSupplyCoversAllNodesAndLinks) {
+  WorkloadGenerator gen(small_config(1), CostModel());
+  ResourceSet supply = gen.base_supply(TimeInterval(0, 100));
+  // 3 cpu types + 6 directed links.
+  EXPECT_EQ(supply.types().size(), 9u);
+  for (const Location& l : gen.locations()) {
+    EXPECT_EQ(supply.availability(LocatedType::cpu(l)).value_at(50), 10);
+  }
+}
+
+TEST(Workload, SameSeedSameWorkload) {
+  WorkloadGenerator a(small_config(7), CostModel());
+  WorkloadGenerator b(small_config(7), CostModel());
+  auto arrivals_a = a.make_arrivals(500);
+  auto arrivals_b = b.make_arrivals(500);
+  ASSERT_EQ(arrivals_a.size(), arrivals_b.size());
+  for (std::size_t i = 0; i < arrivals_a.size(); ++i) {
+    EXPECT_EQ(arrivals_a[i].at, arrivals_b[i].at);
+    EXPECT_EQ(arrivals_a[i].computation, arrivals_b[i].computation);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadGenerator a(small_config(7), CostModel());
+  WorkloadGenerator b(small_config(8), CostModel());
+  auto arrivals_a = a.make_arrivals(500);
+  auto arrivals_b = b.make_arrivals(500);
+  bool differs = arrivals_a.size() != arrivals_b.size();
+  for (std::size_t i = 0; !differs && i < arrivals_a.size(); ++i) {
+    differs = arrivals_a[i].at != arrivals_b[i].at ||
+              !(arrivals_a[i].computation == arrivals_b[i].computation);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, ComputationShapeRespectsBounds) {
+  WorkloadGenerator gen(small_config(3), CostModel());
+  for (int i = 0; i < 50; ++i) {
+    DistributedComputation c = gen.make_computation(10);
+    EXPECT_GE(c.actors().size(), 1u);
+    EXPECT_LE(c.actors().size(), 3u);
+    for (const auto& g : c.actors()) {
+      EXPECT_GE(g.action_count(), 2u);
+      EXPECT_LE(g.action_count(), 6u);
+    }
+    EXPECT_EQ(c.earliest_start(), 10);
+    EXPECT_GT(c.deadline(), 10);
+  }
+}
+
+TEST(Workload, ArrivalsAreMonotoneAndBounded) {
+  WorkloadGenerator gen(small_config(5), CostModel());
+  auto arrivals = gen.make_arrivals(300);
+  EXPECT_FALSE(arrivals.empty());
+  Tick prev = 0;
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.at, prev);
+    EXPECT_LT(a.at, 300);
+    EXPECT_EQ(a.computation.earliest_start(), a.at);
+    prev = a.at;
+  }
+}
+
+TEST(Workload, LaxityScalesWindows) {
+  WorkloadConfig tight = small_config(11);
+  tight.laxity = 1.0;
+  WorkloadConfig loose = small_config(11);
+  loose.laxity = 4.0;
+  WorkloadGenerator tg(tight, CostModel());
+  WorkloadGenerator lg(loose, CostModel());
+  // Same seed → same structure; windows differ by the laxity factor.
+  Tick tight_total = 0, loose_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    tight_total += tg.make_computation(0).window().length();
+    loose_total += lg.make_computation(0).window().length();
+  }
+  EXPECT_LT(tight_total * 2, loose_total);
+}
+
+TEST(Workload, ChurnEventsSortedWithLifetimes) {
+  WorkloadGenerator gen(small_config(9), CostModel());
+  ChurnTrace trace = gen.make_churn(200, 0.5, 30.0, 6);
+  EXPECT_FALSE(trace.empty());
+  Tick prev = 0;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.at, prev);
+    EXPECT_LT(e.at, 200);
+    EXPECT_EQ(e.term.interval().start(), e.at);
+    EXPECT_GT(e.term.interval().length(), 0);
+    EXPECT_GE(e.term.rate(), 1);
+    EXPECT_LE(e.term.rate(), 6);
+    prev = e.at;
+  }
+}
+
+TEST(Workload, ChurnParametersValidated) {
+  WorkloadGenerator gen(small_config(9), CostModel());
+  EXPECT_THROW(gen.make_churn(100, 0.0, 30.0, 6), std::invalid_argument);
+  EXPECT_THROW(gen.make_churn(100, 0.5, -1.0, 6), std::invalid_argument);
+  EXPECT_THROW(gen.make_churn(100, 0.5, 30.0, 0), std::invalid_argument);
+}
+
+TEST(Workload, ChurnTotalSupplyAggregates) {
+  ChurnTrace trace;
+  Location l{"wk-agg"};
+  trace.add(0, ResourceTerm(2, TimeInterval(0, 10), LocatedType::cpu(l)));
+  trace.add(5, ResourceTerm(3, TimeInterval(5, 10), LocatedType::cpu(l)));
+  ResourceSet total = trace.total_supply();
+  EXPECT_EQ(total.availability(LocatedType::cpu(l)).value_at(7), 5);
+}
+
+TEST(Workload, SingleLocationWorkloadNeverSendsRemotely) {
+  WorkloadConfig c = small_config(13);
+  c.num_locations = 1;
+  c.p_send = 0.9;     // would mostly send, but there is nowhere to send to
+  c.p_migrate = 0.1;  // likewise
+  WorkloadGenerator gen(c, CostModel());
+  for (int i = 0; i < 20; ++i) {
+    DistributedComputation comp = gen.make_computation(0);
+    for (const auto& g : comp.actors()) {
+      for (const auto& action : g.actions()) {
+        EXPECT_NE(action.kind, ActionKind::kMigrate);
+        if (action.kind == ActionKind::kSend) {
+          EXPECT_EQ(action.at, action.to);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rota
