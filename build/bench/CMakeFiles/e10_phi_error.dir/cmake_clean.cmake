@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_phi_error.dir/e10_phi_error.cpp.o"
+  "CMakeFiles/e10_phi_error.dir/e10_phi_error.cpp.o.d"
+  "e10_phi_error"
+  "e10_phi_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_phi_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_broken_promises.dir/e11_broken_promises.cpp.o"
+  "CMakeFiles/e11_broken_promises.dir/e11_broken_promises.cpp.o.d"
+  "e11_broken_promises"
+  "e11_broken_promises.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_broken_promises.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

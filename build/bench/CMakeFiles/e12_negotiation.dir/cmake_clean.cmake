@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_negotiation.dir/e12_negotiation.cpp.o"
+  "CMakeFiles/e12_negotiation.dir/e12_negotiation.cpp.o.d"
+  "e12_negotiation"
+  "e12_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_granularity.dir/e13_granularity.cpp.o"
+  "CMakeFiles/e13_granularity.dir/e13_granularity.cpp.o.d"
+  "e13_granularity"
+  "e13_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

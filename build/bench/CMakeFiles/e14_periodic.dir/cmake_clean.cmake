@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_periodic.dir/e14_periodic.cpp.o"
+  "CMakeFiles/e14_periodic.dir/e14_periodic.cpp.o.d"
+  "e14_periodic"
+  "e14_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

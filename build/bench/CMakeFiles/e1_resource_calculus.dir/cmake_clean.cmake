@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_resource_calculus.dir/e1_resource_calculus.cpp.o"
+  "CMakeFiles/e1_resource_calculus.dir/e1_resource_calculus.cpp.o.d"
+  "e1_resource_calculus"
+  "e1_resource_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_resource_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

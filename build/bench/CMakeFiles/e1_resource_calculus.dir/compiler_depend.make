@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e1_resource_calculus.
+# This may be replaced when dependencies are built.

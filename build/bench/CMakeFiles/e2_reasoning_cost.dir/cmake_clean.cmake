@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_reasoning_cost.dir/e2_reasoning_cost.cpp.o"
+  "CMakeFiles/e2_reasoning_cost.dir/e2_reasoning_cost.cpp.o.d"
+  "e2_reasoning_cost"
+  "e2_reasoning_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_reasoning_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_assurance.dir/e3_assurance.cpp.o"
+  "CMakeFiles/e3_assurance.dir/e3_assurance.cpp.o.d"
+  "e3_assurance"
+  "e3_assurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_assurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

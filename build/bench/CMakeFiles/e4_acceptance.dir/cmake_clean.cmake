@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_acceptance.dir/e4_acceptance.cpp.o"
+  "CMakeFiles/e4_acceptance.dir/e4_acceptance.cpp.o.d"
+  "e4_acceptance"
+  "e4_acceptance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_acceptance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

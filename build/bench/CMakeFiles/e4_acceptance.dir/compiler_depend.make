@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e4_acceptance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_ablation.dir/e6_ablation.cpp.o"
+  "CMakeFiles/e6_ablation.dir/e6_ablation.cpp.o.d"
+  "e6_ablation"
+  "e6_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_micro.dir/e7_micro.cpp.o"
+  "CMakeFiles/e7_micro.dir/e7_micro.cpp.o.d"
+  "e7_micro"
+  "e7_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

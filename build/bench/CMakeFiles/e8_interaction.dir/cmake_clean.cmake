@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_interaction.dir/e8_interaction.cpp.o"
+  "CMakeFiles/e8_interaction.dir/e8_interaction.cpp.o.d"
+  "e8_interaction"
+  "e8_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

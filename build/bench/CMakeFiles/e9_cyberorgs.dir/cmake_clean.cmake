@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_cyberorgs.dir/e9_cyberorgs.cpp.o"
+  "CMakeFiles/e9_cyberorgs.dir/e9_cyberorgs.cpp.o.d"
+  "e9_cyberorgs"
+  "e9_cyberorgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_cyberorgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_semantics.dir/fig1_semantics.cpp.o"
+  "CMakeFiles/fig1_semantics.dir/fig1_semantics.cpp.o.d"
+  "fig1_semantics"
+  "fig1_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

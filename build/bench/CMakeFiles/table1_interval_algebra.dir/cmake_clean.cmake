@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_interval_algebra.dir/table1_interval_algebra.cpp.o"
+  "CMakeFiles/table1_interval_algebra.dir/table1_interval_algebra.cpp.o.d"
+  "table1_interval_algebra"
+  "table1_interval_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_interval_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

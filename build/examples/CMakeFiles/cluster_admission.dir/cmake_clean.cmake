@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_admission.dir/cluster_admission.cpp.o"
+  "CMakeFiles/cluster_admission.dir/cluster_admission.cpp.o.d"
+  "cluster_admission"
+  "cluster_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

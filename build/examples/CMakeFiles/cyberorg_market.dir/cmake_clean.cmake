@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyberorg_market.dir/cyberorg_market.cpp.o"
+  "CMakeFiles/cyberorg_market.dir/cyberorg_market.cpp.o.d"
+  "cyberorg_market"
+  "cyberorg_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyberorg_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

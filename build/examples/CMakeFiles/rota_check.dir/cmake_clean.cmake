@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_check.dir/rota_check.cpp.o"
+  "CMakeFiles/rota_check.dir/rota_check.cpp.o.d"
+  "rota_check"
+  "rota_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rota/admission/audit.cpp" "src/CMakeFiles/rota.dir/rota/admission/audit.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/admission/audit.cpp.o.d"
+  "/root/repo/src/rota/admission/baselines.cpp" "src/CMakeFiles/rota.dir/rota/admission/baselines.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/admission/baselines.cpp.o.d"
+  "/root/repo/src/rota/admission/controller.cpp" "src/CMakeFiles/rota.dir/rota/admission/controller.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/admission/controller.cpp.o.d"
+  "/root/repo/src/rota/admission/ledger.cpp" "src/CMakeFiles/rota.dir/rota/admission/ledger.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/admission/ledger.cpp.o.d"
+  "/root/repo/src/rota/admission/negotiation.cpp" "src/CMakeFiles/rota.dir/rota/admission/negotiation.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/admission/negotiation.cpp.o.d"
+  "/root/repo/src/rota/admission/periodic.cpp" "src/CMakeFiles/rota.dir/rota/admission/periodic.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/admission/periodic.cpp.o.d"
+  "/root/repo/src/rota/advisor/migration_advisor.cpp" "src/CMakeFiles/rota.dir/rota/advisor/migration_advisor.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/advisor/migration_advisor.cpp.o.d"
+  "/root/repo/src/rota/computation/action.cpp" "src/CMakeFiles/rota.dir/rota/computation/action.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/computation/action.cpp.o.d"
+  "/root/repo/src/rota/computation/actor_computation.cpp" "src/CMakeFiles/rota.dir/rota/computation/actor_computation.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/computation/actor_computation.cpp.o.d"
+  "/root/repo/src/rota/computation/cost_model.cpp" "src/CMakeFiles/rota.dir/rota/computation/cost_model.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/computation/cost_model.cpp.o.d"
+  "/root/repo/src/rota/computation/interaction.cpp" "src/CMakeFiles/rota.dir/rota/computation/interaction.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/computation/interaction.cpp.o.d"
+  "/root/repo/src/rota/computation/requirement.cpp" "src/CMakeFiles/rota.dir/rota/computation/requirement.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/computation/requirement.cpp.o.d"
+  "/root/repo/src/rota/cyberorgs/cyberorg.cpp" "src/CMakeFiles/rota.dir/rota/cyberorgs/cyberorg.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/cyberorgs/cyberorg.cpp.o.d"
+  "/root/repo/src/rota/io/dot.cpp" "src/CMakeFiles/rota.dir/rota/io/dot.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/io/dot.cpp.o.d"
+  "/root/repo/src/rota/io/formula_parser.cpp" "src/CMakeFiles/rota.dir/rota/io/formula_parser.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/io/formula_parser.cpp.o.d"
+  "/root/repo/src/rota/io/scenario.cpp" "src/CMakeFiles/rota.dir/rota/io/scenario.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/io/scenario.cpp.o.d"
+  "/root/repo/src/rota/io/trace.cpp" "src/CMakeFiles/rota.dir/rota/io/trace.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/io/trace.cpp.o.d"
+  "/root/repo/src/rota/logic/dag_planner.cpp" "src/CMakeFiles/rota.dir/rota/logic/dag_planner.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/dag_planner.cpp.o.d"
+  "/root/repo/src/rota/logic/explorer.cpp" "src/CMakeFiles/rota.dir/rota/logic/explorer.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/explorer.cpp.o.d"
+  "/root/repo/src/rota/logic/formula.cpp" "src/CMakeFiles/rota.dir/rota/logic/formula.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/formula.cpp.o.d"
+  "/root/repo/src/rota/logic/model_checker.cpp" "src/CMakeFiles/rota.dir/rota/logic/model_checker.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/model_checker.cpp.o.d"
+  "/root/repo/src/rota/logic/path.cpp" "src/CMakeFiles/rota.dir/rota/logic/path.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/path.cpp.o.d"
+  "/root/repo/src/rota/logic/planner.cpp" "src/CMakeFiles/rota.dir/rota/logic/planner.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/planner.cpp.o.d"
+  "/root/repo/src/rota/logic/state.cpp" "src/CMakeFiles/rota.dir/rota/logic/state.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/state.cpp.o.d"
+  "/root/repo/src/rota/logic/theorems.cpp" "src/CMakeFiles/rota.dir/rota/logic/theorems.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/theorems.cpp.o.d"
+  "/root/repo/src/rota/logic/transition.cpp" "src/CMakeFiles/rota.dir/rota/logic/transition.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/logic/transition.cpp.o.d"
+  "/root/repo/src/rota/resource/demand.cpp" "src/CMakeFiles/rota.dir/rota/resource/demand.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/resource/demand.cpp.o.d"
+  "/root/repo/src/rota/resource/located_type.cpp" "src/CMakeFiles/rota.dir/rota/resource/located_type.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/resource/located_type.cpp.o.d"
+  "/root/repo/src/rota/resource/resource_set.cpp" "src/CMakeFiles/rota.dir/rota/resource/resource_set.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/resource/resource_set.cpp.o.d"
+  "/root/repo/src/rota/resource/resource_term.cpp" "src/CMakeFiles/rota.dir/rota/resource/resource_term.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/resource/resource_term.cpp.o.d"
+  "/root/repo/src/rota/resource/step_function.cpp" "src/CMakeFiles/rota.dir/rota/resource/step_function.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/resource/step_function.cpp.o.d"
+  "/root/repo/src/rota/sim/churn.cpp" "src/CMakeFiles/rota.dir/rota/sim/churn.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/sim/churn.cpp.o.d"
+  "/root/repo/src/rota/sim/metrics.cpp" "src/CMakeFiles/rota.dir/rota/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/sim/metrics.cpp.o.d"
+  "/root/repo/src/rota/sim/simulator.cpp" "src/CMakeFiles/rota.dir/rota/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/sim/simulator.cpp.o.d"
+  "/root/repo/src/rota/time/allen.cpp" "src/CMakeFiles/rota.dir/rota/time/allen.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/time/allen.cpp.o.d"
+  "/root/repo/src/rota/time/ia_network.cpp" "src/CMakeFiles/rota.dir/rota/time/ia_network.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/time/ia_network.cpp.o.d"
+  "/root/repo/src/rota/time/interval.cpp" "src/CMakeFiles/rota.dir/rota/time/interval.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/time/interval.cpp.o.d"
+  "/root/repo/src/rota/time/interval_set.cpp" "src/CMakeFiles/rota.dir/rota/time/interval_set.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/time/interval_set.cpp.o.d"
+  "/root/repo/src/rota/util/stats.cpp" "src/CMakeFiles/rota.dir/rota/util/stats.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/util/stats.cpp.o.d"
+  "/root/repo/src/rota/util/table.cpp" "src/CMakeFiles/rota.dir/rota/util/table.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/util/table.cpp.o.d"
+  "/root/repo/src/rota/workload/generator.cpp" "src/CMakeFiles/rota.dir/rota/workload/generator.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/workload/generator.cpp.o.d"
+  "/root/repo/src/rota/workload/scenarios.cpp" "src/CMakeFiles/rota.dir/rota/workload/scenarios.cpp.o" "gcc" "src/CMakeFiles/rota.dir/rota/workload/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

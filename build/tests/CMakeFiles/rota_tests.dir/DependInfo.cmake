@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_action_cost.cpp" "tests/CMakeFiles/rota_tests.dir/test_action_cost.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_action_cost.cpp.o.d"
+  "/root/repo/tests/test_actor_computation.cpp" "tests/CMakeFiles/rota_tests.dir/test_actor_computation.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_actor_computation.cpp.o.d"
+  "/root/repo/tests/test_allen.cpp" "tests/CMakeFiles/rota_tests.dir/test_allen.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_allen.cpp.o.d"
+  "/root/repo/tests/test_audit.cpp" "tests/CMakeFiles/rota_tests.dir/test_audit.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_audit.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/rota_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/rota_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_cyberorg.cpp" "tests/CMakeFiles/rota_tests.dir/test_cyberorg.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_cyberorg.cpp.o.d"
+  "/root/repo/tests/test_dag_planner.cpp" "tests/CMakeFiles/rota_tests.dir/test_dag_planner.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_dag_planner.cpp.o.d"
+  "/root/repo/tests/test_demand.cpp" "tests/CMakeFiles/rota_tests.dir/test_demand.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_demand.cpp.o.d"
+  "/root/repo/tests/test_dot.cpp" "tests/CMakeFiles/rota_tests.dir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_dot.cpp.o.d"
+  "/root/repo/tests/test_explorer.cpp" "tests/CMakeFiles/rota_tests.dir/test_explorer.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_explorer.cpp.o.d"
+  "/root/repo/tests/test_formula.cpp" "tests/CMakeFiles/rota_tests.dir/test_formula.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_formula.cpp.o.d"
+  "/root/repo/tests/test_formula_parser.cpp" "tests/CMakeFiles/rota_tests.dir/test_formula_parser.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_formula_parser.cpp.o.d"
+  "/root/repo/tests/test_ia_network.cpp" "tests/CMakeFiles/rota_tests.dir/test_ia_network.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_ia_network.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rota_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interaction.cpp" "tests/CMakeFiles/rota_tests.dir/test_interaction.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_interaction.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/rota_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_interval_set.cpp" "tests/CMakeFiles/rota_tests.dir/test_interval_set.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_interval_set.cpp.o.d"
+  "/root/repo/tests/test_ledger.cpp" "tests/CMakeFiles/rota_tests.dir/test_ledger.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_ledger.cpp.o.d"
+  "/root/repo/tests/test_located_type.cpp" "tests/CMakeFiles/rota_tests.dir/test_located_type.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_located_type.cpp.o.d"
+  "/root/repo/tests/test_migration_advisor.cpp" "tests/CMakeFiles/rota_tests.dir/test_migration_advisor.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_migration_advisor.cpp.o.d"
+  "/root/repo/tests/test_model_checker.cpp" "tests/CMakeFiles/rota_tests.dir/test_model_checker.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_model_checker.cpp.o.d"
+  "/root/repo/tests/test_negotiation.cpp" "tests/CMakeFiles/rota_tests.dir/test_negotiation.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_negotiation.cpp.o.d"
+  "/root/repo/tests/test_parser_robustness.cpp" "tests/CMakeFiles/rota_tests.dir/test_parser_robustness.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_parser_robustness.cpp.o.d"
+  "/root/repo/tests/test_path.cpp" "tests/CMakeFiles/rota_tests.dir/test_path.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_path.cpp.o.d"
+  "/root/repo/tests/test_periodic.cpp" "tests/CMakeFiles/rota_tests.dir/test_periodic.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_periodic.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/rota_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rota_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_properties2.cpp" "tests/CMakeFiles/rota_tests.dir/test_properties2.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_properties2.cpp.o.d"
+  "/root/repo/tests/test_rate_cap.cpp" "tests/CMakeFiles/rota_tests.dir/test_rate_cap.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_rate_cap.cpp.o.d"
+  "/root/repo/tests/test_requirement.cpp" "tests/CMakeFiles/rota_tests.dir/test_requirement.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_requirement.cpp.o.d"
+  "/root/repo/tests/test_resource_set.cpp" "tests/CMakeFiles/rota_tests.dir/test_resource_set.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_resource_set.cpp.o.d"
+  "/root/repo/tests/test_resource_term.cpp" "tests/CMakeFiles/rota_tests.dir/test_resource_term.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_resource_term.cpp.o.d"
+  "/root/repo/tests/test_scenario_io.cpp" "tests/CMakeFiles/rota_tests.dir/test_scenario_io.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_scenario_io.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/rota_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/rota_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_state.cpp" "tests/CMakeFiles/rota_tests.dir/test_state.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_state.cpp.o.d"
+  "/root/repo/tests/test_step_function.cpp" "tests/CMakeFiles/rota_tests.dir/test_step_function.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_step_function.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/rota_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_theorems.cpp" "tests/CMakeFiles/rota_tests.dir/test_theorems.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_theorems.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rota_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/rota_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/rota_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/rota_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rota.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
