@@ -1,0 +1,217 @@
+// E15: batched-admission throughput — requests/sec of the parallel
+// BatchAdmissionController at 1/2/4/8 planning lanes against the sequential
+// RotaAdmissionController on the same heavy FCFS workload, with
+// decision-for-decision parity asserted inline. Writes the first entry of
+// the bench trajectory: BENCH_admission_throughput.json (pass a path as
+// argv[1] to redirect).
+//
+// The workload is an over-subscribed open system: 8 locations (8 cpu types +
+// 56 directed links), constant base supply fragmented by ~2k churned peer
+// terms with bounded lifetimes, and ~5k deadline-constrained computations
+// arriving at ~1/tick — far beyond capacity, so admission decisions are
+// dominated by rejections, the regime the optimistic pipeline is built for.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rota/admission/controller.hpp"
+#include "rota/computation/requirement.hpp"
+#include "rota/runtime/batch_controller.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace {
+
+using namespace rota;
+
+struct Measurement {
+  std::string controller;
+  std::size_t threads = 1;
+  std::size_t requests = 0;
+  std::size_t accepted = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+};
+
+struct Workload {
+  ResourceSet supply;
+  std::vector<BatchRequest> requests;
+};
+
+Workload make_workload() {
+  WorkloadConfig config;
+  config.seed = 2026;
+  config.num_locations = 8;
+  config.mean_interarrival = 0.15;
+  config.laxity = 1.03;
+  config.cpu_rate = 2;
+  config.network_rate = 2;
+  CostModel phi;
+  WorkloadGenerator gen(config, phi);
+
+  const Tick horizon = 6000;
+  Workload w;
+  w.supply = gen.base_supply(TimeInterval(0, horizon));
+  // Fragment the availability profiles the way a churny open system does:
+  // every peer term has its own lifetime, so the residual the controllers
+  // plan against carries hundreds of segments per located type.
+  const ChurnTrace churn = gen.make_churn(horizon, 8.0, 8.0, 1);
+  for (const auto& e : churn.events()) {
+    w.supply.add(e.term);
+  }
+  for (const Arrival& a : gen.make_arrivals(horizon)) {
+    w.requests.push_back(
+        BatchRequest{make_concurrent_requirement(phi, a.computation), a.at});
+  }
+  return w;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t accept_count(const std::vector<AdmissionDecision>& decisions) {
+  std::size_t n = 0;
+  for (const auto& d : decisions) n += d.accepted ? 1 : 0;
+  return n;
+}
+
+void check_parity(const std::vector<AdmissionDecision>& expected,
+                  const std::vector<AdmissionDecision>& actual,
+                  std::size_t threads) {
+  if (expected.size() != actual.size()) {
+    std::cerr << "FATAL: decision count mismatch at " << threads << " threads\n";
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].accepted != actual[i].accepted ||
+        expected[i].plan != actual[i].plan) {
+      std::cerr << "FATAL: decision divergence at request " << i << " with "
+                << threads << " threads\n";
+      std::exit(1);
+    }
+  }
+}
+
+constexpr int kTrials = 3;
+
+Measurement bench_sequential(const Workload& w,
+                             std::vector<AdmissionDecision>& decisions_out) {
+  Measurement m;
+  m.controller = "sequential";
+  m.threads = 1;
+  m.requests = w.requests.size();
+  double best = 1e100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CostModel phi;
+    RotaAdmissionController ctl(phi, w.supply);
+    std::vector<AdmissionDecision> decisions;
+    decisions.reserve(w.requests.size());
+    const double t0 = now_seconds();
+    for (const auto& r : w.requests) decisions.push_back(ctl.request(r.rho, r.at));
+    best = std::min(best, now_seconds() - t0);
+    decisions_out = std::move(decisions);
+  }
+  m.seconds = best;
+  m.accepted = accept_count(decisions_out);
+  m.requests_per_sec = static_cast<double>(m.requests) / best;
+  return m;
+}
+
+Measurement bench_batch(const Workload& w, std::size_t threads,
+                        const std::vector<AdmissionDecision>& expected) {
+  Measurement m;
+  m.controller = "batch";
+  m.threads = threads;
+  m.requests = w.requests.size();
+  double best = 1e100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CostModel phi;
+    BatchAdmissionController ctl(phi, w.supply, PlanningPolicy::kAsap, threads);
+    const double t0 = now_seconds();
+    const auto decisions = ctl.admit_batch(w.requests);
+    best = std::min(best, now_seconds() - t0);
+    if (trial == 0) {
+      check_parity(expected, decisions, threads);
+      m.accepted = accept_count(decisions);
+    }
+  }
+  m.seconds = best;
+  m.requests_per_sec = static_cast<double>(m.requests) / best;
+  return m;
+}
+
+bool write_json(const std::string& path, const Workload& w,
+                const std::vector<Measurement>& results) {
+  double sequential_rps = 0.0;
+  double batch8_rps = 0.0;
+  for (const auto& m : results) {
+    if (m.controller == "sequential") sequential_rps = m.requests_per_sec;
+    if (m.controller == "batch" && m.threads == 8) batch8_rps = m.requests_per_sec;
+  }
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"e15_throughput\",\n"
+      << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"workload\": {\n"
+      << "    \"seed\": 2026,\n"
+      << "    \"locations\": 8,\n"
+      << "    \"horizon_ticks\": 6000,\n"
+      << "    \"requests\": " << w.requests.size() << ",\n"
+      << "    \"supply_terms\": " << w.supply.term_count() << "\n"
+      << "  },\n"
+      << "  \"parity\": \"batch decisions verified identical to sequential FCFS\",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i];
+    out << "    {\"controller\": \"" << m.controller << "\", \"threads\": " << m.threads
+        << ", \"requests\": " << m.requests << ", \"accepted\": " << m.accepted
+        << ", \"seconds\": " << m.seconds
+        << ", \"requests_per_sec\": " << static_cast<long long>(m.requests_per_sec)
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"speedup_batch8_vs_sequential\": "
+      << (sequential_rps > 0 ? batch8_rps / sequential_rps : 0.0) << "\n"
+      << "}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "== E15: batched admission throughput ==\n\n";
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_admission_throughput.json";
+
+  const Workload w = make_workload();
+  std::cout << "workload: " << w.requests.size() << " requests, "
+            << w.supply.term_count() << " supply terms\n\n";
+
+  std::vector<Measurement> results;
+  std::vector<AdmissionDecision> expected;
+  results.push_back(bench_sequential(w, expected));
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    results.push_back(bench_batch(w, threads, expected));
+  }
+
+  const double base = results.front().requests_per_sec;
+  std::cout << "controller   threads   accepted   seconds   req/sec   speedup\n";
+  for (const auto& m : results) {
+    std::printf("%-12s %7zu %10zu %9.3f %9.0f %8.2fx\n", m.controller.c_str(),
+                m.threads, m.accepted, m.seconds, m.requests_per_sec,
+                m.requests_per_sec / base);
+  }
+
+  if (!write_json(json_path, w, results)) {
+    std::cerr << "\nERROR: could not write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

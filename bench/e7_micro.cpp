@@ -4,6 +4,7 @@
 
 #include <iostream>
 
+#include "rota/resource/resource_set.hpp"
 #include "rota/resource/step_function.hpp"
 #include "rota/time/ia_network.hpp"
 #include "rota/time/interval_set.hpp"
@@ -93,6 +94,54 @@ void BM_IntervalSetSubtract(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(a.subtracted(b));
 }
 BENCHMARK(BM_IntervalSetSubtract)->Arg(8)->Arg(64)->Arg(512);
+
+ResourceSet make_resource_set(int types, int segments, std::uint64_t seed) {
+  ResourceSet set;
+  for (int t = 0; t < types; ++t) {
+    Location l("mb-l" + std::to_string(t));
+    set.add(t % 2 == 0 ? LocatedType::cpu(l)
+                       : LocatedType::network(l, Location("mb-l0")),
+            make_step(segments, seed * 131 + static_cast<std::uint64_t>(t)));
+  }
+  return set;
+}
+
+void BM_ResourceSetUnion(benchmark::State& state) {
+  const int types = static_cast<int>(state.range(0));
+  const int segments = static_cast<int>(state.range(1));
+  const ResourceSet a = make_resource_set(types, segments, 11);
+  const ResourceSet b = make_resource_set(types, segments, 12);
+  for (auto _ : state) benchmark::DoNotOptimize(a.unioned(b));
+}
+BENCHMARK(BM_ResourceSetUnion)
+    ->Args({4, 16})->Args({16, 16})->Args({64, 16})->Args({16, 256});
+
+void BM_ResourceSetRelativeComplement(benchmark::State& state) {
+  const int types = static_cast<int>(state.range(0));
+  const int segments = static_cast<int>(state.range(1));
+  const ResourceSet a = make_resource_set(types, segments, 13);
+  // Subtract a dominated subset so the complement exists on every iteration.
+  ResourceSet b;
+  for (const auto& type : a.types()) {
+    b.add(type, a.availability(type).min(make_step(segments, 14)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.relative_complement(b));
+}
+BENCHMARK(BM_ResourceSetRelativeComplement)
+    ->Args({4, 16})->Args({16, 16})->Args({64, 16})->Args({16, 256});
+
+void BM_ResourceSetDominates(benchmark::State& state) {
+  const int types = static_cast<int>(state.range(0));
+  const int segments = static_cast<int>(state.range(1));
+  const ResourceSet a = make_resource_set(types, segments, 15);
+  ResourceSet b;
+  for (const auto& type : a.types()) {
+    b.add(type, a.availability(type).min(make_step(segments, 16)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.dominates(b));
+}
+BENCHMARK(BM_ResourceSetDominates)
+    ->Args({4, 16})->Args({16, 16})->Args({64, 16})->Args({16, 256});
 
 IaNetwork chain_network(std::size_t n) {
   IaNetwork net(n);

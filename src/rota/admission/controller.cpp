@@ -4,6 +4,47 @@
 
 namespace rota {
 
+TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now) {
+  return TimeInterval(std::max(rho.window().start(), now), rho.window().end());
+}
+
+ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
+                                       const TimeInterval& window) {
+  std::vector<ComplexRequirement> clipped;
+  clipped.reserve(rho.actors().size());
+  for (const auto& a : rho.actors()) {
+    clipped.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
+  }
+  return ConcurrentRequirement(rho.name(), std::move(clipped), window);
+}
+
+AdmissionDecision decide_request(CommitmentLedger& ledger,
+                                 const ConcurrentRequirement& rho, Tick now,
+                                 PlanningPolicy policy) {
+  ledger.advance_to(std::max(now, ledger.now()));
+
+  AdmissionDecision decision;
+  const TimeInterval window = effective_window(rho, now);
+  if (window.empty()) {
+    decision.reason = "deadline has already passed";
+    return decision;
+  }
+
+  const ConcurrentRequirement effective = clip_requirement(rho, window);
+  auto plan = plan_concurrent(ledger.residual().restricted(window), effective, policy);
+  if (!plan) {
+    decision.reason = "no feasible plan over expiring resources";
+    return decision;
+  }
+  if (!ledger.admit(rho.name(), window, *plan)) {
+    decision.reason = "plan no longer fits residual";  // defensive; not expected
+    return decision;
+  }
+  decision.accepted = true;
+  decision.plan = std::move(*plan);
+  return decision;
+}
+
 AdmissionDecision RotaAdmissionController::request(const DistributedComputation& lambda,
                                                    Tick now) {
   return request(make_concurrent_requirement(phi_, lambda), now);
@@ -11,35 +52,7 @@ AdmissionDecision RotaAdmissionController::request(const DistributedComputation&
 
 AdmissionDecision RotaAdmissionController::request(const ConcurrentRequirement& rho,
                                                    Tick now) {
-  ledger_.advance_to(std::max(now, ledger_.now()));
-
-  AdmissionDecision decision;
-  const TimeInterval window(std::max(rho.window().start(), now), rho.window().end());
-  if (window.empty()) {
-    decision.reason = "deadline has already passed";
-    return decision;
-  }
-
-  // Re-clip the requirement in case the earliest start is already behind us.
-  std::vector<ComplexRequirement> clipped;
-  clipped.reserve(rho.actors().size());
-  for (const auto& a : rho.actors()) {
-    clipped.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
-  }
-  const ConcurrentRequirement effective(rho.name(), std::move(clipped), window);
-
-  auto plan = plan_concurrent(ledger_.residual().restricted(window), effective, policy_);
-  if (!plan) {
-    decision.reason = "no feasible plan over expiring resources";
-    return decision;
-  }
-  if (!ledger_.admit(rho.name(), window, *plan)) {
-    decision.reason = "plan no longer fits residual";  // defensive; not expected
-    return decision;
-  }
-  decision.accepted = true;
-  decision.plan = std::move(*plan);
-  return decision;
+  return decide_request(ledger_, rho, now, policy_);
 }
 
 }  // namespace rota

@@ -23,6 +23,22 @@ struct AdmissionDecision {
   std::string reason;                  // human-readable rejection cause
 };
 
+/// The requirement's window clipped to the present (empty ⇔ deadline passed).
+TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now);
+
+/// `rho` with every actor's window replaced by `window` — the controller's
+/// re-clip for requests whose earliest start is already behind the clock.
+ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
+                                       const TimeInterval& window);
+
+/// One admission step: advance the ledger clock, clip the window, plan
+/// against the residual, and commit on success. This free function is the
+/// single source of accept/reject semantics, shared by the sequential
+/// controller below and the batched pipeline in rota/runtime/.
+AdmissionDecision decide_request(CommitmentLedger& ledger,
+                                 const ConcurrentRequirement& rho, Tick now,
+                                 PlanningPolicy policy);
+
 class RotaAdmissionController {
  public:
   RotaAdmissionController(CostModel phi, ResourceSet initial_supply,

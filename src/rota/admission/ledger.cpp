@@ -6,8 +6,9 @@
 namespace rota {
 
 void CommitmentLedger::join(const ResourceSet& joined) {
-  supply_ = supply_.unioned(joined);
-  residual_ = residual_.unioned(joined);
+  supply_.union_with(joined);
+  residual_.union_with(joined);
+  ++revision_;
 }
 
 void CommitmentLedger::advance_to(Tick t) {
@@ -21,6 +22,7 @@ bool CommitmentLedger::admit(const std::string& name, const TimeInterval& window
   if (!next_residual) return false;
   residual_ = std::move(*next_residual);
   admitted_.push_back(AdmittedRecord{name, window, plan, now_});
+  ++revision_;
   return true;
 }
 
@@ -32,8 +34,9 @@ bool CommitmentLedger::release(const std::string& name) {
     throw std::logic_error("computation " + name +
                            " has already started and may not leave");
   }
-  residual_ = residual_.unioned(it->plan.usage_as_resources());
+  residual_.union_with(it->plan.usage_as_resources());
   admitted_.erase(it);
+  ++revision_;
   return true;
 }
 
@@ -44,12 +47,13 @@ bool CommitmentLedger::carve(const ResourceSet& slice) {
   if (!next_supply) return false;  // residual ⊆ supply, so this cannot fail
   residual_ = std::move(*next_residual);
   supply_ = std::move(*next_supply);
+  ++revision_;
   return true;
 }
 
 void CommitmentLedger::merge(CommitmentLedger&& other) {
-  supply_ = supply_.unioned(other.supply_);
-  residual_ = residual_.unioned(other.residual_);
+  supply_.union_with(other.supply_);
+  residual_.union_with(other.residual_);
   admitted_.insert(admitted_.end(),
                    std::make_move_iterator(other.admitted_.begin()),
                    std::make_move_iterator(other.admitted_.end()));
@@ -57,6 +61,7 @@ void CommitmentLedger::merge(CommitmentLedger&& other) {
   other.supply_ = ResourceSet{};
   other.residual_ = ResourceSet{};
   other.admitted_.clear();
+  ++revision_;
 }
 
 double CommitmentLedger::utilization(const LocatedType& type,

@@ -8,6 +8,7 @@
 // untouched by construction.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,7 +32,17 @@ class CommitmentLedger {
       : supply_(supply), residual_(std::move(supply)), now_(now) {}
 
   const ResourceSet& supply() const { return supply_; }
+
+  /// The cached residual, maintained incrementally across commits — planning
+  /// reads this directly instead of re-deriving supply minus all admitted
+  /// plans on every request.
   const ResourceSet& residual() const { return residual_; }
+
+  /// Bumped whenever the residual changes (join/admit/release/carve/merge).
+  /// Optimistic readers — the batched admission pipeline — snapshot the
+  /// revision together with residual() and revalidate against it at commit.
+  std::uint64_t revision() const { return revision_; }
+
   Tick now() const { return now_; }
   const std::vector<AdmittedRecord>& admitted() const { return admitted_; }
 
@@ -73,6 +84,7 @@ class CommitmentLedger {
   ResourceSet residual_;
   std::vector<AdmittedRecord> admitted_;
   Tick now_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace rota

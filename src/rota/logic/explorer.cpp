@@ -1,9 +1,12 @@
 #include "rota/logic/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <numeric>
 #include <stdexcept>
+
+#include "rota/runtime/thread_pool.hpp"
 
 namespace rota {
 
@@ -46,41 +49,63 @@ std::vector<std::size_t> ranked_commitments(const SystemState& state,
   return ranked;
 }
 
-/// Maximal-consumption labels for one tick under a fixed commitment ranking.
-std::vector<ConsumptionLabel> greedy_labels(const SystemState& state,
-                                            const std::vector<std::size_t>& ranked) {
+/// Per-tick scratch reused across ticks: a sorted flat capacity vector (the
+/// greedy path's hot lookup) and the label buffer.
+struct TickScratch {
+  std::vector<std::pair<LocatedType, Rate>> capacity;  // sorted by type
   std::vector<ConsumptionLabel> labels;
-  std::map<LocatedType, Rate> capacity_left;
+};
+
+/// Maximal-consumption labels for one tick under a fixed commitment ranking.
+const std::vector<ConsumptionLabel>& greedy_labels(const SystemState& state,
+                                                   const std::vector<std::size_t>& ranked,
+                                                   TickScratch& scratch) {
+  scratch.capacity.clear();
+  scratch.labels.clear();
   const Tick now = state.now();
+
+  auto capacity_left = [&](const LocatedType& type) -> Rate& {
+    auto it = std::lower_bound(
+        scratch.capacity.begin(), scratch.capacity.end(), type,
+        [](const std::pair<LocatedType, Rate>& e, const LocatedType& t) {
+          return e.first < t;
+        });
+    if (it == scratch.capacity.end() || !(it->first == type)) {
+      it = scratch.capacity.emplace(
+          it, type, state.theta().availability(type).value_at(now));
+    }
+    return it->second;
+  };
 
   for (std::size_t index : ranked) {
     const ActorProgress& p = state.commitments()[index];
     if (!p.active_at(now)) continue;
     for (const auto& [type, q] : p.remaining.amounts()) {
-      auto [it, inserted] = capacity_left.try_emplace(type, 0);
-      if (inserted) it->second = state.theta().availability(type).value_at(now);
-      Rate grab = std::min<Rate>(it->second, q);
+      Rate& cap = capacity_left(type);
+      Rate grab = std::min<Rate>(cap, q);
       if (p.rate_cap > 0) grab = std::min(grab, p.rate_cap);
       if (grab <= 0) continue;
-      labels.push_back(ConsumptionLabel{index, type, grab});
-      it->second -= grab;
+      scratch.labels.push_back(ConsumptionLabel{index, type, grab});
+      cap -= grab;
     }
   }
-  return labels;
+  return scratch.labels;
 }
 
 RunResult run_with_ranking(SystemState start, Tick horizon,
                            const std::optional<std::vector<std::size_t>>& fixed_ranking,
                            PriorityOrder order) {
   ComputationPath path(std::move(start));
+  TickScratch scratch;
+  std::map<LocatedType, Rate> capacity_left;  // water-fill scratch
   while (!path.back().all_finished() && path.back().now() < horizon) {
     const std::vector<std::size_t> ranked =
         fixed_ranking ? *fixed_ranking : ranked_commitments(path.back(), order);
     if (!fixed_ranking && order == PriorityOrder::kProportional) {
-      std::map<LocatedType, Rate> capacity_left;
+      capacity_left.clear();
       path.apply(TickStep{water_fill_labels(path.back(), ranked, capacity_left)});
     } else {
-      path.apply(TickStep{greedy_labels(path.back(), ranked)});
+      path.apply(TickStep{greedy_labels(path.back(), ranked, scratch)});
     }
   }
 
@@ -163,21 +188,47 @@ std::vector<ConsumptionLabel> water_fill_labels(
 }
 
 std::optional<ComputationPath> search_feasible(const SystemState& start, Tick horizon,
-                                               std::size_t max_permuted) {
+                                               std::size_t max_permuted,
+                                               ThreadPool* pool) {
   for (PriorityOrder order :
        {PriorityOrder::kEdf, PriorityOrder::kLeastLaxity, PriorityOrder::kFcfs}) {
     RunResult r = run_greedy(start, horizon, order);
     if (r.all_met) return std::move(r.path);
   }
-  if (start.commitments().size() <= max_permuted) {
-    std::vector<std::size_t> perm(start.commitments().size());
-    std::iota(perm.begin(), perm.end(), 0);
+  if (start.commitments().size() > max_permuted) return std::nullopt;
+
+  std::vector<std::size_t> perm(start.commitments().size());
+  std::iota(perm.begin(), perm.end(), 0);
+
+  if (pool == nullptr || pool->concurrency() <= 1) {
     do {
       RunResult r = run_with_ranking(start, horizon, perm, PriorityOrder::kFcfs);
       if (r.all_met) return std::move(r.path);
     } while (std::next_permutation(perm.begin(), perm.end()));
+    return std::nullopt;
   }
-  return std::nullopt;
+
+  // Parallel sweep: materialize the permutations, race the lanes over them,
+  // and keep the smallest feasible index so the winner is the same
+  // permutation the sequential sweep would have returned.
+  std::vector<std::vector<std::size_t>> perms;
+  do {
+    perms.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  std::atomic<std::size_t> best{perms.size()};
+  pool->parallel_for(perms.size(), [&](std::size_t i) {
+    if (i >= best.load(std::memory_order_relaxed)) return;  // already beaten
+    RunResult r = run_with_ranking(start, horizon, perms[i], PriorityOrder::kFcfs);
+    if (!r.all_met) return;
+    std::size_t cur = best.load(std::memory_order_relaxed);
+    while (i < cur && !best.compare_exchange_weak(cur, i, std::memory_order_relaxed)) {
+    }
+  });
+  if (best.load() == perms.size()) return std::nullopt;
+  RunResult winner =
+      run_with_ranking(start, horizon, perms[best.load()], PriorityOrder::kFcfs);
+  return std::move(winner.path);
 }
 
 }  // namespace rota

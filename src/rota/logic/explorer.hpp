@@ -16,6 +16,8 @@
 
 namespace rota {
 
+class ThreadPool;  // rota/runtime/thread_pool.hpp
+
 /// How contended supply is ordered among unfinished commitments each tick.
 enum class PriorityOrder {
   kFcfs,          // commitment (arrival) order
@@ -51,8 +53,12 @@ std::vector<ConsumptionLabel> water_fill_labels(
 
 /// Tries the three priority orders and, if the state has at most
 /// `max_permuted` commitments, every static priority permutation as well.
-/// Returns a deadline-meeting path if any schedule finds one.
+/// Returns a deadline-meeting path if any schedule finds one. When `pool` is
+/// given, the permutation sweep runs across its lanes; the result is still
+/// deterministic — the lexicographically first feasible permutation wins,
+/// exactly as in the sequential sweep.
 std::optional<ComputationPath> search_feasible(const SystemState& start, Tick horizon,
-                                               std::size_t max_permuted = 6);
+                                               std::size_t max_permuted = 6,
+                                               ThreadPool* pool = nullptr);
 
 }  // namespace rota

@@ -34,9 +34,7 @@ std::map<LocatedType, StepFunction> ConcurrentPlan::total_usage() const {
 
 ResourceSet ConcurrentPlan::usage_as_resources() const {
   ResourceSet out;
-  for (const auto& [type, f] : total_usage()) {
-    for (const auto& seg : f.segments()) out.add(seg.value, seg.interval, type);
-  }
+  for (auto& [type, f] : total_usage()) out.add(type, std::move(f));
   return out;
 }
 
@@ -299,9 +297,7 @@ std::optional<ConcurrentPlan> plan_concurrent(const ResourceSet& available,
 
     // Subtract this actor's usage before planning the next one.
     ResourceSet used;
-    for (const auto& [type, f] : actor_plan->usage) {
-      for (const auto& seg : f.segments()) used.add(seg.value, seg.interval, type);
-    }
+    for (const auto& [type, f] : actor_plan->usage) used.add(type, f);
     auto next_residual = residual.relative_complement(used);
     if (!next_residual) {
       throw std::logic_error("planner produced usage exceeding availability");

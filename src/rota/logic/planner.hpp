@@ -50,6 +50,8 @@ struct ActorPlan {
 
   /// Total quantity this plan consumes (all types).
   Quantity total_consumption() const;
+
+  bool operator==(const ActorPlan&) const = default;
 };
 
 /// A plan for a whole concurrent requirement.
@@ -63,6 +65,8 @@ struct ConcurrentPlan {
 
   /// The plan's usage as a resource set (for subtracting from availability).
   ResourceSet usage_as_resources() const;
+
+  bool operator==(const ConcurrentPlan&) const = default;
 };
 
 /// Plans one actor's complex requirement against `available`. Returns nullopt

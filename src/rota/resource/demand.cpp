@@ -1,26 +1,65 @@
 #include "rota/resource/demand.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 namespace rota {
 
+namespace {
+
+struct AmountTypeLess {
+  bool operator()(const std::pair<LocatedType, Quantity>& a,
+                  const LocatedType& t) const {
+    return a.first < t;
+  }
+};
+
+}  // namespace
+
 void DemandSet::add(const LocatedType& type, Quantity quantity) {
   if (quantity < 0) throw std::invalid_argument("demand quantities cannot be negative");
   if (quantity == 0) return;
-  amounts_[type] += quantity;
+  auto it = std::lower_bound(amounts_.begin(), amounts_.end(), type, AmountTypeLess{});
+  if (it != amounts_.end() && it->first == type) {
+    it->second += quantity;
+  } else {
+    amounts_.emplace(it, type, quantity);
+  }
 }
 
 void DemandSet::merge(const DemandSet& other) {
-  for (const auto& [type, q] : other.amounts_) add(type, q);
+  if (other.amounts_.empty()) return;
+  if (amounts_.empty()) {
+    amounts_ = other.amounts_;
+    return;
+  }
+  std::vector<std::pair<LocatedType, Quantity>> merged;
+  merged.reserve(amounts_.size() + other.amounts_.size());
+  auto a = amounts_.begin();
+  auto b = other.amounts_.begin();
+  while (a != amounts_.end() && b != other.amounts_.end()) {
+    if (a->first < b->first) {
+      merged.push_back(*a++);
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.emplace_back(a->first, a->second + b->second);
+      ++a;
+      ++b;
+    }
+  }
+  merged.insert(merged.end(), a, amounts_.end());
+  merged.insert(merged.end(), b, other.amounts_.end());
+  amounts_ = std::move(merged);
 }
 
 void DemandSet::subtract(const LocatedType& type, Quantity quantity) {
   if (quantity < 0) throw std::invalid_argument("cannot subtract a negative demand");
   if (quantity == 0) return;
-  auto it = amounts_.find(type);
-  if (it == amounts_.end() || it->second < quantity) {
+  auto it = std::lower_bound(amounts_.begin(), amounts_.end(), type, AmountTypeLess{});
+  if (it == amounts_.end() || !(it->first == type) || it->second < quantity) {
     throw std::invalid_argument("demand subtraction overshoots: removing " +
                                 std::to_string(quantity) + " of " + type.to_string());
   }
@@ -29,8 +68,8 @@ void DemandSet::subtract(const LocatedType& type, Quantity quantity) {
 }
 
 Quantity DemandSet::of(const LocatedType& type) const {
-  auto it = amounts_.find(type);
-  return it == amounts_.end() ? 0 : it->second;
+  auto it = std::lower_bound(amounts_.begin(), amounts_.end(), type, AmountTypeLess{});
+  return (it == amounts_.end() || !(it->first == type)) ? 0 : it->second;
 }
 
 Quantity DemandSet::total() const {

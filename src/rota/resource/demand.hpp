@@ -6,8 +6,9 @@
 #pragma once
 
 #include <iosfwd>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "rota/resource/located_type.hpp"
 #include "rota/time/tick.hpp"
@@ -40,14 +41,19 @@ class DemandSet {
   Quantity of(const LocatedType& type) const;
   Quantity total() const;
 
-  const std::map<LocatedType, Quantity>& amounts() const { return amounts_; }
+  /// The located amounts, sorted by type. Kept flat (planning iterates
+  /// demands on every admission request) — pair layout preserves the
+  /// `->first` / `->second` access of the former map interface.
+  const std::vector<std::pair<LocatedType, Quantity>>& amounts() const {
+    return amounts_;
+  }
 
   bool operator==(const DemandSet&) const = default;
 
   std::string to_string() const;
 
  private:
-  std::map<LocatedType, Quantity> amounts_;  // values always > 0
+  std::vector<std::pair<LocatedType, Quantity>> amounts_;  // sorted; values > 0
 };
 
 std::ostream& operator<<(std::ostream& os, const DemandSet& d);

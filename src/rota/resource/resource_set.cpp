@@ -6,50 +6,143 @@
 
 namespace rota {
 
+namespace {
+
+struct EntryTypeLess {
+  bool operator()(const std::pair<LocatedType, StepFunction>& e,
+                  const LocatedType& t) const {
+    return e.first < t;
+  }
+};
+
+}  // namespace
+
 const StepFunction& ResourceSet::zero_function() {
   static const StepFunction zero;
   return zero;
 }
 
-void ResourceSet::add(const ResourceTerm& term) {
-  if (term.is_null()) return;
-  auto [it, inserted] =
-      by_type_.emplace(term.type(), StepFunction(term.interval(), term.rate()));
-  if (!inserted) it->second.add(term.interval(), term.rate());
+StepFunction* ResourceSet::find(const LocatedType& type) {
+  auto it = std::lower_bound(by_type_.begin(), by_type_.end(), type, EntryTypeLess{});
+  if (it == by_type_.end() || !(it->first == type)) return nullptr;
+  return &it->second;
 }
 
-ResourceSet ResourceSet::unioned(const ResourceSet& other) const {
-  ResourceSet out = *this;
-  for (const auto& [type, profile] : other.by_type_) {
-    auto [it, inserted] = out.by_type_.emplace(type, profile);
-    if (!inserted) it->second = it->second.plus(profile);
+const StepFunction* ResourceSet::find(const LocatedType& type) const {
+  return const_cast<ResourceSet*>(this)->find(type);
+}
+
+void ResourceSet::add(const ResourceTerm& term) {
+  if (term.is_null()) return;
+  auto it = std::lower_bound(by_type_.begin(), by_type_.end(), term.type(),
+                             EntryTypeLess{});
+  if (it != by_type_.end() && it->first == term.type()) {
+    it->second.add(term.interval(), term.rate());
+  } else {
+    by_type_.emplace(it, term.type(), StepFunction(term.interval(), term.rate()));
   }
+}
+
+void ResourceSet::add(const LocatedType& type, StepFunction profile) {
+  if (profile.is_zero()) return;
+  auto it = std::lower_bound(by_type_.begin(), by_type_.end(), type, EntryTypeLess{});
+  if (it != by_type_.end() && it->first == type) {
+    it->second = it->second.plus(profile);
+  } else {
+    by_type_.emplace(it, type, std::move(profile));
+  }
+}
+
+ResourceSet ResourceSet::unioned(const ResourceSet& other) const& {
+  ResourceSet out;
+  out.by_type_.reserve(by_type_.size() + other.by_type_.size());
+  auto a = by_type_.begin();
+  auto b = other.by_type_.begin();
+  while (a != by_type_.end() && b != other.by_type_.end()) {
+    if (a->first < b->first) {
+      out.by_type_.push_back(*a++);
+    } else if (b->first < a->first) {
+      out.by_type_.push_back(*b++);
+    } else {
+      out.by_type_.emplace_back(a->first, a->second.plus(b->second));
+      ++a;
+      ++b;
+    }
+  }
+  out.by_type_.insert(out.by_type_.end(), a, by_type_.end());
+  out.by_type_.insert(out.by_type_.end(), b, other.by_type_.end());
   return out;
+}
+
+ResourceSet ResourceSet::unioned(const ResourceSet& other) && {
+  union_with(other);
+  return std::move(*this);
+}
+
+void ResourceSet::union_with(const ResourceSet& other) {
+  if (other.by_type_.empty()) return;
+  if (by_type_.empty()) {
+    by_type_ = other.by_type_;
+    return;
+  }
+  // Merge from the back into freshly reserved space so matching types are
+  // combined in place and new types are inserted in one pass.
+  std::vector<Entry> merged;
+  merged.reserve(by_type_.size() + other.by_type_.size());
+  auto a = by_type_.begin();
+  auto b = other.by_type_.begin();
+  while (a != by_type_.end() && b != other.by_type_.end()) {
+    if (a->first < b->first) {
+      merged.push_back(std::move(*a++));
+    } else if (b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      merged.emplace_back(a->first, a->second.plus(b->second));
+      ++a;
+      ++b;
+    }
+  }
+  for (; a != by_type_.end(); ++a) merged.push_back(std::move(*a));
+  merged.insert(merged.end(), b, other.by_type_.end());
+  by_type_ = std::move(merged);
 }
 
 std::optional<ResourceSet> ResourceSet::relative_complement(
     const ResourceSet& other) const {
-  ResourceSet out = *this;
-  for (const auto& [type, needed] : other.by_type_) {
-    auto it = out.by_type_.find(type);
-    if (it == out.by_type_.end()) {
-      if (!needed.is_zero()) return std::nullopt;
-      continue;
-    }
-    StepFunction diff = it->second.minus(needed);
-    if (diff.min_value() < 0) return std::nullopt;  // not dominated: undefined
-    if (diff.is_zero()) {
-      out.by_type_.erase(it);
+  ResourceSet out;
+  out.by_type_.reserve(by_type_.size());
+  auto a = by_type_.begin();
+  auto b = other.by_type_.begin();
+  while (a != by_type_.end() && b != other.by_type_.end()) {
+    if (a->first < b->first) {
+      out.by_type_.push_back(*a++);
+    } else if (b->first < a->first) {
+      if (!b->second.is_zero()) return std::nullopt;
+      ++b;
     } else {
-      it->second = std::move(diff);
+      StepFunction diff = a->second.minus(b->second);
+      if (diff.min_value() < 0) return std::nullopt;  // not dominated: undefined
+      if (!diff.is_zero()) out.by_type_.emplace_back(a->first, std::move(diff));
+      ++a;
+      ++b;
     }
   }
+  for (; b != other.by_type_.end(); ++b) {
+    if (!b->second.is_zero()) return std::nullopt;
+  }
+  out.by_type_.insert(out.by_type_.end(), a, by_type_.end());
   return out;
 }
 
 bool ResourceSet::dominates(const ResourceSet& other) const {
-  for (const auto& [type, needed] : other.by_type_) {
-    if (!availability(type).dominates(needed)) return false;
+  auto a = by_type_.begin();
+  auto b = other.by_type_.begin();
+  while (b != other.by_type_.end()) {
+    while (a != by_type_.end() && a->first < b->first) ++a;
+    const StepFunction& have =
+        (a != by_type_.end() && a->first == b->first) ? a->second : zero_function();
+    if (!have.dominates(b->second)) return false;
+    ++b;
   }
   return true;
 }
@@ -63,6 +156,7 @@ bool ResourceSet::empty() const {
 
 std::vector<ResourceTerm> ResourceSet::terms() const {
   std::vector<ResourceTerm> out;
+  out.reserve(term_count());
   for (const auto& [type, profile] : by_type_) {
     for (const auto& seg : profile.segments()) {
       out.emplace_back(seg.value, seg.interval, type);
@@ -78,8 +172,8 @@ std::size_t ResourceSet::term_count() const {
 }
 
 const StepFunction& ResourceSet::availability(const LocatedType& type) const {
-  auto it = by_type_.find(type);
-  return it == by_type_.end() ? zero_function() : it->second;
+  const StepFunction* f = find(type);
+  return f == nullptr ? zero_function() : *f;
 }
 
 std::vector<LocatedType> ResourceSet::types() const {
@@ -91,9 +185,10 @@ std::vector<LocatedType> ResourceSet::types() const {
 
 ResourceSet ResourceSet::restricted(const TimeInterval& window) const {
   ResourceSet out;
+  out.by_type_.reserve(by_type_.size());
   for (const auto& [type, profile] : by_type_) {
     StepFunction r = profile.restricted(window);
-    if (!r.is_zero()) out.by_type_.emplace(type, std::move(r));
+    if (!r.is_zero()) out.by_type_.emplace_back(type, std::move(r));
   }
   return out;
 }
@@ -117,9 +212,10 @@ ResourceSet ResourceSet::from(Tick t) const {
 
 ResourceSet ResourceSet::coarsened(Tick factor) const {
   ResourceSet out;
+  out.by_type_.reserve(by_type_.size());
   for (const auto& [type, profile] : by_type_) {
     StepFunction coarse = profile.coarsened(factor);
-    if (!coarse.is_zero()) out.by_type_.emplace(type, std::move(coarse));
+    if (!coarse.is_zero()) out.by_type_.emplace_back(type, std::move(coarse));
   }
   return out;
 }

@@ -8,13 +8,19 @@
 //   * relative complement (consuming) = pointwise subtraction, defined only
 //     when the subtrahend is dominated everywhere,
 //   * term extraction                 = reading the segments back out.
+//
+// The per-type profiles live in a flat vector sorted by located type (no
+// zero functions stored). Admission planning unions and subtracts resource
+// sets on every request, so the binary operations below are merge walks over
+// the two sorted vectors — one pass, no node allocations — rather than
+// per-key tree lookups.
 #pragma once
 
 #include <initializer_list>
 #include <iosfwd>
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rota/resource/demand.hpp"
@@ -35,9 +41,17 @@ class ResourceSet {
   void add(Rate rate, const TimeInterval& interval, const LocatedType& type) {
     add(ResourceTerm(rate, interval, type));
   }
+  /// Union with a whole per-type profile; moves the profile into place when
+  /// the type is new.
+  void add(const LocatedType& type, StepFunction profile);
 
   /// Θ1 ∪ Θ2 with simplification.
-  ResourceSet unioned(const ResourceSet& other) const;
+  ResourceSet unioned(const ResourceSet& other) const&;
+  /// Move-aware overload: reuses this set's storage.
+  ResourceSet unioned(const ResourceSet& other) &&;
+
+  /// In-place union (Θ ← Θ ∪ Θ2) — the ledger's join path.
+  void union_with(const ResourceSet& other);
 
   /// Θ1 \ Θ2 — the paper's relative complement. Defined only when every term
   /// of `other` is dominated by availability here; returns nullopt otherwise
@@ -89,9 +103,15 @@ class ResourceSet {
   std::string to_string() const;
 
  private:
+  using Entry = std::pair<LocatedType, StepFunction>;
+
   static const StepFunction& zero_function();
 
-  std::map<LocatedType, StepFunction> by_type_;  // no zero functions stored
+  /// Profile of `type`, or nullptr if absent.
+  StepFunction* find(const LocatedType& type);
+  const StepFunction* find(const LocatedType& type) const;
+
+  std::vector<Entry> by_type_;  // sorted by type, unique, no zero functions
 };
 
 std::ostream& operator<<(std::ostream& os, const ResourceSet& s);

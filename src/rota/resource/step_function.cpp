@@ -39,29 +39,57 @@ Rate StepFunction::value_at(Tick t) const {
 
 template <typename Op>
 StepFunction StepFunction::combine(const StepFunction& other, Op op) const {
-  // Sweep over the union of segment boundaries; both functions are constant
-  // between consecutive boundaries.
-  std::vector<Tick> bounds;
-  bounds.reserve(2 * (segments_.size() + other.segments_.size()));
-  for (const auto& s : segments_) {
-    bounds.push_back(s.interval.start());
-    bounds.push_back(s.interval.end());
-  }
-  for (const auto& s : other.segments_) {
-    bounds.push_back(s.interval.start());
-    bounds.push_back(s.interval.end());
-  }
-  std::sort(bounds.begin(), bounds.end());
-  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-
+  // Both segment lists are sorted and disjoint, and each function is constant
+  // between consecutive boundaries, so one merge walk over the two lists
+  // produces the result in canonical form: advance a cursor boundary to
+  // boundary, emitting op(value here, value there) and coalescing runs as
+  // they appear. One pass, no boundary sort, no per-boundary binary search.
+  // (Requires op(0, 0) == 0, which holds for +, -, min, and max — anything
+  // else would be nonzero over the unbounded gaps outside both supports.)
+  const auto& a = segments_;
+  const auto& b = other.segments_;
   StepFunction result;
-  result.segments_.reserve(bounds.empty() ? 0 : bounds.size() - 1);
-  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
-    const Tick lo = bounds[i], hi = bounds[i + 1];
-    const Rate v = op(value_at(lo), other.value_at(lo));
-    if (v != 0) result.segments_.push_back({TimeInterval(lo, hi), v});
+  result.segments_.reserve(a.size() + b.size());
+  std::size_t ia = 0, ib = 0;
+  Tick t = std::numeric_limits<Tick>::min();
+  if (!a.empty()) t = a.front().interval.start();
+  if (!b.empty() && (a.empty() || b.front().interval.start() < t)) {
+    t = b.front().interval.start();
   }
-  result.normalize();
+  while (ia < a.size() || ib < b.size()) {
+    while (ia < a.size() && a[ia].interval.end() <= t) ++ia;
+    while (ib < b.size() && b[ib].interval.end() <= t) ++ib;
+    if (ia >= a.size() && ib >= b.size()) break;
+    Rate va = 0, vb = 0;
+    Tick next = std::numeric_limits<Tick>::max();
+    if (ia < a.size()) {
+      if (a[ia].interval.start() <= t) {
+        va = a[ia].value;
+        next = a[ia].interval.end();
+      } else {
+        next = a[ia].interval.start();
+      }
+    }
+    if (ib < b.size()) {
+      if (b[ib].interval.start() <= t) {
+        vb = b[ib].value;
+        next = std::min(next, b[ib].interval.end());
+      } else {
+        next = std::min(next, b[ib].interval.start());
+      }
+    }
+    const Rate v = op(va, vb);
+    if (v != 0) {
+      if (!result.segments_.empty() && result.segments_.back().value == v &&
+          result.segments_.back().interval.end() == t) {
+        result.segments_.back().interval =
+            TimeInterval(result.segments_.back().interval.start(), next);
+      } else {
+        result.segments_.push_back({TimeInterval(t, next), v});
+      }
+    }
+    t = next;
+  }
   return result;
 }
 

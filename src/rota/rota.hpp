@@ -36,6 +36,8 @@
 
 #include "rota/admission/ledger.hpp"
 #include "rota/admission/controller.hpp"
+#include "rota/runtime/thread_pool.hpp"
+#include "rota/runtime/batch_controller.hpp"
 #include "rota/admission/baselines.hpp"
 #include "rota/admission/negotiation.hpp"
 #include "rota/admission/audit.hpp"

@@ -1,0 +1,114 @@
+#include "rota/runtime/batch_controller.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+
+namespace rota {
+
+std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
+    const std::vector<BatchRequest>& requests) {
+  const std::size_t n = requests.size();
+  std::vector<AdmissionDecision> decisions(n);
+
+  // Deep lookahead is nearly free: the pool hands out indices in order and
+  // lanes stop planning past the first would-be accept (see below), so the
+  // wasted speculation per accepted request is bounded by the lanes in
+  // flight, not by the lookahead. Concurrency 1 never speculates ahead and
+  // degenerates to the sequential controller exactly.
+  const std::size_t lookahead =
+      pool_.concurrency() <= 1 ? 1 : 8 * pool_.concurrency();
+
+  std::size_t next = 0;
+  std::vector<std::optional<ConcurrentPlan>> spec(lookahead);
+  std::vector<unsigned char> planned(lookahead);
+  std::vector<TimeInterval> windows(lookahead);
+  while (next < n) {
+    const std::size_t base = next;
+    const std::size_t end = std::min(n, base + lookahead);
+
+    // Windows are clipped by each request's own arrival tick, exactly as
+    // decide_request does — the ledger clock never affects decisions. The
+    // round shares one residual view restricted to the hull of its windows:
+    // planning only ever reads the residual inside the request's window, so
+    // the hull view yields the same plan as the per-request restriction the
+    // sequential controller computes, at one residual scan per round instead
+    // of one per request.
+    std::optional<TimeInterval> hull;
+    for (std::size_t i = base; i < end; ++i) {
+      const TimeInterval w = effective_window(requests[i].rho, requests[i].at);
+      windows[i - base] = w;
+      if (!w.empty()) {
+        hull = hull ? TimeInterval(std::min(hull->start(), w.start()),
+                                   std::max(hull->end(), w.end()))
+                    : w;
+      }
+    }
+    const ResourceSet view =
+        hull ? ledger_.residual().restricted(*hull) : ResourceSet();
+
+    // Speculate: plan pending requests in parallel against the frozen view.
+    // The ledger is not touched until every lane has finished. A found plan
+    // is a would-be accept; everything behind it will be re-speculated
+    // against the post-accept residual anyway, so later lanes skip planning
+    // once `first_accept` is set (indices are handed out in order, making
+    // the skip almost always effective).
+    std::atomic<std::size_t> first_accept{end};
+    const auto speculate = [&](std::size_t k) {
+      const std::size_t i = base + k;
+      spec[k].reset();
+      if (i > first_accept.load(std::memory_order_relaxed)) {
+        planned[k] = 0;
+        return;
+      }
+      planned[k] = 1;
+      const TimeInterval& window = windows[k];
+      if (window.empty()) return;  // rejected at commit, no plan needed
+      spec[k] = plan_concurrent(view, clip_requirement(requests[i].rho, window),
+                                policy_);
+      if (spec[k]) {
+        std::size_t cur = first_accept.load(std::memory_order_relaxed);
+        while (i < cur && !first_accept.compare_exchange_weak(
+                              cur, i, std::memory_order_relaxed)) {
+        }
+      }
+    };
+    if (pool_.concurrency() <= 1) {
+      for (std::size_t k = 0; k < end - base; ++k) speculate(k);
+    } else {
+      pool_.parallel_for(end - base, speculate);
+    }
+
+    // Commit in order. Rejections leave the residual (and thus the validity
+    // of the remaining speculation) untouched; the first accept ends the
+    // round so the rest is re-speculated against the new residual.
+    bool residual_changed = false;
+    while (next < end && !residual_changed) {
+      const std::size_t i = next;
+      if (!planned[i - base]) break;  // unreachable: skips sit past the accept
+      ++next;
+      ledger_.advance_to(std::max(requests[i].at, ledger_.now()));
+      AdmissionDecision& decision = decisions[i];
+      const TimeInterval& window = windows[i - base];
+      if (window.empty()) {
+        decision.reason = "deadline has already passed";
+        continue;
+      }
+      std::optional<ConcurrentPlan>& plan = spec[i - base];
+      if (!plan) {
+        decision.reason = "no feasible plan over expiring resources";
+        continue;
+      }
+      if (!ledger_.admit(requests[i].rho.name(), window, *plan)) {
+        decision.reason = "plan no longer fits residual";  // defensive; not expected
+        continue;
+      }
+      decision.accepted = true;
+      decision.plan = std::move(*plan);
+      residual_changed = true;
+    }
+  }
+  return decisions;
+}
+
+}  // namespace rota

@@ -1,0 +1,89 @@
+// Batched admission: the sequential FCFS controller's semantics at pipeline
+// throughput.
+//
+// A batch of (Λ, s, d) requests is admitted in three repeating stages:
+//
+//   snapshot  — the ledger's cached residual is frozen (it is immutable
+//               between commits; a revision counter certifies that),
+//   speculate — every pending request is planned *in parallel* against the
+//               snapshot by the worker pool. Planning is a pure function of
+//               the residual restricted to the request window, so
+//               speculation against the unrestricted snapshot produces
+//               exactly the plan the sequential controller would compute —
+//               without the per-request restricted() copy it pays.
+//   commit    — decisions are issued strictly in FCFS order. A request whose
+//               speculation used the current residual commits (or rejects)
+//               directly; the first accepted request changes the residual
+//               and thereby invalidates the remaining speculation, which is
+//               redone against a fresh snapshot in the next round
+//               (optimistic concurrency with bounded lookahead, so wasted
+//               speculative work per accept is capped).
+//
+// Rejections — the common case under heavy traffic — never mutate the
+// residual, so arbitrarily long reject runs are decided from one snapshot
+// with full parallelism. The decision sequence (accept set, plans, reasons)
+// is identical, decision for decision, to RotaAdmissionController processing
+// the same requests one at a time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rota/admission/controller.hpp"
+#include "rota/runtime/thread_pool.hpp"
+
+namespace rota {
+
+/// One queued admission request: an already-derived requirement plus its
+/// arrival tick (the `now` the sequential controller would see).
+struct BatchRequest {
+  ConcurrentRequirement rho;
+  Tick at = 0;
+};
+
+class BatchAdmissionController {
+ public:
+  /// `concurrency` is the total number of planning lanes (1 = strictly
+  /// sequential, no worker threads, no lookahead waste).
+  BatchAdmissionController(CostModel phi, ResourceSet initial_supply,
+                           PlanningPolicy policy = PlanningPolicy::kAsap,
+                           std::size_t concurrency = 1, Tick now = 0)
+      : phi_(std::move(phi)),
+        ledger_(std::move(initial_supply), now),
+        policy_(policy),
+        pool_(concurrency) {}
+
+  /// Admits the requests in the given (FCFS) order. Returns one decision per
+  /// request, positionally.
+  std::vector<AdmissionDecision> admit_batch(const std::vector<BatchRequest>& requests);
+
+  /// Derives ρ(Λ, s, d) via this controller's Φ (for building batches).
+  ConcurrentRequirement derive(const DistributedComputation& lambda) const {
+    return make_concurrent_requirement(phi_, lambda);
+  }
+
+  /// Single-request path — identical to the sequential controller.
+  AdmissionDecision request(const ConcurrentRequirement& rho, Tick now) {
+    return decide_request(ledger_, rho, now, policy_);
+  }
+
+  /// Resource acquisition rule.
+  void on_join(const ResourceSet& joined) { ledger_.join(joined); }
+
+  /// Computation leave rule (only before the computation starts).
+  bool release(const std::string& name) { return ledger_.release(name); }
+
+  const CommitmentLedger& ledger() const { return ledger_; }
+  const CostModel& phi() const { return phi_; }
+  PlanningPolicy policy() const { return policy_; }
+  std::size_t concurrency() const { return pool_.concurrency(); }
+
+ private:
+  CostModel phi_;
+  CommitmentLedger ledger_;
+  PlanningPolicy policy_;
+  ThreadPool pool_;
+};
+
+}  // namespace rota

@@ -1,0 +1,111 @@
+#include "rota/runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace rota {
+
+ThreadPool::ThreadPool(std::size_t concurrency) {
+  const std::size_t workers = concurrency > 1 ? concurrency - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct Sweep {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> live{0};
+    std::mutex m;
+    std::condition_variable done;
+    std::exception_ptr error;  // guarded by m
+  };
+  auto sweep = std::make_shared<Sweep>();
+
+  auto drain = [sweep, &body, n] {
+    for (;;) {
+      const std::size_t i = sweep->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sweep->m);
+        if (!sweep->error) sweep->error = std::current_exception();
+      }
+    }
+  };
+
+  // One helper per worker, capped by the iteration count (the caller lane
+  // covers the rest). `body` is captured by reference: the caller blocks
+  // below until every helper has finished, so the reference stays valid.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  sweep->live.store(helpers, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      queue_.push_back([sweep, drain] {
+        drain();
+        if (sweep->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(sweep->m);
+          sweep->done.notify_all();
+        }
+      });
+    }
+  }
+  if (helpers == 1) {
+    ready_.notify_one();
+  } else {
+    ready_.notify_all();
+  }
+
+  drain();  // caller participates
+  std::unique_lock<std::mutex> lock(sweep->m);
+  sweep->done.wait(lock, [&] { return sweep->live.load(std::memory_order_acquire) == 0; });
+  if (sweep->error) std::rethrow_exception(sweep->error);
+}
+
+}  // namespace rota

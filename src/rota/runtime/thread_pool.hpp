@@ -1,0 +1,57 @@
+// A fixed-size worker pool for the admission runtime.
+//
+// Deliberately work-stealing-free: tasks are pulled from one shared queue
+// under a mutex. The runtime's units of work (planning one admission request,
+// running one schedule permutation) each cost microseconds to milliseconds,
+// so a single queue is nowhere near contention-bound, and the simplicity
+// keeps the pool easy to reason about under ThreadSanitizer.
+//
+// `parallel_for` is the primary entry point: the calling thread participates
+// in the loop (a pool constructed with `concurrency` n uses n-1 workers plus
+// the caller), so concurrency 1 means strictly inline execution with zero
+// synchronization — callers need no special-casing for the sequential case.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rota {
+
+class ThreadPool {
+ public:
+  /// A pool delivering `concurrency` total lanes of parallelism (caller
+  /// inclusive): spawns `concurrency - 1` workers. 0 is treated as 1.
+  explicit ThreadPool(std::size_t concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes including the calling thread.
+  std::size_t concurrency() const { return workers_.size() + 1; }
+
+  /// Enqueues one task; runs inline when the pool has no workers.
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), spread over the workers and the
+  /// calling thread; returns when all iterations finished. The first
+  /// exception thrown by any iteration is rethrown on the caller (remaining
+  /// iterations are still drained). Iterations must not touch the pool.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace rota

@@ -60,6 +60,11 @@ SimReport Simulator::run(Tick horizon) {
   std::size_t next_admission = 0;
   std::map<LocatedType, Quantity> consumed;
 
+  // Per-tick scratch, hoisted out of the loop and cleared each iteration.
+  std::vector<ConsumptionLabel> labels;
+  std::vector<std::size_t> ranked;
+  std::map<LocatedType, Rate> capacity_left;
+
   for (Tick t = start_; t < horizon; ++t) {
     while (next_join < joins_.size() && joins_[next_join].at <= t) {
       state.join(joins_[next_join].joined);
@@ -82,8 +87,8 @@ SimReport Simulator::run(Tick horizon) {
     }
 
     // Plan followers first: their claims are reservations.
-    std::vector<ConsumptionLabel> labels;
-    std::map<LocatedType, Rate> capacity_left;
+    labels.clear();
+    capacity_left.clear();
     auto capacity = [&](const LocatedType& type) -> Rate& {
       auto [it, inserted] = capacity_left.try_emplace(type, 0);
       if (inserted) it->second = state.theta().availability(type).value_at(t);
@@ -102,7 +107,7 @@ SimReport Simulator::run(Tick horizon) {
     }
 
     // Everyone else shares what remains, in discipline order (or fairly).
-    std::vector<std::size_t> ranked;
+    ranked.clear();
     for (std::size_t i = 0; i < state.commitments().size(); ++i) {
       if (plan_of_commitment[i] == nullptr) ranked.push_back(i);
     }
