@@ -5,6 +5,12 @@
 // the bench trajectory: BENCH_admission_throughput.json (pass a path as
 // argv[1] to redirect).
 //
+// Pass --trace-out=PATH (or set ROTA_TRACE=PATH) to additionally run one
+// traced batch(8) pass AFTER the timed trials and write a Chrome-trace JSON
+// artifact (spans plus a metrics dump) to PATH — load it in Perfetto or
+// chrome://tracing. The timed trials always run untraced so the numbers in
+// the bench JSON are never polluted by the observability layer.
+//
 // The workload is an over-subscribed open system: 8 locations (8 cpu types +
 // 56 directed links), constant base supply fragmented by ~2k churned peer
 // terms with bounded lifetimes, and ~5k deadline-constrained computations
@@ -14,12 +20,14 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "rota/admission/controller.hpp"
 #include "rota/computation/requirement.hpp"
+#include "rota/obs/obs.hpp"
 #include "rota/runtime/batch_controller.hpp"
 #include "rota/workload/generator.hpp"
 
@@ -182,12 +190,47 @@ bool write_json(const std::string& path, const Workload& w,
   return out.good();
 }
 
+/// One instrumented batch(8) pass with metrics + tracing on, written as a
+/// Chrome-trace JSON artifact. Runs after (and apart from) the timed trials.
+bool write_trace_artifact(const Workload& w, const std::string& path) {
+  obs::MetricsRegistry::global().reset();
+  obs::enable_metrics(true);
+  obs::TraceRecorder recorder;
+  recorder.install();
+  {
+    CostModel phi;
+    BatchAdmissionController ctl(phi, w.supply, PlanningPolicy::kAsap, 8);
+    (void)ctl.admit_batch(w.requests);
+  }
+  recorder.uninstall();
+  obs::enable_metrics(false);
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  std::cout << "\ntraced batch(8) pass: " << recorder.event_count()
+            << " trace events\n"
+            << "  accepted=" << snap.counter("admission.accepted")
+            << " rejected.deadline=" << snap.counter("admission.rejected.deadline_passed")
+            << " rejected.no_plan=" << snap.counter("admission.rejected.no_plan")
+            << " rejected.conflict=" << snap.counter("admission.rejected.commit_conflict")
+            << "\n  rounds=" << snap.counter("batch.rounds")
+            << " speculations=" << snap.counter("batch.speculations")
+            << " wasted=" << snap.counter("batch.speculations_wasted") << "\n";
+  return recorder.write_chrome_json(path, &snap);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::cout << "== E15: batched admission throughput ==\n\n";
-  const std::string json_path =
-      argc > 1 ? argv[1] : "BENCH_admission_throughput.json";
+  std::string json_path = "BENCH_admission_throughput.json";
+  std::optional<std::string> trace_path = obs::trace_path_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace-out=").size());
+    } else {
+      json_path = arg;
+    }
+  }
 
   const Workload w = make_workload();
   std::cout << "workload: " << w.requests.size() << " requests, "
@@ -213,5 +256,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << json_path << "\n";
+
+  if (trace_path) {
+    if (!write_trace_artifact(w, *trace_path)) {
+      std::cerr << "ERROR: could not write trace " << *trace_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << *trace_path << "\n";
+  }
   return 0;
 }

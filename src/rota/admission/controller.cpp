@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rota/obs/obs.hpp"
+
 namespace rota {
 
 TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now) {
@@ -21,12 +23,14 @@ ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
 AdmissionDecision decide_request(CommitmentLedger& ledger,
                                  const ConcurrentRequirement& rho, Tick now,
                                  PlanningPolicy policy) {
+  ROTA_OBS_SPAN("admit.decide");
   ledger.advance_to(std::max(now, ledger.now()));
 
   AdmissionDecision decision;
   const TimeInterval window = effective_window(rho, now);
   if (window.empty()) {
     decision.reason = "deadline has already passed";
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_rejected_deadline.add();
     return decision;
   }
 
@@ -34,14 +38,17 @@ AdmissionDecision decide_request(CommitmentLedger& ledger,
   auto plan = plan_concurrent(ledger.residual().restricted(window), effective, policy);
   if (!plan) {
     decision.reason = "no feasible plan over expiring resources";
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_rejected_no_plan.add();
     return decision;
   }
   if (!ledger.admit(rho.name(), window, *plan)) {
     decision.reason = "plan no longer fits residual";  // defensive; not expected
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_rejected_conflict.add();
     return decision;
   }
   decision.accepted = true;
   decision.plan = std::move(*plan);
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_accepted.add();
   return decision;
 }
 

@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rota/obs/obs.hpp"
+
 namespace rota {
 
+namespace {
+
+/// Shared bookkeeping for every residual-changing ledger operation:
+/// `counter` is the operation's event count, invoked only when metered.
+void note_revision(obs::Counter& (*counter)(obs::CoreMetrics&), std::uint64_t revision) {
+  if (!obs::metrics_enabled()) return;
+  obs::CoreMetrics& m = obs::CoreMetrics::get();
+  counter(m).add();
+  m.ledger_revision.set(static_cast<std::int64_t>(revision));
+}
+
+}  // namespace
+
 void CommitmentLedger::join(const ResourceSet& joined) {
+  ROTA_OBS_SPAN("ledger.join");
   supply_.union_with(joined);
   residual_.union_with(joined);
   ++revision_;
+  note_revision([](obs::CoreMetrics& m) -> obs::Counter& { return m.ledger_joins; },
+                revision_);
 }
 
 void CommitmentLedger::advance_to(Tick t) {
@@ -18,15 +36,19 @@ void CommitmentLedger::advance_to(Tick t) {
 
 bool CommitmentLedger::admit(const std::string& name, const TimeInterval& window,
                              const ConcurrentPlan& plan) {
+  ROTA_OBS_SPAN("ledger.admit");
   auto next_residual = residual_.relative_complement(plan.usage_as_resources());
   if (!next_residual) return false;
   residual_ = std::move(*next_residual);
   admitted_.push_back(AdmittedRecord{name, window, plan, now_});
   ++revision_;
+  note_revision([](obs::CoreMetrics& m) -> obs::Counter& { return m.ledger_admits; },
+                revision_);
   return true;
 }
 
 bool CommitmentLedger::release(const std::string& name) {
+  ROTA_OBS_SPAN("ledger.release");
   auto it = std::find_if(admitted_.begin(), admitted_.end(),
                          [&](const AdmittedRecord& r) { return r.name == name; });
   if (it == admitted_.end()) return false;
@@ -37,6 +59,8 @@ bool CommitmentLedger::release(const std::string& name) {
   residual_.union_with(it->plan.usage_as_resources());
   admitted_.erase(it);
   ++revision_;
+  note_revision([](obs::CoreMetrics& m) -> obs::Counter& { return m.ledger_releases; },
+                revision_);
   return true;
 }
 

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "rota/obs/obs.hpp"
 #include "rota/runtime/thread_pool.hpp"
 
 namespace rota {
@@ -95,6 +96,8 @@ const std::vector<ConsumptionLabel>& greedy_labels(const SystemState& state,
 RunResult run_with_ranking(SystemState start, Tick horizon,
                            const std::optional<std::vector<std::size_t>>& fixed_ranking,
                            PriorityOrder order) {
+  ROTA_OBS_SPAN("explorer.run");
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().explorer_greedy_runs.add();
   ComputationPath path(std::move(start));
   TickScratch scratch;
   std::map<LocatedType, Rate> capacity_left;  // water-fill scratch
@@ -190,6 +193,7 @@ std::vector<ConsumptionLabel> water_fill_labels(
 std::optional<ComputationPath> search_feasible(const SystemState& start, Tick horizon,
                                                std::size_t max_permuted,
                                                ThreadPool* pool) {
+  ROTA_OBS_SPAN("explorer.search_feasible");
   for (PriorityOrder order :
        {PriorityOrder::kEdf, PriorityOrder::kLeastLaxity, PriorityOrder::kFcfs}) {
     RunResult r = run_greedy(start, horizon, order);
@@ -202,6 +206,7 @@ std::optional<ComputationPath> search_feasible(const SystemState& start, Tick ho
 
   if (pool == nullptr || pool->concurrency() <= 1) {
     do {
+      if (obs::metrics_enabled()) obs::CoreMetrics::get().explorer_permutations.add();
       RunResult r = run_with_ranking(start, horizon, perm, PriorityOrder::kFcfs);
       if (r.all_met) return std::move(r.path);
     } while (std::next_permutation(perm.begin(), perm.end()));
@@ -219,6 +224,7 @@ std::optional<ComputationPath> search_feasible(const SystemState& start, Tick ho
   std::atomic<std::size_t> best{perms.size()};
   pool->parallel_for(perms.size(), [&](std::size_t i) {
     if (i >= best.load(std::memory_order_relaxed)) return;  // already beaten
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().explorer_permutations.add();
     RunResult r = run_with_ranking(start, horizon, perms[i], PriorityOrder::kFcfs);
     if (!r.all_met) return;
     std::size_t cur = best.load(std::memory_order_relaxed);

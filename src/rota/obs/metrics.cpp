@@ -1,0 +1,157 @@
+#include "rota/obs/metrics.hpp"
+
+#include <sstream>
+
+namespace rota::obs {
+
+std::size_t metric_shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t HistogramSnapshot::quantile_upper_bound(double p) const {
+  if (count == 0) return 0;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target) return Histogram::bucket_upper(b);
+  }
+  return Histogram::bucket_upper(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out << (first ? "" : ", ") << '"' << name << "\": " << v;
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out << (first ? "" : ", ") << '"' << name << "\": " << v;
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "" : ", ") << '"' << name << "\": {\"count\": " << h.count
+        << ", \"sum\": " << h.sum << ", \"mean\": " << h.mean()
+        << ", \"p50_le\": " << h.quantile_upper_bound(0.50)
+        << ", \"p99_le\": " << h.quantile_upper_bound(0.99) << ", \"buckets_le\": [";
+    // Trailing empty buckets carry no information; stop at the last non-zero.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] != 0) last = b;
+    }
+    for (std::size_t b = 0; b <= last && b < h.buckets.size(); ++b) {
+      out << (b ? ", " : "") << "[" << Histogram::bucket_upper(b) << ", "
+          << h.buckets[b] << "]";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters) out << name << " = " << v << "\n";
+  for (const auto& [name, v] : gauges) out << name << " = " << v << "\n";
+  for (const auto& [name, h] : histograms) {
+    out << name << ": count=" << h.count << " mean=" << h.mean()
+        << " p99<=" << h.quantile_upper_bound(0.99) << "\n";
+  }
+  return out.str();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    const auto buckets = h->buckets();
+    hs.buckets.assign(buckets.begin(), buckets.end());
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace rota::obs

@@ -1,0 +1,50 @@
+#include "rota/obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace rota::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}
+
+void enable_metrics(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::optional<std::string> trace_path_from_env() {
+  const char* path = std::getenv("ROTA_TRACE");
+  if (path == nullptr || *path == '\0') return std::nullopt;
+  return std::string(path);
+}
+
+CoreMetrics& CoreMetrics::get() {
+  static CoreMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    return CoreMetrics{
+        r.counter("admission.accepted"),
+        r.counter("admission.rejected.deadline_passed"),
+        r.counter("admission.rejected.no_plan"),
+        r.counter("admission.rejected.commit_conflict"),
+        r.counter("batch.rounds"),
+        r.counter("batch.speculations"),
+        r.counter("batch.speculations_wasted"),
+        r.gauge("batch.lanes"),
+        r.histogram("batch.round_ns"),
+        r.counter("ledger.joins"),
+        r.counter("ledger.admits"),
+        r.counter("ledger.releases"),
+        r.gauge("ledger.revision"),
+        r.counter("sim.ticks"),
+        r.counter("sim.labels"),
+        r.counter("sim.joins"),
+        r.counter("sim.admissions"),
+        r.counter("sim.gc_runs"),
+        r.counter("explorer.greedy_runs"),
+        r.counter("explorer.permutations"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace rota::obs

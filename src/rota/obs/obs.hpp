@@ -1,0 +1,130 @@
+// Observability front door: hot-path guards, toggles, and the core
+// instrument set threaded through admission, the ledger, the simulator and
+// the explorer.
+//
+// Disabled is the default and costs almost nothing: ROTA_OBS_SPAN compiles
+// to one relaxed atomic load and a branch when no TraceRecorder is
+// installed, and metrics sites pay the same gate via metrics_enabled().
+// tests/test_obs_overhead.cpp holds that to < 2% of batched-admission
+// per-request cost.
+//
+// Enabling:
+//   * metrics — obs::enable_metrics(true); instruments live in
+//     MetricsRegistry::global() (snapshot() / reset() at will);
+//   * tracing — construct a TraceRecorder and install() it; spans flow in
+//     from every instrumented scope until uninstall();
+//   * env     — obs::trace_path_from_env() reads ROTA_TRACE; binaries that
+//     honor it (bench/e15_throughput, examples) enable both and write the
+//     Chrome-trace JSON artifact to that path.
+//
+// Metric names and the span taxonomy are documented in docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <string>
+
+#include "rota/obs/metrics.hpp"
+#include "rota/obs/trace.hpp"
+
+namespace rota::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}
+
+/// True when metric recording is on (one relaxed load).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void enable_metrics(bool on);
+
+/// True when a trace sink is installed (one relaxed-ish load).
+inline bool tracing_enabled() { return TraceRecorder::current() != nullptr; }
+
+/// Gated counter bump: no-op unless metrics are enabled.
+inline void count(Counter& c, std::uint64_t n = 1) {
+  if (metrics_enabled()) c.add(n);
+}
+
+/// The ROTA_TRACE environment variable: when set and non-empty, its value is
+/// the path a traced run should write its Chrome-trace JSON to.
+std::optional<std::string> trace_path_from_env();
+
+/// RAII span: emits a B event on construction and the matching E on scope
+/// exit, into the installed recorder. Free when no recorder is installed.
+class Span {
+ public:
+  explicit Span(const char* name) : rec_(TraceRecorder::current()) {
+    if (rec_ != nullptr) {
+      name_ = name;
+      rec_->begin(name);
+    }
+  }
+  /// `args` is a JSON object body, e.g. "\"lanes\": 4" (built only when a
+  /// recorder is installed — pass via lambda to defer formatting).
+  template <typename ArgsFn>
+  Span(const char* name, ArgsFn&& args_fn) : rec_(TraceRecorder::current()) {
+    if (rec_ != nullptr) {
+      name_ = name;
+      rec_->begin(name, args_fn());
+    }
+  }
+  ~Span() {
+    if (rec_ != nullptr) rec_->end(name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  const char* name_ = nullptr;
+};
+
+#define ROTA_OBS_CONCAT_IMPL(a, b) a##b
+#define ROTA_OBS_CONCAT(a, b) ROTA_OBS_CONCAT_IMPL(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define ROTA_OBS_SPAN(name) \
+  ::rota::obs::Span ROTA_OBS_CONCAT(rota_obs_span_, __LINE__)(name)
+#define ROTA_OBS_SPAN_ARGS(name, args_fn) \
+  ::rota::obs::Span ROTA_OBS_CONCAT(rota_obs_span_, __LINE__)(name, args_fn)
+
+/// Handles to the instruments the built-in instrumentation uses, resolved
+/// once from MetricsRegistry::global() (references stay valid for the
+/// process lifetime). Names are the single source of truth for
+/// docs/observability.md.
+struct CoreMetrics {
+  // Admission decisions (sequential controller and batch commit stage alike).
+  Counter& admission_accepted;
+  Counter& admission_rejected_deadline;   // window empty: deadline passed
+  Counter& admission_rejected_no_plan;    // planner found no feasible plan
+  Counter& admission_rejected_conflict;   // ledger refused at commit (defensive)
+
+  // Batched pipeline, per round.
+  Counter& batch_rounds;
+  Counter& batch_speculations;         // plans attempted against a snapshot
+  Counter& batch_speculations_wasted;  // attempted, then discarded by an accept
+  Gauge& batch_lanes;                  // planning lanes of the last controller
+  Histogram& batch_round_ns;           // wall time per snapshot+speculate+commit
+
+  // Commitment ledger.
+  Counter& ledger_joins;
+  Counter& ledger_admits;
+  Counter& ledger_releases;
+  Gauge& ledger_revision;  // last observed residual revision
+
+  // Simulator.
+  Counter& sim_ticks;
+  Counter& sim_labels;  // consumption labels applied
+  Counter& sim_joins;
+  Counter& sim_admissions;
+  Counter& sim_gc_runs;
+
+  // Explorer.
+  Counter& explorer_greedy_runs;   // full greedy executions (any ranking)
+  Counter& explorer_permutations;  // permutations tried by search_feasible
+
+  static CoreMetrics& get();
+};
+
+}  // namespace rota::obs

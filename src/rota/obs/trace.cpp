@@ -1,0 +1,133 @@
+#include "rota/obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "rota/obs/metrics.hpp"
+
+namespace rota::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of "my log inside recorder generation G". A thread keeps
+/// appending lock-free as long as it talks to the same recorder; switching
+/// recorders (or a new recorder reusing the address) re-registers under the
+/// recorder's mutex because the generation differs.
+struct ThreadCache {
+  std::uint64_t generation = 0;
+  void* log = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+std::uint32_t next_tid() {
+  static std::atomic<std::uint32_t> tid{1};
+  return tid.fetch_add(1, std::memory_order_relaxed);
+}
+thread_local const std::uint32_t t_tid = next_tid();
+
+}  // namespace
+
+std::atomic<TraceRecorder*> TraceRecorder::g_current{nullptr};
+
+TraceRecorder::TraceRecorder()
+    : generation_(next_generation()), epoch_ns_(steady_now_ns()) {}
+
+TraceRecorder::~TraceRecorder() { uninstall(); }
+
+void TraceRecorder::install() {
+  g_current.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::uninstall() {
+  TraceRecorder* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::local_log() {
+  if (t_cache.generation == generation_) {
+    return *static_cast<ThreadLog*>(t_cache.log);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  logs_.push_back(std::make_unique<ThreadLog>());
+  ThreadLog& log = *logs_.back();
+  log.tid = t_tid;
+  log.events.reserve(256);
+  t_cache.generation = generation_;
+  t_cache.log = &log;
+  return log;
+}
+
+void TraceRecorder::record(const char* name, char phase, std::string args) {
+  local_log().events.push_back(
+      TraceEvent{name, phase, steady_now_ns() - epoch_ns_, std::move(args)});
+}
+
+void TraceRecorder::begin(const char* name, std::string args) {
+  record(name, 'B', std::move(args));
+}
+
+void TraceRecorder::end(const char* name) { record(name, 'E', {}); }
+
+void TraceRecorder::instant(const char* name, std::string args) {
+  record(name, 'i', std::move(args));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& log : logs_) n += log->events.size();
+  return n;
+}
+
+std::string TraceRecorder::to_chrome_json(const MetricsSnapshot* metrics) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& log : logs_) {
+    for (const TraceEvent& e : log->events) {
+      if (!first) out << ",\n";
+      first = false;
+      // Chrome trace ts is in microseconds; keep sub-µs precision as a
+      // fraction so short spans stay distinguishable.
+      const std::uint64_t us = e.ts_ns / 1000;
+      const std::uint64_t frac = e.ts_ns % 1000;
+      out << "  {\"name\": \"" << e.name << "\", \"ph\": \"" << e.phase
+          << "\", \"ts\": " << us << '.' << static_cast<char>('0' + frac / 100)
+          << static_cast<char>('0' + (frac / 10) % 10)
+          << static_cast<char>('0' + frac % 10) << ", \"pid\": 1, \"tid\": "
+          << log->tid;
+      if (e.phase == 'i') out << ", \"s\": \"t\"";
+      if (!e.args.empty()) out << ", \"args\": {" << e.args << "}";
+      out << "}";
+    }
+  }
+  out << "\n]";
+  if (metrics != nullptr) out << ",\n\"metrics\": " << metrics->to_json();
+  out << "}\n";
+  return out.str();
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path,
+                                      const MetricsSnapshot* metrics) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json(metrics);
+  return out.good();
+}
+
+}  // namespace rota::obs

@@ -1,0 +1,82 @@
+// Scoped spans with a Chrome-trace-format exporter.
+//
+// A TraceRecorder collects B/E (duration begin/end) and i (instant) events
+// into per-thread buffers: recording takes one steady-clock read and one
+// push_back into a thread-local vector, with no locking — a mutex is taken
+// only the first time a thread touches a given recorder. install() makes a
+// recorder the process-global sink; with no sink installed the Span guard in
+// rota/obs/obs.hpp compiles down to one relaxed pointer load and a branch.
+//
+// to_chrome_json() renders the buffers as Chrome trace format JSON
+// ({"traceEvents": [...]}) loadable in chrome://tracing or Perfetto
+// (ui.perfetto.dev). Timestamps are microseconds from the recorder's epoch
+// (steady clock), so spans from different threads line up on one axis and
+// are monotone per thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rota::obs {
+
+struct MetricsSnapshot;  // rota/obs/metrics.hpp
+
+struct TraceEvent {
+  const char* name = "";  // must outlive the recorder; use string literals
+  char phase = 'B';       // 'B' begin, 'E' end, 'i' instant
+  std::uint64_t ts_ns = 0;
+  std::string args;  // optional JSON object *body*, e.g. "\"revision\": 3"
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Makes this recorder the process-global sink (replacing any other).
+  /// The caller keeps ownership and must uninstall() (or destroy the
+  /// recorder, which uninstalls) once every recording thread is quiescent.
+  void install();
+  /// Clears the global sink if this recorder is it.
+  void uninstall();
+  static TraceRecorder* current() {
+    return g_current.load(std::memory_order_acquire);
+  }
+
+  void begin(const char* name, std::string args = {});
+  void end(const char* name);
+  void instant(const char* name, std::string args = {});
+
+  std::size_t event_count() const;
+
+  /// Chrome trace format. When `metrics` is given, the snapshot is embedded
+  /// as a top-level "metrics" object next to "traceEvents" (extra top-level
+  /// keys are legal and ignored by trace viewers).
+  std::string to_chrome_json(const MetricsSnapshot* metrics = nullptr) const;
+  bool write_chrome_json(const std::string& path,
+                         const MetricsSnapshot* metrics = nullptr) const;
+
+ private:
+  struct ThreadLog {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadLog& local_log();
+  void record(const char* name, char phase, std::string args);
+
+  static std::atomic<TraceRecorder*> g_current;
+
+  const std::uint64_t generation_;  // distinguishes recorders across reuse
+  const std::uint64_t epoch_ns_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+}  // namespace rota::obs

@@ -6,6 +6,7 @@
 // the module map.
 #pragma once
 
+#include "rota/obs/obs.hpp"
 #include "rota/time/tick.hpp"
 #include "rota/time/interval.hpp"
 #include "rota/time/allen.hpp"

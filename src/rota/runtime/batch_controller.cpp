@@ -2,12 +2,33 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <optional>
+#include <sstream>
+
+#include "rota/obs/obs.hpp"
 
 namespace rota {
 
+namespace {
+
+std::uint64_t round_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
     const std::vector<BatchRequest>& requests) {
+  ROTA_OBS_SPAN("batch.admit_batch");
+  const bool metered = obs::metrics_enabled();
+  if (metered) {
+    obs::CoreMetrics::get().batch_lanes.set(
+        static_cast<std::int64_t>(pool_.concurrency()));
+  }
   const std::size_t n = requests.size();
   std::vector<AdmissionDecision> decisions(n);
 
@@ -26,6 +47,14 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
   while (next < n) {
     const std::size_t base = next;
     const std::size_t end = std::min(n, base + lookahead);
+    const std::uint64_t round_t0 = metered ? round_clock_ns() : 0;
+    ROTA_OBS_SPAN_ARGS("batch.round", [&] {
+      std::ostringstream args;
+      args << "\"base\": " << base << ", \"pending\": " << (end - base)
+           << ", \"snapshot_revision\": " << ledger_.revision()
+           << ", \"lanes\": " << pool_.concurrency();
+      return args.str();
+    });
 
     // Windows are clipped by each request's own arrival tick, exactly as
     // decide_request does — the ledger clock never affects decisions. The
@@ -34,18 +63,17 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
     // the hull view yields the same plan as the per-request restriction the
     // sequential controller computes, at one residual scan per round instead
     // of one per request.
-    std::optional<TimeInterval> hull;
+    TimeInterval hull;
     for (std::size_t i = base; i < end; ++i) {
       const TimeInterval w = effective_window(requests[i].rho, requests[i].at);
       windows[i - base] = w;
-      if (!w.empty()) {
-        hull = hull ? TimeInterval(std::min(hull->start(), w.start()),
-                                   std::max(hull->end(), w.end()))
-                    : w;
-      }
+      hull = hull.hull_with(w);
     }
-    const ResourceSet view =
-        hull ? ledger_.residual().restricted(*hull) : ResourceSet();
+    ResourceSet view;
+    {
+      ROTA_OBS_SPAN("batch.snapshot");
+      if (!hull.empty()) view = ledger_.residual().restricted(hull);
+    }
 
     // Speculate: plan pending requests in parallel against the frozen view.
     // The ledger is not touched until every lane has finished. A found plan
@@ -64,6 +92,7 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
       planned[k] = 1;
       const TimeInterval& window = windows[k];
       if (window.empty()) return;  // rejected at commit, no plan needed
+      ROTA_OBS_SPAN("batch.speculate");
       spec[k] = plan_concurrent(view, clip_requirement(requests[i].rho, window),
                                 policy_);
       if (spec[k]) {
@@ -82,6 +111,7 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
     // Commit in order. Rejections leave the residual (and thus the validity
     // of the remaining speculation) untouched; the first accept ends the
     // round so the rest is re-speculated against the new residual.
+    ROTA_OBS_SPAN("batch.commit");
     bool residual_changed = false;
     while (next < end && !residual_changed) {
       const std::size_t i = next;
@@ -92,20 +122,38 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
       const TimeInterval& window = windows[i - base];
       if (window.empty()) {
         decision.reason = "deadline has already passed";
+        if (metered) obs::CoreMetrics::get().admission_rejected_deadline.add();
         continue;
       }
       std::optional<ConcurrentPlan>& plan = spec[i - base];
       if (!plan) {
         decision.reason = "no feasible plan over expiring resources";
+        if (metered) obs::CoreMetrics::get().admission_rejected_no_plan.add();
         continue;
       }
       if (!ledger_.admit(requests[i].rho.name(), window, *plan)) {
         decision.reason = "plan no longer fits residual";  // defensive; not expected
+        if (metered) obs::CoreMetrics::get().admission_rejected_conflict.add();
         continue;
       }
       decision.accepted = true;
       decision.plan = std::move(*plan);
+      if (metered) obs::CoreMetrics::get().admission_accepted.add();
       residual_changed = true;
+    }
+
+    if (metered) {
+      obs::CoreMetrics& m = obs::CoreMetrics::get();
+      m.batch_rounds.add();
+      std::uint64_t speculated = 0, wasted = 0;
+      for (std::size_t k = 0; k < end - base; ++k) {
+        if (!planned[k] || windows[k].empty()) continue;
+        ++speculated;
+        if (base + k >= next) ++wasted;  // planned, then discarded by the accept
+      }
+      m.batch_speculations.add(speculated);
+      m.batch_speculations_wasted.add(wasted);
+      m.batch_round_ns.record(round_clock_ns() - round_t0);
     }
   }
   return decisions;

@@ -1,6 +1,7 @@
 #include "rota/sim/metrics.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace rota {
 
@@ -46,6 +47,24 @@ double SimReport::utilization() const {
   for (const auto& [type, q] : consumed) total_consumed += q;
   if (total_supplied == 0) return 0.0;
   return static_cast<double>(total_consumed) / static_cast<double>(total_supplied);
+}
+
+void SimReport::validate() const {
+  if (horizon < 0) throw std::logic_error("SimReport: negative horizon");
+  for (const auto& o : outcomes) {
+    if (o.completed != o.finished_at.has_value()) {
+      throw std::logic_error(
+          "SimReport: outcome '" + o.name + "' violates completed <=> finished_at (completed=" +
+          (o.completed ? "true" : "false") + ", finished_at " +
+          (o.finished_at ? "set" : "unset") + ")");
+    }
+  }
+  for (const auto& [type, q] : supplied) {
+    if (q < 0) throw std::logic_error("SimReport: negative supplied quantity for " + type.to_string());
+  }
+  for (const auto& [type, q] : consumed) {
+    if (q < 0) throw std::logic_error("SimReport: negative consumed quantity for " + type.to_string());
+  }
 }
 
 std::string SimReport::to_string() const {

@@ -6,12 +6,18 @@
 #include <string>
 #include <vector>
 
+#include "rota/obs/metrics.hpp"
 #include "rota/resource/located_type.hpp"
 #include "rota/time/interval.hpp"
 
 namespace rota {
 
 /// What happened to one admitted computation.
+///
+/// Invariant (checked by SimReport::validate): completed ⇔ finished_at has a
+/// value. A computation with no work at all (zero actors, or all actors with
+/// empty phase lists) is vacuously complete and finishes at the tick it was
+/// accommodated — it never reports "completed with no finish time".
 struct ComputationOutcome {
   std::string name;
   TimeInterval window;
@@ -41,6 +47,11 @@ struct SimReport {
   std::map<LocatedType, Quantity> supplied;  // total quantity offered
   std::map<LocatedType, Quantity> consumed;  // total quantity used
 
+  /// Snapshot of the global metrics registry taken when the run ended; empty
+  /// unless obs::enable_metrics(true) was in effect (see docs/observability.md
+  /// for the sim.* counter names tests can assert on).
+  obs::MetricsSnapshot metrics;
+
   std::size_t admitted() const { return outcomes.size(); }
   std::size_t met() const;
   std::size_t missed() const { return admitted() - met(); }
@@ -55,8 +66,15 @@ struct SimReport {
   /// Mean response time (finish − window start) over completed computations.
   double mean_response_time() const;
 
-  /// Consumed / supplied across all types (goodput proxy).
+  /// Consumed / supplied across all types (goodput proxy; 0 when nothing was
+  /// supplied — an empty run has zero utilization, not NaN).
   double utilization() const;
+
+  /// Checks the report's structural invariants and throws std::logic_error
+  /// naming the first violation: per outcome, completed ⇔ finished_at;
+  /// supplied and consumed quantities non-negative; horizon non-negative.
+  /// Simulator::run validates every report before returning it.
+  void validate() const;
 
   std::string to_string() const;
 };

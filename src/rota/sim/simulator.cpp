@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "rota/obs/obs.hpp"
+
 namespace rota {
 
 std::string execution_mode_name(ExecutionMode m) {
@@ -43,6 +45,8 @@ void Simulator::schedule_admission(Tick at, const ConcurrentRequirement& rho,
 }
 
 SimReport Simulator::run(Tick horizon) {
+  ROTA_OBS_SPAN("sim.run");
+  const bool metered = obs::metrics_enabled();
   std::stable_sort(joins_.begin(), joins_.end(),
                    [](const PendingJoin& a, const PendingJoin& b) { return a.at < b.at; });
   std::stable_sort(admissions_.begin(), admissions_.end(),
@@ -66,13 +70,16 @@ SimReport Simulator::run(Tick horizon) {
   std::map<LocatedType, Rate> capacity_left;
 
   for (Tick t = start_; t < horizon; ++t) {
+    ROTA_OBS_SPAN("sim.tick");
     while (next_join < joins_.size() && joins_[next_join].at <= t) {
       state.join(joins_[next_join].joined);
       ++next_join;
+      if (metered) obs::CoreMetrics::get().sim_joins.add();
     }
     while (next_admission < admissions_.size() && admissions_[next_admission].at <= t) {
       const PendingAdmission& adm = admissions_[next_admission];
       state.accommodate(adm.rho);
+      if (metered) obs::CoreMetrics::get().sim_admissions.add();
       for (std::size_t i = 0; i < adm.rho.actors().size(); ++i) {
         admission_of_commitment.push_back(next_admission);
         const bool follow = mode_ == ExecutionMode::kPlanFollowing && adm.plan;
@@ -150,7 +157,15 @@ SimReport Simulator::run(Tick horizon) {
 
     for (const auto& label : labels) consumed[label.type] += label.rate;
     state.advance(labels);
-    if ((t - start_) % 512 == 511) state.garbage_collect();
+    if (metered) {
+      obs::CoreMetrics& m = obs::CoreMetrics::get();
+      m.sim_ticks.add();
+      m.sim_labels.add(labels.size());
+    }
+    if ((t - start_) % 512 == 511) {
+      state.garbage_collect();
+      if (metered) obs::CoreMetrics::get().sim_gc_runs.add();
+    }
   }
 
   // Assemble per-computation outcomes.
@@ -173,7 +188,15 @@ SimReport Simulator::run(Tick horizon) {
   for (std::size_t a = 0; a < admissions_.size(); ++a) {
     report.outcomes[a].name = admissions_[a].rho.name();
     report.outcomes[a].window = admissions_[a].rho.window();
-    report.outcomes[a].completed = a < next_admission;  // accommodated at all?
+    const bool accommodated = a < next_admission;
+    report.outcomes[a].completed = accommodated;
+    // A computation with no actors spawns no commitments, so the loop below
+    // never touches it: it is vacuously done at the tick it entered the
+    // system. Setting finished_at here keeps the completed ⇔ finished_at
+    // invariant; actor-bearing computations overwrite it below.
+    if (accommodated) {
+      report.outcomes[a].finished_at = std::max(admissions_[a].at, start_);
+    }
   }
   for (std::size_t i = 0; i < admission_of_commitment.size(); ++i) {
     ComputationOutcome& outcome = report.outcomes[admission_of_commitment[i]];
@@ -186,6 +209,8 @@ SimReport Simulator::run(Tick horizon) {
       if (!outcome.finished_at || f > *outcome.finished_at) outcome.finished_at = f;
     }
   }
+  if (metered) report.metrics = obs::MetricsRegistry::global().snapshot();
+  report.validate();
   return report;
 }
 

@@ -47,8 +47,19 @@ class TimeInterval {
   }
 
   /// Union when the two intervals touch or overlap; throws otherwise (the
-  /// union of disjoint intervals is not an interval — use IntervalSet).
+  /// union of disjoint intervals is not an interval — use IntervalSet, or
+  /// hull_with when covering the gap is intended).
   TimeInterval hull_union(const TimeInterval& other) const;
+
+  /// Convex hull: the smallest interval containing both. Total — disjoint
+  /// inputs are legal and the gap between them is covered; the empty
+  /// interval is the identity.
+  constexpr TimeInterval hull_with(const TimeInterval& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return TimeInterval(start_ < other.start_ ? start_ : other.start_,
+                        end_ > other.end_ ? end_ : other.end_);
+  }
 
   /// Translate by dt ticks.
   constexpr TimeInterval shifted(Tick dt) const {

@@ -55,7 +55,7 @@ Tick IntervalSet::measure() const {
 
 TimeInterval IntervalSet::hull() const {
   if (intervals_.empty()) return TimeInterval();
-  return TimeInterval(intervals_.front().start(), intervals_.back().end());
+  return intervals_.front().hull_with(intervals_.back());
 }
 
 IntervalSet IntervalSet::unioned(const IntervalSet& other) const {

@@ -112,6 +112,35 @@ TEST(Interval, ToString) {
 class IntervalPairTest
     : public ::testing::TestWithParam<std::tuple<Tick, Tick, Tick, Tick>> {};
 
+TEST(Interval, HullWithDisjointCoversTheGap) {
+  // Unlike hull_union, hull_with is total: the convex hull of disjoint
+  // intervals spans the gap between them.
+  EXPECT_EQ(TimeInterval(0, 3).hull_with(TimeInterval(5, 9)), TimeInterval(0, 9));
+  EXPECT_EQ(TimeInterval(5, 9).hull_with(TimeInterval(0, 3)), TimeInterval(0, 9));
+}
+
+TEST(Interval, HullWithTouchingAndOverlapping) {
+  EXPECT_EQ(TimeInterval(0, 5).hull_with(TimeInterval(5, 9)), TimeInterval(0, 9));
+  EXPECT_EQ(TimeInterval(0, 5).hull_with(TimeInterval(3, 9)), TimeInterval(0, 9));
+  EXPECT_EQ(TimeInterval(0, 9).hull_with(TimeInterval(2, 4)), TimeInterval(0, 9));
+}
+
+TEST(Interval, HullWithEmptyIsIdentity) {
+  EXPECT_EQ(TimeInterval(2, 7).hull_with(TimeInterval()), TimeInterval(2, 7));
+  EXPECT_EQ(TimeInterval().hull_with(TimeInterval(2, 7)), TimeInterval(2, 7));
+  EXPECT_TRUE(TimeInterval().hull_with(TimeInterval()).empty());
+}
+
+TEST(Interval, HullWithAgreesWithHullUnionWhenBothDefined) {
+  const TimeInterval a(0, 5), b(4, 9), c(5, 9);
+  EXPECT_EQ(a.hull_with(b), a.hull_union(b));
+  EXPECT_EQ(a.hull_with(c), a.hull_union(c));
+}
+
+TEST(Interval, HullWithNegativeTicks) {
+  EXPECT_EQ(TimeInterval(-7, -4).hull_with(TimeInterval(-2, 1)), TimeInterval(-7, 1));
+}
+
 TEST_P(IntervalPairTest, IntersectionIsSubsetOfBoth) {
   const auto [a1, a2, b1, b2] = GetParam();
   TimeInterval a(a1, a2), b(b1, b2);

@@ -81,6 +81,14 @@ TEST(IntervalSet, Hull) {
   EXPECT_EQ(s.hull(), TimeInterval(2, 11));
 }
 
+TEST(IntervalSet, HullMatchesPairwiseHullWith) {
+  IntervalSet s{TimeInterval(2, 4), TimeInterval(6, 7), TimeInterval(8, 11)};
+  TimeInterval h;  // fold hull_with over the members, as the batch pipeline does
+  for (const auto& iv : s.intervals()) h = h.hull_with(iv);
+  EXPECT_EQ(s.hull(), h);
+  EXPECT_EQ(IntervalSet{}.hull(), TimeInterval());
+}
+
 TEST(IntervalSet, Unioned) {
   IntervalSet a{TimeInterval(0, 3)};
   IntervalSet b{TimeInterval(5, 8)};

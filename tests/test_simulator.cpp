@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "rota/admission/controller.hpp"
+#include "rota/obs/obs.hpp"
 
 namespace rota {
 namespace {
@@ -184,6 +185,95 @@ TEST_F(SimulatorTest, ReportToString) {
 TEST_F(SimulatorTest, ModeNames) {
   EXPECT_EQ(execution_mode_name(ExecutionMode::kPlanFollowing), "plan-following");
   EXPECT_EQ(execution_mode_name(ExecutionMode::kWorkConserving), "work-conserving");
+}
+
+// ---------------------------------------------------------------------------
+// SimReport degenerate-run invariants (completed ⇔ finished_at, empty runs).
+
+TEST_F(SimulatorTest, ZeroActorComputationFinishesWhenAccommodated) {
+  // A requirement with no actors spawns no commitments; it is vacuously done
+  // the tick it enters the system — not "completed with no finish time".
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(3, ConcurrentRequirement("empty", {}, TimeInterval(3, 10)));
+  SimReport report = sim.run(40);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_TRUE(report.outcomes[0].completed);
+  ASSERT_TRUE(report.outcomes[0].finished_at.has_value());
+  EXPECT_EQ(*report.outcomes[0].finished_at, 3);
+  EXPECT_TRUE(report.outcomes[0].met_deadline());
+  EXPECT_EQ(report.outcomes[0].tardiness(), Tick{0});
+  EXPECT_EQ(report.outcomes[0].response_time(), Tick{0});
+  EXPECT_NO_THROW(report.validate());
+}
+
+TEST_F(SimulatorTest, ZeroActorComputationPastHorizonStaysIncomplete) {
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(50, ConcurrentRequirement("late", {}, TimeInterval(50, 60)));
+  SimReport report = sim.run(10);  // never accommodated
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_FALSE(report.outcomes[0].completed);
+  EXPECT_FALSE(report.outcomes[0].finished_at.has_value());
+  EXPECT_NO_THROW(report.validate());
+}
+
+TEST_F(SimulatorTest, ValidateRejectsCompletedWithoutFinishTime) {
+  SimReport report;
+  ComputationOutcome o;
+  o.name = "broken";
+  o.completed = true;  // but finished_at unset
+  report.outcomes.push_back(o);
+  EXPECT_THROW(report.validate(), std::logic_error);
+}
+
+TEST_F(SimulatorTest, ValidateRejectsFinishTimeWithoutCompleted) {
+  SimReport report;
+  ComputationOutcome o;
+  o.name = "broken";
+  o.finished_at = 5;  // but not completed
+  report.outcomes.push_back(o);
+  EXPECT_THROW(report.validate(), std::logic_error);
+}
+
+TEST_F(SimulatorTest, EmptyRunHasZeroRatesNotNaN) {
+  Simulator sim(ResourceSet{}, 0, ExecutionMode::kWorkConserving);
+  SimReport report = sim.run(10);
+  EXPECT_EQ(report.admitted(), 0u);
+  EXPECT_EQ(report.miss_rate(), 0.0);
+  EXPECT_EQ(report.utilization(), 0.0);  // zero supplied: 0, not NaN
+  EXPECT_EQ(report.mean_tardiness(), 0.0);
+  EXPECT_EQ(report.mean_response_time(), 0.0);
+  EXPECT_NO_THROW(report.validate());
+}
+
+TEST_F(SimulatorTest, ZeroSupplyWithAdmissionIsAllMissNoNaN) {
+  Simulator sim(ResourceSet{}, 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("starved", 0, 10));
+  SimReport report = sim.run(20);
+  EXPECT_EQ(report.miss_rate(), 1.0);
+  EXPECT_EQ(report.utilization(), 0.0);
+  EXPECT_NO_THROW(report.validate());
+}
+
+TEST_F(SimulatorTest, MetricsSnapshotLandsInReportWhenEnabled) {
+  obs::MetricsRegistry::global().reset();
+  obs::enable_metrics(true);
+  Simulator sim(supply(), 0, ExecutionMode::kWorkConserving);
+  sim.schedule_admission(0, req("j", 0, 10));
+  SimReport report = sim.run(40);
+  obs::enable_metrics(false);
+
+  EXPECT_FALSE(report.metrics.empty());
+  EXPECT_EQ(report.metrics.counter("sim.admissions"), 1u);
+  EXPECT_GT(report.metrics.counter("sim.ticks"), 0u);
+  EXPECT_GT(report.metrics.counter("sim.labels"), 0u);
+
+  // Disabled by default: a fresh run right after disabling records nothing.
+  obs::MetricsRegistry::global().reset();
+  Simulator quiet(supply(), 0, ExecutionMode::kWorkConserving);
+  quiet.schedule_admission(0, req("q", 0, 10));
+  SimReport silent = quiet.run(40);
+  EXPECT_TRUE(silent.metrics.empty());
+  EXPECT_EQ(obs::MetricsRegistry::global().snapshot().counter("sim.ticks"), 0u);
 }
 
 }  // namespace

@@ -346,5 +346,125 @@ TEST_P(StepFunctionRandomTest, AlgebraMatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StepFunctionRandomTest,
                          ::testing::Range<std::uint64_t>(1, 49));
 
+// ---------------------------------------------------------------------------
+// Pinned half-open [start, end) edge semantics. These lock in the exact
+// boundary behavior of value_at, normalize's canonical form, and combine's
+// cursor advance over meeting segments, so a refactor of the merge walk
+// cannot silently shift a boundary by one tick.
+
+TEST(StepFunctionEdges, ValueAtEverySegmentBoundary) {
+  // Two segments with a gap: [2,4)@3, gap [4,6), [6,8)@5.
+  StepFunction f(TimeInterval(2, 4), 3);
+  f.add(TimeInterval(6, 8), 5);
+  EXPECT_EQ(f.value_at(1), 0);   // before support
+  EXPECT_EQ(f.value_at(2), 3);   // closed at segment start
+  EXPECT_EQ(f.value_at(3), 3);   // interior
+  EXPECT_EQ(f.value_at(4), 0);   // open at segment end
+  EXPECT_EQ(f.value_at(5), 0);   // gap interior
+  EXPECT_EQ(f.value_at(6), 5);   // next segment's start
+  EXPECT_EQ(f.value_at(7), 5);
+  EXPECT_EQ(f.value_at(8), 0);   // open at final end
+  EXPECT_EQ(f.value_at(100), 0);
+}
+
+TEST(StepFunctionEdges, ValueAtBoundaryBetweenTouchingSegments) {
+  // Touching segments of different value: the tick at the boundary belongs
+  // to the *later* segment (half-open intervals).
+  const StepFunction g =
+      StepFunction(TimeInterval(0, 3), 1).plus(StepFunction(TimeInterval(3, 6), 4));
+  ASSERT_EQ(g.segments().size(), 2u);
+  EXPECT_EQ(g.value_at(2), 1);
+  EXPECT_EQ(g.value_at(3), 4);  // boundary tick reads the later segment
+
+  // Touching segments of equal value are a single canonical segment, so the
+  // boundary is interior and invisible.
+  const StepFunction h =
+      StepFunction(TimeInterval(0, 3), 1).plus(StepFunction(TimeInterval(3, 6), 1));
+  ASSERT_EQ(h.segments().size(), 1u);
+  EXPECT_EQ(h.value_at(3), 1);
+}
+
+TEST(StepFunctionEdges, NormalizeDropsZeroStretchesFromCombine) {
+  // [0,6)@2 minus [2,4)@2 leaves a true zero stretch in the middle: the
+  // canonical form stores no zero-value segment, so the support splits.
+  StepFunction f(TimeInterval(0, 6), 2);
+  StepFunction h = f.minus(StepFunction(TimeInterval(2, 4), 2));
+  ASSERT_EQ(h.segments().size(), 2u);
+  EXPECT_EQ(h.segments()[0], (Segment{TimeInterval(0, 2), 2}));
+  EXPECT_EQ(h.segments()[1], (Segment{TimeInterval(4, 6), 2}));
+  EXPECT_EQ(h.value_at(2), 0);
+  EXPECT_EQ(h.value_at(3), 0);
+  EXPECT_EQ(h.value_at(4), 2);
+  // Subtracting everything yields the zero function, not a zero segment.
+  EXPECT_TRUE(f.minus(f).segments().empty());
+}
+
+TEST(StepFunctionEdges, AddOfZeroRateLeavesFunctionUntouched) {
+  StepFunction f(TimeInterval(0, 4), 3);
+  const StepFunction before = f;
+  f.add(TimeInterval(1, 3), 0);
+  EXPECT_EQ(f, before);
+  f.add(TimeInterval(), 7);  // empty interval contributes nothing
+  EXPECT_EQ(f, before);
+}
+
+TEST(StepFunctionEdges, CombineWhereOneSegmentMeetsTheOther) {
+  // a's segment *meets* b's (a.end == b.start): the cursor advance must hand
+  // the boundary tick to b without overlap or gap.
+  const StepFunction a(TimeInterval(0, 5), 2);
+  const StepFunction b(TimeInterval(5, 9), 3);
+  const StepFunction sum = a.plus(b);
+  ASSERT_EQ(sum.segments().size(), 2u);
+  EXPECT_EQ(sum.segments()[0], (Segment{TimeInterval(0, 5), 2}));
+  EXPECT_EQ(sum.segments()[1], (Segment{TimeInterval(5, 9), 3}));
+  EXPECT_EQ(sum.value_at(4), 2);
+  EXPECT_EQ(sum.value_at(5), 3);
+  EXPECT_EQ(sum.integral(), a.integral() + b.integral());
+
+  // Same shape through min/max (op(0,0)==0 family).
+  EXPECT_TRUE(a.min(b).is_zero());  // disjoint supports: min is 0 everywhere
+  const StepFunction mx = a.max(b);
+  EXPECT_EQ(mx.value_at(4), 2);
+  EXPECT_EQ(mx.value_at(5), 3);
+
+  // And reversed operand order must commute.
+  EXPECT_EQ(b.plus(a), sum);
+  EXPECT_EQ(b.max(a), mx);
+}
+
+TEST(StepFunctionEdges, CombineMeetingChainAgainstBruteForce) {
+  // A chain of meeting segments in one operand, a straddling segment in the
+  // other — every boundary checked pointwise against value_at.
+  StepFunction a = StepFunction(TimeInterval(0, 3), 1)
+                       .plus(StepFunction(TimeInterval(3, 6), 4))
+                       .plus(StepFunction(TimeInterval(6, 9), 1));
+  StepFunction b(TimeInterval(2, 7), 10);
+  for (const auto* op : {"plus", "minus", "min", "max"}) {
+    StepFunction c = op == std::string("plus")    ? a.plus(b)
+                     : op == std::string("minus") ? a.minus(b)
+                     : op == std::string("min")   ? a.min(b)
+                                                  : a.max(b);
+    for (Tick t = -1; t <= 10; ++t) {
+      const Rate va = a.value_at(t), vb = b.value_at(t);
+      const Rate expect = op == std::string("plus")    ? va + vb
+                          : op == std::string("minus") ? va - vb
+                          : op == std::string("min")   ? std::min(va, vb)
+                                                       : std::max(va, vb);
+      EXPECT_EQ(c.value_at(t), expect) << op << " at t=" << t;
+    }
+  }
+}
+
+TEST(StepFunctionEdges, RestrictedAtExactSegmentBoundaries) {
+  StepFunction f = StepFunction(TimeInterval(0, 4), 2).plus(StepFunction(TimeInterval(4, 8), 5));
+  const StepFunction r = f.restricted(TimeInterval(4, 8));
+  ASSERT_EQ(r.segments().size(), 1u);
+  EXPECT_EQ(r.segments()[0], (Segment{TimeInterval(4, 8), 5}));
+  const StepFunction r2 = f.restricted(TimeInterval(2, 4));
+  ASSERT_EQ(r2.segments().size(), 1u);
+  EXPECT_EQ(r2.segments()[0], (Segment{TimeInterval(2, 4), 2}));
+  EXPECT_TRUE(f.restricted(TimeInterval(8, 12)).is_zero());
+}
+
 }  // namespace
 }  // namespace rota
