@@ -19,6 +19,7 @@ void AuditLog::record(Tick at, const ConcurrentRequirement& rho,
   entry.accepted = decision.accepted;
   if (decision.accepted) {
     entry.planned_finish = decision.plan ? decision.plan->finish : rho.window().end();
+    entry.plan = decision.plan;
   } else {
     entry.reason = decision.reason;
   }
@@ -69,6 +70,15 @@ double AuditLog::mean_slack_fraction() const {
     ++n;
   }
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::size_t AuditLog::replay_into(CommitmentLedger& ledger) const {
+  std::size_t replayed = 0;
+  for (const auto& e : entries_) {
+    if (!e.accepted || !e.plan) continue;
+    if (ledger.admit(e.computation, e.window, *e.plan)) ++replayed;
+  }
+  return replayed;
 }
 
 std::string AuditLog::to_string() const {

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "rota/admission/controller.hpp"
@@ -24,6 +25,9 @@ struct AuditEntry {
   bool accepted = false;
   std::string reason;          // empty when accepted
   Tick planned_finish = 0;     // valid when accepted
+  /// The committed plan (accepted entries only) — the write-ahead record
+  /// replay_into() uses to rebuild a crashed node's ledger.
+  std::optional<ConcurrentPlan> plan;
 };
 
 class AuditLog {
@@ -52,6 +56,15 @@ class AuditLog {
   /// Laxity actually granted to accepted jobs: mean of
   /// (window end − planned finish) / window length. 0 when none accepted.
   double mean_slack_fraction() const;
+
+  /// Crash recovery: re-admits every retained accepted entry (in decision
+  /// order, with its recorded plan) into `ledger`. Replaying onto a fresh
+  /// ledger with the pre-crash supply reproduces the pre-crash residual and
+  /// — when the log retains the node's full history — its revision counter.
+  /// Returns the number of entries re-admitted; entries whose plan no longer
+  /// fits (supply shrank since the crash) are skipped, never partially
+  /// applied.
+  std::size_t replay_into(CommitmentLedger& ledger) const;
 
   std::string to_string() const;
 

@@ -33,33 +33,29 @@ ActorComputation MigrationAdvisor::materialize(const WorkSpec& spec,
   if (spec.chunk_weights.empty()) {
     throw std::invalid_argument("WorkSpec needs at least one chunk");
   }
+  // Every placement is the same itinerary, differently parameterized: an
+  // optional hop out, `away` chunks at the site, an optional hop back, and
+  // the remaining chunks at home.
+  const std::size_t n = spec.chunk_weights.size();
+  const bool hop_out = kind != PlacementKind::kStay;
+  const bool hop_back = kind == PlacementKind::kMigrateAndReturn;
+  const std::size_t away = !hop_out ? 0 : hop_back ? n - 1 : n;
+
   ActorComputationBuilder builder(spec.actor, spec.home);
-  switch (kind) {
-    case PlacementKind::kStay:
-      for (std::int64_t w : spec.chunk_weights) builder.evaluate(w);
-      builder.ready();
-      break;
-    case PlacementKind::kMigrateOnce:
-      builder.migrate(site, spec.state_size);
-      for (std::int64_t w : spec.chunk_weights) builder.evaluate(w);
-      builder.ready();
-      break;
-    case PlacementKind::kMigrateAndReturn:
-      builder.migrate(site, spec.state_size);
-      for (std::size_t i = 0; i + 1 < spec.chunk_weights.size(); ++i) {
-        builder.evaluate(spec.chunk_weights[i]);
-      }
-      builder.migrate(spec.home, spec.state_size);
-      builder.evaluate(spec.chunk_weights.back());
-      builder.ready();
-      break;
-  }
+  if (hop_out) builder.migrate(site, spec.state_size);
+  for (std::size_t i = 0; i < away; ++i) builder.evaluate(spec.chunk_weights[i]);
+  if (hop_back) builder.migrate(spec.home, spec.state_size);
+  for (std::size_t i = away; i < n; ++i) builder.evaluate(spec.chunk_weights[i]);
+  builder.ready();
   return std::move(builder).build();
 }
 
 PlacementOption MigrationAdvisor::assess(const ResourceSet& supply,
                                          const WorkSpec& spec, PlacementKind kind,
                                          Location site) const {
+  if (spec.deadline <= spec.earliest_start) {
+    throw std::invalid_argument("WorkSpec deadline must follow its earliest start");
+  }
   PlacementOption option;
   option.kind = kind;
   option.site = site;
@@ -76,12 +72,19 @@ PlacementOption MigrationAdvisor::assess(const ResourceSet& supply,
   return option;
 }
 
+void MigrationAdvisor::rank(std::vector<PlacementOption>& options) {
+  std::sort(options.begin(), options.end(),
+            [](const PlacementOption& a, const PlacementOption& b) {
+              if (a.feasible != b.feasible) return a.feasible;
+              if (a.feasible && a.finish != b.finish) return a.finish < b.finish;
+              if (a.site.id() != b.site.id()) return a.site.id() < b.site.id();
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
 std::vector<PlacementOption> MigrationAdvisor::evaluate(
     const ResourceSet& supply, const WorkSpec& spec,
     const std::vector<Location>& sites) const {
-  if (spec.deadline <= spec.earliest_start) {
-    throw std::invalid_argument("WorkSpec deadline must follow its earliest start");
-  }
   std::vector<PlacementOption> options;
   options.push_back(assess(supply, spec, PlacementKind::kStay, spec.home));
   for (const Location& site : sites) {
@@ -91,11 +94,24 @@ std::vector<PlacementOption> MigrationAdvisor::evaluate(
       options.push_back(assess(supply, spec, PlacementKind::kMigrateAndReturn, site));
     }
   }
-  std::stable_sort(options.begin(), options.end(),
-                   [](const PlacementOption& a, const PlacementOption& b) {
-                     if (a.feasible != b.feasible) return a.feasible;
-                     return a.feasible && a.finish < b.finish;
-                   });
+  rank(options);
+  return options;
+}
+
+std::vector<PlacementOption> MigrationAdvisor::evaluate(
+    const ResourceSet& home_supply, const WorkSpec& spec,
+    const std::vector<SiteSupply>& sites) const {
+  std::vector<PlacementOption> options;
+  options.push_back(assess(home_supply, spec, PlacementKind::kStay, spec.home));
+  for (const SiteSupply& s : sites) {
+    if (s.site == spec.home) continue;
+    const ResourceSet view = home_supply.unioned(s.supply);
+    options.push_back(assess(view, spec, PlacementKind::kMigrateOnce, s.site));
+    if (spec.chunk_weights.size() > 1) {
+      options.push_back(assess(view, spec, PlacementKind::kMigrateAndReturn, s.site));
+    }
+  }
+  rank(options);
   return options;
 }
 

@@ -51,6 +51,17 @@ struct PlacementOption {
   std::string to_string() const;
 };
 
+/// What the advisor knows about one candidate site. With oracle access the
+/// supply is the site's true availability; in the cluster layer it is the
+/// site's last gossiped digest — conservative but stale, which is why claims
+/// re-validate against live state (see rota/cluster/).
+struct SiteSupply {
+  Location site;
+  ResourceSet supply;
+
+  bool operator==(const SiteSupply&) const = default;
+};
+
 class MigrationAdvisor {
  public:
   explicit MigrationAdvisor(CostModel phi,
@@ -61,21 +72,37 @@ class MigrationAdvisor {
   ActorComputation materialize(const WorkSpec& spec, PlacementKind kind,
                                Location site) const;
 
+  /// The one cost helper behind every option-evaluation path: materializes
+  /// the candidate, derives its requirement, and plans it against `supply`
+  /// (oracle availability or a gossiped digest — the helper is agnostic).
+  PlacementOption assess(const ResourceSet& supply, const WorkSpec& spec,
+                         PlacementKind kind, Location site) const;
+
   /// Evaluates every candidate: stay home, plus migrate-once and
   /// migrate-and-return for each listed site. Options are returned ranked —
-  /// feasible ones first by finish time, infeasible ones after.
+  /// feasible ones first by finish time, infeasible ones after; ties are
+  /// deterministic (site id, then kind).
   std::vector<PlacementOption> evaluate(const ResourceSet& supply,
                                         const WorkSpec& spec,
                                         const std::vector<Location>& sites) const;
+
+  /// Digest-driven evaluation: each remote candidate is assessed against the
+  /// union of the home view and that site's (possibly stale) digest; the
+  /// stay-home option against the home view alone. Same ranking rules.
+  std::vector<PlacementOption> evaluate(const ResourceSet& home_supply,
+                                        const WorkSpec& spec,
+                                        const std::vector<SiteSupply>& sites) const;
 
   /// The winning option, if any course of action meets the deadline.
   std::optional<PlacementOption> best(const ResourceSet& supply, const WorkSpec& spec,
                                       const std::vector<Location>& sites) const;
 
- private:
-  PlacementOption assess(const ResourceSet& supply, const WorkSpec& spec,
-                         PlacementKind kind, Location site) const;
+  /// Ranking shared by both evaluate overloads: feasible before infeasible,
+  /// then earliest finish, then site id, then kind — a total order, so equal
+  /// inputs always rank identically.
+  static void rank(std::vector<PlacementOption>& options);
 
+ private:
   CostModel phi_;
   PlanningPolicy policy_;
 };

@@ -1,0 +1,269 @@
+#include "rota/cluster/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "rota/obs/obs.hpp"
+
+namespace rota::cluster {
+
+std::size_t ClusterReport::accepted(Placement kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(decisions.begin(), decisions.end(),
+                    [kind](const JobDecision& d) { return d.outcome == kind; }));
+}
+
+std::size_t ClusterReport::accepted_total() const {
+  return accepted(Placement::kLocal) + accepted(Placement::kRemote);
+}
+
+std::size_t ClusterReport::rejected() const {
+  return accepted(Placement::kRejected);
+}
+
+std::size_t ClusterReport::lost() const {
+  return static_cast<std::size_t>(
+      std::count_if(decisions.begin(), decisions.end(),
+                    [](const JobDecision& d) { return d.lost; }));
+}
+
+double ClusterReport::deadline_hit_rate() const {
+  if (decisions.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const JobDecision& d : decisions) {
+    if (d.outcome != Placement::kRejected && !d.lost) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(decisions.size());
+}
+
+double ClusterReport::forwarded_fraction() const {
+  const std::size_t total = accepted_total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(accepted(Placement::kRemote)) /
+         static_cast<double>(total);
+}
+
+std::string ClusterReport::decision_log() const {
+  std::ostringstream out;
+  for (const JobDecision& d : decisions) out << d.to_string() << '\n';
+  return out.str();
+}
+
+void ClusterReport::schedule_into(Simulator& sim) const {
+  for (const PlacedAdmission& p : placements) {
+    if (p.lost) continue;
+    sim.schedule_admission(p.at, p.rho, p.plan);
+  }
+}
+
+ClusterSim::ClusterSim(CostModel phi, ClusterConfig config)
+    : phi_(std::move(phi)),
+      config_(config),
+      fabric_(0, config.seed, config.default_link) {}
+
+NodeId ClusterSim::add_node(Location site, ResourceSet supply) {
+  return add_node(site, std::move(supply), config_.node);
+}
+
+NodeId ClusterSim::add_node(Location site, ResourceSet supply,
+                            NodeConfig node_config) {
+  if (ran_) throw std::logic_error("cluster already ran");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  fabric_.add_node();
+  supplies_.push_back(supply);
+  nodes_.push_back(std::make_unique<ClusterNode>(
+      id, site, phi_, std::move(supply), node_config, events_.get()));
+  outages_.emplace_back();
+  for (NodeId peer = 0; peer < id; ++peer) {
+    nodes_[peer]->set_peer(id, fabric_.link(peer, id).latency);
+    nodes_[id]->set_peer(peer, fabric_.link(id, peer).latency);
+  }
+  return id;
+}
+
+void ClusterSim::set_link(NodeId a, NodeId b, LinkParams params) {
+  fabric_.set_link(a, b, params);
+  fabric_.set_link(b, a, params);
+  nodes_.at(a)->set_peer(b, params.latency);
+  nodes_.at(b)->set_peer(a, params.latency);
+}
+
+std::uint64_t ClusterSim::submit(Tick at, NodeId origin, WorkSpec work) {
+  if (origin >= nodes_.size()) throw std::out_of_range("unknown origin node");
+  const std::uint64_t id = next_job_id_++;
+  arrivals_.push_back(ClusterArrival{at, origin, ClusterJob{id, std::move(work)}});
+  return id;
+}
+
+void ClusterSim::schedule_crash(Tick at, NodeId node) {
+  faults_.push_back(Fault{at, Fault::Kind::kCrash, node, kNoNode, false});
+}
+
+void ClusterSim::schedule_restart(Tick at, NodeId node, bool recover) {
+  faults_.push_back(Fault{at, Fault::Kind::kRestart, node, kNoNode, recover});
+}
+
+void ClusterSim::schedule_partition(Tick at, NodeId a, NodeId b) {
+  faults_.push_back(Fault{at, Fault::Kind::kPartition, a, b, false});
+}
+
+void ClusterSim::schedule_heal(Tick at, NodeId a, NodeId b) {
+  faults_.push_back(Fault{at, Fault::Kind::kHeal, a, b, false});
+}
+
+void ClusterSim::apply_faults(Tick now) {
+  for (const Fault& f : faults_) {
+    if (f.at != now) continue;
+    switch (f.kind) {
+      case Fault::Kind::kCrash:
+        if (!nodes_[f.a]->down()) {
+          nodes_[f.a]->crash(now);
+          fabric_.set_down(f.a, true);
+          outages_[f.a].emplace_back(now, kTickMax, false);
+        }
+        break;
+      case Fault::Kind::kRestart:
+        if (nodes_[f.a]->down()) {
+          nodes_[f.a]->restart(now, f.recover);
+          fabric_.set_down(f.a, false);
+          auto& [crash_at, restart_at, recovered] = outages_[f.a].back();
+          restart_at = now;
+          recovered = f.recover;
+        }
+        break;
+      case Fault::Kind::kPartition:
+        fabric_.partition(f.a, f.b);
+        break;
+      case Fault::Kind::kHeal:
+        fabric_.heal(f.a, f.b);
+        break;
+    }
+  }
+}
+
+void ClusterSim::mark_lost() {
+  // A placement dies with its node: a crash after admission and before the
+  // planned finish destroys it unless the restart replayed the audit log.
+  for (PlacedAdmission& p : events_->placements) {
+    for (const auto& [crash_at, restart_at, recovered] : outages_[p.node]) {
+      (void)restart_at;
+      if (!recovered && crash_at >= p.at && crash_at < p.plan.finish) {
+        p.lost = true;
+        break;
+      }
+    }
+  }
+  // Decisions inherit loss from the placement that backs them (matched by
+  // job id + node; orphan placements from lost claim-acks back no decision).
+  for (JobDecision& d : events_->decisions) {
+    if (d.outcome == Placement::kRejected) continue;
+    for (const PlacedAdmission& p : events_->placements) {
+      if (p.job == d.id && p.node == d.placed) {
+        d.lost = p.lost;
+        break;
+      }
+    }
+  }
+}
+
+ClusterReport ClusterSim::run(Tick horizon) {
+  if (ran_) throw std::logic_error("cluster already ran");
+  if (nodes_.empty()) throw std::logic_error("cluster has no nodes");
+  ran_ = true;
+
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [](const ClusterArrival& a, const ClusterArrival& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.origin < b.origin;
+                   });
+  std::stable_sort(faults_.begin(), faults_.end(),
+                   [](const Fault& a, const Fault& b) { return a.at < b.at; });
+
+  std::size_t next_arrival = 0;
+  for (Tick now = 0; now < horizon; ++now) {
+    apply_faults(now);
+
+    for (const Message& m : fabric_.deliver_due(now)) {
+      if (m.to < nodes_.size()) nodes_[m.to]->handle(m, now);
+    }
+
+    while (next_arrival < arrivals_.size() &&
+           arrivals_[next_arrival].at == now) {
+      // Same-tick arrivals at one origin admit as one FCFS batch.
+      const NodeId origin = arrivals_[next_arrival].origin;
+      std::vector<ClusterJob> batch;
+      while (next_arrival < arrivals_.size() &&
+             arrivals_[next_arrival].at == now &&
+             arrivals_[next_arrival].origin == origin) {
+        batch.push_back(arrivals_[next_arrival].job);
+        ++next_arrival;
+      }
+      nodes_[origin]->submit(batch, now);
+    }
+
+    for (auto& node : nodes_) node->on_tick(now);
+    for (auto& node : nodes_) {
+      for (Message& m : node->drain_outbox()) fabric_.send(std::move(m), now);
+    }
+  }
+  for (auto& node : nodes_) node->abort_pending(horizon, "horizon reached");
+
+  mark_lost();
+
+  ClusterReport report;
+  report.decisions = events_->decisions;
+  report.placements = events_->placements;
+  report.messages_sent = fabric_.total_sent();
+  report.messages_dropped = fabric_.total_dropped();
+  report.messages_delivered = fabric_.total_delivered();
+  return report;
+}
+
+ResourceSet ClusterSim::total_supply() const {
+  ResourceSet total;
+  for (const ResourceSet& s : supplies_) total.union_with(s);
+  return total;
+}
+
+ClusterSim cluster_from_scenario(const Scenario& scenario, CostModel phi,
+                                 ClusterConfig config) {
+  if (scenario.nodes.empty()) {
+    throw std::invalid_argument("scenario declares no cluster nodes");
+  }
+  ClusterSim sim(std::move(phi), config);
+  std::map<std::string, NodeId> by_name;
+  for (const ScenarioNode& n : scenario.nodes) {
+    if (by_name.count(n.name) != 0) {
+      throw std::invalid_argument("duplicate cluster node " + n.name);
+    }
+    const Location site(n.location);
+    // The node's share of the scenario supply: everything rooted at its
+    // location (node-local resources and outgoing links).
+    ResourceSet supply;
+    for (const LocatedType& type : scenario.supply.types()) {
+      if (type.source() == site) {
+        supply.add(type, scenario.supply.availability(type));
+      }
+    }
+    NodeConfig node_config = config.node;
+    node_config.lanes = n.lanes;
+    by_name[n.name] = sim.add_node(site, std::move(supply), node_config);
+  }
+  for (const ScenarioLink& l : scenario.links) {
+    const auto from = by_name.find(l.from);
+    const auto to = by_name.find(l.to);
+    if (from == by_name.end() || to == by_name.end()) {
+      throw std::invalid_argument("link references unknown node " +
+                                  (from == by_name.end() ? l.from : l.to));
+    }
+    LinkParams params;
+    params.latency = l.latency;
+    params.jitter = l.jitter;
+    params.drop = static_cast<double>(l.drop_permille) / 1000.0;
+    sim.set_link(from->second, to->second, params);
+  }
+  return sim;
+}
+
+}  // namespace rota::cluster

@@ -1,0 +1,150 @@
+// The cluster control loop: N ClusterNodes federated over a MessageFabric.
+//
+// ClusterSim owns the nodes, the fabric, and a fault schedule, and advances
+// everything in one deterministic tick loop:
+//
+//   faults → deliveries → arrivals → node ticks → outbox flush
+//
+// with every stage iterating nodes in id order. All randomness lives in the
+// seeded fabric (latency jitter, loss, reorder) and in whatever generator
+// produced the arrival list, so two runs with the same seed and schedule
+// produce byte-identical decision logs — the property the determinism tests
+// and the bench harness assert.
+//
+// The report separates *control* from *execution*: decisions and committed
+// placements come out of the control loop; schedule_into() replays the
+// surviving placements into the plan-following Simulator for the end-to-end
+// deadline check (admitted ∧ not lost to a crash ⇒ deadline met).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rota/cluster/node.hpp"
+#include "rota/io/scenario.hpp"
+#include "rota/sim/simulator.hpp"
+
+namespace rota::cluster {
+
+struct ClusterConfig {
+  std::uint64_t seed = 1;
+  NodeConfig node;          // defaults for nodes added without an override
+  LinkParams default_link;  // defaults for links never set explicitly
+};
+
+/// One job entering the cluster at a node.
+struct ClusterArrival {
+  Tick at = 0;
+  NodeId origin = kNoNode;
+  ClusterJob job;
+};
+
+/// Everything the control loop decided, plus derived rates.
+struct ClusterReport {
+  std::vector<JobDecision> decisions;
+  std::vector<PlacedAdmission> placements;
+
+  // Fabric totals over the run.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delivered = 0;
+
+  std::size_t submitted() const { return decisions.size(); }
+  std::size_t accepted(Placement kind) const;
+  std::size_t accepted_total() const;
+  std::size_t rejected() const;
+  std::size_t lost() const;
+
+  /// Accepted-and-survived over submitted. By plan-following soundness every
+  /// surviving placement meets its deadline, so this *is* the deadline-hit
+  /// rate (test_cluster.cpp checks the implication end to end).
+  double deadline_hit_rate() const;
+  /// Remote placements over all accepted — how much the federation moved.
+  double forwarded_fraction() const;
+
+  /// Canonical one-line-per-decision log; equal seeds ⇒ equal strings.
+  std::string decision_log() const;
+
+  /// Replays every surviving placement into `sim` (plan-following mode).
+  void schedule_into(Simulator& sim) const;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(CostModel phi, ClusterConfig config);
+
+  /// Adds a node hosting `site` with `supply`; returns its id (dense, in
+  /// insertion order). All existing nodes learn the new peer and vice versa.
+  NodeId add_node(Location site, ResourceSet supply);
+  NodeId add_node(Location site, ResourceSet supply, NodeConfig node_config);
+
+  /// Symmetric link override (both directions); also refreshes the latency
+  /// estimate each endpoint uses for deadline budgeting.
+  void set_link(NodeId a, NodeId b, LinkParams params);
+
+  /// A job arriving at `origin` at `at`; returns the assigned job id.
+  std::uint64_t submit(Tick at, NodeId origin, WorkSpec work);
+
+  // Fault schedule. Crashes drop the node's ledger and every in-flight
+  // conversation; restarts rebuild from base supply, replaying the audit log
+  // when `recover` is set. Partitions silently eat traffic between the pair
+  // until healed — nodes degrade to timeouts, retries, and finally
+  // local-only behaviour.
+  void schedule_crash(Tick at, NodeId node);
+  void schedule_restart(Tick at, NodeId node, bool recover);
+  void schedule_partition(Tick at, NodeId a, NodeId b);
+  void schedule_heal(Tick at, NodeId a, NodeId b);
+
+  /// Runs the control loop over [0, horizon) and returns the report.
+  /// Single-shot: a ClusterSim instance runs once.
+  ClusterReport run(Tick horizon);
+
+  std::size_t size() const { return nodes_.size(); }
+  ClusterNode& node(NodeId id) { return *nodes_.at(id); }
+  const ClusterNode& node(NodeId id) const { return *nodes_.at(id); }
+  MessageFabric& fabric() { return fabric_; }
+  /// Union of every node's base supply (for building the execution Simulator).
+  ResourceSet total_supply() const;
+
+ private:
+  struct Fault {
+    enum class Kind { kCrash, kRestart, kPartition, kHeal };
+    Tick at = 0;
+    Kind kind = Kind::kCrash;
+    NodeId a = kNoNode;
+    NodeId b = kNoNode;  // partition/heal peer
+    bool recover = false;
+  };
+
+  void apply_faults(Tick now);
+  void mark_lost();
+
+  CostModel phi_;
+  ClusterConfig config_;
+  MessageFabric fabric_;
+  /// Heap-held so node back-pointers survive moving the ClusterSim
+  /// (cluster_from_scenario returns one by value).
+  std::unique_ptr<ClusterEvents> events_ = std::make_unique<ClusterEvents>();
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::vector<ResourceSet> supplies_;  // per node, for total_supply()
+  std::vector<ClusterArrival> arrivals_;
+  std::vector<Fault> faults_;
+  /// Per node: (crash_at, restart_at or kTickMax, recovered) intervals, for
+  /// marking placements the crash destroyed.
+  std::vector<std::vector<std::tuple<Tick, Tick, bool>>> outages_;
+  std::uint64_t next_job_id_ = 0;
+  bool ran_ = false;
+};
+
+/// Builds a cluster from a scenario's `node`/`link` section: one ClusterNode
+/// per `node` line (in file order, with its declared lanes), links applied
+/// symmetrically, and each node's supply = the slice of the scenario supply
+/// whose types live at (or depart from) the node's location. Throws
+/// std::invalid_argument when the scenario declares no nodes.
+ClusterSim cluster_from_scenario(const Scenario& scenario, CostModel phi,
+                                 ClusterConfig config);
+
+}  // namespace rota::cluster

@@ -1,0 +1,30 @@
+// Supply digests: the compact, conservative residual hulls nodes gossip.
+//
+// A digest must be small (it rides in every gossip round) and must never
+// overstate capacity (a peer ranks migration targets from it, and an
+// optimistic hull would manufacture probe traffic to nodes that cannot
+// help). Both follow from building the hull out of StepFunction::coarsened,
+// which takes the *minimum* rate inside each bucket: any plan feasible
+// against the hull is feasible against the true residual at digest time.
+// Staleness is handled upstream — claims re-validate against live state.
+#pragma once
+
+#include <cstddef>
+
+#include "rota/admission/ledger.hpp"
+#include "rota/cluster/fabric.hpp"
+
+namespace rota::cluster {
+
+/// Conservative per-type compaction: each availability profile is coarsened
+/// (bucket-minimum downsampling, doubling the bucket width) until it fits in
+/// `max_segments` segments. The result is dominated by the input everywhere.
+ResourceSet compact_hull(const ResourceSet& supply, std::size_t max_segments);
+
+/// The digest a node gossips at `now`: its residual with the past dropped,
+/// compacted to at most `max_segments` segments per located type, stamped
+/// with the ledger revision and tick.
+SupplyDigest make_digest(const CommitmentLedger& ledger, Location site,
+                         Tick now, std::size_t max_segments);
+
+}  // namespace rota::cluster

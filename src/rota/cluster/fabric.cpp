@@ -1,0 +1,149 @@
+#include "rota/cluster/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rota/obs/obs.hpp"
+
+namespace rota::cluster {
+
+std::string msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kProbe: return "probe";
+    case MsgKind::kOffer: return "offer";
+    case MsgKind::kNack: return "nack";
+    case MsgKind::kClaim: return "claim";
+    case MsgKind::kClaimAck: return "claim-ack";
+    case MsgKind::kClaimReject: return "claim-reject";
+    case MsgKind::kDigest: return "digest";
+  }
+  throw std::invalid_argument("invalid MsgKind");
+}
+
+MessageFabric::MessageFabric(std::size_t nodes, std::uint64_t seed,
+                             LinkParams defaults)
+    : nodes_(nodes),
+      defaults_(defaults),
+      links_(nodes * nodes, defaults),
+      down_(nodes, false),
+      rng_(seed) {
+  if (defaults.latency < 1) {
+    throw std::invalid_argument("fabric latency must be >= 1 tick");
+  }
+}
+
+NodeId MessageFabric::add_node() {
+  const std::size_t n = nodes_ + 1;
+  std::vector<LinkParams> grown(n * n, defaults_);
+  for (std::size_t f = 0; f < nodes_; ++f) {
+    for (std::size_t t = 0; t < nodes_; ++t) {
+      grown[f * n + t] = links_[f * nodes_ + t];
+    }
+  }
+  links_ = std::move(grown);
+  down_.push_back(false);
+  nodes_ = n;
+  return static_cast<NodeId>(n - 1);
+}
+
+std::size_t MessageFabric::link_index(NodeId from, NodeId to) const {
+  if (from >= nodes_ || to >= nodes_) {
+    throw std::out_of_range("fabric link endpoint out of range");
+  }
+  return static_cast<std::size_t>(from) * nodes_ + to;
+}
+
+void MessageFabric::set_link(NodeId from, NodeId to, LinkParams params) {
+  if (params.latency < 1) {
+    throw std::invalid_argument("fabric latency must be >= 1 tick");
+  }
+  links_[link_index(from, to)] = params;
+}
+
+const LinkParams& MessageFabric::link(NodeId from, NodeId to) const {
+  return links_[link_index(from, to)];
+}
+
+void MessageFabric::partition(NodeId a, NodeId b) {
+  partitions_.insert(std::minmax(a, b));
+}
+
+void MessageFabric::heal(NodeId a, NodeId b) {
+  partitions_.erase(std::minmax(a, b));
+}
+
+bool MessageFabric::partitioned(NodeId a, NodeId b) const {
+  return partitions_.count(std::minmax(a, b)) != 0;
+}
+
+void MessageFabric::set_down(NodeId n, bool down) {
+  if (n >= nodes_) throw std::out_of_range("fabric node out of range");
+  down_[n] = down;
+}
+
+bool MessageFabric::down(NodeId n) const {
+  if (n >= nodes_) throw std::out_of_range("fabric node out of range");
+  return down_[n];
+}
+
+void MessageFabric::send(Message m, Tick now) {
+  if (m.from == m.to) throw std::invalid_argument("fabric rejects self-sends");
+  const LinkParams& p = link(m.from, m.to);
+  ++sent_;
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().fabric_sent.add();
+
+  // Down endpoints and partitions silently eat traffic; the loss roll is
+  // drawn regardless so a partitioned run consumes the same Rng stream as an
+  // unpartitioned one up to the partition's first effect.
+  const bool lost = p.drop > 0.0 && rng_.chance(p.drop);
+  Tick delay = p.latency;
+  if (p.jitter > 0) delay += rng_.uniform(0, p.jitter);
+  if (p.reorder > 0.0 && rng_.chance(p.reorder)) delay += p.jitter + 1;
+
+  if (lost || down_[m.from] || down_[m.to] || partitioned(m.from, m.to)) {
+    ++dropped_;
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().fabric_dropped.add();
+    return;
+  }
+  queue_.push_back(InFlight{now, now + delay, next_seq_++, std::move(m)});
+}
+
+std::vector<Message> MessageFabric::deliver_due(Tick now) {
+  std::vector<InFlight> due;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].deliver_at <= now) {
+      due.push_back(std::move(queue_[i]));
+    } else {
+      if (kept != i) queue_[kept] = std::move(queue_[i]);  // no self-move
+      ++kept;
+    }
+  }
+  queue_.resize(kept);
+  std::sort(due.begin(), due.end(), [](const InFlight& a, const InFlight& b) {
+    return a.deliver_at != b.deliver_at ? a.deliver_at < b.deliver_at
+                                        : a.seq < b.seq;
+  });
+
+  const bool metered = obs::metrics_enabled();
+  std::vector<Message> out;
+  out.reserve(due.size());
+  for (auto& f : due) {
+    if (down_[f.msg.to]) {  // died while the message was on the wire
+      ++dropped_;
+      if (metered) obs::CoreMetrics::get().fabric_dropped.add();
+      continue;
+    }
+    ++delivered_;
+    if (metered) {
+      obs::CoreMetrics& m = obs::CoreMetrics::get();
+      m.fabric_delivered.add();
+      m.fabric_delay_ticks.record(
+          static_cast<std::uint64_t>(f.deliver_at - f.sent_at));
+    }
+    out.push_back(std::move(f.msg));
+  }
+  return out;
+}
+
+}  // namespace rota::cluster

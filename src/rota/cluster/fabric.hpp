@@ -1,0 +1,140 @@
+// The simulated message fabric under the federated admission layer.
+//
+// Nodes in the cluster exchange probe/offer/claim RPCs and supply-digest
+// gossip over this fabric: a deterministic, seeded in-process network with
+// per-directed-link latency, jitter, loss and reordering, plus partitions
+// and per-node down states for fault injection. Delivery is discrete-time:
+// a message sent at tick t on a link with latency L and jitter J arrives at
+// t + L + U[0, J] (U drawn from the fabric's own Rng), so two fabrics built
+// from the same seed and fed the same send sequence deliver byte-identical
+// message sequences — the substrate the cluster's determinism guarantees
+// stand on.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rota/advisor/migration_advisor.hpp"
+#include "rota/resource/resource_set.hpp"
+#include "rota/time/interval.hpp"
+#include "rota/util/rng.hpp"
+
+namespace rota::cluster {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class MsgKind : std::uint8_t {
+  kProbe,        // origin -> peer: can you take this job? (no commitment)
+  kOffer,        // peer -> origin: yes, estimated finish attached
+  kNack,         // peer -> origin: no (reason attached)
+  kClaim,        // origin -> peer: commit the probed job (re-validated live)
+  kClaimAck,     // peer -> origin: committed; plan finish attached
+  kClaimReject,  // peer -> origin: residual moved since the offer (stale)
+  kDigest,       // gossip: compact residual hull + revision + age
+};
+
+std::string msg_kind_name(MsgKind k);
+
+/// A node's gossiped view of its own free capacity: the residual compacted
+/// to a small conservative hull per located type (never overstates what the
+/// full residual could supply), stamped with the ledger revision and the
+/// tick it was taken at. Receivers rank migration targets from these and
+/// re-validate at claim time — rankings are live-but-stale by design.
+struct SupplyDigest {
+  Location site;
+  ResourceSet free;            // conservative hull of the residual
+  std::uint64_t revision = 0;  // ledger revision the hull was taken at
+  Tick as_of = 0;              // tick the hull was taken at
+
+  bool operator==(const SupplyDigest&) const = default;
+};
+
+/// One fabric message. In-process, so payloads ride along as plain fields;
+/// which fields are meaningful depends on `kind` (see the enum).
+struct Message {
+  MsgKind kind = MsgKind::kProbe;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint64_t job = 0;   // origin-assigned correlation id (probe..claim)
+  WorkSpec work;           // probe/claim payload; earliest_start already
+                           // includes the origin's transfer-delay estimate
+  Tick finish = 0;         // offer / claim-ack: planned finish
+  std::string note;        // nack / claim-reject: reason
+  SupplyDigest digest;     // kDigest payload
+};
+
+/// Per-directed-link delivery characteristics.
+struct LinkParams {
+  Tick latency = 1;       // fixed delivery delay, >= 1 tick
+  Tick jitter = 0;        // extra uniform delay in [0, jitter]
+  double drop = 0.0;      // per-message loss probability
+  double reorder = 0.0;   // probability of an extra (jitter + 1)-tick stall,
+                          // enough to overtake later traffic on the link
+};
+
+class MessageFabric {
+ public:
+  MessageFabric(std::size_t nodes, std::uint64_t seed,
+                LinkParams defaults = LinkParams{});
+
+  std::size_t nodes() const { return nodes_; }
+  /// Grows the fabric by one node (cluster join); new links use defaults.
+  NodeId add_node();
+
+  void set_link(NodeId from, NodeId to, LinkParams params);
+  const LinkParams& link(NodeId from, NodeId to) const;
+
+  /// Symmetric partition: messages in both directions are dropped until
+  /// heal(). Partitioning a pair twice is idempotent.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  bool partitioned(NodeId a, NodeId b) const;
+
+  /// Crashed nodes neither send nor receive; in-flight messages addressed to
+  /// a down node are dropped at delivery time (they were on the wire when it
+  /// died).
+  void set_down(NodeId n, bool down);
+  bool down(NodeId n) const;
+
+  /// Queues `m` for delivery, or drops it (loss roll, partition, either
+  /// endpoint down). Self-sends are rejected: nodes talk to themselves
+  /// directly, not over the network.
+  void send(Message m, Tick now);
+
+  /// Removes and returns every message due at or before `now`, ordered by
+  /// (delivery tick, send sequence) — a deterministic order in which jitter
+  /// and reorder stalls are visible as sequence inversions.
+  std::vector<Message> deliver_due(Tick now);
+
+  std::size_t in_flight() const { return queue_.size(); }
+  std::uint64_t total_sent() const { return sent_; }
+  std::uint64_t total_dropped() const { return dropped_; }
+  std::uint64_t total_delivered() const { return delivered_; }
+
+ private:
+  struct InFlight {
+    Tick sent_at = 0;
+    Tick deliver_at = 0;
+    std::uint64_t seq = 0;
+    Message msg;
+  };
+
+  std::size_t link_index(NodeId from, NodeId to) const;
+
+  std::size_t nodes_;
+  LinkParams defaults_;
+  std::vector<LinkParams> links_;  // nodes_ x nodes_ row-major
+  std::set<std::pair<NodeId, NodeId>> partitions_;  // normalized (min, max)
+  std::vector<bool> down_;
+  std::vector<InFlight> queue_;  // unordered; deliver_due sorts the due slice
+  util::Rng rng_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace rota::cluster

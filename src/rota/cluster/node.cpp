@@ -1,0 +1,502 @@
+#include "rota/cluster/node.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "rota/obs/obs.hpp"
+
+namespace rota::cluster {
+
+std::string placement_name(Placement p) {
+  switch (p) {
+    case Placement::kLocal: return "local";
+    case Placement::kRemote: return "remote";
+    case Placement::kRejected: return "rejected";
+  }
+  throw std::invalid_argument("invalid Placement");
+}
+
+std::string JobDecision::to_string() const {
+  std::ostringstream out;
+  out << 'j' << id << ' ' << name << " origin=n" << origin << ' '
+      << placement_name(outcome);
+  if (outcome != Placement::kRejected) {
+    out << " placed=n" << placed << " finish=" << planned_finish;
+  } else {
+    out << " reason=\"" << reason << '"';
+  }
+  out << " at=" << decided_at << " rounds=" << remote_rounds;
+  if (lost) out << " lost";
+  return out.str();
+}
+
+ClusterNode::ClusterNode(NodeId id, Location site, CostModel phi,
+                         ResourceSet supply, NodeConfig config,
+                         ClusterEvents* events, Tick now)
+    : id_(id),
+      site_(site),
+      phi_(phi),
+      advisor_(phi, config.policy),
+      config_(config),
+      base_supply_(std::move(supply)),
+      events_(events),
+      controller_(std::make_unique<BatchAdmissionController>(
+          phi_, base_supply_, config.policy, config.lanes, now)),
+      audit_(config.audit_capacity) {
+  if (events == nullptr) {
+    throw std::invalid_argument("ClusterNode needs an event sink");
+  }
+}
+
+void ClusterNode::set_peer(NodeId peer, Tick latency) {
+  if (peer == id_) return;
+  peer_latency_[peer] = std::max<Tick>(1, latency);
+}
+
+Tick ClusterNode::transfer_delay(NodeId peer, const WorkSpec& work) const {
+  const auto it = peer_latency_.find(peer);
+  const Tick latency = it == peer_latency_.end() ? 1 : it->second;
+  // State ships at one unit per tick on top of the link latency.
+  return latency + std::max<std::int64_t>(0, work.state_size);
+}
+
+WorkSpec ClusterNode::remote_spec(const WorkSpec& work, NodeId peer,
+                                  Tick now) const {
+  WorkSpec spec = work;
+  spec.earliest_start =
+      std::max(work.earliest_start, now + transfer_delay(peer, work));
+  return spec;
+}
+
+ConcurrentRequirement ClusterNode::localize(const WorkSpec& work) const {
+  WorkSpec here = work;
+  here.home = site_;
+  ActorComputation gamma =
+      advisor_.materialize(here, PlacementKind::kStay, site_);
+  DistributedComputation lambda(work.actor + "@" + site_.name(), {gamma},
+                                here.earliest_start, here.deadline);
+  return make_concurrent_requirement(phi_, lambda);
+}
+
+void ClusterNode::send(Message m) { outbox_.push_back(std::move(m)); }
+
+std::vector<Message> ClusterNode::drain_outbox() {
+  std::vector<Message> out;
+  out.swap(outbox_);
+  return out;
+}
+
+std::vector<NodeId> ClusterNode::rank_candidates(const WorkSpec& work,
+                                                 Tick now) const {
+  struct Scored {
+    bool feasible = false;
+    Tick finish = 0;
+    NodeId peer = kNoNode;
+  };
+  std::vector<Scored> scored;
+  std::vector<NodeId> undigested;  // peers we know but have no digest from
+
+  for (const auto& [peer, latency] : peer_latency_) {
+    (void)latency;
+    WorkSpec spec = remote_spec(work, peer, now);
+    if (spec.earliest_start >= spec.deadline) continue;  // deadline budget
+    const auto it = digests_.find(peer);
+    if (it == digests_.end()) {
+      undigested.push_back(peer);
+      continue;
+    }
+    spec.home = it->second.site;
+    const PlacementOption option = advisor_.assess(
+        it->second.free, spec, PlacementKind::kStay, it->second.site);
+    scored.push_back(
+        {option.feasible, option.feasible ? option.finish : spec.deadline, peer});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.feasible != b.feasible) return a.feasible;
+    if (a.finish != b.finish) return a.finish < b.finish;
+    return a.peer < b.peer;  // deterministic tie: stable order by node id
+  });
+
+  std::vector<NodeId> out;
+  out.reserve(scored.size() + undigested.size());
+  for (const Scored& s : scored) out.push_back(s.peer);
+  // Digest-less peers go last, in id order: nothing speaks for them, but a
+  // stale-free cluster start (or a long partition) should still degrade to
+  // blind probing rather than give up outright.
+  out.insert(out.end(), undigested.begin(), undigested.end());
+  return out;
+}
+
+void ClusterNode::submit(const std::vector<ClusterJob>& jobs, Tick now) {
+  if (jobs.empty()) return;
+  if (down_) {
+    // Jobs arriving at a dead node still get a decision: nobody is home.
+    const bool down_metered = obs::metrics_enabled();
+    if (down_metered) obs::CoreMetrics::get().cluster_submitted.add(jobs.size());
+    for (const ClusterJob& job : jobs) {
+      if (down_metered) obs::CoreMetrics::get().cluster_rejects.add();
+      events_->decisions.push_back(JobDecision{
+          job.id, job.work.actor, id_, Placement::kRejected, kNoNode, now, 0, 0,
+          "origin node down", false});
+    }
+    return;
+  }
+  ROTA_OBS_SPAN("cluster.submit");
+  const bool metered = obs::metrics_enabled();
+  if (metered) obs::CoreMetrics::get().cluster_submitted.add(jobs.size());
+
+  std::vector<std::size_t> batched;  // indices with a non-degenerate window
+  std::vector<BatchRequest> requests;
+  requests.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const WorkSpec& w = jobs[i].work;
+    if (w.deadline <= w.earliest_start || w.chunk_weights.empty()) {
+      if (metered) obs::CoreMetrics::get().cluster_rejects.add();
+      events_->decisions.push_back(JobDecision{
+          jobs[i].id, w.actor, id_, Placement::kRejected, kNoNode, now, 0, 0,
+          "malformed work spec", false});
+      continue;
+    }
+    batched.push_back(i);
+    requests.push_back(BatchRequest{localize(w), now});
+  }
+  const std::vector<AdmissionDecision> decisions =
+      controller_->admit_batch(requests);
+
+  for (std::size_t b = 0; b < batched.size(); ++b) {
+    const std::size_t i = batched[b];
+    audit_.record(now, requests[b].rho, decisions[b]);
+    const ClusterJob& job = jobs[i];
+    if (decisions[b].accepted) {
+      if (metered) obs::CoreMetrics::get().cluster_local_accepts.add();
+      events_->decisions.push_back(JobDecision{
+          job.id, job.work.actor, id_, Placement::kLocal, id_, now,
+          decisions[b].plan->finish, 0, "", false});
+      events_->placements.push_back(PlacedAdmission{
+          job.id, id_, now, requests[b].rho, *decisions[b].plan, false});
+      continue;
+    }
+    const TimeInterval window(std::max(now, job.work.earliest_start),
+                              job.work.deadline);
+    if (window.empty() || config_.max_remote_rounds == 0 ||
+        peer_latency_.empty()) {
+      if (metered) obs::CoreMetrics::get().cluster_rejects.add();
+      events_->decisions.push_back(JobDecision{
+          job.id, job.work.actor, id_, Placement::kRejected, kNoNode, now, 0, 0,
+          window.empty() ? decisions[b].reason : "local: " + decisions[b].reason,
+          false});
+      continue;
+    }
+    start_remote(job.id, job.work, now);
+  }
+  flush_done();
+}
+
+void ClusterNode::start_remote(std::uint64_t id, const WorkSpec& work,
+                               Tick now) {
+  PendingJob job;
+  job.work = work;
+  job.submitted_at = now;
+  job.candidates = rank_candidates(work, now);
+  auto [it, inserted] = pending_.emplace(id, std::move(job));
+  if (!inserted) throw std::logic_error("duplicate cluster job id");
+  next_round(id, it->second, now);
+}
+
+void ClusterNode::next_round(std::uint64_t id, PendingJob& job, Tick now) {
+  if (job.rounds >= config_.max_remote_rounds) {
+    reject_remote(id, job, "remote attempts exhausted", now);
+    return;
+  }
+  job.phase = PendingJob::Phase::kProbing;
+  job.offers.clear();
+  job.probes_out.clear();
+
+  const bool metered = obs::metrics_enabled();
+  std::size_t sent = 0;
+  while (sent < config_.fanout && job.next_candidate < job.candidates.size()) {
+    const NodeId peer = job.candidates[job.next_candidate++];
+    const WorkSpec spec = remote_spec(job.work, peer, now);
+    if (spec.earliest_start >= spec.deadline) continue;  // budget: skip peer
+    Message m;
+    m.kind = MsgKind::kProbe;
+    m.from = id_;
+    m.to = peer;
+    m.job = id;
+    m.work = spec;
+    send(std::move(m));
+    if (metered) obs::CoreMetrics::get().cluster_probes.add();
+    job.probes_out[peer] = now;
+    ++sent;
+  }
+  if (sent == 0) {
+    reject_remote(id, job,
+                  job.rounds == 0 ? "no remote candidate within deadline budget"
+                                  : "remote candidates exhausted",
+                  now);
+    return;
+  }
+  ++job.rounds;
+  job.probe_deadline = now + config_.probe_timeout;
+}
+
+void ClusterNode::conclude_probe_round(std::uint64_t id, PendingJob& job,
+                                       Tick now) {
+  if (job.offers.empty()) {
+    schedule_retry(id, job, now, "no offers");
+    return;
+  }
+  const auto best = *std::min_element(job.offers.begin(), job.offers.end());
+  const WorkSpec spec = remote_spec(job.work, best.second, now);
+  if (spec.earliest_start >= spec.deadline) {
+    schedule_retry(id, job, now, "offer outlived the deadline budget");
+    return;
+  }
+  Message m;
+  m.kind = MsgKind::kClaim;
+  m.from = id_;
+  m.to = best.second;
+  m.job = id;
+  m.work = spec;
+  send(std::move(m));
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_claims.add();
+  job.phase = PendingJob::Phase::kClaiming;
+  job.claim_target = best.second;
+  job.claim_deadline = now + config_.claim_timeout;
+  job.offers.clear();
+}
+
+void ClusterNode::schedule_retry(std::uint64_t id, PendingJob& job, Tick now,
+                                 const std::string& cause) {
+  if (job.rounds >= config_.max_remote_rounds) {
+    reject_remote(id, job, "remote attempts exhausted (last: " + cause + ")",
+                  now);
+    return;
+  }
+  if (job.next_candidate >= job.candidates.size()) {
+    reject_remote(id, job, "remote candidates exhausted (last: " + cause + ")",
+                  now);
+    return;
+  }
+  job.backoff = job.backoff == 0
+                    ? std::max<Tick>(1, config_.backoff_base)
+                    : std::min(job.backoff * 2, config_.backoff_cap);
+  job.retry_at = now + job.backoff;
+  job.phase = PendingJob::Phase::kBackoff;
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_retries.add();
+}
+
+void ClusterNode::finish_remote(std::uint64_t id, PendingJob& job,
+                                NodeId placed, Tick finish, Tick now) {
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_remote_accepts.add();
+  events_->decisions.push_back(JobDecision{id, job.work.actor, id_,
+                                           Placement::kRemote, placed, now,
+                                           finish, job.rounds, "", false});
+  done_.push_back(id);
+}
+
+void ClusterNode::reject_remote(std::uint64_t id, PendingJob& job,
+                                const std::string& reason, Tick now) {
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_rejects.add();
+  events_->decisions.push_back(JobDecision{id, job.work.actor, id_,
+                                           Placement::kRejected, kNoNode, now, 0,
+                                           job.rounds, reason, false});
+  done_.push_back(id);
+}
+
+void ClusterNode::handle(const Message& m, Tick now) {
+  if (down_) return;
+  const bool metered = obs::metrics_enabled();
+  switch (m.kind) {
+    case MsgKind::kProbe: {
+      ROTA_OBS_SPAN("cluster.probe");
+      Message r;
+      r.from = id_;
+      r.to = m.from;
+      r.job = m.job;
+      const TimeInterval window(std::max(now, m.work.earliest_start),
+                                m.work.deadline);
+      if (window.empty()) {
+        r.kind = MsgKind::kNack;
+        r.note = "deadline passed in transit";
+      } else {
+        // Speculative feasibility only — nothing is reserved. The claim
+        // re-plans against whatever the residual is then.
+        const ConcurrentRequirement rho = localize(m.work);
+        auto plan = plan_concurrent(ledger().residual().restricted(window),
+                                    clip_requirement(rho, window),
+                                    config_.policy);
+        if (plan) {
+          r.kind = MsgKind::kOffer;
+          r.finish = plan->finish;
+        } else {
+          r.kind = MsgKind::kNack;
+          r.note = "no capacity";
+        }
+      }
+      send(std::move(r));
+      break;
+    }
+    case MsgKind::kOffer:
+    case MsgKind::kNack: {
+      const auto it = pending_.find(m.job);
+      if (it == pending_.end() ||
+          it->second.phase != PendingJob::Phase::kProbing) {
+        break;  // late reply; the job moved on
+      }
+      PendingJob& job = it->second;
+      job.probes_out.erase(m.from);
+      if (m.kind == MsgKind::kOffer) {
+        if (metered) obs::CoreMetrics::get().cluster_offers.add();
+        job.offers.emplace_back(m.finish, m.from);
+      }
+      if (job.probes_out.empty()) conclude_probe_round(m.job, job, now);
+      break;
+    }
+    case MsgKind::kClaim: {
+      ROTA_OBS_SPAN("cluster.claim");
+      // Re-validate against the live residual: the offer was computed from a
+      // snapshot that other claims or local admissions may have consumed.
+      const ConcurrentRequirement rho = localize(m.work);
+      const AdmissionDecision decision = controller_->request(rho, now);
+      audit_.record(now, rho, decision);
+      Message r;
+      r.from = id_;
+      r.to = m.from;
+      r.job = m.job;
+      if (decision.accepted) {
+        events_->placements.push_back(
+            PlacedAdmission{m.job, id_, now, rho, *decision.plan, false});
+        r.kind = MsgKind::kClaimAck;
+        r.finish = decision.plan->finish;
+      } else {
+        if (metered) obs::CoreMetrics::get().cluster_claims_stale.add();
+        r.kind = MsgKind::kClaimReject;
+        r.note = decision.reason;
+      }
+      send(std::move(r));
+      break;
+    }
+    case MsgKind::kClaimAck: {
+      const auto it = pending_.find(m.job);
+      if (it == pending_.end() ||
+          it->second.phase != PendingJob::Phase::kClaiming ||
+          it->second.claim_target != m.from) {
+        break;  // orphan ack (we already moved on); see docs/cluster.md
+      }
+      finish_remote(m.job, it->second, m.from, m.finish, now);
+      break;
+    }
+    case MsgKind::kClaimReject: {
+      const auto it = pending_.find(m.job);
+      if (it == pending_.end() ||
+          it->second.phase != PendingJob::Phase::kClaiming ||
+          it->second.claim_target != m.from) {
+        break;
+      }
+      it->second.claim_target = kNoNode;
+      schedule_retry(m.job, it->second, now, "claim rejected (stale offer)");
+      break;
+    }
+    case MsgKind::kDigest: {
+      auto it = digests_.find(m.from);
+      if (it == digests_.end() || it->second.as_of <= m.digest.as_of) {
+        digests_[m.from] = m.digest;
+      }
+      break;
+    }
+  }
+  flush_done();
+}
+
+void ClusterNode::on_tick(Tick now) {
+  if (down_) return;
+  const bool metered = obs::metrics_enabled();
+  for (auto& [id, job] : pending_) {
+    switch (job.phase) {
+      case PendingJob::Phase::kProbing:
+        if (now >= job.probe_deadline && !job.probes_out.empty()) {
+          if (metered) {
+            obs::CoreMetrics::get().cluster_timeouts.add(job.probes_out.size());
+          }
+          job.probes_out.clear();
+          conclude_probe_round(id, job, now);
+        }
+        break;
+      case PendingJob::Phase::kClaiming:
+        if (now >= job.claim_deadline) {
+          if (metered) obs::CoreMetrics::get().cluster_timeouts.add();
+          job.claim_target = kNoNode;
+          schedule_retry(id, job, now, "claim timed out");
+        }
+        break;
+      case PendingJob::Phase::kBackoff:
+        if (now >= job.retry_at) next_round(id, job, now);
+        break;
+    }
+  }
+  if (config_.gossip_period > 0 && !peer_latency_.empty() &&
+      (now + id_) % config_.gossip_period == 0) {
+    gossip(now);
+  }
+  flush_done();
+}
+
+void ClusterNode::gossip(Tick now) {
+  const SupplyDigest digest =
+      make_digest(ledger(), site_, now, config_.digest_max_segments);
+  const bool metered = obs::metrics_enabled();
+  for (const auto& [peer, latency] : peer_latency_) {
+    (void)latency;
+    Message m;
+    m.kind = MsgKind::kDigest;
+    m.from = id_;
+    m.to = peer;
+    m.digest = digest;
+    send(std::move(m));
+    if (metered) obs::CoreMetrics::get().cluster_gossip.add();
+  }
+}
+
+void ClusterNode::crash(Tick now) {
+  if (down_) return;
+  down_ = true;
+  controller_.reset();
+  digests_.clear();
+  outbox_.clear();
+  const bool metered = obs::metrics_enabled();
+  for (auto& [id, job] : pending_) {
+    if (metered) obs::CoreMetrics::get().cluster_rejects.add();
+    events_->decisions.push_back(JobDecision{id, job.work.actor, id_,
+                                             Placement::kRejected, kNoNode, now,
+                                             0, job.rounds,
+                                             "origin node crashed", false});
+  }
+  pending_.clear();
+  done_.clear();
+}
+
+void ClusterNode::restart(Tick now, bool recover) {
+  if (!down_) throw std::logic_error("restart of a node that is not down");
+  controller_ = std::make_unique<BatchAdmissionController>(
+      phi_, base_supply_, config_.policy, config_.lanes, now);
+  down_ = false;
+  if (recover) {
+    ROTA_OBS_SPAN("cluster.recover");
+    audit_.replay_into(controller_->ledger_for_recovery());
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_recoveries.add();
+  }
+}
+
+void ClusterNode::abort_pending(Tick now, const std::string& reason) {
+  for (auto& [id, job] : pending_) reject_remote(id, job, reason, now);
+  flush_done();
+}
+
+void ClusterNode::flush_done() {
+  for (std::uint64_t id : done_) pending_.erase(id);
+  done_.clear();
+}
+
+}  // namespace rota::cluster

@@ -1,0 +1,207 @@
+// One member of the federated admission cluster.
+//
+// A ClusterNode wraps its own CommitmentLedger behind a
+// BatchAdmissionController (same-tick arrivals admit as one parallel batch,
+// with the sequential controller's exact FCFS semantics), an AuditLog that
+// doubles as the node's write-ahead record for crash recovery, and the
+// node-local half of the cluster protocol:
+//
+//   * local-first admission — jobs submitted here are tried against the
+//     node's own ledger; only local rejections with deadline budget left
+//     enter the remote path;
+//   * remote admission — probe/offer/claim over the fabric: candidates are
+//     ranked from gossiped supply digests (MigrationAdvisor::assess on the
+//     stale hulls), probed with a per-attempt timeout, the best offer is
+//     claimed, and the claim is re-validated against the target's *live*
+//     residual — digest staleness can cost a retry, never soundness;
+//   * retries — capped exponential backoff between probe rounds, a bounded
+//     number of rounds (the hop budget), and a deadline budget: no probe or
+//     claim is ever sent to a peer whose transfer delay would already
+//     overrun the job's deadline;
+//   * gossip — a compact conservative digest of the residual, broadcast on
+//     a per-node phase-staggered period;
+//   * crash/restart — crash() drops the ledger and every in-flight
+//     conversation; restart() rebuilds from base supply, optionally
+//     replaying the audit log to recover the pre-crash commitments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rota/admission/audit.hpp"
+#include "rota/cluster/digest.hpp"
+#include "rota/cluster/fabric.hpp"
+#include "rota/runtime/batch_controller.hpp"
+
+namespace rota::cluster {
+
+/// One job entering the cluster: location-independent work (the WorkSpec's
+/// home is informational; admission materializes it at whichever node hosts
+/// it) plus a cluster-unique id assigned by the submitter.
+struct ClusterJob {
+  std::uint64_t id = 0;
+  WorkSpec work;
+};
+
+enum class Placement { kLocal, kRemote, kRejected };
+
+std::string placement_name(Placement p);
+
+/// The origin node's final verdict on one job — the unit of the cluster's
+/// deterministic decision sequence.
+struct JobDecision {
+  std::uint64_t id = 0;
+  std::string name;
+  NodeId origin = kNoNode;
+  Placement outcome = Placement::kRejected;
+  NodeId placed = kNoNode;      // valid unless rejected
+  Tick decided_at = 0;
+  Tick planned_finish = 0;      // valid unless rejected
+  std::size_t remote_rounds = 0;  // probe rounds spent (0 = pure local)
+  std::string reason;           // rejection cause
+  bool lost = false;            // placed node crashed unrecovered pre-finish
+
+  std::string to_string() const;
+};
+
+/// A committed admission at some node — what flows into the plan-following
+/// Simulator for end-to-end execution.
+struct PlacedAdmission {
+  std::uint64_t job = 0;
+  NodeId node = kNoNode;
+  Tick at = 0;
+  ConcurrentRequirement rho;
+  ConcurrentPlan plan;
+  bool lost = false;  // node crashed unrecovered before the plan finished
+};
+
+/// Shared event sink: nodes append decisions and placements here in control
+/// loop order, which is deterministic for a fixed seed.
+struct ClusterEvents {
+  std::vector<JobDecision> decisions;
+  std::vector<PlacedAdmission> placements;
+};
+
+struct NodeConfig {
+  std::size_t lanes = 1;            // planning lanes for local batches
+  PlanningPolicy policy = PlanningPolicy::kAsap;
+  Tick gossip_period = 8;           // 0 disables gossip
+  std::size_t digest_max_segments = 8;
+  std::size_t fanout = 2;           // probes in flight per job per round
+  std::size_t max_remote_rounds = 3;  // hop budget; 0 = local-only admission
+  Tick probe_timeout = 4;
+  Tick claim_timeout = 6;
+  Tick backoff_base = 1;            // first retry delay; doubles per retry
+  Tick backoff_cap = 8;
+  std::size_t audit_capacity = 4096;
+};
+
+class ClusterNode {
+ public:
+  ClusterNode(NodeId id, Location site, CostModel phi, ResourceSet supply,
+              NodeConfig config, ClusterEvents* events, Tick now = 0);
+
+  NodeId id() const { return id_; }
+  Location site() const { return site_; }
+  bool down() const { return down_; }
+
+  /// Peers are whoever the sim has told this node about; the latency is the
+  /// node's (static) estimate used for deadline budgeting.
+  void set_peer(NodeId peer, Tick latency);
+
+  /// Jobs arriving at this node at `now`; same-tick arrivals admit as one
+  /// FCFS batch. Local rejections with budget left start the remote path.
+  void submit(const std::vector<ClusterJob>& jobs, Tick now);
+
+  /// One message delivered off the fabric.
+  void handle(const Message& m, Tick now);
+
+  /// Per-tick housekeeping: probe/claim timeouts, backoff retries, gossip.
+  void on_tick(Tick now);
+
+  /// Messages queued since the last drain, in send order.
+  std::vector<Message> drain_outbox();
+
+  /// Fault injection. crash() loses the ledger and every pending remote
+  /// conversation (their jobs are recorded as rejected); the audit log — the
+  /// node's durable WAL — survives. restart() rebuilds the controller from
+  /// the original base supply and, when `recover` is set, replays the audit
+  /// log so the recovered ledger carries the pre-crash commitments.
+  void crash(Tick now);
+  void restart(Tick now, bool recover);
+
+  /// Finalizes every still-pending remote conversation as rejected (used at
+  /// the simulation horizon so the decision log covers every submitted job).
+  void abort_pending(Tick now, const std::string& reason);
+
+  /// Materializes `work` at this node's site and derives its requirement —
+  /// the single admission currency used by local batches, probes and claims.
+  ConcurrentRequirement localize(const WorkSpec& work) const;
+
+  const CommitmentLedger& ledger() const { return controller_->ledger(); }
+  const AuditLog& audit() const { return audit_; }
+  const std::map<NodeId, SupplyDigest>& digests() const { return digests_; }
+  std::size_t pending_remote() const { return pending_.size(); }
+
+ private:
+  struct PendingJob {
+    enum class Phase { kProbing, kClaiming, kBackoff };
+    WorkSpec work;
+    Tick submitted_at = 0;
+    std::vector<NodeId> candidates;  // ranked once, consumed front to back
+    std::size_t next_candidate = 0;
+    std::size_t rounds = 0;
+    Tick backoff = 0;
+    Phase phase = Phase::kProbing;
+    std::map<NodeId, Tick> probes_out;            // target -> sent_at
+    std::vector<std::pair<Tick, NodeId>> offers;  // (finish, node)
+    NodeId claim_target = kNoNode;
+    Tick probe_deadline = 0;
+    Tick claim_deadline = 0;
+    Tick retry_at = 0;
+  };
+
+  /// Ticks needed to move the job to `peer`: link latency plus state
+  /// serialization at one unit per tick.
+  Tick transfer_delay(NodeId peer, const WorkSpec& work) const;
+  /// `work` as the peer should see it: earliest start pushed past transfer.
+  WorkSpec remote_spec(const WorkSpec& work, NodeId peer, Tick now) const;
+
+  std::vector<NodeId> rank_candidates(const WorkSpec& work, Tick now) const;
+  void start_remote(std::uint64_t id, const WorkSpec& work, Tick now);
+  /// Launches the next probe round; finalizes a rejection when the hop or
+  /// deadline budget is exhausted.
+  void next_round(std::uint64_t id, PendingJob& job, Tick now);
+  void conclude_probe_round(std::uint64_t id, PendingJob& job, Tick now);
+  void schedule_retry(std::uint64_t id, PendingJob& job, Tick now,
+                      const std::string& cause);
+  void finish_remote(std::uint64_t id, PendingJob& job, NodeId placed,
+                     Tick finish, Tick now);
+  void reject_remote(std::uint64_t id, PendingJob& job, const std::string& reason,
+                     Tick now);
+  void send(Message m);
+  void gossip(Tick now);
+  /// Erases jobs resolved while pending_ was being iterated.
+  void flush_done();
+
+  NodeId id_;
+  Location site_;
+  CostModel phi_;
+  MigrationAdvisor advisor_;
+  NodeConfig config_;
+  ResourceSet base_supply_;
+  ClusterEvents* events_;
+  std::unique_ptr<BatchAdmissionController> controller_;
+  AuditLog audit_;
+  std::map<NodeId, Tick> peer_latency_;
+  std::map<NodeId, SupplyDigest> digests_;
+  std::map<std::uint64_t, PendingJob> pending_;
+  std::vector<std::uint64_t> done_;  // resolved while iterating pending_
+  std::vector<Message> outbox_;
+  bool down_ = false;
+};
+
+}  // namespace rota::cluster

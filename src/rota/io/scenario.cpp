@@ -1,5 +1,6 @@
 #include "rota/io/scenario.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -122,6 +123,63 @@ Scenario parse_scenario(std::istream& in) {
       continue;
     }
 
+    if (keyword == "node") {
+      if (open) throw ScenarioParseError(line_no, "node inside a computation block");
+      if (t.size() != 3 && t.size() != 4) {
+        throw ScenarioParseError(line_no, "expected: node <name> <location> [lanes]");
+      }
+      ScenarioNode node;
+      node.name = t[1];
+      node.location = t[2];
+      if (t.size() == 4) {
+        const std::int64_t lanes = parse_int(t[3], line_no, "lanes");
+        if (lanes < 1) throw ScenarioParseError(line_no, "lanes must be >= 1");
+        node.lanes = static_cast<std::size_t>(lanes);
+      }
+      for (const ScenarioNode& existing : scenario.nodes) {
+        if (existing.name == node.name) {
+          throw ScenarioParseError(line_no, "duplicate node '" + node.name + "'");
+        }
+      }
+      scenario.nodes.push_back(std::move(node));
+      continue;
+    }
+
+    if (keyword == "link") {
+      if (open) throw ScenarioParseError(line_no, "link inside a computation block");
+      if (t.size() < 4 || t.size() > 6) {
+        throw ScenarioParseError(
+            line_no, "expected: link <from> <to> <latency> [jitter [drop-permille]]");
+      }
+      ScenarioLink link;
+      link.from = t[1];
+      link.to = t[2];
+      if (link.from == link.to) {
+        throw ScenarioParseError(line_no, "a link needs two distinct nodes");
+      }
+      link.latency = parse_int(t[3], line_no, "latency");
+      if (link.latency < 1) throw ScenarioParseError(line_no, "latency must be >= 1");
+      if (t.size() >= 5) link.jitter = parse_nonnegative(t[4], line_no, "jitter");
+      if (t.size() == 6) {
+        link.drop_permille = parse_nonnegative(t[5], line_no, "drop-permille");
+        if (link.drop_permille > 1000) {
+          throw ScenarioParseError(line_no, "drop-permille cannot exceed 1000");
+        }
+      }
+      const bool known_from = std::any_of(
+          scenario.nodes.begin(), scenario.nodes.end(),
+          [&](const ScenarioNode& n) { return n.name == link.from; });
+      const bool known_to = std::any_of(
+          scenario.nodes.begin(), scenario.nodes.end(),
+          [&](const ScenarioNode& n) { return n.name == link.to; });
+      if (!known_from || !known_to) {
+        throw ScenarioParseError(line_no, "link references undeclared node '" +
+                                              (known_from ? link.to : link.from) + "'");
+      }
+      scenario.links.push_back(std::move(link));
+      continue;
+    }
+
     if (keyword == "computation") {
       if (open) {
         throw ScenarioParseError(line_no, "computation blocks cannot nest (missing "
@@ -219,6 +277,18 @@ void write_scenario(std::ostream& out, const Scenario& scenario) {
     }
     out << ' ' << term.rate() << ' ' << term.interval().start() << ' '
         << term.interval().end() << '\n';
+  }
+
+  for (const ScenarioNode& n : scenario.nodes) {
+    out << "node " << n.name << ' ' << n.location;
+    if (n.lanes != 1) out << ' ' << n.lanes;
+    out << '\n';
+  }
+  for (const ScenarioLink& l : scenario.links) {
+    out << "link " << l.from << ' ' << l.to << ' ' << l.latency;
+    if (l.jitter != 0 || l.drop_permille != 0) out << ' ' << l.jitter;
+    if (l.drop_permille != 0) out << ' ' << l.drop_permille;
+    out << '\n';
   }
 
   for (const DistributedComputation& c : scenario.computations) {

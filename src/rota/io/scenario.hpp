@@ -9,6 +9,8 @@
 //   supply memory <loc> <rate> <from> <to>
 //   supply disk <loc> <rate> <from> <to>
 //   supply network <src-loc> <dst-loc> <rate> <from> <to>
+//   node <name> <location> [lanes]
+//   link <from-node> <to-node> <latency> [jitter [drop-permille]]
 //   computation <name> <start> <deadline>
 //     actor <name> <home-loc>
 //       evaluate <weight>
@@ -21,6 +23,12 @@
 // Every `computation` block must be closed by `end`; `actor` lines belong to
 // the enclosing computation; action lines to the latest actor. Locations are
 // created on first mention.
+//
+// The `node`/`link` section is optional (files without it describe a
+// single-site system and keep parsing unchanged): `node` declares one
+// cluster member hosting a location, `link` the symmetric connection between
+// two declared members. Loss is written in permille so the value survives a
+// write/parse round trip exactly.
 #pragma once
 
 #include <iosfwd>
@@ -33,9 +41,33 @@
 
 namespace rota {
 
+/// One declared cluster member (see rota/cluster/): a named node hosting a
+/// location, admitting with `lanes` planning lanes.
+struct ScenarioNode {
+  std::string name;
+  std::string location;
+  std::size_t lanes = 1;
+
+  bool operator==(const ScenarioNode&) const = default;
+};
+
+/// A symmetric link between two declared nodes. `drop_permille` is the loss
+/// probability in thousandths (integer, so round trips are exact).
+struct ScenarioLink {
+  std::string from;
+  std::string to;
+  Tick latency = 1;
+  Tick jitter = 0;
+  std::int64_t drop_permille = 0;
+
+  bool operator==(const ScenarioLink&) const = default;
+};
+
 struct Scenario {
   ResourceSet supply;
   std::vector<DistributedComputation> computations;
+  std::vector<ScenarioNode> nodes;  // empty: no cluster section
+  std::vector<ScenarioLink> links;
 
   bool operator==(const Scenario&) const = default;
 };

@@ -42,6 +42,22 @@ CoreMetrics& CoreMetrics::get() {
         r.counter("sim.gc_runs"),
         r.counter("explorer.greedy_runs"),
         r.counter("explorer.permutations"),
+        r.counter("cluster.submitted"),
+        r.counter("cluster.accepted.local"),
+        r.counter("cluster.accepted.remote"),
+        r.counter("cluster.rejected"),
+        r.counter("cluster.probes"),
+        r.counter("cluster.offers"),
+        r.counter("cluster.claims"),
+        r.counter("cluster.claims.stale"),
+        r.counter("cluster.timeouts"),
+        r.counter("cluster.retries"),
+        r.counter("cluster.gossip"),
+        r.counter("cluster.recoveries"),
+        r.counter("fabric.sent"),
+        r.counter("fabric.dropped"),
+        r.counter("fabric.delivered"),
+        r.histogram("fabric.delay_ticks"),
     };
   }();
   return metrics;

@@ -124,6 +124,26 @@ struct CoreMetrics {
   Counter& explorer_greedy_runs;   // full greedy executions (any ranking)
   Counter& explorer_permutations;  // permutations tried by search_feasible
 
+  // Cluster layer: per-node admission outcomes and protocol traffic.
+  Counter& cluster_submitted;       // jobs entering a node's admission path
+  Counter& cluster_local_accepts;   // admitted by the origin's own ledger
+  Counter& cluster_remote_accepts;  // admitted via probe/offer/claim
+  Counter& cluster_rejects;         // final rejections (all causes)
+  Counter& cluster_probes;          // probe RPCs sent
+  Counter& cluster_offers;          // offers received by origins
+  Counter& cluster_claims;          // claim RPCs sent
+  Counter& cluster_claims_stale;    // claims rejected: residual moved
+  Counter& cluster_timeouts;        // probe/claim attempts that timed out
+  Counter& cluster_retries;         // backoff retries started
+  Counter& cluster_gossip;          // digest messages sent
+  Counter& cluster_recoveries;      // node restarts that replayed an audit log
+
+  // Message fabric.
+  Counter& fabric_sent;
+  Counter& fabric_dropped;          // loss roll, partition, or down endpoint
+  Counter& fabric_delivered;
+  Histogram& fabric_delay_ticks;    // per-delivered-message latency (ticks)
+
   static CoreMetrics& get();
 };
 

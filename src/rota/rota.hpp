@@ -57,3 +57,8 @@
 
 #include "rota/workload/generator.hpp"
 #include "rota/workload/scenarios.hpp"
+
+#include "rota/cluster/fabric.hpp"
+#include "rota/cluster/digest.hpp"
+#include "rota/cluster/node.hpp"
+#include "rota/cluster/cluster.hpp"

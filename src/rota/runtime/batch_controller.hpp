@@ -75,6 +75,10 @@ class BatchAdmissionController {
   bool release(const std::string& name) { return ledger_.release(name); }
 
   const CommitmentLedger& ledger() const { return ledger_; }
+  /// Mutable ledger access for recovery paths (audit-log replay after a
+  /// crash rebuilds commitments directly). Not for use between admit_batch
+  /// rounds on live traffic — decisions must flow through admission.
+  CommitmentLedger& ledger_for_recovery() { return ledger_; }
   const CostModel& phi() const { return phi_; }
   PlanningPolicy policy() const { return policy_; }
   std::size_t concurrency() const { return pool_.concurrency(); }

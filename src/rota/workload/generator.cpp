@@ -129,6 +129,58 @@ std::vector<Arrival> WorkloadGenerator::make_arrivals(Tick horizon) {
   return arrivals;
 }
 
+ResourceSet WorkloadGenerator::node_supply(std::size_t node,
+                                           const TimeInterval& span) const {
+  if (node >= locations_.size()) {
+    throw std::out_of_range("node index exceeds configured locations");
+  }
+  ResourceSet supply;
+  supply.add(config_.cpu_rate, span, LocatedType::cpu(locations_[node]));
+  return supply;
+}
+
+std::vector<ClusterArrivalSpec> WorkloadGenerator::make_cluster_arrivals(
+    Tick horizon, std::size_t num_nodes, double hot_fraction) {
+  if (num_nodes == 0 || num_nodes > locations_.size()) {
+    throw std::invalid_argument("num_nodes must be in [1, num_locations]");
+  }
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    throw std::invalid_argument("hot_fraction must be in [0, 1]");
+  }
+  std::vector<ClusterArrivalSpec> arrivals;
+  double t = 0.0;
+  while (true) {
+    t += rng_.exponential(config_.mean_interarrival);
+    const auto at = static_cast<Tick>(t);
+    if (at >= horizon) break;
+
+    ClusterArrivalSpec a;
+    a.at = at;
+    a.origin = rng_.chance(hot_fraction) ? 0 : rng_.index(num_nodes);
+
+    WorkSpec& w = a.work;
+    w.actor = "j" + std::to_string(next_id_++);
+    w.home = locations_[a.origin];
+    const auto chunks = static_cast<std::size_t>(rng_.uniform(1, 3));
+    Quantity total = 0;
+    for (std::size_t i = 0; i < chunks; ++i) {
+      const std::int64_t weight = rng_.uniform(1, config_.eval_weight_max);
+      w.chunk_weights.push_back(weight);
+      total += weight * phi_.parameters().evaluate_per_weight;
+    }
+    w.state_size = rng_.uniform(1, config_.msg_size_max);
+    w.earliest_start = at;
+    const Tick lower =
+        std::max<Tick>(1, (total + config_.cpu_rate - 1) / config_.cpu_rate);
+    const auto window = std::max<Tick>(
+        2, static_cast<Tick>(static_cast<double>(lower) * config_.laxity));
+    w.deadline = at + window;
+
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
 ChurnTrace WorkloadGenerator::make_churn(Tick horizon, double join_rate,
                                          double mean_lifetime, Rate max_rate) {
   if (join_rate <= 0.0 || mean_lifetime <= 0.0 || max_rate <= 0) {

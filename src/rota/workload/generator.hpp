@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "rota/advisor/migration_advisor.hpp"
 #include "rota/computation/actor_computation.hpp"
 #include "rota/computation/cost_model.hpp"
 #include "rota/resource/resource_set.hpp"
@@ -50,6 +51,13 @@ struct Arrival {
   DistributedComputation computation;
 };
 
+/// One cluster job arrival: location-independent work landing at a node.
+struct ClusterArrivalSpec {
+  Tick at = 0;
+  std::size_t origin = 0;  // node index in [0, num_nodes)
+  WorkSpec work;
+};
+
 class WorkloadGenerator {
  public:
   WorkloadGenerator(WorkloadConfig config, CostModel phi);
@@ -67,6 +75,19 @@ class WorkloadGenerator {
 
   /// Arrivals over [0, horizon) with exponential interarrival gaps.
   std::vector<Arrival> make_arrivals(Tick horizon);
+
+  /// One cluster node's share of the base supply: cpu at location `node`
+  /// over `span` (inter-node links are the fabric's concern, not supply).
+  ResourceSet node_supply(std::size_t node, const TimeInterval& span) const;
+
+  /// Cluster job arrivals over [0, horizon): exponential interarrival gaps;
+  /// each job lands on node 0 with probability `hot_fraction`, otherwise on
+  /// a uniformly random node — a skewed load whose overflow the federated
+  /// layer can move to the cold nodes. Deadlines use the configured laxity
+  /// against a dedicated-supply lower bound, exactly like make_arrivals.
+  std::vector<ClusterArrivalSpec> make_cluster_arrivals(Tick horizon,
+                                                        std::size_t num_nodes,
+                                                        double hot_fraction);
 
   /// Random joins: `join_rate` events per tick on average over [0, horizon),
   /// each adding one resource term with exponential lifetime (mean

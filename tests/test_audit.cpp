@@ -110,5 +110,38 @@ TEST_F(AuditTest, EmptyLogDefaults) {
   EXPECT_TRUE(log.rejection_reasons().empty());
 }
 
+
+TEST_F(AuditTest, ReplayIntoReproducesLedgerRevisionAndResidual) {
+  // The audit log doubles as a write-ahead record: replaying its accepted
+  // entries onto a fresh ledger with the pre-crash supply must reproduce the
+  // pre-crash residual *and* revision counter exactly.
+  RotaAdmissionController live(phi, supply());
+  AuditLog log;
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "r" + std::to_string(i);
+    const Tick at = static_cast<Tick>(i);
+    auto rho = make_concurrent_requirement(phi, job(name, at, at + 12, 2));
+    log.record(at, rho, live.request(rho, at));
+  }
+  ASSERT_GT(live.ledger().revision(), 0u);
+
+  CommitmentLedger recovered(supply(), 0);
+  const std::size_t replayed = log.replay_into(recovered);
+  EXPECT_EQ(replayed, live.ledger().admitted().size());
+  EXPECT_EQ(recovered.revision(), live.ledger().revision());
+  EXPECT_EQ(recovered.residual(), live.ledger().residual());
+}
+
+TEST_F(AuditTest, ReplaySkipsEntriesWhosePlanNoLongerFits) {
+  AuditedController ctl(phi, supply());
+  ASSERT_TRUE(ctl.request(job("fits", 0, 10), 0).accepted);
+
+  ResourceSet shrunken;  // half the original rate: the old plan cannot fit
+  shrunken.add(2, TimeInterval(0, 40), cpu1);
+  CommitmentLedger recovered(shrunken, 0);
+  EXPECT_EQ(ctl.log().replay_into(recovered), 0u);
+  EXPECT_EQ(recovered.revision(), 0u);
+}
+
 }  // namespace
 }  // namespace rota

@@ -152,7 +152,7 @@ TEST_F(MigrationAdvisorTest, FeasibleOptionsCarryValidPlans) {
 TEST_F(MigrationAdvisorTest, OptionToString) {
   ResourceSet supply;
   supply.add(8, TimeInterval(0, 30), LocatedType::cpu(home));
-  auto options = advisor.evaluate(supply, spec({1}, 30), {});
+  auto options = advisor.evaluate(supply, spec({1}, 30), std::vector<Location>{});
   ASSERT_EQ(options.size(), 1u);
   EXPECT_NE(options[0].to_string().find("stay"), std::string::npos);
   EXPECT_NE(options[0].to_string().find("finish"), std::string::npos);
@@ -163,6 +163,65 @@ TEST_F(MigrationAdvisorTest, KindNames) {
   EXPECT_EQ(placement_kind_name(PlacementKind::kMigrateOnce), "migrate-once");
   EXPECT_EQ(placement_kind_name(PlacementKind::kMigrateAndReturn),
             "migrate-and-return");
+}
+
+
+TEST_F(MigrationAdvisorTest, DigestOverloadRanksRemoteSites) {
+  ResourceSet home_supply;
+  home_supply.add(1, TimeInterval(0, 40), LocatedType::cpu(home));
+  home_supply.add(6, TimeInterval(0, 40), LocatedType::network(home, fast));
+  home_supply.add(6, TimeInterval(0, 40), LocatedType::network(home, far));
+
+  ResourceSet fast_digest, far_digest;
+  fast_digest.add(16, TimeInterval(0, 40), LocatedType::cpu(fast));
+  far_digest.add(2, TimeInterval(0, 40), LocatedType::cpu(far));
+
+  auto options = advisor.evaluate(
+      home_supply, spec({3}, 40),
+      {SiteSupply{fast, fast_digest}, SiteSupply{far, far_digest}});
+  ASSERT_FALSE(options.empty());
+  EXPECT_TRUE(options.front().feasible);
+  EXPECT_EQ(options.front().site, fast);  // fastest digest wins
+}
+
+TEST_F(MigrationAdvisorTest, RankBreaksTiesBySiteIdThenKind) {
+  // Two identical remote sites: equal finish times must rank by site id so
+  // equal inputs always produce the same order (cluster determinism leans
+  // on this).
+  ResourceSet supply;
+  supply.add(1, TimeInterval(0, 60), LocatedType::cpu(home));
+  for (const Location& site : {fast, far}) {
+    supply.add(16, TimeInterval(0, 60), LocatedType::cpu(site));
+    supply.add(6, TimeInterval(0, 60), LocatedType::network(home, site));
+    supply.add(6, TimeInterval(0, 60), LocatedType::network(site, home));
+  }
+  auto once = advisor.evaluate(supply, spec({3}, 60), {far, fast});
+  auto again = advisor.evaluate(supply, spec({3}, 60), {fast, far});
+  ASSERT_EQ(once.size(), again.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].kind, again[i].kind) << i;
+    EXPECT_EQ(once[i].site, again[i].site) << i;
+  }
+  for (std::size_t i = 1; i < once.size(); ++i) {
+    const auto& prev = once[i - 1];
+    const auto& cur = once[i];
+    if (prev.feasible == cur.feasible && prev.finish == cur.finish &&
+        prev.site == cur.site) {
+      EXPECT_LT(prev.kind, cur.kind);  // last tie-break: kind order
+    }
+  }
+}
+
+TEST_F(MigrationAdvisorTest, AssessIsThePublicCostHelper) {
+  ResourceSet digest;
+  digest.add(16, TimeInterval(0, 30), LocatedType::cpu(fast));
+  WorkSpec w = spec({2}, 30);
+  w.home = fast;  // digest-driven callers assess the job as if homed there
+  const PlacementOption o = advisor.assess(digest, w, PlacementKind::kStay, fast);
+  EXPECT_TRUE(o.feasible);
+  EXPECT_EQ(o.site, fast);
+  ASSERT_TRUE(o.plan.has_value());
+  EXPECT_EQ(o.plan->finish, o.finish);
 }
 
 }  // namespace
