@@ -207,14 +207,65 @@ bool write_trace_artifact(const Workload& w, const std::string& path) {
   const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
   std::cout << "\ntraced batch(8) pass: " << recorder.event_count()
             << " trace events\n"
-            << "  accepted=" << snap.counter("admission.accepted")
-            << " rejected.deadline=" << snap.counter("admission.rejected.deadline_passed")
-            << " rejected.no_plan=" << snap.counter("admission.rejected.no_plan")
-            << " rejected.conflict=" << snap.counter("admission.rejected.commit_conflict")
+            << "  accepted=" << snap.counter("plan.commit.accepted")
+            << " rejected.deadline=" << snap.counter("plan.commit.rejected.deadline_passed")
+            << " rejected.no_plan=" << snap.counter("plan.commit.rejected.no_plan")
+            << " rejected.conflict=" << snap.counter("plan.commit.rejected.conflict")
+            << " stale=" << snap.counter("plan.commit.stale")
             << "\n  rounds=" << snap.counter("batch.rounds")
-            << " speculations=" << snap.counter("batch.speculations")
+            << " speculations=" << snap.counter("plan.speculate.count")
             << " wasted=" << snap.counter("batch.speculations_wasted") << "\n";
   return recorder.write_chrome_json(path, &snap);
+}
+
+/// Reads "speedup_batch8_vs_sequential" out of a stored bench JSON; nullopt
+/// when the file or the key is missing.
+std::optional<double> read_baseline_speedup(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  const std::string key = "\"speedup_batch8_vs_sequential\": ";
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find(key);
+    if (pos == std::string::npos) continue;
+    try {
+      return std::stod(line.substr(pos + key.size()));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// The regression gate behind --check-baseline: the stored trajectory says
+/// 8-lane admission clears kMinSpeedup on a wide host, so a run on such a
+/// host that cannot reach it is a pipeline regression, not noise. Hosts with
+/// fewer cores than lanes cannot reproduce the parallelism and are skipped
+/// (the parity checks above still ran).
+int check_baseline(const std::string& baseline_path, double measured_speedup) {
+  constexpr double kMinSpeedup = 2.5;
+  const std::optional<double> baseline = read_baseline_speedup(baseline_path);
+  if (!baseline) {
+    std::cerr << "baseline gate: no stored speedup in " << baseline_path
+              << " — skipping\n";
+    return 0;
+  }
+  std::cout << "baseline gate: stored speedup " << *baseline << ", measured "
+            << measured_speedup << ", floor " << kMinSpeedup << "\n";
+  if (std::thread::hardware_concurrency() < 8) {
+    std::cout << "baseline gate: host has "
+              << std::thread::hardware_concurrency()
+              << " cpus (< 8 lanes) — gate skipped\n";
+    return 0;
+  }
+  if (*baseline >= kMinSpeedup && measured_speedup < kMinSpeedup) {
+    std::cerr << "FATAL: 8-lane speedup " << measured_speedup
+              << " fell below the " << kMinSpeedup
+              << "x floor recorded by the stored baseline (" << *baseline
+              << ")\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -222,11 +273,16 @@ bool write_trace_artifact(const Workload& w, const std::string& path) {
 int main(int argc, char** argv) {
   std::cout << "== E15: batched admission throughput ==\n\n";
   std::string json_path = "BENCH_admission_throughput.json";
+  std::optional<std::string> baseline_path;
   std::optional<std::string> trace_path = obs::trace_path_from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_path = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--check-baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::string("--check-baseline=").size());
+    } else if (arg == "--check-baseline") {
+      baseline_path = json_path;
     } else {
       json_path = arg;
     }
@@ -251,6 +307,13 @@ int main(int argc, char** argv) {
                 m.requests_per_sec / base);
   }
 
+  // The gate reads the *stored* baseline before write_json refreshes it.
+  int gate_status = 0;
+  if (baseline_path) {
+    const double measured = results.back().requests_per_sec / base;
+    gate_status = check_baseline(*baseline_path, measured);
+  }
+
   if (!write_json(json_path, w, results)) {
     std::cerr << "\nERROR: could not write " << json_path << "\n";
     return 1;
@@ -264,5 +327,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << *trace_path << "\n";
   }
-  return 0;
+  return gate_status;
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Repo verification, exactly the two tiers ROADMAP.md names:
+#
+#   tier-1             full build + full ctest in build/
+#   concurrency pass   -DROTA_SANITIZE=thread build in build-tsan/ + ctest -L tsan
+#
+# Usage: scripts/verify.sh [tier1|tsan|all]     (default: all)
+#
+# Optional perf gate (not part of tier-1; needs an >= 8-cpu host to be
+# meaningful): ROTA_VERIFY_BENCH=1 scripts/verify.sh additionally runs
+# bench/e15_throughput with --check-baseline against the stored
+# BENCH_admission_throughput.json and fails on an 8-lane speedup regression.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+tier1() {
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${jobs}"
+  ctest --test-dir build --output-on-failure -j "${jobs}"
+}
+
+tsan() {
+  echo "== concurrency pass: thread-sanitized tsan-labeled suite =="
+  cmake -B build-tsan -S . -DROTA_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${jobs}"
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j "${jobs}"
+}
+
+bench_gate() {
+  echo "== perf gate: e15 8-lane speedup vs stored baseline =="
+  ./build/bench/e15_throughput /tmp/e15_latest.json \
+      --check-baseline=BENCH_admission_throughput.json
+}
+
+case "${mode}" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  all) tier1; tsan ;;
+  *) echo "usage: $0 [tier1|tsan|all]" >&2; exit 2 ;;
+esac
+
+if [[ "${ROTA_VERIFY_BENCH:-0}" == "1" && "${mode}" != "tsan" ]]; then
+  bench_gate
+fi
+
+echo "verify: OK (${mode})"

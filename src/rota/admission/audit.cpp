@@ -73,10 +73,14 @@ double AuditLog::mean_slack_fraction() const {
 }
 
 std::size_t AuditLog::replay_into(CommitmentLedger& ledger) const {
+  // Recovery goes through the same commit gate as live admission
+  // (PlanningKernel::replay), so a WAL rebuild cannot bypass the
+  // revision-checked path or its conflict handling.
+  const PlanningKernel kernel;
   std::size_t replayed = 0;
   for (const auto& e : entries_) {
     if (!e.accepted || !e.plan) continue;
-    if (ledger.admit(e.computation, e.window, *e.plan)) ++replayed;
+    if (kernel.replay(e.computation, e.window, *e.plan, ledger)) ++replayed;
   }
   return replayed;
 }

@@ -41,8 +41,17 @@ class RotaStrategy final : public AdmissionStrategy {
         label_("rota-" + policy_name(policy)) {}
 
   std::string name() const override { return label_; }
+  /// The Theorem-4 decision, spelled in kernel vocabulary: speculate against
+  /// a snapshot of the residual, commit the result (re-speculating on the
+  /// stale case, which cannot arise in this sequential harness).
   AdmissionDecision request(const DistributedComputation& lambda, Tick now) override {
-    return controller_.request(lambda, now);
+    const ConcurrentRequirement rho =
+        make_concurrent_requirement(controller_.phi(), lambda);
+    for (;;) {
+      const PlanResult speculation = controller_.kernel().speculate(
+          rho, now, FeasibilitySnapshot::capture(controller_.ledger()));
+      if (auto decision = controller_.commit(speculation)) return *decision;
+    }
   }
   void on_join(const ResourceSet& joined) override { controller_.on_join(joined); }
 

@@ -1,65 +1,10 @@
 #include "rota/admission/controller.hpp"
 
-#include <algorithm>
-
-#include "rota/obs/obs.hpp"
-
 namespace rota {
-
-TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now) {
-  return TimeInterval(std::max(rho.window().start(), now), rho.window().end());
-}
-
-ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
-                                       const TimeInterval& window) {
-  std::vector<ComplexRequirement> clipped;
-  clipped.reserve(rho.actors().size());
-  for (const auto& a : rho.actors()) {
-    clipped.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
-  }
-  return ConcurrentRequirement(rho.name(), std::move(clipped), window);
-}
-
-AdmissionDecision decide_request(CommitmentLedger& ledger,
-                                 const ConcurrentRequirement& rho, Tick now,
-                                 PlanningPolicy policy) {
-  ROTA_OBS_SPAN("admit.decide");
-  ledger.advance_to(std::max(now, ledger.now()));
-
-  AdmissionDecision decision;
-  const TimeInterval window = effective_window(rho, now);
-  if (window.empty()) {
-    decision.reason = "deadline has already passed";
-    if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_rejected_deadline.add();
-    return decision;
-  }
-
-  const ConcurrentRequirement effective = clip_requirement(rho, window);
-  auto plan = plan_concurrent(ledger.residual().restricted(window), effective, policy);
-  if (!plan) {
-    decision.reason = "no feasible plan over expiring resources";
-    if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_rejected_no_plan.add();
-    return decision;
-  }
-  if (!ledger.admit(rho.name(), window, *plan)) {
-    decision.reason = "plan no longer fits residual";  // defensive; not expected
-    if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_rejected_conflict.add();
-    return decision;
-  }
-  decision.accepted = true;
-  decision.plan = std::move(*plan);
-  if (obs::metrics_enabled()) obs::CoreMetrics::get().admission_accepted.add();
-  return decision;
-}
 
 AdmissionDecision RotaAdmissionController::request(const DistributedComputation& lambda,
                                                    Tick now) {
   return request(make_concurrent_requirement(phi_, lambda), now);
-}
-
-AdmissionDecision RotaAdmissionController::request(const ConcurrentRequirement& rho,
-                                                   Tick now) {
-  return decide_request(ledger_, rho, now, policy_);
 }
 
 }  // namespace rota

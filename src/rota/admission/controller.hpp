@@ -1,11 +1,12 @@
 // The ROTA admission controller: Theorem 4 as an online service.
 //
-// On each request the controller derives ρ(Λ, s, d) via Φ, clips the window
-// to the present, plans it against the ledger's residual (= the expiring
-// resources of the committed path), and admits exactly when a plan exists.
-// Every admitted computation therefore has a concrete consumption plan that
-// provably fits alongside all earlier admissions — the deadline assurance
-// the paper is after.
+// On each request the controller derives ρ(Λ, s, d) via Φ and hands it to
+// the planning kernel: speculate against a snapshot of the ledger's
+// residual, commit the result. Every admitted computation therefore has a
+// concrete consumption plan that provably fits alongside all earlier
+// admissions — the deadline assurance the paper is after. The controller
+// itself is a thin wrapper: the accept/reject semantics live entirely in
+// rota/plan/ (one audited code path shared by every admission surface).
 #pragma once
 
 #include <optional>
@@ -13,31 +14,9 @@
 
 #include "rota/admission/ledger.hpp"
 #include "rota/computation/requirement.hpp"
-#include "rota/logic/planner.hpp"
+#include "rota/plan/kernel.hpp"
 
 namespace rota {
-
-struct AdmissionDecision {
-  bool accepted = false;
-  std::optional<ConcurrentPlan> plan;  // present iff accepted
-  std::string reason;                  // human-readable rejection cause
-};
-
-/// The requirement's window clipped to the present (empty ⇔ deadline passed).
-TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now);
-
-/// `rho` with every actor's window replaced by `window` — the controller's
-/// re-clip for requests whose earliest start is already behind the clock.
-ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
-                                       const TimeInterval& window);
-
-/// One admission step: advance the ledger clock, clip the window, plan
-/// against the residual, and commit on success. This free function is the
-/// single source of accept/reject semantics, shared by the sequential
-/// controller below and the batched pipeline in rota/runtime/.
-AdmissionDecision decide_request(CommitmentLedger& ledger,
-                                 const ConcurrentRequirement& rho, Tick now,
-                                 PlanningPolicy policy);
 
 class RotaAdmissionController {
  public:
@@ -46,13 +25,25 @@ class RotaAdmissionController {
                           Tick now = 0)
       : phi_(std::move(phi)),
         ledger_(std::move(initial_supply), now),
-        policy_(policy) {}
+        kernel_(policy) {}
 
   /// Decides (Λ, s, d) at time `now`. Advances the ledger clock.
   AdmissionDecision request(const DistributedComputation& lambda, Tick now);
 
   /// Decides an already-derived requirement (for callers with their own Φ).
-  AdmissionDecision request(const ConcurrentRequirement& rho, Tick now);
+  AdmissionDecision request(const ConcurrentRequirement& rho, Tick now) {
+    return kernel_.decide(ledger_, rho, now);
+  }
+
+  /// Commits a speculation produced against a snapshot of this controller's
+  /// ledger; nullopt when the speculation went stale (re-speculate).
+  std::optional<AdmissionDecision> commit(const PlanResult& result) {
+    AdmissionDecision decision;
+    if (kernel_.commit(result, ledger_, decision) != CommitStatus::kCommitted) {
+      return std::nullopt;
+    }
+    return decision;
+  }
 
   /// Resource acquisition rule.
   void on_join(const ResourceSet& joined) { ledger_.join(joined); }
@@ -72,12 +63,13 @@ class RotaAdmissionController {
 
   const CommitmentLedger& ledger() const { return ledger_; }
   const CostModel& phi() const { return phi_; }
-  PlanningPolicy policy() const { return policy_; }
+  const PlanningKernel& kernel() const { return kernel_; }
+  PlanningPolicy policy() const { return kernel_.policy(); }
 
  private:
   CostModel phi_;
   CommitmentLedger ledger_;
-  PlanningPolicy policy_;
+  PlanningKernel kernel_;
 };
 
 }  // namespace rota

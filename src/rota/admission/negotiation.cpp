@@ -3,41 +3,39 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "rota/admission/controller.hpp"
-
 namespace rota {
 
 namespace {
 
-ConcurrentRequirement with_window(const ConcurrentRequirement& rho,
-                                  const TimeInterval& window) {
-  std::vector<ComplexRequirement> actors;
-  actors.reserve(rho.actors().size());
-  for (const auto& a : rho.actors()) {
-    actors.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
-  }
-  return ConcurrentRequirement(rho.name(), std::move(actors), window);
+/// One candidate-window probe: a kernel speculation through the snapshot's
+/// restriction cache. `focus` is the search's whole probe range, constant
+/// across the binary search, so the residual is restricted exactly once.
+bool probe(const FeasibilitySnapshot& snapshot, const PlanningKernel& kernel,
+           const ConcurrentRequirement& rho, const TimeInterval& window,
+           const TimeInterval& focus) {
+  return kernel
+      .speculate_within(clip_requirement(rho, window), window.start(), snapshot,
+                        focus)
+      .feasible();
 }
 
 }  // namespace
 
-std::optional<Tick> earliest_feasible_deadline(const ResourceSet& available,
+std::optional<Tick> earliest_feasible_deadline(const FeasibilitySnapshot& snapshot,
                                                const ConcurrentRequirement& rho,
-                                               Tick latest, PlanningPolicy policy) {
+                                               Tick latest,
+                                               const PlanningKernel& kernel) {
   const Tick start = rho.window().start();
   if (latest <= start) {
     throw std::invalid_argument("earliest_feasible_deadline: latest must follow s");
   }
+  const TimeInterval focus(start, latest);
   // ASAP feasibility is monotone in d: a plan for d also works for d' > d.
-  if (!plan_concurrent(available, with_window(rho, TimeInterval(start, latest)),
-                       policy)) {
-    return std::nullopt;
-  }
+  if (!probe(snapshot, kernel, rho, focus, focus)) return std::nullopt;
   Tick lo = start + 1, hi = latest;  // invariant: hi is feasible
   while (lo < hi) {
     const Tick mid = lo + (hi - lo) / 2;
-    if (plan_concurrent(available, with_window(rho, TimeInterval(start, mid)),
-                        policy)) {
+    if (probe(snapshot, kernel, rho, TimeInterval(start, mid), focus)) {
       hi = mid;
     } else {
       lo = mid + 1;
@@ -46,14 +44,20 @@ std::optional<Tick> earliest_feasible_deadline(const ResourceSet& available,
   return hi;
 }
 
-std::optional<Tick> latest_feasible_start(const ResourceSet& available,
+std::optional<Tick> earliest_feasible_deadline(const ResourceSet& available,
+                                               const ConcurrentRequirement& rho,
+                                               Tick latest, PlanningPolicy policy) {
+  return earliest_feasible_deadline(FeasibilitySnapshot::over(available), rho,
+                                    latest, PlanningKernel(policy));
+}
+
+std::optional<Tick> latest_feasible_start(const FeasibilitySnapshot& snapshot,
                                           const ConcurrentRequirement& rho,
-                                          PlanningPolicy policy) {
+                                          const PlanningKernel& kernel) {
   const Tick deadline = rho.window().end();
+  const TimeInterval focus(rho.window().start(), deadline);
   auto feasible_from = [&](Tick s) {
-    return plan_concurrent(available, with_window(rho, TimeInterval(s, deadline)),
-                           policy)
-        .has_value();
+    return probe(snapshot, kernel, rho, TimeInterval(s, deadline), focus);
   };
   if (!feasible_from(rho.window().start())) return std::nullopt;
   // Shrinking the window from the left is monotone the other way: if start s
@@ -70,6 +74,13 @@ std::optional<Tick> latest_feasible_start(const ResourceSet& available,
   return lo;
 }
 
+std::optional<Tick> latest_feasible_start(const ResourceSet& available,
+                                          const ConcurrentRequirement& rho,
+                                          PlanningPolicy policy) {
+  return latest_feasible_start(FeasibilitySnapshot::over(available), rho,
+                               PlanningKernel(policy));
+}
+
 CounterOffer request_with_counter_offer(RotaAdmissionController& controller,
                                         const ConcurrentRequirement& rho, Tick now,
                                         Tick max_deadline) {
@@ -79,20 +90,17 @@ CounterOffer request_with_counter_offer(RotaAdmissionController& controller,
   if (max_deadline <= rho.window().end()) return offer;  // nothing to offer
 
   // Probe the residual for the smallest workable extension. The probe window
-  // starts where the controller would clip: max(s, now).
+  // starts where the kernel would clip: max(s, now). One snapshot serves the
+  // whole search; its restriction cache holds the single restricted view
+  // every candidate window is planned against.
   const Tick start = std::max(rho.window().start(), now);
   if (start >= max_deadline) return offer;
-  std::vector<ComplexRequirement> actors;
-  actors.reserve(rho.actors().size());
-  for (const auto& a : rho.actors()) {
-    actors.emplace_back(a.actor(), a.phases(), TimeInterval(start, max_deadline),
-                        a.rate_cap());
-  }
-  const ConcurrentRequirement probe(rho.name(), std::move(actors),
-                                    TimeInterval(start, max_deadline));
-  auto d = earliest_feasible_deadline(
-      controller.ledger().residual().restricted(probe.window()), probe,
-      max_deadline, controller.policy());
+  const ConcurrentRequirement probe_rho =
+      clip_requirement(rho, TimeInterval(start, max_deadline));
+  const FeasibilitySnapshot snapshot =
+      FeasibilitySnapshot::capture(controller.ledger());
+  auto d = earliest_feasible_deadline(snapshot, probe_rho, max_deadline,
+                                      controller.kernel());
   // Only offer genuine extensions (a d inside the original window would
   // contradict the rejection; guard against boundary effects).
   if (d && *d > rho.window().end()) offer.suggested_deadline = d;
@@ -103,17 +111,18 @@ std::vector<ConcurrentPlan> admissible_copies(const ResourceSet& available,
                                               const ConcurrentRequirement& rho,
                                               std::size_t max_copies,
                                               PlanningPolicy policy) {
+  const PlanningKernel kernel(policy);
   std::vector<ConcurrentPlan> plans;
-  ResourceSet residual = available;
+  FeasibilitySnapshot snapshot = FeasibilitySnapshot::over(available);
   for (std::size_t i = 0; i < max_copies; ++i) {
-    auto plan = plan_concurrent(residual, rho, policy);
-    if (!plan) break;
-    auto next = residual.relative_complement(plan->usage_as_resources());
+    PlanResult result = kernel.speculate(rho, rho.window().start(), snapshot);
+    if (!result.feasible()) break;
+    auto next = snapshot.minus(*result.plan);
     if (!next) {
       throw std::logic_error("admissible_copies: plan exceeded residual");
     }
-    residual = std::move(*next);
-    plans.push_back(std::move(*plan));
+    snapshot = std::move(*next);
+    plans.push_back(std::move(*result.plan));
   }
   return plans;
 }

@@ -3,23 +3,32 @@
 // ROTA's verdicts are binary — (Λ, s, d) fits or it does not. A practical
 // admission service wants to answer the follow-ups: *what deadline could you
 // promise?*, *when could you start?*, *how many copies of this would fit?*
-// All three reduce to monotone searches over the planner: enlarging the
-// window (later d, or earlier s) never hurts ASAP feasibility, so binary
-// search applies.
+// All three reduce to monotone searches over the planning kernel: enlarging
+// the window (later d, or earlier s) never hurts ASAP feasibility, so binary
+// search applies. Every probe is a PlanningKernel::speculate against one
+// FeasibilitySnapshot — the snapshot's restriction cache means a whole
+// search pays for a single residual restriction, not one per candidate
+// window.
 #pragma once
 
 #include <optional>
 
 #include "rota/admission/controller.hpp"
 #include "rota/computation/requirement.hpp"
-#include "rota/logic/planner.hpp"
+#include "rota/plan/kernel.hpp"
 
 namespace rota {
 
 /// The smallest deadline d' >= s+1 such that (Λ, s, d') is feasible against
-/// `available`, probing no further than `latest`. The requirement's own
-/// deadline is ignored; phases and earliest start are kept. nullopt when even
-/// d' = latest fails.
+/// the snapshot, probing no further than `latest`. The requirement's own
+/// deadline is ignored; phases and earliest start are kept. nullopt when
+/// even d' = latest fails.
+std::optional<Tick> earliest_feasible_deadline(const FeasibilitySnapshot& snapshot,
+                                               const ConcurrentRequirement& rho,
+                                               Tick latest,
+                                               const PlanningKernel& kernel);
+
+/// Convenience overload over a bare availability.
 std::optional<Tick> earliest_feasible_deadline(const ResourceSet& available,
                                                const ConcurrentRequirement& rho,
                                                Tick latest,
@@ -29,13 +38,19 @@ std::optional<Tick> earliest_feasible_deadline(const ResourceSet& available,
 /// still fits before its deadline — how long admission can be deferred, e.g.
 /// while waiting for a cheaper price window. nullopt when even the original
 /// start fails.
+std::optional<Tick> latest_feasible_start(const FeasibilitySnapshot& snapshot,
+                                          const ConcurrentRequirement& rho,
+                                          const PlanningKernel& kernel);
+
+/// Convenience overload over a bare availability.
 std::optional<Tick> latest_feasible_start(const ResourceSet& available,
                                           const ConcurrentRequirement& rho,
                                           PlanningPolicy policy = PlanningPolicy::kAsap);
 
 /// How many identical copies of the computation fit side by side (each
-/// planned against the residual left by the previous ones), capped at
-/// `max_copies`. Returns the plans so the caller can commit them.
+/// speculated against the what-if snapshot left by the previous ones —
+/// FeasibilitySnapshot::minus), capped at `max_copies`. Returns the plans so
+/// the caller can commit them.
 std::vector<ConcurrentPlan> admissible_copies(const ResourceSet& available,
                                               const ConcurrentRequirement& rho,
                                               std::size_t max_copies,

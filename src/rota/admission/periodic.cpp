@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rota/plan/kernel.hpp"
+
 namespace rota {
 
 std::vector<DistributedComputation> expand_periodic(const DistributedComputation& task,
@@ -33,10 +35,20 @@ PeriodicAdmission admit_periodic(RotaAdmissionController& controller,
   const auto instances = expand_periodic(task, period, count);
   std::vector<std::string> admitted_names;
   for (std::size_t k = 0; k < instances.size(); ++k) {
-    AdmissionDecision d = controller.request(instances[k], now);
-    if (!d.accepted) {
+    // Instance by instance through the kernel: speculate against the live
+    // residual, commit on success (stale cannot happen between the two in
+    // this sequential loop, but the loop keeps the contract honest).
+    const ConcurrentRequirement rho =
+        make_concurrent_requirement(controller.phi(), instances[k]);
+    std::optional<AdmissionDecision> d;
+    do {
+      const PlanResult speculation = controller.kernel().speculate(
+          rho, now, FeasibilitySnapshot::capture(controller.ledger()));
+      d = controller.commit(speculation);
+    } while (!d);
+    if (!d->accepted) {
       result.failed_instance = k;
-      result.reason = d.reason;
+      result.reason = d->reason;
       // Roll back: none of the earlier instances has started (their windows
       // lie in the future of `now` by construction when s > now; if the
       // first window already began, release will throw — surface that).
@@ -47,7 +59,7 @@ PeriodicAdmission admit_periodic(RotaAdmissionController& controller,
       return result;
     }
     admitted_names.push_back(instances[k].name());
-    result.plans.push_back(std::move(*d.plan));
+    result.plans.push_back(std::move(*d->plan));
   }
   result.accepted = true;
   return result;
@@ -56,12 +68,21 @@ PeriodicAdmission admit_periodic(RotaAdmissionController& controller,
 std::size_t sustainable_instances(const RotaAdmissionController& controller,
                                   const DistributedComputation& task, Tick period,
                                   std::size_t max_count, Tick now) {
-  RotaAdmissionController probe = controller;  // never mutate the caller's
+  // Pure speculation: chain what-if snapshots (each minus the previous
+  // instance's plan) instead of probing a copied controller — the caller's
+  // ledger is never touched and nothing is copied up front.
   const auto instances = expand_periodic(task, period, std::max<std::size_t>(1, max_count));
+  FeasibilitySnapshot snapshot = FeasibilitySnapshot::capture(controller.ledger());
   std::size_t sustained = 0;
   for (const auto& instance : instances) {
     if (sustained >= max_count) break;
-    if (!probe.request(instance, now).accepted) break;
+    const ConcurrentRequirement rho =
+        make_concurrent_requirement(controller.phi(), instance);
+    PlanResult result = controller.kernel().speculate(rho, now, snapshot);
+    if (!result.feasible()) break;
+    auto next = snapshot.minus(*result.plan);
+    if (!next) break;  // defensive: a feasible plan is covered by the view
+    snapshot = std::move(*next);
     ++sustained;
   }
   return sustained;

@@ -50,7 +50,7 @@ ActorComputation MigrationAdvisor::materialize(const WorkSpec& spec,
   return std::move(builder).build();
 }
 
-PlacementOption MigrationAdvisor::assess(const ResourceSet& supply,
+PlacementOption MigrationAdvisor::assess(const FeasibilitySnapshot& snapshot,
                                          const WorkSpec& spec, PlacementKind kind,
                                          Location site) const {
   if (spec.deadline <= spec.earliest_start) {
@@ -63,7 +63,7 @@ PlacementOption MigrationAdvisor::assess(const ResourceSet& supply,
 
   const ComplexRequirement rho = make_complex_requirement(
       phi_, option.computation, TimeInterval(spec.earliest_start, spec.deadline));
-  auto plan = plan_actor(supply, rho, policy_);
+  auto plan = kernel_.speculate_actor(rho, snapshot);
   if (plan) {
     option.feasible = true;
     option.finish = plan->finish;

@@ -17,7 +17,7 @@
 
 #include "rota/computation/cost_model.hpp"
 #include "rota/computation/requirement.hpp"
-#include "rota/logic/planner.hpp"
+#include "rota/plan/kernel.hpp"
 
 namespace rota {
 
@@ -66,17 +66,24 @@ class MigrationAdvisor {
  public:
   explicit MigrationAdvisor(CostModel phi,
                             PlanningPolicy policy = PlanningPolicy::kAsap)
-      : phi_(std::move(phi)), policy_(policy) {}
+      : phi_(std::move(phi)), kernel_(policy) {}
 
   /// Materializes one candidate behaviour.
   ActorComputation materialize(const WorkSpec& spec, PlacementKind kind,
                                Location site) const;
 
   /// The one cost helper behind every option-evaluation path: materializes
-  /// the candidate, derives its requirement, and plans it against `supply`
-  /// (oracle availability or a gossiped digest — the helper is agnostic).
-  PlacementOption assess(const ResourceSet& supply, const WorkSpec& spec,
+  /// the candidate, derives its requirement, and speculates it through the
+  /// planning kernel against the snapshot (a live residual, an oracle
+  /// availability, or a gossiped digest — the scoring is agnostic).
+  PlacementOption assess(const FeasibilitySnapshot& snapshot, const WorkSpec& spec,
                          PlacementKind kind, Location site) const;
+
+  /// Convenience overload over a bare availability.
+  PlacementOption assess(const ResourceSet& supply, const WorkSpec& spec,
+                         PlacementKind kind, Location site) const {
+    return assess(FeasibilitySnapshot::over(supply), spec, kind, site);
+  }
 
   /// Evaluates every candidate: stay home, plus migrate-once and
   /// migrate-and-return for each listed site. Options are returned ranked —
@@ -104,7 +111,7 @@ class MigrationAdvisor {
 
  private:
   CostModel phi_;
-  PlanningPolicy policy_;
+  PlanningKernel kernel_;
 };
 
 }  // namespace rota

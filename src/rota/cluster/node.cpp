@@ -315,25 +315,20 @@ void ClusterNode::handle(const Message& m, Tick now) {
       r.from = id_;
       r.to = m.from;
       r.job = m.job;
-      const TimeInterval window(std::max(now, m.work.earliest_start),
-                                m.work.deadline);
-      if (window.empty()) {
+      // Speculative feasibility only — nothing is reserved. The claim
+      // re-plans against whatever the residual is then.
+      const ConcurrentRequirement rho = localize(m.work);
+      const PlanResult result = controller_->kernel().speculate(
+          rho, now, FeasibilitySnapshot::capture(ledger()));
+      if (result.status == PlanStatus::kDeadlinePassed) {
         r.kind = MsgKind::kNack;
         r.note = "deadline passed in transit";
+      } else if (result.feasible()) {
+        r.kind = MsgKind::kOffer;
+        r.finish = result.plan->finish;
       } else {
-        // Speculative feasibility only — nothing is reserved. The claim
-        // re-plans against whatever the residual is then.
-        const ConcurrentRequirement rho = localize(m.work);
-        auto plan = plan_concurrent(ledger().residual().restricted(window),
-                                    clip_requirement(rho, window),
-                                    config_.policy);
-        if (plan) {
-          r.kind = MsgKind::kOffer;
-          r.finish = plan->finish;
-        } else {
-          r.kind = MsgKind::kNack;
-          r.note = "no capacity";
-        }
+        r.kind = MsgKind::kNack;
+        r.note = "no capacity";
       }
       send(std::move(r));
       break;

@@ -22,12 +22,14 @@ CoreMetrics& CoreMetrics::get() {
   static CoreMetrics metrics = [] {
     MetricsRegistry& r = MetricsRegistry::global();
     return CoreMetrics{
-        r.counter("admission.accepted"),
-        r.counter("admission.rejected.deadline_passed"),
-        r.counter("admission.rejected.no_plan"),
-        r.counter("admission.rejected.commit_conflict"),
+        r.counter("plan.speculate.count"),
+        r.counter("plan.speculate.feasible"),
+        r.counter("plan.commit.accepted"),
+        r.counter("plan.commit.rejected.deadline_passed"),
+        r.counter("plan.commit.rejected.no_plan"),
+        r.counter("plan.commit.rejected.conflict"),
+        r.counter("plan.commit.stale"),
         r.counter("batch.rounds"),
-        r.counter("batch.speculations"),
         r.counter("batch.speculations_wasted"),
         r.gauge("batch.lanes"),
         r.histogram("batch.round_ns"),

@@ -94,15 +94,19 @@ class Span {
 /// process lifetime). Names are the single source of truth for
 /// docs/observability.md.
 struct CoreMetrics {
-  // Admission decisions (sequential controller and batch commit stage alike).
-  Counter& admission_accepted;
-  Counter& admission_rejected_deadline;   // window empty: deadline passed
-  Counter& admission_rejected_no_plan;    // planner found no feasible plan
-  Counter& admission_rejected_conflict;   // ledger refused at commit (defensive)
+  // Planning kernel — the single choke point every admission surface
+  // (sequential, batch, baselines, negotiation, periodic, cluster
+  // probe/claim, audit replay) routes through.
+  Counter& plan_speculations;           // plans attempted against a snapshot
+  Counter& plan_speculations_feasible;  // speculations that found a plan
+  Counter& plan_commit_accepted;
+  Counter& plan_commit_rejected_deadline;  // window empty: deadline passed
+  Counter& plan_commit_rejected_no_plan;   // planner found no feasible plan
+  Counter& plan_commit_rejected_conflict;  // ledger refused at commit (defensive)
+  Counter& plan_commit_stale;  // revision moved since speculation; redone
 
-  // Batched pipeline, per round.
+  // Batched pipeline, per round (speculation counts live in plan.*).
   Counter& batch_rounds;
-  Counter& batch_speculations;         // plans attempted against a snapshot
   Counter& batch_speculations_wasted;  // attempted, then discarded by an accept
   Gauge& batch_lanes;                  // planning lanes of the last controller
   Histogram& batch_round_ns;           // wall time per snapshot+speculate+commit

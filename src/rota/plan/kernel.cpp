@@ -1,0 +1,163 @@
+#include "rota/plan/kernel.hpp"
+
+#include <algorithm>
+
+#include "rota/obs/obs.hpp"
+
+namespace rota {
+
+TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now) {
+  return TimeInterval(std::max(rho.window().start(), now), rho.window().end());
+}
+
+ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
+                                       const TimeInterval& window) {
+  std::vector<ComplexRequirement> clipped;
+  clipped.reserve(rho.actors().size());
+  for (const auto& a : rho.actors()) {
+    clipped.emplace_back(a.actor(), a.phases(), window, a.rate_cap());
+  }
+  return ConcurrentRequirement(rho.name(), std::move(clipped), window);
+}
+
+const char* PlanResult::reject_reason() const {
+  switch (status) {
+    case PlanStatus::kFeasible: return "";
+    case PlanStatus::kDeadlinePassed: return "deadline has already passed";
+    case PlanStatus::kInfeasible:
+      return "no feasible plan over expiring resources";
+  }
+  return "";
+}
+
+namespace {
+
+PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
+                             const FeasibilitySnapshot& snapshot,
+                             const ResourceSet* focused_view,
+                             PlanningPolicy policy) {
+  PlanResult result;
+  result.computation = rho.name();
+  result.at = at;
+  result.revision = snapshot.revision();
+  result.window = effective_window(rho, at);
+  if (result.window.empty()) {
+    result.status = PlanStatus::kDeadlinePassed;
+    return result;
+  }
+  ROTA_OBS_SPAN("plan.speculate");
+  const bool metered = obs::metrics_enabled();
+  if (metered) obs::CoreMetrics::get().plan_speculations.add();
+  const ResourceSet& view =
+      focused_view != nullptr
+          ? *focused_view
+          : (snapshot.pre_restricted() ? snapshot.view()
+                                       : snapshot.restricted(result.window));
+  auto plan = plan_concurrent(view, clip_requirement(rho, result.window), policy);
+  if (!plan) {
+    result.status = PlanStatus::kInfeasible;
+    return result;
+  }
+  result.status = PlanStatus::kFeasible;
+  result.plan = std::move(*plan);
+  if (metered) obs::CoreMetrics::get().plan_speculations_feasible.add();
+  return result;
+}
+
+}  // namespace
+
+PlanResult PlanningKernel::speculate(const ConcurrentRequirement& rho, Tick at,
+                                     const FeasibilitySnapshot& snapshot) const {
+  return speculate_against(rho, at, snapshot, nullptr, policy_);
+}
+
+PlanResult PlanningKernel::speculate_within(const ConcurrentRequirement& rho,
+                                            Tick at,
+                                            const FeasibilitySnapshot& snapshot,
+                                            const TimeInterval& focus) const {
+  const ResourceSet& view = snapshot.restricted(focus);
+  return speculate_against(rho, at, snapshot, &view, policy_);
+}
+
+std::optional<ActorPlan> PlanningKernel::speculate_actor(
+    const ComplexRequirement& requirement,
+    const FeasibilitySnapshot& snapshot) const {
+  ROTA_OBS_SPAN("plan.speculate");
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().plan_speculations.add();
+  auto plan = plan_actor(snapshot.pre_restricted()
+                             ? snapshot.view()
+                             : snapshot.restricted(requirement.window()),
+                         requirement, policy_);
+  if (plan && obs::metrics_enabled()) {
+    obs::CoreMetrics::get().plan_speculations_feasible.add();
+  }
+  return plan;
+}
+
+CommitStatus PlanningKernel::commit(const PlanResult& result,
+                                    CommitmentLedger& ledger,
+                                    AdmissionDecision& out) const {
+  ROTA_OBS_SPAN("plan.commit");
+  const bool metered = obs::metrics_enabled();
+  if (result.revision != ledger.revision()) {
+    if (metered) obs::CoreMetrics::get().plan_commit_stale.add();
+    return CommitStatus::kStale;
+  }
+  ledger.advance_to(std::max(result.at, ledger.now()));
+  out = AdmissionDecision{};
+  switch (result.status) {
+    case PlanStatus::kDeadlinePassed:
+      out.reason = result.reject_reason();
+      if (metered) obs::CoreMetrics::get().plan_commit_rejected_deadline.add();
+      return CommitStatus::kCommitted;
+    case PlanStatus::kInfeasible:
+      out.reason = result.reject_reason();
+      if (metered) obs::CoreMetrics::get().plan_commit_rejected_no_plan.add();
+      return CommitStatus::kCommitted;
+    case PlanStatus::kFeasible:
+      break;
+  }
+  if (!ledger.admit(result.computation, result.window, *result.plan)) {
+    // Defensive: a matching revision certifies the residual the plan was
+    // computed against, so the ledger should never refuse here.
+    out.reason = "plan no longer fits residual";
+    if (metered) obs::CoreMetrics::get().plan_commit_rejected_conflict.add();
+    return CommitStatus::kCommitted;
+  }
+  out.accepted = true;
+  out.plan = result.plan;
+  if (metered) obs::CoreMetrics::get().plan_commit_accepted.add();
+  return CommitStatus::kCommitted;
+}
+
+AdmissionDecision PlanningKernel::decide(CommitmentLedger& ledger,
+                                         const ConcurrentRequirement& rho,
+                                         Tick at) const {
+  AdmissionDecision decision;
+  // Sequentially the snapshot cannot go stale between speculate and commit;
+  // the loop is belt-and-braces for exotic callers.
+  do {
+    const FeasibilitySnapshot snapshot = FeasibilitySnapshot::capture(ledger);
+    const PlanResult result = speculate(rho, at, snapshot);
+    if (commit(result, ledger, decision) == CommitStatus::kCommitted) break;
+  } while (true);
+  return decision;
+}
+
+bool PlanningKernel::replay(const std::string& computation,
+                            const TimeInterval& window,
+                            const ConcurrentPlan& plan,
+                            CommitmentLedger& ledger) const {
+  PlanResult result;
+  result.status = PlanStatus::kFeasible;
+  result.computation = computation;
+  result.window = window;
+  result.at = ledger.now();  // replay never advances the recovering clock
+  result.revision = ledger.revision();
+  result.plan = plan;
+  AdmissionDecision decision;
+  if (commit(result, ledger, decision) != CommitStatus::kCommitted) return false;
+  return decision.accepted;
+}
+
+}  // namespace rota

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <optional>
 #include <sstream>
 
 #include "rota/obs/obs.hpp"
@@ -41,9 +40,8 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
       pool_.concurrency() <= 1 ? 1 : 8 * pool_.concurrency();
 
   std::size_t next = 0;
-  std::vector<std::optional<ConcurrentPlan>> spec(lookahead);
+  std::vector<PlanResult> spec(lookahead);
   std::vector<unsigned char> planned(lookahead);
-  std::vector<TimeInterval> windows(lookahead);
   while (next < n) {
     const std::size_t base = next;
     const std::size_t end = std::min(n, base + lookahead);
@@ -56,46 +54,33 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
       return args.str();
     });
 
-    // Windows are clipped by each request's own arrival tick, exactly as
-    // decide_request does — the ledger clock never affects decisions. The
-    // round shares one residual view restricted to the hull of its windows:
-    // planning only ever reads the residual inside the request's window, so
-    // the hull view yields the same plan as the per-request restriction the
-    // sequential controller computes, at one residual scan per round instead
-    // of one per request.
+    // Windows are clipped by each request's own arrival tick, exactly as the
+    // kernel's sequential decide() does — the ledger clock never affects
+    // decisions. The round shares one snapshot restricted to the hull of its
+    // windows (see FeasibilitySnapshot::capture).
     TimeInterval hull;
     for (std::size_t i = base; i < end; ++i) {
-      const TimeInterval w = effective_window(requests[i].rho, requests[i].at);
-      windows[i - base] = w;
-      hull = hull.hull_with(w);
+      hull = hull.hull_with(effective_window(requests[i].rho, requests[i].at));
     }
-    ResourceSet view;
-    {
-      ROTA_OBS_SPAN("batch.snapshot");
-      if (!hull.empty()) view = ledger_.residual().restricted(hull);
-    }
+    const FeasibilitySnapshot snapshot =
+        FeasibilitySnapshot::capture(ledger_, hull);
 
-    // Speculate: plan pending requests in parallel against the frozen view.
-    // The ledger is not touched until every lane has finished. A found plan
-    // is a would-be accept; everything behind it will be re-speculated
-    // against the post-accept residual anyway, so later lanes skip planning
-    // once `first_accept` is set (indices are handed out in order, making
-    // the skip almost always effective).
+    // Speculate: plan pending requests in parallel against the frozen
+    // snapshot. The ledger is not touched until every lane has finished. A
+    // feasible speculation is a would-be accept; everything behind it will
+    // be re-speculated against the post-accept residual anyway, so later
+    // lanes skip planning once `first_accept` is set (indices are handed out
+    // in order, making the skip almost always effective).
     std::atomic<std::size_t> first_accept{end};
     const auto speculate = [&](std::size_t k) {
       const std::size_t i = base + k;
-      spec[k].reset();
       if (i > first_accept.load(std::memory_order_relaxed)) {
         planned[k] = 0;
         return;
       }
       planned[k] = 1;
-      const TimeInterval& window = windows[k];
-      if (window.empty()) return;  // rejected at commit, no plan needed
-      ROTA_OBS_SPAN("batch.speculate");
-      spec[k] = plan_concurrent(view, clip_requirement(requests[i].rho, window),
-                                policy_);
-      if (spec[k]) {
+      spec[k] = kernel_.speculate(requests[i].rho, requests[i].at, snapshot);
+      if (spec[k].feasible()) {
         std::size_t cur = first_accept.load(std::memory_order_relaxed);
         while (i < cur && !first_accept.compare_exchange_weak(
                               cur, i, std::memory_order_relaxed)) {
@@ -108,50 +93,30 @@ std::vector<AdmissionDecision> BatchAdmissionController::admit_batch(
       pool_.parallel_for(end - base, speculate);
     }
 
-    // Commit in order. Rejections leave the residual (and thus the validity
-    // of the remaining speculation) untouched; the first accept ends the
-    // round so the rest is re-speculated against the new residual.
+    // Commit in order. Rejections leave the residual untouched, so their
+    // revision stamps stay valid; the first accept bumps the revision and
+    // the kernel flags the next speculation as stale, ending the round —
+    // stale work is redone against a fresh snapshot, never committed.
     ROTA_OBS_SPAN("batch.commit");
-    bool residual_changed = false;
-    while (next < end && !residual_changed) {
+    while (next < end) {
       const std::size_t i = next;
       if (!planned[i - base]) break;  // unreachable: skips sit past the accept
+      if (kernel_.commit(spec[i - base], ledger_, decisions[i]) ==
+          CommitStatus::kStale) {
+        break;
+      }
       ++next;
-      ledger_.advance_to(std::max(requests[i].at, ledger_.now()));
-      AdmissionDecision& decision = decisions[i];
-      const TimeInterval& window = windows[i - base];
-      if (window.empty()) {
-        decision.reason = "deadline has already passed";
-        if (metered) obs::CoreMetrics::get().admission_rejected_deadline.add();
-        continue;
-      }
-      std::optional<ConcurrentPlan>& plan = spec[i - base];
-      if (!plan) {
-        decision.reason = "no feasible plan over expiring resources";
-        if (metered) obs::CoreMetrics::get().admission_rejected_no_plan.add();
-        continue;
-      }
-      if (!ledger_.admit(requests[i].rho.name(), window, *plan)) {
-        decision.reason = "plan no longer fits residual";  // defensive; not expected
-        if (metered) obs::CoreMetrics::get().admission_rejected_conflict.add();
-        continue;
-      }
-      decision.accepted = true;
-      decision.plan = std::move(*plan);
-      if (metered) obs::CoreMetrics::get().admission_accepted.add();
-      residual_changed = true;
     }
 
     if (metered) {
       obs::CoreMetrics& m = obs::CoreMetrics::get();
       m.batch_rounds.add();
-      std::uint64_t speculated = 0, wasted = 0;
+      std::uint64_t wasted = 0;
       for (std::size_t k = 0; k < end - base; ++k) {
-        if (!planned[k] || windows[k].empty()) continue;
-        ++speculated;
-        if (base + k >= next) ++wasted;  // planned, then discarded by the accept
+        if (!planned[k] || spec[k].status == PlanStatus::kDeadlinePassed) continue;
+        // Planned, then discarded by the accept: redone next round.
+        if (base + k >= next) ++wasted;
       }
-      m.batch_speculations.add(speculated);
       m.batch_speculations_wasted.add(wasted);
       m.batch_round_ns.record(round_clock_ns() - round_t0);
     }

@@ -1,23 +1,23 @@
 // Batched admission: the sequential FCFS controller's semantics at pipeline
 // throughput.
 //
-// A batch of (Λ, s, d) requests is admitted in three repeating stages:
+// A batch of (Λ, s, d) requests is admitted in three repeating stages, all
+// expressed in the planning kernel's vocabulary (rota/plan/):
 //
-//   snapshot  — the ledger's cached residual is frozen (it is immutable
-//               between commits; a revision counter certifies that),
+//   snapshot  — FeasibilitySnapshot::capture(ledger, hull) freezes the
+//               residual restricted to the hull of the round's windows: one
+//               restriction per round instead of one per request, yielding
+//               bit-identical plans (the planner never reads outside a
+//               request's window).
 //   speculate — every pending request is planned *in parallel* against the
-//               snapshot by the worker pool. Planning is a pure function of
-//               the residual restricted to the request window, so
-//               speculation against the unrestricted snapshot produces
-//               exactly the plan the sequential controller would compute —
-//               without the per-request restricted() copy it pays.
-//   commit    — decisions are issued strictly in FCFS order. A request whose
-//               speculation used the current residual commits (or rejects)
-//               directly; the first accepted request changes the residual
-//               and thereby invalidates the remaining speculation, which is
-//               redone against a fresh snapshot in the next round
-//               (optimistic concurrency with bounded lookahead, so wasted
-//               speculative work per accept is capped).
+//               snapshot by the worker pool via PlanningKernel::speculate —
+//               pure and thread-safe, so lanes share the snapshot freely.
+//   commit    — PlanningKernel::commit issues decisions strictly in FCFS
+//               order. The first accept bumps the ledger revision, so the
+//               kernel reports every later same-round speculation as stale;
+//               the round ends there and the remainder is redone against a
+//               fresh snapshot (optimistic concurrency with bounded
+//               lookahead — stale speculations are redone, never committed).
 //
 // Rejections — the common case under heavy traffic — never mutate the
 // residual, so arbitrarily long reject runs are decided from one snapshot
@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,7 @@ class BatchAdmissionController {
                            std::size_t concurrency = 1, Tick now = 0)
       : phi_(std::move(phi)),
         ledger_(std::move(initial_supply), now),
-        policy_(policy),
+        kernel_(policy),
         pool_(concurrency) {}
 
   /// Admits the requests in the given (FCFS) order. Returns one decision per
@@ -65,7 +66,17 @@ class BatchAdmissionController {
 
   /// Single-request path — identical to the sequential controller.
   AdmissionDecision request(const ConcurrentRequirement& rho, Tick now) {
-    return decide_request(ledger_, rho, now, policy_);
+    return kernel_.decide(ledger_, rho, now);
+  }
+
+  /// Commits a speculation produced against a snapshot of this controller's
+  /// ledger; nullopt when the speculation went stale (re-speculate).
+  std::optional<AdmissionDecision> commit(const PlanResult& result) {
+    AdmissionDecision decision;
+    if (kernel_.commit(result, ledger_, decision) != CommitStatus::kCommitted) {
+      return std::nullopt;
+    }
+    return decision;
   }
 
   /// Resource acquisition rule.
@@ -80,13 +91,14 @@ class BatchAdmissionController {
   /// rounds on live traffic — decisions must flow through admission.
   CommitmentLedger& ledger_for_recovery() { return ledger_; }
   const CostModel& phi() const { return phi_; }
-  PlanningPolicy policy() const { return policy_; }
+  const PlanningKernel& kernel() const { return kernel_; }
+  PlanningPolicy policy() const { return kernel_.policy(); }
   std::size_t concurrency() const { return pool_.concurrency(); }
 
  private:
   CostModel phi_;
   CommitmentLedger ledger_;
-  PlanningPolicy policy_;
+  PlanningKernel kernel_;
   ThreadPool pool_;
 };
 

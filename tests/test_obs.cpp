@@ -172,14 +172,14 @@ TEST(Trace, TracedBatchRunEmitsWellFormedChromeJson) {
   // Counters reconcile with the decision vector.
   std::size_t accepted = 0;
   for (const auto& d : decisions) accepted += d.accepted ? 1 : 0;
-  EXPECT_EQ(snap.counter("admission.accepted"), accepted);
-  EXPECT_EQ(snap.counter("admission.accepted") +
-                snap.counter("admission.rejected.deadline_passed") +
-                snap.counter("admission.rejected.no_plan") +
-                snap.counter("admission.rejected.commit_conflict"),
+  EXPECT_EQ(snap.counter("plan.commit.accepted"), accepted);
+  EXPECT_EQ(snap.counter("plan.commit.accepted") +
+                snap.counter("plan.commit.rejected.deadline_passed") +
+                snap.counter("plan.commit.rejected.no_plan") +
+                snap.counter("plan.commit.rejected.conflict"),
             decisions.size());
   EXPECT_GT(snap.counter("batch.rounds"), 0u);
-  EXPECT_GE(snap.counter("batch.speculations"), decisions.size());
+  EXPECT_GE(snap.counter("plan.speculate.count"), decisions.size());
   EXPECT_EQ(snap.histograms.at("batch.round_ns").count, snap.counter("batch.rounds"));
 
   const std::string json = recorder.to_chrome_json(&snap);
@@ -193,9 +193,10 @@ TEST(Trace, TracedBatchRunEmitsWellFormedChromeJson) {
   std::map<std::string, std::size_t> names;
   for (const auto& e : events) names[e.name]++;
   EXPECT_GT(names["batch.round"], 0u);
-  EXPECT_GT(names["batch.snapshot"], 0u);
-  EXPECT_GT(names["batch.speculate"], 0u);
+  EXPECT_GT(names["plan.snapshot"], 0u);
+  EXPECT_GT(names["plan.speculate"], 0u);
   EXPECT_GT(names["batch.commit"], 0u);
+  EXPECT_GT(names["plan.commit"], 0u);
   EXPECT_GT(names["ledger.admit"], 0u);
 
   // Per thread: timestamps monotone, B/E properly nested and balanced.

@@ -49,18 +49,18 @@ TEST(ObsOverhead, DisabledPathStaysUnderTwoPercentOfAdmission) {
 
   // --- Cost of one disabled instrumentation site. -------------------------
   obs::CoreMetrics& m = obs::CoreMetrics::get();
-  const std::uint64_t accepted_before = m.admission_accepted.value();
+  const std::uint64_t accepted_before = m.plan_commit_accepted.value();
   constexpr std::uint64_t kOps = 4'000'000;
   std::uint64_t sink = 0;
   const auto gate_t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < kOps; ++i) {
     ROTA_OBS_SPAN("overhead-probe");   // gate: recorder pointer load, twice
-    obs::count(m.admission_accepted);  // gate: metrics flag load
+    obs::count(m.plan_commit_accepted);  // gate: metrics flag load
     sink += obs::tracing_enabled();    // keep the loop observable
   }
   const double ns_per_site = ns_since(gate_t0) / static_cast<double>(kOps);
   ASSERT_EQ(sink, 0u);
-  ASSERT_EQ(m.admission_accepted.value(), accepted_before) << "gate leaked a count";
+  ASSERT_EQ(m.plan_commit_accepted.value(), accepted_before) << "gate leaked a count";
 
   // --- Per-request cost of the batched admission pipeline. ----------------
   WorkloadConfig config;

@@ -1,0 +1,370 @@
+// Cross-surface parity for the unified planning kernel (rota/plan/).
+//
+// Every admission surface — the sequential controller, the batched pipeline
+// at any lane count, the RotaStrategy harness, and the cluster claim path —
+// is a different composition of the same two kernel halves (speculate,
+// commit). These tests pin the consequence: on one shared seeded workload,
+// every surface produces the *bit-identical* decision sequence (accept set,
+// plans, rejection reasons) and leaves the ledger in the same state. They
+// also pin the optimistic-concurrency contract (stale speculations are
+// refused and redone, never committed), the audit-replay rebuild path, the
+// negotiation search against a per-window reference, and the snapshot
+// restriction cache's containment rule.
+#include "rota/plan/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "rota/admission/audit.hpp"
+#include "rota/admission/baselines.hpp"
+#include "rota/admission/negotiation.hpp"
+#include "rota/cluster/node.hpp"
+#include "rota/computation/requirement.hpp"
+#include "rota/logic/planner.hpp"
+#include "rota/runtime/batch_controller.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace rota {
+namespace {
+
+constexpr Tick kHorizon = 500;
+
+WorkloadConfig parity_config() {
+  WorkloadConfig config;
+  config.seed = 23;
+  config.mean_interarrival = 3.0;  // heavy enough that plenty get rejected
+  config.laxity = 1.3;
+  return config;
+}
+
+/// The shared seeded workload every parity test admits.
+std::vector<BatchRequest> parity_requests(WorkloadGenerator& gen) {
+  std::vector<BatchRequest> requests;
+  for (const Arrival& a : gen.make_arrivals(kHorizon)) {
+    requests.push_back(
+        BatchRequest{make_concurrent_requirement(gen.phi(), a.computation), a.at});
+  }
+  return requests;
+}
+
+void expect_same_decision(const AdmissionDecision& a, const AdmissionDecision& b,
+                          std::size_t index) {
+  EXPECT_EQ(a.accepted, b.accepted) << "request " << index;
+  EXPECT_EQ(a.reason, b.reason) << "request " << index;
+  EXPECT_EQ(a.plan == b.plan, true) << "plans diverge on request " << index;
+}
+
+TEST(PlanKernelParity, BatchMatchesSequentialAtEveryLaneCount) {
+  CostModel phi;
+  WorkloadGenerator gen(parity_config(), phi);
+  const auto requests = parity_requests(gen);
+  ASSERT_GT(requests.size(), 40u);
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, kHorizon));
+
+  // Reference: the sequential controller, one request at a time.
+  RotaAdmissionController sequential(phi, supply);
+  std::vector<AdmissionDecision> expected;
+  for (const BatchRequest& r : requests) {
+    expected.push_back(sequential.request(r.rho, r.at));
+  }
+  std::size_t accepted = 0;
+  for (const auto& d : expected) accepted += d.accepted ? 1 : 0;
+  ASSERT_GT(accepted, 0u);
+  ASSERT_LT(accepted, expected.size()) << "workload must exercise rejection";
+
+  for (const std::size_t lanes : {1u, 2u, 3u, 4u, 8u}) {
+    BatchAdmissionController batch(phi, supply, PlanningPolicy::kAsap, lanes);
+    const auto decisions = batch.admit_batch(requests);
+    ASSERT_EQ(decisions.size(), expected.size()) << "lanes=" << lanes;
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      expect_same_decision(expected[i], decisions[i], i);
+    }
+    // Identical decisions must leave identical ledgers.
+    EXPECT_EQ(batch.ledger().residual(), sequential.ledger().residual())
+        << "lanes=" << lanes;
+    EXPECT_EQ(batch.ledger().admitted_count(), sequential.ledger().admitted_count())
+        << "lanes=" << lanes;
+  }
+}
+
+TEST(PlanKernelParity, RotaStrategyMatchesSequentialController) {
+  CostModel phi;
+  WorkloadGenerator gen(parity_config(), phi);
+  const auto arrivals = gen.make_arrivals(kHorizon);
+  ASSERT_GT(arrivals.size(), 40u);
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, kHorizon));
+
+  RotaAdmissionController controller(phi, supply);
+  RotaStrategy strategy(phi, supply);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const AdmissionDecision expected =
+        controller.request(arrivals[i].computation, arrivals[i].at);
+    const AdmissionDecision got =
+        strategy.request(arrivals[i].computation, arrivals[i].at);
+    expect_same_decision(expected, got, i);
+  }
+  EXPECT_EQ(strategy.controller().ledger().residual(),
+            controller.ledger().residual());
+}
+
+TEST(PlanKernelParity, ClusterClaimMatchesLocalAdmit) {
+  CostModel phi;
+  WorkloadConfig config = parity_config();
+  config.mean_interarrival = 4.0;
+  WorkloadGenerator gen(config, phi);
+  const auto arrivals = gen.make_cluster_arrivals(kHorizon, /*num_nodes=*/1,
+                                                  /*hot_fraction=*/1.0);
+  ASSERT_GT(arrivals.size(), 20u);
+  const ResourceSet supply = gen.node_supply(0, TimeInterval(0, kHorizon));
+
+  cluster::ClusterEvents events;
+  cluster::ClusterNode node(/*id=*/0, gen.locations()[0], phi, supply,
+                            cluster::NodeConfig{}, &events);
+  // Reference: a plain local controller with the same supply, admitting the
+  // node-localized requirement at the claim's delivery tick.
+  RotaAdmissionController local(phi, supply);
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    cluster::Message claim;
+    claim.kind = cluster::MsgKind::kClaim;
+    claim.from = 1;
+    claim.to = 0;
+    claim.job = i;
+    claim.work = arrivals[i].work;
+    node.handle(claim, arrivals[i].at);
+    const auto out = node.drain_outbox();
+    ASSERT_EQ(out.size(), 1u) << "claim " << i;
+
+    const AdmissionDecision expected =
+        local.request(node.localize(arrivals[i].work), arrivals[i].at);
+    if (expected.accepted) {
+      EXPECT_EQ(out[0].kind, cluster::MsgKind::kClaimAck) << "claim " << i;
+      EXPECT_EQ(out[0].finish, expected.plan->finish) << "claim " << i;
+    } else {
+      EXPECT_EQ(out[0].kind, cluster::MsgKind::kClaimReject) << "claim " << i;
+      EXPECT_EQ(out[0].note, expected.reason) << "claim " << i;
+    }
+  }
+  EXPECT_EQ(node.ledger().residual(), local.ledger().residual());
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic-concurrency contract: stale speculations are redone, never
+// committed — and a rebuild from the audit log converges to the same ledger.
+
+/// A two-actor computation over `site` with plenty of laxity.
+DistributedComputation simple_job(const std::string& name, Location site,
+                                  Tick start, Tick deadline) {
+  ActorComputationBuilder builder(name + "-actor", site);
+  builder.evaluate(3);
+  builder.ready();
+  return DistributedComputation(name, {std::move(builder).build()}, start,
+                                deadline);
+}
+
+TEST(PlanKernelStaleness, CommitThroughAnotherSurfaceInvalidatesSpeculation) {
+  Location site("stale-l1");
+  CostModel phi;
+  ResourceSet supply;
+  supply.add(10, TimeInterval(0, 100), LocatedType::cpu(site));
+  RotaAdmissionController controller(phi, supply);
+
+  const ConcurrentRequirement rho_a =
+      make_concurrent_requirement(phi, simple_job("a", site, 1, 60));
+  const ConcurrentRequirement rho_b =
+      make_concurrent_requirement(phi, simple_job("b", site, 1, 60));
+
+  // Speculate `a` against a snapshot...
+  const PlanResult spec_a = controller.kernel().speculate(
+      rho_a, 0, FeasibilitySnapshot::capture(controller.ledger()));
+  ASSERT_TRUE(spec_a.feasible());
+
+  // ...then commit `b` through the sequential surface, moving the revision.
+  const AdmissionDecision b = controller.request(rho_b, 0);
+  ASSERT_TRUE(b.accepted);
+  const std::uint64_t revision_after_b = controller.ledger().revision();
+  const ResourceSet residual_after_b = controller.ledger().residual();
+
+  // The stale speculation is refused and the ledger is untouched by the
+  // attempt — nothing admitted, no clock or revision movement.
+  EXPECT_EQ(controller.commit(spec_a), std::nullopt);
+  EXPECT_EQ(controller.ledger().revision(), revision_after_b);
+  EXPECT_EQ(controller.ledger().residual(), residual_after_b);
+  EXPECT_EQ(controller.ledger().admitted_count(), 1u);
+
+  // Redoing the speculation against a fresh snapshot commits cleanly.
+  const PlanResult redo = controller.kernel().speculate(
+      rho_a, 0, FeasibilitySnapshot::capture(controller.ledger()));
+  ASSERT_TRUE(redo.feasible());
+  const auto decision = controller.commit(redo);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->accepted);
+  EXPECT_EQ(controller.ledger().admitted_count(), 2u);
+}
+
+TEST(PlanKernelStaleness, DetachedSnapshotsNeverCommit) {
+  Location site("stale-l2");
+  CostModel phi;
+  ResourceSet supply;
+  supply.add(10, TimeInterval(0, 100), LocatedType::cpu(site));
+  RotaAdmissionController controller(phi, supply);
+  const ConcurrentRequirement rho =
+      make_concurrent_requirement(phi, simple_job("w", site, 1, 60));
+
+  // over() / minus() snapshots are speculation-only: their revision stamp
+  // can never match a live ledger, so the commit gate refuses them even when
+  // the availability they planned against happens to be identical.
+  const PlanResult what_if = controller.kernel().speculate(
+      rho, 0, FeasibilitySnapshot::over(controller.ledger().residual()));
+  ASSERT_TRUE(what_if.feasible());
+  EXPECT_EQ(what_if.revision, FeasibilitySnapshot::kDetachedRevision);
+  EXPECT_EQ(controller.commit(what_if), std::nullopt);
+  EXPECT_EQ(controller.ledger().admitted_count(), 0u);
+}
+
+TEST(PlanKernelStaleness, StalenessRedoAndAuditReplayConverge) {
+  // The mid-batch shape, spelled out by hand: two speculations against one
+  // snapshot, commit the first (revision moves), the second must be redone.
+  // Then a crash-recovery rebuild from the audit log must land on the same
+  // ledger the staleness-aware live path produced.
+  Location site("stale-l3");
+  CostModel phi;
+  ResourceSet supply;
+  supply.add(6, TimeInterval(0, 120), LocatedType::cpu(site));
+  RotaAdmissionController controller(phi, supply);
+  AuditLog audit(64);
+
+  const ConcurrentRequirement rho_a =
+      make_concurrent_requirement(phi, simple_job("a", site, 2, 80));
+  const ConcurrentRequirement rho_b =
+      make_concurrent_requirement(phi, simple_job("b", site, 2, 80));
+
+  const FeasibilitySnapshot snapshot =
+      FeasibilitySnapshot::capture(controller.ledger());
+  const PlanResult spec_a = controller.kernel().speculate(rho_a, 0, snapshot);
+  const PlanResult spec_b = controller.kernel().speculate(rho_b, 0, snapshot);
+  ASSERT_TRUE(spec_a.feasible());
+  ASSERT_TRUE(spec_b.feasible());
+
+  const auto decision_a = controller.commit(spec_a);
+  ASSERT_TRUE(decision_a && decision_a->accepted);
+  audit.record(0, rho_a, *decision_a);
+
+  // `b` went stale the moment `a` landed; it is redone, never committed as-is.
+  ASSERT_EQ(controller.commit(spec_b), std::nullopt);
+  const PlanResult redo_b = controller.kernel().speculate(
+      rho_b, 0, FeasibilitySnapshot::capture(controller.ledger()));
+  const auto decision_b = controller.commit(redo_b);
+  ASSERT_TRUE(decision_b.has_value());
+  audit.record(0, rho_b, *decision_b);
+
+  // Rebuild from the WAL through the same commit gate (PlanningKernel::replay).
+  CommitmentLedger recovered(supply);
+  const std::size_t replayed = audit.replay_into(recovered);
+  std::size_t accepted = (decision_a->accepted ? 1u : 0u) +
+                         (decision_b->accepted ? 1u : 0u);
+  EXPECT_EQ(replayed, accepted);
+  EXPECT_EQ(recovered.residual(), controller.ledger().residual());
+  EXPECT_EQ(recovered.admitted_count(), controller.ledger().admitted_count());
+}
+
+// ---------------------------------------------------------------------------
+// Negotiation: the cached-restriction search must return exactly what the
+// historical per-window-restriction search returned.
+
+/// Reference implementation of the deadline search: every probe restricts
+/// the residual to its own candidate window (what each surface did before
+/// the snapshot's restriction cache) and calls the planner directly.
+std::optional<Tick> reference_earliest_deadline(const ResourceSet& residual,
+                                                const ConcurrentRequirement& rho,
+                                                Tick latest,
+                                                PlanningPolicy policy) {
+  const Tick start = rho.window().start();
+  auto feasible_by = [&](Tick d) {
+    const TimeInterval window(start, d);
+    return plan_concurrent(residual.restricted(window),
+                           clip_requirement(rho, window), policy)
+        .has_value();
+  };
+  if (!feasible_by(latest)) return std::nullopt;
+  Tick lo = start + 1, hi = latest;
+  while (lo < hi) {
+    const Tick mid = lo + (hi - lo) / 2;
+    if (feasible_by(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+TEST(NegotiationRegression, CounterOffersMatchPerWindowReferenceSearch) {
+  CostModel phi;
+  WorkloadConfig config = parity_config();
+  config.mean_interarrival = 2.0;  // overload: rejections to counter-offer on
+  WorkloadGenerator gen(config, phi);
+  const auto requests = parity_requests(gen);
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, kHorizon));
+
+  RotaAdmissionController controller(phi, supply);
+  std::size_t rejected = 0, offered = 0;
+  for (const BatchRequest& r : requests) {
+    const Tick max_deadline = r.rho.window().end() + 40;
+    // Reference answer, computed from the pre-request residual exactly the
+    // way the pre-kernel code did: one restriction per candidate window.
+    const ResourceSet residual = controller.ledger().residual();
+    const Tick start = std::max(r.rho.window().start(), r.at);
+    std::optional<Tick> expected;
+    if (start < max_deadline) {
+      expected = reference_earliest_deadline(
+          residual, clip_requirement(r.rho, TimeInterval(start, max_deadline)),
+          max_deadline, controller.policy());
+    }
+
+    const CounterOffer offer =
+        request_with_counter_offer(controller, r.rho, r.at, max_deadline);
+    if (offer.decision.accepted) continue;
+    ++rejected;
+    if (expected && *expected > r.rho.window().end()) {
+      ASSERT_TRUE(offer.suggested_deadline.has_value()) << r.rho.name();
+      EXPECT_EQ(*offer.suggested_deadline, *expected) << r.rho.name();
+      ++offered;
+    } else {
+      EXPECT_EQ(offer.suggested_deadline, std::nullopt) << r.rho.name();
+    }
+  }
+  ASSERT_GT(rejected, 0u) << "workload must exercise counter-offers";
+  ASSERT_GT(offered, 0u) << "at least one rejection must yield an offer";
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot restriction cache.
+
+TEST(FeasibilitySnapshotCache, ContainedWindowsShareOneRestriction) {
+  Location site("cache-l1");
+  CostModel phi;
+  ResourceSet supply;
+  supply.add(4, TimeInterval(0, 200), LocatedType::cpu(site));
+  RotaAdmissionController controller(phi, supply);
+
+  const FeasibilitySnapshot snapshot =
+      FeasibilitySnapshot::capture(controller.ledger());
+  const ResourceSet& wide = snapshot.restricted(TimeInterval(0, 100));
+  // A contained window is served from the cached wide view (the planner
+  // never reads outside the requirement window, so containment is enough).
+  const ResourceSet& narrow = snapshot.restricted(TimeInterval(20, 60));
+  EXPECT_EQ(&wide, &narrow);
+  EXPECT_EQ(&wide, &snapshot.restricted(TimeInterval(0, 100)));
+  // A window outside every cached one gets its own restriction...
+  const ResourceSet& disjoint = snapshot.restricted(TimeInterval(120, 180));
+  EXPECT_NE(&wide, &disjoint);
+  // ...and restriction semantics are unchanged by the cache.
+  EXPECT_EQ(disjoint, controller.ledger().residual().restricted(TimeInterval(120, 180)));
+}
+
+}  // namespace
+}  // namespace rota
