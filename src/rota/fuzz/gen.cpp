@@ -1,0 +1,112 @@
+#include "rota/fuzz/gen.hpp"
+
+#include <string>
+
+namespace rota::fuzz {
+
+TimeInterval Gen::interval() {
+  if (rng_.chance(0.05)) return TimeInterval();  // empty, canonical [0, 0)
+  const Tick a = rng_.uniform(term_lo(), term_hi());
+  const Tick b = rng_.uniform(term_lo(), term_hi());
+  return TimeInterval(std::min(a, b), std::max(a, b) + 1);
+}
+
+std::pair<StepFunction, DenseFn> Gen::step_function(int max_terms,
+                                                    bool allow_negative) {
+  StepFunction f;
+  DenseFn ref(domain_lo(), domain_hi());
+  const int terms = static_cast<int>(rng_.uniform(0, max_terms));
+  for (int i = 0; i < terms; ++i) {
+    const TimeInterval iv = interval();
+    const Rate lo = allow_negative ? -5 : 0;
+    const Rate rate = rng_.uniform(lo, 5);
+    f.add(iv, rate);
+    ref.add(iv, rate);
+  }
+  return {std::move(f), std::move(ref)};
+}
+
+std::pair<IntervalSet, DenseSet> Gen::interval_set(int max_terms) {
+  IntervalSet s;
+  DenseSet ref(domain_lo(), domain_hi());
+  const int terms = static_cast<int>(rng_.uniform(0, max_terms));
+  for (int i = 0; i < terms; ++i) {
+    const TimeInterval iv = interval();
+    s.insert(iv);
+    ref.insert(iv);
+  }
+  return {std::move(s), std::move(ref)};
+}
+
+LocatedType Gen::located_type() {
+  static const Location l1("fz1");
+  static const Location l2("fz2");
+  switch (rng_.index(6)) {
+    case 0: return LocatedType::cpu(l1);
+    case 1: return LocatedType::cpu(l2);
+    case 2: return LocatedType::memory(l1);
+    case 3: return LocatedType::memory(l2);
+    case 4: return LocatedType::network(l1, l2);
+    default: return LocatedType::network(l2, l1);
+  }
+}
+
+std::pair<ResourceSet, DenseResources> Gen::resource_set(int max_types, int max_terms,
+                                                         bool allow_negative) {
+  ResourceSet s;
+  DenseResources ref(domain_lo(), domain_hi());
+  const int types = static_cast<int>(rng_.uniform(1, max_types));
+  for (int i = 0; i < types; ++i) {
+    const LocatedType type = located_type();
+    if (allow_negative && rng_.chance(0.4)) {
+      // Feed a possibly-negative profile through add(type, profile).
+      auto [f, fref] = step_function(max_terms, true);
+      s.add(type, f);
+      ref.of(type) = ref.of(type).plus(fref);
+    } else {
+      const int terms = static_cast<int>(rng_.uniform(0, max_terms));
+      for (int t = 0; t < terms; ++t) {
+        const TimeInterval iv = interval();
+        const Rate rate = rng_.uniform(0, 5);
+        s.add(rate, iv, type);
+        if (!iv.empty() && rate != 0) ref.of(type).add(iv, rate);
+      }
+    }
+  }
+  return {std::move(s), std::move(ref)};
+}
+
+TimeInterval Gen::admission_window() {
+  const Tick start = rng_.uniform(0, term_hi() - 4);
+  const Tick len = rng_.uniform(1, term_hi() - start);
+  return TimeInterval(start, start + len);
+}
+
+ConcurrentRequirement Gen::requirement(const std::string& name) {
+  const TimeInterval window = admission_window();
+  const int actor_count = static_cast<int>(rng_.uniform(1, 3));
+  std::vector<ComplexRequirement> actors;
+  actors.reserve(static_cast<std::size_t>(actor_count));
+  for (int a = 0; a < actor_count; ++a) {
+    const int phase_count = static_cast<int>(rng_.uniform(1, 3));
+    std::vector<Phase> phases;
+    std::size_t action_cursor = 0;
+    for (int p = 0; p < phase_count; ++p) {
+      Phase phase;
+      const int demands = static_cast<int>(rng_.uniform(1, 2));
+      for (int d = 0; d < demands; ++d) {
+        phase.demand.add(located_type(), rng_.uniform(1, 8));
+      }
+      phase.first_action = action_cursor;
+      phase.action_count = 1;
+      action_cursor += 1;
+      phases.push_back(std::move(phase));
+    }
+    const Rate cap = rng_.chance(0.3) ? rng_.uniform(1, 3) : 0;
+    actors.emplace_back(name + "-a" + std::to_string(a), std::move(phases), window,
+                        cap);
+  }
+  return ConcurrentRequirement(name, std::move(actors), window);
+}
+
+}  // namespace rota::fuzz

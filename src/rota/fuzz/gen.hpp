@@ -1,0 +1,73 @@
+// Seeded random term generators for the differential-fuzzing harness.
+//
+// Every generator draws from one util::Rng, so a (seed, case index) pair
+// pins the entire case: re-running `rota_fuzz --family=F --seeds=S` replays
+// byte-identical inputs, which is what turns a fuzz failure into a
+// regression test. Generators build the production value and its dense
+// referee from the same primitive draws — the production representation is
+// never consulted to build the referee, so the two can only agree if the
+// production operations are right.
+//
+// All endpoints stay inside [domain_lo(), domain_hi()) with enough margin
+// that shifted()/coarsened() results remain representable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rota/computation/requirement.hpp"
+#include "rota/fuzz/reference.hpp"
+#include "rota/util/rng.hpp"
+
+namespace rota::fuzz {
+
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) : rng_(seed) {}
+
+  util::Rng& rng() { return rng_; }
+
+  /// Referee domain. Generated endpoints stay within [kTermLo, kTermHi], so
+  /// the margin absorbs shifts of up to ±8 and coarsening up to factor 8.
+  static constexpr Tick domain_lo() { return -32; }
+  static constexpr Tick domain_hi() { return 72; }
+  static constexpr Tick term_lo() { return -12; }
+  static constexpr Tick term_hi() { return 48; }
+
+  /// A window inside the term range; occasionally empty.
+  TimeInterval interval();
+
+  /// A step function assembled from 0..max_terms random (interval, rate)
+  /// additions. Negative rates are included when `allow_negative` (the type
+  /// supports them; subtraction produces them). The referee accumulates the
+  /// identical pieces.
+  std::pair<StepFunction, DenseFn> step_function(int max_terms, bool allow_negative);
+
+  /// An interval set from 0..max_terms random insertions, plus its referee.
+  std::pair<IntervalSet, DenseSet> interval_set(int max_terms);
+
+  /// One of a small pool of located types (2 locations: cpu/memory at each,
+  /// network both ways) — small enough that independently generated resource
+  /// sets collide on types, which is where the merge walks earn their keep.
+  LocatedType located_type();
+
+  /// A resource set over 1..max_types distinct types, with its referee.
+  /// `allow_negative` feeds negative profiles through add(type, profile) —
+  /// legal at the API level and exactly where cancellation edge cases live.
+  std::pair<ResourceSet, DenseResources> resource_set(int max_types, int max_terms,
+                                                      bool allow_negative);
+
+  /// A non-empty admission window within [0, term_hi()).
+  TimeInterval admission_window();
+
+  /// A random concurrent requirement: 1..3 actors, each 1..3 phases of small
+  /// demands over located types from the shared pool, sharing one window;
+  /// per-actor rate caps are 0 (unbounded) or small.
+  ConcurrentRequirement requirement(const std::string& name);
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace rota::fuzz

@@ -1,0 +1,1006 @@
+#include "rota/fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <variant>
+
+#include "rota/admission/audit.hpp"
+#include "rota/admission/controller.hpp"
+#include "rota/cluster/cluster.hpp"
+#include "rota/fuzz/gen.hpp"
+#include "rota/logic/explorer.hpp"
+#include "rota/logic/model_checker.hpp"
+#include "rota/plan/kernel.hpp"
+#include "rota/runtime/batch_controller.hpp"
+
+namespace rota::fuzz {
+
+namespace {
+
+/// splitmix64 step — the same mixer util::Rng seeds through, reused so the
+/// per-case seed stream is well distributed for any run seed.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Collects check results for one oracle run.
+class Recorder {
+ public:
+  Recorder(OracleReport& report, std::uint64_t seed, std::size_t case_index)
+      : report_(report), seed_(seed), case_index_(case_index) {}
+
+  /// Records a boolean expectation; `detail` is only evaluated on failure.
+  template <typename DetailFn>
+  bool expect(const char* check, bool ok, DetailFn&& detail) {
+    ++report_.checks;
+    if (!ok) fail(check, detail());
+    return ok;
+  }
+
+  /// Records a referee comparison (nullopt = agreement).
+  bool check(const char* check, const std::optional<std::string>& mismatch) {
+    ++report_.checks;
+    if (mismatch) fail(check, *mismatch);
+    return !mismatch;
+  }
+
+  void fail(const char* check, const std::string& detail) {
+    ++report_.divergence_count;
+    if (report_.divergences.size() < OracleReport::kMaxRecorded) {
+      report_.divergences.push_back(
+          {report_.family, check, seed_, case_index_, detail});
+    }
+  }
+
+ private:
+  OracleReport& report_;
+  std::uint64_t seed_;
+  std::size_t case_index_;
+};
+
+std::string bool_pair(const char* what, bool production, bool referee) {
+  std::ostringstream out;
+  out << what << ": production says " << (production ? "true" : "false")
+      << ", referee says " << (referee ? "true" : "false");
+  return out.str();
+}
+
+}  // namespace
+
+std::string Divergence::to_string() const {
+  std::ostringstream out;
+  out << family << '/' << check << " case " << case_index << " (case seed "
+      << seed << "): " << detail;
+  return out.str();
+}
+
+std::string OracleReport::summary() const {
+  std::ostringstream out;
+  out << family << ": " << cases << " cases, " << checks << " checks, "
+      << divergence_count << " divergence(s)";
+  return out.str();
+}
+
+std::uint64_t case_seed(std::uint64_t run_seed, std::size_t case_index) {
+  return mix64(run_seed ^ mix64(static_cast<std::uint64_t>(case_index)));
+}
+
+// ===========================================================================
+// Calculus oracle
+// ===========================================================================
+
+namespace {
+
+void calculus_case(Gen& g, Recorder& rec) {
+  const Tick lo = Gen::domain_lo();
+  const Tick hi = Gen::domain_hi();
+
+  // --- StepFunction ---------------------------------------------------------
+  auto [f, fr] = g.step_function(6, true);
+  auto [h, hr] = g.step_function(6, true);
+  rec.check("fn-canonical", check_canonical(f));
+  rec.check("fn-build", diff_fn(f, fr));
+
+  rec.check("fn-plus", diff_fn(f.plus(h), fr.plus(hr)));
+  rec.check("fn-minus", diff_fn(f.minus(h), fr.minus(hr)));
+  rec.check("fn-min", diff_fn(f.min(h), fr.min(hr)));
+  rec.check("fn-max", diff_fn(f.max(h), fr.max(hr)));
+  rec.check("fn-minus-canonical", check_canonical(f.minus(h)));
+
+  // Algebraic round-trips: the canonical representation must make these
+  // exact identities, not just pointwise ones.
+  rec.expect("fn-minus-plus-roundtrip", f.minus(h).plus(h) == f, [&] {
+    return "f - h + h != f; f = " + f.to_string() + ", h = " + h.to_string();
+  });
+  rec.expect("fn-plus-minus-roundtrip", f.plus(h).minus(h) == f, [&] {
+    return "f + h - h != f; f = " + f.to_string() + ", h = " + h.to_string();
+  });
+
+  const TimeInterval w = g.interval();
+  rec.check("fn-restricted", diff_fn(f.restricted(w), fr.restricted(w)));
+  rec.check("fn-clamped", diff_fn(f.clamped_nonnegative(), fr.clamped_nonnegative()));
+  rec.expect("fn-min-value", f.min_value() == fr.min_value(), [&] {
+    std::ostringstream out;
+    out << "min_value: production " << f.min_value() << ", referee "
+        << fr.min_value() << " for " << f.to_string();
+    return out.str();
+  });
+  rec.expect("fn-min-over", f.min_over(w) == fr.min_over(w), [&] {
+    std::ostringstream out;
+    out << "min_over" << w.to_string() << ": production " << f.min_over(w)
+        << ", referee " << fr.min_over(w) << " for " << f.to_string();
+    return out.str();
+  });
+  rec.expect("fn-integral-window", f.integral(w) == fr.integral(w), [&] {
+    std::ostringstream out;
+    out << "integral" << w.to_string() << ": production " << f.integral(w)
+        << ", referee " << fr.integral(w) << " for " << f.to_string();
+    return out.str();
+  });
+  rec.expect("fn-integral", f.integral() == fr.integral(), [&] {
+    std::ostringstream out;
+    out << "integral: production " << f.integral() << ", referee "
+        << fr.integral() << " for " << f.to_string();
+    return out.str();
+  });
+  rec.expect("fn-dominates", f.dominates(h) == fr.dominates(hr), [&] {
+    return bool_pair("dominates", f.dominates(h), fr.dominates(hr)) +
+           "; f = " + f.to_string() + ", h = " + h.to_string();
+  });
+
+  const Tick dt = g.rng().uniform(-8, 8);
+  rec.check("fn-shifted", diff_fn(f.shifted(dt), fr.shifted(dt)));
+  const Tick factor = g.rng().uniform(1, 8);
+  rec.check("fn-coarsened", diff_fn(f.coarsened(factor), fr.coarsened(factor)));
+  rec.check("fn-coarsened-canonical", check_canonical(f.coarsened(factor)));
+
+  {
+    // support() / where_at_least() against the dense membership view.
+    DenseSet support_ref(lo, hi);
+    for (Tick t = lo; t < hi; ++t) {
+      if (fr.at(t) > 0) support_ref.insert(TimeInterval(t, t + 1));
+    }
+    rec.check("fn-support", diff_set(f.support(), support_ref));
+    const Rate threshold = g.rng().uniform(1, 5);
+    DenseSet at_least_ref(lo, hi);
+    for (Tick t = lo; t < hi; ++t) {
+      if (w.contains(t) && fr.at(t) >= threshold) {
+        at_least_ref.insert(TimeInterval(t, t + 1));
+      }
+    }
+    rec.check("fn-where-at-least",
+              diff_set(f.where_at_least(threshold, w), at_least_ref));
+  }
+
+  {
+    const Quantity q = g.rng().uniform(0, 30);
+    const auto got = f.earliest_cover(w, q);
+    const auto want = fr.earliest_cover(w, q);
+    rec.expect("fn-earliest-cover", got == want, [&] {
+      std::ostringstream out;
+      out << "earliest_cover(" << w.to_string() << ", " << q << "): production "
+          << (got ? std::to_string(*got) : "nullopt") << ", referee "
+          << (want ? std::to_string(*want) : "nullopt") << " for " << f.to_string();
+      return out.str();
+    });
+    const auto got_l = f.latest_cover_start(w, q);
+    const auto want_l = fr.latest_cover_start(w, q);
+    rec.expect("fn-latest-cover-start", got_l == want_l, [&] {
+      std::ostringstream out;
+      out << "latest_cover_start(" << w.to_string() << ", " << q
+          << "): production " << (got_l ? std::to_string(*got_l) : "nullopt")
+          << ", referee " << (want_l ? std::to_string(*want_l) : "nullopt")
+          << " for " << f.to_string();
+      return out.str();
+    });
+  }
+
+  // --- IntervalSet ----------------------------------------------------------
+  auto [s, sr] = g.interval_set(5);
+  auto [u, ur] = g.interval_set(5);
+  rec.check("set-canonical", check_canonical(s));
+  rec.check("set-build", diff_set(s, sr));
+  rec.check("set-unioned", diff_set(s.unioned(u), sr.unioned(ur)));
+  rec.check("set-unioned-canonical", check_canonical(s.unioned(u)));
+  rec.check("set-intersected", diff_set(s.intersected(u), sr.intersected(ur)));
+  rec.check("set-subtracted", diff_set(s.subtracted(u), sr.subtracted(ur)));
+  rec.check("set-subtracted-canonical", check_canonical(s.subtracted(u)));
+  {
+    DenseSet wref(lo, hi);
+    wref.insert(w);
+    rec.check("set-intersected-window",
+              diff_set(s.intersected(w), sr.intersected(wref)));
+  }
+  rec.expect("set-covers", s.covers(w) == sr.covers(w), [&] {
+    return bool_pair("covers", s.covers(w), sr.covers(w)) + "; s = " +
+           s.to_string() + ", w = " + w.to_string();
+  });
+  rec.expect("set-measure", s.measure() == sr.measure(), [&] {
+    std::ostringstream out;
+    out << "measure: production " << s.measure() << ", referee " << sr.measure()
+        << " for " << s.to_string();
+    return out.str();
+  });
+  rec.expect("set-hull", s.hull() == sr.hull(), [&] {
+    return "hull: production " + s.hull().to_string() + ", referee " +
+           sr.hull().to_string() + " for " + s.to_string();
+  });
+
+  // --- ResourceSet ----------------------------------------------------------
+  auto [a, ar] = g.resource_set(4, 4, true);
+  auto [b, br] = g.resource_set(4, 4, true);
+  rec.check("res-canonical", check_canonical(a));
+  rec.check("res-build", diff_resources(a, ar));
+  rec.check("res-unioned", diff_resources(a.unioned(b), ar.unioned(br)));
+  rec.check("res-unioned-canonical", check_canonical(a.unioned(b)));
+  {
+    ResourceSet in_place = a;
+    in_place.union_with(b);
+    rec.expect("res-union-with", in_place == a.unioned(b), [&] {
+      return std::string("union_with result diverges from unioned");
+    });
+    rec.check("res-union-with-canonical", check_canonical(in_place));
+  }
+  rec.expect("res-dominates", a.dominates(b) == ar.dominates(br), [&] {
+    return bool_pair("dominates", a.dominates(b), ar.dominates(br));
+  });
+
+  {
+    const auto got = a.relative_complement(b);
+    const auto want = ar.relative_complement(br);
+    rec.expect("res-complement-defined", got.has_value() == want.has_value(), [&] {
+      return bool_pair("relative_complement defined", got.has_value(),
+                       want.has_value());
+    });
+    // The boundary pin: complement defined ⇔ dominates, always.
+    rec.expect("res-complement-iff-dominates", got.has_value() == a.dominates(b),
+               [&] {
+                 return bool_pair("complement defined vs dominates",
+                                  got.has_value(), a.dominates(b));
+               });
+    if (got && want) {
+      rec.check("res-complement-value", diff_resources(*got, *want));
+      rec.check("res-complement-canonical", check_canonical(*got));
+    }
+  }
+
+  {
+    // A constructed dominated pair: c = b ∪ extra (extra non-negative), so
+    // c ≥ b pointwise by construction and c \ b must reproduce extra.
+    auto [extra, extra_ref] = g.resource_set(3, 3, false);
+    const ResourceSet c = b.unioned(extra);
+    rec.expect("res-constructed-dominates", c.dominates(b),
+               [&] { return std::string("b ∪ extra fails to dominate b"); });
+    const auto diff = c.relative_complement(b);
+    if (rec.expect("res-constructed-complement", diff.has_value(), [&] {
+          return std::string("(b ∪ extra) \\ b undefined");
+        })) {
+      rec.check("res-constructed-complement-value",
+                diff_resources(*diff, extra_ref));
+      rec.expect("res-complement-union-roundtrip", diff->unioned(b) == c, [&] {
+        return std::string("((b ∪ extra) \\ b) ∪ b != b ∪ extra");
+      });
+    }
+  }
+
+  rec.check("res-restricted", diff_resources(a.restricted(w), ar.restricted(w)));
+  rec.check("res-restricted-canonical", check_canonical(a.restricted(w)));
+  {
+    const LocatedType type = g.located_type();
+    rec.expect("res-quantity", a.quantity(type, w) == ar.quantity(type, w), [&] {
+      std::ostringstream out;
+      out << "quantity(" << type.to_string() << ", " << w.to_string()
+          << "): production " << a.quantity(type, w) << ", referee "
+          << ar.quantity(type, w);
+      return out.str();
+    });
+  }
+  {
+    const Tick from = g.rng().uniform(Gen::term_lo(), Gen::term_hi());
+    const ResourceSet dropped = a.from(from);
+    DenseResources dropped_ref(lo, hi);
+    for (const auto& [type, fn] : ar.entries()) {
+      DenseFn cut(lo, hi);
+      for (Tick t = from; t < hi; ++t) cut.set(t, fn.at(t));
+      dropped_ref.of(type) = cut;
+    }
+    rec.check("res-from", diff_resources(dropped, dropped_ref));
+  }
+  {
+    const ResourceSet coarse = a.coarsened(factor);
+    DenseResources coarse_ref(lo, hi);
+    for (const auto& [type, fn] : ar.entries()) {
+      coarse_ref.of(type) = fn.coarsened(factor);
+    }
+    rec.check("res-coarsened", diff_resources(coarse, coarse_ref));
+    rec.check("res-coarsened-canonical", check_canonical(coarse));
+  }
+  {
+    // satisfies() against per-type dense quantities.
+    DemandSet demand;
+    const int entries = static_cast<int>(g.rng().uniform(1, 3));
+    for (int i = 0; i < entries; ++i) {
+      demand.add(g.located_type(), g.rng().uniform(1, 12));
+    }
+    bool ref_ok = true;
+    for (const auto& [type, q] : demand.amounts()) {
+      if (ar.quantity(type, w) < q) ref_ok = false;
+    }
+    rec.expect("res-satisfies", a.satisfies(demand, w) == ref_ok, [&] {
+      return bool_pair("satisfies", a.satisfies(demand, w), ref_ok) +
+             "; demand = " + demand.to_string() + ", w = " + w.to_string();
+    });
+  }
+  {
+    // terms() round-trip (non-negative sets only: terms cannot carry
+    // negative rates).
+    auto [nn, nn_ref] = g.resource_set(3, 4, false);
+    ResourceSet rebuilt;
+    for (const auto& term : nn.terms()) rebuilt.add(term);
+    rec.expect("res-terms-roundtrip", rebuilt == nn, [&] {
+      return "rebuilding from terms() changed the set: " + nn.to_string();
+    });
+    rec.check("res-terms-roundtrip-ref", diff_resources(rebuilt, nn_ref));
+  }
+}
+
+}  // namespace
+
+OracleReport run_calculus_oracle(std::uint64_t seed, std::size_t cases) {
+  OracleReport report;
+  report.family = "calculus";
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t cs = case_seed(seed, i);
+    Recorder rec(report, cs, i);
+    Gen g(cs);
+    try {
+      calculus_case(g, rec);
+    } catch (const std::exception& e) {
+      rec.fail("unexpected-exception", e.what());
+    }
+    ++report.cases;
+  }
+  return report;
+}
+
+// ===========================================================================
+// Kernel oracle
+// ===========================================================================
+
+namespace {
+
+std::string describe_decision(const AdmissionDecision& d) {
+  std::ostringstream out;
+  out << (d.accepted ? "accept" : "reject");
+  if (!d.reason.empty()) out << " (" << d.reason << ')';
+  if (d.plan) out << " finish=" << d.plan->finish;
+  return out.str();
+}
+
+void kernel_case(Gen& g, Recorder& rec) {
+  ResourceSet supply = g.resource_set(5, 5, false).first;
+
+  const int n = static_cast<int>(g.rng().uniform(3, 8));
+  std::vector<BatchRequest> requests;
+  Tick at = 0;
+  for (int i = 0; i < n; ++i) {
+    at += g.rng().uniform(0, 3);
+    requests.push_back({g.requirement("job" + std::to_string(i)), at});
+  }
+
+  // The sequential controller is the semantic baseline.
+  RotaAdmissionController seq(CostModel{}, supply, PlanningPolicy::kAsap, 0);
+  std::vector<AdmissionDecision> baseline;
+  baseline.reserve(requests.size());
+  for (const auto& r : requests) baseline.push_back(seq.request(r.rho, r.at));
+
+  // Batched admission at several lane counts must reproduce it bit for bit.
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                  std::size_t{5}, std::size_t{8}}) {
+    BatchAdmissionController batch(CostModel{}, supply, PlanningPolicy::kAsap,
+                                   lanes, 0);
+    const std::vector<AdmissionDecision> got = batch.admit_batch(requests);
+    if (!rec.expect("batch-decision-count", got.size() == baseline.size(), [&] {
+          std::ostringstream out;
+          out << "lanes=" << lanes << ": " << got.size() << " decisions for "
+              << baseline.size() << " requests";
+          return out.str();
+        })) {
+      continue;
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const bool same = got[i].accepted == baseline[i].accepted &&
+                        got[i].reason == baseline[i].reason &&
+                        got[i].plan == baseline[i].plan;
+      rec.expect("batch-decision-parity", same, [&] {
+        std::ostringstream out;
+        out << "lanes=" << lanes << " request " << i << " ("
+            << requests[i].rho.name() << "): batch " << describe_decision(got[i])
+            << ", sequential " << describe_decision(baseline[i]);
+        return out.str();
+      });
+    }
+    rec.expect("batch-residual-parity",
+               batch.ledger().residual() == seq.ledger().residual(), [&] {
+                 std::ostringstream out;
+                 out << "lanes=" << lanes
+                     << ": batch residual diverges from sequential";
+                 return out.str();
+               });
+    rec.expect("batch-admitted-count",
+               batch.ledger().admitted_count() == seq.ledger().admitted_count(),
+               [&] {
+                 std::ostringstream out;
+                 out << "lanes=" << lanes << ": batch admitted "
+                     << batch.ledger().admitted_count() << ", sequential "
+                     << seq.ledger().admitted_count();
+                 return out.str();
+               });
+  }
+
+  // Restriction-cache audit: whatever window mix the cache serves — fresh,
+  // repeated, nested, overlapping — re-restricting its answer to the probe
+  // window must equal the uncached restriction. (Served views may be wider
+  // than the probe; they are planning-equivalent, not bit-equal.)
+  {
+    const FeasibilitySnapshot snap = FeasibilitySnapshot::capture(seq.ledger());
+    rec.expect("snapshot-revision", snap.revision() == seq.ledger().revision(),
+               [&] { return std::string("capture() revision != ledger revision"); });
+    std::vector<TimeInterval> probes;
+    for (int i = 0; i < 3; ++i) {
+      const TimeInterval base = g.admission_window();
+      probes.push_back(base);
+      // A strict subwindow (cache hit by containment) and an overlap.
+      probes.emplace_back(base.start() + base.length() / 3,
+                          base.end() - base.length() / 4);
+      probes.emplace_back(base.start() + base.length() / 2,
+                          base.end() + g.rng().uniform(1, 6));
+    }
+    for (const TimeInterval& probe : probes) {
+      const ResourceSet& served = snap.restricted(probe);
+      rec.expect(
+          "snapshot-cache-audit",
+          served.restricted(probe) == seq.ledger().residual().restricted(probe),
+          [&] {
+            return "cached restriction to " + probe.to_string() +
+                   " diverges from the uncached restriction";
+          });
+    }
+  }
+
+  // Optimistic-concurrency audit: two speculations against one snapshot; the
+  // second commit must be refused exactly when the first changed the residual.
+  if (requests.size() >= 2) {
+    CommitmentLedger ledger(supply, 0);
+    const PlanningKernel kernel;
+    const FeasibilitySnapshot snap = FeasibilitySnapshot::capture(ledger);
+    const PlanResult r0 = kernel.speculate(requests[0].rho, requests[0].at, snap);
+    const PlanResult r1 = kernel.speculate(requests[1].rho, requests[1].at, snap);
+    AdmissionDecision d0, d1;
+    rec.expect("stale-first-commit",
+               kernel.commit(r0, ledger, d0) == CommitStatus::kCommitted, [&] {
+                 return std::string("first commit against fresh snapshot refused");
+               });
+    const CommitStatus second = kernel.commit(r1, ledger, d1);
+    const CommitStatus expected =
+        d0.accepted ? CommitStatus::kStale : CommitStatus::kCommitted;
+    rec.expect("stale-second-commit", second == expected, [&] {
+      std::ostringstream out;
+      out << "second commit "
+          << (second == CommitStatus::kStale ? "stale" : "committed")
+          << " but first decision was " << describe_decision(d0);
+      return out.str();
+    });
+    if (second == CommitStatus::kStale) {
+      const FeasibilitySnapshot fresh = FeasibilitySnapshot::capture(ledger);
+      const PlanResult redo =
+          kernel.speculate(requests[1].rho, requests[1].at, fresh);
+      rec.expect("stale-redo-commit",
+                 kernel.commit(redo, ledger, d1) == CommitStatus::kCommitted,
+                 [&] { return std::string("re-speculated commit refused"); });
+    }
+    // Either way the two decisions must match the sequential baseline.
+    for (std::size_t i = 0; i < 2; ++i) {
+      const AdmissionDecision& got = i == 0 ? d0 : d1;
+      const bool same = got.accepted == baseline[i].accepted &&
+                        got.reason == baseline[i].reason &&
+                        got.plan == baseline[i].plan;
+      rec.expect("stale-path-parity", same, [&] {
+        std::ostringstream out;
+        out << "speculate/commit request " << i << ": " << describe_decision(got)
+            << ", sequential " << describe_decision(baseline[i]);
+        return out.str();
+      });
+    }
+  }
+
+  // WAL-replay audit: re-admitting the audited plans through the commit gate
+  // must reproduce the live residual exactly.
+  {
+    CommitmentLedger rebuilt(supply, 0);
+    const PlanningKernel kernel;
+    for (const AdmittedRecord& record : seq.ledger().admitted()) {
+      rec.expect("replay-accepts",
+                 kernel.replay(record.name, record.window, record.plan, rebuilt),
+                 [&] { return "replay refused plan of " + record.name; });
+    }
+    rec.expect("replay-residual", rebuilt.residual() == seq.ledger().residual(),
+               [&] {
+                 return std::string(
+                     "replayed residual diverges from live residual");
+               });
+  }
+}
+
+}  // namespace
+
+OracleReport run_kernel_oracle(std::uint64_t seed, std::size_t cases) {
+  OracleReport report;
+  report.family = "kernel";
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t cs = case_seed(seed, i);
+    Recorder rec(report, cs, i);
+    Gen g(cs);
+    try {
+      kernel_case(g, rec);
+    } catch (const std::exception& e) {
+      rec.fail("unexpected-exception", e.what());
+    }
+    ++report.cases;
+  }
+  return report;
+}
+
+// ===========================================================================
+// Sim oracle
+// ===========================================================================
+
+namespace {
+
+/// Independent tick-replay referee for ComputationPath::expiring_resources:
+/// accumulate supply (origin Θ from its clock, joins from theirs), subtract
+/// every TickStep label at the tick it consumed, clamp, restrict.
+DenseResources dense_expiring(const ComputationPath& path, std::size_t pos,
+                              const TimeInterval& window) {
+  const Tick lo = Gen::domain_lo();
+  const Tick hi = Gen::domain_hi();
+  DenseResources acc(lo, hi);
+
+  const SystemState& origin = path.state(pos);
+  for (const LocatedType& type : origin.theta().types()) {
+    const StepFunction& f = origin.theta().availability(type);
+    DenseFn& d = acc.of(type);
+    for (Tick t = std::max(origin.now(), lo); t < hi; ++t) {
+      d.set(t, d.at(t) + f.value_at(t));
+    }
+  }
+  for (std::size_t i = pos; i < path.steps().size(); ++i) {
+    if (const auto* join = std::get_if<JoinStep>(&path.steps()[i])) {
+      const Tick visible_from = path.state(i).now();
+      for (const LocatedType& type : join->joined.types()) {
+        const StepFunction& f = join->joined.availability(type);
+        DenseFn& d = acc.of(type);
+        for (Tick t = std::max(visible_from, lo); t < hi; ++t) {
+          d.set(t, d.at(t) + f.value_at(t));
+        }
+      }
+    } else if (const auto* tick = std::get_if<TickStep>(&path.steps()[i])) {
+      const Tick t = path.state(i).now();
+      if (t < lo || t >= hi) continue;
+      for (const ConsumptionLabel& label : tick->consumptions) {
+        DenseFn& d = acc.of(label.type);
+        d.set(t, d.at(t) - label.rate);
+      }
+    }
+  }
+
+  DenseResources out(lo, hi);
+  for (const auto& [type, fn] : acc.entries()) {
+    DenseFn& d = out.of(type);
+    for (Tick t = lo; t < hi; ++t) {
+      if (!window.contains(t)) continue;
+      d.set(t, std::max<Rate>(fn.at(t), 0));
+    }
+  }
+  return out;
+}
+
+/// The Figure 1 clip: (max(s, t), d) at a path position.
+TimeInterval clip_at(const ComputationPath& path, std::size_t pos,
+                     const TimeInterval& window) {
+  return TimeInterval(std::max(window.start(), path.state(pos).now()),
+                      window.end());
+}
+
+bool dense_satisfies_simple(const ComputationPath& path, std::size_t pos,
+                            const SimpleRequirement& rho) {
+  const TimeInterval clipped = clip_at(path, pos, rho.window());
+  const DenseResources expiring = dense_expiring(path, pos, clipped);
+  for (const auto& [type, q] : rho.demand().amounts()) {
+    if (expiring.quantity(type, clipped) < q) return false;
+  }
+  return true;
+}
+
+/// Validates one concurrent plan pointwise against the tick-replay referee's
+/// expiring budget; returns the first violation.
+std::optional<std::string> validate_plan(const ConcurrentPlan& plan,
+                                         const ConcurrentRequirement& rho,
+                                         const TimeInterval& window,
+                                         const DenseResources& budget) {
+  const Tick lo = Gen::domain_lo();
+  const Tick hi = Gen::domain_hi();
+
+  std::map<LocatedType, DenseFn> usage;
+  for (const ActorPlan& ap : plan.actors) {
+    for (const auto& [type, f] : ap.usage) {
+      auto [it, inserted] = usage.try_emplace(type, DenseFn(lo, hi));
+      for (Tick t = lo; t < hi; ++t) {
+        it->second.set(t, it->second.at(t) + f.value_at(t));
+      }
+    }
+  }
+  for (const auto& [type, used] : usage) {
+    const DenseFn* have = budget.find(type);
+    for (Tick t = lo; t < hi; ++t) {
+      const Rate avail = have != nullptr ? have->at(t) : 0;
+      if (used.at(t) < 0) {
+        return "plan consumes a negative rate of " + type.to_string() +
+               " at tick " + std::to_string(t);
+      }
+      if (used.at(t) > avail) {
+        return "plan uses " + std::to_string(used.at(t)) + " of " +
+               type.to_string() + " at tick " + std::to_string(t) +
+               " with only " + std::to_string(avail) + " expiring";
+      }
+      if (!window.contains(t) && used.at(t) != 0) {
+        return "plan consumes outside the window at tick " + std::to_string(t);
+      }
+    }
+  }
+
+  // Per-actor totals must meet the demand exactly.
+  for (std::size_t i = 0; i < plan.actors.size() && i < rho.actors().size(); ++i) {
+    const ActorPlan& ap = plan.actors[i];
+    const DemandSet want = rho.actors()[i].total_demand();
+    for (const auto& [type, q] : want.amounts()) {
+      Quantity got = 0;
+      const auto it = ap.usage.find(type);
+      if (it != ap.usage.end()) got = it->second.integral();
+      if (got != q) {
+        return "actor " + ap.actor + " consumes " + std::to_string(got) +
+               " of " + type.to_string() + ", demand is " + std::to_string(q);
+      }
+    }
+  }
+  if (plan.finish > window.end()) {
+    return "plan finish " + std::to_string(plan.finish) + " past deadline " +
+           std::to_string(window.end());
+  }
+  return std::nullopt;
+}
+
+void sim_cluster_checks(Gen& g, Recorder& rec) {
+  using cluster::ClusterConfig;
+  using cluster::ClusterReport;
+  using cluster::ClusterSim;
+  using cluster::NodeConfig;
+  using cluster::NodeId;
+
+  const int node_count = static_cast<int>(g.rng().uniform(2, 3));
+  std::vector<Location> sites;
+  std::vector<ResourceSet> supplies;
+  for (int i = 0; i < node_count; ++i) {
+    const Location site("cl" + std::to_string(i));
+    sites.push_back(site);
+    ResourceSet supply;
+    supply.add(g.rng().uniform(2, 6), TimeInterval(0, 40), LocatedType::cpu(site));
+    supply.add(g.rng().uniform(2, 6), TimeInterval(0, 40),
+               LocatedType::memory(site));
+    supplies.push_back(std::move(supply));
+  }
+
+  struct JobDraw {
+    Tick at = 0;
+    NodeId origin = 0;
+    WorkSpec work;
+  };
+  std::vector<JobDraw> jobs;
+  const int job_count = static_cast<int>(g.rng().uniform(2, 5));
+  for (int j = 0; j < job_count; ++j) {
+    JobDraw draw;
+    draw.at = g.rng().uniform(0, 12);
+    draw.origin = static_cast<NodeId>(g.rng().index(sites.size()));
+    draw.work.actor = "cj" + std::to_string(j);
+    draw.work.home = sites[draw.origin];
+    const int chunks = static_cast<int>(g.rng().uniform(1, 2));
+    for (int c = 0; c < chunks; ++c) {
+      draw.work.chunk_weights.push_back(g.rng().uniform(1, 2));
+    }
+    draw.work.state_size = 1;
+    draw.work.earliest_start = draw.at;
+    draw.work.deadline = draw.at + g.rng().uniform(10, 30);
+    jobs.push_back(std::move(draw));
+  }
+
+  ClusterConfig cfg;
+  cfg.seed = g.rng().next_u64();
+  cfg.node.lanes = static_cast<std::size_t>(g.rng().uniform(1, 2));
+  cfg.node.gossip_period = 4;
+  cfg.node.max_remote_rounds = 2;
+
+  const auto build = [&](ClusterSim& sim) {
+    for (int i = 0; i < node_count; ++i) sim.add_node(sites[i], supplies[i]);
+    for (const JobDraw& j : jobs) {
+      WorkSpec work = j.work;
+      sim.submit(j.at, j.origin, std::move(work));
+    }
+  };
+
+  ClusterSim sim_a(CostModel{}, cfg);
+  ClusterSim sim_b(CostModel{}, cfg);
+  build(sim_a);
+  build(sim_b);
+  const Tick horizon = 48;
+  const ClusterReport ra = sim_a.run(horizon);
+  const ClusterReport rb = sim_b.run(horizon);
+
+  rec.expect("cluster-deterministic-log", ra.decision_log() == rb.decision_log(),
+             [&] {
+               return "same-seed cluster runs diverge:\n--- run A\n" +
+                      ra.decision_log() + "--- run B\n" + rb.decision_log();
+             });
+  rec.expect("cluster-deterministic-fabric",
+             ra.messages_sent == rb.messages_sent &&
+                 ra.messages_dropped == rb.messages_dropped &&
+                 ra.messages_delivered == rb.messages_delivered,
+             [&] {
+               std::ostringstream out;
+               out << "fabric counters diverge: sent " << ra.messages_sent << "/"
+                   << rb.messages_sent << ", dropped " << ra.messages_dropped
+                   << "/" << rb.messages_dropped << ", delivered "
+                   << ra.messages_delivered << "/" << rb.messages_delivered;
+               return out.str();
+             });
+  rec.expect("cluster-decision-coverage", ra.decisions.size() == jobs.size(),
+             [&] {
+               std::ostringstream out;
+               out << ra.decisions.size() << " decisions for " << jobs.size()
+                   << " submitted jobs";
+               return out.str();
+             });
+
+  // WAL replay: each node's audit log rebuilt onto a fresh ledger with the
+  // node's base supply must reproduce the live residual.
+  for (int i = 0; i < node_count; ++i) {
+    const auto& node = sim_a.node(static_cast<NodeId>(i));
+    CommitmentLedger rebuilt(supplies[static_cast<std::size_t>(i)], 0);
+    const std::size_t replayed = node.audit().replay_into(rebuilt);
+    rec.expect("cluster-replay-count",
+               replayed == node.ledger().admitted_count(), [&] {
+                 std::ostringstream out;
+                 out << "node " << i << " replayed " << replayed << " of "
+                     << node.ledger().admitted_count() << " admissions";
+                 return out.str();
+               });
+    rec.expect("cluster-replay-residual",
+               rebuilt.residual() == node.ledger().residual(), [&] {
+                 std::ostringstream out;
+                 out << "node " << i
+                     << ": replayed residual diverges from live residual";
+                 return out.str();
+               });
+  }
+}
+
+void sim_case(Gen& g, std::size_t case_index, Recorder& rec) {
+  const Tick horizon = Gen::term_hi() + 8;
+
+  ResourceSet supply = g.resource_set(3, 4, false).first;
+  SystemState start(supply, 0);
+  const int nreq = static_cast<int>(g.rng().uniform(1, 2));
+  for (int i = 0; i < nreq; ++i) {
+    start.accommodate(g.requirement("sim" + std::to_string(i)));
+  }
+
+  // --- Greedy determinism and greedy ⇒ search -------------------------------
+  static constexpr PriorityOrder kAll[] = {
+      PriorityOrder::kFcfs, PriorityOrder::kEdf, PriorityOrder::kLeastLaxity,
+      PriorityOrder::kProportional};
+  const PriorityOrder order = kAll[case_index % 4];
+  const RunResult r1 = run_greedy(start, horizon, order);
+  const RunResult r2 = run_greedy(start, horizon, order);
+  rec.expect("greedy-deterministic",
+             r1.path.steps() == r2.path.steps() &&
+                 r1.path.back() == r2.path.back() && r1.all_met == r2.all_met &&
+                 r1.finished_at == r2.finished_at,
+             [&] {
+               return "two run_greedy(" + priority_name(order) +
+                      ") runs from one state disagree";
+             });
+
+  bool any_greedy_met = false;
+  for (const PriorityOrder searched :
+       {PriorityOrder::kEdf, PriorityOrder::kLeastLaxity, PriorityOrder::kFcfs}) {
+    if (run_greedy(start, horizon, searched).all_met) any_greedy_met = true;
+  }
+  if (any_greedy_met) {
+    rec.expect("greedy-implies-search",
+               search_feasible(start, horizon, 4).has_value(), [&] {
+                 return std::string(
+                     "a greedy order meets every deadline but search_feasible "
+                     "finds nothing");
+               });
+  }
+
+  // --- Θ_expire vs the tick-replay referee ----------------------------------
+  const RunResult fcfs_run = order == PriorityOrder::kFcfs
+                                 ? r1
+                                 : run_greedy(start, horizon, PriorityOrder::kFcfs);
+  const ComputationPath& path = fcfs_run.path;
+  const std::size_t pos = g.rng().index(path.size());
+  {
+    const TimeInterval w = g.interval();
+    const ResourceSet expiring = path.expiring_resources(pos, w);
+    rec.check("expiring-canonical", check_canonical(expiring));
+    rec.check("expiring-vs-replay",
+              diff_resources(expiring, dense_expiring(path, pos, w)));
+  }
+
+  // --- Model checker vs brute force -----------------------------------------
+  const ModelChecker checker(path);
+
+  // satisfy(ρ(γ,s,d)) against dense expiring quantities.
+  DemandSet demand;
+  const int entries = static_cast<int>(g.rng().uniform(1, 2));
+  for (int i = 0; i < entries; ++i) {
+    demand.add(g.located_type(), g.rng().uniform(1, 12));
+  }
+  const SimpleRequirement simple(demand, g.admission_window());
+  {
+    const bool got = checker.satisfies(f_satisfy(simple), pos);
+    const bool want = dense_satisfies_simple(path, pos, simple);
+    rec.expect("satisfy-simple", got == want, [&] {
+      return bool_pair("satisfy(simple)", got, want) + "; demand = " +
+             demand.to_string() + ", window = " + simple.window().to_string();
+    });
+  }
+
+  // satisfy(ρ(Γ,s,d)): single-actor verdicts are complete on both sides, so
+  // the checker must agree with a brute-force schedule search over Θ_expire.
+  {
+    const ConcurrentRequirement donor = g.requirement("bf");
+    const ComplexRequirement& actor = donor.actors().front();
+    const bool got = checker.satisfies(f_satisfy(actor), pos);
+    const TimeInterval clipped = clip_at(path, pos, actor.window());
+    if (clipped.empty()) {
+      rec.expect("satisfy-complex-expired", !got, [&] {
+        return std::string("satisfiable although the clipped window is empty");
+      });
+    } else {
+      const ResourceSet expiring = path.expiring_resources(pos, actor.window());
+      SystemState brute(expiring, path.state(pos).now());
+      const ComplexRequirement clipped_actor(actor.actor(), actor.phases(),
+                                             clipped, actor.rate_cap());
+      brute.accommodate(ConcurrentRequirement("bf", {clipped_actor}, clipped));
+      const bool want = search_feasible(brute, clipped.end(), 3).has_value();
+      rec.expect("satisfy-complex-vs-search", got == want, [&] {
+        return bool_pair("satisfy(complex)", got, want) + "; actor = " +
+               actor.to_string() + " at position " + std::to_string(pos);
+      });
+    }
+  }
+
+  // satisfy(ρ(Λ,s,d)) soundness: when the planner finds a concurrent plan
+  // over Θ_expire, the plan must actually fit — validated pointwise against
+  // the tick-replay referee, never against the calculus under test.
+  {
+    const ConcurrentRequirement rho = g.requirement("cc");
+    const TimeInterval clipped = clip_at(path, pos, rho.window());
+    if (!clipped.empty()) {
+      const ResourceSet expiring = path.expiring_resources(pos, rho.window());
+      std::vector<ComplexRequirement> clipped_actors;
+      for (const auto& a : rho.actors()) {
+        clipped_actors.emplace_back(a.actor(), a.phases(), clipped, a.rate_cap());
+      }
+      const ConcurrentRequirement clipped_rho(rho.name(),
+                                              std::move(clipped_actors), clipped);
+      const auto plan =
+          plan_concurrent(expiring, clipped_rho, PlanningPolicy::kAsap);
+      if (plan) {
+        rec.check("plan-soundness",
+                  validate_plan(*plan, clipped_rho, clipped,
+                                dense_expiring(path, pos, clipped)));
+      }
+    }
+  }
+
+  // Temporal operators: the checker's ◇/□/¬ recursion against direct
+  // enumeration over path positions, with atoms decided by the dense referee.
+  {
+    std::vector<char> ref(path.size());
+    for (std::size_t p = 0; p < path.size(); ++p) {
+      ref[p] = dense_satisfies_simple(path, p, simple) ? 1 : 0;
+    }
+    FormulaPtr formula = f_satisfy(simple);
+    const int depth = static_cast<int>(g.rng().uniform(0, 3));
+    for (int d = 0; d < depth; ++d) {
+      std::vector<char> next(ref.size());
+      switch (g.rng().index(3)) {
+        case 0:
+          formula = f_not(formula);
+          for (std::size_t p = 0; p < ref.size(); ++p) next[p] = ref[p] ? 0 : 1;
+          break;
+        case 1:
+          formula = f_eventually(formula);
+          for (std::size_t p = 0; p < ref.size(); ++p) {
+            next[p] = 0;
+            for (std::size_t q = p + 1; q < ref.size(); ++q) {
+              if (ref[q]) {
+                next[p] = 1;
+                break;
+              }
+            }
+          }
+          break;
+        default:
+          formula = f_always(formula);
+          for (std::size_t p = 0; p < ref.size(); ++p) {
+            next[p] = 1;
+            for (std::size_t q = p + 1; q < ref.size(); ++q) {
+              if (!ref[q]) {
+                next[p] = 0;
+                break;
+              }
+            }
+          }
+          break;
+      }
+      ref = std::move(next);
+    }
+    bool all_match = true;
+    std::size_t first_bad = 0;
+    for (std::size_t p = 0; p < path.size(); ++p) {
+      if (checker.satisfies(formula, p) != static_cast<bool>(ref[p])) {
+        all_match = false;
+        first_bad = p;
+        break;
+      }
+    }
+    rec.expect("temporal-enumeration", all_match, [&] {
+      return "checker disagrees with position enumeration for " +
+             formula->to_string() + " first at position " +
+             std::to_string(first_bad);
+    });
+  }
+
+  // --- Cluster determinism and WAL replay -----------------------------------
+  sim_cluster_checks(g, rec);
+}
+
+}  // namespace
+
+OracleReport run_sim_oracle(std::uint64_t seed, std::size_t cases) {
+  OracleReport report;
+  report.family = "sim";
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t cs = case_seed(seed, i);
+    Recorder rec(report, cs, i);
+    Gen g(cs);
+    try {
+      sim_case(g, i, rec);
+    } catch (const std::exception& e) {
+      rec.fail("unexpected-exception", e.what());
+    }
+    ++report.cases;
+  }
+  return report;
+}
+
+}  // namespace rota::fuzz

@@ -1,0 +1,62 @@
+// The three differential-oracle families of the fuzzing harness.
+//
+//   calculus — randomized StepFunction / IntervalSet / ResourceSet terms
+//     checked pointwise against the dense referees in reference.hpp, plus
+//     canonical-form audits and algebraic round-trips (∪ then \, restrict,
+//     clamp, shift, coarsen) and the relative_complement ⇔ dominates pin.
+//   kernel   — random workloads where the batched admission pipeline at
+//     1–8 lanes must reproduce the sequential controller's decisions bit for
+//     bit, plus FeasibilitySnapshot restriction-cache and stale-commit
+//     audits and WAL-replay residual reproduction.
+//   sim      — greedy runs, explorer searches, model-checker verdicts and
+//     cluster executions cross-checked: Θ_expire against an independent
+//     tick-replay referee, single-actor satisfy() against brute-force
+//     schedule search, concurrent plans validated pointwise, and cluster
+//     runs re-executed from the same seed and from audit-log replay.
+//
+// Every case is pinned by (run seed, case index) through case_seed(), so a
+// divergence report is a reproduction recipe: seed the generator with
+// case_seed(seed, index) and replay the same checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rota::fuzz {
+
+/// One observed disagreement between production code and a referee.
+struct Divergence {
+  std::string family;      // "calculus" | "kernel" | "sim"
+  std::string check;       // short name of the failing check
+  std::uint64_t seed = 0;  // the *case* seed (feed straight to Gen)
+  std::size_t case_index = 0;
+  std::string detail;      // first mismatch, human-readable
+
+  std::string to_string() const;
+};
+
+/// Outcome of one oracle run.
+struct OracleReport {
+  /// Divergences beyond this many are counted but not recorded.
+  static constexpr std::size_t kMaxRecorded = 8;
+
+  std::string family;
+  std::size_t cases = 0;
+  std::uint64_t checks = 0;  // individual comparisons performed
+  std::uint64_t divergence_count = 0;
+  std::vector<Divergence> divergences;  // first kMaxRecorded
+
+  bool clean() const { return divergence_count == 0; }
+  std::string summary() const;
+};
+
+/// The seed a given case runs under — deterministic in (run_seed, index) and
+/// well-mixed, so each case is independently reproducible.
+std::uint64_t case_seed(std::uint64_t run_seed, std::size_t case_index);
+
+OracleReport run_calculus_oracle(std::uint64_t seed, std::size_t cases);
+OracleReport run_kernel_oracle(std::uint64_t seed, std::size_t cases);
+OracleReport run_sim_oracle(std::uint64_t seed, std::size_t cases);
+
+}  // namespace rota::fuzz

@@ -1,0 +1,364 @@
+#include "rota/fuzz/reference.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace rota::fuzz {
+
+namespace {
+
+/// Floor division, matching StepFunction::coarsened's bucket alignment.
+Tick floor_div(Tick a, Tick b) { return a >= 0 ? a / b : -((-a + b - 1) / b); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DenseFn
+
+void DenseFn::add(const TimeInterval& iv, Rate value) {
+  for (Tick t = std::max(iv.start(), lo_); t < std::min(iv.end(), hi()); ++t) {
+    values_[static_cast<std::size_t>(t - lo_)] += value;
+  }
+}
+
+DenseFn DenseFn::restricted(const TimeInterval& window) const {
+  DenseFn out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (window.contains(t)) out.set(t, at(t));
+  }
+  return out;
+}
+
+DenseFn DenseFn::clamped_nonnegative() const {
+  DenseFn out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) out.set(t, std::max<Rate>(at(t), 0));
+  return out;
+}
+
+DenseFn DenseFn::shifted(Tick dt) const {
+  DenseFn out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) {
+    const Tick source = t - dt;
+    if (source >= lo_ && source < hi()) out.set(t, at(source));
+  }
+  return out;
+}
+
+DenseFn DenseFn::coarsened(Tick factor) const {
+  // Each tick takes the minimum over its aligned bucket (gaps count as 0).
+  DenseFn out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) {
+    const Tick bucket = floor_div(t, factor);
+    Rate m = 0;  // buckets always reach outside any bounded support eventually;
+                 // inside the domain the loop below visits every tick exactly.
+    bool first = true;
+    for (Tick u = bucket * factor; u < (bucket + 1) * factor; ++u) {
+      const Rate v = at(u);
+      m = first ? v : std::min(m, v);
+      first = false;
+    }
+    out.set(t, m);
+  }
+  return out;
+}
+
+Rate DenseFn::min_value() const {
+  Rate m = 0;  // zero outside the support
+  for (const Rate v : values_) m = std::min(m, v);
+  return m;
+}
+
+Rate DenseFn::min_over(const TimeInterval& window) const {
+  if (window.empty()) return 0;
+  Rate m = std::numeric_limits<Rate>::max();
+  for (Tick t = window.start(); t < window.end(); ++t) m = std::min(m, at(t));
+  return m;
+}
+
+Quantity DenseFn::integral(const TimeInterval& window) const {
+  Quantity total = 0;
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (window.contains(t)) total += at(t);
+  }
+  return total;
+}
+
+Quantity DenseFn::integral() const {
+  Quantity total = 0;
+  for (const Rate v : values_) total += v;
+  return total;
+}
+
+bool DenseFn::dominates(const DenseFn& o) const {
+  for (Tick t = std::min(lo_, o.lo()); t < std::max(hi(), o.hi()); ++t) {
+    if (at(t) < o.at(t)) return false;
+  }
+  return true;
+}
+
+std::optional<Tick> DenseFn::earliest_cover(const TimeInterval& window, Quantity q) const {
+  if (q == 0) return window.start();
+  Quantity acc = 0;
+  for (Tick t = window.start(); t < window.end(); ++t) {
+    if (at(t) > 0) acc += at(t);
+    if (acc >= q) return t + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<Tick> DenseFn::latest_cover_start(const TimeInterval& window,
+                                                Quantity q) const {
+  if (q == 0) return window.end();
+  Quantity acc = 0;
+  for (Tick t = window.end() - 1; t >= window.start(); --t) {
+    if (at(t) > 0) acc += at(t);
+    if (acc >= q) return t;
+  }
+  return std::nullopt;
+}
+
+std::string DenseFn::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  bool first = true;
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (at(t) == 0) continue;
+    if (!first) out << ' ';
+    out << t << ':' << at(t);
+    first = false;
+  }
+  out << ']';
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// DenseSet
+
+void DenseSet::insert(const TimeInterval& iv) {
+  for (Tick t = std::max(iv.start(), lo_); t < std::min(iv.end(), hi()); ++t) {
+    member_[static_cast<std::size_t>(t - lo_)] = true;
+  }
+}
+
+DenseSet DenseSet::unioned(const DenseSet& o) const {
+  DenseSet out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (contains(t) || o.contains(t)) out.insert(TimeInterval(t, t + 1));
+  }
+  return out;
+}
+
+DenseSet DenseSet::intersected(const DenseSet& o) const {
+  DenseSet out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (contains(t) && o.contains(t)) out.insert(TimeInterval(t, t + 1));
+  }
+  return out;
+}
+
+DenseSet DenseSet::subtracted(const DenseSet& o) const {
+  DenseSet out(lo_, hi());
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (contains(t) && !o.contains(t)) out.insert(TimeInterval(t, t + 1));
+  }
+  return out;
+}
+
+bool DenseSet::covers(const TimeInterval& iv) const {
+  for (Tick t = iv.start(); t < iv.end(); ++t) {
+    if (!contains(t)) return false;
+  }
+  return true;
+}
+
+Tick DenseSet::measure() const {
+  Tick total = 0;
+  for (const bool m : member_) total += m ? 1 : 0;
+  return total;
+}
+
+TimeInterval DenseSet::hull() const {
+  Tick first = hi(), last = lo_ - 1;
+  for (Tick t = lo_; t < hi(); ++t) {
+    if (!contains(t)) continue;
+    first = std::min(first, t);
+    last = std::max(last, t);
+  }
+  if (first > last) return TimeInterval();
+  return TimeInterval(first, last + 1);
+}
+
+// ---------------------------------------------------------------------------
+// DenseResources
+
+DenseFn& DenseResources::of(const LocatedType& type) {
+  for (auto& [t, f] : entries_) {
+    if (t == type) return f;
+  }
+  entries_.emplace_back(type, DenseFn(lo_, hi_));
+  return entries_.back().second;
+}
+
+const DenseFn* DenseResources::find(const LocatedType& type) const {
+  for (const auto& [t, f] : entries_) {
+    if (t == type) return &f;
+  }
+  return nullptr;
+}
+
+DenseResources DenseResources::unioned(const DenseResources& o) const {
+  DenseResources out(lo_, hi_);
+  for (const auto& [type, f] : entries_) out.of(type) = f;
+  for (const auto& [type, f] : o.entries_) out.of(type) = out.of(type).plus(f);
+  return out;
+}
+
+std::optional<DenseResources> DenseResources::relative_complement(
+    const DenseResources& o) const {
+  if (!dominates(o)) return std::nullopt;
+  DenseResources out(lo_, hi_);
+  for (const auto& [type, f] : entries_) out.of(type) = f;
+  for (const auto& [type, f] : o.entries_) out.of(type) = out.of(type).minus(f);
+  return out;
+}
+
+bool DenseResources::dominates(const DenseResources& o) const {
+  // Total-function semantics: every type either side mentions, with absent
+  // types reading as the zero function.
+  const DenseFn zero(lo_, hi_);
+  for (const auto& [type, f] : o.entries_) {
+    const DenseFn* have = find(type);
+    if (!(have != nullptr ? *have : zero).dominates(f)) return false;
+  }
+  for (const auto& [type, f] : entries_) {
+    if (o.find(type) == nullptr && !f.dominates(zero)) return false;
+  }
+  return true;
+}
+
+DenseResources DenseResources::restricted(const TimeInterval& window) const {
+  DenseResources out(lo_, hi_);
+  for (const auto& [type, f] : entries_) out.of(type) = f.restricted(window);
+  return out;
+}
+
+Quantity DenseResources::quantity(const LocatedType& type,
+                                  const TimeInterval& window) const {
+  const DenseFn* f = find(type);
+  return f == nullptr ? 0 : f->integral(window);
+}
+
+// ---------------------------------------------------------------------------
+// Bridges and audits
+
+std::optional<std::string> diff_fn(const StepFunction& f, const DenseFn& ref) {
+  for (const auto& seg : f.segments()) {
+    if (seg.interval.start() < ref.lo() || seg.interval.end() > ref.hi()) {
+      return "segment " + seg.interval.to_string() + " escapes the referee domain";
+    }
+  }
+  for (Tick t = ref.lo(); t < ref.hi(); ++t) {
+    if (f.value_at(t) != ref.at(t)) {
+      std::ostringstream out;
+      out << "value_at(" << t << ") = " << f.value_at(t) << ", referee says "
+          << ref.at(t) << "; f = " << f.to_string() << ", ref = " << ref.to_string();
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> diff_set(const IntervalSet& s, const DenseSet& ref) {
+  for (const auto& iv : s.intervals()) {
+    if (iv.start() < ref.lo() || iv.end() > ref.hi()) {
+      return "interval " + iv.to_string() + " escapes the referee domain";
+    }
+  }
+  for (Tick t = ref.lo(); t < ref.hi(); ++t) {
+    if (s.contains(t) != ref.contains(t)) {
+      std::ostringstream out;
+      out << "contains(" << t << ") = " << s.contains(t) << ", referee says "
+          << ref.contains(t) << "; s = " << s.to_string();
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> diff_resources(const ResourceSet& s,
+                                          const DenseResources& ref) {
+  // Every type either side mentions must agree pointwise.
+  std::vector<LocatedType> types = s.types();
+  for (const auto& [type, f] : ref.entries()) types.push_back(type);
+  std::sort(types.begin(), types.end());
+  types.erase(std::unique(types.begin(), types.end()), types.end());
+
+  const DenseFn zero(ref.lo(), ref.hi());
+  for (const LocatedType& type : types) {
+    const DenseFn* expect = ref.find(type);
+    auto mismatch = diff_fn(s.availability(type), expect != nullptr ? *expect : zero);
+    if (mismatch) return "type " + type.to_string() + ": " + *mismatch;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_canonical(const StepFunction& f) {
+  const auto& segs = f.segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].interval.empty()) {
+      return "segment " + std::to_string(i) + " is empty in " + f.to_string();
+    }
+    if (segs[i].value == 0) {
+      return "segment " + std::to_string(i) + " stores value 0 in " + f.to_string();
+    }
+    if (i == 0) continue;
+    if (segs[i - 1].interval.end() > segs[i].interval.start()) {
+      return "segments " + std::to_string(i - 1) + " and " + std::to_string(i) +
+             " are unsorted or overlap in " + f.to_string();
+    }
+    if (segs[i - 1].interval.end() == segs[i].interval.start() &&
+        segs[i - 1].value == segs[i].value) {
+      return "touching equal-value segments " + std::to_string(i - 1) + " and " +
+             std::to_string(i) + " not coalesced in " + f.to_string();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_canonical(const IntervalSet& s) {
+  const auto& ivs = s.intervals();
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    if (ivs[i].empty()) {
+      return "member " + std::to_string(i) + " is empty in " + s.to_string();
+    }
+    if (i > 0 && ivs[i - 1].end() >= ivs[i].start()) {
+      return "members " + std::to_string(i - 1) + " and " + std::to_string(i) +
+             " are unsorted, overlapping, or touching in " + s.to_string();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_canonical(const ResourceSet& s) {
+  // ResourceSet::to_string() goes through terms(), which cannot represent
+  // negative availability — report via the per-type profiles instead.
+  const std::vector<LocatedType> types = s.types();
+  for (std::size_t i = 1; i < types.size(); ++i) {
+    if (!(types[i - 1] < types[i])) {
+      return "types unsorted or duplicated: " + types[i - 1].to_string() + " then " +
+             types[i].to_string();
+    }
+  }
+  for (const LocatedType& type : types) {
+    const StepFunction& f = s.availability(type);
+    if (f.is_zero()) {
+      return "zero profile stored for type " + type.to_string();
+    }
+    auto mismatch = check_canonical(f);
+    if (mismatch) return "profile of " + type.to_string() + ": " + *mismatch;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rota::fuzz

@@ -1,0 +1,161 @@
+// Naive tick-by-tick reference models for differential fuzzing.
+//
+// The production calculus (StepFunction, IntervalSet, ResourceSet) earns its
+// speed from canonical segment representations and merge walks; these
+// referees earn their trust from having no representation at all. A DenseFn
+// is literally one Rate per tick over a bounded domain; a DenseSet is one
+// bool per tick; DenseResources is a map from located type to DenseFn. Every
+// operation is the one-line pointwise definition from the paper, so a
+// disagreement between a referee and the production type is a bug in the
+// production type (or, rarely, in the referee — either way it is a bug).
+//
+// All referees share one bounded domain [lo, hi). Generators must keep every
+// endpoint they produce strictly inside the domain so that no mass is
+// clipped; the referee then represents the function exactly (everything
+// outside the domain is identically zero, matching the calculus).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/resource/resource_set.hpp"
+#include "rota/resource/step_function.hpp"
+#include "rota/time/interval_set.hpp"
+
+namespace rota::fuzz {
+
+/// A rate profile as one value per tick over [lo, hi); zero outside.
+class DenseFn {
+ public:
+  DenseFn(Tick lo, Tick hi) : lo_(lo), values_(static_cast<std::size_t>(hi - lo), 0) {}
+
+  Tick lo() const { return lo_; }
+  Tick hi() const { return lo_ + static_cast<Tick>(values_.size()); }
+
+  Rate at(Tick t) const {
+    if (t < lo_ || t >= hi()) return 0;
+    return values_[static_cast<std::size_t>(t - lo_)];
+  }
+  void set(Tick t, Rate v) { values_.at(static_cast<std::size_t>(t - lo_)) = v; }
+
+  /// Pointwise accumulate `value` over `iv` (must lie inside the domain).
+  void add(const TimeInterval& iv, Rate value);
+
+  DenseFn plus(const DenseFn& o) const { return zip(o, [](Rate a, Rate b) { return a + b; }); }
+  DenseFn minus(const DenseFn& o) const { return zip(o, [](Rate a, Rate b) { return a - b; }); }
+  DenseFn min(const DenseFn& o) const {
+    return zip(o, [](Rate a, Rate b) { return a < b ? a : b; });
+  }
+  DenseFn max(const DenseFn& o) const {
+    return zip(o, [](Rate a, Rate b) { return a > b ? a : b; });
+  }
+  DenseFn restricted(const TimeInterval& window) const;
+  DenseFn clamped_nonnegative() const;
+  DenseFn shifted(Tick dt) const;  // dt must keep the support inside the domain
+  DenseFn coarsened(Tick factor) const;
+
+  Rate min_value() const;  // min over the whole timeline (0 outside support)
+  Rate min_over(const TimeInterval& window) const;
+  Quantity integral(const TimeInterval& window) const;
+  Quantity integral() const;
+  bool dominates(const DenseFn& o) const;
+  std::optional<Tick> earliest_cover(const TimeInterval& window, Quantity q) const;
+  std::optional<Tick> latest_cover_start(const TimeInterval& window, Quantity q) const;
+
+  std::string to_string() const;  // compact segment-ish rendering for reports
+
+ private:
+  template <typename Op>
+  DenseFn zip(const DenseFn& o, Op op) const {
+    DenseFn out(lo_, hi());
+    for (Tick t = lo_; t < hi(); ++t) out.set(t, op(at(t), o.at(t)));
+    return out;
+  }
+
+  Tick lo_;
+  std::vector<Rate> values_;
+};
+
+/// A set of ticks as one bool per tick over [lo, hi).
+class DenseSet {
+ public:
+  DenseSet(Tick lo, Tick hi) : lo_(lo), member_(static_cast<std::size_t>(hi - lo), false) {}
+
+  Tick lo() const { return lo_; }
+  Tick hi() const { return lo_ + static_cast<Tick>(member_.size()); }
+
+  bool contains(Tick t) const {
+    if (t < lo_ || t >= hi()) return false;
+    return member_[static_cast<std::size_t>(t - lo_)];
+  }
+  void insert(const TimeInterval& iv);
+
+  DenseSet unioned(const DenseSet& o) const;
+  DenseSet intersected(const DenseSet& o) const;
+  DenseSet subtracted(const DenseSet& o) const;
+  bool covers(const TimeInterval& iv) const;
+  Tick measure() const;
+  TimeInterval hull() const;
+
+ private:
+  Tick lo_;
+  std::vector<bool> member_;
+};
+
+/// A resource set as a dense profile per located type.
+class DenseResources {
+ public:
+  DenseResources(Tick lo, Tick hi) : lo_(lo), hi_(hi) {}
+
+  Tick lo() const { return lo_; }
+  Tick hi() const { return hi_; }
+
+  /// Profile of `type`, creating an all-zero one on first touch.
+  DenseFn& of(const LocatedType& type);
+  const DenseFn* find(const LocatedType& type) const;
+  const std::vector<std::pair<LocatedType, DenseFn>>& entries() const { return entries_; }
+
+  DenseResources unioned(const DenseResources& o) const;
+  /// Defined iff dominated pointwise for every type (including types present
+  /// only in `o`) — the exact contract ResourceSet::relative_complement and
+  /// ResourceSet::dominates must agree on.
+  std::optional<DenseResources> relative_complement(const DenseResources& o) const;
+  bool dominates(const DenseResources& o) const;
+  DenseResources restricted(const TimeInterval& window) const;
+  Quantity quantity(const LocatedType& type, const TimeInterval& window) const;
+
+ private:
+  Tick lo_, hi_;
+  std::vector<std::pair<LocatedType, DenseFn>> entries_;  // insertion order
+};
+
+// ---------------------------------------------------------------------------
+// Bridges and invariant audits. Each checker returns nullopt on success or a
+// human-readable description of the first violation found.
+
+/// True iff the step function equals the dense referee at every tick of the
+/// referee's domain (and has no segment outside it).
+std::optional<std::string> diff_fn(const StepFunction& f, const DenseFn& ref);
+
+/// True iff the interval set equals the dense referee tick for tick.
+std::optional<std::string> diff_set(const IntervalSet& s, const DenseSet& ref);
+
+/// Pointwise comparison per located type (types with all-zero profiles on
+/// either side are fine — canonical sets simply omit them).
+std::optional<std::string> diff_resources(const ResourceSet& s, const DenseResources& ref);
+
+/// Audits the canonical-form invariants step_function.hpp promises: segments
+/// sorted, disjoint, non-empty, non-zero values, no touching equal-value
+/// neighbours.
+std::optional<std::string> check_canonical(const StepFunction& f);
+
+/// Audits IntervalSet's canonical form: sorted, disjoint, non-touching,
+/// non-empty members.
+std::optional<std::string> check_canonical(const IntervalSet& s);
+
+/// Audits ResourceSet's canonical form: types sorted and unique, no zero
+/// profiles stored, and every stored profile canonical.
+std::optional<std::string> check_canonical(const ResourceSet& s);
+
+}  // namespace rota::fuzz

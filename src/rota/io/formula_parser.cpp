@@ -87,22 +87,38 @@ class Parser {
   }
 
   FormulaPtr formula() {
-    if (try_consume("!")) return f_not(formula());
-    if (try_consume("<>")) return f_eventually(formula());
-    if (try_consume("[]")) return f_always(formula());
-    if (try_consume("(")) {
-      FormulaPtr inner = formula();
-      expect(")");
-      return inner;
+    // Each operator and parenthesis recurses once; cap the depth so
+    // adversarial input ("!!!!…") reports an error instead of exhausting
+    // the stack.
+    if (++depth_ > kMaxDepth) {
+      throw FormulaParseError(pos_, "formula nesting too deep");
     }
-    if (try_consume("true")) return f_true();
-    if (try_consume("false")) return f_false();
-    if (try_consume("satisfy")) return satisfy_atom();
-    throw FormulaParseError(pos_, "expected a formula");
+    FormulaPtr result;
+    if (try_consume("!")) {
+      result = f_not(formula());
+    } else if (try_consume("<>")) {
+      result = f_eventually(formula());
+    } else if (try_consume("[]")) {
+      result = f_always(formula());
+    } else if (try_consume("(")) {
+      result = formula();
+      expect(")");
+    } else if (try_consume("true")) {
+      result = f_true();
+    } else if (try_consume("false")) {
+      result = f_false();
+    } else if (try_consume("satisfy")) {
+      result = satisfy_atom();
+    } else {
+      throw FormulaParseError(pos_, "expected a formula");
+    }
+    --depth_;
+    return result;
   }
 
   FormulaPtr satisfy_atom() {
     expect("(");
+    skip_spaces();  // so name_pos points at the name, not preceding blanks
     const std::size_t name_pos = pos_;
     const std::string name = identifier();
 
@@ -132,10 +148,13 @@ class Parser {
     return f_satisfy(make_concurrent_requirement(phi_, adjusted));
   }
 
+  static constexpr std::size_t kMaxDepth = 512;
+
   const std::string& text_;
   const Scenario& scenario_;
   const CostModel& phi_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

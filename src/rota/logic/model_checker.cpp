@@ -46,7 +46,7 @@ bool ModelChecker::satisfies(const Formula& psi, std::size_t position) const {
             if (clipped.empty()) return false;  // deadline already passed
             const ResourceSet expiring = expire_within(position, s.rho.window());
             const ComplexRequirement clipped_req(s.rho.actor(), s.rho.phases(),
-                                                 clipped);
+                                                 clipped, s.rho.rate_cap());
             return plan_actor(expiring, clipped_req, policy_).has_value();
           },
           [&](const SatisfyConcurrent& s) {

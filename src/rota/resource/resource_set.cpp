@@ -38,6 +38,9 @@ void ResourceSet::add(const ResourceTerm& term) {
                              EntryTypeLess{});
   if (it != by_type_.end() && it->first == term.type()) {
     it->second.add(term.interval(), term.rate());
+    // A positive term can exactly cancel a negative stretch of the stored
+    // profile; keep the no-zero-profiles invariant.
+    if (it->second.is_zero()) by_type_.erase(it);
   } else {
     by_type_.emplace(it, term.type(), StepFunction(term.interval(), term.rate()));
   }
@@ -48,6 +51,7 @@ void ResourceSet::add(const LocatedType& type, StepFunction profile) {
   auto it = std::lower_bound(by_type_.begin(), by_type_.end(), type, EntryTypeLess{});
   if (it != by_type_.end() && it->first == type) {
     it->second = it->second.plus(profile);
+    if (it->second.is_zero()) by_type_.erase(it);
   } else {
     by_type_.emplace(it, type, std::move(profile));
   }
@@ -64,7 +68,9 @@ ResourceSet ResourceSet::unioned(const ResourceSet& other) const& {
     } else if (b->first < a->first) {
       out.by_type_.push_back(*b++);
     } else {
-      out.by_type_.emplace_back(a->first, a->second.plus(b->second));
+      StepFunction sum = a->second.plus(b->second);
+      // Opposite-sign profiles can cancel exactly; drop zero entries.
+      if (!sum.is_zero()) out.by_type_.emplace_back(a->first, std::move(sum));
       ++a;
       ++b;
     }
@@ -97,7 +103,8 @@ void ResourceSet::union_with(const ResourceSet& other) {
     } else if (b->first < a->first) {
       merged.push_back(*b++);
     } else {
-      merged.emplace_back(a->first, a->second.plus(b->second));
+      StepFunction sum = a->second.plus(b->second);
+      if (!sum.is_zero()) merged.emplace_back(a->first, std::move(sum));
       ++a;
       ++b;
     }
@@ -115,9 +122,15 @@ std::optional<ResourceSet> ResourceSet::relative_complement(
   auto b = other.by_type_.begin();
   while (a != by_type_.end() && b != other.by_type_.end()) {
     if (a->first < b->first) {
+      if (a->second.min_value() < 0) return std::nullopt;
       out.by_type_.push_back(*a++);
     } else if (b->first < a->first) {
-      if (!b->second.is_zero()) return std::nullopt;
+      // Type absent here: availability is the zero function, so the
+      // complement is defined iff 0 dominates b (b non-positive), and the
+      // difference 0 - b may itself be a non-zero profile.
+      StepFunction diff = StepFunction().minus(b->second);
+      if (diff.min_value() < 0) return std::nullopt;
+      if (!diff.is_zero()) out.by_type_.emplace_back(b->first, std::move(diff));
       ++b;
     } else {
       StepFunction diff = a->second.minus(b->second);
@@ -128,21 +141,36 @@ std::optional<ResourceSet> ResourceSet::relative_complement(
     }
   }
   for (; b != other.by_type_.end(); ++b) {
-    if (!b->second.is_zero()) return std::nullopt;
+    StepFunction diff = StepFunction().minus(b->second);
+    if (diff.min_value() < 0) return std::nullopt;
+    if (!diff.is_zero()) out.by_type_.emplace_back(b->first, std::move(diff));
   }
-  out.by_type_.insert(out.by_type_.end(), a, by_type_.end());
+  for (; a != by_type_.end(); ++a) {
+    if (a->second.min_value() < 0) return std::nullopt;
+    out.by_type_.push_back(*a);
+  }
   return out;
 }
 
 bool ResourceSet::dominates(const ResourceSet& other) const {
+  // Pointwise over the union of mentioned types: a type absent on either
+  // side is the zero function, so a negative profile here loses even against
+  // a type `other` never mentions.
   auto a = by_type_.begin();
   auto b = other.by_type_.begin();
-  while (b != other.by_type_.end()) {
-    while (a != by_type_.end() && a->first < b->first) ++a;
-    const StepFunction& have =
-        (a != by_type_.end() && a->first == b->first) ? a->second : zero_function();
-    if (!have.dominates(b->second)) return false;
-    ++b;
+  while (a != by_type_.end() || b != other.by_type_.end()) {
+    if (b == other.by_type_.end() ||
+        (a != by_type_.end() && a->first < b->first)) {
+      if (a->second.min_value() < 0) return false;
+      ++a;
+    } else if (a == by_type_.end() || b->first < a->first) {
+      if (!zero_function().dominates(b->second)) return false;
+      ++b;
+    } else {
+      if (!a->second.dominates(b->second)) return false;
+      ++a;
+      ++b;
+    }
   }
   return true;
 }

@@ -1,0 +1,67 @@
+// Small-scale runs of every differential-oracle family, pinned to fixed
+// seeds so the suite fails the moment any calculus / kernel / sim surface
+// drifts from its referee. The rota_fuzz binary runs the same oracles at
+// CI scale; these keep a fast always-on slice inside the tier-1 suite.
+#include "rota/fuzz/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rota/fuzz/gen.hpp"
+#include "rota/fuzz/reference.hpp"
+
+namespace rota::fuzz {
+namespace {
+
+std::string describe(const OracleReport& report) {
+  std::string out = report.summary();
+  for (const Divergence& d : report.divergences) out += "\n" + d.to_string();
+  return out;
+}
+
+TEST(FuzzOracles, CaseSeedIsMixedAndReproducible) {
+  EXPECT_EQ(case_seed(1, 0), case_seed(1, 0));
+  EXPECT_NE(case_seed(1, 0), case_seed(1, 1));
+  EXPECT_NE(case_seed(1, 0), case_seed(2, 0));
+  // Adjacent indices must not produce correlated generator streams.
+  Gen a(case_seed(7, 3));
+  Gen b(case_seed(7, 4));
+  EXPECT_NE(a.rng().next_u64(), b.rng().next_u64());
+}
+
+TEST(FuzzOracles, RefereesAgreeOnAKnownFunction) {
+  // Sanity-check the dense referee itself on a hand-computed example.
+  StepFunction f;
+  DenseFn ref(-8, 24);
+  f.add(TimeInterval(0, 4), 3);
+  ref.add(TimeInterval(0, 4), 3);
+  f.add(TimeInterval(2, 6), -1);
+  ref.add(TimeInterval(2, 6), -1);
+  EXPECT_EQ(diff_fn(f, ref), std::nullopt);
+  EXPECT_EQ(ref.at(1), 3);
+  EXPECT_EQ(ref.at(3), 2);
+  EXPECT_EQ(ref.at(5), -1);
+  EXPECT_EQ(ref.min_value(), -1);
+  EXPECT_EQ(ref.integral(TimeInterval(0, 6)), 8);
+}
+
+TEST(FuzzOracles, CalculusFamilyIsDivergenceFree) {
+  const OracleReport report = run_calculus_oracle(20260807, 150);
+  EXPECT_TRUE(report.clean()) << describe(report);
+  EXPECT_EQ(report.cases, 150u);
+  EXPECT_GT(report.checks, 0u);
+}
+
+TEST(FuzzOracles, KernelFamilyIsDivergenceFree) {
+  const OracleReport report = run_kernel_oracle(20260807, 40);
+  EXPECT_TRUE(report.clean()) << describe(report);
+  EXPECT_EQ(report.cases, 40u);
+}
+
+TEST(FuzzOracles, SimFamilyIsDivergenceFree) {
+  const OracleReport report = run_sim_oracle(20260807, 25);
+  EXPECT_TRUE(report.clean()) << describe(report);
+  EXPECT_EQ(report.cases, 25u);
+}
+
+}  // namespace
+}  // namespace rota::fuzz

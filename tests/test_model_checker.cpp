@@ -178,5 +178,24 @@ TEST_F(ModelCheckerTest, PositionBeyondPathThrows) {
   EXPECT_THROW(mc.satisfies(f_true(), 2), std::out_of_range);
 }
 
+TEST_F(ModelCheckerTest, SatisfyComplexHonorsRateCap) {
+  // rota_fuzz sim-oracle regression (case seed 16171108973027060361,
+  // minimized): the window-clipped requirement used to drop the actor's
+  // rate cap, so a capped actor was checked as if it could absorb at the
+  // full supply rate.
+  Phase phase;
+  phase.demand.add(cpu1, 8);
+  phase.action_count = 1;
+  ComputationPath path = idle_path(1);
+  ModelChecker mc(path);
+
+  // 4 cpu/tick over [0, 2) covers the 8-unit demand uncapped, but at rate
+  // cap 1 the actor can absorb at most 2 units by the deadline.
+  ComplexRequirement uncapped("a", {phase}, TimeInterval(0, 2), 0);
+  EXPECT_TRUE(mc.satisfies(f_satisfy(uncapped), 0));
+  ComplexRequirement capped("a", {phase}, TimeInterval(0, 2), 1);
+  EXPECT_FALSE(mc.satisfies(f_satisfy(capped), 0));
+}
+
 }  // namespace
 }  // namespace rota

@@ -3,9 +3,11 @@
 // sane line number — it must never crash, hang, or throw anything else.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 #include <string>
 
+#include "rota/io/formula_parser.hpp"
 #include "rota/io/scenario.hpp"
 #include "rota/util/rng.hpp"
 
@@ -96,6 +98,89 @@ TEST(ParserRobustness, DeeplyRepeatedBlocksParse) {
   }
   Scenario s = parse_scenario_string(text.str());
   EXPECT_EQ(s.computations.size(), 500u);
+}
+
+// ------------------------------------------------------------------
+// Formula parser: whatever bytes arrive, parse_formula either returns
+// a formula or throws FormulaParseError with a position inside the
+// input — never a crash, hang, or another exception type.
+// ------------------------------------------------------------------
+
+class FormulaRobustnessTest : public ::testing::Test {
+ protected:
+  CostModel phi;
+  Scenario scenario = parse_scenario_string(
+      "supply cpu l1 4 0 60\n"
+      "computation job1 0 10\n"
+      "  actor a l1\n"
+      "    evaluate 1\n"
+      "end\n");
+
+  /// Asserts the parser contract and returns the error position, or
+  /// nullopt when the input parsed.
+  std::optional<std::size_t> error_position(const std::string& text) {
+    try {
+      FormulaPtr psi = parse_formula(text, scenario, phi);
+      EXPECT_NE(psi, nullptr);
+      return std::nullopt;
+    } catch (const FormulaParseError& e) {
+      EXPECT_LE(e.position(), text.size());
+      EXPECT_NE(std::string(e.what()).find("at character"), std::string::npos);
+      return e.position();
+    }
+  }
+};
+
+TEST_F(FormulaRobustnessTest, RejectsTrailingGarbage) {
+  EXPECT_EQ(error_position("true true"), 5u);
+  EXPECT_EQ(error_position("satisfy(job1) x"), 14u);
+  EXPECT_EQ(error_position("(true))"), 6u);
+  EXPECT_EQ(error_position("true)"), 4u);
+  // Trailing whitespace alone is fine.
+  EXPECT_EQ(error_position("satisfy(job1)  "), std::nullopt);
+}
+
+TEST_F(FormulaRobustnessTest, TruncatedSatisfyClausePositions) {
+  // "satisfy(job1 by)": the missing integer is detected at the ')'.
+  EXPECT_EQ(error_position("satisfy(job1 by)"), 15u);
+  EXPECT_EQ(error_position("satisfy(job1 from)"), 17u);
+  EXPECT_EQ(error_position("satisfy(job1"), 12u);
+  EXPECT_EQ(error_position("satisfy("), 8u);
+  EXPECT_EQ(error_position("satisfy"), 7u);
+  // An unknown name is reported at the name itself, even after blanks.
+  EXPECT_EQ(error_position("satisfy(nosuch)"), 8u);
+  EXPECT_EQ(error_position("satisfy(   nosuch)"), 11u);
+  // Empty override window is reported at the name.
+  EXPECT_EQ(error_position("satisfy(job1 from 9 by 3)"), 8u);
+}
+
+TEST_F(FormulaRobustnessTest, DeepNestingErrorsInsteadOfOverflowing) {
+  // Far past any sane nesting the parser must throw, not smash the stack.
+  const std::string bangs(200000, '!');
+  EXPECT_THROW(parse_formula(bangs + "true", scenario, phi), FormulaParseError);
+  std::string parens(100000, '(');
+  EXPECT_THROW(parse_formula(parens + "true", scenario, phi), FormulaParseError);
+  // Deep-but-reasonable nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 400; ++i) ok += "!";
+  EXPECT_NE(parse_formula(ok + "true", scenario, phi), nullptr);
+}
+
+TEST_F(FormulaRobustnessTest, RandomTokenSoup) {
+  static const char* kTokens[] = {"satisfy", "(",    ")",    "!",    "<>",
+                                  "[]",      "true", "false", "job1", "from",
+                                  "by",      "0",    "17",    "-3",   "???",
+                                  "trueX",   ""};
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    util::Rng rng(seed * 131 + 7);
+    std::ostringstream text;
+    const int words = static_cast<int>(rng.uniform(1, 12));
+    for (int w = 0; w < words; ++w) {
+      if (w != 0 && rng.chance(0.7)) text << ' ';
+      text << kTokens[rng.index(std::size(kTokens))];
+    }
+    error_position(text.str());  // contract assertion only
+  }
 }
 
 }  // namespace

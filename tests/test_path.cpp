@@ -123,6 +123,27 @@ TEST_F(PathTest, ExpiringResourcesRespectWindow) {
   EXPECT_EQ(expiring.quantity(cpu1, TimeInterval(0, 100)), 8);
 }
 
+TEST_F(PathTest, ExpiringResourcesNeverGoNegative) {
+  // Θ_expire = supply − consumption is clamped before it is handed to any
+  // planner: this pins the clamped_nonnegative() guard at the one
+  // StepFunction::minus call site in path.cpp (the minus-caller audit;
+  // the other subtraction surfaces go through relative_complement's
+  // definedness check or an explicit min_value() test).
+  ComputationPath path(SystemState(supply(), 0));
+  path.apply(AccommodateStep{requirement()});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, cpu1, 4}}});
+  path.apply(TickStep{{{0, net12, 4}}});
+
+  for (std::size_t pos = 0; pos < path.size(); ++pos) {
+    const ResourceSet expiring = path.expiring_resources(pos, TimeInterval(0, 10));
+    for (const LocatedType& type : expiring.types()) {
+      EXPECT_GE(expiring.availability(type).min_value(), 0)
+          << "position " << pos << ", type " << type.to_string();
+    }
+  }
+}
+
 TEST_F(PathTest, ExpiringResourcesFromLaterPositionDropPast) {
   ComputationPath path(SystemState(supply(), 0));
   path.apply(TickStep{});

@@ -24,6 +24,7 @@
 #include "rota/computation/requirement.hpp"
 #include "rota/logic/planner.hpp"
 #include "rota/runtime/batch_controller.hpp"
+#include "rota/util/rng.hpp"
 #include "rota/workload/generator.hpp"
 
 namespace rota {
@@ -364,6 +365,51 @@ TEST(FeasibilitySnapshotCache, ContainedWindowsShareOneRestriction) {
   EXPECT_NE(&wide, &disjoint);
   // ...and restriction semantics are unchanged by the cache.
   EXPECT_EQ(disjoint, controller.ledger().residual().restricted(TimeInterval(120, 180)));
+}
+
+TEST(SnapshotCache, RandomizedWindowMixMatchesUncachedRestrictions) {
+  // Seeded property test: whatever mix of nested, overlapping, repeated and
+  // disjoint windows the cache is probed with — and in whatever order — the
+  // served view re-restricted to the probe window must equal a fresh
+  // uncached restriction of the residual. Containment-based cache hits may
+  // legitimately hand back a *wider* view, so the probe, not the view, is
+  // the unit of comparison.
+  CostModel phi;
+  WorkloadGenerator gen(parity_config(), phi);
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, kHorizon));
+  RotaAdmissionController controller(phi, supply);
+  for (const BatchRequest& r : parity_requests(gen)) {
+    controller.request(r.rho, r.at);
+  }
+  const ResourceSet& residual = controller.ledger().residual();
+
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FeasibilitySnapshot snapshot =
+        FeasibilitySnapshot::capture(controller.ledger());
+    util::Rng rng(seed * 977 + 11);
+    std::vector<TimeInterval> probes;
+    for (int i = 0; i < 8; ++i) {
+      const Tick start = rng.uniform(0, kHorizon);
+      const Tick len = rng.uniform(1, 80);
+      const TimeInterval base(start, start + len);
+      probes.push_back(base);
+      // A nested subwindow and an overlapping shift of an earlier probe.
+      probes.emplace_back(base.start() + len / 4, base.end() - len / 3);
+      const TimeInterval& prior = probes[rng.index(probes.size())];
+      probes.emplace_back(prior.start() + rng.uniform(0, 10),
+                          prior.end() + rng.uniform(1, 10));
+    }
+    // Repeat a few verbatim so the memoized path is exercised too.
+    probes.push_back(probes[rng.index(probes.size())]);
+    probes.push_back(probes[rng.index(probes.size())]);
+
+    for (const TimeInterval& probe : probes) {
+      if (probe.empty()) continue;
+      const ResourceSet& served = snapshot.restricted(probe);
+      EXPECT_EQ(served.restricted(probe), residual.restricted(probe))
+          << "seed " << seed << ", probe " << probe.to_string();
+    }
+  }
 }
 
 }  // namespace

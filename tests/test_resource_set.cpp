@@ -226,5 +226,114 @@ TEST_F(ResourceSetTest, InitializerListConstruction) {
   EXPECT_EQ(s.availability(cpu1).value_at(1), 10);
 }
 
+// ------------------------------------------------------------------
+// rota_fuzz calculus-oracle regressions: relative_complement must be
+// defined exactly when dominates() holds, including for negative
+// profiles on types only one side mentions (minimized from case seeds
+// 821782182278964366 and 14171202208520579826).
+// ------------------------------------------------------------------
+
+TEST_F(ResourceSetTest, ComplementDefinedOverNegativeProfileOfAbsentType) {
+  // b carries a strictly negative profile for a type a never mentions. a's
+  // implicit zero availability dominates it, so the complement must be
+  // defined and carry the positive difference 0 - b.
+  ResourceSet a;
+  a.add(5, TimeInterval(0, 3), cpu1);
+  StepFunction debt;
+  debt.add(TimeInterval(0, 2), -3);
+  ResourceSet b;
+  b.add(net12, debt);
+
+  EXPECT_TRUE(a.dominates(b));
+  auto diff = a.relative_complement(b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(diff->availability(net12).value_at(1), 3);
+  EXPECT_EQ(diff->availability(cpu1).value_at(1), 5);
+  EXPECT_EQ(diff->unioned(b), a);
+}
+
+TEST_F(ResourceSetTest, NegativeProfileOfOwnOnlyTypeBreaksDominance) {
+  // a holds a negative profile for a type b never mentions. Pointwise that
+  // reads a < 0 = b, so dominance fails and the complement is undefined —
+  // it could only produce a negative "availability".
+  ResourceSet a;
+  a.add(5, TimeInterval(0, 3), cpu1);
+  StepFunction debt;
+  debt.add(TimeInterval(0, 2), -2);
+  a.add(net12, debt);
+  ResourceSet b;
+  b.add(1, TimeInterval(0, 3), cpu1);
+
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(a.relative_complement(b).has_value());
+}
+
+TEST_F(ResourceSetTest, ExactCancellationDropsTheEntry) {
+  // Opposite-sign profiles that cancel exactly must not leave a stored
+  // zero profile behind — stored zeros break operator== against the
+  // canonically built equivalent (rota_fuzz calculus-oracle regression).
+  StepFunction up;
+  up.add(TimeInterval(0, 4), 3);
+  StepFunction down;
+  down.add(TimeInterval(0, 4), -3);
+
+  ResourceSet a;
+  a.add(net12, up);
+  ResourceSet b;
+  b.add(net12, down);
+  b.add(2, TimeInterval(0, 5), cpu1);
+
+  const ResourceSet merged = a.unioned(b);
+  EXPECT_EQ(merged.types().size(), 1u);  // net12 cancelled away
+  ResourceSet expected;
+  expected.add(2, TimeInterval(0, 5), cpu1);
+  EXPECT_EQ(merged, expected);
+
+  ResourceSet in_place = a;
+  in_place.union_with(b);
+  EXPECT_EQ(in_place, expected);
+
+  // add(type, profile) and add(term) cancellation paths.
+  ResourceSet c;
+  c.add(net12, down);
+  c.add(net12, up);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.types().empty());
+  c.add(net12, down);
+  c.add(ResourceTerm(3, TimeInterval(0, 4), net12));
+  EXPECT_TRUE(c.types().empty());
+}
+
+TEST_F(ResourceSetTest, ComplementIffDominatesAtBoundaries) {
+  // The invariant pinned across representative boundary shapes: empties,
+  // self, meets-adjacent segments, touching intervals, partial overlap.
+  ResourceSet empty;
+  ResourceSet meets;  // 5@[0,3) then 5@[3,6) — coalesces to 5@[0,6)
+  meets.add(5, TimeInterval(0, 3), cpu1);
+  meets.add(5, TimeInterval(3, 6), cpu1);
+  ResourceSet flat;
+  flat.add(5, TimeInterval(0, 6), cpu1);
+  ResourceSet touching;  // overlaps [2,4) against flat's [0,3) prefix
+  touching.add(5, TimeInterval(2, 4), cpu1);
+  ResourceSet prefix;
+  prefix.add(5, TimeInterval(0, 3), cpu1);
+
+  const ResourceSet all[] = {empty, meets, flat, touching, prefix};
+  for (const ResourceSet& x : all) {
+    for (const ResourceSet& y : all) {
+      EXPECT_EQ(x.relative_complement(y).has_value(), x.dominates(y))
+          << "x = " << x.to_string() << ", y = " << y.to_string();
+    }
+  }
+
+  // Meets-adjacent segments are the same set as their coalesced form.
+  EXPECT_EQ(meets, flat);
+  auto none = meets.relative_complement(flat);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none->empty());
+  // Touching-but-overhanging windows are not dominated.
+  EXPECT_FALSE(prefix.relative_complement(touching).has_value());
+}
+
 }  // namespace
 }  // namespace rota
