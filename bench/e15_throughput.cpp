@@ -11,6 +11,12 @@
 // chrome://tracing. The timed trials always run untraced so the numbers in
 // the bench JSON are never polluted by the observability layer.
 //
+// --smoke shrinks the workload (horizon 1200, lanes 1/2/4) for CI: the full
+// parity machinery runs in seconds. The JSON artifact is refused when the
+// benched lane count exceeds the host's usable cpus — an oversubscribed
+// scaling curve is noise — unless --force is passed, which stamps the
+// artifact with an explanatory note instead.
+//
 // The workload is an over-subscribed open system: 8 locations (8 cpu types +
 // 56 directed links), constant base supply fragmented by ~2k churned peer
 // terms with bounded lifetimes, and ~5k deadline-constrained computations
@@ -25,6 +31,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "rota/admission/controller.hpp"
 #include "rota/computation/requirement.hpp"
 #include "rota/obs/obs.hpp"
@@ -35,6 +45,25 @@ namespace {
 
 using namespace rota;
 
+/// hardware_concurrency() honors the process's cpu affinity mask, so under a
+/// cgroup-pinned CI container it reports the *usable* lanes (possibly 1).
+std::size_t host_cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// Physical processors online on the host, affinity-mask-independent where
+/// the platform exposes it. Recording both makes a flat scaling curve
+/// readable: host_cpus == 1 with host_cpus_online == 64 says "pinned
+/// container", not "the pipeline stopped scaling".
+std::size_t host_cpus_online() {
+#if defined(_SC_NPROCESSORS_ONLN)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<std::size_t>(n);
+#endif
+  return host_cpus();
+}
+
 struct Measurement {
   std::string controller;
   std::size_t threads = 1;
@@ -42,6 +71,8 @@ struct Measurement {
   std::size_t accepted = 0;
   double seconds = 0.0;
   double requests_per_sec = 0.0;
+  double speedup = 0.0;             // vs the sequential controller
+  double scaling_efficiency = 0.0;  // speedup / threads
 };
 
 struct Workload {
@@ -49,7 +80,7 @@ struct Workload {
   std::vector<BatchRequest> requests;
 };
 
-Workload make_workload() {
+Workload make_workload(bool smoke) {
   WorkloadConfig config;
   config.seed = 2026;
   config.num_locations = 8;
@@ -60,7 +91,9 @@ Workload make_workload() {
   CostModel phi;
   WorkloadGenerator gen(config, phi);
 
-  const Tick horizon = 6000;
+  // Smoke mode (CI): same workload shape at a fraction of the horizon — the
+  // parity machinery is fully exercised, the wall clock stays in seconds.
+  const Tick horizon = smoke ? 1200 : 6000;
   Workload w;
   w.supply = gen.base_supply(TimeInterval(0, horizon));
   // Fragment the availability profiles the way a churny open system does:
@@ -154,22 +187,29 @@ Measurement bench_batch(const Workload& w, std::size_t threads,
   return m;
 }
 
-bool write_json(const std::string& path, const Workload& w,
-                const std::vector<Measurement>& results) {
+bool write_json(const std::string& path, const Workload& w, Tick horizon,
+                const std::vector<Measurement>& results,
+                const std::string& note) {
   double sequential_rps = 0.0;
-  double batch8_rps = 0.0;
+  double batch_max_rps = 0.0;
+  std::size_t max_threads = 0;
   for (const auto& m : results) {
     if (m.controller == "sequential") sequential_rps = m.requests_per_sec;
-    if (m.controller == "batch" && m.threads == 8) batch8_rps = m.requests_per_sec;
+    if (m.controller == "batch" && m.threads >= max_threads) {
+      max_threads = m.threads;
+      batch_max_rps = m.requests_per_sec;
+    }
   }
   std::ofstream out(path);
   out << "{\n"
       << "  \"bench\": \"e15_throughput\",\n"
-      << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
-      << "  \"workload\": {\n"
+      << "  \"host_cpus\": " << host_cpus() << ",\n"
+      << "  \"host_cpus_online\": " << host_cpus_online() << ",\n";
+  if (!note.empty()) out << "  \"note\": \"" << note << "\",\n";
+  out << "  \"workload\": {\n"
       << "    \"seed\": 2026,\n"
       << "    \"locations\": 8,\n"
-      << "    \"horizon_ticks\": 6000,\n"
+      << "    \"horizon_ticks\": " << horizon << ",\n"
       << "    \"requests\": " << w.requests.size() << ",\n"
       << "    \"supply_terms\": " << w.supply.term_count() << "\n"
       << "  },\n"
@@ -181,11 +221,13 @@ bool write_json(const std::string& path, const Workload& w,
         << ", \"requests\": " << m.requests << ", \"accepted\": " << m.accepted
         << ", \"seconds\": " << m.seconds
         << ", \"requests_per_sec\": " << static_cast<long long>(m.requests_per_sec)
+        << ", \"speedup\": " << m.speedup
+        << ", \"scaling_efficiency\": " << m.scaling_efficiency
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
       << "  \"speedup_batch8_vs_sequential\": "
-      << (sequential_rps > 0 ? batch8_rps / sequential_rps : 0.0) << "\n"
+      << (sequential_rps > 0 ? batch_max_rps / sequential_rps : 0.0) << "\n"
       << "}\n";
   return out.good();
 }
@@ -237,32 +279,35 @@ std::optional<double> read_baseline_speedup(const std::string& path) {
   return std::nullopt;
 }
 
-/// The regression gate behind --check-baseline: the stored trajectory says
-/// 8-lane admission clears kMinSpeedup on a wide host, so a run on such a
-/// host that cannot reach it is a pipeline regression, not noise. Hosts with
-/// fewer cores than lanes cannot reproduce the parallelism and are skipped
-/// (the parity checks above still ran).
-int check_baseline(const std::string& baseline_path, double measured_speedup) {
-  constexpr double kMinSpeedup = 2.5;
+/// The regression gate behind --check-baseline. On a host wide enough to run
+/// all `max_lanes` in parallel, max-lane admission must clear the kMinSpeedup
+/// floor — unconditionally, whatever the stored artifact says (an artifact
+/// regenerated on a narrow host must not be able to neuter the gate). The
+/// stored speedup is reported for context only. Hosts with fewer cores than
+/// lanes cannot reproduce the parallelism and are skipped (the parity checks
+/// above still ran — a decision divergence dies long before this gate).
+int check_baseline(const std::string& baseline_path, double measured_speedup,
+                   std::size_t max_lanes) {
+  // Full runs gate 8 lanes at 2.5x; smoke runs gate 4 lanes at a laxer 1.5x
+  // (small workloads amortize the round machinery less).
+  const double kMinSpeedup = max_lanes >= 8 ? 2.5 : 1.5;
   const std::optional<double> baseline = read_baseline_speedup(baseline_path);
-  if (!baseline) {
-    std::cerr << "baseline gate: no stored speedup in " << baseline_path
-              << " — skipping\n";
+  if (baseline) {
+    std::cout << "baseline gate: stored speedup " << *baseline << ", measured "
+              << measured_speedup << ", floor " << kMinSpeedup << "\n";
+  } else {
+    std::cout << "baseline gate: no stored speedup in " << baseline_path
+              << "; measured " << measured_speedup << ", floor " << kMinSpeedup
+              << "\n";
+  }
+  if (host_cpus() < max_lanes) {
+    std::cout << "baseline gate: host has " << host_cpus() << " usable cpus (< "
+              << max_lanes << " lanes) — gate skipped\n";
     return 0;
   }
-  std::cout << "baseline gate: stored speedup " << *baseline << ", measured "
-            << measured_speedup << ", floor " << kMinSpeedup << "\n";
-  if (std::thread::hardware_concurrency() < 8) {
-    std::cout << "baseline gate: host has "
-              << std::thread::hardware_concurrency()
-              << " cpus (< 8 lanes) — gate skipped\n";
-    return 0;
-  }
-  if (*baseline >= kMinSpeedup && measured_speedup < kMinSpeedup) {
-    std::cerr << "FATAL: 8-lane speedup " << measured_speedup
-              << " fell below the " << kMinSpeedup
-              << "x floor recorded by the stored baseline (" << *baseline
-              << ")\n";
+  if (measured_speedup < kMinSpeedup) {
+    std::cerr << "FATAL: " << max_lanes << "-lane speedup " << measured_speedup
+              << " fell below the " << kMinSpeedup << "x floor\n";
     return 1;
   }
   return 0;
@@ -275,6 +320,8 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_admission_throughput.json";
   std::optional<std::string> baseline_path;
   std::optional<std::string> trace_path = obs::trace_path_from_env();
+  bool smoke = false;
+  bool force = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -283,38 +330,75 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(std::string("--check-baseline=").size());
     } else if (arg == "--check-baseline") {
       baseline_path = json_path;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--force") {
+      force = true;
     } else {
       json_path = arg;
     }
   }
 
-  const Workload w = make_workload();
+  const std::vector<std::size_t> lane_counts =
+      smoke ? std::vector<std::size_t>{1, 2, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  const Tick horizon = smoke ? 1200 : 6000;
+  const Workload w = make_workload(smoke);
   std::cout << "workload: " << w.requests.size() << " requests, "
-            << w.supply.term_count() << " supply terms\n\n";
+            << w.supply.term_count() << " supply terms"
+            << (smoke ? " (smoke mode)" : "") << "\n"
+            << "host: " << host_cpus() << " usable cpus ("
+            << host_cpus_online() << " online)\n\n";
 
   std::vector<Measurement> results;
   std::vector<AdmissionDecision> expected;
   results.push_back(bench_sequential(w, expected));
-  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+  for (std::size_t threads : lane_counts) {
     results.push_back(bench_batch(w, threads, expected));
   }
 
   const double base = results.front().requests_per_sec;
-  std::cout << "controller   threads   accepted   seconds   req/sec   speedup\n";
+  for (auto& m : results) {
+    m.speedup = base > 0 ? m.requests_per_sec / base : 0.0;
+    m.scaling_efficiency = m.threads > 0
+                               ? m.speedup / static_cast<double>(m.threads)
+                               : 0.0;
+  }
+  std::cout << "controller   threads   accepted   seconds   req/sec   speedup"
+               "   efficiency\n";
   for (const auto& m : results) {
-    std::printf("%-12s %7zu %10zu %9.3f %9.0f %8.2fx\n", m.controller.c_str(),
-                m.threads, m.accepted, m.seconds, m.requests_per_sec,
-                m.requests_per_sec / base);
+    std::printf("%-12s %7zu %10zu %9.3f %9.0f %8.2fx %10.2f\n",
+                m.controller.c_str(), m.threads, m.accepted, m.seconds,
+                m.requests_per_sec, m.speedup, m.scaling_efficiency);
   }
 
   // The gate reads the *stored* baseline before write_json refreshes it.
   int gate_status = 0;
   if (baseline_path) {
-    const double measured = results.back().requests_per_sec / base;
-    gate_status = check_baseline(*baseline_path, measured);
+    gate_status =
+        check_baseline(*baseline_path, results.back().speedup, lane_counts.back());
   }
 
-  if (!write_json(json_path, w, results)) {
+  // An artifact measured with more lanes than the host can actually run in
+  // parallel records an oversubscription plateau, not a scaling curve —
+  // refuse to emit it unless the caller insists (--force stamps the artifact
+  // with a note so a reader is never misled).
+  const std::size_t max_lanes = lane_counts.back();
+  if (max_lanes > host_cpus() && !force) {
+    std::cout << "\nNOT writing " << json_path << ": benched " << max_lanes
+              << " lanes on " << host_cpus()
+              << " usable cpus — scaling numbers would be meaningless."
+              << " Pass --force to write anyway.\n";
+    return gate_status;
+  }
+  std::string note;
+  if (max_lanes > host_cpus()) {
+    note = "forced: benched " + std::to_string(max_lanes) + " lanes on " +
+           std::to_string(host_cpus()) +
+           " usable cpus; scaling numbers reflect oversubscription";
+  }
+
+  if (!write_json(json_path, w, horizon, results, note)) {
     std::cerr << "\nERROR: could not write " << json_path << "\n";
     return 1;
   }

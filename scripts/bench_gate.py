@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_admission_throughput.json artifacts and gate regressions.
+
+Usage:
+    scripts/bench_gate.py BASELINE.json CANDIDATE.json [--max-regression 0.10]
+
+Fails (exit 1) when:
+  * the candidate lost decision parity (the artifact's parity attestation is
+    missing — e15 refuses to write one when batch decisions diverge from
+    sequential FCFS, so its absence means the bench died or was tampered with);
+  * the candidate's max-lane batch throughput regressed more than
+    --max-regression (default 10%) against the baseline's *on a comparable
+    host* — a narrow host cannot reproduce a wide host's scaling curve, so
+    throughput is only compared when the candidate ran with at least as many
+    usable cpus as benched lanes, or both artifacts ran equally
+    oversubscribed.
+
+When both artifacts carry a same-run sequential result, the gate compares
+speedups (batch@max divided by that run's own sequential throughput) instead
+of raw req/s: each run's sequential lane is measured under the same host
+load as its batch lanes, so the ratio cancels host-speed drift between
+recording days while still catching regressions in the batch pipeline
+itself. Raw throughput is gated only when a sequential result is missing.
+
+Prints a per-lane comparison table either way.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+
+
+def batch_results(doc):
+    return {r["threads"]: r for r in doc.get("results", [])
+            if r.get("controller") == "batch"}
+
+
+def sequential_rps(doc):
+    for r in doc.get("results", []):
+        if r.get("controller") == "sequential":
+            return float(r["requests_per_sec"])
+    return None
+
+
+def max_lane_rps(doc):
+    batches = batch_results(doc)
+    if not batches:
+        sys.exit("bench_gate: artifact has no batch results")
+    lanes = max(batches)
+    return lanes, float(batches[lanes]["requests_per_sec"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="allowed fractional throughput drop (default 0.10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    failures = []
+
+    # Parity: e15 only writes the attestation after every lane count produced
+    # decisions identical to the sequential controller.
+    if "parity" not in cand or "identical" not in str(cand["parity"]):
+        failures.append("candidate artifact carries no parity attestation")
+
+    base_lanes, base_rps = max_lane_rps(base)
+    cand_lanes, cand_rps = max_lane_rps(cand)
+
+    print(f"baseline : {args.baseline} "
+          f"(host_cpus={base.get('host_cpus', '?')}, "
+          f"batch@{base_lanes} = {base_rps:.0f} req/s)")
+    print(f"candidate: {args.candidate} "
+          f"(host_cpus={cand.get('host_cpus', '?')}, "
+          f"batch@{cand_lanes} = {cand_rps:.0f} req/s)")
+
+    print(f"\n{'threads':>8} {'baseline':>12} {'candidate':>12} {'delta':>8}")
+    cand_batches = batch_results(cand)
+    for lanes, r in sorted(batch_results(base).items()):
+        c = cand_batches.get(lanes)
+        if c is None:
+            print(f"{lanes:>8} {r['requests_per_sec']:>12.0f} {'—':>12} {'—':>8}")
+            continue
+        b_rps = float(r["requests_per_sec"])
+        c_rps = float(c["requests_per_sec"])
+        delta = (c_rps - b_rps) / b_rps if b_rps > 0 else 0.0
+        print(f"{lanes:>8} {b_rps:>12.0f} {c_rps:>12.0f} {delta:>+7.1%}")
+
+    # Throughput comparison only when the hosts are comparable: candidate ran
+    # unoversubscribed, or both artifacts were equally oversubscribed.
+    cand_cpus = int(cand.get("host_cpus", 0) or 0)
+    base_cpus = int(base.get("host_cpus", 0) or 0)
+    comparable = (cand_cpus >= cand_lanes and base_cpus >= base_lanes) or \
+                 (cand_cpus == base_cpus and cand_lanes == base_lanes)
+    if not comparable:
+        print(f"\nthroughput gate skipped: hosts not comparable "
+              f"(baseline {base_cpus} cpus / {base_lanes} lanes, "
+              f"candidate {cand_cpus} cpus / {cand_lanes} lanes)")
+    elif cand_lanes != base_lanes:
+        print(f"\nthroughput gate skipped: lane counts differ "
+              f"({base_lanes} vs {cand_lanes})")
+    else:
+        base_seq = sequential_rps(base)
+        cand_seq = sequential_rps(cand)
+        if base_seq and cand_seq:
+            # Speedup vs the same run's sequential lane: immune to the host
+            # being faster or slower than it was on the baseline's day.
+            base_val = base_rps / base_seq
+            cand_val = cand_rps / cand_seq
+            metric = (f"batch@{cand_lanes} speedup over sequential "
+                      f"({base_val:.2f}x -> {cand_val:.2f}x)")
+        else:
+            base_val, cand_val = base_rps, cand_rps
+            metric = (f"batch@{cand_lanes} throughput "
+                      f"({base_val:.0f} -> {cand_val:.0f} req/s)")
+        drop = (base_val - cand_val) / base_val if base_val > 0 else 0.0
+        if drop > args.max_regression:
+            failures.append(
+                f"{metric} regressed {drop:.1%} "
+                f"(> {args.max_regression:.0%} allowed)")
+        else:
+            print(f"\nthroughput gate: {metric} within "
+                  f"{args.max_regression:.0%} ({-drop:+.1%})")
+
+    if failures:
+        for f in failures:
+            print(f"\nFAIL: {f}", file=sys.stderr)
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

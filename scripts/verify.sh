@@ -32,8 +32,10 @@ tsan() {
 
 bench_gate() {
   echo "== perf gate: e15 8-lane speedup vs stored baseline =="
-  ./build/bench/e15_throughput /tmp/e15_latest.json \
+  ./build/bench/e15_throughput /tmp/e15_latest.json --force \
       --check-baseline=BENCH_admission_throughput.json
+  echo "== perf gate: artifact diff (parity + <=10% throughput drop) =="
+  scripts/bench_gate.py BENCH_admission_throughput.json /tmp/e15_latest.json
 }
 
 case "${mode}" in

@@ -20,11 +20,22 @@ void note_revision(obs::Counter& (*counter)(obs::CoreMetrics&), std::uint64_t re
 
 }  // namespace
 
+void CommitmentLedger::bump_revision(const ResourceSet& touched) {
+  ++revision_;
+  touched.for_each_type(
+      [this](const LocatedType& type) { ++shard_revisions_[shard_of(type)]; });
+}
+
+void CommitmentLedger::bump_revision_all() {
+  ++revision_;
+  for (auto& r : shard_revisions_) ++r;
+}
+
 void CommitmentLedger::join(const ResourceSet& joined) {
   ROTA_OBS_SPAN("ledger.join");
   supply_.union_with(joined);
   residual_.union_with(joined);
-  ++revision_;
+  bump_revision(joined);
   note_revision([](obs::CoreMetrics& m) -> obs::Counter& { return m.ledger_joins; },
                 revision_);
 }
@@ -37,11 +48,12 @@ void CommitmentLedger::advance_to(Tick t) {
 bool CommitmentLedger::admit(const std::string& name, const TimeInterval& window,
                              const ConcurrentPlan& plan) {
   ROTA_OBS_SPAN("ledger.admit");
-  auto next_residual = residual_.relative_complement(plan.usage_as_resources());
+  const ResourceSet usage = plan.usage_as_resources();
+  auto next_residual = residual_.relative_complement(usage);
   if (!next_residual) return false;
   residual_ = std::move(*next_residual);
   admitted_.push_back(AdmittedRecord{name, window, plan, now_});
-  ++revision_;
+  bump_revision(usage);
   note_revision([](obs::CoreMetrics& m) -> obs::Counter& { return m.ledger_admits; },
                 revision_);
   return true;
@@ -56,9 +68,10 @@ bool CommitmentLedger::release(const std::string& name) {
     throw std::logic_error("computation " + name +
                            " has already started and may not leave");
   }
-  residual_.union_with(it->plan.usage_as_resources());
+  const ResourceSet usage = it->plan.usage_as_resources();
+  residual_.union_with(usage);
   admitted_.erase(it);
-  ++revision_;
+  bump_revision(usage);
   note_revision([](obs::CoreMetrics& m) -> obs::Counter& { return m.ledger_releases; },
                 revision_);
   return true;
@@ -71,7 +84,7 @@ bool CommitmentLedger::carve(const ResourceSet& slice) {
   if (!next_supply) return false;  // residual ⊆ supply, so this cannot fail
   residual_ = std::move(*next_residual);
   supply_ = std::move(*next_supply);
-  ++revision_;
+  bump_revision(slice);
   return true;
 }
 
@@ -85,7 +98,7 @@ void CommitmentLedger::merge(CommitmentLedger&& other) {
   other.supply_ = ResourceSet{};
   other.residual_ = ResourceSet{};
   other.admitted_.clear();
-  ++revision_;
+  bump_revision_all();
 }
 
 double CommitmentLedger::utilization(const LocatedType& type,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "rota/admission/shard.hpp"
 #include "rota/logic/planner.hpp"
 #include "rota/resource/resource_set.hpp"
 
@@ -42,6 +43,17 @@ class CommitmentLedger {
   /// Optimistic readers — the batched admission pipeline — snapshot the
   /// revision together with residual() and revalidate against it at commit.
   std::uint64_t revision() const { return revision_; }
+
+  /// Per-location-shard revision counters (see shard.hpp). A mutation bumps
+  /// exactly the shards of the types it changed, so an optimistic reader that
+  /// recorded the stamp of its demand's shards can revalidate against those
+  /// alone: commits on other locations do not invalidate it.
+  const ShardRevisions& shard_revisions() const { return shard_revisions_; }
+  std::uint64_t shard_revision(std::size_t s) const { return shard_revisions_[s]; }
+  /// Compressed stamp of the masked shards (see shard_stamp in shard.hpp).
+  std::uint64_t shard_stamp(ShardMask mask) const {
+    return rota::shard_stamp(shard_revisions_, mask);
+  }
 
   Tick now() const { return now_; }
   const std::vector<AdmittedRecord>& admitted() const { return admitted_; }
@@ -80,11 +92,18 @@ class CommitmentLedger {
   std::size_t admitted_count() const { return admitted_.size(); }
 
  private:
+  /// Bumps the global revision plus the shards of every type in `touched`.
+  void bump_revision(const ResourceSet& touched);
+  /// Bumps the global revision plus every shard (structural operations whose
+  /// footprint is not worth computing: merge).
+  void bump_revision_all();
+
   ResourceSet supply_;
   ResourceSet residual_;
   std::vector<AdmittedRecord> admitted_;
   Tick now_ = 0;
   std::uint64_t revision_ = 0;
+  ShardRevisions shard_revisions_{};
 };
 
 }  // namespace rota

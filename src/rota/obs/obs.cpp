@@ -29,6 +29,7 @@ CoreMetrics& CoreMetrics::get() {
         r.counter("plan.commit.rejected.no_plan"),
         r.counter("plan.commit.rejected.conflict"),
         r.counter("plan.commit.stale"),
+        r.counter("plan.commit.shard_salvaged"),
         r.counter("batch.rounds"),
         r.counter("batch.speculations_wasted"),
         r.gauge("batch.lanes"),

@@ -104,6 +104,9 @@ struct CoreMetrics {
   Counter& plan_commit_rejected_no_plan;   // planner found no feasible plan
   Counter& plan_commit_rejected_conflict;  // ledger refused at commit (defensive)
   Counter& plan_commit_stale;  // revision moved since speculation; redone
+  Counter& plan_commit_shard_salvaged;  // global revision moved, but the
+                                        // speculation's shard footprint did
+                                        // not — committed without a redo
 
   // Batched pipeline, per round (speculation counts live in plan.*).
   Counter& batch_rounds;

@@ -20,6 +20,18 @@ ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
   return ConcurrentRequirement(rho.name(), std::move(clipped), window);
 }
 
+ShardMask touched_shard_mask(const ConcurrentRequirement& rho) {
+  ShardMask mask = 0;
+  for (const auto& actor : rho.actors()) {
+    for (const auto& phase : actor.phases()) {
+      for (const auto& [type, quantity] : phase.demand.amounts()) {
+        mask |= static_cast<ShardMask>(1) << shard_of(type);
+      }
+    }
+  }
+  return mask;
+}
+
 const char* PlanResult::reject_reason() const {
   switch (status) {
     case PlanStatus::kFeasible: return "";
@@ -40,10 +52,17 @@ PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
   result.computation = rho.name();
   result.at = at;
   result.revision = snapshot.revision();
+  result.sharded = snapshot.has_shard_stamps();
   result.window = effective_window(rho, at);
   if (result.window.empty()) {
+    // Reads nothing: the empty footprint (mask 0, stamp 0) stays valid under
+    // any ledger motion.
     result.status = PlanStatus::kDeadlinePassed;
     return result;
+  }
+  if (result.sharded) {
+    result.touched_mask = touched_shard_mask(rho);
+    result.shard_stamp = snapshot.shard_stamp(result.touched_mask);
   }
   ROTA_OBS_SPAN("plan.speculate");
   const bool metered = obs::metrics_enabled();
@@ -53,7 +72,17 @@ PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
           ? *focused_view
           : (snapshot.pre_restricted() ? snapshot.view()
                                        : snapshot.restricted(result.window));
-  auto plan = plan_concurrent(view, clip_requirement(rho, result.window), policy);
+  // Most requests arrive before their window opens, so the clip is a no-op;
+  // skip the requirement deep-copy when every actor window already matches.
+  const bool clip_needed =
+      result.window != rho.window() ||
+      std::any_of(rho.actors().begin(), rho.actors().end(),
+                  [&](const ComplexRequirement& a) {
+                    return a.window() != result.window;
+                  });
+  auto plan = clip_needed
+                  ? plan_concurrent(view, clip_requirement(rho, result.window), policy)
+                  : plan_concurrent(view, rho, policy);
   if (!plan) {
     result.status = PlanStatus::kInfeasible;
     return result;
@@ -100,8 +129,17 @@ CommitStatus PlanningKernel::commit(const PlanResult& result,
   ROTA_OBS_SPAN("plan.commit");
   const bool metered = obs::metrics_enabled();
   if (result.revision != ledger.revision()) {
-    if (metered) obs::CoreMetrics::get().plan_commit_stale.add();
-    return CommitStatus::kStale;
+    // The global revision moved, but if every shard the speculation read is
+    // untouched, replaying it against the live ledger would read the same
+    // availability and produce the identical result — commit it directly.
+    // (Shard counters are monotone, so the compressed-sum comparison is
+    // exact; see shard.hpp.)
+    if (!result.sharded ||
+        result.shard_stamp != ledger.shard_stamp(result.touched_mask)) {
+      if (metered) obs::CoreMetrics::get().plan_commit_stale.add();
+      return CommitStatus::kStale;
+    }
+    if (metered) obs::CoreMetrics::get().plan_commit_shard_salvaged.add();
   }
   ledger.advance_to(std::max(result.at, ledger.now()));
   out = AdmissionDecision{};

@@ -54,6 +54,12 @@ TimeInterval effective_window(const ConcurrentRequirement& rho, Tick now);
 ConcurrentRequirement clip_requirement(const ConcurrentRequirement& rho,
                                        const TimeInterval& window);
 
+/// The shard footprint of a requirement: the shards of every located type
+/// its demand names. Planning reads availability only for demanded types, and
+/// a plan's usage is confined to them, so this mask bounds everything a
+/// speculation reads *and* everything its commit writes.
+ShardMask touched_shard_mask(const ConcurrentRequirement& rho);
+
 /// What one admission decides: accepted with a plan, or why not.
 struct AdmissionDecision {
   bool accepted = false;
@@ -77,6 +83,18 @@ struct PlanResult {
   Tick at = 0;                         // arrival tick used for clipping
   std::uint64_t revision = FeasibilitySnapshot::kDetachedRevision;
   std::optional<ConcurrentPlan> plan;  // present iff kFeasible
+
+  // Shard-level staleness witness, populated when the snapshot carried shard
+  // stamps (captures of a live ledger). `touched_mask` is the requirement's
+  // shard footprint; `shard_stamp` is the snapshot's compressed stamp of
+  // those shards. commit() salvages a result whose global revision moved as
+  // long as the footprint's stamp still matches: every type the speculation
+  // read (and the plan writes) is untouched, so replaying it would produce
+  // the identical decision. Deadline-passed results read nothing — their
+  // empty footprint (mask 0, stamp 0) is always salvageable.
+  ShardMask touched_mask = 0;
+  std::uint64_t shard_stamp = 0;
+  bool sharded = false;  // stamps valid (false for over()/minus() snapshots)
 
   bool feasible() const { return status == PlanStatus::kFeasible; }
 

@@ -27,6 +27,8 @@ FeasibilitySnapshot FeasibilitySnapshot::capture(const CommitmentLedger& ledger)
   FeasibilitySnapshot snap;
   snap.borrowed_ = &ledger.residual();
   snap.revision_ = ledger.revision();
+  snap.shard_revisions_ = ledger.shard_revisions();
+  snap.has_shard_stamps_ = true;
   snap.now_ = ledger.now();
   snap.pre_restricted_ = false;
   return snap;
@@ -38,6 +40,26 @@ FeasibilitySnapshot FeasibilitySnapshot::capture(const CommitmentLedger& ledger,
   FeasibilitySnapshot snap;
   if (!hull.empty()) snap.owned_ = ledger.residual().restricted(hull);
   snap.revision_ = ledger.revision();
+  snap.shard_revisions_ = ledger.shard_revisions();
+  snap.has_shard_stamps_ = true;
+  snap.now_ = ledger.now();
+  snap.pre_restricted_ = true;
+  return snap;
+}
+
+FeasibilitySnapshot FeasibilitySnapshot::capture(const CommitmentLedger& ledger,
+                                                 const TimeInterval& hull,
+                                                 ShardMask mask) {
+  ROTA_OBS_SPAN("plan.snapshot");
+  FeasibilitySnapshot snap;
+  if (!hull.empty()) {
+    snap.owned_ = ledger.residual().restricted_if(hull, [mask](const LocatedType& t) {
+      return (mask & (static_cast<ShardMask>(1) << shard_of(t))) != 0;
+    });
+  }
+  snap.revision_ = ledger.revision();
+  snap.shard_revisions_ = ledger.shard_revisions();
+  snap.has_shard_stamps_ = true;
   snap.now_ = ledger.now();
   snap.pre_restricted_ = true;
   return snap;

@@ -39,6 +39,7 @@
 #include <memory>
 #include <optional>
 
+#include "rota/admission/shard.hpp"
 #include "rota/resource/resource_set.hpp"
 
 namespace rota {
@@ -66,6 +67,14 @@ class FeasibilitySnapshot {
   static FeasibilitySnapshot capture(const CommitmentLedger& ledger,
                                      const TimeInterval& hull);
 
+  /// Hull- and shard-restricted snapshot: the owned view keeps only types
+  /// whose shard is in `mask`. `mask` must cover the shard footprint of every
+  /// requirement later speculated against this snapshot — planning reads
+  /// only demanded types, so dropping foreign shards changes nothing while
+  /// shrinking the copy a lane pays per round.
+  static FeasibilitySnapshot capture(const CommitmentLedger& ledger,
+                                     const TimeInterval& hull, ShardMask mask);
+
   /// Snapshot over a bare availability (digest, baseline supply, what-if).
   /// Borrows `supply`; speculation-only (kDetachedRevision).
   static FeasibilitySnapshot over(const ResourceSet& supply, Tick now = 0);
@@ -76,6 +85,18 @@ class FeasibilitySnapshot {
 
   /// Ledger revision this snapshot froze (kDetachedRevision when detached).
   std::uint64_t revision() const { return revision_; }
+
+  /// True when this snapshot carries per-shard revision stamps (captures of
+  /// a live ledger do; over()/minus() views do not).
+  bool has_shard_stamps() const { return has_shard_stamps_; }
+
+  /// Frozen per-shard revisions (valid only when has_shard_stamps()).
+  std::uint64_t shard_revision(std::size_t s) const { return shard_revisions_[s]; }
+
+  /// Compressed stamp of the masked shards at capture time (shard.hpp).
+  std::uint64_t shard_stamp(ShardMask mask) const {
+    return rota::shard_stamp(shard_revisions_, mask);
+  }
 
   /// Ledger clock (or caller-supplied `now`) at capture time.
   Tick now() const { return now_; }
@@ -99,8 +120,10 @@ class FeasibilitySnapshot {
   const ResourceSet* borrowed_ = nullptr;  // aliases the source when borrowing
   ResourceSet owned_;                      // storage when not borrowing
   std::uint64_t revision_ = kDetachedRevision;
+  ShardRevisions shard_revisions_{};       // frozen when has_shard_stamps_
   Tick now_ = 0;
   bool pre_restricted_ = false;
+  bool has_shard_stamps_ = false;
   std::shared_ptr<Cache> cache_;  // lazily grown, internally locked
 };
 

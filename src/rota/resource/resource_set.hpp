@@ -74,8 +74,29 @@ class ResourceSet {
 
   std::vector<LocatedType> types() const;
 
+  /// Allocation-free type iteration (`fn(const LocatedType&)`), in sorted
+  /// order — the ledger's shard-footprint walk.
+  template <typename Fn>
+  void for_each_type(Fn&& fn) const {
+    for (const auto& [type, profile] : by_type_) fn(type);
+  }
+
   /// ⋃_s^d Θ restricted to a window (the f-function's left-hand side).
   ResourceSet restricted(const TimeInterval& window) const;
+
+  /// restricted(window) keeping only types where `keep(type)` holds — the
+  /// shard-filtered snapshot view: one pass, no intermediate full copy.
+  template <typename Pred>
+  ResourceSet restricted_if(const TimeInterval& window, Pred&& keep) const {
+    ResourceSet out;
+    out.by_type_.reserve(by_type_.size());
+    for (const auto& [type, profile] : by_type_) {
+      if (!keep(type)) continue;
+      StepFunction r = profile.restricted(window);
+      if (!r.is_zero()) out.by_type_.emplace_back(type, std::move(r));
+    }
+    return out;
+  }
 
   /// Total quantity of `type` deliverable within `window`.
   Quantity quantity(const LocatedType& type, const TimeInterval& window) const;

@@ -1,0 +1,220 @@
+#include "rota/resource/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(ROTA_SIMD_AVX2) && defined(__x86_64__)
+#include <immintrin.h>
+#define ROTA_SIMD_HAVE_AVX2 1
+#else
+#define ROTA_SIMD_HAVE_AVX2 0
+#endif
+
+namespace rota::simd {
+namespace {
+
+// ROTA_SIMD in the environment is the no-rebuild A/B knob: "off" (or "0")
+// forces the scalar path for the whole process; "all" additionally enables
+// the combine vectorization (see combine_enabled() in the header).
+// set_enabled()/set_combine_enabled() can still override at runtime.
+bool env_is(const char* value) {
+  const char* v = std::getenv("ROTA_SIMD");
+  return v != nullptr && std::strcmp(v, value) == 0;
+}
+
+std::atomic<bool> g_disabled{env_is("off") || env_is("0")};
+std::atomic<bool> g_combine_on{env_is("all")};
+
+#if ROTA_SIMD_HAVE_AVX2
+
+bool detect_avx2() { return __builtin_cpu_supports("avx2"); }
+
+// Each kernel body is compiled for AVX2 via a function-level target attribute
+// so the translation unit (and the rest of the library) keeps baseline
+// codegen; callers reach these only after the runtime cpu check.
+
+__attribute__((target("avx2"))) void add_i64_avx2(const std::int64_t* a,
+                                                  const std::int64_t* b,
+                                                  std::int64_t* out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2"))) void sub_i64_avx2(const std::int64_t* a,
+                                                  const std::int64_t* b,
+                                                  std::int64_t* out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+// AVX2 has no epi64 min/max; build them from the signed compare + blend.
+__attribute__((target("avx2"))) inline __m256i min_epi64(__m256i a, __m256i b) {
+  const __m256i a_gt_b = _mm256_cmpgt_epi64(a, b);
+  return _mm256_blendv_epi8(a, b, a_gt_b);
+}
+
+__attribute__((target("avx2"))) inline __m256i max_epi64(__m256i a, __m256i b) {
+  const __m256i a_gt_b = _mm256_cmpgt_epi64(a, b);
+  return _mm256_blendv_epi8(b, a, a_gt_b);
+}
+
+__attribute__((target("avx2"))) void min_i64_avx2(const std::int64_t* a,
+                                                  const std::int64_t* b,
+                                                  std::int64_t* out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), min_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+
+__attribute__((target("avx2"))) void max_i64_avx2(const std::int64_t* a,
+                                                  const std::int64_t* b,
+                                                  std::int64_t* out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), max_epi64(va, vb));
+  }
+  for (; i < n; ++i) out[i] = std::max(a[i], b[i]);
+}
+
+__attribute__((target("avx2"))) std::int64_t strided_min_i64_avx2(
+    const std::int64_t* base, std::size_t n, std::size_t stride,
+    std::size_t offset, std::int64_t floor) {
+  // Gather 4 strided values per iteration. vpgatherqq takes byte offsets.
+  const std::int64_t sb = static_cast<std::int64_t>(stride) * 8;
+  const __m256i idx = _mm256_set_epi64x(3 * sb, 2 * sb, sb, 0);
+  __m256i acc = _mm256_set1_epi64x(floor);
+  const std::int64_t* p = base + offset;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(p + i * stride), idx, 1);
+    acc = min_epi64(acc, v);
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t m = std::min(std::min(lanes[0], lanes[1]),
+                            std::min(lanes[2], lanes[3]));
+  for (; i < n; ++i) m = std::min(m, p[i * stride]);
+  return m;
+}
+
+#endif  // ROTA_SIMD_HAVE_AVX2
+
+void add_i64_scalar(const std::int64_t* a, const std::int64_t* b,
+                    std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+void sub_i64_scalar(const std::int64_t* a, const std::int64_t* b,
+                    std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+void min_i64_scalar(const std::int64_t* a, const std::int64_t* b,
+                    std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+void max_i64_scalar(const std::int64_t* a, const std::int64_t* b,
+                    std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::max(a[i], b[i]);
+}
+std::int64_t strided_min_i64_scalar(const std::int64_t* base, std::size_t n,
+                                    std::size_t stride, std::size_t offset,
+                                    std::int64_t floor) {
+  std::int64_t m = floor;
+  const std::int64_t* p = base + offset;
+  for (std::size_t i = 0; i < n; ++i) m = std::min(m, p[i * stride]);
+  return m;
+}
+
+}  // namespace
+
+bool available() {
+#if ROTA_SIMD_HAVE_AVX2
+  static const bool ok = detect_avx2();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool enabled() {
+  return available() && !g_disabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  g_disabled.store(!on, std::memory_order_relaxed);
+}
+
+bool combine_enabled() {
+  return enabled() && g_combine_on.load(std::memory_order_relaxed);
+}
+
+void set_combine_enabled(bool on) {
+  g_combine_on.store(on, std::memory_order_relaxed);
+}
+
+void add_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n) {
+#if ROTA_SIMD_HAVE_AVX2
+  if (enabled()) return add_i64_avx2(a, b, out, n);
+#endif
+  add_i64_scalar(a, b, out, n);
+}
+
+void sub_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n) {
+#if ROTA_SIMD_HAVE_AVX2
+  if (enabled()) return sub_i64_avx2(a, b, out, n);
+#endif
+  sub_i64_scalar(a, b, out, n);
+}
+
+void min_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n) {
+#if ROTA_SIMD_HAVE_AVX2
+  if (enabled()) return min_i64_avx2(a, b, out, n);
+#endif
+  min_i64_scalar(a, b, out, n);
+}
+
+void max_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n) {
+#if ROTA_SIMD_HAVE_AVX2
+  if (enabled()) return max_i64_avx2(a, b, out, n);
+#endif
+  max_i64_scalar(a, b, out, n);
+}
+
+std::int64_t strided_min_i64(const std::int64_t* base, std::size_t n,
+                             std::size_t stride, std::size_t offset,
+                             std::int64_t floor) {
+#if ROTA_SIMD_HAVE_AVX2
+  if (enabled()) return strided_min_i64_avx2(base, n, stride, offset, floor);
+#endif
+  return strided_min_i64_scalar(base, n, stride, offset, floor);
+}
+
+}  // namespace rota::simd

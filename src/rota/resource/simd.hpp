@@ -1,0 +1,73 @@
+// Vector kernels for the resource-calculus merge walks.
+//
+// The calculus hot path is dominated by pointwise combines of canonical
+// step-function segment lists (plus/minus/min/max under union, relative
+// complement, and domination checks). The merge walk that aligns segment
+// boundaries is inherently sequential, but once the boundaries are aligned
+// the value arithmetic is embarrassingly data-parallel — that split is
+// exactly what StepFunction::combine exploits: a scalar boundary walk fills
+// arena-backed SoA arrays, the kernels below do the value pass 4 lanes at a
+// time, and a scalar coalesce emits canonical segments. Results are
+// bit-identical to the scalar path (integer ops only, no reassociation of
+// anything order-sensitive), which the fuzz parity suite pins.
+//
+// Dispatch is two-layered:
+//   * build time — the ROTA_SIMD CMake option (default ON) compiles the AVX2
+//     bodies with a function-level target attribute, so the rest of the
+//     library keeps its portable codegen; OFF builds scalar-only.
+//   * run time — kernels check cpu support once (cached) and fall back to
+//     scalar loops on machines without AVX2. set_enabled(false) forces the
+//     scalar path globally; tests and micro-benches use it for A/B parity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rota::simd {
+
+/// True when AVX2 kernels are compiled in AND the cpu supports them.
+bool available();
+
+/// True when vector kernels will actually run (available() && not disabled).
+bool enabled();
+
+/// Gate for the three-pass vectorized combine in StepFunction (plus/minus/
+/// min/max). Off by default: measured end-to-end, the scalar fused merge
+/// walk beats the SoA split for these one-instruction value ops (the walk
+/// dominates; the split only adds memory traffic). The path stays available
+/// — and bit-exact, pinned by the parity suite — for A/B measurement and
+/// for hosts/ISAs where wider vectors change the balance. Enable with
+/// set_combine_enabled(true) or ROTA_SIMD=all in the environment.
+/// Reduction-style scans (min_value) are not affected by this gate; they
+/// win outright and follow enabled() alone.
+bool combine_enabled();
+void set_combine_enabled(bool on);
+
+/// Force-disable (or re-enable) the vector path at runtime. Not thread-safe
+/// against concurrent kernel calls; intended for test/bench setup. The
+/// environment variable ROTA_SIMD=off (or 0) sets the initial state to
+/// disabled — the no-rebuild A/B knob for production workloads.
+void set_enabled(bool on);
+
+/// out[i] = a[i] + b[i]. Arrays may not overlap except out == a or out == b.
+void add_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n);
+/// out[i] = a[i] - b[i].
+void sub_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n);
+/// out[i] = min(a[i], b[i]).
+void min_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n);
+/// out[i] = max(a[i], b[i]).
+void max_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+             std::size_t n);
+
+/// min over { base[i*stride + offset] : i in [0, n) }, at least `floor`.
+/// Strided so it can scan Segment::value fields in place (stride 3 over the
+/// {start, end, value} AoS layout) without a gather-side copy. Returns
+/// `floor` when n == 0.
+std::int64_t strided_min_i64(const std::int64_t* base, std::size_t n,
+                             std::size_t stride, std::size_t offset,
+                             std::int64_t floor);
+
+}  // namespace rota::simd

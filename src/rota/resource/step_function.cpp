@@ -1,12 +1,32 @@
 #include "rota/resource/step_function.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "rota/resource/simd.hpp"
+#include "rota/util/arena.hpp"
+
 namespace rota {
+namespace {
+
+// Below this many segments the SoA restructure (for combines) or the gather
+// setup (for min_value) cannot pay for itself, whatever the host. Above it,
+// min_value wins outright; combines stay behind the opt-in
+// simd::combine_enabled() gate — see the measurement notes in simd.hpp. The
+// e7 micro-bench covers both sides of the threshold.
+constexpr std::size_t kVectorizeThreshold = 16;
+
+// The strided-min kernel reads Segment::value in place, so pin the layout it
+// assumes: three contiguous 64-bit lanes {start, end, value}.
+static_assert(sizeof(Segment) == 3 * sizeof(std::int64_t));
+static_assert(sizeof(Tick) == sizeof(std::int64_t) &&
+              sizeof(Rate) == sizeof(std::int64_t));
+
+}  // namespace
 
 StepFunction::StepFunction(const TimeInterval& iv, Rate value) {
   if (!iv.empty() && value != 0) segments_.push_back({iv, value});
@@ -93,11 +113,108 @@ StepFunction StepFunction::combine(const StepFunction& other, Op op) const {
   return result;
 }
 
+StepFunction StepFunction::combine_vectorized(const StepFunction& other,
+                                              CombineOp op) const {
+  // Same boundary walk as combine(), split into three passes so the value
+  // arithmetic runs 4 lanes wide: (1) scalar walk fills SoA arrays from a
+  // thread-local bump arena (zero heap traffic in steady state), (2) vector
+  // kernel combines the value lanes, (3) scalar coalesce emits canonical
+  // segments with the exact emission rules of the single-pass walk.
+  const auto& a = segments_;
+  const auto& b = other.segments_;
+  thread_local util::BumpArena arena(1 << 14);
+  arena.reset();
+  // Each walk iteration strictly advances t to the next boundary drawn from
+  // the 2(|a|+|b|) segment endpoints, so this bound is exact. Records are
+  // contiguous (each iteration's start is the previous iteration's end, gaps
+  // included as zero-value records), so only n+1 boundaries are stored: the
+  // i-th record spans [ts[i], ts[i+1]).
+  const std::size_t cap = 2 * (a.size() + b.size());
+  Tick* ts = arena.allocate_array<Tick>(cap + 1);
+  std::int64_t* va = arena.allocate_array<std::int64_t>(cap);
+  std::int64_t* vb = arena.allocate_array<std::int64_t>(cap);
+  std::size_t n = 0;
+
+  std::size_t ia = 0, ib = 0;
+  Tick t = std::numeric_limits<Tick>::min();
+  if (!a.empty()) t = a.front().interval.start();
+  if (!b.empty() && (a.empty() || b.front().interval.start() < t)) {
+    t = b.front().interval.start();
+  }
+  while (ia < a.size() || ib < b.size()) {
+    while (ia < a.size() && a[ia].interval.end() <= t) ++ia;
+    while (ib < b.size() && b[ib].interval.end() <= t) ++ib;
+    if (ia >= a.size() && ib >= b.size()) break;
+    Rate here_a = 0, here_b = 0;
+    Tick next = std::numeric_limits<Tick>::max();
+    if (ia < a.size()) {
+      if (a[ia].interval.start() <= t) {
+        here_a = a[ia].value;
+        next = a[ia].interval.end();
+      } else {
+        next = a[ia].interval.start();
+      }
+    }
+    if (ib < b.size()) {
+      if (b[ib].interval.start() <= t) {
+        here_b = b[ib].value;
+        next = std::min(next, b[ib].interval.end());
+      } else {
+        next = std::min(next, b[ib].interval.start());
+      }
+    }
+    ts[n] = t;
+    va[n] = here_a;
+    vb[n] = here_b;
+    ++n;
+    t = next;
+  }
+  ts[n] = t;  // closing boundary of the last record
+
+  switch (op) {
+    case CombineOp::kPlus:
+      simd::add_i64(va, vb, va, n);
+      break;
+    case CombineOp::kMinus:
+      simd::sub_i64(va, vb, va, n);
+      break;
+    case CombineOp::kMin:
+      simd::min_i64(va, vb, va, n);
+      break;
+    case CombineOp::kMax:
+      simd::max_i64(va, vb, va, n);
+      break;
+  }
+
+  StepFunction result;
+  result.segments_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rate v = va[i];
+    if (v == 0) continue;
+    if (!result.segments_.empty() && result.segments_.back().value == v &&
+        result.segments_.back().interval.end() == ts[i]) {
+      result.segments_.back().interval =
+          TimeInterval(result.segments_.back().interval.start(), ts[i + 1]);
+    } else {
+      result.segments_.push_back({TimeInterval(ts[i], ts[i + 1]), v});
+    }
+  }
+  return result;
+}
+
 StepFunction StepFunction::plus(const StepFunction& other) const {
+  if (segments_.size() + other.segments_.size() >= kVectorizeThreshold &&
+      simd::combine_enabled()) {
+    return combine_vectorized(other, CombineOp::kPlus);
+  }
   return combine(other, [](Rate a, Rate b) { return a + b; });
 }
 
 StepFunction StepFunction::minus(const StepFunction& other) const {
+  if (segments_.size() + other.segments_.size() >= kVectorizeThreshold &&
+      simd::combine_enabled()) {
+    return combine_vectorized(other, CombineOp::kMinus);
+  }
   return combine(other, [](Rate a, Rate b) { return a - b; });
 }
 
@@ -106,10 +223,18 @@ void StepFunction::add(const TimeInterval& iv, Rate value) {
 }
 
 StepFunction StepFunction::min(const StepFunction& other) const {
+  if (segments_.size() + other.segments_.size() >= kVectorizeThreshold &&
+      simd::combine_enabled()) {
+    return combine_vectorized(other, CombineOp::kMin);
+  }
   return combine(other, [](Rate a, Rate b) { return a < b ? a : b; });
 }
 
 StepFunction StepFunction::max(const StepFunction& other) const {
+  if (segments_.size() + other.segments_.size() >= kVectorizeThreshold &&
+      simd::combine_enabled()) {
+    return combine_vectorized(other, CombineOp::kMax);
+  }
   return combine(other, [](Rate a, Rate b) { return a > b ? a : b; });
 }
 
@@ -133,7 +258,15 @@ StepFunction StepFunction::clamped_nonnegative() const {
 }
 
 Rate StepFunction::min_value() const {
-  Rate m = 0;  // the function is 0 outside its support
+  // The function is 0 outside its support, so the min starts (and floors) at
+  // 0. The vector path scans the value lane of the AoS segment layout in
+  // place (stride 3, offset 2 — see the static_asserts above).
+  if (segments_.size() >= kVectorizeThreshold && simd::enabled()) {
+    return simd::strided_min_i64(
+        reinterpret_cast<const std::int64_t*>(segments_.data()),
+        segments_.size(), 3, 2, 0);
+  }
+  Rate m = 0;
   for (const auto& seg : segments_) m = std::min(m, seg.value);
   return m;
 }

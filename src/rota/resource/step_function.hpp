@@ -113,6 +113,13 @@ class StepFunction {
   template <typename Op>
   StepFunction combine(const StepFunction& other, Op op) const;
 
+  /// SIMD variant of combine(): the same boundary walk fills SoA value
+  /// arrays, a vector kernel does the pointwise op, and a scalar coalesce
+  /// emits canonical segments. Bit-identical to combine(); used for large
+  /// inputs when rota::simd::enabled().
+  enum class CombineOp { kPlus, kMinus, kMin, kMax };
+  StepFunction combine_vectorized(const StepFunction& other, CombineOp op) const;
+
   std::vector<Segment> segments_;
 };
 

@@ -1,29 +1,44 @@
 // Batched admission: the sequential FCFS controller's semantics at pipeline
 // throughput.
 //
-// A batch of (Λ, s, d) requests is admitted in three repeating stages, all
-// expressed in the planning kernel's vocabulary (rota/plan/):
+// A batch of (Λ, s, d) requests is admitted in rounds, all expressed in the
+// planning kernel's vocabulary (rota/plan/):
 //
-//   snapshot  — FeasibilitySnapshot::capture(ledger, hull) freezes the
-//               residual restricted to the hull of the round's windows: one
-//               restriction per round instead of one per request, yielding
-//               bit-identical plans (the planner never reads outside a
-//               request's window).
-//   speculate — every pending request is planned *in parallel* against the
-//               snapshot by the worker pool via PlanningKernel::speculate —
-//               pure and thread-safe, so lanes share the snapshot freely.
-//   commit    — PlanningKernel::commit issues decisions strictly in FCFS
-//               order. The first accept bumps the ledger revision, so the
-//               kernel reports every later same-round speculation as stale;
-//               the round ends there and the remainder is redone against a
-//               fresh snapshot (optimistic concurrency with bounded
-//               lookahead — stale speculations are redone, never committed).
+//   snapshot  — FeasibilitySnapshot::capture(ledger, hull, mask) freezes one
+//               *owned* view of the residual per round, restricted to the
+//               hull of the round's windows and to the location shards the
+//               round's demands touch: one filtered copy per round instead
+//               of one restriction per request, yielding bit-identical plans
+//               (the planner never reads outside a request's window or
+//               demand types).
+//   speculate — lanes claim round indices from an atomic cursor (in FCFS
+//               order) and plan them against the shared snapshot via
+//               PlanningKernel::speculate — pure and thread-safe. Each lane
+//               publishes its finished PlanResult into a per-request slot
+//               with a release store; the slots form a lock-free MPSC queue
+//               in request order. A lane that claims an index whose shard
+//               footprint intersects an earlier feasible (would-be-accept)
+//               speculation marks the slot skipped instead of planning it —
+//               that result could only come out stale — and stops the
+//               round's remaining claims, which are equally doomed.
+//   commit    — the calling thread is the single committer: it consumes
+//               slots strictly in FCFS order (acquire loads), committing
+//               each through PlanningKernel::commit. Thanks to per-shard
+//               revision stamps, an accept only invalidates later
+//               speculations that touch the *same location shards*; results
+//               on foreign shards are salvaged and committed as-is. The
+//               first stale (or skipped) slot ends the round: the tail is
+//               re-speculated against a fresh snapshot next round at
+//               amortized cost — redone, never committed stale. While the
+//               head slot is still in flight the committer helps speculate
+//               instead of blocking.
 //
 // Rejections — the common case under heavy traffic — never mutate the
 // residual, so arbitrarily long reject runs are decided from one snapshot
-// with full parallelism. The decision sequence (accept set, plans, reasons)
-// is identical, decision for decision, to RotaAdmissionController processing
-// the same requests one at a time.
+// with full parallelism; and with shard salvage, accept traffic on one
+// location no longer serializes speculation on the others. The decision
+// sequence (accept set, plans, reasons) is identical, decision for decision,
+// to RotaAdmissionController processing the same requests one at a time.
 #pragma once
 
 #include <cstddef>
@@ -45,8 +60,10 @@ struct BatchRequest {
 
 class BatchAdmissionController {
  public:
-  /// `concurrency` is the total number of planning lanes (1 = strictly
-  /// sequential, no worker threads, no lookahead waste).
+  /// `concurrency` is the total number of planning lanes (1 = no worker
+  /// threads; speculation runs inline but still in lookahead rounds, which
+  /// amortize the snapshot scan — decisions are identical at any lane
+  /// count).
   BatchAdmissionController(CostModel phi, ResourceSet initial_supply,
                            PlanningPolicy policy = PlanningPolicy::kAsap,
                            std::size_t concurrency = 1, Tick now = 0)

@@ -1,0 +1,135 @@
+// Bump-pointer arenas for hot-path temporaries.
+//
+// The batched admission pipeline builds and discards the same shapes of
+// scratch — boundary arrays for merge walks, per-round speculation slots —
+// thousands of times per second. A BumpArena turns those into pointer bumps:
+// allocation is an offset increment, deallocation is a no-op, and reset()
+// recycles the high-water-mark block, so after the first round a lane's
+// speculation does zero heap traffic in steady state.
+//
+// Arenas are single-threaded by design (each planning lane owns one, usually
+// as a thread_local); nothing here synchronizes. Objects allocated from an
+// arena must be trivially destructible or destroyed by the caller before
+// reset() — the arena never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace rota::util {
+
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t initial_bytes = 4096)
+      : initial_bytes_(initial_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Aligned raw allocation. Never returns nullptr (grows by doubling).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (aligned + bytes > reinterpret_cast<std::uintptr_t>(end_)) {
+      return allocate_slow(bytes, align);
+    }
+    used_ += bytes;
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Typed array allocation (uninitialized storage; T must be trivially
+  /// destructible or destroyed by the caller).
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty. Keeps one block of at least the total size ever
+  /// allocated, so a steady-state caller never touches the heap again.
+  void reset() {
+    used_ = 0;
+    if (blocks_.size() > 1) {
+      // Coalesce: replace the block list with one block covering the sum.
+      std::size_t total = 0;
+      for (const auto& b : blocks_) total += b.size;
+      blocks_.clear();
+      push_block(total);
+    } else if (!blocks_.empty()) {
+      cursor_ = blocks_.back().data.get();
+      end_ = cursor_ + blocks_.back().size;
+    }
+  }
+
+  /// Bytes currently handed out since the last reset (diagnostics).
+  std::size_t used() const { return used_; }
+  /// Total reserved capacity across blocks.
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void push_block(std::size_t size) {
+    Block b;
+    b.size = size;
+    b.data = std::make_unique<std::byte[]>(size);
+    cursor_ = b.data.get();
+    end_ = cursor_ + size;
+    blocks_.push_back(std::move(b));
+  }
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    std::size_t want = blocks_.empty() ? initial_bytes_ : blocks_.back().size * 2;
+    while (want < bytes + align) want *= 2;
+    push_block(want);
+    used_ += bytes;
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  std::size_t initial_bytes_;
+  std::vector<Block> blocks_;
+  std::byte* cursor_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::size_t used_ = 0;
+};
+
+/// Minimal STL allocator over a BumpArena, for container-shaped temporaries
+/// (e.g. std::vector<T, ArenaAllocator<T>>) whose lifetime ends before the
+/// arena resets. deallocate is a no-op; memory is reclaimed by reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(BumpArena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) { return arena_->allocate_array<T>(n); }
+  void deallocate(T*, std::size_t) {}
+
+  BumpArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  BumpArena* arena_;
+};
+
+}  // namespace rota::util
