@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_admission_throughput.json artifacts and gate regressions.
+"""Diff two bench JSON artifacts and gate regressions.
 
 Usage:
     scripts/bench_gate.py BASELINE.json CANDIDATE.json [--max-regression 0.10]
 
-Fails (exit 1) when:
+The gate dispatches on the artifacts' "bench" field.
+
+e15_throughput — fails (exit 1) when:
   * the candidate lost decision parity (the artifact's parity attestation is
     missing — e15 refuses to write one when batch decisions diverge from
     sequential FCFS, so its absence means the bench died or was tampered with);
@@ -14,6 +16,16 @@ Fails (exit 1) when:
     throughput is only compared when the candidate ran with at least as many
     usable cpus as benched lanes, or both artifacts ran equally
     oversubscribed.
+
+e18_feasibility — fails (exit 1) when:
+  * the candidate's differential parity section records any divergence, or
+    ran fewer cases than the smoke floor (100);
+  * any scaling row's symbolic verdict is not "feasible" (the drip/hog
+    family is feasible at every size and must be flat-decided), or a row
+    above the sweep ceiling was not decided-by-symbolic-while-refused-by-
+    sweep — the capability the bench exists to pin.
+  (Wall-clock numbers are recorded for trend reading but never gated: the
+  symbolic side is a single flow check whose absolute time is host noise.)
 
 When both artifacts carry a same-run sequential result, the gate compares
 speedups (batch@max divided by that run's own sequential throughput) instead
@@ -58,17 +70,48 @@ def max_lane_rps(doc):
     return lanes, float(batches[lanes]["requests_per_sec"])
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
-    ap.add_argument("--max-regression", type=float, default=0.10,
-                    help="allowed fractional throughput drop (default 0.10)")
-    args = ap.parse_args()
+def gate_e18(base, cand):
+    failures = []
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    parity = cand.get("parity", {})
+    cases = int(parity.get("cases", 0))
+    divergences = int(parity.get("divergences", -1))
+    print(f"parity: {cases} cases, {parity.get('checks', '?')} checks, "
+          f"{divergences} divergence(s) "
+          f"(baseline ran {base.get('parity', {}).get('cases', '?')})")
+    if divergences != 0:
+        failures.append(f"candidate records {divergences} engine divergence(s)")
+    if cases < 100:
+        failures.append(f"candidate ran only {cases} parity cases (< 100 floor)")
 
+    ceiling = int(cand.get("sweep_ceiling", 0))
+    rows = cand.get("scaling", [])
+    if not rows:
+        failures.append("candidate has no scaling section")
+    above_ceiling = 0
+    print(f"\n{'commitments':>12} {'symbolic':>10} {'sweep':>10} "
+          f"{'permutations':>13}")
+    for r in rows:
+        n = int(r.get("commitments", 0))
+        verdict = r.get("symbolic_verdict", "?")
+        sweep = r.get("explorer", "?")
+        print(f"{n:>12} {verdict:>10} {sweep:>10} "
+              f"{int(r.get('explorer_permutations', 0)):>13}")
+        if verdict != "feasible":
+            failures.append(f"scaling row n={n}: symbolic verdict '{verdict}'")
+        if n > ceiling:
+            above_ceiling += 1
+            if sweep != "refused":
+                failures.append(
+                    f"scaling row n={n}: sweep '{sweep}' above ceiling {ceiling}")
+    if rows and above_ceiling == 0:
+        failures.append(
+            f"no scaling row exceeds the sweep ceiling ({ceiling}) — the "
+            "decided-above-ceiling capability went unchecked")
+    return failures
+
+
+def gate_e15(base, cand, max_regression):
     failures = []
 
     # Parity: e15 only writes the attestation after every lane count produced
@@ -79,12 +122,10 @@ def main():
     base_lanes, base_rps = max_lane_rps(base)
     cand_lanes, cand_rps = max_lane_rps(cand)
 
-    print(f"baseline : {args.baseline} "
-          f"(host_cpus={base.get('host_cpus', '?')}, "
-          f"batch@{base_lanes} = {base_rps:.0f} req/s)")
-    print(f"candidate: {args.candidate} "
-          f"(host_cpus={cand.get('host_cpus', '?')}, "
-          f"batch@{cand_lanes} = {cand_rps:.0f} req/s)")
+    print(f"baseline : host_cpus={base.get('host_cpus', '?')}, "
+          f"batch@{base_lanes} = {base_rps:.0f} req/s")
+    print(f"candidate: host_cpus={cand.get('host_cpus', '?')}, "
+          f"batch@{cand_lanes} = {cand_rps:.0f} req/s")
 
     print(f"\n{'threads':>8} {'baseline':>12} {'candidate':>12} {'delta':>8}")
     cand_batches = batch_results(cand)
@@ -126,13 +167,37 @@ def main():
             metric = (f"batch@{cand_lanes} throughput "
                       f"({base_val:.0f} -> {cand_val:.0f} req/s)")
         drop = (base_val - cand_val) / base_val if base_val > 0 else 0.0
-        if drop > args.max_regression:
+        if drop > max_regression:
             failures.append(
                 f"{metric} regressed {drop:.1%} "
-                f"(> {args.max_regression:.0%} allowed)")
+                f"(> {max_regression:.0%} allowed)")
         else:
             print(f"\nthroughput gate: {metric} within "
-                  f"{args.max_regression:.0%} ({-drop:+.1%})")
+                  f"{max_regression:.0%} ({-drop:+.1%})")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="allowed fractional throughput drop (default 0.10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    kind = cand.get("bench", "e15_throughput")
+    if base.get("bench", "e15_throughput") != kind:
+        sys.exit(f"bench_gate: artifact kinds differ "
+                 f"({base.get('bench')} vs {kind})")
+    print(f"baseline : {args.baseline}\ncandidate: {args.candidate} "
+          f"({kind})\n")
+    if kind == "e18_feasibility":
+        failures = gate_e18(base, cand)
+    else:
+        failures = gate_e15(base, cand, args.max_regression)
 
     if failures:
         for f in failures:

@@ -1,0 +1,29 @@
+// Bounded exhaustive tick-level scheduling: the ground-truth referee the
+// feasibility fuzz family uses to adjudicate symbolic-vs-explorer
+// disagreements on tiny instances.
+//
+// The search enumerates, per tick, every *maximal* split of each type's
+// available rate across the commitments that want it (maximal: the tick's
+// grant sums to min(availability, total appetite)). Giving a commitment more
+// of a type it still wants never hurts — a state that consumed more
+// dominates one that consumed less and can mimic any continuation — so
+// restricting to maximal splits preserves the feasibility verdict while
+// taming the branching factor. States are memoized; when the node budget
+// runs out the answer is nullopt (undecided) rather than a guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rota/logic/state.hpp"
+
+namespace rota::fuzz {
+
+/// True/false iff some label sequence from `start` finishes every commitment
+/// by its deadline (consuming nothing at or past `horizon`); nullopt when the
+/// instance is too large for the budget. Intended for referee duty only:
+/// instances with more than 3 commitments are declined immediately.
+std::optional<bool> exhaustive_feasible(const SystemState& start, Tick horizon,
+                                        std::uint64_t node_budget);
+
+}  // namespace rota::fuzz

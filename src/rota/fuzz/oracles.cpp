@@ -9,10 +9,15 @@
 
 #include "rota/admission/audit.hpp"
 #include "rota/admission/controller.hpp"
+#include "rota/admission/negotiation.hpp"
+#include "rota/admission/periodic.hpp"
 #include "rota/cluster/cluster.hpp"
+#include "rota/computation/actor_computation.hpp"
+#include "rota/fuzz/exhaustive.hpp"
 #include "rota/fuzz/gen.hpp"
 #include "rota/logic/explorer.hpp"
 #include "rota/logic/model_checker.hpp"
+#include "rota/logic/symbolic/feasibility.hpp"
 #include "rota/plan/kernel.hpp"
 #include "rota/runtime/batch_controller.hpp"
 
@@ -488,13 +493,25 @@ void kernel_case(Gen& g, Recorder& rec) {
                  return std::string("first commit against fresh snapshot refused");
                });
     const CommitStatus second = kernel.commit(r1, ledger, d1);
+    // An accept moves the residual, but only in the shards its demand
+    // touches: a second speculation with a disjoint shard footprint is
+    // salvaged (committed as-is), not staled. An accepted plan consumes
+    // every demanded type, so the first commit bumps exactly the shards of
+    // requests[0]'s demand mask. The second speculation's footprint is its
+    // *recorded* mask — empty (always salvageable) when the window was
+    // already closed at arrival, since a deadline-passed verdict reads no
+    // residual at all.
+    const ShardMask overlap =
+        touched_shard_mask(requests[0].rho) & r1.touched_mask;
     const CommitStatus expected =
-        d0.accepted ? CommitStatus::kStale : CommitStatus::kCommitted;
+        d0.accepted && (!r1.sharded || overlap != 0) ? CommitStatus::kStale
+                                                     : CommitStatus::kCommitted;
     rec.expect("stale-second-commit", second == expected, [&] {
       std::ostringstream out;
       out << "second commit "
           << (second == CommitStatus::kStale ? "stale" : "committed")
-          << " but first decision was " << describe_decision(d0);
+          << " but first decision was " << describe_decision(d0)
+          << " with shard overlap " << overlap;
       return out.str();
     });
     if (second == CommitStatus::kStale) {
@@ -535,6 +552,189 @@ void kernel_case(Gen& g, Recorder& rec) {
                  return std::string(
                      "replayed residual diverges from live residual");
                });
+  }
+
+  // Negotiation audit: the binary searches return *extremal* windows, so the
+  // direct kernel probe (the same probe the search runs) must accept the
+  // returned window and refuse the one-tick-tighter one.
+  {
+    const ConcurrentRequirement rho = g.requirement("nego");
+    const PlanningKernel kernel;
+    const FeasibilitySnapshot snap = FeasibilitySnapshot::capture(seq.ledger());
+    const Tick s = rho.window().start();
+    const Tick latest = rho.window().end() + g.rng().uniform(2, 8);
+    const auto probe = [&](const TimeInterval& w, const TimeInterval& focus) {
+      return kernel
+          .speculate_within(clip_requirement(rho, w), w.start(), snap, focus)
+          .feasible();
+    };
+    const TimeInterval d_focus(s, latest);
+    const auto d_star = earliest_feasible_deadline(snap, rho, latest, kernel);
+    if (d_star) {
+      rec.expect("nego-deadline-feasible",
+                 probe(TimeInterval(s, *d_star), d_focus), [&] {
+                   return "earliest_feasible_deadline returned d = " +
+                          std::to_string(*d_star) +
+                          " but the direct probe rejects it";
+                 });
+      if (*d_star > s + 1) {
+        rec.expect("nego-deadline-minimal",
+                   !probe(TimeInterval(s, *d_star - 1), d_focus), [&] {
+                     return "d = " + std::to_string(*d_star) +
+                            " is not minimal: d-1 also fits";
+                   });
+      }
+    } else {
+      rec.expect("nego-deadline-exhausted", !probe(d_focus, d_focus), [&] {
+        return "nullopt although the widest window [" + d_focus.to_string() +
+               ") fits";
+      });
+    }
+    const auto s_star = latest_feasible_start(snap, rho, kernel);
+    const Tick d = rho.window().end();
+    if (s_star) {
+      rec.expect("nego-start-feasible",
+                 probe(TimeInterval(*s_star, d), rho.window()), [&] {
+                   return "latest_feasible_start returned s = " +
+                          std::to_string(*s_star) +
+                          " but the direct probe rejects it";
+                 });
+      if (*s_star + 1 < d) {
+        rec.expect("nego-start-maximal",
+                   !probe(TimeInterval(*s_star + 1, d), rho.window()), [&] {
+                     return "s = " + std::to_string(*s_star) +
+                            " is not maximal: s+1 also fits";
+                   });
+      }
+    } else {
+      rec.expect("nego-start-exhausted", !probe(rho.window(), rho.window()),
+                 [&] {
+                   return "nullopt although the original window " +
+                          rho.window().to_string() + " fits";
+                 });
+    }
+  }
+
+  // Counter-offer audit: a rejection leaves the ledger untouched, and
+  // accepting the suggested deadline by re-requesting must succeed (the offer
+  // was probed against this exact residual).
+  {
+    const ConcurrentRequirement rho = g.requirement("offer");
+    RotaAdmissionController ctl(CostModel{}, supply, PlanningPolicy::kAsap, 0);
+    const ResourceSet residual_before = ctl.ledger().residual();
+    const std::size_t admitted_before = ctl.ledger().admitted_count();
+    const Tick max_d = rho.window().end() + g.rng().uniform(2, 8);
+    const CounterOffer offer = request_with_counter_offer(ctl, rho, 0, max_d);
+    if (!offer.decision.accepted) {
+      rec.expect("offer-reject-preserves-ledger",
+                 ctl.ledger().residual() == residual_before &&
+                     ctl.ledger().admitted_count() == admitted_before,
+                 [&] {
+                   return std::string(
+                       "a rejected request with counter-offer probing moved "
+                       "the ledger");
+                 });
+      if (offer.suggested_deadline) {
+        const TimeInterval extended(rho.window().start(),
+                                    *offer.suggested_deadline);
+        const AdmissionDecision redo =
+            ctl.request(clip_requirement(rho, extended), 0);
+        rec.expect("offer-accepted-on-retry", redo.accepted, [&] {
+          return "suggested deadline " +
+                 std::to_string(*offer.suggested_deadline) +
+                 " refused on re-request: " + redo.reason;
+        });
+      }
+    }
+  }
+
+  // Periodic admission audit: admit_periodic must decide exactly like a
+  // manual request loop over expand_periodic against a fresh controller, be
+  // all-or-nothing on failure, and agree with sustainable_instances' pure
+  // speculation.
+  {
+    const Location site("pf");
+    ActorComputationBuilder builder("p.a", site);
+    const int weight = static_cast<int>(g.rng().uniform(1, 3));
+    auto gamma = std::move(builder.evaluate(weight)).build();
+    const Tick s = g.rng().uniform(1, 6);
+    const Tick len = g.rng().uniform(2, 6);
+    const DistributedComputation task("ptask", {gamma}, s, s + len);
+    const Tick period = g.rng().uniform(1, 8);
+    const std::size_t count = static_cast<std::size_t>(g.rng().uniform(1, 4));
+    ResourceSet psupply;
+    psupply.add(g.rng().uniform(1, 3), TimeInterval(0, g.rng().uniform(8, 36)),
+                LocatedType::cpu(site));
+
+    RotaAdmissionController a(CostModel{}, psupply, PlanningPolicy::kAsap, 0);
+    RotaAdmissionController b(CostModel{}, psupply, PlanningPolicy::kAsap, 0);
+    const std::size_t sustained = sustainable_instances(a, task, period, count, 0);
+    const PeriodicAdmission series = admit_periodic(a, task, period, count, 0);
+
+    const auto instances = expand_periodic(task, period, count);
+    bool manual_all = true;
+    std::size_t manual_failed = 0;
+    std::vector<AdmissionDecision> manual;
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+      const AdmissionDecision dec =
+          b.request(make_concurrent_requirement(b.phi(), instances[k]), 0);
+      if (!dec.accepted) {
+        manual_all = false;
+        manual_failed = k;
+        break;
+      }
+      manual.push_back(dec);
+    }
+
+    rec.expect("periodic-verdict-parity", series.accepted == manual_all, [&] {
+      std::ostringstream out;
+      out << "admit_periodic " << (series.accepted ? "accepted" : "rejected")
+          << " but the manual loop " << (manual_all ? "accepted" : "rejected")
+          << " (period " << period << ", count " << count << ")";
+      return out.str();
+    });
+    if (series.accepted && manual_all) {
+      bool plans_match = series.plans.size() == manual.size();
+      for (std::size_t k = 0; plans_match && k < manual.size(); ++k) {
+        plans_match = manual[k].plan && series.plans[k] == *manual[k].plan;
+      }
+      rec.expect("periodic-plan-parity", plans_match, [&] {
+        return std::string(
+            "admit_periodic plans diverge from the manual loop's");
+      });
+      rec.expect("periodic-residual-parity",
+                 a.ledger().residual() == b.ledger().residual(), [&] {
+                   return std::string(
+                       "series residual diverges from the manual loop's");
+                 });
+      rec.expect("periodic-sustainable-full", sustained == count, [&] {
+        std::ostringstream out;
+        out << "series admitted in full but sustainable_instances says "
+            << sustained << " of " << count;
+        return out.str();
+      });
+    } else if (!series.accepted && !manual_all) {
+      rec.expect("periodic-failed-instance",
+                 series.failed_instance == manual_failed, [&] {
+                   std::ostringstream out;
+                   out << "series failed at instance " << series.failed_instance
+                       << ", manual loop at " << manual_failed;
+                   return out.str();
+                 });
+      rec.expect("periodic-rollback",
+                 series.plans.empty() && a.ledger().admitted_count() == 0 &&
+                     a.ledger().residual() == a.ledger().supply(),
+                 [&] {
+                   return std::string(
+                       "rejected series left commitments in the controller");
+                 });
+      rec.expect("periodic-sustainable-prefix", sustained == manual_failed, [&] {
+        std::ostringstream out;
+        out << "manual loop failed at instance " << manual_failed
+            << " but sustainable_instances says " << sustained;
+        return out.str();
+      });
+    }
   }
 }
 
@@ -897,13 +1097,19 @@ void sim_case(Gen& g, std::size_t case_index, Recorder& rec) {
     }
   }
 
-  // satisfy(ρ(Λ,s,d)) soundness: when the planner finds a concurrent plan
-  // over Θ_expire, the plan must actually fit — validated pointwise against
-  // the tick-replay referee, never against the calculus under test.
+  // satisfy(ρ(Λ,s,d)): full verdict parity against the symbolic engine's
+  // exact verdict wherever it decides, greedy-plan soundness validated
+  // pointwise against the tick-replay referee, and plan ⇒ not-infeasible.
   {
     const ConcurrentRequirement rho = g.requirement("cc");
+    const bool got = checker.satisfies(f_satisfy(rho), pos);
     const TimeInterval clipped = clip_at(path, pos, rho.window());
-    if (!clipped.empty()) {
+    if (clipped.empty()) {
+      rec.expect("satisfy-concurrent-expired", !got, [&] {
+        return std::string(
+            "concurrent satisfiable although the clipped window is empty");
+      });
+    } else {
       const ResourceSet expiring = path.expiring_resources(pos, rho.window());
       std::vector<ComplexRequirement> clipped_actors;
       for (const auto& a : rho.actors()) {
@@ -917,6 +1123,23 @@ void sim_case(Gen& g, std::size_t case_index, Recorder& rec) {
         rec.check("plan-soundness",
                   validate_plan(*plan, clipped_rho, clipped,
                                 dense_expiring(path, pos, clipped)));
+      }
+      SystemState probe(expiring, path.state(pos).now());
+      probe.accommodate(clipped_rho);
+      const FeasibilityResult sym = decide_feasibility(probe, clipped.end());
+      if (plan) {
+        rec.expect("plan-implies-not-infeasible",
+                   sym.verdict != FeasibilityVerdict::kInfeasible, [&] {
+                     return "greedy planner found a plan for " + rho.name() +
+                            " but the symbolic engine says infeasible";
+                   });
+      }
+      if (sym.verdict != FeasibilityVerdict::kUnknown) {
+        rec.expect("satisfy-concurrent-parity", got == sym.feasible(), [&] {
+          return bool_pair("satisfy(concurrent)", got, sym.feasible()) +
+                 "; rho = " + rho.name() + " at position " +
+                 std::to_string(pos);
+        });
       }
     }
   }
@@ -995,6 +1218,282 @@ OracleReport run_sim_oracle(std::uint64_t seed, std::size_t cases) {
     Gen g(cs);
     try {
       sim_case(g, i, rec);
+    } catch (const std::exception& e) {
+      rec.fail("unexpected-exception", e.what());
+    }
+    ++report.cases;
+  }
+  return report;
+}
+
+// ===========================================================================
+// Feasibility oracle — symbolic engine vs permutation explorer
+// ===========================================================================
+
+namespace {
+
+/// A small-window instance kept in parts so the minimizer can rebuild
+/// subsets: supply over [0, horizon), 1–3 actors with their own windows.
+struct FeasibilityDraw {
+  ResourceSet supply;
+  std::vector<ComplexRequirement> actors;
+  Tick horizon = 0;
+};
+
+SystemState materialize(const FeasibilityDraw& draw) {
+  SystemState state(draw.supply, 0);
+  if (!draw.actors.empty()) {
+    state.accommodate(
+        ConcurrentRequirement("fz", draw.actors, TimeInterval(0, draw.horizon)));
+  }
+  return state;
+}
+
+std::string describe_draw(const FeasibilityDraw& draw) {
+  std::ostringstream out;
+  out << draw.actors.size() << " actor(s), horizon " << draw.horizon
+      << ", supply " << draw.supply.to_string();
+  for (const auto& a : draw.actors) {
+    out << "; " << a.to_string();
+    // to_string omits the absorption cap, and an invisible cap once made a
+    // minimized repro look like a sweep bug — keep it in the dump.
+    if (a.rate_cap() > 0) out << " cap " << a.rate_cap();
+  }
+  return out.str();
+}
+
+/// Windows W ∈ [3, 9], 1–2 located types, modest rates: small enough that
+/// the permutation explorer is an exact-for-practical-purposes adversary and
+/// the exhaustive referee can adjudicate the tiniest instances, rich enough
+/// (staggered windows, supply steps, rate caps, two phases) to exercise every
+/// constraint family of the encoding.
+FeasibilityDraw draw_feasibility_instance(Gen& g) {
+  FeasibilityDraw draw;
+  draw.horizon = g.rng().uniform(3, 9);
+  const Location site("fz");
+  std::vector<LocatedType> types{LocatedType::cpu(site)};
+  if (g.rng().chance(0.5)) types.push_back(LocatedType::memory(site));
+  for (const LocatedType& t : types) {
+    draw.supply.add(g.rng().uniform(1, 4), TimeInterval(0, draw.horizon), t);
+  }
+  if (g.rng().chance(0.3)) {
+    // A supply step partway through the window: expiry pressure.
+    draw.supply.add(g.rng().uniform(1, 3),
+                    TimeInterval(g.rng().uniform(0, draw.horizon - 1), draw.horizon),
+                    types[g.rng().index(types.size())]);
+  }
+  const int actor_count = static_cast<int>(g.rng().uniform(1, 3));
+  for (int a = 0; a < actor_count; ++a) {
+    TimeInterval window(0, draw.horizon);
+    if (g.rng().chance(0.4)) {
+      const Tick lo = g.rng().uniform(0, draw.horizon - 2);
+      window = TimeInterval(lo, g.rng().uniform(lo + 2, draw.horizon));
+    }
+    const int phase_count = static_cast<int>(g.rng().uniform(1, 2));
+    std::vector<Phase> phases;
+    std::size_t cursor = 0;
+    for (int p = 0; p < phase_count; ++p) {
+      Phase phase;
+      const int demands = static_cast<int>(g.rng().uniform(1, 2));
+      for (int d = 0; d < demands; ++d) {
+        phase.demand.add(types[g.rng().index(types.size())],
+                         g.rng().uniform(1, 5));
+      }
+      phase.first_action = cursor;
+      phase.action_count = 1;
+      cursor += 1;
+      phases.push_back(std::move(phase));
+    }
+    const Rate cap = g.rng().chance(0.4) ? g.rng().uniform(1, 3) : 0;
+    draw.actors.emplace_back("fz-a" + std::to_string(a), std::move(phases),
+                             window, cap);
+  }
+  return draw;
+}
+
+/// The instances the static-priority sweep is exact on: single phase AND no
+/// absorption caps. Multi-phase schedules can need a leading actor throttled
+/// below its water-fill share; capped schedules can need the priority order
+/// to *switch* between ticks (give the capped actor its cap first, then yield
+/// the remainder) — neither is expressible as one static permutation.
+bool sweep_exact_domain(const FeasibilityDraw& draw) {
+  for (const ComplexRequirement& a : draw.actors) {
+    if (a.phase_count() > 1 || a.rate_cap() > 0) return false;
+  }
+  return true;
+}
+
+struct EngineVerdicts {
+  FeasibilityVerdict symbolic = FeasibilityVerdict::kUnknown;
+  bool explorer = false;
+  bool sweep_exact = true;
+
+  /// A *contradiction* between the engines, not a mere difference. The
+  /// permutation sweep enumerates static priority orders, so it can miss
+  /// feasible instances outside its exact domain: multi-phase schedules that
+  /// throttle a leading actor below its water-fill share, and rate-capped
+  /// schedules that switch priority between ticks — the fuzz harness found
+  /// live instances of both, and the symbolic witnesses replayed. What may
+  /// never happen: the sweep produces a path the symbolic engine calls
+  /// infeasible, or the two decide an instance inside the sweep's exact
+  /// domain (single-phase, uncapped) differently.
+  bool disagree() const {
+    if (symbolic == FeasibilityVerdict::kUnknown) return false;
+    const bool sym_feasible = symbolic == FeasibilityVerdict::kFeasible;
+    if (explorer && !sym_feasible) return true;
+    return sweep_exact && sym_feasible != explorer;
+  }
+};
+
+EngineVerdicts decide_both(const FeasibilityDraw& draw,
+                           const FeasibilityOptions& options) {
+  EngineVerdicts v;
+  const SystemState state = materialize(draw);
+  v.symbolic = decide_feasibility(state, draw.horizon, options).verdict;
+  SearchOptions sweep;
+  sweep.engine = FeasibilityEngine::kExplorer;
+  v.explorer = search_feasible(state, draw.horizon, sweep).has_value();
+  v.sweep_exact = sweep_exact_domain(draw);
+  return v;
+}
+
+/// Shrinks a diverging instance before reporting it: drop actors one at a
+/// time, then shorten the horizon, keeping each reduction only while the
+/// divergence survives. Bounded at 32 re-decisions.
+FeasibilityDraw minimize_divergence(FeasibilityDraw draw,
+                                    const FeasibilityOptions& options) {
+  std::size_t budget = 32;
+  bool shrunk = true;
+  while (shrunk && budget > 0) {
+    shrunk = false;
+    for (std::size_t i = 0; draw.actors.size() > 1 && i < draw.actors.size();
+         ++i) {
+      if (budget == 0) break;
+      FeasibilityDraw candidate = draw;
+      candidate.actors.erase(candidate.actors.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      --budget;
+      if (decide_both(candidate, options).disagree()) {
+        draw = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+    while (draw.horizon > 3 && budget > 0) {
+      FeasibilityDraw candidate = draw;
+      --candidate.horizon;
+      --budget;
+      if (!decide_both(candidate, options).disagree()) break;
+      draw = std::move(candidate);
+      shrunk = true;
+    }
+  }
+  return draw;
+}
+
+void feasibility_case(Gen& g, Recorder& rec) {
+  const FeasibilityDraw draw = draw_feasibility_instance(g);
+  const SystemState state = materialize(draw);
+
+  // Generous budget: a small-window instance the engine cannot decide under
+  // it is itself a bug worth a divergence report.
+  FeasibilityOptions options;
+  options.node_budget = 2'000'000;
+  options.max_ticks = 512;
+
+  const FeasibilityResult sym = decide_feasibility(state, draw.horizon, options);
+  if (!rec.expect("symbolic-decided",
+                  sym.verdict != FeasibilityVerdict::kUnknown, [&] {
+                    return "budget exhausted on a small instance: " +
+                           describe_draw(draw);
+                  })) {
+    return;
+  }
+
+  // Bit-identical re-decision: verdict, witness schedule, and boundaries.
+  {
+    const FeasibilityResult again =
+        decide_feasibility(state, draw.horizon, options);
+    rec.expect("symbolic-deterministic",
+               sym.verdict == again.verdict && sym.schedule == again.schedule &&
+                   sym.boundaries == again.boundaries,
+               [&] {
+                 return "two decisions of one instance disagree: " +
+                        describe_draw(draw);
+               });
+  }
+
+  // kFeasible must come with a witness that replays through the transition
+  // rules and finishes every commitment inside its window.
+  if (sym.feasible()) {
+    rec.expect("witness-replays", realize_feasibility(state, sym).has_value(),
+               [&] {
+                 return "witness schedule failed to replay: " +
+                        describe_draw(draw);
+               });
+  }
+
+  // The permutation explorer independently decides the same instance. A path
+  // from the sweep is a constructive proof, so the symbolic engine may never
+  // contradict it; and inside the sweep's exact domain (single-phase,
+  // uncapped) the two must agree outright. Outside it,
+  // "symbolic-feasible, sweep-refused" is the sweep's documented
+  // incompleteness — static priority orders cannot throttle a multi-phase
+  // leader below its water-fill share, nor switch priority between ticks the
+  // way rate-capped schedules can require — and the witness-replays check
+  // above already proved such verdicts constructively. Divergences are
+  // minimized before reporting.
+  SearchOptions sweep;
+  sweep.engine = FeasibilityEngine::kExplorer;
+  const bool explored = search_feasible(state, draw.horizon, sweep).has_value();
+  rec.expect("explorer-refutes-symbolic", !explored || sym.feasible(), [&] {
+    const FeasibilityDraw minimal = minimize_divergence(draw, options);
+    return bool_pair("feasible", sym.feasible(), explored) +
+           "; minimized instance: " + describe_draw(minimal);
+  });
+  if (sweep_exact_domain(draw)) {
+    rec.expect("static-sweep-parity", sym.feasible() == explored, [&] {
+      const FeasibilityDraw minimal = minimize_divergence(draw, options);
+      return bool_pair("feasible", sym.feasible(), explored) +
+             "; minimized instance: " + describe_draw(minimal);
+    });
+  }
+
+  // The tiniest instances get a third, assumption-free adjudicator: the
+  // bounded exhaustive tick-level scheduler.
+  if (draw.actors.size() <= 2 && draw.horizon <= 7) {
+    const auto exact = exhaustive_feasible(state, draw.horizon, 200'000);
+    if (exact) {
+      rec.expect("symbolic-vs-exhaustive", sym.feasible() == *exact, [&] {
+        return bool_pair("feasible", sym.feasible(), *exact) +
+               "; instance: " + describe_draw(draw);
+      });
+      // One-sided for the same reason as above: a sweep path implies
+      // feasibility, but the sweep may refuse feasible instances outside its
+      // exact domain. Inside it (single-phase, uncapped) the sweep is held
+      // to full agreement with the exhaustive scheduler.
+      const bool sweep_sound = !explored || *exact;
+      rec.expect("explorer-vs-exhaustive",
+                 sweep_exact_domain(draw) ? explored == *exact : sweep_sound,
+                 [&] {
+                   return bool_pair("feasible", explored, *exact) +
+                          "; instance: " + describe_draw(draw);
+                 });
+    }
+  }
+}
+
+}  // namespace
+
+OracleReport run_feasibility_oracle(std::uint64_t seed, std::size_t cases) {
+  OracleReport report;
+  report.family = "feasibility";
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t cs = case_seed(seed, i);
+    Recorder rec(report, cs, i);
+    Gen g(cs);
+    try {
+      feasibility_case(g, rec);
     } catch (const std::exception& e) {
       rec.fail("unexpected-exception", e.what());
     }

@@ -11,8 +11,22 @@
 //   sim      — greedy runs, explorer searches, model-checker verdicts and
 //     cluster executions cross-checked: Θ_expire against an independent
 //     tick-replay referee, single-actor satisfy() against brute-force
-//     schedule search, concurrent plans validated pointwise, and cluster
+//     schedule search, concurrent satisfy() against the symbolic engine's
+//     exact verdict, concurrent plans validated pointwise, and cluster
 //     runs re-executed from the same seed and from audit-log replay.
+//   feasibility — the percy two-synthesizer pattern: the symbolic cut-point
+//     engine and the permutation explorer independently decide the same
+//     small-window multi-actor instances. A sweep path may never contradict
+//     a symbolic kInfeasible, instances in the sweep's exact domain
+//     (single-phase, uncapped) must agree outright, every kFeasible witness
+//     must replay through the transition rules, and on tiny instances a
+//     bounded exhaustive tick-level scheduler adjudicates. (Full two-sided
+//     parity is deliberately *not* demanded outside that domain: static
+//     priority orders cannot throttle a multi-phase leader below its
+//     water-fill share, nor switch priority between ticks the way
+//     rate-capped schedules can require — fuzzing found feasible,
+//     witness-validated instances of both kinds.) Divergences are minimized
+//     (drop actors, shrink the horizon) before reporting.
 //
 // Every case is pinned by (run seed, case index) through case_seed(), so a
 // divergence report is a reproduction recipe: seed the generator with
@@ -58,5 +72,6 @@ std::uint64_t case_seed(std::uint64_t run_seed, std::size_t case_index);
 OracleReport run_calculus_oracle(std::uint64_t seed, std::size_t cases);
 OracleReport run_kernel_oracle(std::uint64_t seed, std::size_t cases);
 OracleReport run_sim_oracle(std::uint64_t seed, std::size_t cases);
+OracleReport run_feasibility_oracle(std::uint64_t seed, std::size_t cases);
 
 }  // namespace rota::fuzz

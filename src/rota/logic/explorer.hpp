@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rota/logic/path.hpp"
+#include "rota/logic/symbolic/feasibility.hpp"
 
 namespace rota {
 
@@ -51,12 +52,29 @@ std::vector<ConsumptionLabel> water_fill_labels(
     const SystemState& state, const std::vector<std::size_t>& participants,
     std::map<LocatedType, Rate>& capacity_left);
 
-/// Tries the three priority orders and, if the state has at most
-/// `max_permuted` commitments, every static priority permutation as well.
-/// Returns a deadline-meeting path if any schedule finds one. When `pool` is
-/// given, the permutation sweep runs across its lanes; the result is still
-/// deterministic — the lexicographically first feasible permutation wins,
-/// exactly as in the sequential sweep.
+/// Knobs for search_feasible: which feasibility ladder to climb and how far
+/// the permutation rung may go.
+struct SearchOptions {
+  /// Permutation-sweep ceiling: above this many commitments the sweep rung
+  /// refuses (factorial blowup). The symbolic rung has no such ceiling.
+  std::size_t max_permuted = 6;
+  /// Lanes for the permutation sweep; nullptr runs it sequentially. Either
+  /// way the result is deterministic — the lexicographically first feasible
+  /// permutation wins and `explorer_permutations` counts the same number of
+  /// sweep runs.
+  ThreadPool* pool = nullptr;
+  FeasibilityEngine engine = FeasibilityEngine::kAuto;
+  FeasibilityOptions symbolic;
+};
+
+/// Tries the three greedy priority orders, then climbs the ladder selected by
+/// `options.engine`: the symbolic cut-point engine (exact; no commitment
+/// ceiling) and/or the static-permutation sweep. Returns a deadline-meeting
+/// path if the selected rungs find one.
+std::optional<ComputationPath> search_feasible(const SystemState& start, Tick horizon,
+                                               const SearchOptions& options);
+
+/// Ladder with defaults (kAuto): greedy → symbolic → permutation fallback.
 std::optional<ComputationPath> search_feasible(const SystemState& start, Tick horizon,
                                                std::size_t max_permuted = 6,
                                                ThreadPool* pool = nullptr);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rota/logic/explorer.hpp"
+
 namespace rota {
 
 namespace {
@@ -62,7 +64,25 @@ bool ModelChecker::satisfies(const Formula& psi, std::size_t position) const {
             }
             const ConcurrentRequirement clipped_req(s.rho.name(),
                                                     std::move(clipped_actors), clipped);
-            return plan_concurrent(expiring, clipped_req, policy_).has_value();
+            if (plan_concurrent(expiring, clipped_req, policy_)) return true;
+            if (engine_ == FeasibilityEngine::kGreedy) return false;
+            // The sequential planner plans actors one at a time and is
+            // order-sensitive, so its rejection of a contended multi-actor
+            // instance may be spurious; climb the selected exact ladder
+            // before answering no.
+            SystemState probe(expiring, t);
+            probe.accommodate(clipped_req);
+            if (engine_ != FeasibilityEngine::kExplorer) {
+              const FeasibilityResult sym =
+                  decide_feasibility(probe, clipped.end(), symbolic_);
+              if (sym.verdict != FeasibilityVerdict::kUnknown) {
+                return sym.feasible();
+              }
+              if (engine_ == FeasibilityEngine::kSymbolic) return false;
+            }
+            SearchOptions fallback;
+            fallback.engine = FeasibilityEngine::kExplorer;
+            return search_feasible(probe, clipped.end(), fallback).has_value();
           },
           [&](const NotOp& n) { return !satisfies(*n.operand, position); },
           [&](const EventuallyOp& n) {

@@ -10,9 +10,12 @@
 //   satisfy(ρ(Γ,s,d))   — cut points t1 < … < t(m-1) exist over Θ_expire
 //                         (decided constructively by the ASAP planner, which
 //                         is complete for a single actor);
-//   satisfy(ρ(Λ,s,d))   — a per-actor plan over Θ_expire exists (decided by
-//                         the sequential planner; sound, conservatively
-//                         incomplete for contended multi-actor instances);
+//   satisfy(ρ(Λ,s,d))   — a per-actor plan over Θ_expire exists. The
+//                         sequential planner decides the common case; when it
+//                         fails, the selected FeasibilityEngine ladder takes
+//                         over (symbolic cut-point engine, then the
+//                         permutation explorer), making the default kAuto
+//                         verdict exact for contended multi-actor instances;
 //   ¬, ◇, □            — as usual, with ◇/□ ranging over strictly later
 //                         positions of the (finite) path, per the paper's
 //                         "∃/∀ t' > t".
@@ -21,15 +24,22 @@
 #include "rota/logic/formula.hpp"
 #include "rota/logic/path.hpp"
 #include "rota/logic/planner.hpp"
+#include "rota/logic/symbolic/feasibility.hpp"
 
 namespace rota {
 
 class ModelChecker {
  public:
   /// The checker borrows the path; it must outlive the checker.
+  /// `engine` selects the satisfy(ρ(Λ,s,d)) fallback ladder used when the
+  /// sequential planner rejects: kGreedy reproduces the historical
+  /// planner-only (incomplete) verdict, kSymbolic/kExplorer pick one exact
+  /// rung, kAuto climbs symbolic-then-explorer.
   explicit ModelChecker(const ComputationPath& path,
-                        PlanningPolicy policy = PlanningPolicy::kAsap)
-      : path_(path), policy_(policy) {}
+                        PlanningPolicy policy = PlanningPolicy::kAsap,
+                        FeasibilityEngine engine = FeasibilityEngine::kAuto,
+                        FeasibilityOptions symbolic = {})
+      : path_(path), policy_(policy), engine_(engine), symbolic_(symbolic) {}
 
   /// M, σ, position ⊨ ψ. `position` indexes the path's states.
   bool satisfies(const Formula& psi, std::size_t position) const;
@@ -42,6 +52,8 @@ class ModelChecker {
 
   const ComputationPath& path_;
   PlanningPolicy policy_;
+  FeasibilityEngine engine_;
+  FeasibilityOptions symbolic_;
 };
 
 }  // namespace rota

@@ -24,6 +24,7 @@ CoreMetrics& CoreMetrics::get() {
     return CoreMetrics{
         r.counter("plan.speculate.count"),
         r.counter("plan.speculate.feasible"),
+        r.counter("plan.speculate.rescued"),
         r.counter("plan.commit.accepted"),
         r.counter("plan.commit.rejected.deadline_passed"),
         r.counter("plan.commit.rejected.no_plan"),

@@ -99,6 +99,8 @@ struct CoreMetrics {
   // probe/claim, audit replay) routes through.
   Counter& plan_speculations;           // plans attempted against a snapshot
   Counter& plan_speculations_feasible;  // speculations that found a plan
+  Counter& plan_speculations_rescued;   // greedy planner rejected, symbolic
+                                        // feasibility engine found a plan
   Counter& plan_commit_accepted;
   Counter& plan_commit_rejected_deadline;  // window empty: deadline passed
   Counter& plan_commit_rejected_no_plan;   // planner found no feasible plan

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rota/logic/symbolic/feasibility.hpp"
 #include "rota/obs/obs.hpp"
 
 namespace rota {
@@ -44,6 +45,13 @@ const char* PlanResult::reject_reason() const {
 
 namespace {
 
+// Budget for the in-kernel symbolic probe: generous enough that small and
+// mid-size admission windows are always decided exactly, small enough that a
+// rejection-heavy workload is not slowed by pathological cut searches (the
+// probe returns kUnknown and the greedy rejection stands).
+constexpr FeasibilityOptions kKernelProbeOptions{/*node_budget=*/20'000,
+                                                 /*max_ticks=*/256};
+
 PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
                              const FeasibilitySnapshot& snapshot,
                              const ResourceSet* focused_view,
@@ -80,9 +88,20 @@ PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
                   [&](const ComplexRequirement& a) {
                     return a.window() != result.window;
                   });
-  auto plan = clip_needed
-                  ? plan_concurrent(view, clip_requirement(rho, result.window), policy)
-                  : plan_concurrent(view, rho, policy);
+  std::optional<ConcurrentRequirement> clipped;
+  if (clip_needed) clipped.emplace(clip_requirement(rho, result.window));
+  const ConcurrentRequirement& effective = clipped ? *clipped : rho;
+  auto plan = plan_concurrent(view, effective, policy);
+  if (!plan && policy == PlanningPolicy::kAsap && effective.actors().size() > 1) {
+    // The sequential planner admits actors one at a time and its rejection of
+    // a contended multi-actor requirement can be spurious (order-sensitive).
+    // Retry with the symbolic cut-point engine before giving up: exact within
+    // its budget, deterministic, so every surface sharing the kernel keeps
+    // identical decisions. Gated to kAsap — the kAlap/kUniform ablations
+    // deliberately measure their policy's own (incomplete) behavior.
+    plan = symbolic_concurrent_plan(view, effective, at, kKernelProbeOptions);
+    if (plan && metered) obs::CoreMetrics::get().plan_speculations_rescued.add();
+  }
   if (!plan) {
     result.status = PlanStatus::kInfeasible;
     return result;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rota/computation/requirement.hpp"
 
 namespace rota {
@@ -202,6 +204,66 @@ TEST_F(ExplorerTest, WaterFillRespectsPreReservedCapacity) {
   auto labels = water_fill_labels(s0, {0}, capacity);
   ASSERT_EQ(labels.size(), 1u);
   EXPECT_EQ(labels[0].rate, 1);
+}
+
+// Water-fill properties over a deliberately uneven mix: three claimants with
+// different caps and demands plus one inactive commitment, rate-7 supply.
+class WaterFillPropertyTest : public ExplorerTest {
+ protected:
+  SystemState mixed_state() {
+    ResourceSet supply;
+    supply.add(7, TimeInterval(0, 20), cpu1);
+    SystemState s0(supply, 0);
+    s0.accommodate(make_req("big", 0, 20, /*weight=*/3));    // wants 24
+    auto capped = ActorComputationBuilder("cap.a", l1).evaluate(2).build();
+    s0.accommodate(make_concurrent_requirement(
+        phi, DistributedComputation("cap", {capped}, 0, 20), /*rate_cap=*/2));
+    s0.accommodate(make_req("small", 0, 20, /*weight=*/1));  // wants 8
+    s0.accommodate(make_req("later", 10, 20));               // not active yet
+    return s0;
+  }
+};
+
+TEST_F(WaterFillPropertyTest, ConservesCapacityCapsAndDemand) {
+  const SystemState s0 = mixed_state();
+  std::map<LocatedType, Rate> capacity;
+  const auto labels = water_fill_labels(s0, {0, 1, 2, 3}, capacity);
+
+  Rate total = 0;
+  for (const auto& label : labels) {
+    const ActorProgress& p = s0.commitments()[label.commitment];
+    total += label.rate;
+    EXPECT_GT(label.rate, 0);
+    // Never beyond the claimant's remaining demand for that type…
+    EXPECT_LE(label.rate, p.remaining.of(label.type));
+    // …nor its absorption cap…
+    if (p.rate_cap > 0) EXPECT_LE(label.rate, p.rate_cap);
+    // …and never to a commitment whose window has not opened.
+    EXPECT_TRUE(p.active_at(0)) << "label for inactive " << p.actor;
+  }
+  // Conservation: handed-out capacity plus the leftover equals the supply.
+  EXPECT_LE(total, 7);
+  EXPECT_EQ(total + capacity[cpu1], 7);
+  // The labels form a legal transition.
+  SystemState advanced = s0;
+  advanced.advance(labels);
+}
+
+TEST_F(WaterFillPropertyTest, SplitIsInvariantUnderParticipantOrder) {
+  const SystemState s0 = mixed_state();
+  std::map<LocatedType, Rate> capacity;
+  const auto canonical = water_fill_labels(s0, {0, 1, 2, 3}, capacity);
+  ASSERT_FALSE(canonical.empty());
+
+  std::vector<std::size_t> participants{0, 1, 2, 3};
+  std::sort(participants.begin(), participants.end());
+  do {
+    std::map<LocatedType, Rate> scratch;
+    const auto permuted = water_fill_labels(s0, participants, scratch);
+    EXPECT_EQ(permuted, canonical)
+        << "water-fill split depends on participant enumeration order";
+    EXPECT_EQ(scratch[cpu1], capacity.at(cpu1));
+  } while (std::next_permutation(participants.begin(), participants.end()));
 }
 
 }  // namespace

@@ -63,5 +63,11 @@ TEST(FuzzOracles, SimFamilyIsDivergenceFree) {
   EXPECT_EQ(report.cases, 25u);
 }
 
+TEST(FuzzOracles, FeasibilityFamilyIsDivergenceFree) {
+  const OracleReport report = run_feasibility_oracle(20260807, 60);
+  EXPECT_TRUE(report.clean()) << describe(report);
+  EXPECT_EQ(report.cases, 60u);
+}
+
 }  // namespace
 }  // namespace rota::fuzz

@@ -23,6 +23,7 @@
 #include "rota/cluster/node.hpp"
 #include "rota/computation/requirement.hpp"
 #include "rota/logic/planner.hpp"
+#include "rota/logic/symbolic/feasibility.hpp"
 #include "rota/runtime/batch_controller.hpp"
 #include "rota/util/rng.hpp"
 #include "rota/workload/generator.hpp"
@@ -278,7 +279,10 @@ TEST(PlanKernelStaleness, StalenessRedoAndAuditReplayConverge) {
 
 /// Reference implementation of the deadline search: every probe restricts
 /// the residual to its own candidate window (what each surface did before
-/// the snapshot's restriction cache) and calls the planner directly.
+/// the snapshot's restriction cache) and calls the planner directly —
+/// including the kernel's symbolic rescue of order-sensitive greedy
+/// rejections, so the reference probes the same feasibility predicate the
+/// kernel does (same budget, see kKernelProbeOptions in plan/kernel.cpp).
 std::optional<Tick> reference_earliest_deadline(const ResourceSet& residual,
                                                 const ConcurrentRequirement& rho,
                                                 Tick latest,
@@ -286,8 +290,14 @@ std::optional<Tick> reference_earliest_deadline(const ResourceSet& residual,
   const Tick start = rho.window().start();
   auto feasible_by = [&](Tick d) {
     const TimeInterval window(start, d);
-    return plan_concurrent(residual.restricted(window),
-                           clip_requirement(rho, window), policy)
+    const ResourceSet view = residual.restricted(window);
+    const ConcurrentRequirement clipped = clip_requirement(rho, window);
+    if (plan_concurrent(view, clipped, policy).has_value()) return true;
+    if (policy != PlanningPolicy::kAsap || clipped.actors().size() <= 1) {
+      return false;
+    }
+    return symbolic_concurrent_plan(view, clipped, start,
+                                    FeasibilityOptions{20'000, 256})
         .has_value();
   };
   if (!feasible_by(latest)) return std::nullopt;
