@@ -1,0 +1,347 @@
+// E19: admission-as-a-service under load — anytime strategies, the SLO
+// governor, and load shedding.
+//
+// Two load shapes against the in-process AdmissionService (the daemon core;
+// the socket layer adds nothing to planning latency worth benchmarking here),
+// one artifact (BENCH_service_latency.json; pass a path as argv[1] to
+// redirect):
+//
+//   light — an open-loop trickle (diurnal pattern, wall-clock gaps far wider
+//     than exact planning time). The governor must never leave kExact: at
+//     least 99% of requests are decided by the exact kernel within budget
+//     and nothing is shed.
+//
+//   flash — a flash crowd: producers flood requests far faster than the
+//     lanes can plan. The bounded queue must shed (kOverloaded, never
+//     silence), the governor must demote at least once, the queue depth must
+//     stay within its bound, and the p99 planning latency of *served*
+//     requests must stay within the SLO — overload degrades acceptance
+//     latency for the shed, never decision latency for the served.
+//
+//   calm  — a slow tail after the crowd: the governor must promote back
+//     toward kExact once pressure clears.
+//
+// Safety gate, both phases: service.revalidations_failed == 0 — every accept
+// from every rung carried a plan the live residual covered at commit. Any
+// violation is fatal (exit 1) and the artifact is not written.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rota/service/service.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace {
+
+using namespace rota;
+using namespace rota::service;
+
+constexpr Tick kHorizon = 4000;
+
+WorkloadGenerator make_generator(std::uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.num_locations = 4;
+  config.laxity = 3.0;
+  return WorkloadGenerator(config, CostModel{});
+}
+
+/// Collects streamed decisions and lets the driver await the full count.
+struct Collector {
+  void on_response(const AdmitResponse& response) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(response);
+    all_in.notify_all();
+  }
+  void await(std::size_t expected) {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_in.wait(lock, [&] { return responses.size() >= expected; });
+  }
+  std::size_t served_by(const char* strategy) const {
+    std::size_t n = 0;
+    for (const auto& r : responses) {
+      if (r.strategy == strategy) ++n;
+    }
+    return n;
+  }
+  std::size_t with_verdict(Verdict v) const {
+    std::size_t n = 0;
+    for (const auto& r : responses) {
+      if (r.verdict == v) ++n;
+    }
+    return n;
+  }
+
+  std::mutex mutex;
+  std::condition_variable all_in;
+  std::vector<AdmitResponse> responses;
+};
+
+struct PhaseReport {
+  std::size_t requests = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t by_exact = 0, by_digest = 0, by_greedy = 0;
+  std::uint64_t p99_planning_ns = 0;
+  std::uint64_t demotions = 0, promotions = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+PhaseReport report_of(const Collector& collected, const ServiceStats& stats) {
+  PhaseReport r;
+  r.requests = collected.responses.size();
+  r.accepted = collected.with_verdict(Verdict::kAccepted);
+  r.rejected = collected.with_verdict(Verdict::kRejected);
+  r.shed = collected.with_verdict(Verdict::kOverloaded);
+  r.by_exact = collected.served_by("exact");
+  r.by_digest = collected.served_by("digest");
+  r.by_greedy = collected.served_by("greedy");
+  r.p99_planning_ns = stats.planning_ns.quantile_upper_bound(0.99);
+  r.demotions = stats.demotions;
+  r.promotions = stats.promotions;
+  r.max_queue_depth = stats.max_queue_depth;
+  return r;
+}
+
+void print_phase(const char* name, const PhaseReport& r) {
+  std::printf(
+      "%-6s %5zu req  %4zu acc  %4zu rej  %4zu shed  "
+      "exact/digest/greedy %zu/%zu/%zu  p99 %.2fms  demote %llu  "
+      "promote %llu  maxq %llu\n",
+      name, r.requests, r.accepted, r.rejected, r.shed, r.by_exact, r.by_digest,
+      r.by_greedy, static_cast<double>(r.p99_planning_ns) / 1e6,
+      static_cast<unsigned long long>(r.demotions),
+      static_cast<unsigned long long>(r.promotions),
+      static_cast<unsigned long long>(r.max_queue_depth));
+}
+
+void write_phase(std::ofstream& out, const char* name, const PhaseReport& r,
+                 bool trailing_comma) {
+  out << "  \"" << name << "\": {\"requests\": " << r.requests
+      << ", \"accepted\": " << r.accepted << ", \"rejected\": " << r.rejected
+      << ", \"shed\": " << r.shed << ", \"by_exact\": " << r.by_exact
+      << ", \"by_digest\": " << r.by_digest << ", \"by_greedy\": " << r.by_greedy
+      << ", \"p99_planning_ns\": " << r.p99_planning_ns
+      << ", \"demotions\": " << r.demotions
+      << ", \"promotions\": " << r.promotions
+      << ", \"max_queue_depth\": " << r.max_queue_depth << "}"
+      << (trailing_comma ? "," : "") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "== E19: admission service latency under load ==\n\n";
+  std::string json_path = "BENCH_service_latency.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      json_path = arg;
+    }
+  }
+
+  const std::uint64_t slo_ns = 20'000'000;  // 20 ms served-request p99 target
+
+  // ---- Phase 1: light load ------------------------------------------------
+  // Diurnal trickle, ~2ms wall-clock between arrivals: orders of magnitude
+  // wider than exact planning, so the governor has no reason to move.
+  const std::size_t light_n = smoke ? 120 : 600;
+  PhaseReport light;
+  {
+    WorkloadGenerator gen = make_generator(2026);
+    CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+    ServiceConfig config;
+    config.lanes = 2;
+    config.queue_capacity = 64;
+    config.default_budget_us = 20'000;
+    config.governor.slo_ns = slo_ns;
+    AdmissionService svc(ledger, gen.phi(), config);
+
+    ArrivalPattern pattern;
+    pattern.base_mean_interarrival = 4.0;
+    pattern.diurnal_amplitude = 0.5;
+    pattern.diurnal_period = kHorizon / 2;
+    std::vector<Arrival> arrivals = gen.make_arrivals(kHorizon, pattern);
+    if (arrivals.size() > light_n) arrivals.resize(light_n);
+
+    Collector collected;
+    std::uint64_t id = 0;
+    for (const Arrival& a : arrivals) {
+      AdmitRequest request;
+      request.id = ++id;
+      request.at = a.at;
+      request.computation = a.computation;
+      svc.submit(std::move(request),
+                 [&collected](const AdmitResponse& r) { collected.on_response(r); });
+      // Open loop: the tick gap mapped to wall clock (0.5ms per tick at mean
+      // gap 4 ticks ≈ 2ms between arrivals).
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    collected.await(arrivals.size());
+    light = report_of(collected, svc.stats());
+    svc.drain_and_stop();
+    if (svc.stats().revalidations_failed != 0) {
+      std::cerr << "FATAL: light phase revalidation failures\n";
+      return 1;
+    }
+  }
+  print_phase("light", light);
+  const double exact_fraction =
+      light.requests == 0
+          ? 0.0
+          : static_cast<double>(light.by_exact) / static_cast<double>(light.requests);
+  if (exact_fraction < 0.99 || light.shed != 0) {
+    std::cerr << "FATAL: light load must be served by kExact without shedding "
+              << "(exact fraction " << exact_fraction << ", shed " << light.shed
+              << ")\n";
+    return 1;
+  }
+
+  // ---- Phase 2: flash crowd ----------------------------------------------
+  // Producers flood the queue far faster than two lanes can plan: the queue
+  // bound turns the excess into explicit sheds and sustained depth drives
+  // the governor down the ladder.
+  const std::size_t flash_n = smoke ? 600 : 3000;
+  PhaseReport flash;
+  PhaseReport calm;
+  std::uint64_t revalidations = 0;
+  int final_level = 0;
+  {
+    WorkloadGenerator gen = make_generator(2027);
+    CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+    ServiceConfig config;
+    config.lanes = 2;
+    config.queue_capacity = 64;
+    config.default_budget_us = 20'000;
+    config.governor.slo_ns = slo_ns;
+    config.governor.queue_high = 16;
+    config.governor.queue_low = 4;
+    config.governor.demote_after = 4;
+    config.governor.promote_after = smoke ? 16 : 32;
+    AdmissionService svc(ledger, gen.phi(), config);
+
+    // The flash crowd itself: a pattern whose flash window covers the whole
+    // burst, realized as 4 producers submitting back-to-back.
+    ArrivalPattern pattern;
+    pattern.base_mean_interarrival = 4.0;
+    pattern.flash_multiplier = 50.0;
+    pattern.flash_at = 0;
+    pattern.flash_duration = 400;
+    std::vector<Arrival> arrivals = gen.make_arrivals(kHorizon, pattern);
+    while (arrivals.size() < flash_n) {
+      std::vector<Arrival> more = gen.make_arrivals(kHorizon, pattern);
+      arrivals.insert(arrivals.end(), more.begin(), more.end());
+    }
+    arrivals.resize(flash_n);
+
+    Collector collected;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= arrivals.size()) return;
+          AdmitRequest request;
+          request.id = static_cast<std::uint64_t>(i) + 1;
+          request.at = arrivals[i].at;
+          request.computation = arrivals[i].computation;
+          svc.submit(std::move(request), [&collected](const AdmitResponse& r) {
+            collected.on_response(r);
+          });
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    collected.await(arrivals.size());
+    flash = report_of(collected, svc.stats());
+
+    // ---- Phase 3: calm tail — promotion after pressure clears -------------
+    const std::size_t calm_n =
+        static_cast<std::size_t>(config.governor.promote_after) * 2 + 8;
+    Collector calm_collected;
+    const ServiceStats before_calm = svc.stats();
+    for (std::size_t i = 0; i < calm_n; ++i) {
+      AdmitRequest request;
+      request.id = 1'000'000 + i;
+      request.at = arrivals[i % arrivals.size()].at;
+      request.computation = gen.make_computation(request.at);
+      svc.submit(std::move(request), [&calm_collected](const AdmitResponse& r) {
+        calm_collected.on_response(r);
+      });
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    calm_collected.await(calm_n);
+    calm = report_of(calm_collected, svc.stats());
+    calm.demotions -= flash.demotions;    // phase-local deltas
+    calm.promotions -= flash.promotions;
+    calm.max_queue_depth = before_calm.max_queue_depth;
+    final_level = static_cast<int>(svc.governor().level());
+
+    svc.drain_and_stop();
+    revalidations = svc.stats().revalidations_failed;
+  }
+  print_phase("flash", flash);
+  print_phase("calm", calm);
+  std::printf("final governor level: %s   revalidations failed: %llu\n",
+              strategy_name(static_cast<StrategyKind>(final_level)),
+              static_cast<unsigned long long>(revalidations));
+
+  // ---- Acceptance checks --------------------------------------------------
+  if (revalidations != 0) {
+    std::cerr << "FATAL: a degraded accept was refused by the live residual\n";
+    return 1;
+  }
+  if (flash.demotions == 0) {
+    std::cerr << "FATAL: flash crowd did not demote the governor\n";
+    return 1;
+  }
+  if (flash.shed == 0) {
+    std::cerr << "FATAL: flash crowd was not shed (queue bound ineffective)\n";
+    return 1;
+  }
+  if (flash.max_queue_depth > 64) {
+    std::cerr << "FATAL: queue depth " << flash.max_queue_depth
+              << " exceeded its bound\n";
+    return 1;
+  }
+  if (flash.p99_planning_ns > slo_ns) {
+    std::cerr << "FATAL: served-request p99 " << flash.p99_planning_ns
+              << "ns exceeded the " << slo_ns << "ns SLO\n";
+    return 1;
+  }
+  if (calm.promotions == 0) {
+    std::cerr << "FATAL: governor failed to promote after pressure cleared\n";
+    return 1;
+  }
+
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"e19_service\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"slo_ns\": " << slo_ns << ",\n"
+      << "  \"queue_capacity\": 64,\n"
+      << "  \"light_exact_fraction\": " << exact_fraction << ",\n";
+  write_phase(out, "light", light, true);
+  write_phase(out, "flash", flash, true);
+  write_phase(out, "calm", calm, true);
+  out << "  \"final_level\": \"" << strategy_name(static_cast<StrategyKind>(final_level))
+      << "\",\n  \"revalidations_failed\": " << revalidations << "\n}\n";
+  if (!out.good()) {
+    std::cerr << "ERROR: could not write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

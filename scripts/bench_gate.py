@@ -17,6 +17,14 @@ e15_throughput — fails (exit 1) when:
     usable cpus as benched lanes, or both artifacts ran equally
     oversubscribed.
 
+e19_service — fails (exit 1) when the candidate's light phase was not served
+  ≥ 99% by the exact strategy with zero sheds, the flash phase failed to
+  demote or shed, the queue depth exceeded its bound, the served-request p99
+  exceeded the SLO, the governor never promoted back in the calm tail, or any
+  revalidation failed (a degraded accept the live residual refused). All
+  checks are candidate self-consistency; wall-clock latencies are printed for
+  trend reading but never compared across hosts.
+
 e18_feasibility — fails (exit 1) when:
   * the candidate's differential parity section records any divergence, or
     ran fewer cases than the smoke floor (100);
@@ -35,6 +43,12 @@ recording days while still catching regressions in the batch pipeline
 itself. Raw throughput is gated only when a sequential result is missing.
 
 Prints a per-lane comparison table either way.
+
+A baseline recorded by an older bench version may lack keys the gate reads
+(artifacts grow fields). A missing baseline key is reported and the baseline
+is treated as absent — the candidate's self-consistency checks still run,
+only the cross-run comparisons are skipped. A missing *candidate* key is a
+real failure: the candidate must carry everything its own gate checks.
 """
 
 import argparse
@@ -62,10 +76,12 @@ def sequential_rps(doc):
     return None
 
 
-def max_lane_rps(doc):
+def max_lane_rps(doc, role):
     batches = batch_results(doc)
     if not batches:
-        sys.exit("bench_gate: artifact has no batch results")
+        if role == "candidate":
+            sys.exit("bench_gate: candidate artifact has no batch results")
+        return None, None  # empty/older baseline: comparisons are skipped
     lanes = max(batches)
     return lanes, float(batches[lanes]["requests_per_sec"])
 
@@ -111,6 +127,59 @@ def gate_e18(base, cand):
     return failures
 
 
+def gate_e19(base, cand):
+    failures = []
+
+    def phase(doc, name):
+        return doc.get(name, {}) or {}
+
+    print(f"{'phase':>6} {'requests':>9} {'accepted':>9} {'shed':>6} "
+          f"{'exact':>6} {'digest':>7} {'greedy':>7} {'p99_ms':>8}")
+    for name in ("light", "flash", "calm"):
+        c = phase(cand, name)
+        b = phase(base, name)
+        p99 = float(c.get("p99_planning_ns", 0)) / 1e6
+        b_p99 = float(b.get("p99_planning_ns", 0)) / 1e6
+        note = f"  (baseline {b_p99:.2f}ms)" if b else ""
+        print(f"{name:>6} {int(c.get('requests', 0)):>9} "
+              f"{int(c.get('accepted', 0)):>9} {int(c.get('shed', 0)):>6} "
+              f"{int(c.get('by_exact', 0)):>6} {int(c.get('by_digest', 0)):>7} "
+              f"{int(c.get('by_greedy', 0)):>7} {p99:>8.2f}{note}")
+
+    # Candidate self-consistency — the acceptance criteria the bench also
+    # enforces in-process; re-checked here so a tampered or truncated
+    # artifact cannot pass.
+    light, flash, calm = (phase(cand, n) for n in ("light", "flash", "calm"))
+    slo_ns = int(cand["slo_ns"])
+    capacity = int(cand["queue_capacity"])
+    exact_fraction = float(cand["light_exact_fraction"])
+    if exact_fraction < 0.99:
+        failures.append(
+            f"light phase: exact strategy served only {exact_fraction:.1%} "
+            "(>= 99% required)")
+    if int(light.get("shed", -1)) != 0:
+        failures.append("light phase shed requests under a trickle load")
+    if int(flash.get("demotions", 0)) < 1:
+        failures.append("flash crowd did not demote the governor")
+    if int(flash.get("shed", 0)) < 1:
+        failures.append("flash crowd was not shed (queue bound ineffective)")
+    if int(flash.get("max_queue_depth", capacity + 1)) > capacity:
+        failures.append(
+            f"queue depth {flash.get('max_queue_depth')} exceeded the "
+            f"{capacity} bound")
+    if int(flash.get("p99_planning_ns", slo_ns + 1)) > slo_ns:
+        failures.append(
+            f"served-request p99 {flash.get('p99_planning_ns')}ns exceeded "
+            f"the {slo_ns}ns SLO")
+    if int(calm.get("promotions", 0)) < 1:
+        failures.append("governor never promoted back after pressure cleared")
+    if int(cand["revalidations_failed"]) != 0:
+        failures.append(
+            f"{cand['revalidations_failed']} degraded accept(s) were refused "
+            "by the live residual — the anytime safety invariant broke")
+    return failures
+
+
 def gate_e15(base, cand, max_regression):
     failures = []
 
@@ -119,8 +188,13 @@ def gate_e15(base, cand, max_regression):
     if "parity" not in cand or "identical" not in str(cand["parity"]):
         failures.append("candidate artifact carries no parity attestation")
 
-    base_lanes, base_rps = max_lane_rps(base)
-    cand_lanes, cand_rps = max_lane_rps(cand)
+    base_lanes, base_rps = max_lane_rps(base, "baseline")
+    cand_lanes, cand_rps = max_lane_rps(cand, "candidate")
+    if base_lanes is None:
+        print("baseline : no batch results — throughput comparison skipped")
+        print(f"candidate: host_cpus={cand.get('host_cpus', '?')}, "
+              f"batch@{cand_lanes} = {cand_rps:.0f} req/s")
+        return failures
 
     print(f"baseline : host_cpus={base.get('host_cpus', '?')}, "
           f"batch@{base_lanes} = {base_rps:.0f} req/s")
@@ -194,10 +268,28 @@ def main():
                  f"({base.get('bench')} vs {kind})")
     print(f"baseline : {args.baseline}\ncandidate: {args.candidate} "
           f"({kind})\n")
-    if kind == "e18_feasibility":
-        failures = gate_e18(base, cand)
-    else:
-        failures = gate_e15(base, cand, args.max_regression)
+
+    def run_gate(base_doc):
+        if kind == "e18_feasibility":
+            return gate_e18(base_doc, cand)
+        if kind == "e19_service":
+            return gate_e19(base_doc, cand)
+        return gate_e15(base_doc, cand, args.max_regression)
+
+    try:
+        failures = run_gate(base)
+    except KeyError as e:
+        # The baseline predates a key this gate reads (artifacts grow
+        # fields). Degrade gracefully: report it, drop the baseline, and
+        # still hold the candidate to its self-consistency checks. If the
+        # *candidate* is the one missing the key, the retry below fails the
+        # same way — and that is a hard error, not a skip.
+        print(f"\nbaseline is missing key {e} — treating as no baseline "
+              "(cross-run comparisons skipped)\n")
+        try:
+            failures = run_gate({"bench": kind})
+        except KeyError as e2:
+            sys.exit(f"bench_gate: candidate artifact is missing key {e2}")
 
     if failures:
         for f in failures:

@@ -62,6 +62,20 @@ CoreMetrics& CoreMetrics::get() {
         r.counter("fabric.dropped"),
         r.counter("fabric.delivered"),
         r.histogram("fabric.delay_ticks"),
+        r.counter("service.requests"),
+        r.counter("service.shed"),
+        r.counter("service.accepted"),
+        r.counter("service.rejected"),
+        r.counter("service.demotions"),
+        r.counter("service.promotions"),
+        r.counter("service.budget_cancels"),
+        r.counter("service.revalidations_failed"),
+        r.gauge("service.queue_depth"),
+        r.gauge("service.level"),
+        r.histogram("service.latency.exact_ns"),
+        r.histogram("service.latency.digest_ns"),
+        r.histogram("service.latency.greedy_ns"),
+        r.histogram("service.queue_ns"),
     };
   }();
   return metrics;

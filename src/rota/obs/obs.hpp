@@ -153,6 +153,24 @@ struct CoreMetrics {
   Counter& fabric_delivered;
   Histogram& fabric_delay_ticks;    // per-delivered-message latency (ticks)
 
+  // Admission service (the long-running daemon in rota/service/).
+  Counter& service_requests;        // requests accepted into the queue
+  Counter& service_shed;            // kOverloaded responses (queue full, or
+                                    // budget exhausted before any verdict)
+  Counter& service_accepted;        // admission accepts served
+  Counter& service_rejected;        // admission rejects served
+  Counter& service_demotions;       // governor moved down the ladder
+  Counter& service_promotions;      // governor moved back up
+  Counter& service_budget_cancels;  // speculations cancelled mid-flight
+  Counter& service_revalidations_failed;  // degraded accept refused by the
+                                          // ledger at commit (must stay 0)
+  Gauge& service_queue_depth;       // admission queue depth (backpressure in)
+  Gauge& service_level;             // governor ladder rung (0 exact..2 greedy)
+  Histogram& service_latency_exact_ns;   // planning wall time per strategy
+  Histogram& service_latency_digest_ns;
+  Histogram& service_latency_greedy_ns;
+  Histogram& service_queue_ns;      // per-request time spent queued
+
   static CoreMetrics& get();
 };
 

@@ -39,6 +39,7 @@ const char* PlanResult::reject_reason() const {
     case PlanStatus::kDeadlinePassed: return "deadline has already passed";
     case PlanStatus::kInfeasible:
       return "no feasible plan over expiring resources";
+    case PlanStatus::kCancelled: return "planning budget exhausted";
   }
   return "";
 }
@@ -55,7 +56,8 @@ constexpr FeasibilityOptions kKernelProbeOptions{/*node_budget=*/20'000,
 PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
                              const FeasibilitySnapshot& snapshot,
                              const ResourceSet* focused_view,
-                             PlanningPolicy policy) {
+                             PlanningPolicy policy,
+                             const SpeculateOptions& options = {}) {
   PlanResult result;
   result.computation = rho.name();
   result.at = at;
@@ -72,14 +74,20 @@ PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
     result.touched_mask = touched_shard_mask(rho);
     result.shard_stamp = snapshot.shard_stamp(result.touched_mask);
   }
+  if (options.cancel != nullptr && options.cancel->expired()) {
+    result.status = PlanStatus::kCancelled;
+    return result;
+  }
   ROTA_OBS_SPAN("plan.speculate");
   const bool metered = obs::metrics_enabled();
   if (metered) obs::CoreMetrics::get().plan_speculations.add();
   const ResourceSet& view =
-      focused_view != nullptr
-          ? *focused_view
-          : (snapshot.pre_restricted() ? snapshot.view()
-                                       : snapshot.restricted(result.window));
+      options.view_override != nullptr
+          ? *options.view_override
+          : (focused_view != nullptr
+                 ? *focused_view
+                 : (snapshot.pre_restricted() ? snapshot.view()
+                                              : snapshot.restricted(result.window)));
   // Most requests arrive before their window opens, so the clip is a no-op;
   // skip the requirement deep-copy when every actor window already matches.
   const bool clip_needed =
@@ -92,13 +100,21 @@ PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
   if (clip_needed) clipped.emplace(clip_requirement(rho, result.window));
   const ConcurrentRequirement& effective = clipped ? *clipped : rho;
   auto plan = plan_concurrent(view, effective, policy);
-  if (!plan && policy == PlanningPolicy::kAsap && effective.actors().size() > 1) {
+  if (!plan && policy == PlanningPolicy::kAsap && effective.actors().size() > 1 &&
+      options.symbolic_rescue) {
     // The sequential planner admits actors one at a time and its rejection of
     // a contended multi-actor requirement can be spurious (order-sensitive).
     // Retry with the symbolic cut-point engine before giving up: exact within
     // its budget, deterministic, so every surface sharing the kernel keeps
     // identical decisions. Gated to kAsap — the kAlap/kUniform ablations
     // deliberately measure their policy's own (incomplete) behavior.
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      // Boundary check between the ladder and the (costlier) rescue: a spent
+      // budget turns the spurious-maybe rejection into kCancelled rather than
+      // letting the cut search blow the latency SLO.
+      result.status = PlanStatus::kCancelled;
+      return result;
+    }
     plan = symbolic_concurrent_plan(view, effective, at, kKernelProbeOptions);
     if (plan && metered) obs::CoreMetrics::get().plan_speculations_rescued.add();
   }
@@ -117,6 +133,12 @@ PlanResult speculate_against(const ConcurrentRequirement& rho, Tick at,
 PlanResult PlanningKernel::speculate(const ConcurrentRequirement& rho, Tick at,
                                      const FeasibilitySnapshot& snapshot) const {
   return speculate_against(rho, at, snapshot, nullptr, policy_);
+}
+
+PlanResult PlanningKernel::speculate(const ConcurrentRequirement& rho, Tick at,
+                                     const FeasibilitySnapshot& snapshot,
+                                     const SpeculateOptions& options) const {
+  return speculate_against(rho, at, snapshot, nullptr, policy_, options);
 }
 
 PlanResult PlanningKernel::speculate_within(const ConcurrentRequirement& rho,
@@ -160,6 +182,13 @@ CommitStatus PlanningKernel::commit(const PlanResult& result,
     }
     if (metered) obs::CoreMetrics::get().plan_commit_shard_salvaged.add();
   }
+  if (result.status == PlanStatus::kCancelled) {
+    // A cancelled speculation is not a decision — committing it would issue a
+    // rejection the exact kernel might have accepted, breaking parity. Treat
+    // it like a stale result: nothing issued, the caller re-speculates
+    // (typically with a cheaper strategy or sheds the request).
+    return CommitStatus::kStale;
+  }
   ledger.advance_to(std::max(result.at, ledger.now()));
   out = AdmissionDecision{};
   switch (result.status) {
@@ -171,6 +200,8 @@ CommitStatus PlanningKernel::commit(const PlanResult& result,
       out.reason = result.reject_reason();
       if (metered) obs::CoreMetrics::get().plan_commit_rejected_no_plan.add();
       return CommitStatus::kCommitted;
+    case PlanStatus::kCancelled:  // unreachable: early-returned above
+      return CommitStatus::kStale;
     case PlanStatus::kFeasible:
       break;
   }

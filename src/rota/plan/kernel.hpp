@@ -41,6 +41,7 @@
 #include "rota/admission/ledger.hpp"
 #include "rota/computation/requirement.hpp"
 #include "rota/logic/planner.hpp"
+#include "rota/plan/budget.hpp"
 #include "rota/plan/snapshot.hpp"
 
 namespace rota {
@@ -71,6 +72,8 @@ enum class PlanStatus {
   kFeasible,        // a plan exists against the snapshot
   kDeadlinePassed,  // effective window empty at the arrival tick
   kInfeasible,      // planner found no feasible consumption plan
+  kCancelled,       // planning-time budget expired before a verdict — not a
+                    // decision; commit() refuses it (kStale, nothing issued)
 };
 
 /// One speculation's outcome, stamped with the snapshot revision it is valid
@@ -107,6 +110,28 @@ enum class CommitStatus {
   kStale,      // revision moved since speculation; nothing issued
 };
 
+/// Knobs for the budget-aware speculate entry point. Defaults reproduce the
+/// plain speculate() exactly; the admission service's anytime strategies vary
+/// them per request.
+struct SpeculateOptions {
+  /// Checked at speculation boundaries (entry, and between the greedy ladder
+  /// and the symbolic rescue). Expired => PlanStatus::kCancelled. May be
+  /// null: never cancelled.
+  const CancellationToken* cancel = nullptr;
+
+  /// When false, a greedy multi-actor rejection stands — the symbolic
+  /// cut-point rescue is skipped (the service's kGreedy "fast ladder only"
+  /// strategy, and a sensible default once the budget is nearly gone).
+  bool symbolic_rescue = true;
+
+  /// Plan against this availability instead of the snapshot's view. The
+  /// caller warrants it is dominated by the snapshot's true view (e.g. a
+  /// StepFunction digest hull), so any plan found is feasible against the
+  /// live residual and the result keeps the snapshot's revision stamps —
+  /// commit-able exactly like an exact speculation.
+  const ResourceSet* view_override = nullptr;
+};
+
 class PlanningKernel {
  public:
   explicit PlanningKernel(PlanningPolicy policy = PlanningPolicy::kAsap)
@@ -119,6 +144,14 @@ class PlanningKernel {
   /// supplies), and through the snapshot's restriction cache otherwise.
   PlanResult speculate(const ConcurrentRequirement& rho, Tick at,
                        const FeasibilitySnapshot& snapshot) const;
+
+  /// Budget-aware speculation: speculate() with a cancellation token checked
+  /// at speculation boundaries, an optional rescue opt-out, and an optional
+  /// dominated-view override (see SpeculateOptions). With default options
+  /// this is bit-identical to speculate().
+  PlanResult speculate(const ConcurrentRequirement& rho, Tick at,
+                       const FeasibilitySnapshot& snapshot,
+                       const SpeculateOptions& options) const;
 
   /// Speculation against the snapshot restricted to `focus` (served from the
   /// snapshot's restriction cache). `focus` must cover the requirement's

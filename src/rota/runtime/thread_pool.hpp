@@ -32,11 +32,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total lanes including the calling thread.
-  std::size_t concurrency() const { return workers_.size() + 1; }
+  /// Total lanes including the calling thread (stable across shutdown()).
+  std::size_t concurrency() const { return lanes_; }
 
-  /// Enqueues one task; runs inline when the pool has no workers.
-  void submit(std::function<void()> task);
+  /// Enqueues one task; runs inline when the pool has no workers. Returns
+  /// false — task dropped, never run — once shutdown() has begun: a stopping
+  /// server must not accept work it cannot finish.
+  bool submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is mid-flight. Does not
+  /// stop intake: a quiesce point, not a terminal state (callers wanting
+  /// terminal semantics use shutdown()).
+  void drain();
+
+  /// Clean shutdown: refuses new submissions, drains queued and in-flight
+  /// work to completion, then joins the workers. Safe to call from a
+  /// signal-driven stop path and idempotent; the destructor calls it.
+  void shutdown();
 
   /// Runs body(i) for every i in [0, n), spread over the workers and the
   /// calling thread; returns when all iterations finished. The first
@@ -48,10 +60,14 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::size_t lanes_ = 1;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
-  bool stopping_ = false;
+  std::condition_variable idle_;   // signaled when queue empty and active_ == 0
+  std::size_t active_ = 0;         // tasks popped but not yet finished
+  bool draining_ = false;          // shutdown() begun: submit() refuses
+  bool stopping_ = false;          // workers exit once the queue is empty
 };
 
 }  // namespace rota

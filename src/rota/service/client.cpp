@@ -1,0 +1,116 @@
+#include "rota/service/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace rota::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+ServiceClient ServiceClient::connect_unix(const std::string& path) {
+  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect(unix)");
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient ServiceClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("connect(tcp)");
+  }
+  return ServiceClient(fd);
+}
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), frames_(std::move(other.frames_)) {}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    frames_ = std::move(other.frames_);
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::send(const AdmitRequest& request) {
+  if (fd_ < 0) throw std::runtime_error("ServiceClient: closed");
+  const std::string bytes = frame(request_payload(request));
+  const char* data = bytes.data();
+  std::size_t n = bytes.size();
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+std::optional<AdmitResponse> ServiceClient::receive() {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {
+    if (auto payload = frames_.next()) {
+      return parse_response(*payload);
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) throw_errno("recv");
+    if (n == 0) return std::nullopt;  // clean EOF
+    frames_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+AdmitResponse ServiceClient::call(const AdmitRequest& request) {
+  send(request);
+  while (auto response = receive()) {
+    if (response->id == request.id) return *response;
+    // A decision for an earlier pipelined request: not ours, keep reading.
+  }
+  throw std::runtime_error("connection closed before decision for request " +
+                           std::to_string(request.id));
+}
+
+}  // namespace rota::service

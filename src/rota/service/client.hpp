@@ -1,0 +1,50 @@
+// ServiceClient: a blocking connection to the admission daemon.
+//
+// One socket, framed with the same codec the server speaks. send() may be
+// pipelined (many requests in flight); receive() yields decisions in the
+// order the server made them, which is not necessarily submission order —
+// correlate by id. call() is the one-in-flight convenience that does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rota/service/codec.hpp"
+
+namespace rota::service {
+
+class ServiceClient {
+ public:
+  /// Factories throw std::system_error when the connection fails.
+  static ServiceClient connect_unix(const std::string& path);
+  static ServiceClient connect_tcp(std::uint16_t port);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  /// Frames and writes one request. Throws std::system_error on a broken
+  /// connection.
+  void send(const AdmitRequest& request);
+
+  /// Blocks for the next decision; nullopt on clean EOF (server drained and
+  /// closed). Throws CodecError on malformed frames.
+  std::optional<AdmitResponse> receive();
+
+  /// send + receive-until-matching-id. Throws std::runtime_error when the
+  /// connection closes before the matching decision arrives.
+  AdmitResponse call(const AdmitRequest& request);
+
+  void close();
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameReader frames_;
+};
+
+}  // namespace rota::service

@@ -1,0 +1,102 @@
+// Wire protocol for the admission service: length-prefixed frames carrying
+// line-oriented payloads that reuse the scenario DSL.
+//
+// A frame is a 4-byte little-endian payload length followed by the payload.
+// Length-prefixed framing keeps stream reassembly trivial (FrameReader below
+// is a few lines and allocation-light) and leaves the payload free to be
+// text — which matters, because the request body *is* the scenario DSL's
+// `computation … end` block (rota/io/scenario): anything a scenario file can
+// describe can be submitted over a socket unchanged, and every request is
+// printable, diffable, and replayable by the existing tooling.
+//
+//   request payload:
+//     admit <id> <at> <budget_us>
+//     computation <name> <start> <deadline>
+//       actor …
+//     end
+//
+//   response payload:
+//     decision <id> <accepted|rejected|overloaded> <strategy> <planning_ns> <queue_ns>
+//     reason <free text>                  (omitted when empty)
+//
+// `budget_us` is the request's planning-time budget in microseconds (0 means
+// "server default"). Responses stream back as decisions are made — possibly
+// out of submission order — correlated by id.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "rota/computation/actor_computation.hpp"
+
+namespace rota::service {
+
+/// Hard ceiling on a frame payload. A peer announcing more is malformed or
+/// hostile; the reader throws instead of buffering unboundedly.
+inline constexpr std::size_t kMaxFramePayload = 1 << 20;
+
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& message) : std::runtime_error(message) {}
+};
+
+enum class Verdict {
+  kAccepted,    // admitted with a feasible plan
+  kRejected,    // decided: no feasible plan (or deadline already passed)
+  kOverloaded,  // shed: not decided — queue full or planning budget exhausted
+};
+
+const char* verdict_name(Verdict v);
+
+struct AdmitRequest {
+  std::uint64_t id = 0;
+  Tick at = 0;                  // arrival tick (the controller's `now`)
+  std::uint64_t budget_us = 0;  // planning budget; 0 = server default
+  DistributedComputation computation;
+
+  bool operator==(const AdmitRequest&) const = default;
+};
+
+struct AdmitResponse {
+  std::uint64_t id = 0;
+  Verdict verdict = Verdict::kRejected;
+  std::string strategy;  // strategy that decided ("-" for shed responses)
+  std::string reason;    // rejection/shed cause, empty on accept
+  std::uint64_t planning_ns = 0;
+  std::uint64_t queue_ns = 0;
+
+  bool operator==(const AdmitResponse&) const = default;
+};
+
+/// Payload codecs. Parsers throw CodecError on malformed input.
+std::string request_payload(const AdmitRequest& request);
+AdmitRequest parse_request(const std::string& payload);
+std::string response_payload(const AdmitResponse& response);
+AdmitResponse parse_response(const std::string& payload);
+
+/// True when `payload` is an admit request (dispatch on the first token).
+bool is_request_payload(std::string_view payload);
+
+/// Wraps a payload in a length-prefixed frame.
+std::string frame(std::string_view payload);
+
+/// Incremental frame reassembly over an arbitrary byte stream: feed() the
+/// chunks the socket yields, drain complete payloads with next(). Throws
+/// CodecError when a frame announces more than kMaxFramePayload.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n);
+  /// The next complete payload, or nullopt when more bytes are needed.
+  std::optional<std::string> next();
+  /// Bytes buffered but not yet returned (diagnostics).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace rota::service

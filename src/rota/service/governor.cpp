@@ -1,0 +1,72 @@
+#include "rota/service/governor.hpp"
+
+#include <algorithm>
+
+namespace rota::service {
+
+SloGovernor::SloGovernor(GovernorConfig config) : config_(config) {
+  if (config_.latency_window == 0) config_.latency_window = 1;
+  if (config_.queue_low > config_.queue_high) config_.queue_low = config_.queue_high;
+  if (config_.demote_after == 0) config_.demote_after = 1;
+  if (config_.promote_after == 0) config_.promote_after = 1;
+  window_.reserve(config_.latency_window);
+}
+
+namespace {
+
+std::uint64_t p99_of(std::vector<std::uint64_t> samples) {
+  if (samples.empty()) return 0;
+  // Upper-bound rank: ceil(0.99 * n) - 1, clamped. With few samples this is
+  // simply the max, which is the conservative direction for a pressure test.
+  const std::size_t rank =
+      std::min(samples.size() - 1, (samples.size() * 99 + 99) / 100 - 1);
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+GovernorEvent SloGovernor::observe(std::uint64_t latency_ns,
+                                   std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.size() < config_.latency_window) {
+    window_.push_back(latency_ns);
+  } else {
+    window_[next_] = latency_ns;
+    next_ = (next_ + 1) % config_.latency_window;
+  }
+  const std::uint64_t p99 = p99_of(window_);
+  const bool pressure = p99 > config_.slo_ns || queue_depth >= config_.queue_high;
+  const bool calm = p99 <= config_.slo_ns && queue_depth < config_.queue_low;
+
+  const int level = level_.load(std::memory_order_relaxed);
+  if (pressure) {
+    calm_ = 0;
+    if (++pressured_ >= config_.demote_after &&
+        level < kStrategyCount - 1) {
+      pressured_ = 0;
+      level_.store(level + 1, std::memory_order_relaxed);
+      return GovernorEvent::kDemoted;
+    }
+    return GovernorEvent::kNone;
+  }
+  pressured_ = 0;
+  if (!calm) {
+    // Neither pressured nor calm (mid-band queue depth): hold position and
+    // let the calm streak survive — only pressure resets it.
+    return GovernorEvent::kNone;
+  }
+  if (++calm_ >= config_.promote_after && level > 0) {
+    calm_ = 0;
+    level_.store(level - 1, std::memory_order_relaxed);
+    return GovernorEvent::kPromoted;
+  }
+  return GovernorEvent::kNone;
+}
+
+std::uint64_t SloGovernor::p99_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p99_of(window_);
+}
+
+}  // namespace rota::service

@@ -1,0 +1,77 @@
+// The SLO governor: queue-depth + p99-latency feedback turned into a
+// degradation-ladder position.
+//
+// State machine (one rung per strategy; docs/service.md draws it):
+//
+//          pressure × demote_after            pressure × demote_after
+//   EXACT ─────────────────────────▶ DIGEST ─────────────────────────▶ GREEDY
+//     ◀───────────────────────────────  ◀───────────────────────────────
+//          calm × promote_after             calm × promote_after
+//
+//   pressure ≡ rolling p99 over the SLO, or queue depth over queue_high
+//   calm     ≡ p99 within the SLO and queue depth under queue_low
+//
+// Demotion is fast (a handful of pressured observations) because overload
+// compounds: every queued request's budget is burning while the lanes think
+// too slowly. Promotion is slow (many calm observations) because flapping is
+// worse than a few conservative decisions — the asymmetric hysteresis is the
+// whole point of having two thresholds and two counters.
+//
+// Shedding is not a rung: it is the bounded admission queue refusing intake
+// (kOverloaded at the front door) while the governor keeps the lanes'
+// per-request work under the SLO. The two mechanisms compose: the governor
+// bounds service time, the queue bounds waiting, so no request waits
+// unboundedly for a decision that arrives too late to matter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "rota/service/strategy.hpp"
+
+namespace rota::service {
+
+struct GovernorConfig {
+  std::uint64_t slo_ns = 20'000'000;  // p99 planning-latency target (20 ms)
+  std::size_t queue_high = 32;        // depth at/above which pressure is on
+  std::size_t queue_low = 4;          // depth below which calm can accrue
+  std::size_t latency_window = 128;   // sliding samples for the p99 estimate
+  std::uint32_t demote_after = 8;     // consecutive pressured observations
+  std::uint32_t promote_after = 64;   // consecutive calm observations
+};
+
+/// What one observation did to the ladder (for metrics and logs).
+enum class GovernorEvent { kNone, kDemoted, kPromoted };
+
+class SloGovernor {
+ public:
+  explicit SloGovernor(GovernorConfig config);
+
+  const GovernorConfig& config() const { return config_; }
+
+  /// Current ladder rung. Lock-free — lanes read it per request.
+  StrategyKind level() const {
+    return static_cast<StrategyKind>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Feeds one served-request observation (planning wall time + queue depth
+  /// at completion); returns the ladder movement it caused, if any.
+  GovernorEvent observe(std::uint64_t latency_ns, std::size_t queue_depth);
+
+  /// Rolling p99 upper bound (0 until any sample lands).
+  std::uint64_t p99_ns() const;
+
+ private:
+  GovernorConfig config_;
+  std::atomic<int> level_{static_cast<int>(StrategyKind::kExact)};
+
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> window_;  // ring buffer, guarded by mutex_
+  std::size_t next_ = 0;
+  std::uint32_t pressured_ = 0;  // consecutive pressure observations
+  std::uint32_t calm_ = 0;       // consecutive calm observations
+};
+
+}  // namespace rota::service

@@ -1,0 +1,235 @@
+#include "rota/service/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace rota::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int make_unix_listener(const std::string& path) {
+  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("bind(unix)");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen(unix)");
+  }
+  return fd;
+}
+
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("bind(tcp)");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen(tcp)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    throw_errno("getsockname(tcp)");
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One accepted connection: a reader thread feeding the service, and a
+/// write path any planning lane may call. Kept alive by shared_ptr — the
+/// response callbacks hold one, so a session outlives its socket peer for
+/// exactly as long as decisions are still owed to it.
+struct ServiceServer::Session {
+  explicit Session(int fd_in) : fd(fd_in) {}
+  ~Session() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_response(const AdmitResponse& response) {
+    const std::string bytes = frame(response_payload(response));
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!writable) return;
+    if (!send_all(fd, bytes.data(), bytes.size())) writable = false;
+  }
+
+  /// Ends the conversation from our side: the peer sees EOF (a protocol
+  /// violator would otherwise wait forever for a hang-up that never comes)
+  /// and later responses are dropped. stop()/~Session still own the close().
+  void hang_up() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    writable = false;
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  const int fd;
+  std::mutex write_mutex;
+  bool writable = true;  // guarded by write_mutex
+  std::thread reader;
+};
+
+ServiceServer::ServiceServer(AdmissionService& service, ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.unix_path.empty() && !config_.tcp) {
+    throw std::invalid_argument("ServiceServer needs a unix path or tcp");
+  }
+  if (!config_.unix_path.empty()) {
+    unix_fd_ = make_unix_listener(config_.unix_path);
+  }
+  if (config_.tcp) {
+    try {
+      tcp_fd_ = make_tcp_listener(config_.tcp_port, bound_tcp_port_);
+    } catch (...) {
+      if (unix_fd_ >= 0) ::close(unix_fd_);
+      throw;
+    }
+  }
+  // Capture the fds by value: the members are overwritten by stop() (which
+  // may run before a freshly spawned acceptor gets scheduled), the captured
+  // copies are immutable.
+  if (const int fd = unix_fd_; fd >= 0) {
+    acceptors_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+  if (const int fd = tcp_fd_; fd >= 0) {
+    acceptors_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+void ServiceServer::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop()) or fatal: acceptor exits
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    start_session(fd);
+  }
+}
+
+void ServiceServer::start_session(int fd) {
+  auto session = std::make_shared<Session>(fd);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.push_back(session);
+  }
+  session->reader = std::thread([this, session] {
+    FrameReader frames;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // peer closed, or stop() half-closed us
+      try {
+        frames.feed(buf, static_cast<std::size_t>(n));
+        while (auto payload = frames.next()) {
+          AdmitRequest request = parse_request(*payload);
+          service_.submit(std::move(request),
+                          [session](const AdmitResponse& response) {
+                            session->write_response(response);
+                          });
+        }
+      } catch (const CodecError& e) {
+        // Protocol violation: answer what we can and hang up. (id 0 — a
+        // malformed frame has no trustworthy id.)
+        AdmitResponse err;
+        err.verdict = Verdict::kRejected;
+        err.reason = std::string("protocol error: ") + e.what();
+        session->write_response(err);
+        session->hang_up();
+        return;
+      }
+    }
+  });
+}
+
+void ServiceServer::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. No new connections: closing the listeners unblocks accept().
+  if (unix_fd_ >= 0) ::shutdown(unix_fd_, SHUT_RDWR);
+  if (tcp_fd_ >= 0) ::shutdown(tcp_fd_, SHUT_RDWR);
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  unix_fd_ = tcp_fd_ = -1;
+  for (auto& t : acceptors_) t.join();
+  acceptors_.clear();
+
+  // 2. No new requests: half-close every session for reading. The write
+  // halves stay open — queued decisions still owe responses.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions = sessions_;
+  }
+  for (auto& s : sessions) ::shutdown(s->fd, SHUT_RD);
+  for (auto& s : sessions) {
+    if (s->reader.joinable()) s->reader.join();
+  }
+
+  // 3. Drain: every request accepted into the queue is answered through the
+  // still-writable sessions before the lanes stop.
+  service_.drain_and_stop();
+
+  // 4. Tear down. Callbacks already delivered dropped their refs; clearing
+  // ours closes the sockets.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.clear();
+  }
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+}  // namespace rota::service

@@ -1,0 +1,266 @@
+#include "rota/service/service.hpp"
+
+#include <future>
+#include <utility>
+
+#include "rota/obs/obs.hpp"
+
+namespace rota::service {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+obs::HistogramSnapshot snapshot_of(const obs::Histogram& h) {
+  const auto buckets = h.buckets();
+  obs::HistogramSnapshot out;
+  out.buckets.assign(buckets.begin(), buckets.end());
+  out.count = h.count();
+  out.sum = h.sum();
+  return out;
+}
+
+void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t prev = slot.load(std::memory_order_relaxed);
+  while (prev < v &&
+         !slot.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+AdmissionService::AdmissionService(CommitmentLedger& ledger, CostModel phi,
+                                   ServiceConfig config)
+    : ledger_(ledger),
+      phi_(std::move(phi)),
+      config_(config),
+      registry_(kernel_, config.digest_max_segments ? config.digest_max_segments : 1),
+      governor_(config.governor),
+      queue_(config.queue_capacity),
+      // lanes workers + the (unused-for-lanes) caller slot: every lane loop
+      // must land on a real worker thread, never run inline in submit().
+      pool_(config.lanes + 1) {
+  for (std::size_t i = 0; i < pool_.concurrency() - 1; ++i) {
+    pool_.submit([this] { lane_loop(); });
+  }
+}
+
+AdmissionService::~AdmissionService() { drain_and_stop(); }
+
+CancellationToken AdmissionService::budget_token(const AdmitRequest& request) const {
+  const std::uint64_t budget_us =
+      request.budget_us != 0 ? request.budget_us : config_.default_budget_us;
+  return CancellationToken::with_budget_ns(budget_us * 1000);
+}
+
+void AdmissionService::submit(AdmitRequest request, ResponseFn done) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().service_requests.add();
+
+  CancellationToken token = budget_token(request);
+  Pending pending{std::move(request), std::move(done), std::move(token),
+                  std::chrono::steady_clock::now()};
+  if (stopping_.load(std::memory_order_acquire) ||
+      !queue_.try_push(std::move(pending))) {
+    // Shed at the front door: the queue bound (or a stopping service) turned
+    // overload into an immediate, explicit answer instead of latent latency.
+    shed_queue_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().service_shed.add();
+    AdmitResponse response;
+    response.id = pending.request.id;
+    response.verdict = Verdict::kOverloaded;
+    response.reason = "admission queue full";
+    respond(pending, std::move(response));
+    return;
+  }
+  const std::size_t depth = queue_.depth();
+  bump_max(max_queue_depth_, depth);
+  if (obs::metrics_enabled()) {
+    obs::CoreMetrics::get().service_queue_depth.set(
+        static_cast<std::int64_t>(depth));
+  }
+}
+
+AdmitResponse AdmissionService::admit(AdmitRequest request) {
+  std::promise<AdmitResponse> decided;
+  auto future = decided.get_future();
+  submit(std::move(request),
+         [&decided](const AdmitResponse& r) { decided.set_value(r); });
+  return future.get();
+}
+
+void AdmissionService::lane_loop() {
+  while (auto pending = queue_.pop()) {
+    serve(std::move(*pending));
+  }
+}
+
+void AdmissionService::serve(Pending pending) {
+  const std::uint64_t queue_ns = elapsed_ns(pending.enqueued_at);
+  queue_hist_.record(queue_ns);
+  if (obs::metrics_enabled()) {
+    obs::CoreMetrics::get().service_queue_ns.record(queue_ns);
+  }
+
+  AdmitResponse response;
+  response.id = pending.request.id;
+  response.queue_ns = queue_ns;
+
+  const auto planning_start = std::chrono::steady_clock::now();
+  std::uint64_t planning_ns = 0;
+  bool observed = false;  // whether this request should feed the governor
+  try {
+    const ConcurrentRequirement rho =
+        make_concurrent_requirement(phi_, pending.request.computation);
+    for (;;) {
+      if (pending.token.expired()) {
+        planning_ns = elapsed_ns(planning_start);
+        response.verdict = Verdict::kOverloaded;
+        response.reason = "planning budget exhausted";
+        shed_budget_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) {
+          obs::CoreMetrics::get().service_budget_cancels.add();
+          obs::CoreMetrics::get().service_shed.add();
+        }
+        observed = true;  // budget pressure is pressure: the governor sees it
+        break;
+      }
+      const StrategyKind kind =
+          registry_.pick(pending.token.remaining_ns(), governor_.level());
+      AnytimeStrategy& strategy = registry_.strategy(kind);
+
+      FeasibilitySnapshot snapshot;
+      {
+        // Owned, hull- and shard-restricted capture: safe to plan against
+        // outside the lock, cheap to copy under it.
+        std::lock_guard<std::mutex> lock(ledger_mutex_);
+        snapshot = FeasibilitySnapshot::capture(
+            ledger_, effective_window(rho, pending.request.at),
+            touched_shard_mask(rho));
+      }
+      const auto attempt_start = std::chrono::steady_clock::now();
+      const PlanResult result =
+          strategy.speculate(rho, pending.request.at, snapshot, pending.token);
+      const std::uint64_t attempt_ns = elapsed_ns(attempt_start);
+      if (result.status != PlanStatus::kCancelled) {
+        // Cancelled attempts stopped early; folding their truncated time into
+        // the EWMA would teach pick() that a slow strategy is cheap.
+        strategy.record_cost(attempt_ns);
+      }
+      if (result.status == PlanStatus::kCancelled) continue;  // shed above
+
+      AdmissionDecision decision;
+      CommitStatus committed;
+      {
+        std::lock_guard<std::mutex> lock(ledger_mutex_);
+        committed = kernel_.commit(result, ledger_, decision);
+      }
+      if (committed == CommitStatus::kStale) continue;  // re-pick, re-capture
+
+      planning_ns = elapsed_ns(planning_start);
+      served_by_[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+      response.strategy = strategy_name(kind);
+      if (decision.accepted) {
+        response.verdict = Verdict::kAccepted;
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) obs::CoreMetrics::get().service_accepted.add();
+      } else {
+        response.verdict = Verdict::kRejected;
+        response.reason = decision.reason;
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) obs::CoreMetrics::get().service_rejected.add();
+        if (result.feasible()) {
+          // The ladder's safety invariant failed: a degraded strategy found a
+          // "feasible" plan the live residual refused. Counted loudly; the
+          // strategy test suite and the bench gate hold this at zero.
+          revalidations_failed_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::metrics_enabled()) {
+            obs::CoreMetrics::get().service_revalidations_failed.add();
+          }
+        }
+      }
+      observed = true;
+      break;
+    }
+  } catch (const std::exception& e) {
+    // A malformed computation (bad cost model fit, inverted window, …) is the
+    // client's mistake, not the service's overload: answer rejected.
+    planning_ns = elapsed_ns(planning_start);
+    response.verdict = Verdict::kRejected;
+    response.reason = std::string("invalid request: ") + e.what();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().service_rejected.add();
+  }
+
+  response.planning_ns = planning_ns;
+  planning_hist_.record(planning_ns);
+  if (obs::metrics_enabled()) {
+    auto& m = obs::CoreMetrics::get();
+    if (response.strategy == "exact") m.service_latency_exact_ns.record(planning_ns);
+    else if (response.strategy == "digest") m.service_latency_digest_ns.record(planning_ns);
+    else if (response.strategy == "greedy") m.service_latency_greedy_ns.record(planning_ns);
+  }
+
+  if (observed) {
+    switch (governor_.observe(planning_ns, queue_.depth())) {
+      case GovernorEvent::kDemoted:
+        demotions_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) obs::CoreMetrics::get().service_demotions.add();
+        break;
+      case GovernorEvent::kPromoted:
+        promotions_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) obs::CoreMetrics::get().service_promotions.add();
+        break;
+      case GovernorEvent::kNone:
+        break;
+    }
+    if (obs::metrics_enabled()) {
+      obs::CoreMetrics::get().service_level.set(
+          static_cast<std::int64_t>(governor_.level()));
+    }
+  }
+
+  respond(pending, std::move(response));
+}
+
+void AdmissionService::respond(const Pending& pending, AdmitResponse response) {
+  if (!pending.done) return;
+  try {
+    pending.done(response);
+  } catch (...) {
+    // A throwing completion callback must not take a planning lane down;
+    // the decision was made and recorded either way.
+  }
+}
+
+void AdmissionService::drain_and_stop() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();   // lanes drain what was admitted, then see nullopt
+  pool_.shutdown(); // joins the lanes; idempotent
+}
+
+ServiceStats AdmissionService::stats() const {
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.shed_queue = shed_queue_.load(std::memory_order_relaxed);
+  out.shed_budget = shed_budget_.load(std::memory_order_relaxed);
+  out.demotions = demotions_.load(std::memory_order_relaxed);
+  out.promotions = promotions_.load(std::memory_order_relaxed);
+  out.revalidations_failed = revalidations_failed_.load(std::memory_order_relaxed);
+  for (int k = 0; k < kStrategyCount; ++k) {
+    out.served_by[k] = served_by_[k].load(std::memory_order_relaxed);
+  }
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  out.planning_ns = snapshot_of(planning_hist_);
+  out.queue_ns = snapshot_of(queue_hist_);
+  return out;
+}
+
+}  // namespace rota::service

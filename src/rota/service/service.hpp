@@ -1,0 +1,147 @@
+// AdmissionService: admission-as-a-service around the PlanningKernel.
+//
+// The in-process core of the daemon (rota/service/server.hpp adds sockets):
+// requests enter a bounded admission queue, planning lanes on the runtime's
+// ThreadPool drain it, and each request is decided by whichever anytime
+// strategy the SLO governor and its remaining planning budget select:
+//
+//   submit ──▶ BoundedQueue ──▶ lane: pick(budget, governor.level())
+//                 │                    ├─ capture owned snapshot  (ledger lock)
+//                 │ full?              ├─ strategy.speculate      (no lock)
+//                 ▼                    ├─ kernel.commit           (ledger lock)
+//             kOverloaded              │    └─ stale? re-pick and retry
+//             (shed, immediate)        └─ respond, feed the governor
+//
+// Back-pressure is explicit at both ends: a full queue sheds at the front
+// door with kOverloaded (never silence, never unbounded waiting), and a
+// request whose planning budget expires mid-flight is shed the same way —
+// a cancelled speculation is not a decision (commit() refuses it), so
+// degradation can never turn into a wrong verdict. Every accept, from any
+// rung of the ladder, carries a concrete plan the ledger re-validates at
+// commit; `revalidations_failed` counts the times that backstop fired and
+// must stay zero.
+//
+// Threading: lanes speculate concurrently against *owned* snapshots captured
+// under the service's ledger mutex (hull- and shard-restricted, so the copy
+// is small), and commit under the same mutex. While the service is running
+// it must be the ledger's only writer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "rota/computation/cost_model.hpp"
+#include "rota/obs/metrics.hpp"
+#include "rota/plan/kernel.hpp"
+#include "rota/runtime/bounded_queue.hpp"
+#include "rota/runtime/thread_pool.hpp"
+#include "rota/service/codec.hpp"
+#include "rota/service/governor.hpp"
+#include "rota/service/strategy.hpp"
+
+namespace rota::service {
+
+struct ServiceConfig {
+  std::size_t lanes = 2;                    // planning lanes (pool workers)
+  std::size_t queue_capacity = 64;          // admission queue bound
+  std::uint64_t default_budget_us = 20'000; // budget when a request says 0
+  std::size_t digest_max_segments = 64;     // kDigest hull resolution
+  GovernorConfig governor;
+};
+
+/// Point-in-time service statistics (monotone counters plus histogram
+/// snapshots; always maintained, independent of the global metrics toggle).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed_queue = 0;      // kOverloaded: queue full / stopping
+  std::uint64_t shed_budget = 0;     // kOverloaded: planning budget exhausted
+  std::uint64_t demotions = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t revalidations_failed = 0;  // must stay 0 (safety backstop)
+  std::uint64_t served_by[kStrategyCount] = {0, 0, 0};
+  std::uint64_t max_queue_depth = 0;
+  obs::HistogramSnapshot planning_ns;  // per served/budget-shed request
+  obs::HistogramSnapshot queue_ns;     // waiting time of dequeued requests
+
+  std::uint64_t shed() const { return shed_queue + shed_budget; }
+};
+
+class AdmissionService {
+ public:
+  using ResponseFn = std::function<void(const AdmitResponse&)>;
+
+  /// The service plans against `ledger` and must be its only writer while
+  /// running; `phi` maps computations to requirements exactly as every other
+  /// admission surface does.
+  AdmissionService(CommitmentLedger& ledger, CostModel phi, ServiceConfig config);
+  ~AdmissionService();
+
+  AdmissionService(const AdmissionService&) = delete;
+  AdmissionService& operator=(const AdmissionService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+
+  /// Asynchronous admission: `done` is invoked exactly once, from a planning
+  /// lane (decision) or inline on the calling thread (shed on a full queue or
+  /// a stopping service). The planning-budget clock starts now — time spent
+  /// queued burns budget, which is what makes queue pressure visible to the
+  /// strategy picker.
+  void submit(AdmitRequest request, ResponseFn done);
+
+  /// Synchronous admission (submit + wait); the test/bench convenience.
+  AdmitResponse admit(AdmitRequest request);
+
+  /// Clean shutdown: closes intake (later submits shed with kOverloaded),
+  /// drains every queued request to a response, joins the lanes. Idempotent.
+  void drain_and_stop();
+
+  ServiceStats stats() const;
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+  /// Test seams. Replace strategies before traffic flows.
+  StrategyRegistry& registry() { return registry_; }
+  SloGovernor& governor() { return governor_; }
+
+ private:
+  struct Pending {
+    AdmitRequest request;
+    ResponseFn done;
+    CancellationToken token;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void lane_loop();
+  void serve(Pending pending);
+  void respond(const Pending& pending, AdmitResponse response);
+  CancellationToken budget_token(const AdmitRequest& request) const;
+
+  CommitmentLedger& ledger_;
+  CostModel phi_;
+  ServiceConfig config_;
+  PlanningKernel kernel_;
+  StrategyRegistry registry_;
+  SloGovernor governor_;
+  BoundedQueue<Pending> queue_;
+  std::mutex ledger_mutex_;
+  ThreadPool pool_;  // lanes; joined by drain_and_stop() before teardown
+
+  std::atomic<bool> stopping_{false};
+
+  // Own stats (never gated): the bench and tests read these without turning
+  // on the global registry. CoreMetrics mirrors them when metrics are on.
+  std::atomic<std::uint64_t> requests_{0}, accepted_{0}, rejected_{0};
+  std::atomic<std::uint64_t> shed_queue_{0}, shed_budget_{0};
+  std::atomic<std::uint64_t> demotions_{0}, promotions_{0};
+  std::atomic<std::uint64_t> revalidations_failed_{0};
+  std::atomic<std::uint64_t> served_by_[kStrategyCount] = {};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+  obs::Histogram planning_hist_;
+  obs::Histogram queue_hist_;
+};
+
+}  // namespace rota::service

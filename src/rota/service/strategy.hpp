@@ -1,0 +1,101 @@
+// Anytime planning strategies: the degradation ladder the SLO governor walks.
+//
+// Every strategy answers the same question the PlanningKernel does —
+// speculate ρ against a snapshot — but at a different point on the
+// cost/completeness curve:
+//
+//   kExact   full kernel: greedy ladder plus the symbolic cut-point rescue.
+//            Complete within the rescue's budget; the reference decision.
+//   kDigest  greedy ladder over a StepFunction digest of the snapshot view
+//            (cluster/digest's bucket-minimum compaction). The hull is
+//            dominated by the true residual everywhere, so any plan found is
+//            feasible against the live ledger — accepts are SAFE; rejects
+//            may be pessimistic. Cost scales with digest segments, not with
+//            residual fragmentation.
+//   kGreedy  fast ladder only: the greedy planner against the true view, no
+//            symbolic rescue. Accepts are exact-feasible witnesses; a
+//            contended multi-actor rejection may be spurious.
+//
+// The asymmetry is deliberate and is the subsystem's safety argument: *every*
+// rung's accept carries a concrete plan the ledger re-validates at commit
+// (CommitmentLedger::admit refuses plans the residual does not cover), so
+// degrading under load can cost acceptance rate, never correctness. A
+// degraded strategy is never unsafely optimistic.
+//
+// Each strategy self-reports cost as an EWMA of its recent planning wall
+// times; StrategyRegistry::pick uses those to choose the highest-quality
+// rung predicted to fit a request's remaining planning budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "rota/plan/kernel.hpp"
+
+namespace rota::service {
+
+enum class StrategyKind : int { kExact = 0, kDigest = 1, kGreedy = 2 };
+inline constexpr int kStrategyCount = 3;
+
+const char* strategy_name(StrategyKind kind);
+
+class AnytimeStrategy {
+ public:
+  virtual ~AnytimeStrategy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Speculates ρ against a snapshot captured from the live ledger. The
+  /// result must be commit-able against that ledger (revision stamps kept);
+  /// feasible results must carry plans feasible against the snapshot's true
+  /// view. `cancel` is honored at speculation boundaries.
+  virtual PlanResult speculate(const ConcurrentRequirement& rho, Tick at,
+                               const FeasibilitySnapshot& snapshot,
+                               const CancellationToken& cancel) = 0;
+
+  /// Self-reported cost: EWMA of recent planning wall times, 0 until the
+  /// first observation ("assume cheap until proven otherwise" — the governor
+  /// corrects quickly via record_cost).
+  std::uint64_t predicted_cost_ns() const {
+    return ewma_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Feeds one measured planning time into the EWMA (α = 1/4). Lossy under
+  /// races by design — a cost model, not an accounting ledger.
+  void record_cost(std::uint64_t ns) {
+    const std::uint64_t prev = ewma_ns_.load(std::memory_order_relaxed);
+    ewma_ns_.store(prev == 0 ? ns : (3 * prev + ns) / 4,
+                   std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ewma_ns_{0};
+};
+
+/// The three built-in rungs, replaceable for tests (inject a deliberately
+/// slow kExact to force demotion, a latched strategy to hold a lane, …).
+class StrategyRegistry {
+ public:
+  /// `digest_max_segments` bounds the per-type segment count of kDigest's
+  /// compacted hull (see cluster::compact_hull).
+  StrategyRegistry(const PlanningKernel& kernel, std::size_t digest_max_segments);
+
+  AnytimeStrategy& strategy(StrategyKind kind) {
+    return *rungs_[static_cast<int>(kind)];
+  }
+
+  /// Test injection point: swap one rung. Call before traffic flows.
+  void replace(StrategyKind kind, std::unique_ptr<AnytimeStrategy> strategy);
+
+  /// The highest-quality rung at or below `floor` (the governor's current
+  /// level) whose predicted cost fits `budget_ns`. Falls through to kGreedy
+  /// when nothing is predicted to fit — anytime service always answers with
+  /// its cheapest honest attempt rather than refusing to think.
+  StrategyKind pick(std::uint64_t budget_ns, StrategyKind floor) const;
+
+ private:
+  std::unique_ptr<AnytimeStrategy> rungs_[kStrategyCount];
+};
+
+}  // namespace rota::service

@@ -1,11 +1,33 @@
 #include "rota/workload/generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "rota/computation/requirement.hpp"
 
 namespace rota {
+
+double ArrivalPattern::rate_at(Tick t) const {
+  double rate = 1.0 / base_mean_interarrival;
+  if (diurnal_period > 0) {
+    constexpr double kTau = 6.283185307179586;
+    rate *= 1.0 + diurnal_amplitude *
+                      std::sin(kTau * static_cast<double>(t) /
+                               static_cast<double>(diurnal_period));
+  }
+  if (flash_duration > 0 && t >= flash_at && t < flash_at + flash_duration) {
+    rate *= flash_multiplier;
+  }
+  return rate;
+}
+
+double ArrivalPattern::peak_rate() const {
+  double peak = 1.0 / base_mean_interarrival;
+  if (diurnal_period > 0) peak *= 1.0 + diurnal_amplitude;
+  if (flash_duration > 0) peak *= std::max(1.0, flash_multiplier);
+  return peak;
+}
 
 WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, CostModel phi)
     : config_(config), phi_(std::move(phi)), rng_(config.seed) {
@@ -124,6 +146,34 @@ std::vector<Arrival> WorkloadGenerator::make_arrivals(Tick horizon) {
     t += rng_.exponential(config_.mean_interarrival);
     const auto at = static_cast<Tick>(t);
     if (at >= horizon) break;
+    arrivals.push_back(Arrival{at, make_computation(at)});
+  }
+  return arrivals;
+}
+
+std::vector<Arrival> WorkloadGenerator::make_arrivals(
+    Tick horizon, const ArrivalPattern& pattern) {
+  if (pattern.base_mean_interarrival <= 0.0) {
+    throw std::invalid_argument("arrival pattern needs a positive mean interarrival");
+  }
+  if (pattern.diurnal_amplitude < 0.0 || pattern.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("diurnal amplitude must be in [0, 1)");
+  }
+  if (pattern.flash_multiplier < 1.0) {
+    throw std::invalid_argument("flash multiplier must be >= 1");
+  }
+  // Lewis–Shedler thinning: draw candidates from a homogeneous process at the
+  // pattern's peak rate and keep each with probability rate(t)/peak. Both the
+  // candidate stream and the keep rolls come from the generator's seeded rng,
+  // so the trace (and the computations drawn for it) is fully reproducible.
+  const double peak = pattern.peak_rate();
+  std::vector<Arrival> arrivals;
+  double t = 0.0;
+  while (true) {
+    t += rng_.exponential(1.0 / peak);
+    const auto at = static_cast<Tick>(t);
+    if (at >= horizon) break;
+    if (rng_.uniform01() * peak > pattern.rate_at(at)) continue;
     arrivals.push_back(Arrival{at, make_computation(at)});
   }
   return arrivals;

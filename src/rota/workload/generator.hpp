@@ -51,6 +51,28 @@ struct Arrival {
   DistributedComputation computation;
 };
 
+/// A time-varying arrival process: a base Poisson rate modulated by a diurnal
+/// sinusoid and a flash-crowd window (the workload zoo's first two hostile
+/// shapes, and e19's open-loop load shape). All fields compose: a diurnal
+/// day with a flash crowd at its peak is one pattern.
+///
+/// rate(t) = (1 / base_mean_interarrival)
+///           × (1 + diurnal_amplitude · sin(2π t / diurnal_period))
+///           × (flash_multiplier inside [flash_at, flash_at + flash_duration))
+struct ArrivalPattern {
+  double base_mean_interarrival = 20.0;  // ticks between arrivals off-peak
+  double diurnal_amplitude = 0.0;        // [0, 1): rate swings ± this fraction
+  Tick diurnal_period = 0;               // 0 disables the sinusoid
+  double flash_multiplier = 1.0;         // ≥ 1; rate × this inside the window
+  Tick flash_at = 0;
+  Tick flash_duration = 0;               // 0 disables the flash crowd
+
+  /// Instantaneous arrival rate (arrivals per tick) at `t`.
+  double rate_at(Tick t) const;
+  /// Upper bound on rate_at over all t — the thinning envelope.
+  double peak_rate() const;
+};
+
 /// One cluster job arrival: location-independent work landing at a node.
 struct ClusterArrivalSpec {
   Tick at = 0;
@@ -75,6 +97,12 @@ class WorkloadGenerator {
 
   /// Arrivals over [0, horizon) with exponential interarrival gaps.
   std::vector<Arrival> make_arrivals(Tick horizon);
+
+  /// Arrivals over [0, horizon) from a non-homogeneous Poisson process shaped
+  /// by `pattern` (thinning against the pattern's peak rate; seeded, so the
+  /// trace is reproducible). The pattern's rate replaces the config's
+  /// mean_interarrival; computations are drawn exactly as make_arrivals does.
+  std::vector<Arrival> make_arrivals(Tick horizon, const ArrivalPattern& pattern);
 
   /// One cluster node's share of the base supply: cpu at location `node`
   /// over `span` (inter-node links are the fabric's concern, not supply).

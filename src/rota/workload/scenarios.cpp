@@ -1,5 +1,7 @@
 #include "rota/workload/scenarios.hpp"
 
+#include <stdexcept>
+
 namespace rota {
 
 PaperExample make_paper_example() {
@@ -63,6 +65,30 @@ VolunteerScenario make_volunteer_network(std::uint64_t seed, Tick horizon) {
                                           /*mean_lifetime=*/60.0, /*max_rate=*/8);
   return VolunteerScenario{std::move(generator), std::move(base), std::move(churn),
                            horizon};
+}
+
+Scenario arrivals_to_scenario(ResourceSet supply,
+                              const std::vector<Arrival>& arrivals) {
+  Scenario scenario;
+  scenario.supply = std::move(supply);
+  scenario.computations.reserve(arrivals.size());
+  for (const Arrival& a : arrivals) {
+    if (a.computation.earliest_start() != a.at) {
+      throw std::invalid_argument(
+          "arrival tick must equal the computation's earliest start to round-trip");
+    }
+    scenario.computations.push_back(a.computation);
+  }
+  return scenario;
+}
+
+std::vector<Arrival> arrivals_from_scenario(const Scenario& scenario) {
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(scenario.computations.size());
+  for (const DistributedComputation& c : scenario.computations) {
+    arrivals.push_back(Arrival{c.earliest_start(), c});
+  }
+  return arrivals;
 }
 
 }  // namespace rota

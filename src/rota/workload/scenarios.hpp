@@ -6,10 +6,23 @@
 
 #include "rota/computation/actor_computation.hpp"
 #include "rota/computation/cost_model.hpp"
+#include "rota/io/scenario.hpp"
 #include "rota/resource/resource_set.hpp"
 #include "rota/workload/generator.hpp"
 
 namespace rota {
+
+/// An arrival trace as a scenario-DSL document: `supply` plus one computation
+/// per arrival. Each arrival's tick equals its computation's earliest start
+/// (make_computation's invariant), so writing the scenario and parsing it
+/// back reproduces the trace exactly — generated workloads (including the
+/// diurnal/flash-crowd shapes) are shareable as plain text files.
+Scenario arrivals_to_scenario(ResourceSet supply,
+                              const std::vector<Arrival>& arrivals);
+
+/// Inverse of arrivals_to_scenario: one Arrival per computation, at its
+/// earliest start, in file order.
+std::vector<Arrival> arrivals_from_scenario(const Scenario& scenario);
 
 /// The paper's running example (§III/§IV): locations l1, l2; the worked
 /// resource-set calculations' supply; and an actor that evaluates, sends,

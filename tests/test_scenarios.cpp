@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "rota/logic/theorems.hpp"
 
 namespace rota {
@@ -73,6 +76,48 @@ TEST(Volunteer, DeterministicForSeed) {
   for (std::size_t i = 0; i < a.churn.size(); ++i) {
     EXPECT_EQ(a.churn.events()[i], b.churn.events()[i]);
   }
+}
+
+TEST(ArrivalScenario, PatternedTraceRoundTripsThroughTheDsl) {
+  WorkloadConfig config;
+  config.seed = 404;
+  config.num_locations = 3;
+  WorkloadGenerator gen(config, CostModel{});
+  ArrivalPattern pattern;
+  pattern.base_mean_interarrival = 8.0;
+  pattern.diurnal_amplitude = 0.5;
+  pattern.diurnal_period = 300;
+  pattern.flash_multiplier = 8.0;
+  pattern.flash_at = 400;
+  pattern.flash_duration = 100;
+  const std::vector<Arrival> arrivals = gen.make_arrivals(900, pattern);
+  ASSERT_FALSE(arrivals.empty());
+
+  const ResourceSet supply = gen.base_supply(TimeInterval(0, 900));
+  const Scenario scenario = arrivals_to_scenario(supply, arrivals);
+  std::ostringstream text;
+  write_scenario(text, scenario);
+  const Scenario reparsed = parse_scenario_string(text.str());
+  const std::vector<Arrival> back = arrivals_from_scenario(reparsed);
+
+  ASSERT_EQ(back.size(), arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(back[i].at, arrivals[i].at) << "arrival " << i;
+    EXPECT_EQ(back[i].computation, arrivals[i].computation) << "arrival " << i;
+  }
+  EXPECT_EQ(reparsed.supply, supply);
+}
+
+TEST(ArrivalScenario, RejectsArrivalsDetachedFromTheirWindow) {
+  WorkloadConfig config;
+  config.seed = 405;
+  WorkloadGenerator gen(config, CostModel{});
+  Arrival detached;
+  detached.computation = gen.make_computation(10);
+  detached.at = 7;  // no longer the computation's earliest start: not
+                    // representable losslessly, so refuse instead of drift
+  EXPECT_THROW(arrivals_to_scenario(ResourceSet{}, {detached}),
+               std::invalid_argument);
 }
 
 }  // namespace

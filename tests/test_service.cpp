@@ -1,0 +1,554 @@
+// The admission service: codec, bounded queue, anytime strategy ladder, SLO
+// governor, shedding, clean drain, and the socket round trip.
+//
+// The load-bearing suite is the strategy/governor set: an injected slow
+// kExact must drive demotion under a tight budget, degraded strategies must
+// never be unsafely optimistic (every degraded accept re-validated against
+// the exact kernel and the live residual), the governor must promote back
+// once pressure clears, and shed requests must be answered with kOverloaded
+// — never silence. Runs in rota_runtime_tests, so ThreadSanitizer covers the
+// lanes/session/governor interleavings.
+#include "rota/service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rota/runtime/bounded_queue.hpp"
+#include "rota/service/client.hpp"
+#include "rota/service/server.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace rota::service {
+namespace {
+
+constexpr Tick kHorizon = 2000;
+
+WorkloadGenerator make_generator(std::uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.num_locations = 3;
+  config.laxity = 2.5;
+  return WorkloadGenerator(config, CostModel{});
+}
+
+AdmitRequest make_request(WorkloadGenerator& gen, std::uint64_t id, Tick at,
+                          std::uint64_t budget_us = 0) {
+  AdmitRequest request;
+  request.id = id;
+  request.at = at;
+  request.budget_us = budget_us;
+  request.computation = gen.make_computation(at);
+  return request;
+}
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(ServiceCodec, RequestRoundTripsThroughTheDsl) {
+  WorkloadGenerator gen = make_generator(1);
+  const AdmitRequest request = make_request(gen, 42, 7, 1500);
+  const AdmitRequest back = parse_request(request_payload(request));
+  EXPECT_EQ(back, request);
+}
+
+TEST(ServiceCodec, ResponseRoundTripsWithAndWithoutReason) {
+  AdmitResponse r;
+  r.id = 9;
+  r.verdict = Verdict::kAccepted;
+  r.strategy = "digest";
+  r.planning_ns = 123456;
+  r.queue_ns = 789;
+  EXPECT_EQ(parse_response(response_payload(r)), r);
+
+  r.verdict = Verdict::kOverloaded;
+  r.strategy.clear();  // shed responses carry no strategy ("-" on the wire)
+  r.reason = "admission queue full";
+  EXPECT_EQ(parse_response(response_payload(r)), r);
+}
+
+TEST(ServiceCodec, MalformedPayloadsThrow) {
+  EXPECT_THROW(parse_request("admit 1 2\nend\n"), CodecError);  // short header
+  EXPECT_THROW(parse_request("admit x 2 3\n"), CodecError);     // bad id
+  EXPECT_THROW(parse_request("admit 1 2 3\n"), CodecError);     // no computation
+  WorkloadGenerator gen = make_generator(2);
+  // A request body smuggling a supply section is refused outright.
+  std::string payload = request_payload(make_request(gen, 1, 0));
+  payload += "supply\n  cpu l1 1 0 10\nend\n";
+  EXPECT_THROW(parse_request(payload), CodecError);
+  EXPECT_THROW(parse_response("decision 1 accepted\n"), CodecError);
+  EXPECT_THROW(parse_response("decision 1 maybe - 0 0\n"), CodecError);
+}
+
+TEST(ServiceCodec, FrameReaderReassemblesArbitraryChunks) {
+  WorkloadGenerator gen = make_generator(3);
+  const std::string a = request_payload(make_request(gen, 1, 0));
+  const std::string b = request_payload(make_request(gen, 2, 5));
+  const std::string stream = frame(a) + frame(b);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, stream.size()}) {
+    FrameReader reader;
+    std::vector<std::string> payloads;
+    for (std::size_t i = 0; i < stream.size(); i += chunk) {
+      reader.feed(stream.data() + i, std::min(chunk, stream.size() - i));
+      while (auto p = reader.next()) payloads.push_back(*p);
+    }
+    ASSERT_EQ(payloads.size(), 2u) << "chunk=" << chunk;
+    EXPECT_EQ(payloads[0], a);
+    EXPECT_EQ(payloads[1], b);
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(ServiceCodec, OversizeFrameIsRejectedNotBuffered) {
+  FrameReader reader;
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  char header[4] = {static_cast<char>(huge & 0xff),
+                    static_cast<char>((huge >> 8) & 0xff),
+                    static_cast<char>((huge >> 16) & 0xff),
+                    static_cast<char>((huge >> 24) & 0xff)};
+  reader.feed(header, 4);
+  EXPECT_THROW(reader.next(), CodecError);
+  EXPECT_THROW(frame(std::string(kMaxFramePayload + 1, 'x')), CodecError);
+}
+
+// ---- bounded queue --------------------------------------------------------
+
+TEST(BoundedQueueTest, TryPushRefusesWhenFullAndPreservesTheItem) {
+  BoundedQueue<std::unique_ptr<int>> queue(1);
+  EXPECT_TRUE(queue.try_push(std::make_unique<int>(1)));
+  auto second = std::make_unique<int>(2);
+  EXPECT_FALSE(queue.try_push(std::move(second)));
+  // The refused item was NOT consumed: the caller can still answer with it
+  // (in the service: the shed response travels through the preserved
+  // callback).
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 2);
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(BoundedQueueTest, CloseWakesConsumersAndDrainsAcceptedItems) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3)) << "closed queue refuses intake";
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::nullopt) << "closed and drained";
+
+  BoundedQueue<int> empty(1);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    empty.close();
+  });
+  EXPECT_EQ(empty.pop(), std::nullopt) << "close() wakes a blocked pop";
+  closer.join();
+}
+
+// ---- strategy registry & governor -----------------------------------------
+
+/// Wraps the real exact strategy with a controllable delay — the test's
+/// stand-in for "exact planning became expensive under this workload".
+class SlowExact final : public AnytimeStrategy {
+ public:
+  SlowExact(const PlanningKernel& kernel, std::atomic<int>& delay_ms)
+      : kernel_(kernel), delay_ms_(delay_ms) {}
+  const char* name() const override { return "exact"; }
+  PlanResult speculate(const ConcurrentRequirement& rho, Tick at,
+                       const FeasibilitySnapshot& snapshot,
+                       const CancellationToken& cancel) override {
+    const int ms = delay_ms_.load();
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    SpeculateOptions options;
+    options.cancel = &cancel;
+    return kernel_.speculate(rho, at, snapshot, options);
+  }
+
+ private:
+  const PlanningKernel& kernel_;
+  std::atomic<int>& delay_ms_;
+};
+
+/// Blocks inside speculate() until released — holds a lane mid-request so
+/// shedding and drain behavior can be observed deterministically.
+class LatchedExact final : public AnytimeStrategy {
+ public:
+  explicit LatchedExact(const PlanningKernel& kernel) : kernel_(kernel) {}
+  const char* name() const override { return "exact"; }
+  PlanResult speculate(const ConcurrentRequirement& rho, Tick at,
+                       const FeasibilitySnapshot& snapshot,
+                       const CancellationToken& cancel) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      released_cv_.wait(lock, [this] { return released_; });
+    }
+    SpeculateOptions options;
+    options.cancel = &cancel;
+    return kernel_.speculate(rho, at, snapshot, options);
+  }
+  void await_entered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this] { return entered_ > 0; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    released_cv_.notify_all();
+  }
+
+ private:
+  const PlanningKernel& kernel_;
+  std::mutex mutex_;
+  std::condition_variable entered_cv_, released_cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+TEST(ServiceGovernor, SlowExactForcesDemotionUnderTightBudget) {
+  WorkloadGenerator gen = make_generator(10);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 1;
+  config.default_budget_us = 3'000;       // 3ms budget...
+  config.governor.slo_ns = 1'000'000;     // ...and a 1ms SLO,
+  config.governor.demote_after = 2;       // demoting fast
+  AdmissionService svc(ledger, gen.phi(), config);
+  static std::atomic<int> delay_ms{8};    // against an 8ms exact strategy
+  svc.registry().replace(
+      StrategyKind::kExact,
+      std::make_unique<SlowExact>(PlanningKernel{}, delay_ms));
+
+  std::vector<AdmitResponse> responses;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    responses.push_back(svc.admit(make_request(gen, i + 1, static_cast<Tick>(i))));
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.demotions, 1u) << "sustained overruns must demote";
+  EXPECT_NE(svc.governor().level(), StrategyKind::kExact);
+  // Early requests burned their budget inside the slow exact rung and were
+  // shed — explicitly, with a reason, never silently.
+  ASSERT_EQ(responses.front().verdict, Verdict::kOverloaded);
+  EXPECT_EQ(responses.front().reason, "planning budget exhausted");
+  // Once demoted, requests are decided by a degraded rung within budget.
+  const AdmitResponse& last = responses.back();
+  EXPECT_NE(last.verdict, Verdict::kOverloaded);
+  EXPECT_TRUE(last.strategy == "digest" || last.strategy == "greedy")
+      << last.strategy;
+  EXPECT_EQ(stats.revalidations_failed, 0u);
+}
+
+TEST(ServiceGovernor, CostModelStopsPickingExactOnceItLearnsTheCost) {
+  WorkloadGenerator gen = make_generator(11);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 1;
+  config.default_budget_us = 500'000;  // generous: the slow exact rung fits
+  AdmissionService svc(ledger, gen.phi(), config);
+  static std::atomic<int> delay_ms2{6};
+  svc.registry().replace(
+      StrategyKind::kExact,
+      std::make_unique<SlowExact>(PlanningKernel{}, delay_ms2));
+
+  // Served by exact (EWMA learns ~6ms), still within the generous budget.
+  const AdmitResponse first = svc.admit(make_request(gen, 1, 0));
+  EXPECT_EQ(first.strategy, "exact");
+  // A tight-budget request must now be steered away from exact *before*
+  // burning its budget — the EWMA predicted the overrun. (Tight relative to
+  // the ≥ 6 ms exact EWMA, roomy enough for a degraded rung on slow hosts.)
+  const AdmitResponse tight = svc.admit(make_request(gen, 2, 1, /*budget_us=*/5'000));
+  EXPECT_NE(tight.verdict, Verdict::kOverloaded);
+  EXPECT_TRUE(tight.strategy == "digest" || tight.strategy == "greedy")
+      << tight.strategy;
+  EXPECT_EQ(svc.stats().demotions, 0u)
+      << "per-request steering, not governor demotion";
+}
+
+TEST(ServiceGovernor, PromotesBackAfterPressureClears) {
+  WorkloadGenerator gen = make_generator(12);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 1;
+  config.default_budget_us = 3'000;
+  config.governor.slo_ns = 1'000'000;
+  config.governor.demote_after = 2;
+  config.governor.promote_after = 4;
+  config.governor.latency_window = 8;  // short memory: recovery is visible
+  AdmissionService svc(ledger, gen.phi(), config);
+  static std::atomic<int> delay_ms3{8};
+  svc.registry().replace(
+      StrategyKind::kExact,
+      std::make_unique<SlowExact>(PlanningKernel{}, delay_ms3));
+
+  std::uint64_t id = 0;
+  for (int i = 0; i < 6; ++i) {
+    svc.admit(make_request(gen, ++id, static_cast<Tick>(i)));
+  }
+  ASSERT_NE(svc.governor().level(), StrategyKind::kExact) << "setup: demoted";
+
+  delay_ms3.store(0);  // pressure clears: exact is fast again
+  for (int i = 0; i < 40 && svc.governor().level() != StrategyKind::kExact; ++i) {
+    svc.admit(make_request(gen, ++id, static_cast<Tick>(i)));
+  }
+  EXPECT_EQ(svc.governor().level(), StrategyKind::kExact)
+      << "sustained calm must promote back to the top rung";
+  EXPECT_GE(svc.stats().promotions, 1u);
+}
+
+// Degraded strategies may be pessimistic, never optimistic: anything kDigest
+// or kGreedy calls feasible, the exact kernel must also call feasible, and
+// the plan must fit the live snapshot it was computed against.
+TEST(ServiceStrategies, DegradedAcceptsAreNeverUnsafelyOptimistic) {
+  WorkloadGenerator gen = make_generator(13);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  const PlanningKernel kernel;
+  StrategyRegistry registry(kernel, /*digest_max_segments=*/8);
+  const CancellationToken never;
+
+  std::size_t degraded_accepts = 0, degraded_pessimistic = 0;
+  for (const Arrival& a : gen.make_arrivals(kHorizon)) {
+    const ConcurrentRequirement rho =
+        make_concurrent_requirement(gen.phi(), a.computation);
+    const FeasibilitySnapshot snapshot = FeasibilitySnapshot::capture(
+        ledger, effective_window(rho, a.at), touched_shard_mask(rho));
+    const PlanResult exact = kernel.speculate(rho, a.at, snapshot);
+    for (const StrategyKind kind : {StrategyKind::kDigest, StrategyKind::kGreedy}) {
+      const PlanResult degraded =
+          registry.strategy(kind).speculate(rho, a.at, snapshot, never);
+      if (degraded.feasible()) {
+        ++degraded_accepts;
+        EXPECT_TRUE(exact.feasible())
+            << strategy_name(kind) << " accepted what exact rejects: " << rho.name();
+        // Re-validation: the degraded plan must fit the snapshot's residual
+        // (minus() refuses plans the view does not cover — the same check
+        // CommitmentLedger::admit makes at commit).
+        EXPECT_TRUE(snapshot.minus(*degraded.plan).has_value())
+            << strategy_name(kind) << " plan not covered for " << rho.name();
+      } else if (exact.feasible()) {
+        ++degraded_pessimistic;  // allowed: degradation costs acceptance rate
+      }
+    }
+    // Evolve the ledger with the exact decision so later snapshots see a
+    // progressively fragmented residual.
+    AdmissionDecision ignored;
+    kernel.commit(exact, ledger, ignored);
+  }
+  EXPECT_GT(degraded_accepts, 0u) << "workload never exercised degraded accepts";
+}
+
+// ---- shedding & drain -----------------------------------------------------
+
+TEST(ServiceShedding, QueueFullAnswersOverloadedImmediatelyNeverSilence) {
+  WorkloadGenerator gen = make_generator(14);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 1;
+  config.queue_capacity = 1;
+  AdmissionService svc(ledger, gen.phi(), config);
+  auto latched = std::make_unique<LatchedExact>(PlanningKernel{});
+  LatchedExact* latch = latched.get();
+  svc.registry().replace(StrategyKind::kExact, std::move(latched));
+
+  std::mutex mutex;
+  std::vector<AdmitResponse> responses;
+  const auto collect = [&](const AdmitResponse& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    responses.push_back(r);
+  };
+
+  svc.submit(make_request(gen, 1, 0), collect);  // occupies the single lane
+  latch->await_entered();
+  svc.submit(make_request(gen, 2, 1), collect);  // fills the queue
+  for (std::uint64_t id = 3; id <= 6; ++id) {    // these must shed inline
+    svc.submit(make_request(gen, id, 2), collect);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(responses.size(), 4u) << "sheds answer synchronously";
+    for (const AdmitResponse& r : responses) {
+      EXPECT_EQ(r.verdict, Verdict::kOverloaded);
+      EXPECT_EQ(r.reason, "admission queue full");
+      EXPECT_GE(r.id, 3u);
+    }
+  }
+  latch->release();
+  svc.drain_and_stop();
+  std::lock_guard<std::mutex> lock(mutex);
+  EXPECT_EQ(responses.size(), 6u) << "every submitted request was answered";
+  EXPECT_EQ(svc.stats().shed_queue, 4u);
+}
+
+TEST(ServiceShedding, DrainAnswersEverythingAndStopsIntake) {
+  WorkloadGenerator gen = make_generator(15);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 64;
+  AdmissionService svc(ledger, gen.phi(), config);
+
+  std::atomic<std::size_t> answered{0};
+  const std::size_t n = 32;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    svc.submit(make_request(gen, i + 1, static_cast<Tick>(i)),
+               [&](const AdmitResponse&) { answered.fetch_add(1); });
+  }
+  svc.drain_and_stop();
+  EXPECT_EQ(answered.load(), n) << "clean drain abandons nothing";
+
+  // Post-stop submissions are shed, not swallowed.
+  AdmitResponse late;
+  svc.submit(make_request(gen, 99, 0),
+             [&](const AdmitResponse& r) { late = r; });
+  EXPECT_EQ(late.verdict, Verdict::kOverloaded);
+}
+
+// ---- socket round trip ----------------------------------------------------
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/rota_svc_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServiceSocket, UnixRoundTripStreamsOutOfOrderDecisionsById) {
+  WorkloadGenerator gen = make_generator(16);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  AdmissionService svc(ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.unix_path = test_socket_path("unix");
+  ServiceServer server(svc, sconfig);
+
+  ServiceClient client = ServiceClient::connect_unix(server.unix_path());
+  // Pipeline a burst, then collect by id: decisions may stream back in any
+  // order (two lanes), every id must be answered exactly once. Generous
+  // per-request budgets so the whole burst is decided, not budget-shed,
+  // even on a slow (sanitized, single-core) host.
+  const std::size_t n = 16;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    client.send(make_request(gen, i + 1, static_cast<Tick>(i),
+                             /*budget_us=*/10'000'000));
+  }
+  std::set<std::uint64_t> seen;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto response = client.receive();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_TRUE(seen.insert(response->id).second) << "duplicate " << response->id;
+    EXPECT_GE(response->id, 1u);
+    EXPECT_LE(response->id, n);
+    if (response->verdict == Verdict::kAccepted) ++accepted;
+    EXPECT_NE(response->verdict, Verdict::kOverloaded);
+    EXPECT_FALSE(response->strategy.empty());
+  }
+  EXPECT_GT(accepted, 0u);
+  server.stop();
+}
+
+TEST(ServiceSocket, TcpRoundTripAndEphemeralPort) {
+  WorkloadGenerator gen = make_generator(17);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  AdmissionService svc(ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.tcp = true;  // ephemeral port, no unix listener
+  ServiceServer server(svc, sconfig);
+  ASSERT_NE(server.tcp_port(), 0);
+
+  ServiceClient client = ServiceClient::connect_tcp(server.tcp_port());
+  const AdmitResponse response =
+      client.call(make_request(gen, 7, 0, /*budget_us=*/10'000'000));
+  EXPECT_EQ(response.id, 7u);
+  EXPECT_NE(response.verdict, Verdict::kOverloaded);
+  server.stop();
+}
+
+TEST(ServiceSocket, MalformedFrameGetsAProtocolErrorThenHangUp) {
+  WorkloadGenerator gen = make_generator(18);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  AdmissionService svc(ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.unix_path = test_socket_path("mal");
+  ServiceServer server(svc, sconfig);
+
+  // Raw socket: a well-framed but unparsable payload. The server must answer
+  // an explicit rejection (id 0 — the frame carried no trustworthy id) with
+  // a protocol-error reason, then hang up. Never a silent close.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                server.unix_path().c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string garbage = frame("this is not an admit request\n");
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+
+  FrameReader reader;
+  std::vector<std::string> payloads;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // the hang-up
+    reader.feed(buf, static_cast<std::size_t>(n));
+    while (auto p = reader.next()) payloads.push_back(*p);
+  }
+  ::close(fd);
+
+  ASSERT_EQ(payloads.size(), 1u);
+  const AdmitResponse response = parse_response(payloads.front());
+  EXPECT_EQ(response.id, 0u);
+  EXPECT_EQ(response.verdict, Verdict::kRejected);
+  EXPECT_NE(response.reason.find("protocol error"), std::string::npos)
+      << response.reason;
+  server.stop();
+}
+
+TEST(ServiceSocket, StopDrainsInFlightRequestsBeforeClosing) {
+  WorkloadGenerator gen = make_generator(19);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 1;
+  config.queue_capacity = 64;
+  AdmissionService svc(ledger, gen.phi(), config);
+  ServerConfig sconfig;
+  sconfig.unix_path = test_socket_path("drain");
+  ServiceServer server(svc, sconfig);
+
+  ServiceClient client = ServiceClient::connect_unix(server.unix_path());
+  const std::size_t n = 24;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    client.send(make_request(gen, i + 1, static_cast<Tick>(i)));
+  }
+  // Give the session thread a moment to move the burst into the service,
+  // then stop: the drain must answer every accepted request before the
+  // sockets close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread stopper([&] { server.stop(); });
+  std::size_t answered = 0;
+  while (auto response = client.receive()) {
+    ++answered;
+    EXPECT_GE(response->id, 1u);
+  }
+  stopper.join();
+  EXPECT_EQ(answered, n) << "stop() abandoned queued requests";
+  EXPECT_EQ(svc.stats().requests, n);
+}
+
+}  // namespace
+}  // namespace rota::service

@@ -168,5 +168,95 @@ TEST(Workload, SingleLocationWorkloadNeverSendsRemotely) {
   }
 }
 
+// ---- time-varying arrival patterns (diurnal + flash crowd) ----------------
+
+TEST(ArrivalPattern, RateComposesDiurnalAndFlash) {
+  ArrivalPattern p;
+  p.base_mean_interarrival = 10.0;  // base rate 0.1/tick
+  p.diurnal_amplitude = 0.5;
+  p.diurnal_period = 400;
+  p.flash_multiplier = 4.0;
+  p.flash_at = 500;
+  p.flash_duration = 100;
+  EXPECT_DOUBLE_EQ(p.rate_at(0), 0.1);                // sin(0) = 0
+  EXPECT_NEAR(p.rate_at(100), 0.1 * 1.5, 1e-12);      // diurnal crest
+  EXPECT_NEAR(p.rate_at(300), 0.1 * 0.5, 1e-12);      // diurnal trough
+  EXPECT_NEAR(p.rate_at(500), 4.0 * p.rate_at(100),   // flash multiplies;
+              1e-12);                                  // 500 ≡ 100 mod 400
+  EXPECT_DOUBLE_EQ(p.rate_at(600), 0.1);              // window is half-open
+  EXPECT_NEAR(p.peak_rate(), 0.1 * 1.5 * 4.0, 1e-12);
+  for (Tick t = 0; t < 1200; t += 7) {
+    EXPECT_LE(p.rate_at(t), p.peak_rate() + 1e-12) << "t=" << t;
+  }
+}
+
+TEST(ArrivalPattern, InvalidPatternsThrow) {
+  WorkloadGenerator gen(small_config(5), CostModel());
+  ArrivalPattern p;
+  p.base_mean_interarrival = 0.0;
+  EXPECT_THROW(gen.make_arrivals(100, p), std::invalid_argument);
+  p = ArrivalPattern{};
+  p.diurnal_amplitude = 1.0;  // would zero the trough rate
+  p.diurnal_period = 100;
+  EXPECT_THROW(gen.make_arrivals(100, p), std::invalid_argument);
+  p = ArrivalPattern{};
+  p.flash_multiplier = 0.5;  // a flash *crowd*, not a flash drought
+  p.flash_duration = 10;
+  EXPECT_THROW(gen.make_arrivals(100, p), std::invalid_argument);
+}
+
+TEST(ArrivalPattern, SeededTracesAreReproducible) {
+  ArrivalPattern p;
+  p.base_mean_interarrival = 5.0;
+  p.diurnal_amplitude = 0.4;
+  p.diurnal_period = 200;
+  p.flash_multiplier = 6.0;
+  p.flash_at = 300;
+  p.flash_duration = 50;
+  WorkloadGenerator a(small_config(99), CostModel());
+  WorkloadGenerator b(small_config(99), CostModel());
+  const auto ta = a.make_arrivals(600, p);
+  const auto tb = b.make_arrivals(600, p);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_EQ(ta[i].computation, tb[i].computation);
+  }
+  ASSERT_FALSE(ta.empty());
+  for (std::size_t i = 1; i < ta.size(); ++i) {
+    EXPECT_LE(ta[i - 1].at, ta[i].at);
+  }
+}
+
+TEST(ArrivalPattern, FlashWindowIsDenserThanBaseline) {
+  ArrivalPattern p;
+  p.base_mean_interarrival = 10.0;
+  p.flash_multiplier = 10.0;
+  p.flash_at = 1000;
+  p.flash_duration = 1000;
+  WorkloadGenerator gen(small_config(7), CostModel());
+  const auto arrivals = gen.make_arrivals(3000, p);
+  std::size_t in_flash = 0, outside = 0;
+  for (const Arrival& a : arrivals) {
+    (a.at >= 1000 && a.at < 2000 ? in_flash : outside)++;
+  }
+  // Expected ~100 inside vs ~200 outside the 1000-tick window; even at
+  // Poisson noise the 10x rate dominates per-tick density.
+  EXPECT_GT(in_flash, 2 * outside)
+      << "flash " << in_flash << " vs outside " << outside;
+}
+
+TEST(ArrivalPattern, HomogeneousPatternMatchesPlainArrivalStats) {
+  // With no diurnal and no flash the pattern is a plain Poisson process:
+  // thinning accepts everything (rate == peak), so the gap distribution
+  // must match make_arrivals' within sampling noise.
+  WorkloadGenerator gen(small_config(21), CostModel());
+  ArrivalPattern p;
+  p.base_mean_interarrival = 5.0;
+  const auto arrivals = gen.make_arrivals(5000, p);
+  ASSERT_GT(arrivals.size(), 500u);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 1000.0, 200.0);
+}
+
 }  // namespace
 }  // namespace rota
