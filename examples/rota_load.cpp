@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -34,7 +35,9 @@ int usage(const char* argv0) {
             << "  --seconds S       run duration (default 5)\n"
             << "  --budget-us N     per-request planning budget (0 = server default)\n"
             << "  --locations N     topology size, must match the daemon (default 4)\n"
-            << "  --seed S          workload seed base, must match the daemon (default 2026)\n";
+            << "  --seed S          workload seed base, must match the daemon (default 2026)\n"
+            << "  --secret TOKEN    session token the daemon expects\n"
+            << "                    (default: ROTA_SERVICE_SECRET env, empty = none)\n";
   return 2;
 }
 
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
   std::uint64_t budget_us = 0;
   std::size_t locations = 4;
   std::uint64_t seed = 2026;
+  std::string secret;
+  if (const char* env = std::getenv("ROTA_SERVICE_SECRET")) secret = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
     else if (arg == "--budget-us") budget_us = std::stoull(value());
     else if (arg == "--locations") locations = std::stoul(value());
     else if (arg == "--seed") seed = std::stoull(value());
+    else if (arg == "--secret") secret = value();
     else return usage(argv[0]);
   }
 
@@ -94,8 +100,11 @@ int main(int argc, char** argv) {
       std::uint64_t local_accepted = 0, local_rejected = 0, local_overloaded = 0;
       std::vector<std::uint64_t> local_rtt;
       try {
-        ServiceClient client = tcp ? ServiceClient::connect_tcp(tcp_port)
-                                   : ServiceClient::connect_unix(socket_path);
+        ClientOptions options;
+        options.token = secret;
+        ServiceClient client =
+            tcp ? ServiceClient::connect_tcp(tcp_port, options)
+                : ServiceClient::connect_unix(socket_path, options);
         std::uint64_t id = c * 10'000'000;
         while (std::chrono::steady_clock::now() < stop_at) {
           AdmitRequest request;

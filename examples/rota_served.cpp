@@ -19,12 +19,15 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 
 #include "rota/obs/obs.hpp"
+#include "rota/service/federation.hpp"
 #include "rota/service/server.hpp"
 #include "rota/workload/generator.hpp"
 
@@ -45,7 +48,14 @@ int usage(const char* argv0) {
       << "  --slo-ms N       governor p99 latency target (default 20)\n"
       << "  --locations N    supply topology size, must match the client (default 4)\n"
       << "  --horizon T      supply horizon in ticks (default 100000)\n"
-      << "  --seed S         supply/workload seed, must match the client (default 2026)\n";
+      << "  --seed S         supply/workload seed, must match the client (default 2026)\n"
+      << "federation (all daemons must share --locations/--seed):\n"
+      << "  --node-id N      this daemon's cluster node id (required to federate)\n"
+      << "  --peer-listen A  peer listener, unix:<path> or tcp:<port>\n"
+      << "  --peer ID=ADDR   a peer daemon (repeatable), e.g. 1=unix:/tmp/rota-1.peer\n"
+      << "  --site NAME      this daemon's location (default l1)\n"
+      << "  --secret TOKEN   shared session secret for clients and peers\n"
+      << "                   (default: ROTA_SERVICE_SECRET env, empty = open)\n";
   return 2;
 }
 
@@ -62,6 +72,12 @@ int main(int argc, char** argv) {
   std::size_t locations = 4;
   Tick horizon = 100'000;
   std::uint64_t seed = 2026;
+
+  bool federate = false;
+  FederationConfig fconfig;
+  fconfig.site = "l1";
+  std::string secret;
+  if (const char* env = std::getenv("ROTA_SERVICE_SECRET")) secret = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +97,24 @@ int main(int argc, char** argv) {
     else if (arg == "--locations") locations = std::stoul(value());
     else if (arg == "--horizon") horizon = static_cast<Tick>(std::stoll(value()));
     else if (arg == "--seed") seed = std::stoull(value());
+    else if (arg == "--node-id") {
+      federate = true;
+      fconfig.transport.local = static_cast<cluster::NodeId>(std::stoul(value()));
+    }
+    else if (arg == "--peer-listen") { federate = true; fconfig.transport.listen = value(); }
+    else if (arg == "--peer") {
+      federate = true;
+      const std::string spec = value();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--peer needs ID=ADDR, got " << spec << "\n";
+        return usage(argv[0]);
+      }
+      fconfig.transport.peers[static_cast<cluster::NodeId>(
+          std::stoul(spec.substr(0, eq)))] = spec.substr(eq + 1);
+    }
+    else if (arg == "--site") fconfig.site = value();
+    else if (arg == "--secret") secret = value();
     else return usage(argv[0]);
   }
 
@@ -101,11 +135,26 @@ int main(int argc, char** argv) {
   }
 
   AdmissionService service(ledger, gen.phi(), config);
+
+  std::unique_ptr<FederatedService> federation;
+  if (federate) {
+    fconfig.transport.secret = secret;
+    federation = std::make_unique<FederatedService>(service, fconfig);
+  }
+
   ServerConfig sconfig;
   sconfig.unix_path = socket_path;
   sconfig.tcp = tcp;
   sconfig.tcp_port = tcp_port;
-  ServiceServer server(service, sconfig);
+  sconfig.secret = secret;
+  ServiceServer::SubmitFn submit;
+  if (federation) {
+    submit = [&federation](AdmitRequest request,
+                           AdmissionService::ResponseFn done) {
+      federation->submit(std::move(request), std::move(done));
+    };
+  }
+  ServiceServer server(service, sconfig, std::move(submit));
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -113,14 +162,25 @@ int main(int argc, char** argv) {
   std::cout << "rota_served: listening on " << socket_path;
   if (tcp) std::cout << " and tcp 127.0.0.1:" << server.tcp_port();
   std::cout << "  (lanes " << config.lanes << ", queue " << config.queue_capacity
-            << ", budget " << config.default_budget_us << "us)\n"
-            << std::flush;
+            << ", budget " << config.default_budget_us << "us)";
+  if (federation) {
+    std::cout << "\nrota_served: federating as node "
+              << fconfig.transport.local << " at " << fconfig.site;
+    if (!fconfig.transport.listen.empty()) {
+      std::cout << ", peers reach me at " << fconfig.transport.listen;
+    }
+    std::cout << ", " << fconfig.transport.peers.size() << " peer(s)";
+  }
+  std::cout << "\n" << std::flush;
 
   while (g_signal.load(std::memory_order_relaxed) == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::cout << "rota_served: signal " << g_signal.load()
             << " — draining...\n" << std::flush;
+  // Federation first (pending forwards get final answers through the still-
+  // writable sessions), then the server's clean drain of everything queued.
+  if (federation) federation->stop();
   server.stop();  // clean drain: every queued request is answered
 
   const ServiceStats stats = service.stats();
@@ -129,6 +189,13 @@ int main(int argc, char** argv) {
             << stats.shed() << " shed), demotions " << stats.demotions
             << ", promotions " << stats.promotions << ", max queue depth "
             << stats.max_queue_depth << "\n";
+  if (federation) {
+    const FederationStats fstats = federation->stats();
+    std::cout << "rota_served: federation forwarded " << fstats.forwarded
+              << " (" << fstats.forward_accepts << " peer-accepted, "
+              << fstats.forward_rejects << " rejected), served "
+              << fstats.peer_claims << " peer claims\n";
+  }
 
   if (recorder) {
     const auto metrics = obs::MetricsRegistry::global().snapshot();

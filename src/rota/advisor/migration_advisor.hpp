@@ -30,6 +30,8 @@ struct WorkSpec {
   std::int64_t state_size = 1;              // migration payload
   Tick earliest_start = 0;
   Tick deadline = 0;
+
+  bool operator==(const WorkSpec&) const = default;
 };
 
 enum class PlacementKind {

@@ -72,8 +72,10 @@ NodeId ClusterSim::add_node(Location site, ResourceSet supply,
   const NodeId id = static_cast<NodeId>(nodes_.size());
   fabric_.add_node();
   supplies_.push_back(supply);
+  transports_.push_back(std::make_unique<FabricTransport>(&fabric_, id));
   nodes_.push_back(std::make_unique<ClusterNode>(
-      id, site, phi_, std::move(supply), node_config, events_.get()));
+      id, site, phi_, std::move(supply), node_config, events_.get(),
+      transports_.back().get()));
   outages_.emplace_back();
   for (NodeId peer = 0; peer < id; ++peer) {
     nodes_[peer]->set_peer(id, fabric_.link(peer, id).latency);
@@ -183,9 +185,18 @@ ClusterReport ClusterSim::run(Tick horizon) {
   std::size_t next_arrival = 0;
   for (Tick now = 0; now < horizon; ++now) {
     apply_faults(now);
+    for (auto& transport : transports_) transport->set_now(now);
 
-    for (const Message& m : fabric_.deliver_due(now)) {
-      if (m.to < nodes_.size()) nodes_[m.to]->handle(m, now);
+    // Dispatch in the fabric's global (deliver_at, seq) order: push each
+    // message into its destination transport and pump that node immediately,
+    // so cross-node delivery interleavings are exactly the historical ones —
+    // per-endpoint polling would erase them.
+    for (Message& m : fabric_.deliver_due(now)) {
+      const NodeId to = m.to;
+      if (to < nodes_.size()) {
+        transports_[to]->deliver(std::move(m));
+        nodes_[to]->pump(now);
+      }
     }
 
     while (next_arrival < arrivals_.size() &&
@@ -203,9 +214,9 @@ ClusterReport ClusterSim::run(Tick horizon) {
     }
 
     for (auto& node : nodes_) node->on_tick(now);
-    for (auto& node : nodes_) {
-      for (Message& m : node->drain_outbox()) fabric_.send(std::move(m), now);
-    }
+    // End-of-tick flush in node-id order: the fabric assigns send-sequence
+    // numbers (its delivery tie-break) in exactly the historical order.
+    for (auto& transport : transports_) transport->flush(now);
   }
   for (auto& node : nodes_) node->abort_pending(horizon, "horizon reached");
 

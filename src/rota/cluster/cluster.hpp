@@ -1,15 +1,20 @@
 // The cluster control loop: N ClusterNodes federated over a MessageFabric.
 //
-// ClusterSim owns the nodes, the fabric, and a fault schedule, and advances
-// everything in one deterministic tick loop:
+// ClusterSim owns the nodes, their FabricTransports, the fabric, and a fault
+// schedule, and advances everything in one deterministic tick loop:
 //
-//   faults → deliveries → arrivals → node ticks → outbox flush
+//   faults → deliveries → arrivals → node ticks → transport flush
 //
-// with every stage iterating nodes in id order. All randomness lives in the
-// seeded fabric (latency jitter, loss, reorder) and in whatever generator
-// produced the arrival list, so two runs with the same seed and schedule
-// produce byte-identical decision logs — the property the determinism tests
-// and the bench harness assert.
+// with every stage iterating nodes in id order. Deliveries are dispatched in
+// the fabric's global (deliver_at, seq) order — each message is pushed into
+// its destination transport and that node is pumped immediately — and sends
+// staged on the transports are flushed to the fabric per node in id order at
+// end of tick, so sequence numbers are assigned exactly as the historical
+// outbox-drain loop assigned them. All randomness lives in the seeded fabric
+// (latency jitter, loss, reorder) and in whatever generator produced the
+// arrival list, so two runs with the same seed and schedule produce
+// byte-identical decision logs — the property the determinism tests and the
+// bench harness assert.
 //
 // The report separates *control* from *execution*: decisions and committed
 // placements come out of the control loop; schedule_into() replays the
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "rota/cluster/fabric.hpp"
 #include "rota/cluster/node.hpp"
 #include "rota/io/scenario.hpp"
 #include "rota/sim/simulator.hpp"
@@ -128,6 +134,8 @@ class ClusterSim {
   /// Heap-held so node back-pointers survive moving the ClusterSim
   /// (cluster_from_scenario returns one by value).
   std::unique_ptr<ClusterEvents> events_ = std::make_unique<ClusterEvents>();
+  /// One FabricTransport per node, heap-held for the same reason as nodes_.
+  std::vector<std::unique_ptr<FabricTransport>> transports_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   std::vector<ResourceSet> supplies_;  // per node, for total_supply()
   std::vector<ClusterArrival> arrivals_;

@@ -12,7 +12,7 @@
 #include <cstddef>
 
 #include "rota/admission/ledger.hpp"
-#include "rota/cluster/fabric.hpp"
+#include "rota/cluster/message.hpp"
 
 namespace rota::cluster {
 

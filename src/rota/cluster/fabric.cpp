@@ -7,19 +7,6 @@
 
 namespace rota::cluster {
 
-std::string msg_kind_name(MsgKind k) {
-  switch (k) {
-    case MsgKind::kProbe: return "probe";
-    case MsgKind::kOffer: return "offer";
-    case MsgKind::kNack: return "nack";
-    case MsgKind::kClaim: return "claim";
-    case MsgKind::kClaimAck: return "claim-ack";
-    case MsgKind::kClaimReject: return "claim-reject";
-    case MsgKind::kDigest: return "digest";
-  }
-  throw std::invalid_argument("invalid MsgKind");
-}
-
 MessageFabric::MessageFabric(std::size_t nodes, std::uint64_t seed,
                              LinkParams defaults)
     : nodes_(nodes),

@@ -13,58 +13,14 @@
 
 #include <cstdint>
 #include <set>
-#include <string>
+#include <utility>
 #include <vector>
 
-#include "rota/advisor/migration_advisor.hpp"
-#include "rota/resource/resource_set.hpp"
-#include "rota/time/interval.hpp"
+#include "rota/cluster/message.hpp"
+#include "rota/net/transport.hpp"
 #include "rota/util/rng.hpp"
 
 namespace rota::cluster {
-
-using NodeId = std::uint32_t;
-inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
-
-enum class MsgKind : std::uint8_t {
-  kProbe,        // origin -> peer: can you take this job? (no commitment)
-  kOffer,        // peer -> origin: yes, estimated finish attached
-  kNack,         // peer -> origin: no (reason attached)
-  kClaim,        // origin -> peer: commit the probed job (re-validated live)
-  kClaimAck,     // peer -> origin: committed; plan finish attached
-  kClaimReject,  // peer -> origin: residual moved since the offer (stale)
-  kDigest,       // gossip: compact residual hull + revision + age
-};
-
-std::string msg_kind_name(MsgKind k);
-
-/// A node's gossiped view of its own free capacity: the residual compacted
-/// to a small conservative hull per located type (never overstates what the
-/// full residual could supply), stamped with the ledger revision and the
-/// tick it was taken at. Receivers rank migration targets from these and
-/// re-validate at claim time — rankings are live-but-stale by design.
-struct SupplyDigest {
-  Location site;
-  ResourceSet free;            // conservative hull of the residual
-  std::uint64_t revision = 0;  // ledger revision the hull was taken at
-  Tick as_of = 0;              // tick the hull was taken at
-
-  bool operator==(const SupplyDigest&) const = default;
-};
-
-/// One fabric message. In-process, so payloads ride along as plain fields;
-/// which fields are meaningful depends on `kind` (see the enum).
-struct Message {
-  MsgKind kind = MsgKind::kProbe;
-  NodeId from = kNoNode;
-  NodeId to = kNoNode;
-  std::uint64_t job = 0;   // origin-assigned correlation id (probe..claim)
-  WorkSpec work;           // probe/claim payload; earliest_start already
-                           // includes the origin's transfer-delay estimate
-  Tick finish = 0;         // offer / claim-ack: planned finish
-  std::string note;        // nack / claim-reject: reason
-  SupplyDigest digest;     // kDigest payload
-};
 
 /// Per-directed-link delivery characteristics.
 struct LinkParams {
@@ -135,6 +91,49 @@ class MessageFabric {
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t delivered_ = 0;
+};
+
+/// The deterministic Transport over MessageFabric: one endpoint's view of the
+/// simulated network, driven entirely by ClusterSim's tick loop.
+///
+/// Determinism contract — this is what keeps the refactored control loop
+/// byte-identical to the historical outbox-drain one:
+///   * send() only *stages*; ClusterSim calls flush() per node in node-id
+///     order at end of tick, so the fabric assigns send-sequence numbers in
+///     exactly the order the old loop did (seq breaks delivery-tick ties).
+///   * The sim delivers fabric messages in global (deliver_at, seq) order by
+///     pushing each one into the destination transport's inbox (deliver())
+///     and pumping that node immediately, rather than letting transports
+///     poll — per-endpoint polling would erase the cross-node ordering.
+class FabricTransport final : public net::Transport {
+ public:
+  FabricTransport(MessageFabric* fabric, NodeId local)
+      : fabric_(fabric), local_(local) {}
+
+  NodeId local() const override { return local_; }
+  void send(Message m) override { staged_.push_back(std::move(m)); }
+  std::vector<Message> receive() override { return std::exchange(inbox_, {}); }
+  Tick now() const override { return now_; }
+  void drop_pending() override { staged_.clear(); }
+  void close() override { staged_.clear(); inbox_.clear(); }
+
+  // --- sim-side driving surface ---
+
+  /// Hands an arriving message to this endpoint (the sim's delivery loop).
+  void deliver(Message m) { inbox_.push_back(std::move(m)); }
+  /// Releases staged sends to the fabric in staging order.
+  void flush(Tick now) {
+    for (Message& m : staged_) fabric_->send(std::move(m), now);
+    staged_.clear();
+  }
+  void set_now(Tick now) { now_ = now; }
+
+ private:
+  MessageFabric* fabric_;
+  NodeId local_;
+  Tick now_ = 0;
+  std::vector<Message> staged_;  // sends awaiting the end-of-tick flush
+  std::vector<Message> inbox_;   // deliveries awaiting the node's pump
 };
 
 }  // namespace rota::cluster

@@ -1,0 +1,20 @@
+#include "rota/cluster/message.hpp"
+
+#include <stdexcept>
+
+namespace rota::cluster {
+
+std::string msg_kind_name(MsgKind k) {
+  switch (k) {
+    case MsgKind::kProbe: return "probe";
+    case MsgKind::kOffer: return "offer";
+    case MsgKind::kNack: return "nack";
+    case MsgKind::kClaim: return "claim";
+    case MsgKind::kClaimAck: return "claim-ack";
+    case MsgKind::kClaimReject: return "claim-reject";
+    case MsgKind::kDigest: return "digest";
+  }
+  throw std::invalid_argument("invalid MsgKind");
+}
+
+}  // namespace rota::cluster

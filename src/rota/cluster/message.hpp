@@ -1,0 +1,65 @@
+// The cluster protocol's message vocabulary, independent of any substrate.
+//
+// Probe/offer/claim RPCs and supply-digest gossip are defined here so every
+// transport — the deterministic in-sim MessageFabric and the live
+// SocketTransport (rota/net/) — moves the same typed messages. The fields
+// are plain data: in-process transports pass them by value, the socket
+// transport runs them through the versioned wire codec (rota/net/wire.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rota/advisor/migration_advisor.hpp"
+#include "rota/resource/resource_set.hpp"
+#include "rota/time/interval.hpp"
+
+namespace rota::cluster {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+enum class MsgKind : std::uint8_t {
+  kProbe,        // origin -> peer: can you take this job? (no commitment)
+  kOffer,        // peer -> origin: yes, estimated finish attached
+  kNack,         // peer -> origin: no (reason attached)
+  kClaim,        // origin -> peer: commit the probed job (re-validated live)
+  kClaimAck,     // peer -> origin: committed; plan finish attached
+  kClaimReject,  // peer -> origin: residual moved since the offer (stale)
+  kDigest,       // gossip: compact residual hull + revision + age
+};
+
+std::string msg_kind_name(MsgKind k);
+
+/// A node's gossiped view of its own free capacity: the residual compacted
+/// to a small conservative hull per located type (never overstates what the
+/// full residual could supply), stamped with the ledger revision and the
+/// tick it was taken at. Receivers rank migration targets from these and
+/// re-validate at claim time — rankings are live-but-stale by design.
+struct SupplyDigest {
+  Location site;
+  ResourceSet free;            // conservative hull of the residual
+  std::uint64_t revision = 0;  // ledger revision the hull was taken at
+  Tick as_of = 0;              // tick the hull was taken at
+
+  bool operator==(const SupplyDigest&) const = default;
+};
+
+/// One cluster message. Typed, so in-process transports pass payloads as
+/// plain fields; which fields are meaningful depends on `kind` (see the
+/// enum). The socket transport serializes exactly these fields.
+struct Message {
+  MsgKind kind = MsgKind::kProbe;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint64_t job = 0;   // origin-assigned correlation id (probe..claim)
+  WorkSpec work;           // probe/claim payload; earliest_start already
+                           // includes the origin's transfer-delay estimate
+  Tick finish = 0;         // offer / claim-ack: planned finish
+  std::string note;        // nack / claim-reject: reason
+  SupplyDigest digest;     // kDigest payload
+
+  bool operator==(const Message&) const = default;
+};
+
+}  // namespace rota::cluster

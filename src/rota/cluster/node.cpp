@@ -33,20 +33,57 @@ std::string JobDecision::to_string() const {
 
 ClusterNode::ClusterNode(NodeId id, Location site, CostModel phi,
                          ResourceSet supply, NodeConfig config,
-                         ClusterEvents* events, Tick now)
+                         ClusterEvents* events, net::Transport* transport,
+                         Tick now)
     : id_(id),
       site_(site),
       phi_(phi),
       advisor_(phi, config.policy),
       config_(config),
-      base_supply_(std::move(supply)),
       events_(events),
-      controller_(std::make_unique<BatchAdmissionController>(
-          phi_, base_supply_, config.policy, config.lanes, now)),
+      transport_(transport),
+      owned_(std::make_unique<BatchNodeAdmission>(
+          phi_, std::move(supply), config.policy, config.lanes, now)),
+      admission_(owned_.get()),
       audit_(config.audit_capacity) {
   if (events == nullptr) {
     throw std::invalid_argument("ClusterNode needs an event sink");
   }
+  if (transport == nullptr) {
+    throw std::invalid_argument("ClusterNode needs a transport");
+  }
+}
+
+ClusterNode::ClusterNode(NodeId id, Location site, CostModel phi,
+                         NodeConfig config, ClusterEvents* events,
+                         net::Transport* transport, NodeAdmission* admission)
+    : id_(id),
+      site_(site),
+      phi_(phi),
+      advisor_(phi, config.policy),
+      config_(config),
+      events_(events),
+      transport_(transport),
+      admission_(admission),
+      audit_(config.audit_capacity) {
+  if (events == nullptr) {
+    throw std::invalid_argument("ClusterNode needs an event sink");
+  }
+  if (transport == nullptr) {
+    throw std::invalid_argument("ClusterNode needs a transport");
+  }
+  if (admission == nullptr) {
+    throw std::invalid_argument("ClusterNode needs an admission backend");
+  }
+}
+
+const CommitmentLedger& ClusterNode::ledger() const {
+  if (!owned_) {
+    throw std::logic_error(
+        "ClusterNode::ledger() is owned-ledger mode only; in daemon mode the "
+        "AdmissionService owns the ledger");
+  }
+  return owned_->ledger();
 }
 
 void ClusterNode::set_peer(NodeId peer, Tick latency) {
@@ -79,12 +116,10 @@ ConcurrentRequirement ClusterNode::localize(const WorkSpec& work) const {
   return make_concurrent_requirement(phi_, lambda);
 }
 
-void ClusterNode::send(Message m) { outbox_.push_back(std::move(m)); }
+void ClusterNode::send(Message m) { transport_->send(std::move(m)); }
 
-std::vector<Message> ClusterNode::drain_outbox() {
-  std::vector<Message> out;
-  out.swap(outbox_);
-  return out;
+void ClusterNode::pump(Tick now) {
+  for (const Message& m : transport_->receive()) handle(m, now);
 }
 
 std::vector<NodeId> ClusterNode::rank_candidates(const WorkSpec& work,
@@ -162,7 +197,7 @@ void ClusterNode::submit(const std::vector<ClusterJob>& jobs, Tick now) {
     requests.push_back(BatchRequest{localize(w), now});
   }
   const std::vector<AdmissionDecision> decisions =
-      controller_->admit_batch(requests);
+      admission_->admit_batch(requests);
 
   for (std::size_t b = 0; b < batched.size(); ++b) {
     const std::size_t i = batched[b];
@@ -177,19 +212,37 @@ void ClusterNode::submit(const std::vector<ClusterJob>& jobs, Tick now) {
           job.id, id_, now, requests[b].rho, *decisions[b].plan, false});
       continue;
     }
-    const TimeInterval window(std::max(now, job.work.earliest_start),
-                              job.work.deadline);
-    if (window.empty() || config_.max_remote_rounds == 0 ||
-        peer_latency_.empty()) {
-      if (metered) obs::CoreMetrics::get().cluster_rejects.add();
-      events_->decisions.push_back(JobDecision{
-          job.id, job.work.actor, id_, Placement::kRejected, kNoNode, now, 0, 0,
-          window.empty() ? decisions[b].reason : "local: " + decisions[b].reason,
-          false});
-      continue;
-    }
-    start_remote(job.id, job.work, now);
+    enter_remote_or_reject(job.id, job.work, decisions[b].reason, now);
   }
+  flush_done();
+}
+
+void ClusterNode::enter_remote_or_reject(std::uint64_t id, const WorkSpec& work,
+                                         const std::string& local_reason,
+                                         Tick now) {
+  const TimeInterval window(std::max(now, work.earliest_start), work.deadline);
+  if (window.empty() || config_.max_remote_rounds == 0 ||
+      peer_latency_.empty()) {
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_rejects.add();
+    events_->decisions.push_back(JobDecision{
+        id, work.actor, id_, Placement::kRejected, kNoNode, now, 0, 0,
+        window.empty() ? local_reason : "local: " + local_reason, false});
+    return;
+  }
+  start_remote(id, work, now);
+}
+
+void ClusterNode::submit_remote(std::uint64_t id, const WorkSpec& work,
+                                const std::string& local_reason, Tick now) {
+  if (down_) {
+    if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_rejects.add();
+    events_->decisions.push_back(JobDecision{id, work.actor, id_,
+                                             Placement::kRejected, kNoNode, now,
+                                             0, 0, "origin node down", false});
+    return;
+  }
+  if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_submitted.add();
+  enter_remote_or_reject(id, work, local_reason, now);
   flush_done();
 }
 
@@ -318,8 +371,7 @@ void ClusterNode::handle(const Message& m, Tick now) {
       // Speculative feasibility only — nothing is reserved. The claim
       // re-plans against whatever the residual is then.
       const ConcurrentRequirement rho = localize(m.work);
-      const PlanResult result = controller_->kernel().speculate(
-          rho, now, FeasibilitySnapshot::capture(ledger()));
+      const PlanResult result = admission_->probe(rho, now);
       if (result.status == PlanStatus::kDeadlinePassed) {
         r.kind = MsgKind::kNack;
         r.note = "deadline passed in transit";
@@ -354,7 +406,7 @@ void ClusterNode::handle(const Message& m, Tick now) {
       // Re-validate against the live residual: the offer was computed from a
       // snapshot that other claims or local admissions may have consumed.
       const ConcurrentRequirement rho = localize(m.work);
-      const AdmissionDecision decision = controller_->request(rho, now);
+      const AdmissionDecision decision = admission_->claim(rho, now);
       audit_.record(now, rho, decision);
       Message r;
       r.from = id_;
@@ -440,7 +492,7 @@ void ClusterNode::on_tick(Tick now) {
 
 void ClusterNode::gossip(Tick now) {
   const SupplyDigest digest =
-      make_digest(ledger(), site_, now, config_.digest_max_segments);
+      admission_->digest(site_, now, config_.digest_max_segments);
   const bool metered = obs::metrics_enabled();
   for (const auto& [peer, latency] : peer_latency_) {
     (void)latency;
@@ -456,10 +508,13 @@ void ClusterNode::gossip(Tick now) {
 
 void ClusterNode::crash(Tick now) {
   if (down_) return;
+  if (!owned_) {
+    throw std::logic_error("crash() is owned-ledger mode only");
+  }
   down_ = true;
-  controller_.reset();
+  owned_->drop_state();
   digests_.clear();
-  outbox_.clear();
+  transport_->drop_pending();
   const bool metered = obs::metrics_enabled();
   for (auto& [id, job] : pending_) {
     if (metered) obs::CoreMetrics::get().cluster_rejects.add();
@@ -474,12 +529,14 @@ void ClusterNode::crash(Tick now) {
 
 void ClusterNode::restart(Tick now, bool recover) {
   if (!down_) throw std::logic_error("restart of a node that is not down");
-  controller_ = std::make_unique<BatchAdmissionController>(
-      phi_, base_supply_, config_.policy, config_.lanes, now);
+  if (!owned_) {
+    throw std::logic_error("restart() is owned-ledger mode only");
+  }
+  owned_->rebuild(now);
   down_ = false;
   if (recover) {
     ROTA_OBS_SPAN("cluster.recover");
-    audit_.replay_into(controller_->ledger_for_recovery());
+    audit_.replay_into(owned_->ledger_for_recovery());
     if (obs::metrics_enabled()) obs::CoreMetrics::get().cluster_recoveries.add();
   }
 }

@@ -23,6 +23,12 @@
 //   * crash/restart — crash() drops the ledger and every in-flight
 //     conversation; restart() rebuilds from base supply, optionally
 //     replaying the audit log to recover the pre-crash commitments.
+//
+// The node is substrate- and ledger-agnostic: messages go through a
+// net::Transport (FabricTransport in the sim, SocketTransport between live
+// daemons) and admission through a NodeAdmission backend (an owned
+// BatchAdmissionController by default, the live AdmissionService's ledger in
+// daemon mode). Same node code, two transports.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +38,9 @@
 #include <vector>
 
 #include "rota/admission/audit.hpp"
-#include "rota/cluster/digest.hpp"
-#include "rota/cluster/fabric.hpp"
-#include "rota/runtime/batch_controller.hpp"
+#include "rota/cluster/message.hpp"
+#include "rota/cluster/node_admission.hpp"
+#include "rota/net/transport.hpp"
 
 namespace rota::cluster {
 
@@ -101,35 +107,54 @@ struct NodeConfig {
 
 class ClusterNode {
  public:
+  /// Owned-ledger node (the sim/test configuration): admission runs against
+  /// a node-private BatchAdmissionController over `supply`.
   ClusterNode(NodeId id, Location site, CostModel phi, ResourceSet supply,
-              NodeConfig config, ClusterEvents* events, Tick now = 0);
+              NodeConfig config, ClusterEvents* events,
+              net::Transport* transport, Tick now = 0);
+
+  /// External-backend node (the daemon configuration): admission runs
+  /// against `admission`, whose ledger the caller owns — crash()/restart()
+  /// are unavailable in this mode.
+  ClusterNode(NodeId id, Location site, CostModel phi, NodeConfig config,
+              ClusterEvents* events, net::Transport* transport,
+              NodeAdmission* admission);
 
   NodeId id() const { return id_; }
   Location site() const { return site_; }
   bool down() const { return down_; }
 
-  /// Peers are whoever the sim has told this node about; the latency is the
-  /// node's (static) estimate used for deadline budgeting.
+  /// Peers are whoever the driver has told this node about; the latency is
+  /// the node's (static) estimate used for deadline budgeting.
   void set_peer(NodeId peer, Tick latency);
 
   /// Jobs arriving at this node at `now`; same-tick arrivals admit as one
   /// FCFS batch. Local rejections with budget left start the remote path.
   void submit(const std::vector<ClusterJob>& jobs, Tick now);
 
-  /// One message delivered off the fabric.
+  /// Enters the remote path directly for a job the caller already rejected
+  /// locally (the daemon's federation entry: the service tried its own
+  /// ledger first). `local_reason` flows into the decision when no peer is
+  /// eligible either.
+  void submit_remote(std::uint64_t id, const WorkSpec& work,
+                     const std::string& local_reason, Tick now);
+
+  /// Drains the transport and handles every arrived message — the driver's
+  /// per-iteration receive step.
+  void pump(Tick now);
+
+  /// One delivered message (pump() calls this; tests may inject directly).
   void handle(const Message& m, Tick now);
 
   /// Per-tick housekeeping: probe/claim timeouts, backoff retries, gossip.
   void on_tick(Tick now);
 
-  /// Messages queued since the last drain, in send order.
-  std::vector<Message> drain_outbox();
-
-  /// Fault injection. crash() loses the ledger and every pending remote
-  /// conversation (their jobs are recorded as rejected); the audit log — the
-  /// node's durable WAL — survives. restart() rebuilds the controller from
-  /// the original base supply and, when `recover` is set, replays the audit
-  /// log so the recovered ledger carries the pre-crash commitments.
+  /// Fault injection (owned-ledger mode only). crash() loses the ledger and
+  /// every pending remote conversation (their jobs are recorded as
+  /// rejected); the audit log — the node's durable WAL — survives.
+  /// restart() rebuilds the controller from the original base supply and,
+  /// when `recover` is set, replays the audit log so the recovered ledger
+  /// carries the pre-crash commitments.
   void crash(Tick now);
   void restart(Tick now, bool recover);
 
@@ -141,7 +166,9 @@ class ClusterNode {
   /// the single admission currency used by local batches, probes and claims.
   ConcurrentRequirement localize(const WorkSpec& work) const;
 
-  const CommitmentLedger& ledger() const { return controller_->ledger(); }
+  /// The owned ledger (owned-ledger mode only; throws in external-backend
+  /// mode, where the backend's owner mediates all ledger access).
+  const CommitmentLedger& ledger() const;
   const AuditLog& audit() const { return audit_; }
   const std::map<NodeId, SupplyDigest>& digests() const { return digests_; }
   std::size_t pending_remote() const { return pending_.size(); }
@@ -171,6 +198,10 @@ class ClusterNode {
   WorkSpec remote_spec(const WorkSpec& work, NodeId peer, Tick now) const;
 
   std::vector<NodeId> rank_candidates(const WorkSpec& work, Tick now) const;
+  /// Starts the remote path for a locally-rejected job, or records the final
+  /// rejection when no peer could possibly help.
+  void enter_remote_or_reject(std::uint64_t id, const WorkSpec& work,
+                              const std::string& local_reason, Tick now);
   void start_remote(std::uint64_t id, const WorkSpec& work, Tick now);
   /// Launches the next probe round; finalizes a rejection when the hop or
   /// deadline budget is exhausted.
@@ -192,15 +223,15 @@ class ClusterNode {
   CostModel phi_;
   MigrationAdvisor advisor_;
   NodeConfig config_;
-  ResourceSet base_supply_;
   ClusterEvents* events_;
-  std::unique_ptr<BatchAdmissionController> controller_;
+  net::Transport* transport_;
+  std::unique_ptr<BatchNodeAdmission> owned_;  // null in external-backend mode
+  NodeAdmission* admission_;                   // owned_.get() or the external one
   AuditLog audit_;
   std::map<NodeId, Tick> peer_latency_;
   std::map<NodeId, SupplyDigest> digests_;
   std::map<std::uint64_t, PendingJob> pending_;
   std::vector<std::uint64_t> done_;  // resolved while iterating pending_
-  std::vector<Message> outbox_;
   bool down_ = false;
 };
 

@@ -1,0 +1,168 @@
+#include "rota/net/sockets.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace rota::net {
+
+namespace {
+
+/// Connects `fd` to `addr` within `timeout_ms` (<= 0: block). Returns false
+/// on failure with errno set; the caller owns closing the fd.
+bool connect_bounded(int fd, const sockaddr* addr, socklen_t len,
+                     int timeout_ms) {
+  if (timeout_ms <= 0) {
+    for (;;) {
+      if (::connect(fd, addr, len) == 0) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  if (::connect(fd, addr, len) == 0) {
+    ::fcntl(fd, F_SETFL, flags);
+    return true;
+  }
+  if (errno != EINPROGRESS && errno != EAGAIN) return false;
+  pollfd pfd{fd, POLLOUT, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      if (ready == 0) errno = ETIMEDOUT;
+      return false;
+    }
+    break;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) return false;
+  if (err != 0) {
+    errno = err;
+    return false;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return true;
+}
+
+}  // namespace
+
+void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int make_unix_listener(const std::string& path) {
+  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("bind(unix)");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen(unix)");
+  }
+  return fd;
+}
+
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw_errno("bind(tcp)");
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw_errno("listen(tcp)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    throw_errno("getsockname(tcp)");
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int connect_unix_fd(const std::string& path, int timeout_ms) {
+  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
+    throw std::invalid_argument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (!connect_bounded(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr), timeout_ms)) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp_fd(std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (!connect_bounded(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr), timeout_ms)) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+void set_recv_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace rota::net

@@ -1,0 +1,35 @@
+// Low-level POSIX socket helpers shared by every ROTA socket surface: the
+// admission service's server and client and the federation SocketTransport.
+// Unix sockets and loopback-only TCP; nothing here knows about frames or
+// payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rota::net {
+
+/// Throws std::system_error from errno.
+[[noreturn]] void throw_errno(const char* what);
+
+/// Listening sockets. Throw on failure. The unix variant unlinks a stale
+/// socket file first; the TCP variant binds loopback only (by design — TLS
+/// is out of scope, see docs/service.md) and reports the bound port (useful
+/// with port 0).
+int make_unix_listener(const std::string& path);
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port);
+
+/// Connect with a bounded wait. `timeout_ms <= 0` means block indefinitely.
+/// Return the connected fd, or -1 on failure/timeout (errno describes why).
+int connect_unix_fd(const std::string& path, int timeout_ms);
+int connect_tcp_fd(std::uint16_t port, int timeout_ms);
+
+/// Bounds every subsequent recv() on `fd` to `timeout_ms` (0 clears the
+/// bound). A timed-out recv returns -1 with errno EAGAIN/EWOULDBLOCK.
+void set_recv_timeout(int fd, int timeout_ms);
+
+/// Writes all of `data`, retrying short writes; false on a broken peer.
+bool send_all(int fd, const char* data, std::size_t n);
+
+}  // namespace rota::net

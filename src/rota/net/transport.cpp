@@ -1,0 +1,8 @@
+#include "rota/net/transport.hpp"
+
+namespace rota::net {
+
+// Key function: anchors the vtable so the interface header stays light.
+Transport::~Transport() = default;
+
+}  // namespace rota::net

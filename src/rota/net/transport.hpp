@@ -1,0 +1,95 @@
+// Transport: the one message spine under the federated admission layer.
+//
+// A Transport is one endpoint's connection to its peers. ClusterNode speaks
+// only this interface, so the same node code runs over two very different
+// substrates:
+//
+//   * cluster::FabricTransport — the deterministic in-sim implementation
+//     over MessageFabric (seeded latency/jitter/loss/partitions). Sends are
+//     *staged* and released by ClusterSim's end-of-tick flush in node-id
+//     order, which is what keeps the fabric's send-sequence numbers — and
+//     therefore every delivery tie-break — byte-identical to the historical
+//     outbox-drain control loop.
+//
+//   * net::SocketTransport — the live implementation: length-prefixed
+//     frames (rota/net/frame.hpp, the same codec the admission service
+//     speaks) carrying wire-encoded messages (rota/net/wire.hpp) over
+//     unix/TCP sockets between daemons. Sends hit the wire immediately;
+//     an unreachable peer drops the message, exactly like fabric loss —
+//     the cluster protocol's probe/claim timeouts and retries are the
+//     recovery story on both substrates.
+//
+// Time: the cluster protocol thinks in ticks. now() maps the transport's
+// clock onto ticks — the sim sets it explicitly; the socket transport
+// derives it from a steady clock at a configured tick duration. Drivers
+// call ClusterNode::on_tick(transport.now()) on their own cadence.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "rota/cluster/message.hpp"
+#include "rota/time/tick.hpp"
+
+namespace rota::net {
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// The endpoint this transport speaks for.
+  virtual cluster::NodeId local() const = 0;
+
+  /// Queues `m` (from the local endpoint) for transmission. When it hits the
+  /// wire is implementation-defined: staged until the sim flush (fabric) or
+  /// written immediately (sockets). Undeliverable messages are dropped, never
+  /// blocked on — loss is a first-class outcome the protocol already absorbs.
+  virtual void send(cluster::Message m) = 0;
+
+  /// Drains every message that has arrived for the local endpoint since the
+  /// last call, in arrival order.
+  virtual std::vector<cluster::Message> receive() = 0;
+
+  /// The transport's clock, in protocol ticks.
+  virtual Tick now() const = 0;
+
+  /// Discards messages queued but not yet on the wire (a crashing node's
+  /// unsent traffic dies with it). No-op for transports that send eagerly.
+  virtual void drop_pending() {}
+
+  /// Stops timers/readers and severs peers. Idempotent; receive() after
+  /// close() returns whatever already arrived, then nothing.
+  virtual void close() = 0;
+};
+
+/// Trivial in-memory endpoint: sends accumulate until the driver drains
+/// them, deliveries are injected by the driver. The unit-test workhorse —
+/// a node under test speaks the real interface while the test plays the
+/// network by hand.
+class QueueTransport final : public Transport {
+ public:
+  explicit QueueTransport(cluster::NodeId local) : local_(local) {}
+
+  cluster::NodeId local() const override { return local_; }
+  void send(cluster::Message m) override { sent_.push_back(std::move(m)); }
+  std::vector<cluster::Message> receive() override {
+    return std::exchange(inbox_, {});
+  }
+  Tick now() const override { return now_; }
+  void drop_pending() override { sent_.clear(); }
+  void close() override { sent_.clear(); inbox_.clear(); }
+
+  /// Hands an arriving message to the endpoint.
+  void deliver(cluster::Message m) { inbox_.push_back(std::move(m)); }
+  /// Everything sent since the last drain, in send order.
+  std::vector<cluster::Message> drain_sent() { return std::exchange(sent_, {}); }
+  void set_now(Tick now) { now_ = now; }
+
+ private:
+  cluster::NodeId local_;
+  Tick now_ = 0;
+  std::vector<cluster::Message> sent_;
+  std::vector<cluster::Message> inbox_;
+};
+
+}  // namespace rota::net

@@ -1,0 +1,61 @@
+// Versioned wire codec for cluster messages.
+//
+// SocketTransport moves cluster::Message values between daemons as text
+// payloads inside the same length-prefixed frames the admission service
+// speaks (rota/net/frame.hpp). The encoding is line-oriented and versioned:
+//
+//   rotamsg 1 <kind> <from> <to> <job> <finish>
+//   work <actor|-> <home|-> <state_size> <earliest_start> <deadline> <n> w1 … wn
+//   digest <site|-> <revision> <as_of> <nterms>
+//   term <kind> <src> <dst> <rate> <ifrom> <ito>        (nterms times)
+//   note <free text to end of line>                     (omitted when empty)
+//
+// Locations travel by *name* (they are interned per process, so ids are not
+// portable); the distinguished nowhere location is spelled `-`. Node-local
+// resource terms repeat the location in <dst>. A peer speaking a newer
+// version is rejected with CodecError — mixed-version federations must be
+// drained, not guessed at.
+//
+// The session-open handshake shares the codec:
+//
+//   hello 1 <node_id> <token|->
+//
+// sent as the first frame of every peer connection; the listener checks the
+// token (when configured) before reading anything else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rota/cluster/message.hpp"
+#include "rota/net/frame.hpp"
+
+namespace rota::net {
+
+/// Wire version this build writes. Decoders accept exactly this version.
+inline constexpr std::uint32_t kWireVersion = 1;
+
+std::string encode_message(const cluster::Message& m);
+/// Throws CodecError on malformed input or a version mismatch.
+cluster::Message decode_message(const std::string& payload);
+
+/// True when `payload` is a cluster message frame (dispatch on first token).
+bool is_message_payload(std::string_view payload);
+
+/// Session-open handshake: the connecting peer announces who it is and (when
+/// the listener requires one) the shared secret. Tokens must be free of
+/// whitespace; `-` encodes "no token".
+struct Hello {
+  cluster::NodeId node = cluster::kNoNode;
+  std::string token;
+
+  bool operator==(const Hello&) const = default;
+};
+
+std::string encode_hello(const Hello& hello);
+/// Throws CodecError on malformed input or a version mismatch.
+Hello decode_hello(const std::string& payload);
+bool is_hello_payload(std::string_view payload);
+
+}  // namespace rota::net

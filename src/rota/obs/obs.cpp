@@ -62,6 +62,11 @@ CoreMetrics& CoreMetrics::get() {
         r.counter("fabric.dropped"),
         r.counter("fabric.delivered"),
         r.histogram("fabric.delay_ticks"),
+        r.counter("transport.sent"),
+        r.counter("transport.dropped"),
+        r.counter("transport.received"),
+        r.counter("transport.connects"),
+        r.counter("transport.auth_failures"),
         r.counter("service.requests"),
         r.counter("service.shed"),
         r.counter("service.accepted"),
@@ -70,6 +75,9 @@ CoreMetrics& CoreMetrics::get() {
         r.counter("service.promotions"),
         r.counter("service.budget_cancels"),
         r.counter("service.revalidations_failed"),
+        r.counter("service.forwarded"),
+        r.counter("service.forward_accepts"),
+        r.counter("service.peer_claims"),
         r.gauge("service.queue_depth"),
         r.gauge("service.level"),
         r.histogram("service.latency.exact_ns"),

@@ -153,6 +153,13 @@ struct CoreMetrics {
   Counter& fabric_delivered;
   Histogram& fabric_delay_ticks;    // per-delivered-message latency (ticks)
 
+  // Socket transport (live federation peers; the fabric counts itself above).
+  Counter& transport_sent;          // messages written to a peer socket
+  Counter& transport_dropped;       // unreachable peer / dead connection
+  Counter& transport_received;      // messages decoded off peer sockets
+  Counter& transport_connects;      // outbound peer connections established
+  Counter& transport_auth_failures; // inbound sessions refused (bad hello)
+
   // Admission service (the long-running daemon in rota/service/).
   Counter& service_requests;        // requests accepted into the queue
   Counter& service_shed;            // kOverloaded responses (queue full, or
@@ -164,6 +171,9 @@ struct CoreMetrics {
   Counter& service_budget_cancels;  // speculations cancelled mid-flight
   Counter& service_revalidations_failed;  // degraded accept refused by the
                                           // ledger at commit (must stay 0)
+  Counter& service_forwarded;       // locally-shed work handed to the cluster
+  Counter& service_forward_accepts; // forwarded work a peer admitted
+  Counter& service_peer_claims;     // claims admitted here for remote peers
   Gauge& service_queue_depth;       // admission queue depth (backpressure in)
   Gauge& service_level;             // governor ladder rung (0 exact..2 greedy)
   Histogram& service_latency_exact_ns;   // planning wall time per strategy

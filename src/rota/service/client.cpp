@@ -1,63 +1,96 @@
 #include "rota/service/client.hpp"
 
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
-#include <system_error>
 #include <utility>
+
+#include "rota/cluster/message.hpp"
+#include "rota/net/sockets.hpp"
+#include "rota/net/wire.hpp"
 
 namespace rota::service {
 
-namespace {
-
-[[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
+int ServiceClient::dial(Target target, const std::string& path,
+                        std::uint16_t port, const ClientOptions& options) {
+  const int fd =
+      target == Target::kUnix
+          ? net::connect_unix_fd(path, options.connect_timeout_ms)
+          : net::connect_tcp_fd(port, options.connect_timeout_ms);
+  if (fd < 0) {
+    net::throw_errno(target == Target::kUnix ? "connect(unix)" : "connect(tcp)");
+  }
+  if (!options.token.empty()) {
+    // Session open: hello, then a bounded wait for the server's verdict.
+    const std::string hello = frame(
+        net::encode_hello(net::Hello{cluster::kNoNode, options.token}));
+    net::set_recv_timeout(fd, options.connect_timeout_ms > 0
+                                  ? options.connect_timeout_ms
+                                  : 0);
+    bool ok = net::send_all(fd, hello.data(), hello.size());
+    std::string reply;
+    if (ok) {
+      FrameReader frames;
+      char buf[4096];
+      for (;;) {
+        if (auto payload = frames.next()) {
+          reply = *payload;
+          break;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          ok = false;
+          break;
+        }
+        frames.feed(buf, static_cast<std::size_t>(n));
+      }
+    }
+    if (!ok || reply != "ok") {
+      ::close(fd);
+      throw std::runtime_error(
+          reply.empty() ? "service handshake failed (no reply)"
+                        : "service refused session: " + reply);
+    }
+  }
+  net::set_recv_timeout(fd, options.read_timeout_ms > 0
+                                ? options.read_timeout_ms
+                                : 0);
+  return fd;
 }
 
-}  // namespace
-
-ServiceClient ServiceClient::connect_unix(const std::string& path) {
-  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
-    throw std::invalid_argument("unix socket path too long: " + path);
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket(AF_UNIX)");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    throw_errno("connect(unix)");
-  }
-  return ServiceClient(fd);
+ServiceClient ServiceClient::connect_unix(const std::string& path,
+                                          ClientOptions options) {
+  const int fd = dial(Target::kUnix, path, 0, options);
+  return ServiceClient(fd, Target::kUnix, path, 0, std::move(options));
 }
 
-ServiceClient ServiceClient::connect_tcp(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket(AF_INET)");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    throw_errno("connect(tcp)");
-  }
-  return ServiceClient(fd);
+ServiceClient ServiceClient::connect_tcp(std::uint16_t port,
+                                         ClientOptions options) {
+  const int fd = dial(Target::kTcp, {}, port, options);
+  return ServiceClient(fd, Target::kTcp, {}, port, std::move(options));
 }
 
 ServiceClient::ServiceClient(ServiceClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), frames_(std::move(other.frames_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      target_(other.target_),
+      path_(std::move(other.path_)),
+      port_(other.port_),
+      options_(std::move(other.options_)),
+      reconnects_(other.reconnects_),
+      frames_(std::move(other.frames_)) {}
 
 ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    target_ = other.target_;
+    path_ = std::move(other.path_);
+    port_ = other.port_;
+    options_ = std::move(other.options_);
+    reconnects_ = other.reconnects_;
     frames_ = std::move(other.frames_);
   }
   return *this;
@@ -75,17 +108,18 @@ void ServiceClient::close() {
 void ServiceClient::send(const AdmitRequest& request) {
   if (fd_ < 0) throw std::runtime_error("ServiceClient: closed");
   const std::string bytes = frame(request_payload(request));
-  const char* data = bytes.data();
-  std::size_t n = bytes.size();
-  while (n > 0) {
-    const ssize_t sent = ::send(fd_, data, n, MSG_NOSIGNAL);
-    if (sent <= 0) {
-      if (sent < 0 && errno == EINTR) continue;
-      throw_errno("send");
-    }
-    data += sent;
-    n -= static_cast<std::size_t>(sent);
-  }
+  if (net::send_all(fd_, bytes.data(), bytes.size())) return;
+
+  if (!options_.reconnect) net::throw_errno("send");
+
+  // One reconnect: replace the dead socket, re-handshake, retry the write.
+  // Responses pipelined on the old connection are lost with it.
+  ::close(fd_);
+  fd_ = -1;
+  fd_ = dial(target_, path_, port_, options_);  // throws when the re-dial fails
+  frames_ = FrameReader();  // a partial frame from the dead socket is garbage
+  ++reconnects_;
+  if (!net::send_all(fd_, bytes.data(), bytes.size())) net::throw_errno("send");
 }
 
 std::optional<AdmitResponse> ServiceClient::receive() {
@@ -97,8 +131,8 @@ std::optional<AdmitResponse> ServiceClient::receive() {
     char buf[4096];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0) throw_errno("recv");
-    if (n == 0) return std::nullopt;  // clean EOF
+    if (n < 0) net::throw_errno("recv");  // EAGAIN here means the read timeout
+    if (n == 0) return std::nullopt;      // clean EOF
     frames_.feed(buf, static_cast<std::size_t>(n));
   }
 }

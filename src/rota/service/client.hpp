@@ -4,6 +4,13 @@
 // pipelined (many requests in flight); receive() yields decisions in the
 // order the server made them, which is not necessarily submission order —
 // correlate by id. call() is the one-in-flight convenience that does.
+//
+// ClientOptions bounds the blocking: connect_timeout_ms caps the dial (and
+// the hello handshake when a token is set), read_timeout_ms caps every
+// receive(). On a broken connection, send() makes exactly one reconnect
+// attempt — re-dialing the original address and re-running the handshake —
+// before giving up; responses to requests pipelined on the dead connection
+// are lost (callers correlate by id and re-send).
 #pragma once
 
 #include <cstdint>
@@ -14,11 +21,22 @@
 
 namespace rota::service {
 
+struct ClientOptions {
+  int connect_timeout_ms = 0;  // <= 0: block indefinitely
+  int read_timeout_ms = 0;     // <= 0: block indefinitely
+  std::string token;           // non-empty: open sessions with a hello frame
+  bool reconnect = true;       // one re-dial when send() hits a dead socket
+};
+
 class ServiceClient {
  public:
-  /// Factories throw std::system_error when the connection fails.
-  static ServiceClient connect_unix(const std::string& path);
-  static ServiceClient connect_tcp(std::uint16_t port);
+  /// Factories throw std::system_error when the connection fails (including
+  /// a connect timeout) and std::runtime_error when the server refuses the
+  /// session token.
+  static ServiceClient connect_unix(const std::string& path,
+                                    ClientOptions options = {});
+  static ServiceClient connect_tcp(std::uint16_t port,
+                                   ClientOptions options = {});
 
   ServiceClient(ServiceClient&& other) noexcept;
   ServiceClient& operator=(ServiceClient&& other) noexcept;
@@ -26,24 +44,48 @@ class ServiceClient {
   ServiceClient& operator=(const ServiceClient&) = delete;
   ~ServiceClient();
 
-  /// Frames and writes one request. Throws std::system_error on a broken
-  /// connection.
+  /// Frames and writes one request. On a dead socket, re-dials once (when
+  /// options.reconnect) and retries; throws std::system_error when that
+  /// fails too.
   void send(const AdmitRequest& request);
 
   /// Blocks for the next decision; nullopt on clean EOF (server drained and
-  /// closed). Throws CodecError on malformed frames.
+  /// closed). Throws CodecError on malformed frames and std::system_error
+  /// when read_timeout_ms elapses with no frame.
   std::optional<AdmitResponse> receive();
 
   /// send + receive-until-matching-id. Throws std::runtime_error when the
   /// connection closes before the matching decision arrives.
   AdmitResponse call(const AdmitRequest& request);
 
+  /// Connections survived so far (0 on a fresh client; bumps when send()'s
+  /// reconnect path replaces a dead socket).
+  std::size_t reconnects() const { return reconnects_; }
+
   void close();
 
  private:
-  explicit ServiceClient(int fd) : fd_(fd) {}
+  enum class Target { kUnix, kTcp };
+
+  ServiceClient(int fd, Target target, std::string path, std::uint16_t port,
+                ClientOptions options)
+      : fd_(fd),
+        target_(target),
+        path_(std::move(path)),
+        port_(port),
+        options_(std::move(options)) {}
+
+  /// Dials target_, runs the hello handshake, applies the read timeout.
+  /// Returns the connected fd; throws like the factories.
+  static int dial(Target target, const std::string& path, std::uint16_t port,
+                  const ClientOptions& options);
 
   int fd_ = -1;
+  Target target_ = Target::kUnix;
+  std::string path_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
+  std::size_t reconnects_ = 0;
   FrameReader frames_;
 };
 

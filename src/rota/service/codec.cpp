@@ -137,40 +137,4 @@ bool is_request_payload(std::string_view payload) {
   return payload.rfind("admit ", 0) == 0;
 }
 
-std::string frame(std::string_view payload) {
-  if (payload.size() > kMaxFramePayload) {
-    throw CodecError("frame payload exceeds " +
-                     std::to_string(kMaxFramePayload) + " bytes");
-  }
-  const auto n = static_cast<std::uint32_t>(payload.size());
-  std::string out;
-  out.reserve(4 + payload.size());
-  out.push_back(static_cast<char>(n & 0xff));
-  out.push_back(static_cast<char>((n >> 8) & 0xff));
-  out.push_back(static_cast<char>((n >> 16) & 0xff));
-  out.push_back(static_cast<char>((n >> 24) & 0xff));
-  out.append(payload);
-  return out;
-}
-
-void FrameReader::feed(const char* data, std::size_t n) {
-  buffer_.append(data, n);
-}
-
-std::optional<std::string> FrameReader::next() {
-  if (buffer_.size() < 4) return std::nullopt;
-  const auto b = [&](std::size_t i) {
-    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
-  };
-  const std::uint32_t length = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
-  if (length > kMaxFramePayload) {
-    throw CodecError("incoming frame announces " + std::to_string(length) +
-                     " bytes (max " + std::to_string(kMaxFramePayload) + ")");
-  }
-  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) return std::nullopt;
-  std::string payload = buffer_.substr(4, length);
-  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
-  return payload;
-}
-
 }  // namespace rota::service

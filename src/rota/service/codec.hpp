@@ -1,13 +1,14 @@
 // Wire protocol for the admission service: length-prefixed frames carrying
 // line-oriented payloads that reuse the scenario DSL.
 //
-// A frame is a 4-byte little-endian payload length followed by the payload.
-// Length-prefixed framing keeps stream reassembly trivial (FrameReader below
-// is a few lines and allocation-light) and leaves the payload free to be
-// text — which matters, because the request body *is* the scenario DSL's
-// `computation … end` block (rota/io/scenario): anything a scenario file can
-// describe can be submitted over a socket unchanged, and every request is
-// printable, diffable, and replayable by the existing tooling.
+// Framing (4-byte little-endian length prefix) lives in rota/net/frame.hpp —
+// it is the shared byte-stream layer under both this codec and the cluster
+// wire codec — and is re-exported here so service code keeps its historical
+// names. The payload is free to be text — which matters, because the request
+// body *is* the scenario DSL's `computation … end` block (rota/io/scenario):
+// anything a scenario file can describe can be submitted over a socket
+// unchanged, and every request is printable, diffable, and replayable by the
+// existing tooling.
 //
 //   request payload:
 //     admit <id> <at> <budget_us>
@@ -32,17 +33,15 @@
 #include <string_view>
 
 #include "rota/computation/actor_computation.hpp"
+#include "rota/net/frame.hpp"
 
 namespace rota::service {
 
-/// Hard ceiling on a frame payload. A peer announcing more is malformed or
-/// hostile; the reader throws instead of buffering unboundedly.
-inline constexpr std::size_t kMaxFramePayload = 1 << 20;
-
-class CodecError : public std::runtime_error {
- public:
-  explicit CodecError(const std::string& message) : std::runtime_error(message) {}
-};
+// Framing layer, re-exported from rota/net (see header comment).
+inline constexpr std::size_t kMaxFramePayload = net::kMaxFramePayload;
+using CodecError = net::CodecError;
+using FrameReader = net::FrameReader;
+using net::frame;
 
 enum class Verdict {
   kAccepted,    // admitted with a feasible plan
@@ -80,23 +79,5 @@ AdmitResponse parse_response(const std::string& payload);
 
 /// True when `payload` is an admit request (dispatch on the first token).
 bool is_request_payload(std::string_view payload);
-
-/// Wraps a payload in a length-prefixed frame.
-std::string frame(std::string_view payload);
-
-/// Incremental frame reassembly over an arbitrary byte stream: feed() the
-/// chunks the socket yields, drain complete payloads with next(). Throws
-/// CodecError when a frame announces more than kMaxFramePayload.
-class FrameReader {
- public:
-  void feed(const char* data, std::size_t n);
-  /// The next complete payload, or nullopt when more bytes are needed.
-  std::optional<std::string> next();
-  /// Bytes buffered but not yet returned (diagnostics).
-  std::size_t buffered() const { return buffer_.size(); }
-
- private:
-  std::string buffer_;
-};
 
 }  // namespace rota::service

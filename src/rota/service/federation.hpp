@@ -1,0 +1,165 @@
+// Federation: N admission daemons running the cluster protocol live.
+//
+// The sim proves the protocol (deterministically, over FabricTransport);
+// this header runs the *same* ClusterNode against the *same* protocol over
+// real sockets, with the live AdmissionService's ledger as the node's
+// admission backend:
+//
+//   client ──▶ AdmissionService (local-first, anytime ladder)
+//                   │ rejected, deadline budget left, forwardable shape
+//                   ▼
+//              ClusterNode ──probe/offer/claim──▶ peers (SocketTransport)
+//                   │                               │
+//                   ▼                               ▼
+//              JobDecision ──▶ client          ServiceNodeAdmission
+//                                              (peer claims commit into the
+//                                               peer's live service ledger)
+//
+// Two pieces:
+//
+//   * ServiceNodeAdmission — cluster::NodeAdmission over an
+//     AdmissionService: probes capture a snapshot under the service's ledger
+//     mutex and speculate outside it; claims run the same
+//     speculate/commit-or-retry loop the planning lanes run, so federation
+//     and live traffic agree on one residual and claim-time re-validation
+//     keeps its guarantee (service.revalidations_failed stays 0).
+//
+//   * FederatedService — the daemon driver: wraps submit() with the
+//     forwarding bridge (a locally-rejected single-actor evaluate-only
+//     computation is re-expressed as a WorkSpec — the inverse of
+//     MigrationAdvisor::materialize(kStay) — and handed to the node's remote
+//     path), and runs the pump thread that drives ClusterNode::pump/on_tick
+//     against the SocketTransport clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rota/cluster/node.hpp"
+#include "rota/net/socket_transport.hpp"
+#include "rota/service/service.hpp"
+
+namespace rota::service {
+
+/// The daemon-mode admission backend: the cluster protocol planning against
+/// the live service ledger, serialized with the planning lanes.
+class ServiceNodeAdmission final : public cluster::NodeAdmission {
+ public:
+  explicit ServiceNodeAdmission(AdmissionService& service) : service_(service) {}
+
+  std::vector<AdmissionDecision> admit_batch(
+      const std::vector<BatchRequest>& requests) override;
+  PlanResult probe(const ConcurrentRequirement& rho, Tick now) override;
+  AdmissionDecision claim(const ConcurrentRequirement& rho, Tick now) override;
+  cluster::SupplyDigest digest(Location site, Tick now,
+                               std::size_t max_segments) override;
+
+  /// Claims peers placed here and this backend committed.
+  std::uint64_t peer_claims_admitted() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return peer_claims_admitted_;
+  }
+
+ private:
+  /// The lanes' speculate/commit-or-retry loop, shared by claim and
+  /// admit_batch.
+  AdmissionDecision decide(const ConcurrentRequirement& rho, Tick now);
+
+  AdmissionService& service_;
+  mutable std::mutex stats_mutex_;
+  std::uint64_t peer_claims_admitted_ = 0;
+};
+
+/// A locally-rejected request's shape as location-independent work, when it
+/// has one: a single actor, evaluate chunks (optionally closed by ready) at
+/// one location. Exactly what MigrationAdvisor::materialize(kStay) builds,
+/// inverted; anything else returns nullopt and the local rejection stands.
+std::optional<WorkSpec> forwardable_work(const AdmitRequest& request);
+
+struct FederationConfig {
+  std::string site;                     // this daemon's location name
+  net::SocketTransportConfig transport; // local id, listen, peers, secret
+  cluster::NodeConfig node;             // protocol knobs (fanout, timeouts…)
+  Tick peer_latency = 1;                // static transfer-delay estimate
+  std::int64_t pump_interval_ms = 5;    // pump-thread cadence
+};
+
+struct FederationStats {
+  std::uint64_t forwarded = 0;        // local rejections handed to the peers
+  std::uint64_t forward_accepts = 0;  // of those, admitted by a peer
+  std::uint64_t forward_rejects = 0;  // of those, rejected by every peer too
+  std::uint64_t peer_claims = 0;      // peer claims committed into our ledger
+};
+
+class FederatedService {
+ public:
+  /// Binds the transport listener and starts the pump thread immediately.
+  /// `service` must outlive this object.
+  FederatedService(AdmissionService& service, FederationConfig config);
+  ~FederatedService();
+
+  FederatedService(const FederatedService&) = delete;
+  FederatedService& operator=(const FederatedService&) = delete;
+
+  /// The federated front door: local admission first; a local rejection
+  /// that is forwardable and still inside its deadline goes to the peers,
+  /// and `done` fires with the peers' verdict instead (strategy
+  /// "federated"). Everything else answers exactly like
+  /// AdmissionService::submit.
+  void submit(AdmitRequest request, AdmissionService::ResponseFn done);
+
+  /// Stops forwarding, finalizes every pending remote conversation as
+  /// rejected (their callbacks fire), joins the pump thread, closes the
+  /// transport. Idempotent. Does NOT stop the underlying service — the
+  /// caller drains it afterwards, per the daemon's shutdown order.
+  void stop();
+
+  FederationStats stats() const;
+  net::SocketTransport& transport() { return transport_; }
+  cluster::ClusterNode& node() { return node_; }
+
+ private:
+  struct PendingForward {
+    std::uint64_t request_id = 0;
+    AdmissionService::ResponseFn done;
+  };
+  using Ready = std::vector<std::pair<AdmissionService::ResponseFn, AdmitResponse>>;
+
+  void pump_loop();
+  /// Starts the remote path for a locally-rejected forwardable request.
+  void forward(const WorkSpec& spec, const AdmitResponse& local,
+               AdmissionService::ResponseFn done);
+  /// Matches fresh JobDecisions to pending forwards; must hold mutex_. The
+  /// returned callbacks are fired by the caller *after* unlocking — a
+  /// completion callback is free to re-enter submit().
+  Ready resolve_decisions_locked();
+
+  AdmissionService& service_;
+  FederationConfig config_;
+  net::SocketTransport transport_;
+  ServiceNodeAdmission admission_;
+
+  mutable std::mutex mutex_;  // guards node_, events_, pending_, next_job_, counters
+  cluster::ClusterEvents events_;
+  cluster::ClusterNode node_;
+  std::size_t decisions_seen_ = 0;
+  std::map<std::uint64_t, PendingForward> pending_;
+  std::uint64_t next_job_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t forward_accepts_ = 0;
+  std::uint64_t forward_rejects_ = 0;
+
+  std::thread pump_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace rota::service

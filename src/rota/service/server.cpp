@@ -1,85 +1,19 @@
 #include "rota/service/server.hpp"
 
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
-#include <system_error>
+
+#include "rota/net/sockets.hpp"
+#include "rota/net/wire.hpp"
 
 namespace rota::service {
 
-namespace {
-
-[[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-int make_unix_listener(const std::string& path) {
-  if (path.size() + 1 > sizeof(sockaddr_un::sun_path)) {
-    throw std::invalid_argument("unix socket path too long: " + path);
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket(AF_UNIX)");
-  ::unlink(path.c_str());  // stale socket from a previous run
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    throw_errno("bind(unix)");
-  }
-  if (::listen(fd, 64) < 0) {
-    ::close(fd);
-    throw_errno("listen(unix)");
-  }
-  return fd;
-}
-
-int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket(AF_INET)");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    throw_errno("bind(tcp)");
-  }
-  if (::listen(fd, 64) < 0) {
-    ::close(fd);
-    throw_errno("listen(tcp)");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    ::close(fd);
-    throw_errno("getsockname(tcp)");
-  }
-  bound_port = ntohs(bound.sin_port);
-  return fd;
-}
-
-bool send_all(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (sent <= 0) {
-      if (sent < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data += sent;
-    n -= static_cast<std::size_t>(sent);
-  }
-  return true;
-}
-
-}  // namespace
+using net::make_tcp_listener;
+using net::make_unix_listener;
+using net::send_all;
 
 /// One accepted connection: a reader thread feeding the service, and a
 /// write path any planning lane may call. Kept alive by shared_ptr — the
@@ -92,7 +26,10 @@ struct ServiceServer::Session {
   }
 
   void write_response(const AdmitResponse& response) {
-    const std::string bytes = frame(response_payload(response));
+    write_raw(frame(response_payload(response)));
+  }
+
+  void write_raw(const std::string& bytes) {
     std::lock_guard<std::mutex> lock(write_mutex);
     if (!writable) return;
     if (!send_all(fd, bytes.data(), bytes.size())) writable = false;
@@ -113,8 +50,14 @@ struct ServiceServer::Session {
   std::thread reader;
 };
 
-ServiceServer::ServiceServer(AdmissionService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {
+ServiceServer::ServiceServer(AdmissionService& service, ServerConfig config,
+                             SubmitFn submit)
+    : service_(service), config_(std::move(config)), submit_(std::move(submit)) {
+  if (!submit_) {
+    submit_ = [this](AdmitRequest request, AdmissionService::ResponseFn done) {
+      service_.submit(std::move(request), std::move(done));
+    };
+  }
   if (config_.unix_path.empty() && !config_.tcp) {
     throw std::invalid_argument("ServiceServer needs a unix path or tcp");
   }
@@ -167,6 +110,9 @@ void ServiceServer::start_session(int fd) {
   session->reader = std::thread([this, session] {
     FrameReader frames;
     char buf[4096];
+    // With a secret configured, the session opens with a hello frame whose
+    // token must match before any request is read (rota/net/wire).
+    bool authed = config_.secret.empty();
     for (;;) {
       const ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
       if (n < 0 && errno == EINTR) continue;
@@ -174,11 +120,23 @@ void ServiceServer::start_session(int fd) {
       try {
         frames.feed(buf, static_cast<std::size_t>(n));
         while (auto payload = frames.next()) {
+          if (net::is_hello_payload(*payload)) {
+            const net::Hello hello = net::decode_hello(*payload);
+            if (!config_.secret.empty() && hello.token != config_.secret) {
+              throw CodecError("unauthorized: bad session token");
+            }
+            authed = true;
+            session->write_raw(frame("ok"));
+            continue;
+          }
+          if (!authed) {
+            throw CodecError("unauthorized: session token required");
+          }
           AdmitRequest request = parse_request(*payload);
-          service_.submit(std::move(request),
-                          [session](const AdmitResponse& response) {
-                            session->write_response(response);
-                          });
+          submit_(std::move(request),
+                  [session](const AdmitResponse& response) {
+                    session->write_response(response);
+                  });
         }
       } catch (const CodecError& e) {
         // Protocol violation: answer what we can and hang up. (id 0 — a

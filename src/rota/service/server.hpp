@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,13 +33,23 @@ struct ServerConfig {
   std::string unix_path;       // empty: no Unix listener
   bool tcp = false;            // true: also listen on loopback TCP
   std::uint16_t tcp_port = 0;  // 0: ephemeral (read back via tcp_port())
+  std::string secret;          // non-empty: sessions must open with a hello
+                               // frame carrying this token (rota/net/wire);
+                               // a wrong token is answered with a rejected
+                               // decision and a hang-up
 };
 
 class ServiceServer {
  public:
+  /// Parsed requests normally go straight to AdmissionService::submit; a
+  /// SubmitFn reroutes them (the federation daemon passes
+  /// FederatedService::submit so local rejections can try the peers).
+  using SubmitFn = std::function<void(AdmitRequest, AdmissionService::ResponseFn)>;
+
   /// Binds and starts accepting immediately. Throws std::system_error when a
   /// listener cannot be bound. At least one of unix_path / tcp must be set.
-  ServiceServer(AdmissionService& service, ServerConfig config);
+  ServiceServer(AdmissionService& service, ServerConfig config,
+                SubmitFn submit = nullptr);
   ~ServiceServer();
 
   ServiceServer(const ServiceServer&) = delete;
@@ -63,6 +74,7 @@ class ServiceServer {
 
   AdmissionService& service_;
   ServerConfig config_;
+  SubmitFn submit_;
   std::uint16_t bound_tcp_port_ = 0;
 
   int unix_fd_ = -1;

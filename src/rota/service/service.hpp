@@ -107,6 +107,15 @@ class AdmissionService {
   StrategyRegistry& registry() { return registry_; }
   SloGovernor& governor() { return governor_; }
 
+  /// Federation seams (rota/service/federation.hpp): the adapter that lets a
+  /// ClusterNode probe/claim against this service's ledger serializes with
+  /// the planning lanes through exactly these — capture and commit under
+  /// ledger_mutex(), speculate outside it, like the lanes do.
+  CommitmentLedger& shared_ledger() { return ledger_; }
+  std::mutex& ledger_mutex() { return ledger_mutex_; }
+  PlanningKernel& planning_kernel() { return kernel_; }
+  const CostModel& phi() const { return phi_; }
+
  private:
   struct Pending {
     AdmitRequest request;

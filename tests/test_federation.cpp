@@ -1,0 +1,299 @@
+// Federation: N admission daemons running the cluster protocol over real
+// unix sockets, with each daemon's live service ledger as its node's
+// admission backend.
+//
+// The load-bearing suite is the two-node split: a daemon with no local
+// supply forwards every locally-rejected request to its peer, the peer's
+// ServiceNodeAdmission commits the claims through the same
+// speculate/commit-or-retry loop the planning lanes run, and
+// revalidations_failed stays 0 on both sides — the claim-time re-validation
+// guarantee survives the jump from FabricTransport to SocketTransport.
+#include "rota/service/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rota/service/client.hpp"
+#include "rota/service/server.hpp"
+
+namespace rota::service {
+namespace {
+
+using std::chrono::seconds;
+
+std::string fed_socket_path(const char* tag) {
+  return "/tmp/rota_fed_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// A forwardable request: one actor, evaluate chunks closed by ready, all at
+/// `home` — exactly the shape forwardable_work() re-expresses as a WorkSpec.
+AdmitRequest forwardable_request(std::uint64_t id, Location home,
+                                 std::int64_t weight = 5) {
+  AdmitRequest request;
+  request.id = id;
+  request.at = 0;
+  request.budget_us = 10'000'000;  // never budget-shed, even sanitized
+  ActorComputation actor =
+      ActorComputationBuilder("fed-actor-" + std::to_string(id), home)
+          .evaluate(weight)
+          .ready()
+          .build();
+  request.computation = DistributedComputation(
+      "fed-job-" + std::to_string(id), {actor}, /*earliest_start=*/0,
+      /*deadline=*/50'000);
+  return request;
+}
+
+struct Node {
+  Node(Location site, ResourceSet supply, cluster::NodeId id,
+       const std::string& listen_path, cluster::NodeId peer_id,
+       const std::string& peer_path)
+      : ledger(std::move(supply)), service(ledger, CostModel{}, service_config()) {
+    FederationConfig fconfig;
+    fconfig.site = site.name();
+    fconfig.transport.local = id;
+    fconfig.transport.listen = "unix:" + listen_path;
+    fconfig.transport.peers[peer_id] = "unix:" + peer_path;
+    // Protocol timeouts are counted in ticks (probe 4, claim 6). A wide tick
+    // keeps them roomy enough for sanitized builds, where one speculation on
+    // the peer can cost north of 100 ms; the 2 ms pump below keeps actual
+    // message latency low, so only the timeout budget stretches.
+    fconfig.transport.tick_ms = 200;
+    // The first node's pump gossips before the second node's listener exists;
+    // the default 500 ms reconnect backoff after that failed connect would
+    // swallow the (one-shot per round) probe send. Keep the poisoned window
+    // tiny relative to the 800 ms probe timeout.
+    fconfig.transport.reconnect_backoff_ms = 25;
+    fconfig.pump_interval_ms = 2;
+    federation = std::make_unique<FederatedService>(service, fconfig);
+  }
+
+  static ServiceConfig service_config() {
+    ServiceConfig config;
+    config.lanes = 1;
+    return config;
+  }
+
+  CommitmentLedger ledger;
+  AdmissionService service;
+  std::unique_ptr<FederatedService> federation;
+};
+
+ResourceSet ample_supply(Location site) {
+  ResourceSet supply;
+  supply.add(100, TimeInterval(0, 100'000), LocatedType::cpu(site));
+  return supply;
+}
+
+AdmitResponse await_response(std::future<AdmitResponse>& f) {
+  if (f.wait_for(seconds(20)) != std::future_status::ready) {
+    ADD_FAILURE() << "federation never answered";
+    return AdmitResponse{};
+  }
+  return f.get();
+}
+
+TEST(Federation, ForwardsLocalRejectionsToAPeerThatAdmitsThem) {
+  const Location site_a("fed-starved"), site_b("fed-ample");
+  const std::string path_a = fed_socket_path("fwd_a");
+  const std::string path_b = fed_socket_path("fwd_b");
+  // Node A has no supply at all: every local admission rejects. Node B has
+  // ample cpu at its own site; A has never seen a digest from B when the
+  // first probe leaves (blind probing — digest-less peers rank last but are
+  // still probed).
+  Node a(site_a, ResourceSet{}, 0, path_a, 1, path_b);
+  Node b(site_b, ample_supply(site_b), 1, path_b, 0, path_a);
+
+  const std::size_t n = 6;
+  std::vector<std::future<AdmitResponse>> futures;
+  std::vector<std::shared_ptr<std::promise<AdmitResponse>>> promises;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto promise = std::make_shared<std::promise<AdmitResponse>>();
+    futures.push_back(promise->get_future());
+    promises.push_back(promise);
+    a.federation->submit(forwardable_request(i + 1, site_a),
+                         [promise](const AdmitResponse& r) {
+                           promise->set_value(r);
+                         });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const AdmitResponse response = await_response(futures[i]);
+    EXPECT_EQ(response.id, i + 1);
+    EXPECT_EQ(response.verdict, Verdict::kAccepted) << response.reason;
+    EXPECT_EQ(response.strategy, "federated");
+  }
+
+  const FederationStats fa = a.federation->stats();
+  EXPECT_EQ(fa.forwarded, n);
+  EXPECT_EQ(fa.forward_accepts, n);
+  EXPECT_EQ(fa.forward_rejects, 0u);
+  EXPECT_EQ(b.federation->stats().peer_claims, n)
+      << "every forward was committed into B's live ledger";
+  // The safety backstop on both sides: a peer claim is re-validated against
+  // the live residual exactly like a degraded local accept.
+  EXPECT_EQ(a.service.stats().revalidations_failed, 0u);
+  EXPECT_EQ(b.service.stats().revalidations_failed, 0u);
+
+  a.federation->stop();
+  b.federation->stop();
+  a.service.drain_and_stop();
+  b.service.drain_and_stop();
+}
+
+TEST(Federation, LocallyFeasibleRequestsNeverTouchThePeer) {
+  const Location site_a("fed-local-a"), site_b("fed-local-b");
+  const std::string path_a = fed_socket_path("loc_a");
+  const std::string path_b = fed_socket_path("loc_b");
+  Node a(site_a, ample_supply(site_a), 0, path_a, 1, path_b);
+  Node b(site_b, ample_supply(site_b), 1, path_b, 0, path_a);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto promise = std::make_shared<std::promise<AdmitResponse>>();
+    auto future = promise->get_future();
+    a.federation->submit(forwardable_request(i + 1, site_a),
+                         [promise](const AdmitResponse& r) {
+                           promise->set_value(r);
+                         });
+    const AdmitResponse response = await_response(future);
+    EXPECT_EQ(response.verdict, Verdict::kAccepted) << response.reason;
+    EXPECT_NE(response.strategy, "federated") << "local-first stayed local";
+  }
+  EXPECT_EQ(a.federation->stats().forwarded, 0u);
+  EXPECT_EQ(b.federation->stats().peer_claims, 0u);
+
+  a.federation->stop();
+  b.federation->stop();
+  a.service.drain_and_stop();
+  b.service.drain_and_stop();
+}
+
+TEST(Federation, UnforwardableShapesKeepTheirLocalRejection) {
+  const Location site_a("fed-shape-a"), site_b("fed-shape-b");
+  Node a(site_a, ResourceSet{}, 0, fed_socket_path("shape_a"), 1,
+         fed_socket_path("shape_b_unused"));
+  // No peer B at all: if the multi-site request were forwarded it would hang
+  // through retries; it must instead answer with the local rejection.
+  AdmitRequest request;
+  request.id = 77;
+  request.budget_us = 10'000'000;
+  ActorComputation actor = ActorComputationBuilder("pinned", site_a)
+                               .evaluate(2)
+                               .send(site_b, 3)  // cross-site send pins it
+                               .build();
+  request.computation =
+      DistributedComputation("pinned-job", {actor}, 0, 50'000);
+  ASSERT_FALSE(forwardable_work(request).has_value());
+
+  auto promise = std::make_shared<std::promise<AdmitResponse>>();
+  auto future = promise->get_future();
+  a.federation->submit(std::move(request), [promise](const AdmitResponse& r) {
+    promise->set_value(r);
+  });
+  const AdmitResponse response = await_response(future);
+  EXPECT_EQ(response.verdict, Verdict::kRejected);
+  EXPECT_NE(response.strategy, "federated");
+  EXPECT_EQ(a.federation->stats().forwarded, 0u);
+
+  a.federation->stop();
+  a.service.drain_and_stop();
+}
+
+TEST(Federation, UnreachablePeerResolvesToARejectionNotAHang) {
+  const Location site_a("fed-alone");
+  // The configured peer never listens: probes are dropped on the floor and
+  // the remote rounds must exhaust into a rejection — bounded, not silent.
+  Node a(site_a, ResourceSet{}, 0, fed_socket_path("alone_a"), 1,
+         "/tmp/rota_fed_nobody_home.sock");
+
+  auto promise = std::make_shared<std::promise<AdmitResponse>>();
+  auto future = promise->get_future();
+  a.federation->submit(forwardable_request(1, site_a),
+                       [promise](const AdmitResponse& r) {
+                         promise->set_value(r);
+                       });
+  const AdmitResponse response = await_response(future);
+  EXPECT_EQ(response.verdict, Verdict::kRejected);
+  EXPECT_EQ(response.strategy, "federated");
+  EXPECT_FALSE(response.reason.empty());
+  const FederationStats stats = a.federation->stats();
+  EXPECT_EQ(stats.forwarded, 1u);
+  EXPECT_EQ(stats.forward_rejects, 1u);
+
+  a.federation->stop();
+  a.service.drain_and_stop();
+}
+
+TEST(Federation, StopAnswersWhatIsPendingAndIsIdempotent) {
+  const Location site_a("fed-stopping");
+  Node a(site_a, ResourceSet{}, 0, fed_socket_path("stop_a"), 1,
+         "/tmp/rota_fed_stop_nobody.sock");
+
+  auto promise = std::make_shared<std::promise<AdmitResponse>>();
+  auto future = promise->get_future();
+  a.federation->submit(forwardable_request(1, site_a),
+                       [promise](const AdmitResponse& r) {
+                         promise->set_value(r);
+                       });
+  a.federation->stop();  // may race the forward: either path must answer
+  const AdmitResponse response = await_response(future);
+  EXPECT_EQ(response.verdict, Verdict::kRejected);
+  a.federation->stop();  // idempotent
+  a.service.drain_and_stop();
+}
+
+// The full two-daemon stack: client ──socket──▶ ServiceServer(A) ──▶
+// FederatedService(A) ──peer socket──▶ node B, which commits into B's live
+// ledger. The ISSUE's acceptance shape: a split workload admitted across two
+// daemons with revalidations_failed == 0, then a clean drain in the daemon's
+// shutdown order (federation first, then the server).
+TEST(Federation, TwoDaemonEndToEndOverUnixSockets) {
+  const Location site_a("fed-e2e-a"), site_b("fed-e2e-b");
+  const std::string peer_a = fed_socket_path("e2e_peer_a");
+  const std::string peer_b = fed_socket_path("e2e_peer_b");
+  Node a(site_a, ResourceSet{}, 0, peer_a, 1, peer_b);
+  Node b(site_b, ample_supply(site_b), 1, peer_b, 0, peer_a);
+
+  ServerConfig sconfig;
+  sconfig.unix_path = fed_socket_path("e2e_front_a");
+  ServiceServer server(a.service, sconfig,
+                       [&a](AdmitRequest request,
+                            AdmissionService::ResponseFn done) {
+                         a.federation->submit(std::move(request),
+                                              std::move(done));
+                       });
+
+  ServiceClient client = ServiceClient::connect_unix(server.unix_path());
+  const std::size_t n = 4;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    client.send(forwardable_request(i + 1, site_a));
+  }
+  std::size_t federated = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto response = client.receive();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->verdict, Verdict::kAccepted) << response->reason;
+    if (response->strategy == "federated") ++federated;
+  }
+  EXPECT_EQ(federated, n) << "a supply-less daemon serves via its peer";
+
+  // The daemon's shutdown order: federation first (pending forwards answer
+  // through still-writable sessions), then the server's clean drain.
+  a.federation->stop();
+  b.federation->stop();
+  server.stop();
+  EXPECT_EQ(a.service.stats().revalidations_failed, 0u);
+  EXPECT_EQ(b.service.stats().revalidations_failed, 0u);
+  EXPECT_EQ(b.federation->stats().peer_claims, n);
+  b.service.drain_and_stop();
+}
+
+}  // namespace
+}  // namespace rota::service

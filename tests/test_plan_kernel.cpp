@@ -123,8 +123,9 @@ TEST(PlanKernelParity, ClusterClaimMatchesLocalAdmit) {
   const ResourceSet supply = gen.node_supply(0, TimeInterval(0, kHorizon));
 
   cluster::ClusterEvents events;
+  net::QueueTransport transport(/*local=*/0);
   cluster::ClusterNode node(/*id=*/0, gen.locations()[0], phi, supply,
-                            cluster::NodeConfig{}, &events);
+                            cluster::NodeConfig{}, &events, &transport);
   // Reference: a plain local controller with the same supply, admitting the
   // node-localized requirement at the claim's delivery tick.
   RotaAdmissionController local(phi, supply);
@@ -137,7 +138,7 @@ TEST(PlanKernelParity, ClusterClaimMatchesLocalAdmit) {
     claim.job = i;
     claim.work = arrivals[i].work;
     node.handle(claim, arrivals[i].at);
-    const auto out = node.drain_outbox();
+    const auto out = transport.drain_sent();
     ASSERT_EQ(out.size(), 1u) << "claim " << i;
 
     const AdmissionDecision expected =

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -548,6 +549,126 @@ TEST(ServiceSocket, StopDrainsInFlightRequestsBeforeClosing) {
   stopper.join();
   EXPECT_EQ(answered, n) << "stop() abandoned queued requests";
   EXPECT_EQ(svc.stats().requests, n);
+}
+
+// ---- session tokens & client bounds ---------------------------------------
+
+TEST(ServiceAuth, SecretAdmitsMatchingTokenAndRefusesTheRest) {
+  WorkloadGenerator gen = make_generator(20);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  AdmissionService svc(ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.unix_path = test_socket_path("auth");
+  sconfig.secret = "sesame";
+  ServiceServer server(svc, sconfig);
+
+  // The right token: hello → ok, then requests flow normally.
+  ClientOptions good;
+  good.token = "sesame";
+  good.connect_timeout_ms = 2000;
+  ServiceClient authed = ServiceClient::connect_unix(server.unix_path(), good);
+  const AdmitResponse response =
+      authed.call(make_request(gen, 1, 0, /*budget_us=*/10'000'000));
+  EXPECT_EQ(response.id, 1u);
+  EXPECT_NE(response.verdict, Verdict::kOverloaded);
+
+  // A wrong token: the hello is answered with an explicit error and a
+  // hang-up, which the connecting factory surfaces as a refusal.
+  ClientOptions bad = good;
+  bad.token = "wrong";
+  EXPECT_THROW(ServiceClient::connect_unix(server.unix_path(), bad),
+               std::runtime_error);
+
+  // No token at all: the connection opens (nothing to refuse yet), but the
+  // first request is answered with an unauthorized protocol error, then EOF.
+  ServiceClient anon = ServiceClient::connect_unix(server.unix_path());
+  anon.send(make_request(gen, 2, 0));
+  auto refused = anon.receive();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(refused->verdict, Verdict::kRejected);
+  EXPECT_NE(refused->reason.find("unauthorized"), std::string::npos)
+      << refused->reason;
+  EXPECT_EQ(anon.receive(), std::nullopt) << "server hung up after refusing";
+  server.stop();
+}
+
+TEST(ServiceClientBounds, ReadTimeoutThrowsAndTheStreamSurvives) {
+  WorkloadGenerator gen = make_generator(21);
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  ServiceConfig config;
+  config.lanes = 1;
+  AdmissionService svc(ledger, gen.phi(), config);
+  auto latched = std::make_unique<LatchedExact>(PlanningKernel{});
+  LatchedExact* latch = latched.get();
+  svc.registry().replace(StrategyKind::kExact, std::move(latched));
+  ServerConfig sconfig;
+  sconfig.unix_path = test_socket_path("timeout");
+  ServiceServer server(svc, sconfig);
+
+  ClientOptions options;
+  options.read_timeout_ms = 100;
+  ServiceClient client = ServiceClient::connect_unix(server.unix_path(), options);
+  client.send(make_request(gen, 1, 0, /*budget_us=*/10'000'000));
+  latch->await_entered();  // the lane is held: no decision is coming yet
+  EXPECT_THROW(client.receive(), std::system_error)
+      << "a held decision must bound receive(), not block it forever";
+  // The timeout is a bound, not a teardown: release the lane and the same
+  // connection still delivers the decision.
+  latch->release();
+  auto response = client.receive();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, 1u);
+  server.stop();
+}
+
+TEST(ServiceClientBounds, SendRedialsExactlyOnceAfterAServerRestart) {
+  WorkloadGenerator gen = make_generator(22);
+  const std::string path = test_socket_path("redial");
+  CommitmentLedger first_ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  auto first_service = std::make_unique<AdmissionService>(
+      first_ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.unix_path = path;
+  auto first_server = std::make_unique<ServiceServer>(*first_service, sconfig);
+
+  ServiceClient client = ServiceClient::connect_unix(path);
+  EXPECT_NE(client.call(make_request(gen, 1, 0, /*budget_us=*/10'000'000)).verdict,
+            Verdict::kOverloaded);
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // Restart: the old sockets die, a new daemon binds the same path. The next
+  // send() hits the dead socket, re-dials once, and the request is served by
+  // the new server.
+  first_server.reset();
+  first_service.reset();
+  CommitmentLedger second_ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  AdmissionService second_service(second_ledger, gen.phi(), ServiceConfig{});
+  ServiceServer second_server(second_service, sconfig);
+
+  client.send(make_request(gen, 2, 0, /*budget_us=*/10'000'000));
+  auto response = client.receive();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, 2u);
+  EXPECT_EQ(client.reconnects(), 1u) << "exactly one bounded reconnect";
+  second_server.stop();
+}
+
+TEST(ServiceClientBounds, ReconnectDisabledSurfacesTheDeadSocket) {
+  WorkloadGenerator gen = make_generator(23);
+  const std::string path = test_socket_path("noredial");
+  CommitmentLedger ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  auto svc = std::make_unique<AdmissionService>(ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.unix_path = path;
+  auto server = std::make_unique<ServiceServer>(*svc, sconfig);
+
+  ClientOptions options;
+  options.reconnect = false;
+  ServiceClient client = ServiceClient::connect_unix(path, options);
+  server.reset();
+  svc.reset();
+  EXPECT_THROW(client.send(make_request(gen, 1, 0)), std::system_error);
+  EXPECT_EQ(client.reconnects(), 0u);
 }
 
 }  // namespace
