@@ -36,6 +36,15 @@ e19_service — fails (exit 1) when the candidate's light phase was not served
   checks are candidate self-consistency; wall-clock latencies are printed for
   trend reading but never compared across hosts.
 
+e21_faults — fails (exit 1) when the candidate carries no determinism
+  attestation, sweeps fewer than 3 fault intensities with retry clients
+  enabled, breaks message accounting in any cell (sent must equal delivered
+  + dropped + in-flight), records decisions that are neither originals nor
+  minted retries, loses placements in a fault-free cell, resubmits in a
+  retry-disabled cell, or never actually storms in the hostile retry cell.
+  Hit rates are printed against the baseline for trend reading but never
+  gated: fault schedules are seeded, not comparable across profile changes.
+
 e18_feasibility — fails (exit 1) when:
   * the candidate's differential parity section records any divergence, or
     ran fewer cases than the smoke floor (100);
@@ -247,6 +256,66 @@ def gate_e20(base, cand):
     return failures
 
 
+def gate_e21(base, cand):
+    failures = []
+
+    cells = cand.get("cells", [])
+    if not cells:
+        failures.append("candidate has no fault-sweep cells")
+    base_cells = {(c.get("intensity"), bool(c.get("retries"))): c
+                  for c in base.get("cells", [])}
+
+    retry_intensities = set()
+    print(f"{'intensity':>10} {'retries':>8} {'faults':>7} {'jobs':>6} "
+          f"{'resubmit':>9} {'lost':>5} {'hit':>7} {'root_hit':>9}")
+    for c in cells:
+        name = c.get("intensity", "?")
+        retries = bool(c.get("retries"))
+        b = base_cells.get((name, retries))
+        note = (f"  (baseline root_hit {float(b['root_hit_rate']):.3f})"
+                if b and "root_hit_rate" in b else "")
+        print(f"{name:>10} {str(retries).lower():>8} "
+              f"{int(c.get('fault_events', 0)):>7} {int(c.get('jobs', 0)):>6} "
+              f"{int(c.get('resubmissions', 0)):>9} {int(c.get('lost', 0)):>5} "
+              f"{float(c.get('deadline_hit_rate', 0)):>7.3f} "
+              f"{float(c.get('root_hit_rate', 0)):>9.3f}{note}")
+
+        sent = int(c["messages_sent"])
+        balance = (int(c["messages_delivered"]) + int(c["messages_dropped"]) +
+                   int(c["messages_in_flight"]))
+        if sent != balance:
+            failures.append(
+                f"cell {name}/retries={retries}: message accounting broke "
+                f"(sent {sent} != delivered+dropped+in-flight {balance})")
+        if int(c["submitted"]) != int(c["jobs"]) + int(c["resubmissions"]):
+            failures.append(
+                f"cell {name}/retries={retries}: {c['submitted']} decisions "
+                f"for {c['jobs']} jobs + {c['resubmissions']} retries")
+        if not retries and int(c["resubmissions"]) != 0:
+            failures.append(
+                f"cell {name}: retries disabled but "
+                f"{c['resubmissions']} resubmissions minted")
+        if int(c.get("fault_events", 0)) == 0 and int(c["lost"]) != 0:
+            failures.append(
+                f"cell {name}: fault-free but {c['lost']} placements lost")
+        if retries:
+            retry_intensities.add(name)
+
+    if len(retry_intensities) < 3:
+        failures.append(
+            f"only {len(retry_intensities)} fault intensities ran with retry "
+            "clients enabled (>= 3 required)")
+
+    flagship = cand.get("flagship", {})
+    if "identical" not in str(flagship.get("determinism", "")):
+        failures.append("candidate carries no determinism attestation")
+    if int(flagship.get("resubmissions", 0)) == 0:
+        failures.append("the hostile retry cell never stormed")
+    print("hit rates printed for trend reading only — fault schedules are "
+          "seeded per profile, not comparable across profile changes")
+    return failures
+
+
 def gate_e15(base, cand, max_regression):
     failures = []
 
@@ -352,6 +421,8 @@ def main():
             return gate_e19(base_doc, cand)
         if kind == "e20_federation":
             return gate_e20(base_doc, cand)
+        if kind == "e21_faults":
+            return gate_e21(base_doc, cand)
         return gate_e15(base_doc, cand, args.max_regression)
 
     try:

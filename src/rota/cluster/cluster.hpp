@@ -30,6 +30,7 @@
 
 #include "rota/cluster/fabric.hpp"
 #include "rota/cluster/node.hpp"
+#include "rota/faults/schedule.hpp"
 #include "rota/io/scenario.hpp"
 #include "rota/sim/simulator.hpp"
 
@@ -53,10 +54,18 @@ struct ClusterReport {
   std::vector<JobDecision> decisions;
   std::vector<PlacedAdmission> placements;
 
-  // Fabric totals over the run.
+  // Fabric totals over the run. sent == dropped + delivered + in_flight:
+  // every message is accounted exactly once (the `cluster` fuzz family pins
+  // this, partitions and crashes included).
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_in_flight = 0;  // still queued at the horizon
+
+  // Closed-loop retries (set_retry_policy): how many rejected jobs were
+  // resubmitted, and which root submission each retry id descends from.
+  std::uint64_t resubmissions = 0;
+  std::map<std::uint64_t, std::uint64_t> retry_root;  // retry id -> root id
 
   std::size_t submitted() const { return decisions.size(); }
   std::size_t accepted(Placement kind) const;
@@ -70,6 +79,10 @@ struct ClusterReport {
   double deadline_hit_rate() const;
   /// Remote placements over all accepted — how much the federation moved.
   double forwarded_fraction() const;
+  /// Per *root* submission (retries folded into their original): the
+  /// fraction whose closed loop ended with a surviving accept. With no
+  /// retries this equals deadline_hit_rate().
+  double root_hit_rate() const;
 
   /// Canonical one-line-per-decision log; equal seeds ⇒ equal strings.
   std::string decision_log() const;
@@ -96,13 +109,25 @@ class ClusterSim {
 
   // Fault schedule. Crashes drop the node's ledger and every in-flight
   // conversation; restarts rebuild from base supply, replaying the audit log
-  // when `recover` is set. Partitions silently eat traffic between the pair
-  // until healed — nodes degrade to timeouts, retries, and finally
-  // local-only behaviour.
+  // when `recover` is set. Partitions cut the wire: traffic between the pair
+  // — already in flight included — is dropped until healed, and nodes
+  // degrade to timeouts, retries, and finally local-only behaviour.
   void schedule_crash(Tick at, NodeId node);
   void schedule_restart(Tick at, NodeId node, bool recover);
   void schedule_partition(Tick at, NodeId a, NodeId b);
   void schedule_heal(Tick at, NodeId a, NodeId b);
+
+  /// Applies a whole FaultSchedule (validated against this cluster's size).
+  /// Events land in schedule order — same-tick events apply as written.
+  void apply(const faults::FaultSchedule& schedule);
+
+  /// Enables closed-loop clients: after the run's regular arrivals, every
+  /// rejected job is resubmitted at its origin under `policy` (fresh job id,
+  /// same spec; earliest start pushed to the resubmission tick), with
+  /// backoff jitter drawn from a dedicated Rng seeded with `seed` — retries
+  /// never perturb the fabric's stream, so a retry-storm run stays exactly
+  /// as replayable as a fault-free one.
+  void set_retry_policy(const faults::RetryPolicy& policy, std::uint64_t seed);
 
   /// Runs the control loop over [0, horizon) and returns the report.
   /// Single-shot: a ClusterSim instance runs once.
@@ -127,6 +152,13 @@ class ClusterSim {
 
   void apply_faults(Tick now);
   void mark_lost();
+  /// End-of-tick retry scan: every decision appended since the last scan
+  /// that rejected a job with attempt budget left is queued for
+  /// resubmission at a backoff-jittered later tick (skipped when that tick
+  /// falls past the horizon — every queued retry gets a decision).
+  void scan_for_retries(Tick now, Tick horizon);
+  /// Injects the retries due at `now` (after the tick's regular arrivals).
+  void inject_retries(Tick now);
 
   CostModel phi_;
   ClusterConfig config_;
@@ -145,6 +177,18 @@ class ClusterSim {
   std::vector<std::vector<std::tuple<Tick, Tick, bool>>> outages_;
   std::uint64_t next_job_id_ = 0;
   bool ran_ = false;
+
+  // Closed-loop retry engine (inactive until set_retry_policy()).
+  bool retries_enabled_ = false;
+  faults::RetryPolicy retry_policy_;
+  util::Rng retry_rng_;
+  std::size_t decisions_seen_ = 0;             // scan cursor into decisions
+  std::map<std::uint64_t, WorkSpec> specs_;    // job id -> submitted spec
+  std::map<std::uint64_t, NodeId> origins_;    // job id -> origin node
+  std::map<std::uint64_t, std::uint64_t> retry_root_;  // retry id -> root id
+  std::map<std::uint64_t, std::size_t> attempts_;      // root id -> submissions
+  std::map<Tick, std::vector<ClusterArrival>> retry_queue_;
+  std::uint64_t resubmissions_ = 0;
 };
 
 /// Builds a cluster from a scenario's `node`/`link` section: one ClusterNode

@@ -52,7 +52,25 @@ const LinkParams& MessageFabric::link(NodeId from, NodeId to) const {
 }
 
 void MessageFabric::partition(NodeId a, NodeId b) {
-  partitions_.insert(std::minmax(a, b));
+  const auto cut = std::minmax(a, b);
+  if (!partitions_.insert(cut).second) return;  // idempotent: nothing new cut
+  // The cut severs the wire, not just the sockets: messages already in
+  // flight across the pair are lost too, each counted exactly once. (Down
+  // nodes differ — there the *node* died, so its traffic drops at delivery
+  // time.) No Rng draws here, so the stream stays aligned with a run that
+  // never partitions.
+  std::size_t kept = 0;
+  const bool metered = obs::metrics_enabled();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (std::minmax(queue_[i].msg.from, queue_[i].msg.to) == cut) {
+      ++dropped_;
+      if (metered) obs::CoreMetrics::get().fabric_dropped.add();
+      continue;
+    }
+    if (kept != i) queue_[kept] = std::move(queue_[i]);
+    ++kept;
+  }
+  queue_.resize(kept);
 }
 
 void MessageFabric::heal(NodeId a, NodeId b) {

@@ -44,7 +44,10 @@ class MessageFabric {
   const LinkParams& link(NodeId from, NodeId to) const;
 
   /// Symmetric partition: messages in both directions are dropped until
-  /// heal(). Partitioning a pair twice is idempotent.
+  /// heal(), and messages already in flight across the pair are dropped on
+  /// the spot (the cut severs the wire; each counts once in total_dropped).
+  /// Partitioning a pair twice is idempotent — the second call purges
+  /// nothing and draws nothing.
   void partition(NodeId a, NodeId b);
   void heal(NodeId a, NodeId b);
   bool partitioned(NodeId a, NodeId b) const;

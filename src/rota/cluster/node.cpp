@@ -461,6 +461,13 @@ void ClusterNode::on_tick(Tick now) {
   if (down_) return;
   const bool metered = obs::metrics_enabled();
   for (auto& [id, job] : pending_) {
+    if (config_.expire_by_deadline && now >= job.work.deadline) {
+      // The deadline budget is spent; further probing cannot produce a plan
+      // that finishes in time, so answer now instead of letting the
+      // conversation limp through more rounds.
+      reject_remote(id, job, "deadline passed while pending", now);
+      continue;
+    }
     switch (job.phase) {
       case PendingJob::Phase::kProbing:
         if (now >= job.probe_deadline && !job.probes_out.empty()) {

@@ -103,6 +103,12 @@ struct NodeConfig {
   Tick backoff_base = 1;            // first retry delay; doubles per retry
   Tick backoff_cap = 8;
   std::size_t audit_capacity = 4096;
+  // Reject any still-pending remote conversation once `now` reaches the
+  // job's deadline ("deadline passed while pending"). Off by default: the
+  // sim's pinned decision logs predate the check; the daemon turns it on so
+  // a peer crash mid-conversation can never strand a client past its
+  // deadline budget.
+  bool expire_by_deadline = false;
 };
 
 class ClusterNode {

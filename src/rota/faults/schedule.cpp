@@ -1,0 +1,216 @@
+#include "rota/faults/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "rota/io/scenario.hpp"
+
+namespace rota::faults {
+
+namespace {
+
+const char* kind_word(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRestart: return "restart";
+    case FaultEvent::Kind::kPartition: return "partition";
+    case FaultEvent::Kind::kHeal: return "heal";
+  }
+  throw std::invalid_argument("invalid FaultEvent::Kind");
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream out;
+  out << kind_word(kind) << " n" << a;
+  if (kind == Kind::kPartition || kind == Kind::kHeal) out << "|n" << b;
+  out << " at " << at;
+  if (kind == Kind::kRestart) out << (recover ? " recover" : " fresh");
+  return out.str();
+}
+
+void FaultSchedule::crash(Tick at, std::uint32_t node) {
+  events_.push_back({FaultEvent::Kind::kCrash, at, node, node, false});
+}
+
+void FaultSchedule::restart(Tick at, std::uint32_t node, bool recover) {
+  events_.push_back({FaultEvent::Kind::kRestart, at, node, node, recover});
+}
+
+void FaultSchedule::partition(Tick at, std::uint32_t a, std::uint32_t b) {
+  events_.push_back({FaultEvent::Kind::kPartition, at, a, b, false});
+}
+
+void FaultSchedule::heal(Tick at, std::uint32_t a, std::uint32_t b) {
+  events_.push_back({FaultEvent::Kind::kHeal, at, a, b, false});
+}
+
+void FaultSchedule::validate(std::size_t nodes) const {
+  // Replay the crash/restart chains in schedule order, ticks taken as the
+  // sim takes them (stable sort by tick keeps same-tick schedule order).
+  std::vector<FaultEvent> ordered = events_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  std::vector<bool> down(nodes, false);
+  for (const FaultEvent& e : ordered) {
+    if (e.at < 0) {
+      throw std::invalid_argument("fault scheduled at negative tick: " +
+                                  e.to_string());
+    }
+    if (e.a >= nodes || e.b >= nodes) {
+      throw std::invalid_argument("fault references node out of range: " +
+                                  e.to_string());
+    }
+    switch (e.kind) {
+      case FaultEvent::Kind::kCrash:
+        if (down[e.a]) {
+          throw std::invalid_argument("crash of an already-down node: " +
+                                      e.to_string());
+        }
+        down[e.a] = true;
+        break;
+      case FaultEvent::Kind::kRestart:
+        if (!down[e.a]) {
+          throw std::invalid_argument("restart without a preceding crash: " +
+                                      e.to_string());
+        }
+        down[e.a] = false;
+        break;
+      case FaultEvent::Kind::kPartition:
+      case FaultEvent::Kind::kHeal:
+        if (e.a == e.b) {
+          throw std::invalid_argument("partition needs two distinct nodes: " +
+                                      e.to_string());
+        }
+        break;
+    }
+  }
+}
+
+std::string FaultSchedule::to_string() const {
+  std::ostringstream out;
+  for (const FaultEvent& e : events_) out << e.to_string() << '\n';
+  return out.str();
+}
+
+FaultSchedule make_fault_schedule(util::Rng& rng, std::size_t nodes,
+                                  Tick horizon, const FaultProfile& profile) {
+  FaultSchedule schedule;
+  if (nodes == 0 || horizon < 2) return schedule;
+
+  // Per-node crash→restart chains. The restart may land past the horizon —
+  // an unrecovered outage as far as the run is concerned, but the event
+  // round-trips through the DSL like any other.
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    if (profile.crash_rate <= 0.0 || !rng.chance(profile.crash_rate)) continue;
+    const Tick at = rng.uniform(0, horizon - 2);
+    schedule.crash(at, n);
+    if (!rng.chance(profile.restart_probability)) continue;
+    // A zero-tick outage is legal: crash-then-restart within one tick (the
+    // sim applies same-tick events in schedule order) — the bounce that
+    // exercises the admitted-the-tick-of-a-crash corner of loss marking.
+    const Tick lo_outage = std::max<Tick>(0, profile.min_outage);
+    const Tick outage =
+        rng.uniform(lo_outage, std::max(lo_outage, profile.max_outage));
+    schedule.restart(at + outage, n, rng.chance(profile.recover_probability));
+  }
+
+  // Per-pair partition→heal windows, pairs walked in a fixed order so the
+  // draw sequence is a function of (seed, nodes) alone.
+  for (std::uint32_t a = 0; a < nodes; ++a) {
+    for (std::uint32_t b = a + 1; b < nodes; ++b) {
+      if (profile.partition_rate <= 0.0 || !rng.chance(profile.partition_rate)) {
+        continue;
+      }
+      const Tick at = rng.uniform(0, horizon - 2);
+      schedule.partition(at, a, b);
+      if (!rng.chance(profile.heal_probability)) continue;
+      // A zero-tick cut still purges the pair's in-flight traffic — a blip.
+      const Tick lo_cut = std::max<Tick>(0, profile.min_cut);
+      const Tick cut = rng.uniform(lo_cut, std::max(lo_cut, profile.max_cut));
+      schedule.heal(at + cut, a, b);
+    }
+  }
+  return schedule;
+}
+
+std::optional<Tick> retry_at(const RetryPolicy& policy,
+                             std::size_t attempts_so_far, Tick now,
+                             Tick deadline, util::Rng& rng) {
+  if (attempts_so_far >= policy.max_attempts) return std::nullopt;
+  Tick backoff = policy.backoff_base;
+  for (std::size_t i = 1; i < attempts_so_far && backoff < policy.backoff_cap;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, policy.backoff_cap);
+  Tick delay = 1 + backoff;
+  if (policy.jitter > 0) delay += rng.uniform(0, policy.jitter);
+  const Tick t = now + delay;
+  if (t >= deadline) return std::nullopt;
+  return t;
+}
+
+std::vector<ScenarioFault> to_scenario_faults(
+    const FaultSchedule& schedule, const std::vector<std::string>& node_names) {
+  const auto name_of = [&](std::uint32_t n) -> const std::string& {
+    if (n >= node_names.size()) {
+      throw std::invalid_argument(
+          "fault references node index " + std::to_string(n) + " but only " +
+          std::to_string(node_names.size()) + " names were given");
+    }
+    return node_names[n];
+  };
+  std::vector<ScenarioFault> out;
+  out.reserve(schedule.size());
+  for (const FaultEvent& e : schedule.events()) {
+    ScenarioFault f;
+    f.kind = kind_word(e.kind);
+    f.a = name_of(e.a);
+    if (e.kind == FaultEvent::Kind::kPartition ||
+        e.kind == FaultEvent::Kind::kHeal) {
+      f.b = name_of(e.b);
+    }
+    f.at = e.at;
+    f.recover = e.recover;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+FaultSchedule from_scenario_faults(const std::vector<ScenarioFault>& faults,
+                                   const std::vector<std::string>& node_names) {
+  std::map<std::string, std::uint32_t> by_name;
+  for (std::size_t i = 0; i < node_names.size(); ++i) {
+    by_name[node_names[i]] = static_cast<std::uint32_t>(i);
+  }
+  const auto index_of = [&](const std::string& name) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::invalid_argument("fault references unknown node '" + name + "'");
+    }
+    return it->second;
+  };
+  FaultSchedule schedule;
+  for (const ScenarioFault& f : faults) {
+    if (f.kind == "crash") {
+      schedule.crash(f.at, index_of(f.a));
+    } else if (f.kind == "restart") {
+      schedule.restart(f.at, index_of(f.a), f.recover);
+    } else if (f.kind == "partition") {
+      schedule.partition(f.at, index_of(f.a), index_of(f.b));
+    } else if (f.kind == "heal") {
+      schedule.heal(f.at, index_of(f.a), index_of(f.b));
+    } else {
+      throw std::invalid_argument("unknown fault kind '" + f.kind + "'");
+    }
+  }
+  return schedule;
+}
+
+}  // namespace rota::faults

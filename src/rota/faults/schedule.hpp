@@ -1,0 +1,138 @@
+// FaultSchedule: a deterministic timeline of hostile-conditions events.
+//
+// The cluster sim has always had crash/restart/partition/heal hooks; this
+// module gives them a first-class, seeded, DSL-round-trippable value:
+//
+//   * a FaultSchedule is an ordered list of FaultEvents — the same event
+//     applied to two identically-seeded ClusterSims produces byte-identical
+//     decision logs (the `cluster` fuzz family replays every schedule twice
+//     and pins exactly that);
+//   * make_fault_schedule() draws a well-formed schedule from a seeded Rng
+//     and a FaultProfile (fault intensity knobs), so hostile sweeps are as
+//     reproducible as the workloads they run against;
+//   * to_scenario_faults() / from_scenario_faults() translate to the
+//     scenario DSL's `fault ...` statements (see rota/io/scenario.hpp), so a
+//     fuzz-found schedule can be written down, committed as a regression
+//     scenario, and parsed back equal.
+//
+// RetryPolicy lives here too: the closed-loop client knob shared by the
+// ClusterSim retry engine, the workload generator's ClosedLoopClient, and
+// the daemon retry-storm tests. This header is a leaf — it depends only on
+// ticks and the Rng — so cluster, workload and io can all include it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rota/time/tick.hpp"
+#include "rota/util/rng.hpp"
+
+namespace rota {
+struct ScenarioFault;  // rota/io/scenario.hpp
+}
+
+namespace rota::faults {
+
+struct FaultEvent {
+  enum class Kind { kCrash, kRestart, kPartition, kHeal };
+
+  Kind kind = Kind::kCrash;
+  Tick at = 0;
+  std::uint32_t a = 0;    // the node (crash/restart) or one endpoint
+  std::uint32_t b = 0;    // the other endpoint (partition/heal only)
+  bool recover = false;   // restart only: replay the audit log?
+
+  bool operator==(const FaultEvent&) const = default;
+
+  std::string to_string() const;
+};
+
+/// An ordered fault timeline. Events keep insertion order (ClusterSim
+/// stable-sorts by tick at run time, so same-tick events apply in schedule
+/// order — crash-then-restart at one tick means the node bounces within the
+/// tick). Equality is structural, which is what the DSL round trip pins.
+class FaultSchedule {
+ public:
+  void crash(Tick at, std::uint32_t node);
+  void restart(Tick at, std::uint32_t node, bool recover);
+  void partition(Tick at, std::uint32_t a, std::uint32_t b);
+  void heal(Tick at, std::uint32_t a, std::uint32_t b);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Structural sanity against a cluster of `nodes` members. Throws
+  /// std::invalid_argument on: an endpoint >= nodes, a self-partition, a
+  /// negative tick, a restart with no earlier un-restarted crash of the same
+  /// node, or a second crash of a node that was never restarted. (ClusterSim
+  /// would silently ignore the nonsensical events; validating keeps
+  /// generated and hand-written schedules honest instead.)
+  void validate(std::size_t nodes) const;
+
+  /// One event per line, in schedule order — the debugging/log form.
+  std::string to_string() const;
+
+  bool operator==(const FaultSchedule&) const = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Fault intensity knobs for make_fault_schedule(). The defaults are a
+/// moderate storm; zero the rates for a fault-free schedule.
+struct FaultProfile {
+  double crash_rate = 0.5;         // P(a given node crashes at all)
+  double restart_probability = 0.9;  // P(a crash gets a restart)
+  double recover_probability = 0.6;  // P(that restart replays the audit log)
+  Tick min_outage = 2;             // restart delay drawn from [min, max];
+                                   // 0 allows a same-tick crash→restart bounce
+  Tick max_outage = 12;
+  double partition_rate = 0.4;     // P(a given node pair gets partitioned)
+  Tick min_cut = 3;                // heal delay drawn from [min, max]
+  Tick max_cut = 16;
+  double heal_probability = 0.8;   // P(a partition heals before the horizon)
+};
+
+/// Draws a well-formed schedule (validate(nodes) passes) over [0, horizon):
+/// per-node crash→restart chains and per-pair partition→heal windows, every
+/// tick and coin from `rng` — one seed, one schedule.
+FaultSchedule make_fault_schedule(util::Rng& rng, std::size_t nodes,
+                                  Tick horizon, const FaultProfile& profile);
+
+/// Closed-loop client retry behaviour: a rejected/shed submission is retried
+/// after a capped exponential backoff plus uniform jitter, up to
+/// max_attempts total submissions and never past the job's deadline.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;  // total submissions, the original included
+  Tick backoff_base = 1;         // first retry delay; doubles per attempt
+  Tick backoff_cap = 8;
+  Tick jitter = 2;               // extra uniform [0, jitter] per retry
+
+  bool operator==(const RetryPolicy&) const = default;
+};
+
+/// When the closed loop resubmits after its `attempts_so_far`-th submission
+/// was rejected at `now`: now + 1 + min(cap, base·2^(attempts-1)) + U[0,
+/// jitter], or nullopt when the attempt budget is spent or the resubmission
+/// would land at/after the deadline (a dead-on-arrival retry). The +1 keeps
+/// every retry at least one tick after the rejection, so a sim can inject it
+/// on a later tick. All randomness comes from the caller's `rng`.
+std::optional<Tick> retry_at(const RetryPolicy& policy,
+                             std::size_t attempts_so_far, Tick now,
+                             Tick deadline, util::Rng& rng);
+
+/// DSL bridge: the schedule as scenario `fault` statements, node indices
+/// mapped through `node_names` (scenario declaration order). Throws
+/// std::invalid_argument when an event references an index without a name.
+std::vector<ScenarioFault> to_scenario_faults(
+    const FaultSchedule& schedule, const std::vector<std::string>& node_names);
+
+/// The inverse: scenario statements back to an index-based schedule. Throws
+/// std::invalid_argument on an unknown node name or fault kind.
+FaultSchedule from_scenario_faults(const std::vector<ScenarioFault>& faults,
+                                   const std::vector<std::string>& node_names);
+
+}  // namespace rota::faults

@@ -13,6 +13,7 @@
 #include "rota/admission/periodic.hpp"
 #include "rota/cluster/cluster.hpp"
 #include "rota/computation/actor_computation.hpp"
+#include "rota/faults/schedule.hpp"
 #include "rota/fuzz/exhaustive.hpp"
 #include "rota/fuzz/gen.hpp"
 #include "rota/logic/explorer.hpp"
@@ -1218,6 +1219,348 @@ OracleReport run_sim_oracle(std::uint64_t seed, std::size_t cases) {
     Gen g(cs);
     try {
       sim_case(g, i, rec);
+    } catch (const std::exception& e) {
+      rec.fail("unexpected-exception", e.what());
+    }
+    ++report.cases;
+  }
+  return report;
+}
+
+// ===========================================================================
+// Cluster oracle — hostile-conditions fault sweep
+// ===========================================================================
+//
+// A random small cluster, a random workload, a seeded FaultSchedule drawn
+// over the run, optionally closed-loop retry clients — built twice from the
+// same draw and replayed. The referees pin:
+//   * byte-identical decision logs and fabric/retry counters across replays;
+//   * exact message accounting (sent = delivered + dropped + in-flight),
+//     partitions purging in-flight traffic included;
+//   * an independent loss referee recomputed from the schedule alone:
+//     a placement admitted strictly after a crash survives it, one admitted
+//     before an unrecovered crash that precedes its finish is lost, and
+//     accepted decisions inherit exactly their placement's fate — the
+//     satellite audit of restart(recover=false) against the report
+//     invariants lives here;
+//   * decision coverage: every submitted job and every injected retry gets
+//     exactly one decision, horizon aborts included;
+//   * execution: surviving placements replayed through the plan-following
+//     Simulator complete inside their deadlines (SimReport::validate throws
+//     on a completed-without-finish corpse);
+//   * the DSL round trip: schedule → scenario `fault` lines → text → parse →
+//     schedule, structurally equal.
+
+namespace {
+
+/// Everything one cluster fault case needs, kept so the sim can be rebuilt
+/// from scratch for the replay run.
+struct ClusterFaultDraw {
+  struct Job {
+    Tick at = 0;
+    cluster::NodeId origin = 0;
+    WorkSpec work;
+  };
+
+  std::vector<std::string> names;
+  std::vector<Location> sites;
+  std::vector<ResourceSet> supplies;
+  std::vector<Job> jobs;
+  cluster::ClusterConfig cfg;
+  faults::FaultSchedule schedule;
+  bool retries = false;
+  faults::RetryPolicy retry_policy;
+  std::uint64_t retry_seed = 0;
+  Tick horizon = 64;
+};
+
+ClusterFaultDraw draw_cluster_fault_case(Gen& g) {
+  ClusterFaultDraw draw;
+  const int node_count = static_cast<int>(g.rng().uniform(2, 3));
+  for (int i = 0; i < node_count; ++i) {
+    const std::string name = "cl" + std::to_string(i);
+    const Location site(name);
+    draw.names.push_back(name);
+    draw.sites.push_back(site);
+    ResourceSet supply;
+    supply.add(g.rng().uniform(2, 6), TimeInterval(0, 64), LocatedType::cpu(site));
+    supply.add(g.rng().uniform(2, 6), TimeInterval(0, 64),
+               LocatedType::memory(site));
+    draw.supplies.push_back(std::move(supply));
+  }
+
+  const int job_count = static_cast<int>(g.rng().uniform(2, 6));
+  for (int j = 0; j < job_count; ++j) {
+    ClusterFaultDraw::Job job;
+    job.at = g.rng().uniform(0, 16);
+    job.origin = static_cast<cluster::NodeId>(g.rng().index(draw.sites.size()));
+    job.work.actor = "fj" + std::to_string(j);
+    job.work.home = draw.sites[job.origin];
+    const int chunks = static_cast<int>(g.rng().uniform(1, 2));
+    for (int c = 0; c < chunks; ++c) {
+      job.work.chunk_weights.push_back(g.rng().uniform(1, 2));
+    }
+    job.work.state_size = 1;
+    job.work.earliest_start = job.at;
+    job.work.deadline = job.at + g.rng().uniform(10, 30);
+    draw.jobs.push_back(std::move(job));
+  }
+
+  draw.cfg.seed = g.rng().next_u64();
+  draw.cfg.node.lanes = static_cast<std::size_t>(g.rng().uniform(1, 2));
+  draw.cfg.node.gossip_period = 4;
+  draw.cfg.node.max_remote_rounds = 2;
+  draw.cfg.node.expire_by_deadline = g.rng().chance(0.5);
+  draw.cfg.default_link.jitter = g.rng().uniform(0, 2);
+  draw.cfg.default_link.drop = g.rng().chance(0.5) ? 0.0 : 0.1;
+
+  faults::FaultProfile profile;
+  profile.crash_rate = 0.6;
+  profile.restart_probability = 0.8;
+  profile.recover_probability = 0.5;
+  profile.min_outage = 0;  // same-tick crash→restart bounces included
+  profile.max_outage = 10;
+  profile.partition_rate = 0.5;
+  profile.min_cut = 0;
+  profile.max_cut = 12;
+  profile.heal_probability = 0.8;
+  draw.schedule = faults::make_fault_schedule(g.rng(), draw.sites.size(),
+                                              draw.horizon, profile);
+
+  draw.retries = g.rng().chance(0.5);
+  if (draw.retries) {
+    draw.retry_policy.max_attempts = static_cast<std::size_t>(g.rng().uniform(2, 4));
+    draw.retry_policy.backoff_base = 1;
+    draw.retry_policy.backoff_cap = 4;
+    draw.retry_policy.jitter = g.rng().uniform(0, 2);
+    draw.retry_seed = g.rng().next_u64();
+  }
+  return draw;
+}
+
+cluster::ClusterSim build_cluster_fault_sim(const ClusterFaultDraw& draw) {
+  cluster::ClusterSim sim(CostModel{}, draw.cfg);
+  for (std::size_t i = 0; i < draw.sites.size(); ++i) {
+    sim.add_node(draw.sites[i], draw.supplies[i]);
+  }
+  for (const ClusterFaultDraw::Job& j : draw.jobs) {
+    sim.submit(j.at, j.origin, j.work);
+  }
+  sim.apply(draw.schedule);
+  if (draw.retries) sim.set_retry_policy(draw.retry_policy, draw.retry_seed);
+  return sim;
+}
+
+/// The loss referee's own outage table, recomputed from the schedule alone:
+/// per node, (crash_at, restart_at or kTickMax, recovered) in timeline order.
+std::vector<std::vector<std::tuple<Tick, Tick, bool>>> referee_outages(
+    const faults::FaultSchedule& schedule, std::size_t nodes) {
+  std::vector<faults::FaultEvent> ordered = schedule.events();
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const faults::FaultEvent& x, const faults::FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  std::vector<std::vector<std::tuple<Tick, Tick, bool>>> outages(nodes);
+  for (const faults::FaultEvent& e : ordered) {
+    if (e.kind == faults::FaultEvent::Kind::kCrash) {
+      outages[e.a].emplace_back(e.at, kTickMax, false);
+    } else if (e.kind == faults::FaultEvent::Kind::kRestart &&
+               !outages[e.a].empty()) {
+      auto& [crash_at, restart_at, recovered] = outages[e.a].back();
+      (void)crash_at;
+      restart_at = e.at;
+      recovered = e.recover;
+    }
+  }
+  return outages;
+}
+
+void cluster_fault_case(Gen& g, Recorder& rec) {
+  using cluster::ClusterReport;
+  using cluster::ClusterSim;
+  using cluster::JobDecision;
+  using cluster::PlacedAdmission;
+  using cluster::Placement;
+
+  const ClusterFaultDraw draw = draw_cluster_fault_case(g);
+
+  ClusterSim sim_a = build_cluster_fault_sim(draw);
+  ClusterSim sim_b = build_cluster_fault_sim(draw);
+  const ResourceSet total = sim_a.total_supply();
+  const ClusterReport ra = sim_a.run(draw.horizon);
+  const ClusterReport rb = sim_b.run(draw.horizon);
+
+  // --- determinism across an identical replay -------------------------------
+  rec.expect("cluster-deterministic-log", ra.decision_log() == rb.decision_log(),
+             [&] {
+               return "same-seed fault runs diverge:\n--- run A\n" +
+                      ra.decision_log() + "--- run B\n" + rb.decision_log() +
+                      "--- schedule\n" + draw.schedule.to_string();
+             });
+  rec.expect("cluster-deterministic-fabric",
+             ra.messages_sent == rb.messages_sent &&
+                 ra.messages_dropped == rb.messages_dropped &&
+                 ra.messages_delivered == rb.messages_delivered &&
+                 ra.messages_in_flight == rb.messages_in_flight,
+             [&] {
+               std::ostringstream out;
+               out << "fabric counters diverge: sent " << ra.messages_sent << "/"
+                   << rb.messages_sent << ", dropped " << ra.messages_dropped
+                   << "/" << rb.messages_dropped << ", delivered "
+                   << ra.messages_delivered << "/" << rb.messages_delivered
+                   << ", in-flight " << ra.messages_in_flight << "/"
+                   << rb.messages_in_flight;
+               return out.str();
+             });
+  rec.expect("cluster-deterministic-retries",
+             ra.resubmissions == rb.resubmissions &&
+                 ra.retry_root == rb.retry_root,
+             [&] {
+               std::ostringstream out;
+               out << "retry streams diverge: " << ra.resubmissions << "/"
+                   << rb.resubmissions << " resubmissions";
+               return out.str();
+             });
+
+  // --- message accounting ---------------------------------------------------
+  rec.expect("cluster-message-accounting",
+             ra.messages_sent == ra.messages_delivered + ra.messages_dropped +
+                                     ra.messages_in_flight,
+             [&] {
+               std::ostringstream out;
+               out << "messages leak: sent " << ra.messages_sent
+                   << " != delivered " << ra.messages_delivered << " + dropped "
+                   << ra.messages_dropped << " + in-flight "
+                   << ra.messages_in_flight;
+               return out.str();
+             });
+
+  // --- decision coverage: originals + injected retries, exactly once -------
+  {
+    std::vector<std::uint64_t> expected;
+    for (std::size_t j = 0; j < draw.jobs.size(); ++j) {
+      expected.push_back(static_cast<std::uint64_t>(j));
+    }
+    for (const auto& [retry, root] : ra.retry_root) {
+      (void)root;
+      expected.push_back(retry);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::uint64_t> got;
+    for (const JobDecision& d : ra.decisions) got.push_back(d.id);
+    std::sort(got.begin(), got.end());
+    rec.expect("cluster-decision-coverage", got == expected, [&] {
+      std::ostringstream out;
+      out << got.size() << " decisions for " << expected.size()
+          << " submissions (" << draw.jobs.size() << " jobs + "
+          << ra.retry_root.size() << " retries)";
+      return out.str();
+    });
+  }
+
+  // --- the loss referee: recompute every placement's fate from the schedule
+  const auto outages = referee_outages(draw.schedule, draw.sites.size());
+  const auto referee_lost = [&](const PlacedAdmission& p) {
+    // Faults apply at tick start, so an admission stamped at the crash tick
+    // happened after a same-tick restart and survives; only a crash strictly
+    // between admission and planned finish, never recovered, destroys it.
+    for (const auto& [crash_at, restart_at, recovered] : outages[p.node]) {
+      (void)restart_at;
+      if (!recovered && crash_at > p.at && crash_at < p.plan.finish) return true;
+    }
+    return false;
+  };
+  for (const PlacedAdmission& p : ra.placements) {
+    rec.expect("cluster-lost-referee", p.lost == referee_lost(p), [&] {
+      std::ostringstream out;
+      out << "placement job " << p.job << " at node " << p.node << " (at="
+          << p.at << ", finish=" << p.plan.finish << ") marked lost="
+          << (p.lost ? "true" : "false") << ", referee says "
+          << (p.lost ? "false" : "true") << "\nschedule:\n"
+          << draw.schedule.to_string();
+      return out.str();
+    });
+  }
+  for (const JobDecision& d : ra.decisions) {
+    if (d.outcome == Placement::kRejected) continue;
+    const PlacedAdmission* placed = nullptr;
+    for (const PlacedAdmission& p : ra.placements) {
+      if (p.job == d.id && p.node == d.placed) {
+        placed = &p;
+        break;
+      }
+    }
+    if (!rec.expect("cluster-accept-has-placement", placed != nullptr, [&] {
+          return "accepted decision without a placement: " + d.to_string();
+        })) {
+      continue;
+    }
+    rec.expect("cluster-decision-lost-inheritance", d.lost == placed->lost,
+               [&] {
+                 return "decision and placement disagree on loss: " +
+                        d.to_string();
+               });
+  }
+
+  // --- execution: surviving placements meet their deadlines ----------------
+  std::size_t surviving = 0;
+  for (const PlacedAdmission& p : ra.placements) {
+    if (!p.lost) ++surviving;
+  }
+  try {
+    Simulator exec(total, 0, ExecutionMode::kPlanFollowing);
+    ra.schedule_into(exec);
+    const SimReport outcome = exec.run(draw.horizon + 64);
+    rec.expect("cluster-exec-deadlines",
+               outcome.outcomes.size() == surviving && outcome.missed() == 0,
+               [&] {
+                 std::ostringstream out;
+                 out << outcome.outcomes.size() << " outcomes for " << surviving
+                     << " surviving placements, " << outcome.missed()
+                     << " missed deadlines";
+                 return out.str();
+               });
+  } catch (const std::exception& e) {
+    // Simulator::run validates its report; a throw is an invariant corpse
+    // (e.g. completed without finished_at after an unrecovered restart).
+    rec.fail("cluster-exec-invariants", e.what());
+  }
+
+  // --- DSL round trip -------------------------------------------------------
+  try {
+    Scenario scenario;
+    for (std::size_t i = 0; i < draw.names.size(); ++i) {
+      scenario.nodes.push_back(ScenarioNode{draw.names[i], draw.names[i], 1});
+    }
+    scenario.faults = faults::to_scenario_faults(draw.schedule, draw.names);
+    const Scenario reparsed = parse_scenario_string(scenario_to_string(scenario));
+    rec.expect("cluster-fault-dsl-parse", reparsed.faults == scenario.faults,
+               [&] {
+                 return "fault statements changed across write/parse:\n" +
+                        scenario_to_string(scenario);
+               });
+    const faults::FaultSchedule back =
+        faults::from_scenario_faults(reparsed.faults, draw.names);
+    rec.expect("cluster-fault-dsl-roundtrip", back == draw.schedule, [&] {
+      return "schedule changed across the DSL round trip:\n--- original\n" +
+             draw.schedule.to_string() + "--- round-tripped\n" + back.to_string();
+    });
+  } catch (const std::exception& e) {
+    rec.fail("cluster-fault-dsl-exception", e.what());
+  }
+}
+
+}  // namespace
+
+OracleReport run_cluster_oracle(std::uint64_t seed, std::size_t cases) {
+  OracleReport report;
+  report.family = "cluster";
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t cs = case_seed(seed, i);
+    Recorder rec(report, cs, i);
+    Gen g(cs);
+    try {
+      cluster_fault_case(g, rec);
     } catch (const std::exception& e) {
       rec.fail("unexpected-exception", e.what());
     }

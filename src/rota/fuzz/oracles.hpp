@@ -14,6 +14,15 @@
 //     schedule search, concurrent satisfy() against the symbolic engine's
 //     exact verdict, concurrent plans validated pointwise, and cluster
 //     runs re-executed from the same seed and from audit-log replay.
+//   cluster  — the hostile-conditions sweep: a seeded FaultSchedule
+//     (crash/restart/partition/heal) and optional closed-loop retry clients
+//     over a small cluster, built twice and replayed for byte-identical
+//     decision logs and counters; exact message accounting across partition
+//     purges; an independent loss referee recomputed from the schedule
+//     alone (unrecovered crashes destroy earlier unfinished placements,
+//     same-tick bounces don't); decision coverage over originals + retries;
+//     surviving placements re-executed through the plan-following Simulator
+//     (report invariants validated); and the `fault` DSL round trip.
 //   feasibility — the percy two-synthesizer pattern: the symbolic cut-point
 //     engine and the permutation explorer independently decide the same
 //     small-window multi-actor instances. A sweep path may never contradict
@@ -72,6 +81,7 @@ std::uint64_t case_seed(std::uint64_t run_seed, std::size_t case_index);
 OracleReport run_calculus_oracle(std::uint64_t seed, std::size_t cases);
 OracleReport run_kernel_oracle(std::uint64_t seed, std::size_t cases);
 OracleReport run_sim_oracle(std::uint64_t seed, std::size_t cases);
+OracleReport run_cluster_oracle(std::uint64_t seed, std::size_t cases);
 OracleReport run_feasibility_oracle(std::uint64_t seed, std::size_t cases);
 
 }  // namespace rota::fuzz

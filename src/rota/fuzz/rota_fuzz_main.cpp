@@ -1,7 +1,7 @@
 // rota_fuzz — deterministic differential-fuzzing driver.
 //
-//   rota_fuzz [--family=all|calculus|kernel|sim|feasibility] [--seeds=a,b,c]
-//             [--cases=N] [--time-budget-s=N] [--verbose]
+//   rota_fuzz [--family=all|calculus|kernel|sim|cluster|feasibility]
+//             [--seeds=a,b,c] [--cases=N] [--time-budget-s=N] [--verbose]
 //
 // Runs each requested oracle family over each seed. Exit code 0 iff every
 // run is divergence-free. On a divergence the report names the family, the
@@ -21,7 +21,8 @@
 namespace {
 
 struct Options {
-  std::vector<std::string> families = {"calculus", "kernel", "sim", "feasibility"};
+  std::vector<std::string> families = {"calculus", "kernel", "sim", "cluster",
+                                       "feasibility"};
   std::vector<std::uint64_t> seeds = {1};
   std::size_t cases = 200;
   long time_budget_s = 0;  // 0 = run each (family, seed) exactly once
@@ -37,9 +38,9 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
     if (arg.rfind("--family=", 0) == 0) {
       const std::string v = value_of("--family=");
       if (v == "all") {
-        opts.families = {"calculus", "kernel", "sim", "feasibility"};
+        opts.families = {"calculus", "kernel", "sim", "cluster", "feasibility"};
       } else if (v == "calculus" || v == "kernel" || v == "sim" ||
-                 v == "feasibility") {
+                 v == "cluster" || v == "feasibility") {
         opts.families = {v};
       } else {
         error = "unknown family '" + v + "'";
@@ -78,6 +79,7 @@ rota::fuzz::OracleReport run_family(const std::string& family,
                                     std::uint64_t seed, std::size_t cases) {
   if (family == "calculus") return rota::fuzz::run_calculus_oracle(seed, cases);
   if (family == "kernel") return rota::fuzz::run_kernel_oracle(seed, cases);
+  if (family == "cluster") return rota::fuzz::run_cluster_oracle(seed, cases);
   if (family == "feasibility") return rota::fuzz::run_feasibility_oracle(seed, cases);
   return rota::fuzz::run_sim_oracle(seed, cases);
 }
@@ -89,7 +91,8 @@ int main(int argc, char** argv) {
   std::string error;
   if (!parse_args(argc, argv, opts, error)) {
     if (!error.empty()) std::cerr << "rota_fuzz: " << error << "\n";
-    std::cerr << "usage: rota_fuzz [--family=all|calculus|kernel|sim|feasibility]"
+    std::cerr << "usage: rota_fuzz"
+                 " [--family=all|calculus|kernel|sim|cluster|feasibility]"
                  " [--seeds=a,b,c] [--cases=N] [--time-budget-s=N]"
                  " [--verbose]\n";
     return error.empty() ? 0 : 2;

@@ -180,6 +180,56 @@ Scenario parse_scenario(std::istream& in) {
       continue;
     }
 
+    if (keyword == "fault") {
+      if (open) throw ScenarioParseError(line_no, "fault inside a computation block");
+      const auto known_node = [&](const std::string& name) {
+        return std::any_of(scenario.nodes.begin(), scenario.nodes.end(),
+                           [&](const ScenarioNode& n) { return n.name == name; });
+      };
+      if (t.size() < 2) throw ScenarioParseError(line_no, "fault needs a kind");
+      ScenarioFault fault;
+      fault.kind = t[1];
+      if (fault.kind == "crash") {
+        expect_arity(t, 4, line_no, "fault crash <node> <at>");
+        fault.a = t[2];
+        fault.at = parse_nonnegative(t[3], line_no, "at");
+      } else if (fault.kind == "restart") {
+        expect_arity(t, 5, line_no, "fault restart <node> <at> recover|fresh");
+        fault.a = t[2];
+        fault.at = parse_nonnegative(t[3], line_no, "at");
+        if (t[4] == "recover") {
+          fault.recover = true;
+        } else if (t[4] == "fresh") {
+          fault.recover = false;
+        } else {
+          throw ScenarioParseError(line_no, "restart mode must be 'recover' or "
+                                            "'fresh', got '" + t[4] + "'");
+        }
+      } else if (fault.kind == "partition" || fault.kind == "heal") {
+        expect_arity(t, 5, line_no,
+                     "fault " + fault.kind + " <node-a> <node-b> <at>");
+        fault.a = t[2];
+        fault.b = t[3];
+        fault.at = parse_nonnegative(t[4], line_no, "at");
+        if (fault.a == fault.b) {
+          throw ScenarioParseError(line_no,
+                                   "a " + fault.kind + " needs two distinct nodes");
+        }
+        if (!known_node(fault.b)) {
+          throw ScenarioParseError(line_no, "fault references undeclared node '" +
+                                                fault.b + "'");
+        }
+      } else {
+        throw ScenarioParseError(line_no, "unknown fault kind '" + fault.kind + "'");
+      }
+      if (!known_node(fault.a)) {
+        throw ScenarioParseError(line_no, "fault references undeclared node '" +
+                                              fault.a + "'");
+      }
+      scenario.faults.push_back(std::move(fault));
+      continue;
+    }
+
     if (keyword == "computation") {
       if (open) {
         throw ScenarioParseError(line_no, "computation blocks cannot nest (missing "
@@ -288,6 +338,13 @@ void write_scenario(std::ostream& out, const Scenario& scenario) {
     out << "link " << l.from << ' ' << l.to << ' ' << l.latency;
     if (l.jitter != 0 || l.drop_permille != 0) out << ' ' << l.jitter;
     if (l.drop_permille != 0) out << ' ' << l.drop_permille;
+    out << '\n';
+  }
+  for (const ScenarioFault& f : scenario.faults) {
+    out << "fault " << f.kind << ' ' << f.a;
+    if (f.kind == "partition" || f.kind == "heal") out << ' ' << f.b;
+    out << ' ' << f.at;
+    if (f.kind == "restart") out << (f.recover ? " recover" : " fresh");
     out << '\n';
   }
 

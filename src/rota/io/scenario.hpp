@@ -11,6 +11,10 @@
 //   supply network <src-loc> <dst-loc> <rate> <from> <to>
 //   node <name> <location> [lanes]
 //   link <from-node> <to-node> <latency> [jitter [drop-permille]]
+//   fault crash <node> <at>
+//   fault restart <node> <at> recover|fresh
+//   fault partition <node-a> <node-b> <at>
+//   fault heal <node-a> <node-b> <at>
 //   computation <name> <start> <deadline>
 //     actor <name> <home-loc>
 //       evaluate <weight>
@@ -29,6 +33,14 @@
 // cluster member hosting a location, `link` the symmetric connection between
 // two declared members. Loss is written in permille so the value survives a
 // write/parse round trip exactly.
+//
+// `fault` statements (also optional, cluster section only) pin a hostile-
+// conditions timeline against the declared nodes: a crash kills a node at
+// tick start, a restart brings it back (`recover` replays its audit log,
+// `fresh` forgets it), partition/heal cut and mend the link between two
+// members. Statement order is the schedule order — same-tick events apply
+// in the order written. See rota/faults/schedule.hpp for the replayable
+// value these lines round-trip with.
 #pragma once
 
 #include <iosfwd>
@@ -63,11 +75,25 @@ struct ScenarioLink {
   bool operator==(const ScenarioLink&) const = default;
 };
 
+/// One fault-timeline statement against the declared nodes. `kind` is the
+/// statement keyword (crash/restart/partition/heal); `b` and `recover` are
+/// meaningful only for the kinds whose grammar carries them.
+struct ScenarioFault {
+  std::string kind;
+  std::string a;
+  std::string b;        // partition/heal only
+  Tick at = 0;
+  bool recover = false;  // restart only
+
+  bool operator==(const ScenarioFault&) const = default;
+};
+
 struct Scenario {
   ResourceSet supply;
   std::vector<DistributedComputation> computations;
   std::vector<ScenarioNode> nodes;  // empty: no cluster section
   std::vector<ScenarioLink> links;
+  std::vector<ScenarioFault> faults;
 
   bool operator==(const Scenario&) const = default;
 };

@@ -108,6 +108,12 @@ std::optional<WorkSpec> forwardable_work(const AdmitRequest& request) {
 
 // --- FederatedService -------------------------------------------------------
 
+cluster::NodeConfig FederatedService::daemon_node_config(
+    cluster::NodeConfig base) {
+  base.expire_by_deadline = true;
+  return base;
+}
+
 FederatedService::FederatedService(AdmissionService& service,
                                    FederationConfig config)
     : service_(service),
@@ -115,7 +121,8 @@ FederatedService::FederatedService(AdmissionService& service,
       transport_(config_.transport),
       admission_(service),
       node_(config_.transport.local, Location(config_.site), service.phi(),
-            config_.node, &events_, &transport_, &admission_) {
+            daemon_node_config(config_.node), &events_, &transport_,
+            &admission_) {
   for (const auto& [peer, address] : config_.transport.peers) {
     node_.set_peer(peer, config_.peer_latency);
   }
@@ -161,7 +168,8 @@ void FederatedService::forward(const WorkSpec& spec, const AdmitResponse& local,
     // sequence below — two daemons never mint the same id.
     const std::uint64_t job =
         (static_cast<std::uint64_t>(node_.id()) << 32) | ++next_job_;
-    pending_[job] = PendingForward{local.id, std::move(done)};
+    pending_[job] = PendingForward{local.id, std::move(done),
+                                   spec.deadline + config_.node.claim_timeout};
     ++forwarded_;
     obs::count(obs::CoreMetrics::get().service_forwarded);
     node_.submit_remote(job, spec, local.reason, now);
@@ -196,6 +204,25 @@ FederatedService::Ready FederatedService::resolve_decisions_locked() {
   return ready;
 }
 
+FederatedService::Ready FederatedService::expire_forwards_locked(Tick now) {
+  Ready ready;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now < it->second.expire_at) {
+      ++it;
+      continue;
+    }
+    AdmitResponse response;
+    response.id = it->second.request_id;
+    response.verdict = Verdict::kRejected;
+    response.strategy = "federated";
+    response.reason = "forward expired: no peer verdict within the deadline budget";
+    ++forward_expired_;
+    ready.emplace_back(std::move(it->second.done), std::move(response));
+    it = pending_.erase(it);
+  }
+  return ready;
+}
+
 void FederatedService::pump_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     Ready ready;
@@ -205,6 +232,9 @@ void FederatedService::pump_loop() {
       node_.pump(now);
       node_.on_tick(now);
       ready = resolve_decisions_locked();
+      for (auto& expired : expire_forwards_locked(now)) {
+        ready.push_back(std::move(expired));
+      }
     }
     for (auto& [fn, response] : ready) fn(response);
     std::this_thread::sleep_for(
@@ -245,6 +275,7 @@ FederationStats FederatedService::stats() const {
     out.forwarded = forwarded_;
     out.forward_accepts = forward_accepts_;
     out.forward_rejects = forward_rejects_;
+    out.forward_expired = forward_expired_;
   }
   out.peer_claims = admission_.peer_claims_admitted();
   return out;

@@ -96,6 +96,8 @@ struct FederationStats {
   std::uint64_t forwarded = 0;        // local rejections handed to the peers
   std::uint64_t forward_accepts = 0;  // of those, admitted by a peer
   std::uint64_t forward_rejects = 0;  // of those, rejected by every peer too
+  std::uint64_t forward_expired = 0;  // of those, answered by the expiry sweep
+                                      // after the peer went silent
   std::uint64_t peer_claims = 0;      // peer claims committed into our ledger
 };
 
@@ -130,6 +132,13 @@ class FederatedService {
   struct PendingForward {
     std::uint64_t request_id = 0;
     AdmissionService::ResponseFn done;
+    // Hard answer-by tick: the request's deadline plus a claim-timeout of
+    // grace (a legitimate ClaimAck can still arrive until about then). A
+    // peer that crashes between offer and claim leaves the conversation to
+    // the node's own timeout machinery; if even that goes silent — the node
+    // rejects at the deadline via expire_by_deadline — the sweep answers
+    // the client with a reject at expire_at. Never silence.
+    Tick expire_at = 0;
   };
   using Ready = std::vector<std::pair<AdmissionService::ResponseFn, AdmitResponse>>;
 
@@ -141,6 +150,15 @@ class FederatedService {
   /// returned callbacks are fired by the caller *after* unlocking — a
   /// completion callback is free to re-enter submit().
   Ready resolve_decisions_locked();
+  /// Rejects every pending forward whose expire_at has passed; must hold
+  /// mutex_. A decision arriving after the sweep answered finds no pending
+  /// entry and is dropped (a late peer accept stays committed at the peer —
+  /// conservative over-commitment, never an unanswered client).
+  Ready expire_forwards_locked(Tick now);
+  /// The daemon's node config: `base` with expire_by_deadline forced on, so
+  /// a conversation stranded by a peer crash dies at the deadline instead of
+  /// limping silently.
+  static cluster::NodeConfig daemon_node_config(cluster::NodeConfig base);
 
   AdmissionService& service_;
   FederationConfig config_;
@@ -156,6 +174,7 @@ class FederatedService {
   std::uint64_t forwarded_ = 0;
   std::uint64_t forward_accepts_ = 0;
   std::uint64_t forward_rejects_ = 0;
+  std::uint64_t forward_expired_ = 0;
 
   std::thread pump_;
   std::atomic<bool> stopping_{false};

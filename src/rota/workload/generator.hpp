@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "rota/advisor/migration_advisor.hpp"
+#include "rota/faults/schedule.hpp"
 #include "rota/computation/actor_computation.hpp"
 #include "rota/computation/cost_model.hpp"
 #include "rota/resource/resource_set.hpp"
@@ -133,6 +135,32 @@ class WorkloadGenerator {
   util::Rng rng_;
   std::vector<Location> locations_;
   std::size_t next_id_ = 0;
+};
+
+/// A closed-loop client: work the system rejects or sheds comes *back* after
+/// a capped, jittered exponential backoff instead of vanishing — the
+/// retry-storm half of the hostile-conditions sweep. One instance models one
+/// client population with one seeded jitter stream; ClusterSim's retry
+/// engine and the daemon retry-storm tests both speak the same
+/// faults::RetryPolicy, so a storm is as reproducible as the workload.
+class ClosedLoopClient {
+ public:
+  ClosedLoopClient(faults::RetryPolicy policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  const faults::RetryPolicy& policy() const { return policy_; }
+
+  /// When to resubmit after the `attempts_so_far`-th submission was rejected
+  /// at `now`, or nullopt when the client gives up (attempt budget spent, or
+  /// the retry would land at/after `deadline`).
+  std::optional<Tick> next_attempt(std::size_t attempts_so_far, Tick now,
+                                   Tick deadline) {
+    return faults::retry_at(policy_, attempts_so_far, now, deadline, rng_);
+  }
+
+ private:
+  faults::RetryPolicy policy_;
+  util::Rng rng_;
 };
 
 }  // namespace rota

@@ -6,6 +6,7 @@
 
 #include "rota/cluster/digest.hpp"
 #include "rota/cluster/fabric.hpp"
+#include "rota/faults/schedule.hpp"
 #include "rota/io/scenario.hpp"
 #include "rota/sim/simulator.hpp"
 #include "rota/workload/generator.hpp"
@@ -95,6 +96,27 @@ TEST(MessageFabric, DropProbabilityValidatedAndApplied) {
   for (int i = 0; i < 10; ++i) fabric.send(probe_msg(0, 1, i), 0);
   EXPECT_EQ(fabric.total_dropped(), 10u);
   EXPECT_TRUE(fabric.deliver_due(100).empty());
+}
+
+TEST(MessageFabric, PartitionPurgesInFlightCrossingMessages) {
+  // Regression: a cut that lands after send but before delivery must behave
+  // like the wire went dead — queued messages crossing the new partition are
+  // dropped and counted exactly once, traffic on other pairs survives.
+  MessageFabric fabric(3, 7);
+  fabric.send(probe_msg(0, 1, 1), 0);
+  fabric.send(probe_msg(1, 0, 2), 0);  // same cut, opposite direction
+  fabric.send(probe_msg(0, 2, 3), 0);  // different pair: untouched
+  ASSERT_EQ(fabric.in_flight(), 3u);
+  fabric.partition(0, 1);
+  EXPECT_EQ(fabric.total_dropped(), 2u);
+  EXPECT_EQ(fabric.in_flight(), 1u);
+  // Re-cutting an already-partitioned pair is idempotent: nothing new to
+  // purge, nothing double-counted.
+  fabric.partition(1, 0);
+  EXPECT_EQ(fabric.total_dropped(), 2u);
+  const auto due = fabric.deliver_due(10);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].job, 3u);
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +356,58 @@ TEST(ClusterSim, CrashLosesPlacementsUnlessRecovered) {
   }
 }
 
+TEST(ClusterSim, SameTickCrashRestartBounceKeepsSameTickPlacements) {
+  // Faults apply at the head of the tick: a crash→restart bounce at tick t
+  // finishes before tick-t arrivals are decided, so a placement stamped at t
+  // can only postdate the outage and must survive. The cluster fuzz family's
+  // independent loss referee flushed out the old `>=` comparison that marked
+  // such placements lost.
+  ClusterSim sim = two_node_cluster();
+  sim.submit(3, 1, chunk_job("bounce", {4}, 3, 40));
+  sim.schedule_crash(3, 1);
+  sim.schedule_restart(3, 1, /*recover=*/false);
+  const ClusterReport report = sim.run(60);
+  ASSERT_EQ(report.decisions.size(), 1u);
+  EXPECT_EQ(report.decisions[0].outcome, Placement::kLocal);
+  EXPECT_FALSE(report.decisions[0].lost);
+  EXPECT_EQ(report.lost(), 0u);
+}
+
+TEST(ClusterSim, ApplyFaultScheduleMatchesManualScheduling) {
+  const auto run = [](bool via_schedule) {
+    ClusterSim sim = two_node_cluster();
+    sim.submit(0, 1, chunk_job("wal", {1, 1}, 0, 60));
+    sim.submit(10, 0, chunk_job("cut", {2}, 10, 26));
+    if (via_schedule) {
+      faults::FaultSchedule s;
+      s.crash(4, 1);
+      s.restart(6, 1, /*recover=*/true);
+      s.partition(8, 0, 1);
+      s.heal(30, 0, 1);
+      sim.apply(s);
+    } else {
+      sim.schedule_crash(4, 1);
+      sim.schedule_restart(6, 1, /*recover=*/true);
+      sim.schedule_partition(8, 0, 1);
+      sim.schedule_heal(30, 0, 1);
+    }
+    return sim.run(80);
+  };
+  const ClusterReport manual = run(false);
+  const ClusterReport applied = run(true);
+  EXPECT_FALSE(applied.decisions.empty());
+  EXPECT_EQ(applied.decision_log(), manual.decision_log());
+  EXPECT_EQ(applied.messages_sent, manual.messages_sent);
+  EXPECT_EQ(applied.messages_dropped, manual.messages_dropped);
+}
+
+TEST(ClusterSim, ApplyValidatesAgainstClusterSize) {
+  ClusterSim sim = two_node_cluster();
+  faults::FaultSchedule s;
+  s.crash(4, 7);  // no such node
+  EXPECT_THROW(sim.apply(s), std::invalid_argument);
+}
+
 TEST(ClusterSim, RecoveredLedgerMatchesPreCrashState) {
   ClusterSim sim = two_node_cluster();
   sim.submit(0, 1, chunk_job("wal", {1, 1}, 0, 60));
@@ -374,6 +448,52 @@ TEST(ClusterSim, PartitionDegradesToLocalOnlyBehaviour) {
   // rejected rather than hanging forever.
   EXPECT_EQ(report.decisions[0].outcome, Placement::kRejected);
   EXPECT_GT(report.messages_dropped, 0u);
+}
+
+TEST(ClusterSim, RetryStormResubmitsUntilThePeerComesBack) {
+  // Closed-loop clients: the job is locally infeasible at the starved origin
+  // and the fast peer is down, so the first attempts reject. Retries carry a
+  // fresh job id, inherit the root's deadline, and keep resubmitting with
+  // capped backoff until the peer restarts and a forward lands.
+  const auto run = [] {
+    ClusterSim sim = two_node_cluster();
+    sim.schedule_crash(0, 1);
+    sim.schedule_restart(24, 1, /*recover=*/true);
+    faults::RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.backoff_base = 1;
+    policy.backoff_cap = 4;
+    policy.jitter = 1;
+    sim.set_retry_policy(policy, /*seed=*/5);
+    // 64 cpu-ticks of work: the 1-cpu origin can't finish before tick 74,
+    // but the 16-cpu peer clears it in 4 once it is back.
+    sim.submit(10, 0, chunk_job("storm", {8}, 10, 60));
+    return sim.run(120);
+  };
+  const ClusterReport report = run();
+  ASSERT_GT(report.resubmissions, 0u);
+  EXPECT_EQ(report.retry_root.size(), report.resubmissions);
+  // Every decision is accounted for: one per original job plus one per retry.
+  EXPECT_EQ(report.decisions.size(), 1u + report.resubmissions);
+  for (const auto& [retry, root] : report.retry_root) {
+    EXPECT_EQ(root, 0u);
+    EXPECT_GT(retry, 0u);
+  }
+  // The storm converges: some attempt of the root job was accepted and ran.
+  EXPECT_DOUBLE_EQ(report.root_hit_rate(), 1.0);
+
+  // Same schedule, same policy, same seeds — byte-identical replay.
+  const ClusterReport replay = run();
+  EXPECT_EQ(replay.decision_log(), report.decision_log());
+  EXPECT_EQ(replay.resubmissions, report.resubmissions);
+  EXPECT_EQ(replay.messages_sent, report.messages_sent);
+}
+
+TEST(ClusterSim, RetryPolicyRefusedAfterRun) {
+  ClusterSim sim = two_node_cluster();
+  sim.run(10);
+  EXPECT_THROW(sim.set_retry_policy(faults::RetryPolicy{}, 1),
+               std::logic_error);
 }
 
 TEST(ClusterSim, GossipPopulatesPeerDigests) {
@@ -447,6 +567,26 @@ TEST(ClusterScenario, BuildsRunnableClusterFromScenario) {
   const ClusterReport report = sim.run(60);
   ASSERT_EQ(report.decisions.size(), 1u);
   EXPECT_EQ(report.decisions[0].outcome, Placement::kRemote);
+}
+
+TEST(ClusterScenario, FaultStatementsDriveTheBuiltCluster) {
+  // `fault` lines ride the scenario into cluster_from_scenario: node b
+  // crashes mid-plan and is never restarted, so its placement ends lost —
+  // the same outcome CrashLosesPlacementsUnlessRecovered pins by hand.
+  const Scenario s = parse_scenario_string(
+      "supply cpu fa 1 0 200\n"
+      "supply cpu fb 16 0 200\n"
+      "node a fa\n"
+      "node b fb\n"
+      "link a b 1\n"
+      "fault crash b 3\n");
+  ASSERT_EQ(s.faults.size(), 1u);
+  ClusterSim sim = cluster_from_scenario(s, CostModel(), ClusterConfig{});
+  sim.submit(0, 1, chunk_job("victim", {8, 8}, 0, 60));
+  const ClusterReport report = sim.run(80);
+  ASSERT_EQ(report.decisions.size(), 1u);
+  EXPECT_EQ(report.decisions[0].outcome, Placement::kLocal);
+  EXPECT_TRUE(report.decisions[0].lost);
 }
 
 TEST(ClusterScenario, ThrowsWithoutNodes) {

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include "rota/cluster/cluster.hpp"
+#include "rota/faults/schedule.hpp"
+#include "rota/util/rng.hpp"
 #include "rota/workload/generator.hpp"
 
 namespace rota::cluster {
@@ -66,6 +68,63 @@ TEST(ClusterChurn, DeterministicAcrossRunsAndLaneCounts) {
   // Lane count changes scheduling, not decisions: the batched controller's
   // FCFS parity keeps the decision sequence identical.
   const ClusterReport sequential = churn_run(1);
+  EXPECT_EQ(a.decision_log(), sequential.decision_log());
+}
+
+ClusterReport fault_storm_run(std::size_t lanes) {
+  WorkloadConfig wc;
+  wc.seed = 91;
+  wc.num_locations = 4;
+  wc.mean_interarrival = 1.5;
+  WorkloadGenerator gen(wc, CostModel());
+
+  ClusterConfig config;
+  config.seed = 91;
+  config.node.lanes = lanes;
+  config.default_link.jitter = 1;
+  config.default_link.drop = 0.05;
+  ClusterSim sim(CostModel(), config);
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim.add_node(gen.locations()[i], gen.node_supply(i, TimeInterval(0, 400)));
+  }
+
+  // A generated hostile schedule (crash/restart chains plus partition
+  // blips, same-tick bounces allowed) and closed-loop retry clients, all on
+  // top of multi-lane planning — the densest interleaving the tsan build
+  // sees.
+  faults::FaultProfile profile;
+  profile.crash_rate = 0.9;
+  profile.min_outage = 0;
+  profile.partition_rate = 0.8;
+  profile.min_cut = 0;
+  util::Rng rng(91);
+  sim.apply(faults::make_fault_schedule(rng, 4, 160, profile));
+  faults::RetryPolicy policy;
+  policy.max_attempts = 4;
+  sim.set_retry_policy(policy, /*seed=*/91);
+
+  for (const ClusterArrivalSpec& a : gen.make_cluster_arrivals(120, 4, 0.6)) {
+    sim.submit(a.at, static_cast<NodeId>(a.origin), a.work);
+  }
+  return sim.run(200);
+}
+
+TEST(ClusterChurn, RetryStormUnderGeneratedFaultScheduleIsDeterministic) {
+  const ClusterReport a = fault_storm_run(/*lanes=*/4);
+  EXPECT_FALSE(a.decisions.empty());
+  // Every original job and every minted retry reached a final decision.
+  for (const JobDecision& d : a.decisions) {
+    if (d.outcome == Placement::kRejected) {
+      EXPECT_FALSE(d.reason.empty()) << d.to_string();
+    }
+  }
+  const ClusterReport b = fault_storm_run(/*lanes=*/4);
+  EXPECT_EQ(a.decision_log(), b.decision_log());
+  EXPECT_EQ(a.resubmissions, b.resubmissions);
+
+  // Lane count stays unobservable in the decision log even with retries in
+  // the arrival stream.
+  const ClusterReport sequential = fault_storm_run(/*lanes=*/1);
   EXPECT_EQ(a.decision_log(), sequential.decision_log());
 }
 

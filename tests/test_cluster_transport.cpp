@@ -82,26 +82,31 @@ struct GridGolden {
   std::uint64_t hash;
 };
 
-// Captured from the pre-Transport-refactor control loop.
+// Captured from the pre-Transport-refactor control loop, then recaptured
+// when MessageFabric::partition() learned to purge in-flight messages that
+// cross the new cut (a deliberate protocol change: the cut now drops queued
+// traffic instead of letting it slip through, so every grid point with a
+// crossing message in flight at tick 40 moved — (3, 6, 200) had none and
+// kept its pre-purge hash).
 constexpr GridGolden kGoldens[] = {
-    {3ull, 2, 0, 0xbbd55a0819d321afull},
-    {3ull, 2, 50, 0xbe5e5601124f6c4full},
-    {3ull, 2, 200, 0xee1a33e9e16b6ca0ull},
-    {3ull, 4, 0, 0xb46d0874eae2fa77ull},
-    {3ull, 4, 50, 0x794caced3e89767eull},
-    {3ull, 4, 200, 0x97582d611cc0ca95ull},
-    {3ull, 6, 0, 0x99551cb826fd0149ull},
-    {3ull, 6, 50, 0xb8d83ea40ea4916aull},
+    {3ull, 2, 0, 0x5028a354aa44d7c7ull},
+    {3ull, 2, 50, 0x34c1f5d21b955ba9ull},
+    {3ull, 2, 200, 0x691fede10f239bb6ull},
+    {3ull, 4, 0, 0xf58dc93d02b2ccb5ull},
+    {3ull, 4, 50, 0xaf37f3921972e078ull},
+    {3ull, 4, 200, 0xfa00a98c7d1640d3ull},
+    {3ull, 6, 0, 0x34a3216c7a436aeeull},
+    {3ull, 6, 50, 0xc85a55db78c02f1eull},
     {3ull, 6, 200, 0xfa665d46dbd68ae2ull},
-    {17ull, 2, 0, 0x5c0c93b5077b77c1ull},
-    {17ull, 2, 50, 0x8964e0f69124da24ull},
-    {17ull, 2, 200, 0xbb967ed40b625e39ull},
-    {17ull, 4, 0, 0xa4c4ce2e8f6280beull},
-    {17ull, 4, 50, 0x22e5ee154ca995f1ull},
-    {17ull, 4, 200, 0xad6139073089af3eull},
-    {17ull, 6, 0, 0x2eee3ac3516c9d6full},
-    {17ull, 6, 50, 0xc26c24edd6977743ull},
-    {17ull, 6, 200, 0x5c109e0d24ffea2bull},
+    {17ull, 2, 0, 0x314f0a0e7042b11eull},
+    {17ull, 2, 50, 0xa3b9d30c541f7e56ull},
+    {17ull, 2, 200, 0xe73b4e6dc4fb28a7ull},
+    {17ull, 4, 0, 0x041c05ae0f63d762ull},
+    {17ull, 4, 50, 0x93c2a224a9d03feeull},
+    {17ull, 4, 200, 0x768439c8462254a4ull},
+    {17ull, 6, 0, 0x664da46784e60d40ull},
+    {17ull, 6, 50, 0x389c9c164bc33131ull},
+    {17ull, 6, 200, 0x2ca6a3bca413e4efull},
 };
 
 TEST(ClusterTransportParity, GridMatchesPreRefactorGoldens) {

@@ -1,0 +1,169 @@
+// FaultSchedule: construction, validation, generation, the retry backoff,
+// and the scenario-DSL round trip.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rota/faults/schedule.hpp"
+#include "rota/io/scenario.hpp"
+#include "rota/util/rng.hpp"
+#include "rota/workload/generator.hpp"
+
+namespace rota::faults {
+namespace {
+
+TEST(FaultSchedule, KeepsInsertionOrderAndPrints) {
+  FaultSchedule s;
+  s.crash(5, 0);
+  s.partition(3, 0, 1);
+  s.restart(9, 0, true);
+  s.heal(12, 1, 0);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.events()[0].to_string(), "crash n0 at 5");
+  EXPECT_EQ(s.events()[1].to_string(), "partition n0|n1 at 3");
+  EXPECT_EQ(s.events()[2].to_string(), "restart n0 at 9 recover");
+  EXPECT_EQ(s.events()[3].to_string(), "heal n1|n0 at 12");
+  EXPECT_NO_THROW(s.validate(2));
+}
+
+TEST(FaultSchedule, ValidateRejectsMalformedTimelines) {
+  {
+    FaultSchedule s;
+    s.crash(5, 3);
+    EXPECT_THROW(s.validate(2), std::invalid_argument);  // node out of range
+  }
+  {
+    FaultSchedule s;
+    s.partition(5, 1, 1);
+    EXPECT_THROW(s.validate(2), std::invalid_argument);  // self-partition
+  }
+  {
+    FaultSchedule s;
+    s.crash(-1, 0);
+    EXPECT_THROW(s.validate(2), std::invalid_argument);  // negative tick
+  }
+  {
+    FaultSchedule s;
+    s.restart(5, 0, true);
+    EXPECT_THROW(s.validate(2), std::invalid_argument);  // restart w/o crash
+  }
+  {
+    FaultSchedule s;
+    s.crash(3, 0);
+    s.crash(7, 0);
+    EXPECT_THROW(s.validate(2), std::invalid_argument);  // double crash
+  }
+  {
+    // Same-tick crash→restart bounce is legal: same-tick events apply in
+    // schedule order.
+    FaultSchedule s;
+    s.crash(4, 0);
+    s.restart(4, 0, false);
+    EXPECT_NO_THROW(s.validate(1));
+  }
+}
+
+TEST(FaultSchedule, GeneratedSchedulesAreSeededAndWellFormed) {
+  const FaultProfile profile;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng_a(seed);
+    util::Rng rng_b(seed);
+    const FaultSchedule a = make_fault_schedule(rng_a, 4, 100, profile);
+    const FaultSchedule b = make_fault_schedule(rng_b, 4, 100, profile);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_NO_THROW(a.validate(4)) << "seed " << seed;
+  }
+  // A saturated profile actually produces events.
+  FaultProfile hot;
+  hot.crash_rate = 1.0;
+  hot.partition_rate = 1.0;
+  util::Rng rng(7);
+  EXPECT_FALSE(make_fault_schedule(rng, 3, 100, hot).empty());
+}
+
+TEST(RetryPolicy, BackoffDoublesUpToCapAndHonorsDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base = 2;
+  policy.backoff_cap = 6;
+  policy.jitter = 0;  // deterministic delays for the shape assertions
+  util::Rng rng(1);
+
+  // attempt 1 → delay 1 + 2; attempt 2 → 1 + 4; attempt 3 → 1 + 6 (capped).
+  EXPECT_EQ(retry_at(policy, 1, 10, 1000, rng), Tick{13});
+  EXPECT_EQ(retry_at(policy, 2, 10, 1000, rng), Tick{15});
+  EXPECT_EQ(retry_at(policy, 3, 10, 1000, rng), Tick{17});
+  // Attempt budget spent: the policy allows 4 submissions total.
+  EXPECT_EQ(retry_at(policy, 4, 10, 1000, rng), std::nullopt);
+  // A retry that would land at/after the deadline is dead on arrival.
+  EXPECT_EQ(retry_at(policy, 1, 10, 13, rng), std::nullopt);
+  EXPECT_NE(retry_at(policy, 1, 10, 14, rng), std::nullopt);
+}
+
+TEST(RetryPolicy, JitterIsSeededThroughTheClosedLoopClient) {
+  RetryPolicy policy;
+  policy.jitter = 3;
+  ClosedLoopClient a(policy, 99);
+  ClosedLoopClient b(policy, 99);
+  for (int i = 0; i < 16; ++i) {
+    const auto ta = a.next_attempt(1, i * 10, 100000);
+    const auto tb = b.next_attempt(1, i * 10, 100000);
+    ASSERT_TRUE(ta.has_value());
+    EXPECT_EQ(ta, tb);
+    EXPECT_GE(*ta, i * 10 + 1 + policy.backoff_base);
+    EXPECT_LE(*ta, i * 10 + 1 + policy.backoff_base + policy.jitter);
+  }
+}
+
+TEST(FaultDsl, RoundTripsThroughScenarioText) {
+  FaultSchedule schedule;
+  schedule.crash(5, 0);
+  schedule.restart(9, 0, false);
+  schedule.partition(3, 0, 1);
+  schedule.heal(12, 0, 1);
+  schedule.crash(20, 1);
+  schedule.restart(20, 1, true);  // same-tick bounce survives the trip too
+
+  Scenario scenario;
+  scenario.nodes.push_back(ScenarioNode{"alpha", "east", 1});
+  scenario.nodes.push_back(ScenarioNode{"beta", "west", 2});
+  const std::vector<std::string> names = {"alpha", "beta"};
+  scenario.faults = to_scenario_faults(schedule, names);
+
+  const std::string text = scenario_to_string(scenario);
+  const Scenario reparsed = parse_scenario_string(text);
+  EXPECT_EQ(reparsed.faults, scenario.faults) << text;
+  EXPECT_EQ(from_scenario_faults(reparsed.faults, names), schedule) << text;
+}
+
+TEST(FaultDsl, ParserRejectsBadFaultStatements) {
+  const auto parse = [](const std::string& body) {
+    return parse_scenario_string("node a east\nnode b west\n" + body + "\n");
+  };
+  EXPECT_THROW(parse("fault crash ghost 5"), ScenarioParseError);
+  EXPECT_THROW(parse("fault partition a ghost 5"), ScenarioParseError);
+  EXPECT_THROW(parse("fault partition a a 5"), ScenarioParseError);
+  EXPECT_THROW(parse("fault restart a 5 maybe"), ScenarioParseError);
+  EXPECT_THROW(parse("fault crash a -3"), ScenarioParseError);
+  EXPECT_THROW(parse("fault meteor a 5"), ScenarioParseError);
+  EXPECT_THROW(parse("fault crash a"), ScenarioParseError);
+  EXPECT_NO_THROW(parse("fault crash a 5"));
+  EXPECT_NO_THROW(parse("fault restart a 9 fresh"));
+  EXPECT_NO_THROW(parse("fault partition a b 2"));
+  EXPECT_NO_THROW(parse("fault heal a b 7"));
+}
+
+TEST(FaultDsl, ConversionRejectsUnknownNames) {
+  FaultSchedule schedule;
+  schedule.crash(1, 2);
+  EXPECT_THROW(to_scenario_faults(schedule, {"a", "b"}), std::invalid_argument);
+
+  ScenarioFault f;
+  f.kind = "crash";
+  f.a = "ghost";
+  f.at = 1;
+  EXPECT_THROW(from_scenario_faults({f}, {"a", "b"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rota::faults

@@ -18,6 +18,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rota/service/client.hpp"
@@ -36,7 +37,8 @@ std::string fed_socket_path(const char* tag) {
 /// A forwardable request: one actor, evaluate chunks closed by ready, all at
 /// `home` — exactly the shape forwardable_work() re-expresses as a WorkSpec.
 AdmitRequest forwardable_request(std::uint64_t id, Location home,
-                                 std::int64_t weight = 5) {
+                                 std::int64_t weight = 5,
+                                 std::int64_t deadline = 50'000) {
   AdmitRequest request;
   request.id = id;
   request.at = 0;
@@ -48,7 +50,7 @@ AdmitRequest forwardable_request(std::uint64_t id, Location home,
           .build();
   request.computation = DistributedComputation(
       "fed-job-" + std::to_string(id), {actor}, /*earliest_start=*/0,
-      /*deadline=*/50'000);
+      deadline);
   return request;
 }
 
@@ -246,6 +248,72 @@ TEST(Federation, StopAnswersWhatIsPendingAndIsIdempotent) {
   const AdmitResponse response = await_response(future);
   EXPECT_EQ(response.verdict, Verdict::kRejected);
   a.federation->stop();  // idempotent
+  a.service.drain_and_stop();
+}
+
+// The stranded-forward regression: the peer daemon dies mid-conversation —
+// after forwards are in flight, possibly between offer and claim — and every
+// pending forward must still answer a verdict within the deadline budget.
+// Before the expiry sweep, a forward whose peer vanished after the offer
+// could strand forever: the await below would time out. Now the service
+// expires it against deadline + claim_timeout and answers reject, never
+// silence.
+TEST(Federation, PeerDeathMidConversationAnswersRejectNotSilence) {
+  const Location site_a("fed-kill-a"), site_b("fed-kill-b");
+  const std::string path_a = fed_socket_path("kill_a");
+  const std::string path_b = fed_socket_path("kill_b");
+  Node a(site_a, ResourceSet{}, 0, path_a, 1, path_b);
+  auto b = std::make_unique<Node>(site_b, ample_supply(site_b), 1, path_b, 0,
+                                  path_a);
+
+  // A tight deadline: 20 transport ticks (4 s at tick_ms 200), so even a
+  // forward with no node-level verdict expires at deadline + claim_timeout,
+  // well inside await_response's 20 s bound.
+  const std::size_t n = 6;
+  std::vector<std::future<AdmitResponse>> futures;
+  std::vector<std::shared_ptr<std::promise<AdmitResponse>>> promises;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto promise = std::make_shared<std::promise<AdmitResponse>>();
+    futures.push_back(promise->get_future());
+    promises.push_back(promise);
+    a.federation->submit(
+        forwardable_request(i + 1, site_a, 5, /*deadline=*/20),
+        [promise](const AdmitResponse& r) { promise->set_value(r); });
+  }
+
+  // Kill the peer the moment the first forward is on the wire: whatever
+  // conversations are mid-probe or mid-claim lose their counterparty.
+  const auto kill_by = std::chrono::steady_clock::now() + seconds(10);
+  while (a.federation->stats().forwarded == 0 &&
+         std::chrono::steady_clock::now() < kill_by) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(a.federation->stats().forwarded, 0u);
+  b->federation->stop();
+  b->service.drain_and_stop();
+  b.reset();
+
+  std::size_t accepted = 0, rejected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const AdmitResponse response = await_response(futures[i]);
+    EXPECT_EQ(response.id, i + 1);
+    if (response.verdict == Verdict::kAccepted) {
+      ++accepted;  // won the race against the kill — legitimate
+    } else {
+      ++rejected;
+      EXPECT_EQ(response.strategy, "federated");
+      EXPECT_FALSE(response.reason.empty()) << "a reject must say why";
+    }
+  }
+  EXPECT_EQ(accepted + rejected, n) << "every forward answered";
+
+  const FederationStats stats = a.federation->stats();
+  EXPECT_EQ(stats.forwarded, n);
+  EXPECT_EQ(stats.forward_accepts, accepted);
+  EXPECT_EQ(stats.forward_rejects + stats.forward_expired, rejected)
+      << "rejects came from a verdict or the expiry sweep, not from silence";
+
+  a.federation->stop();
   a.service.drain_and_stop();
 }
 

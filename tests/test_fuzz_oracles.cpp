@@ -63,6 +63,16 @@ TEST(FuzzOracles, SimFamilyIsDivergenceFree) {
   EXPECT_EQ(report.cases, 25u);
 }
 
+TEST(FuzzOracles, ClusterFamilyIsDivergenceFree) {
+  // The hostile-conditions sweep: seeded fault schedules + retry storms over
+  // small clusters, replayed twice and checked against the independent loss
+  // referee. This slice is the tier-1 canary for the full rota_fuzz run.
+  const OracleReport report = run_cluster_oracle(20260807, 40);
+  EXPECT_TRUE(report.clean()) << describe(report);
+  EXPECT_EQ(report.cases, 40u);
+  EXPECT_GT(report.checks, 0u);
+}
+
 TEST(FuzzOracles, FeasibilityFamilyIsDivergenceFree) {
   const OracleReport report = run_feasibility_oracle(20260807, 60);
   EXPECT_TRUE(report.clean()) << describe(report);

@@ -653,6 +653,62 @@ TEST(ServiceClientBounds, SendRedialsExactlyOnceAfterAServerRestart) {
   second_server.stop();
 }
 
+TEST(ServiceClientBounds, PipelinedStormAcrossARestartRedialsExactlyOnce) {
+  // The retry-storm shape: a pipelining client with requests in flight when
+  // the daemon restarts. Contract under fire: (a) every pre-restart request
+  // resolves — a drained decision or a clean EOF, never a silent drop and
+  // never a hang; (b) the redial happens exactly once, no matter how many
+  // sends pile onto the dead socket afterwards.
+  WorkloadGenerator gen = make_generator(24);
+  const std::string path = test_socket_path("storm");
+  CommitmentLedger first_ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  auto first_service = std::make_unique<AdmissionService>(
+      first_ledger, gen.phi(), ServiceConfig{});
+  ServerConfig sconfig;
+  sconfig.unix_path = path;
+  auto first_server = std::make_unique<ServiceServer>(*first_service, sconfig);
+
+  ServiceClient client = ServiceClient::connect_unix(path);
+  // Pipeline a burst and leave the last decision unread when the server dies.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    client.send(make_request(gen, id, 0, /*budget_us=*/10'000'000));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.receive().has_value());
+  }
+  first_server.reset();  // drains in-flight work, then closes the sockets
+  first_service.reset();
+
+  // The drained decision is still in the stream, then EOF surfaces as an
+  // explicit nullopt — the pre-restart request is never silently dropped.
+  auto drained = client.receive();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->id, 3u);
+  EXPECT_EQ(client.receive(), std::nullopt) << "EOF must be reported";
+  EXPECT_EQ(client.reconnects(), 0u);
+
+  // New daemon, same path. The storm: six sends pile up, the first one hits
+  // the dead socket and redials, the rest ride the replacement connection.
+  CommitmentLedger second_ledger(gen.base_supply(TimeInterval(0, kHorizon)));
+  AdmissionService second_service(second_ledger, gen.phi(), ServiceConfig{});
+  ServiceServer second_server(second_service, sconfig);
+  for (std::uint64_t id = 10; id < 16; ++id) {
+    client.send(make_request(gen, id, 0, /*budget_us=*/10'000'000));
+  }
+  std::size_t answered = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto response = client.receive();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_GE(response->id, 10u);
+    EXPECT_LT(response->id, 16u);
+    ++answered;
+  }
+  EXPECT_EQ(answered, 6u);
+  EXPECT_EQ(client.reconnects(), 1u)
+      << "one restart, one redial — the storm must not multiply reconnects";
+  second_server.stop();
+}
+
 TEST(ServiceClientBounds, ReconnectDisabledSurfacesTheDeadSocket) {
   WorkloadGenerator gen = make_generator(23);
   const std::string path = test_socket_path("noredial");
